@@ -1,0 +1,83 @@
+//! E7 — §7.3: what does class dispatch cost? The same unboxed loop with
+//! the primop `+#` directly vs through the levity-polymorphic `Num Int#`
+//! dictionary.
+//!
+//! The paper's claim is about *expressiveness*, not speed ("levity
+//! polymorphism does not make code go faster"); this bench quantifies
+//! the dictionary indirection that the expressiveness costs, and shows
+//! the compiled loop is otherwise identical.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use levity_driver::compile_with_prelude;
+
+const DIRECT: &str = "loop :: Int# -> Int# -> Int#\n\
+     loop acc n = case n of { 0# -> acc; _ -> loop (acc +# n) (n -# 1#) }\n\
+     main :: Int#\n\
+     main = loop 0# LIMIT#\n";
+
+const CLASSY: &str = "loop :: Int# -> Int# -> Int#\n\
+     loop acc n = case n of { 0# -> acc; _ -> loop (acc + n) (n - 1#) }\n\
+     main :: Int#\n\
+     main = loop 0# LIMIT#\n";
+
+/// Boxed dictionary dispatch for comparison: Num Int.
+const CLASSY_BOXED: &str = "loop :: Int -> Int -> Int\n\
+     loop acc n = case n of { I# k -> case k of { 0# -> acc; _ -> loop (acc + n) (n - 1) } }\n\
+     main :: Int\n\
+     main = loop 0 LIMIT\n";
+
+fn compiled(src: &str, n: u64) -> levity_driver::Compiled {
+    compile_with_prelude(&src.replace("LIMIT", &n.to_string())).expect("compiles")
+}
+
+fn print_report(n: u64) {
+    let d = compiled(DIRECT, n);
+    let c = compiled(CLASSY, n);
+    let b = compiled(CLASSY_BOXED, n);
+    let (dv, ds) = d.run("main", u64::MAX / 2).unwrap();
+    let (cv, cs) = c.run("main", u64::MAX / 2).unwrap();
+    let (bv, bs) = b.run("main", u64::MAX / 2).unwrap();
+    assert_eq!(dv.value().and_then(|v| v.as_int()), cv.value().and_then(|v| v.as_int()));
+    assert_eq!(dv.value().and_then(|v| v.as_int()), bv.value().and_then(|v| v.as_boxed_int()));
+    eprintln!("\n== E7 (section 7.3): 3# + 4# works — at what cost? ({n} iterations) ==");
+    eprintln!("{:<26} {:>12} {:>14} {:>14}", "", "direct +#", "Num Int# (+)", "Num Int (+)");
+    eprintln!("{:<26} {:>12} {:>14} {:>14}", "machine steps", ds.steps, cs.steps, bs.steps);
+    eprintln!(
+        "{:<26} {:>12} {:>14} {:>14}",
+        "words allocated", ds.allocated_words, cs.allocated_words, bs.allocated_words
+    );
+    eprintln!(
+        "{:<26} {:>12} {:>14} {:>14}",
+        "dictionary fetches (VAL)", ds.var_lookups, cs.var_lookups, bs.var_lookups
+    );
+    eprintln!(
+        "dictionary overhead at Int#: {:.2}x steps; boxing still dominates at Int: {:.2}x\n",
+        cs.steps as f64 / ds.steps as f64,
+        bs.steps as f64 / cs.steps as f64
+    );
+}
+
+fn bench_dictionaries(c: &mut Criterion) {
+    print_report(2_000);
+    let mut group = c.benchmark_group("num_class");
+    group.sample_size(10);
+    for n in [500u64, 2_000] {
+        let direct = compiled(DIRECT, n);
+        let classy = compiled(CLASSY, n);
+        let boxed = compiled(CLASSY_BOXED, n);
+        group.bench_with_input(BenchmarkId::new("direct_primop", n), &n, |bch, _| {
+            bch.iter(|| direct.run("main", u64::MAX / 2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dict_unboxed", n), &n, |bch, _| {
+            bch.iter(|| classy.run("main", u64::MAX / 2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dict_boxed", n), &n, |bch, _| {
+            bch.iter(|| boxed.run("main", u64::MAX / 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dictionaries);
+criterion_main!(benches);

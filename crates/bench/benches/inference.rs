@@ -1,0 +1,84 @@
+//! E4 — §5.2: "this is actually a simplification over the previous
+//! sub-kinding story." We measure the cost of the new inference
+//! (representation metavariables + defaulting) on synthesized programs,
+//! and the legacy sub-kinding constraint solver on equivalent kind
+//! constraint streams.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use levity_driver::compile_with_prelude;
+use levity_infer::legacy::{LegacyKind, LegacyKindInference};
+use levity_surface::parser::parse_module;
+
+/// Synthesizes a module with `n` chained definitions, alternating boxed
+/// and unboxed code so both inference paths are exercised.
+fn synth_module(n: usize) -> String {
+    let mut src = String::new();
+    src.push_str("f0 :: Int# -> Int#\nf0 x = x +# 1#\n");
+    // Boxed worker built only from builtins (I# and primops), so the
+    // module elaborates standalone, without the prelude.
+    src.push_str("g0 :: Int -> Int\ng0 x = case x of { I# k -> I# (k +# 1#) }\n");
+    for i in 1..n {
+        src.push_str(&format!(
+            "f{i} :: Int# -> Int#\nf{i} x = f{} (x +# {i}#)\n",
+            i - 1
+        ));
+        src.push_str(&format!("g{i} x = g{} (g0 x)\n", i - 1));
+    }
+    src
+}
+
+fn bench_inference(c: &mut Criterion) {
+    // Report once: whole-pipeline compile cost on a synthesized module.
+    let src = synth_module(60);
+    let module = parse_module(&src).unwrap();
+    eprintln!(
+        "\n== E4 (section 5.2): inference over {} declarations (half unboxed, half inferred) ==",
+        module.decls.len()
+    );
+    eprintln!("no sub-kinding, no special cases: one unifier handles types, reps and kinds\n");
+
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(10);
+    for n in [20usize, 60] {
+        let src = synth_module(n);
+        group.bench_with_input(BenchmarkId::new("parse", n), &n, |b, _| {
+            b.iter(|| parse_module(&src).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("elaborate", n), &n, |b, _| {
+            let module = parse_module(&src).unwrap();
+            b.iter(|| levity_infer::elaborate::elaborate_module(&module).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("full_pipeline", n), &n, |b, _| {
+            b.iter(|| compile_with_prelude(&src).unwrap())
+        });
+    }
+    group.finish();
+
+    // The legacy baseline: sub-kinding constraint streams with the
+    // OpenKind refinement special case.
+    let mut group = c.benchmark_group("legacy_subkinding");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("constraints", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut inf = LegacyKindInference::new();
+                let mut ok = 0usize;
+                for i in 0..n {
+                    let k = inf.fresh();
+                    inf.constrain(k, LegacyKind::OpenKind).unwrap();
+                    let refined = if i % 2 == 0 { LegacyKind::Type } else { LegacyKind::Hash };
+                    inf.constrain(k, refined).unwrap();
+                    if inf.solution(k) == Some(refined) {
+                        ok += 1;
+                    }
+                }
+                ok
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E6 — §6: throughput of the executable metatheory. How many random
+//! well-typed terms per second can we push through generation, the
+//! Figure 7 compiler, and the full L-vs-M simulation check?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use levity_compile::figure7::compile_closed;
+use levity_compile::metatheory::{check_preservation_progress, check_simulation};
+use levity_l::gen::{GenConfig, Generator};
+
+fn bench_metatheory(c: &mut Criterion) {
+    eprintln!("\n== E6 (section 6): executable theorems ==");
+    eprintln!("Preservation, Progress, Compilation and Simulation checked over random terms\n");
+
+    let mut group = c.benchmark_group("metatheory");
+    group.sample_size(10);
+
+    group.bench_function("generate", |b| {
+        let mut generator = Generator::new(1, GenConfig::default());
+        b.iter(|| generator.generate())
+    });
+
+    group.bench_function("compile_figure7", |b| {
+        let mut generator = Generator::new(2, GenConfig::default());
+        let terms: Vec<_> = (0..50).map(|_| generator.generate().0).collect();
+        b.iter(|| {
+            for e in &terms {
+                compile_closed(e).unwrap();
+            }
+        })
+    });
+
+    group.bench_function("preservation_progress", |b| {
+        let mut generator = Generator::new(3, GenConfig::default());
+        let terms: Vec<_> = (0..20).map(|_| generator.generate().0).collect();
+        b.iter(|| {
+            for e in &terms {
+                check_preservation_progress(e).unwrap();
+            }
+        })
+    });
+
+    group.bench_function("full_simulation", |b| {
+        let mut generator = Generator::new(4, GenConfig::default());
+        let terms: Vec<_> = (0..10).map(|_| generator.generate().0).collect();
+        b.iter(|| {
+            for e in &terms {
+                check_simulation(e).unwrap();
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_metatheory);
+criterion_main!(benches);

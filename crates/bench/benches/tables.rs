@@ -1,0 +1,100 @@
+//! E2, E5, E8 — the paper's tables, regenerated:
+//!
+//! * Figure 1 (boxity × levity) from the kind machinery;
+//! * the §5.1 acceptance table over the paper's worked examples,
+//!   each decided by the live pipeline;
+//! * the §8.1 corpus table (34 of 76 classes generalize).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use levity_classes::{render_table, run_study, study_counts};
+use levity_core::rep::Rep;
+use levity_driver::compile_with_prelude;
+
+fn figure1() {
+    eprintln!("\n== E2: Figure 1 — boxity and levity, with examples ==");
+    eprintln!("{:<14} {:<10} {:<10} {}", "type", "boxed?", "lifted?", "rep");
+    let rows: [(&str, Rep); 5] = [
+        ("Int", Rep::Lifted),
+        ("Bool", Rep::Lifted),
+        ("ByteArray#", Rep::Unlifted),
+        ("Int#", Rep::Int),
+        ("Char#", Rep::Char),
+    ];
+    for (name, rep) in rows {
+        eprintln!(
+            "{:<14} {:<10} {:<10} {}",
+            name,
+            if rep.is_boxed() { "yes" } else { "no" },
+            if rep.is_lifted() { "yes" } else { "no" },
+            rep
+        );
+    }
+    eprintln!("(the unboxed-lifted corner is uninhabited: lifted implies boxed)");
+}
+
+fn acceptance_table() {
+    eprintln!("\n== E5: the section 5.1 acceptance table (decided by the pipeline) ==");
+    let cases: [(&str, &str); 6] = [
+        (
+            "bTwice @(a::Type)",
+            "bTwice :: Bool -> a -> (a -> a) -> a\nbTwice b x f = if b then f (f x) else x\n",
+        ),
+        (
+            "bTwice @(a::TYPE r)",
+            "bTwice :: forall (r :: Rep) (a :: TYPE r). Bool -> a -> (a -> a) -> a\nbTwice b x f = if b then f (f x) else x\n",
+        ),
+        (
+            "myError (declared)",
+            "myError2 :: forall (r :: Rep) (a :: TYPE r). Bool -> a\nmyError2 s = error \"err\"\n",
+        ),
+        (
+            "($) result-generalized",
+            "ap :: forall (r :: Rep) (a :: Type) (b :: TYPE r). (a -> b) -> a -> b\nap f x = f x\n",
+        ),
+        (
+            "abs1 = abs",
+            "abs1 :: forall (r :: Rep) (a :: TYPE r). Num a => a -> a\nabs1 = abs\n",
+        ),
+        (
+            "abs2 x = abs x",
+            "abs2 :: forall (r :: Rep) (a :: TYPE r). Num a => a -> a\nabs2 x = abs x\n",
+        ),
+    ];
+    eprintln!("{:<26} {}", "program", "verdict");
+    for (label, src) in cases {
+        let verdict = match compile_with_prelude(src) {
+            Ok(_) => "accepted".to_owned(),
+            Err(e) if e.is_levity_rejection() => "rejected (section 5.1)".to_owned(),
+            Err(_) => "rejected (other)".to_owned(),
+        };
+        eprintln!("{label:<26} {verdict}");
+    }
+}
+
+fn corpus_table() {
+    let rows = run_study();
+    let (gen, total) = study_counts(&rows);
+    eprintln!("\n== E8: section 8.1 — {gen} of {total} classes levity-generalize ==");
+    eprintln!("{}", render_table(&rows));
+}
+
+fn bench_tables(c: &mut Criterion) {
+    figure1();
+    acceptance_table();
+    corpus_table();
+
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(20);
+    group.bench_function("corpus_study", |b| b.iter(run_study));
+    group.bench_function("figure1_classification", |b| {
+        b.iter(|| {
+            [Rep::Lifted, Rep::Unlifted, Rep::Int, Rep::Char, Rep::Double]
+                .map(|r| r.classification())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark-only crate; see the `benches/` directory.
+#![warn(missing_docs)]

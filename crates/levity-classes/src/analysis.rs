@@ -1,0 +1,397 @@
+//! The levity-generalizability analysis (§8.1).
+//!
+//! A class `C (a :: Type)` can be generalized to `C (a :: TYPE r)` when
+//! its methods never need to *move or store* an `a` at an unknown
+//! representation (§5.1's requirement (*)). Concretely, for the class
+//! variable (or, for a higher-kinded class, the element variables fed to
+//! it):
+//!
+//! 1. occurrences in arrow argument/result positions are fine — the
+//!    §4.3 arrow is levity-polymorphic, and instance methods are
+//!    representation-monomorphic after instantiation (§7.3);
+//! 2. occurrences *under any other concrete type constructor* (`[a]`,
+//!    `Maybe a`, `(a, b)`, `IO a`, `Ptr a`) are fatal: those
+//!    constructors demand `Type`-kinded arguments;
+//! 3. a method whose *entire* type is the class variable (`mempty ::
+//!    a`, `minBound :: a`) is fatal: the dictionary would store a value
+//!    of unknown representation — a levity-polymorphic field;
+//! 4. for a higher-kinded class variable `f`, every type fed to `f`
+//!    must be a bare variable (feeding `f (a -> b)`, as `Applicative`
+//!    does, pins `f`'s argument kind to `Type`).
+
+use std::fmt;
+
+/// A miniature Haskell type expression for corpus method signatures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CTy {
+    /// A type variable.
+    V(&'static str),
+    /// A concrete type constructor applied to arguments (`[]`, `Maybe`,
+    /// `(,)`, `Int`, `IO`, ...).
+    C(&'static str, Vec<CTy>),
+    /// An application headed by a *variable* (the class variable of a
+    /// higher-kinded class, or a universally quantified `proxy`).
+    A(&'static str, Vec<CTy>),
+    /// A function arrow.
+    F(Box<CTy>, Box<CTy>),
+}
+
+impl CTy {
+    /// `a -> b`.
+    pub fn f(a: CTy, b: CTy) -> CTy {
+        CTy::F(Box::new(a), Box::new(b))
+    }
+
+    /// A nullary concrete constructor.
+    pub fn c0(name: &'static str) -> CTy {
+        CTy::C(name, Vec::new())
+    }
+
+    fn mentions(&self, var: &str) -> bool {
+        match self {
+            CTy::V(v) => *v == var,
+            CTy::C(_, args) | CTy::A(_, args) => args.iter().any(|a| a.mentions(var)),
+            CTy::F(a, b) => a.mentions(var) || b.mentions(var),
+        }
+    }
+}
+
+impl fmt::Display for CTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CTy::V(v) => write!(f, "{v}"),
+            CTy::C(c, args) | CTy::A(c, args) => {
+                if args.is_empty() {
+                    write!(f, "{c}")
+                } else {
+                    write!(f, "({c}")?;
+                    for a in args {
+                        write!(f, " {a}")?;
+                    }
+                    write!(f, ")")
+                }
+            }
+            CTy::F(a, b) => write!(f, "({a} -> {b})"),
+        }
+    }
+}
+
+/// Why a class cannot be levity-generalized.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Blocker {
+    /// A method stores a bare value of the class type in the dictionary
+    /// (`mempty :: a`): a levity-polymorphic field.
+    BareField {
+        /// The offending method.
+        method: &'static str,
+    },
+    /// The variable occurs under a concrete type constructor that
+    /// requires `Type`-kinded arguments.
+    UnderConcreteTyCon {
+        /// The offending method.
+        method: &'static str,
+        /// The constructor (e.g. `[]`, `Maybe`).
+        tycon: &'static str,
+    },
+    /// A higher-kinded class variable is applied to a non-variable type,
+    /// pinning its argument kind to `Type`.
+    NonVariableApplication {
+        /// The offending method.
+        method: &'static str,
+        /// The non-variable argument.
+        arg: String,
+    },
+    /// The class has no variable occurrences we can analyze (magic
+    /// classes like `Typeable`'s kind-polymorphic internals).
+    Magic,
+}
+
+impl fmt::Display for Blocker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Blocker::BareField { method } => write!(
+                f,
+                "method `{method}` would be a levity-polymorphic dictionary field"
+            ),
+            Blocker::UnderConcreteTyCon { method, tycon } => write!(
+                f,
+                "method `{method}` uses the class variable under `{tycon}`, which requires kind Type"
+            ),
+            Blocker::NonVariableApplication { method, arg } => write!(
+                f,
+                "method `{method}` applies the class constructor to `{arg}`, pinning its argument kind to Type"
+            ),
+            Blocker::Magic => write!(f, "compiler-magic class outside the analysis"),
+        }
+    }
+}
+
+/// The analysis verdict for one class.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The class can be levity-generalized (`a :: TYPE r`).
+    Generalizable,
+    /// It cannot, for the given reason.
+    Blocked(Blocker),
+}
+
+impl Verdict {
+    /// Is the class generalizable?
+    pub fn is_generalizable(&self) -> bool {
+        matches!(self, Verdict::Generalizable)
+    }
+}
+
+/// The kind shape of the class variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarShape {
+    /// `a :: Type` — first-order; the candidate generalization is
+    /// `a :: TYPE r`.
+    FirstOrder,
+    /// `f :: Type -> Type` (or more arrows) — the candidate is
+    /// generalizing `f`'s *argument* kind(s).
+    HigherKinded,
+    /// A compiler-magic class we refuse to analyze.
+    Magic,
+}
+
+/// A corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusClass {
+    /// Class name.
+    pub name: &'static str,
+    /// Defining package (`base` or `ghc-prim`).
+    pub package: &'static str,
+    /// Defining module.
+    pub module: &'static str,
+    /// The class variable's name and kind shape.
+    pub var: (&'static str, VarShape),
+    /// Method signatures.
+    pub methods: Vec<(&'static str, CTy)>,
+}
+
+/// Walks a method type checking first-order occurrences of `var`.
+fn check_occurrences(
+    method: &'static str,
+    ty: &CTy,
+    var: &str,
+) -> Result<(), Blocker> {
+    match ty {
+        CTy::V(_) => Ok(()),
+        CTy::F(a, b) => {
+            check_occurrences(method, a, var)?;
+            check_occurrences(method, b, var)
+        }
+        CTy::C(tycon, args) => {
+            for a in args {
+                if a.mentions(var) {
+                    return Err(Blocker::UnderConcreteTyCon { method, tycon });
+                }
+            }
+            Ok(())
+        }
+        CTy::A(_, args) => {
+            // Variable-headed application (class var or proxy): the fed
+            // types are abstract; deeper occurrences are checked when the
+            // head is the higher-kinded class variable (see below).
+            for a in args {
+                check_occurrences(method, a, var)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Collects the argument lists of applications of `head`.
+fn collect_apps<'t>(ty: &'t CTy, head: &str, out: &mut Vec<&'t [CTy]>) {
+    match ty {
+        CTy::V(_) => {}
+        CTy::F(a, b) => {
+            collect_apps(a, head, out);
+            collect_apps(b, head, out);
+        }
+        CTy::C(_, args) => args.iter().for_each(|a| collect_apps(a, head, out)),
+        CTy::A(h, args) => {
+            if *h == head {
+                out.push(args);
+            }
+            args.iter().for_each(|a| collect_apps(a, head, out));
+        }
+    }
+}
+
+/// Analyzes one corpus class.
+pub fn analyze(class: &CorpusClass) -> Verdict {
+    let (var, shape) = class.var;
+    match shape {
+        VarShape::Magic => Verdict::Blocked(Blocker::Magic),
+        VarShape::FirstOrder => {
+            for (mname, ty) in &class.methods {
+                // Rule 3: bare dictionary field.
+                if matches!(ty, CTy::V(v) if *v == var) {
+                    return Verdict::Blocked(Blocker::BareField { method: mname });
+                }
+                // Rules 1–2.
+                if let Err(b) = check_occurrences(mname, ty, var) {
+                    return Verdict::Blocked(b);
+                }
+            }
+            Verdict::Generalizable
+        }
+        VarShape::HigherKinded => {
+            // Rule 4: every type fed to the class variable must be a bare
+            // variable...
+            let mut element_vars: Vec<&str> = Vec::new();
+            for (mname, ty) in &class.methods {
+                let mut apps = Vec::new();
+                collect_apps(ty, var, &mut apps);
+                for args in apps {
+                    for arg in args {
+                        match arg {
+                            CTy::V(v) => {
+                                if !element_vars.contains(v) {
+                                    element_vars.push(v);
+                                }
+                            }
+                            other => {
+                                return Verdict::Blocked(Blocker::NonVariableApplication {
+                                    method: mname,
+                                    arg: other.to_string(),
+                                })
+                            }
+                        }
+                    }
+                }
+            }
+            // ... and the element variables obey the first-order rules.
+            for (mname, ty) in &class.methods {
+                for ev in &element_vars {
+                    if matches!(ty, CTy::V(v) if v == ev) {
+                        return Verdict::Blocked(Blocker::BareField { method: mname });
+                    }
+                    if let Err(b) = check_occurrences(mname, ty, ev) {
+                        return Verdict::Blocked(b);
+                    }
+                }
+            }
+            Verdict::Generalizable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fo(name: &'static str, methods: Vec<(&'static str, CTy)>) -> CorpusClass {
+        CorpusClass { name, package: "base", module: "Test", var: ("a", VarShape::FirstOrder), methods }
+    }
+
+    #[test]
+    fn num_shaped_class_is_generalizable() {
+        // (+) :: a -> a -> a; abs :: a -> a — the §7.3 example.
+        let c = fo(
+            "Num",
+            vec![
+                ("+", CTy::f(CTy::V("a"), CTy::f(CTy::V("a"), CTy::V("a")))),
+                ("abs", CTy::f(CTy::V("a"), CTy::V("a"))),
+            ],
+        );
+        assert!(analyze(&c).is_generalizable());
+    }
+
+    #[test]
+    fn bare_field_blocks() {
+        // mempty :: a — the dictionary would store a levity-polymorphic
+        // value.
+        let c = fo("Monoid", vec![("mempty", CTy::V("a"))]);
+        assert_eq!(
+            analyze(&c),
+            Verdict::Blocked(Blocker::BareField { method: "mempty" })
+        );
+    }
+
+    #[test]
+    fn list_occurrence_blocks() {
+        // enumFrom :: a -> [a] — [] :: Type -> Type pins a to Type.
+        let c = fo(
+            "Enum",
+            vec![("enumFrom", CTy::f(CTy::V("a"), CTy::C("[]", vec![CTy::V("a")])))],
+        );
+        assert!(matches!(
+            analyze(&c),
+            Verdict::Blocked(Blocker::UnderConcreteTyCon { tycon: "[]", .. })
+        ));
+    }
+
+    #[test]
+    fn concrete_types_without_the_var_are_fine() {
+        // toRational :: a -> Rational — Rational mentions no class var.
+        let c = fo(
+            "Real",
+            vec![("toRational", CTy::f(CTy::V("a"), CTy::c0("Rational")))],
+        );
+        assert!(analyze(&c).is_generalizable());
+    }
+
+    #[test]
+    fn monad_generalizes_but_applicative_does_not() {
+        let monad = CorpusClass {
+            name: "Monad",
+            package: "base",
+            module: "GHC.Base",
+            var: ("m", VarShape::HigherKinded),
+            methods: vec![
+                (
+                    ">>=",
+                    CTy::f(
+                        CTy::A("m", vec![CTy::V("a")]),
+                        CTy::f(
+                            CTy::f(CTy::V("a"), CTy::A("m", vec![CTy::V("b")])),
+                            CTy::A("m", vec![CTy::V("b")]),
+                        ),
+                    ),
+                ),
+                ("return", CTy::f(CTy::V("a"), CTy::A("m", vec![CTy::V("a")]))),
+            ],
+        };
+        assert!(analyze(&monad).is_generalizable());
+
+        let applicative = CorpusClass {
+            name: "Applicative",
+            package: "base",
+            module: "GHC.Base",
+            var: ("f", VarShape::HigherKinded),
+            methods: vec![(
+                "<*>",
+                CTy::f(
+                    CTy::A("f", vec![CTy::f(CTy::V("a"), CTy::V("b"))]),
+                    CTy::f(CTy::A("f", vec![CTy::V("a")]), CTy::A("f", vec![CTy::V("b")])),
+                ),
+            )],
+        };
+        // f (a -> b) pins f's argument kind to Type.
+        assert!(matches!(
+            analyze(&applicative),
+            Verdict::Blocked(Blocker::NonVariableApplication { .. })
+        ));
+    }
+
+    #[test]
+    fn magic_classes_are_blocked() {
+        let c = CorpusClass {
+            name: "Typeable",
+            package: "base",
+            module: "Data.Typeable",
+            var: ("a", VarShape::Magic),
+            methods: vec![],
+        };
+        assert_eq!(analyze(&c), Verdict::Blocked(Blocker::Magic));
+    }
+
+    #[test]
+    fn no_method_class_is_trivially_generalizable() {
+        let c = fo("Coercible", vec![]);
+        assert!(analyze(&c).is_generalizable());
+    }
+}

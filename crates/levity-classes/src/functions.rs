@@ -1,0 +1,194 @@
+//! The six §8.1 functions whose types were special-cased before levity
+//! polymorphism and are now ordinary levity-polymorphic signatures:
+//! `error`, `errorWithoutStackTrace`, `undefined` (⊥), `oneShot`,
+//! `runRW#`, and `($)`.
+
+use std::rc::Rc;
+
+use levity_core::kind::Kind;
+use levity_core::symbol::Symbol;
+
+use levity_ir::types::{TyCon, Type};
+
+fn r() -> Symbol {
+    Symbol::intern("r")
+}
+
+fn a() -> Symbol {
+    Symbol::intern("a")
+}
+
+fn string_ty() -> Type {
+    // String stands in as a bare lifted constructor for signature display.
+    Type::con0(&Rc::new(TyCon::lifted("String")))
+}
+
+/// One of the six previously-special-cased functions.
+#[derive(Clone, Debug)]
+pub struct SpecialFunction {
+    /// The function's name.
+    pub name: &'static str,
+    /// Its levity-polymorphic type, as §8.1 generalizes it.
+    pub ty: Type,
+    /// How GHC used to handle it before levity polymorphism.
+    pub old_treatment: &'static str,
+}
+
+/// Builds the list of six (§8.1, footnote 15).
+pub fn special_functions() -> Vec<SpecialFunction> {
+    let lifted_a = |body: Type| Type::forall_ty(a(), Kind::TYPE, body);
+    let poly = |body: Type| {
+        Type::forall_rep(r(), Type::forall_ty(a(), Kind::of_rep_var(r()), body))
+    };
+    vec![
+        SpecialFunction {
+            name: "error",
+            ty: poly(Type::fun(string_ty(), Type::Var(a()))),
+            old_treatment: "magical OpenKind type (section 3.3)",
+        },
+        SpecialFunction {
+            name: "errorWithoutStackTrace",
+            ty: poly(Type::fun(string_ty(), Type::Var(a()))),
+            old_treatment: "magical OpenKind type",
+        },
+        SpecialFunction {
+            name: "undefined",
+            // base's real shape: the HasCallStack constraint makes the
+            // body an arrow, so the quantified rep variable does not
+            // escape into the kind (T_ALLREP's side condition).
+            ty: poly(Type::fun(
+                Type::Dict(Symbol::intern("HasCallStack"), Box::new(string_ty())),
+                Type::Var(a()),
+            )),
+            old_treatment: "magical OpenKind type for bottom",
+        },
+        SpecialFunction {
+            name: "oneShot",
+            ty: {
+                // oneShot :: forall r1 r2 (a :: TYPE r1) (b :: TYPE r2).
+                //            (a -> b) -> a -> b
+                let r1 = Symbol::intern("r1");
+                let r2 = Symbol::intern("r2");
+                let b = Symbol::intern("b");
+                Type::forall_rep(
+                    r1,
+                    Type::forall_rep(
+                        r2,
+                        Type::forall_ty(
+                            a(),
+                            Kind::of_rep_var(r1),
+                            Type::forall_ty(
+                                b,
+                                Kind::of_rep_var(r2),
+                                Type::fun(
+                                    Type::fun(Type::Var(a()), Type::Var(b)),
+                                    Type::fun(Type::Var(a()), Type::Var(b)),
+                                ),
+                            ),
+                        ),
+                    ),
+                )
+            },
+            old_treatment: "special-cased arity annotation primitive",
+        },
+        SpecialFunction {
+            name: "runRW#",
+            ty: {
+                // runRW# :: forall (r :: Rep) (o :: TYPE r).
+                //           (State# RealWorld -> o) -> o
+                let o = Symbol::intern("o");
+                let state_ty = Type::con0(&Rc::new(TyCon::of_rep(
+                    "State#RealWorld",
+                    levity_core::rep::Rep::Tuple(vec![]),
+                )));
+                Type::forall_rep(
+                    r(),
+                    Type::forall_ty(
+                        o,
+                        Kind::of_rep_var(r()),
+                        Type::fun(Type::fun(state_ty, Type::Var(o)), Type::Var(o)),
+                    ),
+                )
+            },
+            old_treatment: "special-cased IO primitive",
+        },
+        SpecialFunction {
+            name: "($)",
+            ty: {
+                let b = Symbol::intern("b");
+                Type::forall_rep(
+                    r(),
+                    lifted_a(Type::forall_ty(
+                        b,
+                        Kind::of_rep_var(r()),
+                        Type::fun(
+                            Type::fun(Type::Var(a()), Type::Var(b)),
+                            Type::fun(Type::Var(a()), Type::Var(b)),
+                        ),
+                    )),
+                )
+            },
+            old_treatment: "special case in the type checker (section 7.2)",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levity_core::pretty::PrintOptions;
+    use levity_ir::typecheck::{kind_of, Scope, TypeEnv};
+
+    #[test]
+    fn there_are_exactly_six() {
+        // §8.1 footnote 15 lists error, errorWithoutStackTrace, ⊥,
+        // oneShot, runRW#, and ($).
+        assert_eq!(special_functions().len(), 6);
+    }
+
+    #[test]
+    fn all_six_types_are_well_kinded() {
+        let env = TypeEnv::new();
+        for f in special_functions() {
+            let k = kind_of(&env, &mut Scope::new(), &f.ty)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.name));
+            assert!(k.classifies_values(), "{}: kind {k}", f.name);
+        }
+    }
+
+    #[test]
+    fn all_six_are_levity_polymorphic() {
+        for f in special_functions() {
+            assert!(
+                matches!(f.ty, Type::ForallRep(..)),
+                "{} should quantify over a Rep",
+                f.name
+            );
+        }
+    }
+
+    #[test]
+    fn dollar_prints_simply_by_default() {
+        // The §8.1 pretty-printing policy demo on the real signature.
+        let dollar = special_functions().into_iter().find(|f| f.name == "($)").unwrap();
+        assert_eq!(
+            dollar.ty.display_with(&PrintOptions::default()),
+            "forall a b. (a -> b) -> a -> b"
+        );
+        assert_eq!(
+            dollar.ty.display_with(&PrintOptions::explicit()),
+            "forall (r :: Rep) a (b :: TYPE r). (a -> b) -> a -> b"
+        );
+    }
+
+    #[test]
+    fn undefined_is_a_bare_levity_polymorphic_value() {
+        // ⊥ :: forall (r :: Rep) (a :: TYPE r). a — fine as a *result*,
+        // exactly the §3.3 shape.
+        let u = special_functions().into_iter().find(|f| f.name == "undefined").unwrap();
+        assert_eq!(
+            u.ty.display_with(&PrintOptions::explicit()),
+            "forall (r :: Rep) (a :: TYPE r). HasCallStack String -> a"
+        );
+    }
+}

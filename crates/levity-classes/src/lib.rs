@@ -1,0 +1,36 @@
+//! The §8.1 study: which of GHC's standard-library classes can be
+//! levity-generalized?
+//!
+//! The paper reports: "We have identified 34 of the 76 classes in GHC's
+//! base and ghc-prim packages (two key components of GHC's standard
+//! library) that can be levity-generalized." This crate reproduces that
+//! study:
+//!
+//! * [`analysis`] — the decision procedure, derived from the §5.1
+//!   restrictions: a class generalizes when its methods never store or
+//!   bind a value of the class type at an unknown representation;
+//! * [`mod@corpus`] — the 76 classes with their (abbreviated) method
+//!   signatures, and the study runner producing the per-class table;
+//! * [`functions`] — the six previously-special-cased functions
+//!   (`error`, `errorWithoutStackTrace`, ⊥, `oneShot`, `runRW#`, `($)`)
+//!   with their now-ordinary levity-polymorphic types.
+//!
+//! # Example
+//!
+//! ```
+//! use levity_classes::corpus::{run_study, study_counts};
+//!
+//! let rows = run_study();
+//! let (generalizable, total) = study_counts(&rows);
+//! assert_eq!((generalizable, total), (34, 76)); // the §8.1 headline
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod corpus;
+pub mod functions;
+
+pub use analysis::{analyze, Blocker, CorpusClass, CTy, VarShape, Verdict};
+pub use corpus::{corpus, render_table, run_study, study_counts, CorpusRow};
+pub use functions::{special_functions, SpecialFunction};

@@ -1,0 +1,470 @@
+//! The compilation judgment `⟦e⟧ᵥΓ ↝ t` of Figure 7.
+//!
+//! Compilation is type-directed and *partial*: it consults the kind of
+//! every λ-binder and of every application argument to pick a register
+//! class, and fails — [`CompileError::AbstractRepresentation`] — when the
+//! kind is `TYPE r` for a representation variable. The Compilation
+//! theorem (§6.3) says this failure can never happen for a *well-typed*
+//! `L` expression; the property tests in this crate check exactly that.
+//!
+//! Rule by rule:
+//!
+//! | Figure 7 | Behaviour |
+//! |---|---|
+//! | C_VAR | look the variable up in `V` |
+//! | C_APPLAZY | `⟦e₁ e₂⟧ ↝ let p = t₂ in t₁ p` when the argument is pointer-kinded |
+//! | C_APPINT | `⟦e₁ e₂⟧ ↝ let! i = t₂ in t₁ i` when it is integer-kinded |
+//! | C_CON | `⟦I#[e]⟧ ↝ let! i = t in I#[i]` |
+//! | C_LAMPTR / C_LAMINT | `λx:τ. e ↝ λp.t` / `λi.t` by the kind of `τ` |
+//! | C_TLAM / C_TAPP / C_RLAM / C_RAPP | erased — types leave no residue |
+//! | C_CASE | `case` compiles to the machine `case` |
+//! | C_INTLIT / C_ERROR | literal / `error` |
+
+use std::fmt;
+use std::rc::Rc;
+
+use levity_core::symbol::{NameSupply, Symbol};
+
+use levity_l::ctx::Ctx;
+use levity_l::syntax::{ConcreteRep, Expr, Ty};
+use levity_l::typecheck::{ty_kind, type_of, TypeError};
+use levity_m::syntax::{Atom, Binder, Literal, MExpr};
+
+/// Why compilation failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input was ill-typed; compilation consults the type system and
+    /// inherits its failures.
+    Type(TypeError),
+    /// The code generator needed a concrete representation and found a
+    /// representation variable. The §5.1 restrictions (E_APP/E_LAM's
+    /// highlighted premises) exist precisely to rule this out, and the
+    /// Compilation theorem guarantees it never fires on well-typed input.
+    AbstractRepresentation {
+        /// Where the abstract representation was encountered.
+        site: AbstractSite,
+        /// The offending type.
+        ty: Ty,
+    },
+}
+
+/// The two places code generation must know a width (§5.1's two
+/// restrictions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbstractSite {
+    /// A λ-binder (restriction 1: no levity-polymorphic binders).
+    Binder,
+    /// A function argument (restriction 2: no levity-polymorphic
+    /// arguments).
+    Argument,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Type(e) => write!(f, "cannot compile ill-typed expression: {e}"),
+            CompileError::AbstractRepresentation { site, ty } => {
+                let where_ = match site {
+                    AbstractSite::Binder => "binder",
+                    AbstractSite::Argument => "function argument",
+                };
+                write!(
+                    f,
+                    "cannot compile: {where_} has levity-polymorphic type `{ty}` — no register class is known for it"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<TypeError> for CompileError {
+    fn from(e: TypeError) -> CompileError {
+        CompileError::Type(e)
+    }
+}
+
+/// The variable environment `V` of Figure 7: maps `L` term variables to
+/// `M` binders (name + register class).
+#[derive(Clone, Debug, Default)]
+pub struct VarEnv {
+    entries: Vec<(Symbol, Binder)>,
+}
+
+impl VarEnv {
+    /// An empty environment.
+    pub fn new() -> VarEnv {
+        VarEnv::default()
+    }
+
+    fn lookup(&self, x: Symbol) -> Option<Binder> {
+        self.entries.iter().rev().find(|(y, _)| *y == x).map(|(_, b)| *b)
+    }
+
+    fn push(&mut self, x: Symbol, binder: Binder) {
+        self.entries.push((x, binder));
+    }
+
+    fn pop(&mut self) {
+        self.entries.pop();
+    }
+}
+
+/// The concrete register class of an `L` type, per its kind.
+fn class_of(
+    ctx: &mut Ctx,
+    ty: &Ty,
+    site: AbstractSite,
+) -> Result<ConcreteRep, CompileError> {
+    let kind = ty_kind(ctx, ty)?;
+    kind.0
+        .as_concrete()
+        .ok_or_else(|| CompileError::AbstractRepresentation { site, ty: ty.clone() })
+}
+
+fn binder_for(rep: ConcreteRep, name: Symbol) -> Binder {
+    match rep {
+        ConcreteRep::P => Binder::ptr(name),
+        ConcreteRep::I => Binder::int(name),
+    }
+}
+
+/// Compiles an `L` expression under a context and variable environment
+/// (the judgment `⟦e⟧ᵥΓ ↝ t`).
+///
+/// # Errors
+///
+/// Fails on ill-typed input or — the interesting case — on
+/// levity-polymorphic binders/arguments ([`CompileError::AbstractRepresentation`]).
+pub fn compile(
+    ctx: &mut Ctx,
+    env: &mut VarEnv,
+    supply: &mut NameSupply,
+    e: &Expr,
+) -> Result<Rc<MExpr>, CompileError> {
+    match e {
+        // C_VAR
+        Expr::Var(x) => {
+            let binder = env
+                .lookup(*x)
+                .ok_or(CompileError::Type(TypeError::UnboundVar(*x)))?;
+            Ok(MExpr::var(binder.name))
+        }
+        // C_INTLIT
+        Expr::Lit(n) => Ok(MExpr::int(*n)),
+        // C_ERROR
+        Expr::Error => Ok(MExpr::error("error")),
+        // C_APPLAZY / C_APPINT, by the kind of the argument type.
+        Expr::App(e1, e2) => {
+            let arg_ty = type_of(ctx, e2)?;
+            let rep = class_of(ctx, &arg_ty, AbstractSite::Argument)?;
+            let t1 = compile(ctx, env, supply, e1)?;
+            let t2 = compile(ctx, env, supply, e2)?;
+            match rep {
+                ConcreteRep::P => {
+                    let p = supply.fresh("p");
+                    Ok(MExpr::let_lazy(p, t2, MExpr::app(t1, Atom::Var(p))))
+                }
+                ConcreteRep::I => {
+                    let i = supply.fresh("i");
+                    Ok(MExpr::let_strict(
+                        Binder::int(i),
+                        t2,
+                        MExpr::app(t1, Atom::Var(i)),
+                    ))
+                }
+            }
+        }
+        // C_LAMPTR / C_LAMINT
+        Expr::Lam(x, ty, body) => {
+            let rep = class_of(ctx, ty, AbstractSite::Binder)?;
+            let name = supply.fresh(match rep {
+                ConcreteRep::P => "p",
+                ConcreteRep::I => "i",
+            });
+            let binder = binder_for(rep, name);
+            env.push(*x, binder);
+            ctx.push_term(*x, ty.clone());
+            let t = compile(ctx, env, supply, body);
+            ctx.pop();
+            env.pop();
+            Ok(MExpr::lam(binder, t?))
+        }
+        // C_CON: strict in the Int# field.
+        Expr::Con(inner) => {
+            let t = compile(ctx, env, supply, inner)?;
+            let i = supply.fresh("i");
+            Ok(MExpr::let_strict(
+                Binder::int(i),
+                t,
+                MExpr::con_int_hash(Atom::Var(i)),
+            ))
+        }
+        // C_TLAM / C_RLAM: type and representation abstractions are erased.
+        Expr::TyLam(alpha, kind, body) => {
+            ctx.push_ty_var(*alpha, *kind);
+            let t = compile(ctx, env, supply, body);
+            ctx.pop();
+            t
+        }
+        Expr::RepLam(r, body) => {
+            ctx.push_rep_var(*r);
+            let t = compile(ctx, env, supply, body);
+            ctx.pop();
+            t
+        }
+        // C_TAPP / C_RAPP: likewise erased.
+        Expr::TyApp(fun, _) | Expr::RepApp(fun, _) => compile(ctx, env, supply, fun),
+        // C_CASE
+        Expr::Case(scrut, x, body) => {
+            let t1 = compile(ctx, env, supply, scrut)?;
+            let i = supply.fresh("i");
+            let binder = Binder::int(i);
+            env.push(*x, binder);
+            ctx.push_term(*x, Ty::IntHash);
+            let t2 = compile(ctx, env, supply, body);
+            ctx.pop();
+            env.pop();
+            Ok(MExpr::case_int_hash(t1, i, t2?))
+        }
+    }
+}
+
+/// Compiles a closed `L` expression.
+///
+/// # Errors
+///
+/// See [`compile`].
+///
+/// # Examples
+///
+/// ```
+/// use levity_compile::figure7::compile_closed;
+/// use levity_l::syntax::{Expr, Ty};
+///
+/// // \(x : Int#). x compiles to \i. i — an integer-register function.
+/// let t = compile_closed(&Expr::lam("x", Ty::IntHash, Expr::Var("x".into())))?;
+/// assert!(t.to_string().starts_with("\\i$0:word"));
+/// # Ok::<(), levity_compile::figure7::CompileError>(())
+/// ```
+pub fn compile_closed(e: &Expr) -> Result<Rc<MExpr>, CompileError> {
+    compile(&mut Ctx::new(), &mut VarEnv::new(), &mut NameSupply::new(), e)
+}
+
+/// The observable behaviour shared by `L` and `M` programs, used to state
+/// the Simulation theorem operationally.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Observable {
+    /// An unboxed integer result.
+    Int(i64),
+    /// A boxed integer result `I#[n]`.
+    BoxedInt(i64),
+    /// A function value (compared no further).
+    Function,
+    /// The machine aborted (⊥ / rule ERR).
+    Bottom,
+}
+
+impl Observable {
+    /// The observable of a final `L` outcome. `Λ`-wrappers are erased, so
+    /// they are stripped before observing.
+    pub fn of_l_outcome(out: &levity_l::step::Outcome) -> Option<Observable> {
+        match out {
+            levity_l::step::Outcome::Bottom => Some(Observable::Bottom),
+            levity_l::step::Outcome::Value(v) => {
+                let mut v = v;
+                loop {
+                    match v {
+                        Expr::TyLam(_, _, body) | Expr::RepLam(_, body) => v = body,
+                        Expr::Lit(n) => return Some(Observable::Int(*n)),
+                        Expr::Con(inner) => match &**inner {
+                            Expr::Lit(n) => return Some(Observable::BoxedInt(*n)),
+                            _ => return None,
+                        },
+                        Expr::Lam(..) => return Some(Observable::Function),
+                        _ => return None,
+                    }
+                }
+            }
+            levity_l::step::Outcome::OutOfFuel(_) => None,
+        }
+    }
+
+    /// The observable of a final `M` outcome.
+    pub fn of_m_outcome(out: &levity_m::machine::RunOutcome) -> Option<Observable> {
+        use levity_m::machine::{RunOutcome, Value};
+        match out {
+            RunOutcome::Error(_) => Some(Observable::Bottom),
+            RunOutcome::Value(v) => match v {
+                Value::Lit(Literal::Int(n)) => Some(Observable::Int(*n)),
+                Value::Con(..) => v.as_boxed_int().map(Observable::BoxedInt),
+                Value::Lam(..) => Some(Observable::Function),
+                _ => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levity_l::examples;
+    use levity_l::syntax::{LKind, Rho};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn c_var_and_c_lam_pick_register_classes() {
+        let t = compile_closed(&Expr::lam("x", Ty::Int, Expr::Var(sym("x")))).unwrap();
+        match &*t {
+            MExpr::Lam(b, _) => assert_eq!(b.class, levity_core::rep::Slot::Ptr),
+            other => panic!("expected lambda, got {other}"),
+        }
+        let t = compile_closed(&Expr::lam("x", Ty::IntHash, Expr::Var(sym("x")))).unwrap();
+        match &*t {
+            MExpr::Lam(b, _) => assert_eq!(b.class, levity_core::rep::Slot::Word),
+            other => panic!("expected lambda, got {other}"),
+        }
+    }
+
+    #[test]
+    fn c_applazy_builds_a_lazy_let() {
+        // (λx:Int. x) (I#[1]) — pointer-kinded argument.
+        let e = Expr::app(
+            Expr::lam("x", Ty::Int, Expr::Var(sym("x"))),
+            Expr::con(Expr::Lit(1)),
+        );
+        let t = compile_closed(&e).unwrap();
+        assert!(matches!(&*t, MExpr::LetLazy(..)), "got {t}");
+    }
+
+    #[test]
+    fn c_appint_builds_a_strict_let() {
+        // (λx:Int#. x) 1 — integer-kinded argument.
+        let e = Expr::app(Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))), Expr::Lit(1));
+        let t = compile_closed(&e).unwrap();
+        assert!(matches!(&*t, MExpr::LetStrict(..)), "got {t}");
+    }
+
+    #[test]
+    fn type_and_rep_forms_are_erased() {
+        // (Λα:TYPE P. λx:α. x) [Int] compiles exactly like λx:Int. x,
+        // modulo fresh names.
+        let poly = Expr::ty_app(examples::poly_id(LKind::P), Ty::Int);
+        let t = compile_closed(&poly).unwrap();
+        assert!(matches!(&*t, MExpr::Lam(b, _) if b.class == levity_core::rep::Slot::Ptr));
+
+        let my_err = examples::my_error();
+        let t = compile_closed(&my_err).unwrap();
+        // Λr. Λa. λs. error … ↝ λp. (erased) error applied lazily.
+        assert!(matches!(&*t, MExpr::Lam(b, _) if b.class == levity_core::rep::Slot::Ptr));
+    }
+
+    #[test]
+    fn levity_polymorphic_binder_fails_with_abstract_rep() {
+        // Skip the type checker and go straight to the code generator:
+        // compilation itself must detect the abstract representation.
+        let bad = examples::b_twice_levity_polymorphic();
+        let err = compile_closed(&bad).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CompileError::AbstractRepresentation { site: AbstractSite::Binder, .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn levity_polymorphic_argument_fails_with_abstract_rep() {
+        // Λr. Λa:TYPE r. λf:(a -> Int). λg:(Int -> a). λx:Int. f (g x)
+        // The application (g x) has a levity-polymorphic result which is
+        // then passed to f: restriction 2.
+        let e = Expr::rep_lam(
+            "r",
+            Expr::ty_lam(
+                "a",
+                LKind::var(sym("r")),
+                Expr::lam(
+                    "f",
+                    Ty::arrow(Ty::Var(sym("a")), Ty::Int),
+                    Expr::lam(
+                        "g",
+                        Ty::arrow(Ty::Int, Ty::Var(sym("a"))),
+                        Expr::lam(
+                            "x",
+                            Ty::Int,
+                            Expr::app(
+                                Expr::Var(sym("f")),
+                                Expr::app(Expr::Var(sym("g")), Expr::Var(sym("x"))),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        );
+        let err = compile_closed(&e).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CompileError::AbstractRepresentation { site: AbstractSite::Argument, .. }
+            ),
+            "got {err}"
+        );
+    }
+
+    #[test]
+    fn compiled_code_runs_on_the_machine() {
+        use levity_m::machine::Machine;
+        // case (I#[20]) of I#[x] -> I#[x] — ends as a boxed int.
+        let e = Expr::case(
+            Expr::con(Expr::Lit(20)),
+            "x",
+            Expr::con(Expr::Var(sym("x"))),
+        );
+        let t = compile_closed(&e).unwrap();
+        let out = Machine::new().run(t).unwrap();
+        assert_eq!(Observable::of_m_outcome(&out), Some(Observable::BoxedInt(20)));
+    }
+
+    #[test]
+    fn compiled_error_aborts() {
+        use levity_m::machine::Machine;
+        // error {I} [Int#] (I#[0]) — after erasure: lazy application of
+        // error to a boxed argument; evaluating error aborts.
+        let e = Expr::app(
+            Expr::ty_app(Expr::rep_app(Expr::Error, Rho::I), Ty::IntHash),
+            Expr::con(Expr::Lit(0)),
+        );
+        let t = compile_closed(&e).unwrap();
+        let out = Machine::new().run(t).unwrap();
+        assert_eq!(Observable::of_m_outcome(&out), Some(Observable::Bottom));
+    }
+
+    #[test]
+    fn dollar_compiles_and_runs_at_unboxed_result() {
+        use levity_m::machine::Machine;
+        // ($) {I} [Int] [Int#] (λn. case n of I#[k] -> k) (I#[3]) ⇓ 3#
+        let unbox = Expr::lam(
+            "n",
+            Ty::Int,
+            Expr::case(Expr::Var(sym("n")), "k", Expr::Var(sym("k"))),
+        );
+        let e = Expr::app(
+            Expr::app(
+                Expr::ty_app(
+                    Expr::ty_app(Expr::rep_app(examples::dollar(), Rho::I), Ty::Int),
+                    Ty::IntHash,
+                ),
+                unbox,
+            ),
+            Expr::con(Expr::Lit(3)),
+        );
+        let t = compile_closed(&e).unwrap();
+        let out = Machine::new().run(t).unwrap();
+        assert_eq!(Observable::of_m_outcome(&out), Some(Observable::Int(3)));
+    }
+}

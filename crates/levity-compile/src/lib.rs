@@ -1,0 +1,39 @@
+//! Compilation from the **L** calculus to the **M** machine (PLDI 2017,
+//! §6.3, Figure 7) and executable statements of the §6 theorems.
+//!
+//! The compilation judgment `⟦e⟧ᵥΓ ↝ t` is *type-directed*: the kind of
+//! every argument chooses between lazy and strict `let`s, and the kind of
+//! every binder chooses its register class. It is also *partial*: it
+//! cannot compile a levity-polymorphic binder or argument. The `L` type
+//! system rules those out (the highlighted premises in Figure 3), and the
+//! Compilation theorem — checked here as a property test over thousands
+//! of generated well-typed terms — says the two line up exactly.
+//!
+//! * [`figure7`] — the compiler and its failure modes;
+//! * [`metatheory`] — Preservation, Progress, Compilation and Simulation
+//!   as runnable checks.
+//!
+//! # Example
+//!
+//! ```
+//! use levity_compile::figure7::{compile_closed, CompileError};
+//! use levity_l::examples;
+//!
+//! // Well-typed levity polymorphism compiles (type/rep forms erase):
+//! assert!(compile_closed(&examples::my_error()).is_ok());
+//!
+//! // The un-compilable bTwice fails in the code generator with an
+//! // abstract-representation error — exactly what §5.1's restrictions
+//! // (and L's type system) exist to prevent:
+//! let err = compile_closed(&examples::b_twice_levity_polymorphic()).unwrap_err();
+//! assert!(matches!(err, CompileError::AbstractRepresentation { .. }));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod figure7;
+pub mod lower;
+pub mod metatheory;
+
+pub use figure7::{compile, compile_closed, AbstractSite, CompileError, Observable, VarEnv};
+pub use lower::{lower_expr, lower_program, Lowerer, LowerError};

@@ -1,0 +1,218 @@
+//! Executable versions of the §6 theorems.
+//!
+//! The paper proves four theorems about `L`, `M` and the compilation
+//! between them. We cannot run proofs, but each theorem is universally
+//! quantified over well-typed terms, so we check them over large samples
+//! from [`levity_l::gen`]:
+//!
+//! * **Preservation** — if `Γ ⊢ e : τ` and `e → e'` then `Γ ⊢ e' : τ`;
+//! * **Progress** — a closed well-typed `e` is a value or steps (or ⊥);
+//! * **Compilation** — a well-typed `e` always compiles (`⟦e⟧ ↝ t`);
+//! * **Simulation** — compiling every element of `e`'s reduction sequence
+//!   and running each on the `M` machine yields one and the same
+//!   observable, which is also `L`'s own observable. (This is the
+//!   operational consequence of the paper's `t ⇔ t'` joinability
+//!   statement, checked end-to-end on the empty stack and heap.)
+
+use levity_l::ctx::Ctx;
+use levity_l::step::{step, Outcome, Step};
+use levity_l::subst::alpha_eq_ty;
+use levity_l::syntax::Expr;
+use levity_l::typecheck::type_of;
+use levity_m::machine::{Machine, MachineError};
+
+use crate::figure7::{compile_closed, Observable};
+
+/// Default per-term fuel for `L` reduction sequences (terms are small and
+/// `L` has no recursion, so traces are short).
+pub const L_FUEL: usize = 4_000;
+
+/// Default fuel for each `M` machine run.
+pub const M_FUEL: u64 = 2_000_000;
+
+/// What one term contributed to the metatheory evidence.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Evidence {
+    /// Steps in the `L` reduction sequence.
+    pub l_steps: usize,
+    /// Whether the term ended in ⊥.
+    pub hit_bottom: bool,
+    /// Machine runs performed for the simulation check.
+    pub m_runs: usize,
+}
+
+/// Checks Preservation and Progress along the full reduction sequence of
+/// a closed, well-typed expression, returning the final outcome and the
+/// trace of intermediate expressions (including the start, excluding the
+/// final value itself only if the term diverged).
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first theorem violation.
+pub fn check_preservation_progress(e: &Expr) -> Result<(Outcome, Vec<Expr>), String> {
+    let mut ctx = Ctx::new();
+    let original_ty =
+        type_of(&mut ctx, e).map_err(|err| format!("input ill-typed: {err}"))?;
+    let mut trace = vec![e.clone()];
+    let mut current = e.clone();
+    for _ in 0..L_FUEL {
+        // Progress: a well-typed non-value must step or abort.
+        let next = match step(&mut Ctx::new(), &current) {
+            Ok(Step::Value) => return Ok((Outcome::Value(current), trace)),
+            Ok(Step::Bottom) => return Ok((Outcome::Bottom, trace)),
+            Ok(Step::To(next)) => next,
+            Err(err) => {
+                return Err(format!(
+                    "progress violated: well-typed term got stuck: {current}\n  ({err})"
+                ))
+            }
+        };
+        // Preservation: the type must be unchanged (up to α).
+        let next_ty = type_of(&mut Ctx::new(), &next)
+            .map_err(|err| format!("preservation violated: step produced ill-typed term: {next}\n  ({err})"))?;
+        if !alpha_eq_ty(&next_ty, &original_ty) {
+            return Err(format!(
+                "preservation violated: type changed from `{original_ty}` to `{next_ty}` at {next}"
+            ));
+        }
+        trace.push(next.clone());
+        current = next;
+    }
+    Err(format!("term failed to terminate within {L_FUEL} steps: {current}"))
+}
+
+/// Checks the Compilation theorem for one term: well-typed ⇒ compiles.
+///
+/// # Errors
+///
+/// Describes the compilation failure, which would be a counterexample.
+pub fn check_compilation(e: &Expr) -> Result<(), String> {
+    let mut ctx = Ctx::new();
+    type_of(&mut ctx, e).map_err(|err| format!("input ill-typed: {err}"))?;
+    compile_closed(e).map_err(|err| {
+        format!("compilation theorem violated: well-typed term failed to compile: {e}\n  ({err})")
+    })?;
+    Ok(())
+}
+
+/// Checks the Simulation theorem for one term, end to end: every
+/// expression in the `L` reduction sequence, compiled and run on the `M`
+/// machine, produces the same observable as `L` itself.
+///
+/// # Errors
+///
+/// Describes the first divergence between `L` and `M` behaviour.
+pub fn check_simulation(e: &Expr) -> Result<Evidence, String> {
+    let (outcome, trace) = check_preservation_progress(e)?;
+    let expected = Observable::of_l_outcome(&outcome)
+        .ok_or_else(|| format!("L outcome not observable for {e}"))?;
+    let mut evidence =
+        Evidence { l_steps: trace.len() - 1, hit_bottom: expected == Observable::Bottom, m_runs: 0 };
+    for (i, ei) in trace.iter().enumerate() {
+        let t = compile_closed(ei).map_err(|err| {
+            format!("simulation: trace element #{i} failed to compile: {ei}\n  ({err})")
+        })?;
+        let mut machine = Machine::new();
+        machine.set_fuel(M_FUEL);
+        let out = match machine.run(t) {
+            Ok(out) => out,
+            Err(MachineError::OutOfFuel { .. }) => {
+                return Err(format!("simulation: machine ran out of fuel on trace element #{i}"))
+            }
+            Err(err) => {
+                return Err(format!(
+                    "simulation: machine failure on trace element #{i}: {err}\n  source: {ei}"
+                ))
+            }
+        };
+        let got = Observable::of_m_outcome(&out)
+            .ok_or_else(|| format!("simulation: M outcome not observable on element #{i}"))?;
+        if got != expected {
+            return Err(format!(
+                "simulation violated at trace element #{i}:\n  L observable: {expected:?}\n  M observable: {got:?}\n  source: {ei}"
+            ));
+        }
+        evidence.m_runs += 1;
+    }
+    Ok(evidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levity_l::examples;
+    use levity_l::gen::{GenConfig, Generator};
+    use levity_l::syntax::{LKind, Rho, Ty};
+
+    #[test]
+    fn theorems_hold_on_canonical_examples() {
+        let unbox = Expr::lam(
+            "n",
+            Ty::Int,
+            Expr::case(Expr::Var("n".into()), "k", Expr::Var("k".into())),
+        );
+        let dollar_use = Expr::app(
+            Expr::app(
+                Expr::ty_app(
+                    Expr::ty_app(Expr::rep_app(examples::dollar(), Rho::I), Ty::Int),
+                    Ty::IntHash,
+                ),
+                unbox,
+            ),
+            Expr::con(Expr::Lit(3)),
+        );
+        for e in [
+            examples::poly_id(LKind::P),
+            examples::poly_id(LKind::I),
+            examples::my_error(),
+            examples::dollar(),
+            examples::compose(),
+            dollar_use,
+        ] {
+            check_compilation(&e).unwrap();
+            check_simulation(&e).unwrap();
+        }
+    }
+
+    #[test]
+    fn theorems_hold_on_random_terms() {
+        let mut generator = Generator::new(0x5EED, GenConfig::default());
+        let mut bottoms = 0usize;
+        for _ in 0..300 {
+            let (e, _ty) = generator.generate();
+            check_compilation(&e).unwrap();
+            let evidence = check_simulation(&e).unwrap();
+            if evidence.hit_bottom {
+                bottoms += 1;
+            }
+        }
+        // The generator includes `error`, so some runs must exercise ⊥
+        // propagation — otherwise the test is weaker than intended.
+        assert!(bottoms > 0, "no generated term hit bottom; broaden the generator");
+    }
+
+    #[test]
+    fn theorems_hold_on_random_terms_without_error() {
+        let config = GenConfig { allow_error: false, ..GenConfig::default() };
+        let mut generator = Generator::new(0xFACE, config);
+        for _ in 0..200 {
+            let (e, _ty) = generator.generate();
+            check_simulation(&e).unwrap();
+        }
+    }
+
+    #[test]
+    fn preservation_reports_types_along_lazy_traces() {
+        // A term with a lazy β-redex whose argument is discarded.
+        let e = Expr::app(
+            Expr::lam("x", Ty::Int, Expr::con(Expr::Lit(1))),
+            Expr::app(
+                Expr::ty_app(Expr::rep_app(Expr::Error, Rho::P), Ty::Int),
+                Expr::con(Expr::Lit(0)),
+            ),
+        );
+        let (outcome, trace) = check_preservation_progress(&e).unwrap();
+        assert!(matches!(outcome, Outcome::Value(_)));
+        assert!(trace.len() >= 2);
+    }
+}

@@ -1,0 +1,243 @@
+//! Kinds: `TYPE ρ` and friends (§4.1, §4.4).
+//!
+//! In the paper's design only `TYPE` is primitive; `Type` is the synonym
+//! `TYPE LiftedRep`. Kinds classify types, and — the paper's slogan — *kinds
+//! are calling conventions*: the kind of a type determines the registers
+//! used for its values.
+//!
+//! Beyond `TYPE ρ` we need arrow kinds for type constructors (`Maybe ::
+//! Type -> Type`, `Array# :: Type -> TYPE UnliftedRep`, §7.1) and a kind
+//! for representation variables themselves (`r :: Rep`), since `Rep` is an
+//! ordinary datatype promoted to the kind level (§4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use levity_core::kind::Kind;
+//! use levity_core::rep::{Rep, RepTy};
+//!
+//! let ty = Kind::TYPE;                       // Type = TYPE LiftedRep
+//! assert_eq!(ty.to_string(), "Type");
+//!
+//! let int_hash = Kind::of_rep(Rep::Int);     // TYPE IntRep
+//! assert_eq!(int_hash.to_string(), "TYPE IntRep");
+//! assert!(int_hash.concrete_rep().is_some());
+//! ```
+
+use std::fmt;
+
+use crate::rep::{Rep, RepTy};
+use crate::symbol::Symbol;
+
+/// A kind.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// `TYPE ρ`: the kind of types whose values are represented per `ρ`.
+    Type(RepTy),
+    /// `κ₁ -> κ₂`: the kind of type constructors.
+    Arrow(Box<Kind>, Box<Kind>),
+    /// `Rep`: the kind of representation variables (`r :: Rep`). In the
+    /// paper's stratified calculus rep variables are a separate syntactic
+    /// class; in the full IR we follow GHC and give them this kind.
+    Rep,
+}
+
+impl Kind {
+    /// `Type`, i.e. `TYPE LiftedRep` — the kind of ordinary boxed, lifted
+    /// types.
+    pub const TYPE: Kind = Kind::Type(RepTy::LIFTED);
+
+    /// `TYPE ρ` for a concrete representation.
+    pub fn of_rep(rep: Rep) -> Kind {
+        Kind::Type(RepTy::Concrete(rep))
+    }
+
+    /// `TYPE r` for a representation variable.
+    pub fn of_rep_var(var: Symbol) -> Kind {
+        Kind::Type(RepTy::Var(var))
+    }
+
+    /// `κ₁ -> κ₂`.
+    pub fn arrow(from: Kind, to: Kind) -> Kind {
+        Kind::Arrow(Box::new(from), Box::new(to))
+    }
+
+    /// If this kind is `TYPE ρ` with `ρ` fully concrete, the concrete
+    /// representation. This is the question the code generator asks; a
+    /// `None` answer on a binder is exactly what the §5.1 restrictions
+    /// forbid.
+    pub fn concrete_rep(&self) -> Option<Rep> {
+        match self {
+            Kind::Type(rep) => rep.as_concrete(),
+            Kind::Arrow(..) | Kind::Rep => None,
+        }
+    }
+
+    /// Is this `TYPE ρ` for *some* ρ (concrete or not)? Only such kinds
+    /// classify types of values.
+    pub fn classifies_values(&self) -> bool {
+        matches!(self, Kind::Type(_))
+    }
+
+    /// Does this kind mention any representation variable? A binder whose
+    /// type has such a kind is levity-polymorphic and must be rejected
+    /// (§5.1 restriction 1).
+    pub fn is_levity_polymorphic(&self) -> bool {
+        match self {
+            Kind::Type(rep) => rep.has_vars(),
+            Kind::Arrow(a, b) => a.is_levity_polymorphic() || b.is_levity_polymorphic(),
+            Kind::Rep => false,
+        }
+    }
+
+    /// All representation variables free in this kind.
+    pub fn free_rep_vars(&self) -> Vec<Symbol> {
+        match self {
+            Kind::Type(rep) => rep.free_vars(),
+            Kind::Arrow(a, b) => {
+                let mut vars = a.free_rep_vars();
+                for v in b.free_rep_vars() {
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                vars
+            }
+            Kind::Rep => Vec::new(),
+        }
+    }
+
+    /// Substitutes a representation for a representation variable.
+    pub fn substitute_rep(&self, var: Symbol, rep: &RepTy) -> Kind {
+        match self {
+            Kind::Type(r) => Kind::Type(r.substitute(var, rep)),
+            Kind::Arrow(a, b) => {
+                Kind::arrow(a.substitute_rep(var, rep), b.substitute_rep(var, rep))
+            }
+            Kind::Rep => Kind::Rep,
+        }
+    }
+
+    /// The result kind after applying a constructor of this kind to one
+    /// argument, if it is an arrow.
+    pub fn apply_one(&self) -> Option<&Kind> {
+        match self {
+            Kind::Arrow(_, to) => Some(to),
+            _ => None,
+        }
+    }
+
+    /// Number of arguments before reaching a non-arrow kind.
+    pub fn arity(&self) -> usize {
+        let mut k = self;
+        let mut n = 0;
+        while let Kind::Arrow(_, to) = k {
+            n += 1;
+            k = to;
+        }
+        n
+    }
+}
+
+impl fmt::Display for Kind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Kind::Type(rep) if *rep == RepTy::LIFTED => f.write_str("Type"),
+            Kind::Type(rep) => write!(f, "TYPE {}", ParenRep(rep)),
+            Kind::Arrow(a, b) => {
+                if matches!(**a, Kind::Arrow(..)) {
+                    write!(f, "({a}) -> {b}")
+                } else {
+                    write!(f, "{a} -> {b}")
+                }
+            }
+            Kind::Rep => f.write_str("Rep"),
+        }
+    }
+}
+
+/// Wraps compound rep expressions in parentheses when shown after `TYPE`.
+struct ParenRep<'a>(&'a RepTy);
+
+impl fmt::Display for ParenRep<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            RepTy::Tuple(_) | RepTy::Sum(_) => write!(f, "({})", self.0),
+            RepTy::Concrete(Rep::Tuple(_) | Rep::Sum(_)) => write!(f, "({})", self.0),
+            _ => write!(f, "{}", self.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_is_type_lifted_rep() {
+        // "type Type = TYPE LiftedRep" (§4.1).
+        assert_eq!(Kind::TYPE, Kind::of_rep(Rep::Lifted));
+        assert_eq!(Kind::TYPE.concrete_rep(), Some(Rep::Lifted));
+    }
+
+    #[test]
+    fn display_sugar() {
+        assert_eq!(Kind::TYPE.to_string(), "Type");
+        assert_eq!(Kind::of_rep(Rep::Float).to_string(), "TYPE FloatRep");
+        assert_eq!(
+            Kind::of_rep(Rep::Tuple(vec![Rep::Int, Rep::Lifted])).to_string(),
+            "TYPE (TupleRep '[IntRep, LiftedRep])"
+        );
+        assert_eq!(Kind::arrow(Kind::TYPE, Kind::TYPE).to_string(), "Type -> Type");
+        assert_eq!(
+            Kind::arrow(Kind::arrow(Kind::TYPE, Kind::TYPE), Kind::TYPE).to_string(),
+            "(Type -> Type) -> Type"
+        );
+    }
+
+    #[test]
+    fn levity_polymorphic_kinds_are_detected() {
+        let r = Symbol::intern("r");
+        let k = Kind::of_rep_var(r);
+        assert!(k.is_levity_polymorphic());
+        assert_eq!(k.concrete_rep(), None);
+        assert_eq!(k.free_rep_vars(), vec![r]);
+
+        let mono = k.substitute_rep(r, &RepTy::Concrete(Rep::Int));
+        assert!(!mono.is_levity_polymorphic());
+        assert_eq!(mono.concrete_rep(), Some(Rep::Int));
+    }
+
+    #[test]
+    fn arrow_kinds_do_not_classify_values() {
+        let maybe = Kind::arrow(Kind::TYPE, Kind::TYPE);
+        assert!(!maybe.classifies_values());
+        assert_eq!(maybe.concrete_rep(), None);
+        assert_eq!(maybe.arity(), 1);
+    }
+
+    #[test]
+    fn array_hash_kind() {
+        // Array# :: Type -> TYPE UnliftedRep (§7.1).
+        let array = Kind::arrow(Kind::TYPE, Kind::of_rep(Rep::Unlifted));
+        assert_eq!(array.to_string(), "Type -> TYPE UnliftedRep");
+        assert_eq!(array.apply_one().unwrap().concrete_rep(), Some(Rep::Unlifted));
+    }
+
+    #[test]
+    fn rep_kind_is_not_levity_polymorphic() {
+        // `r :: Rep` itself is fine; footnote 9: the kind polymorphism in
+        // `forall k (a :: k). Proxy k -> Int` is fine because the kind of
+        // the *type* is Type.
+        assert!(!Kind::Rep.is_levity_polymorphic());
+    }
+
+    #[test]
+    fn substitution_in_arrow_kinds() {
+        let r = Symbol::intern("r");
+        let k = Kind::arrow(Kind::TYPE, Kind::of_rep_var(r));
+        assert!(k.is_levity_polymorphic());
+        let k2 = k.substitute_rep(r, &RepTy::Concrete(Rep::Unlifted));
+        assert_eq!(k2.to_string(), "Type -> TYPE UnliftedRep");
+    }
+}

@@ -1,0 +1,48 @@
+//! Foundations for the levity-polymorphism reproduction.
+//!
+//! This crate holds the vocabulary shared by every other crate in the
+//! workspace, reproducing the core definitions of *Levity Polymorphism*
+//! (Eisenberg & Peyton Jones, PLDI 2017):
+//!
+//! * [`rep`] — the `Rep` datatype of §4.1 (`LiftedRep`, `IntRep`,
+//!   `TupleRep [..]`, ...), representation expressions with variables, and
+//!   the flattening from representations to machine register [`rep::Slot`]s
+//!   ("kinds are calling conventions");
+//! * [`kind`] — kinds `TYPE ρ`, with `Type = TYPE LiftedRep` (§4.1, §4.4);
+//! * [`symbol`] — interned names and fresh-name supplies;
+//! * [`diag`] — spans and diagnostics, including stable error codes for the
+//!   two levity restrictions of §5.1;
+//! * [`pretty`] — a pretty printer and the `-fprint-explicit-runtime-reps`
+//!   policy of §8.1.
+//!
+//! # Example: kinds dictate calling conventions
+//!
+//! ```
+//! use levity_core::kind::Kind;
+//! use levity_core::rep::{Rep, Slot};
+//!
+//! // Int and Bool share a kind, hence a calling convention (§4.1)...
+//! let int_kind = Kind::TYPE;
+//! let bool_kind = Kind::TYPE;
+//! assert_eq!(int_kind, bool_kind);
+//! assert_eq!(int_kind.concrete_rep().unwrap().slots(), vec![Slot::Ptr]);
+//!
+//! // ...but Int# belongs to a different kind, with a different convention.
+//! let int_hash_kind = Kind::of_rep(Rep::Int);
+//! assert_ne!(int_kind, int_hash_kind);
+//! assert_eq!(int_hash_kind.concrete_rep().unwrap().slots(), vec![Slot::Word]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod kind;
+pub mod pretty;
+pub mod rep;
+pub mod symbol;
+
+pub use diag::{Diagnostic, Diagnostics, ErrorCode, Severity, Span};
+pub use kind::Kind;
+pub use pretty::{Doc, Pretty, PrintOptions};
+pub use rep::{Classification, Rep, RepTy, Slot};
+pub use symbol::{NameSupply, Symbol};

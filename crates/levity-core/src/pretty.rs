@@ -1,0 +1,295 @@
+//! A Wadler-style pretty printer, plus the printing policy of §8.1.
+//!
+//! The paper reports that, after `($)` was generalized to
+//!
+//! ```text
+//! ($) :: forall (r :: Rep) (a :: Type) (b :: TYPE r). (a -> b) -> a -> b
+//! ```
+//!
+//! users complained that the type was "far too complex" for beginners, so
+//! GHC *defaults all type variables of kind `Rep` to `LiftedRep` during
+//! pretty printing* unless `-fprint-explicit-runtime-reps` is given. That
+//! policy is captured here by [`PrintOptions::explicit_runtime_reps`];
+//! the actual defaulting of a printed type is implemented by the type
+//! printers in `levity-ir`, driven by these options.
+//!
+//! # Examples
+//!
+//! ```
+//! use levity_core::pretty::{Doc, PrintOptions};
+//!
+//! let doc = Doc::text("forall a.")
+//!     .append(Doc::line())
+//!     .append(Doc::text("a -> a"))
+//!     .group();
+//! assert_eq!(doc.render(80), "forall a. a -> a");
+//! assert_eq!(doc.render(10), "forall a.\na -> a");
+//! # let _ = PrintOptions::default();
+//! ```
+
+use std::fmt;
+use std::rc::Rc;
+
+/// Options controlling how types are rendered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrintOptions {
+    /// Target line width for the layout algorithm.
+    pub width: usize,
+    /// Mirror of GHC's `-fprint-explicit-runtime-reps` (§8.1): when
+    /// `false` (the default), type variables of kind `Rep` are defaulted
+    /// to `LiftedRep` before printing, so `($)` shows its beginner-friendly
+    /// type; when `true`, the full levity-polymorphic type is shown.
+    pub explicit_runtime_reps: bool,
+}
+
+impl Default for PrintOptions {
+    fn default() -> Self {
+        PrintOptions { width: 80, explicit_runtime_reps: false }
+    }
+}
+
+impl PrintOptions {
+    /// Options matching `-fprint-explicit-runtime-reps`.
+    pub fn explicit() -> Self {
+        PrintOptions { explicit_runtime_reps: true, ..PrintOptions::default() }
+    }
+}
+
+/// A pretty-printing document.
+///
+/// This is the classic algebra: documents are built with
+/// [`Doc::text`], [`Doc::line`], [`Doc::nest`], [`Doc::append`] and
+/// [`Doc::group`], then rendered to a width with [`Doc::render`]. A
+/// grouped document prints on one line if it fits, otherwise its lines
+/// break.
+#[derive(Clone, Debug)]
+pub struct Doc(Rc<DocNode>);
+
+#[derive(Debug)]
+enum DocNode {
+    Nil,
+    Text(String),
+    /// A newline that renders as `" "` when flattened by a group.
+    Line,
+    /// A newline that renders as `""` when flattened by a group.
+    SoftBreak,
+    Nest(isize, Doc),
+    Concat(Doc, Doc),
+    Group(Doc),
+}
+
+impl Doc {
+    /// The empty document.
+    pub fn nil() -> Doc {
+        Doc(Rc::new(DocNode::Nil))
+    }
+
+    /// A literal string (must not contain newlines).
+    pub fn text(s: impl Into<String>) -> Doc {
+        Doc(Rc::new(DocNode::Text(s.into())))
+    }
+
+    /// A line break, rendered as a single space when the enclosing group
+    /// fits on one line.
+    pub fn line() -> Doc {
+        Doc(Rc::new(DocNode::Line))
+    }
+
+    /// A line break, rendered as nothing when the enclosing group fits on
+    /// one line.
+    pub fn soft_break() -> Doc {
+        Doc(Rc::new(DocNode::SoftBreak))
+    }
+
+    /// Increases the indentation of line breaks inside `self` by `n`.
+    pub fn nest(self, n: isize) -> Doc {
+        Doc(Rc::new(DocNode::Nest(n, self)))
+    }
+
+    /// Concatenates two documents.
+    pub fn append(self, other: Doc) -> Doc {
+        Doc(Rc::new(DocNode::Concat(self, other)))
+    }
+
+    /// Marks `self` as a group: it prints on one line if it fits.
+    pub fn group(self) -> Doc {
+        Doc(Rc::new(DocNode::Group(self)))
+    }
+
+    /// Joins documents with a separator.
+    pub fn join(docs: impl IntoIterator<Item = Doc>, sep: Doc) -> Doc {
+        let mut out = Doc::nil();
+        for (i, d) in docs.into_iter().enumerate() {
+            if i > 0 {
+                out = out.append(sep.clone());
+            }
+            out = out.append(d);
+        }
+        out
+    }
+
+    /// Renders to a string targeting the given line width.
+    pub fn render(&self, width: usize) -> String {
+        let mut out = String::new();
+        let mut fits_cache = Vec::new();
+        let mut work = vec![(0isize, Mode::Break, self.clone())];
+        let mut column = 0usize;
+        while let Some((indent, mode, doc)) = work.pop() {
+            match &*doc.0 {
+                DocNode::Nil => {}
+                DocNode::Text(s) => {
+                    out.push_str(s);
+                    column += s.chars().count();
+                }
+                DocNode::Line => match mode {
+                    Mode::Flat => {
+                        out.push(' ');
+                        column += 1;
+                    }
+                    Mode::Break => {
+                        out.push('\n');
+                        for _ in 0..indent.max(0) {
+                            out.push(' ');
+                        }
+                        column = indent.max(0) as usize;
+                    }
+                },
+                DocNode::SoftBreak => match mode {
+                    Mode::Flat => {}
+                    Mode::Break => {
+                        out.push('\n');
+                        for _ in 0..indent.max(0) {
+                            out.push(' ');
+                        }
+                        column = indent.max(0) as usize;
+                    }
+                },
+                DocNode::Nest(n, inner) => {
+                    work.push((indent + n, mode, inner.clone()));
+                }
+                DocNode::Concat(a, b) => {
+                    work.push((indent, mode, b.clone()));
+                    work.push((indent, mode, a.clone()));
+                }
+                DocNode::Group(inner) => {
+                    fits_cache.clear();
+                    let chosen = if fits(width.saturating_sub(column), inner, &mut fits_cache) {
+                        Mode::Flat
+                    } else {
+                        Mode::Break
+                    };
+                    work.push((indent, chosen, inner.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Flat,
+    Break,
+}
+
+/// Would `doc`, rendered flat, fit in `budget` columns?
+fn fits(budget: usize, doc: &Doc, stack: &mut Vec<Doc>) -> bool {
+    stack.clear();
+    stack.push(doc.clone());
+    let mut remaining = budget as isize;
+    while let Some(d) = stack.pop() {
+        if remaining < 0 {
+            return false;
+        }
+        match &*d.0 {
+            DocNode::Nil => {}
+            DocNode::Text(s) => remaining -= s.chars().count() as isize,
+            DocNode::Line => remaining -= 1,
+            DocNode::SoftBreak => {}
+            DocNode::Nest(_, inner) | DocNode::Group(inner) => stack.push(inner.clone()),
+            DocNode::Concat(a, b) => {
+                stack.push(b.clone());
+                stack.push(a.clone());
+            }
+        }
+    }
+    remaining >= 0
+}
+
+impl fmt::Display for Doc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(80))
+    }
+}
+
+/// Things that can render themselves as a [`Doc`] under [`PrintOptions`].
+pub trait Pretty {
+    /// Builds the document for `self`.
+    fn pretty(&self, opts: &PrintOptions) -> Doc;
+
+    /// Convenience: render with the given options at their width.
+    fn render_pretty(&self, opts: &PrintOptions) -> String {
+        self.pretty(opts).render(opts.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_renders_verbatim() {
+        assert_eq!(Doc::text("hello").render(80), "hello");
+    }
+
+    #[test]
+    fn group_fits_on_one_line() {
+        let d = Doc::text("a").append(Doc::line()).append(Doc::text("b")).group();
+        assert_eq!(d.render(80), "a b");
+    }
+
+    #[test]
+    fn group_breaks_when_too_wide() {
+        let d = Doc::text("aaaa").append(Doc::line()).append(Doc::text("bbbb")).group();
+        assert_eq!(d.render(5), "aaaa\nbbbb");
+    }
+
+    #[test]
+    fn nesting_indents_broken_lines() {
+        let d = Doc::text("case x of")
+            .append(Doc::line().append(Doc::text("alt")).nest(2))
+            .group();
+        assert_eq!(d.render(5), "case x of\n  alt");
+    }
+
+    #[test]
+    fn soft_break_disappears_when_flat() {
+        let d = Doc::text("f").append(Doc::soft_break()).append(Doc::text("x")).group();
+        assert_eq!(d.render(80), "fx");
+        assert_eq!(d.render(1), "f\nx");
+    }
+
+    #[test]
+    fn join_inserts_separators() {
+        let d = Doc::join(
+            ["a", "b", "c"].into_iter().map(Doc::text),
+            Doc::text(", "),
+        );
+        assert_eq!(d.render(80), "a, b, c");
+    }
+
+    #[test]
+    fn default_options_hide_runtime_reps() {
+        // The §8.1 default: beginners see `($) :: (a -> b) -> a -> b`.
+        assert!(!PrintOptions::default().explicit_runtime_reps);
+        assert!(PrintOptions::explicit().explicit_runtime_reps);
+    }
+
+    #[test]
+    fn nested_groups_break_independently() {
+        let inner = Doc::text("bb").append(Doc::line()).append(Doc::text("cc")).group();
+        let outer = Doc::text("aaaaaa").append(Doc::line()).append(inner).group();
+        // Outer breaks; inner still fits on its own line.
+        assert_eq!(outer.render(8), "aaaaaa\nbb cc");
+    }
+}

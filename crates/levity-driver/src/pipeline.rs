@@ -1,0 +1,183 @@
+//! The end-to-end pipeline:
+//!
+//! ```text
+//! source ──parse──▶ surface AST ──elaborate──▶ Core (§5.2, §7.3)
+//!        ──lint──▶ checked Core ──levity-check──▶ (§5.1, "desugarer")
+//!        ──lower──▶ M globals ──run──▶ value + machine statistics
+//! ```
+//!
+//! Each stage's failures are reported separately so tests can pinpoint
+//! *where* a program is rejected — in particular, levity violations are
+//! distinguishable from ordinary type errors, mirroring GHC (§8.2).
+
+use std::fmt;
+use std::rc::Rc;
+
+use levity_core::diag::{Diagnostic, Diagnostics};
+use levity_core::pretty::PrintOptions;
+use levity_core::symbol::Symbol;
+
+use levity_compile::lower::{lower_program, LowerError};
+use levity_infer::elaborate::{elaborate_module, Elaborated};
+use levity_ir::levity::check_program_levity;
+use levity_ir::typecheck::CoreError;
+use levity_m::machine::{Globals, Machine, MachineError, MachineStats, RunOutcome};
+use levity_m::syntax::MExpr;
+use levity_surface::parser::parse_module;
+
+use crate::prelude::PRELUDE;
+
+/// Where the pipeline rejected a program.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Lexing/parsing failed.
+    Parse(Diagnostic),
+    /// Elaboration (scoping, type inference, class resolution) failed.
+    Elaborate(Diagnostics),
+    /// The generated Core failed the lint — a compiler bug if reached
+    /// from surface source.
+    CoreLint(Symbol, CoreError),
+    /// The §5.1 levity checks failed.
+    Levity(Diagnostics),
+    /// Lowering to `M` failed (unsupported construct).
+    Lower(LowerError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Parse(d) => write!(f, "parse error: {d}"),
+            PipelineError::Elaborate(ds) => {
+                write!(f, "elaboration failed:")?;
+                for d in ds {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            PipelineError::CoreLint(name, e) => {
+                write!(f, "core lint failed in `{name}`: {e}")
+            }
+            PipelineError::Levity(ds) => {
+                write!(f, "levity restrictions violated (section 5.1):")?;
+                for d in ds {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
+            PipelineError::Lower(e) => write!(f, "lowering failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl PipelineError {
+    /// Is this a §5.1 levity-restriction rejection?
+    pub fn is_levity_rejection(&self) -> bool {
+        matches!(self, PipelineError::Levity(_))
+    }
+}
+
+/// A fully compiled program, ready to run on the `M` machine.
+#[derive(Debug)]
+pub struct Compiled {
+    /// Elaboration results (Core program, environments, classes).
+    pub elaborated: Elaborated,
+    /// Machine code for every top-level binding.
+    pub globals: Globals,
+}
+
+impl Compiled {
+    /// Runs a zero-argument top-level binding.
+    ///
+    /// # Errors
+    ///
+    /// Machine failures (including fuel exhaustion).
+    pub fn run(&self, entry: &str, fuel: u64) -> Result<(RunOutcome, MachineStats), MachineError> {
+        let entry_expr = MExpr::global(entry);
+        self.run_term(entry_expr, fuel)
+    }
+
+    /// Runs an arbitrary `M` term against this program's globals.
+    ///
+    /// # Errors
+    ///
+    /// Machine failures (including fuel exhaustion).
+    pub fn run_term(
+        &self,
+        term: Rc<MExpr>,
+        fuel: u64,
+    ) -> Result<(RunOutcome, MachineStats), MachineError> {
+        let mut machine = Machine::with_globals(self.globals.clone());
+        machine.set_fuel(fuel);
+        let out = machine.run(term)?;
+        Ok((out, *machine.stats()))
+    }
+
+    /// The printed type of a global, under the §8.1 policy: rep
+    /// variables are defaulted to `LiftedRep` unless
+    /// `opts.explicit_runtime_reps` is set.
+    pub fn signature(&self, name: &str, opts: &PrintOptions) -> Option<String> {
+        self.elaborated
+            .env
+            .global(Symbol::intern(name))
+            .map(|t| t.display_with(opts))
+    }
+}
+
+/// Compiles a module from source, without the prelude.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_source(source: &str) -> Result<Compiled, PipelineError> {
+    let module = parse_module(source).map_err(PipelineError::Parse)?;
+    let elaborated = elaborate_module(&module).map_err(PipelineError::Elaborate)?;
+    // Core lint: the elaborator must produce well-typed Core.
+    let env = levity_ir::typecheck::check_program(&elaborated.program)
+        .map_err(|(name, e)| PipelineError::CoreLint(name, e))?;
+    // The §5.1 levity checks, after type checking (§8.2).
+    let levity_diags = check_program_levity(&env, &elaborated.program);
+    if levity_diags.has_errors() {
+        return Err(PipelineError::Levity(levity_diags));
+    }
+    let globals =
+        lower_program(&env, &elaborated.program).map_err(PipelineError::Lower)?;
+    Ok(Compiled { elaborated, globals })
+}
+
+/// Compiles user source together with the [`PRELUDE`].
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+///
+/// # Examples
+///
+/// ```
+/// use levity_driver::pipeline::compile_with_prelude;
+///
+/// let compiled = compile_with_prelude(
+///     "main :: Int#\nmain = 3# + 4#\n", // §7.3: class methods at Int#
+/// )?;
+/// let (out, _stats) = compiled.run("main", 1_000_000).unwrap();
+/// assert_eq!(out.value().and_then(|v| v.as_int()), Some(7));
+/// # Ok::<(), levity_driver::pipeline::PipelineError>(())
+/// ```
+pub fn compile_with_prelude(source: &str) -> Result<Compiled, PipelineError> {
+    let mut combined = String::with_capacity(PRELUDE.len() + source.len() + 1);
+    combined.push_str(PRELUDE);
+    combined.push('\n');
+    combined.push_str(source);
+    compile_source(&combined)
+}
+
+/// Compiles just the prelude (used by benchmarks that only need the
+/// prelude's definitions).
+///
+/// # Errors
+///
+/// See [`PipelineError`]; failure here is a bug in the prelude.
+pub fn compile_prelude() -> Result<Compiled, PipelineError> {
+    compile_source(PRELUDE)
+}

@@ -1,0 +1,197 @@
+//! Unit tests for the pipeline and prelude.
+
+use levity_core::pretty::PrintOptions;
+use levity_m::machine::RunOutcome;
+
+use crate::pipeline::{compile_prelude, compile_source, compile_with_prelude, PipelineError};
+
+const FUEL: u64 = 100_000_000;
+
+fn int_result(src: &str) -> i64 {
+    let compiled = compile_with_prelude(src).unwrap_or_else(|e| panic!("{e}"));
+    let (out, _) = compiled.run("main", FUEL).unwrap();
+    out.value()
+        .and_then(|v| v.as_int().or_else(|| v.as_boxed_int()))
+        .unwrap_or_else(|| panic!("non-integer result"))
+}
+
+#[test]
+fn the_prelude_compiles_cleanly() {
+    let compiled = compile_prelude().unwrap();
+    // Spot-check some globals exist with sensible types.
+    for name in ["id", "$", ".", "map", "sum", "+", "==", "<", "myError"] {
+        assert!(
+            compiled.signature(name, &PrintOptions::default()).is_some(),
+            "prelude must define {name}"
+        );
+    }
+}
+
+#[test]
+fn prelude_arithmetic_identities() {
+    assert_eq!(int_result("main :: Int\nmain = sum (enumFromTo 1 10)\n"), 55);
+    assert_eq!(int_result("main :: Int#\nmain = abs (0# - 7#)\n"), 7);
+    assert_eq!(int_result("main :: Int\nmain = (1 + 2) * (3 + 4)\n"), 21);
+}
+
+#[test]
+fn boolean_combinators() {
+    assert_eq!(
+        int_result("main :: Int#\nmain = if True && not False then 1# else 0#\n"),
+        1
+    );
+    assert_eq!(
+        int_result("main :: Int#\nmain = if False || False then 1# else 0#\n"),
+        0
+    );
+}
+
+#[test]
+fn pairs_and_projections() {
+    assert_eq!(
+        int_result("main :: Int\nmain = fst (MkPair 3 True) + snd (MkPair 1 4)\n"),
+        7
+    );
+}
+
+#[test]
+fn parse_errors_are_parse_errors() {
+    assert!(matches!(
+        compile_source("main :: = 3"),
+        Err(PipelineError::Parse(_))
+    ));
+}
+
+#[test]
+fn unbound_variables_are_elaboration_errors() {
+    assert!(matches!(
+        compile_with_prelude("main :: Int\nmain = nonsense\n"),
+        Err(PipelineError::Elaborate(_))
+    ));
+}
+
+#[test]
+fn missing_instance_is_reported_with_the_class() {
+    let err = compile_with_prelude("main :: Bool\nmain = True + False\n").unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("Num"), "{msg}");
+    assert!(msg.contains("Bool"), "{msg}");
+}
+
+#[test]
+fn kind_errors_surface_for_bad_instances() {
+    // A non-levity-polymorphic class cannot take an unlifted instance —
+    // the §7.3 motivation, witnessed as a kind mismatch.
+    let err = compile_with_prelude(
+        "class Show2 a where { show2 :: a -> Int }\n\
+         instance Show2 Int# where { show2 x = 0 }\n",
+    )
+    .unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("kind") || msg.contains("E-kind"), "{msg}");
+}
+
+#[test]
+fn user_classes_with_levity_polymorphism_work() {
+    let src = "class Default (a :: TYPE r) where { deflt :: Bool -> a }\n\
+         instance Default Int# where { deflt b = 0# }\n\
+         instance Default Int where { deflt b = 0 }\n\
+         main :: Int#\n\
+         main = deflt True +# 1#\n";
+    assert_eq!(int_result(src), 1);
+}
+
+#[test]
+fn fuel_exhaustion_is_a_machine_error() {
+    let compiled = compile_with_prelude(
+        "spin :: Int# -> Int#\nspin n = spin n\nmain :: Int#\nmain = spin 0#\n",
+    )
+    .unwrap();
+    assert!(matches!(
+        compiled.run("main", 10_000),
+        Err(levity_m::machine::MachineError::OutOfFuel { .. })
+    ));
+}
+
+#[test]
+fn runtime_errors_carry_their_message() {
+    let compiled =
+        compile_with_prelude("main :: Int#\nmain = error \"custom message\"\n").unwrap();
+    let (out, _) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out, RunOutcome::Error("custom message".to_owned()));
+}
+
+#[test]
+fn signatures_default_reps_when_printing() {
+    let compiled = compile_prelude().unwrap();
+    let plain = compiled.signature("myError", &PrintOptions::default()).unwrap();
+    assert_eq!(plain, "forall a. Bool -> a");
+    let full = compiled.signature("myError", &PrintOptions::explicit()).unwrap();
+    assert_eq!(full, "forall (r :: Rep) (a :: TYPE r). Bool -> a");
+}
+
+#[test]
+fn double_class_instances_round_trip() {
+    assert_eq!(
+        int_result("main :: Int#\nmain = double2Int# (abs (0.0## - 2.25##) * 4.0##)\n"),
+        9
+    );
+    // Boxed Double through the class.
+    assert_eq!(
+        int_result(
+            "main :: Int#\nmain = case abs (negate 1.5) of { D# d -> double2Int# (d *## 2.0##) }\n"
+        ),
+        3
+    );
+}
+
+#[test]
+fn run_term_executes_arbitrary_machine_code() {
+    use levity_m::syntax::{Atom, Literal, MExpr};
+    let compiled = compile_prelude().unwrap();
+    // Call the prelude's plusInt via raw machine code: build boxed args.
+    let one = MExpr::con_int_hash(Atom::Lit(Literal::Int(1)));
+    let two = MExpr::con_int_hash(Atom::Lit(Literal::Int(2)));
+    let term = MExpr::let_lazy(
+        "a",
+        one,
+        MExpr::let_lazy(
+            "b",
+            two,
+            MExpr::apps(MExpr::global("plusInt"), [Atom::Var("a".into()), Atom::Var("b".into())]),
+        ),
+    );
+    let (out, _) = compiled.run_term(term, FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(3));
+}
+
+#[test]
+fn shadowing_locals_beat_globals() {
+    assert_eq!(
+        int_result("main :: Int\nmain = let id = \\(x :: Int) -> x + 1 in id 1\n"),
+        2
+    );
+}
+
+#[test]
+fn annotations_check_against_expected_types() {
+    assert_eq!(int_result("main :: Int#\nmain = (3# :: Int#) +# 1#\n"), 4);
+    assert!(matches!(
+        compile_with_prelude("main :: Int#\nmain = (3# :: Int) +# 1#\n"),
+        Err(PipelineError::Elaborate(_))
+    ));
+}
+
+#[test]
+fn visible_type_application_instantiates() {
+    assert_eq!(
+        int_result("main :: Int\nmain = id @Int 9\n"),
+        9
+    );
+}
+
+#[test]
+fn empty_programs_and_comment_only_programs_compile() {
+    assert!(compile_with_prelude("").is_ok());
+    assert!(compile_with_prelude("-- nothing here\n").is_ok());
+}

@@ -1,0 +1,186 @@
+//! Closed type families and the §7.1 representation-homogeneity check.
+//!
+//! The paper's example:
+//!
+//! ```text
+//! type family F a :: # where
+//!   F Int  = Int#
+//!   F Char = Char#
+//! ```
+//!
+//! Under the old sub-kinding regime this was kind-correct — all unlifted
+//! types shared the kind `#` — yet un-compilable: "GHC would be at a
+//! loss trying to compile `f :: F a -> a`, as there would not be a way
+//! to know what size register to use" (§7.1). Under `TYPE r`, the family
+//! is *ill-kinded*: `Int# :: TYPE IntRep` while `Char# :: TYPE CharRep`,
+//! so no single result kind covers both equations. This module performs
+//! exactly that check.
+
+use levity_core::diag::{Diagnostic, ErrorCode, Span};
+use levity_core::kind::Kind;
+use levity_core::symbol::Symbol;
+
+use levity_ir::typecheck::{kind_of, Scope, ScopeEntry, TypeEnv};
+use levity_ir::types::Type;
+use levity_surface::ast::{SKind, SType};
+
+use crate::convert::{convert_kind, convert_type, ConvScope, ConvertOptions};
+
+/// A checked closed type family.
+#[derive(Clone, Debug)]
+pub struct FamilyInfo {
+    /// Family name.
+    pub name: Symbol,
+    /// The parameter.
+    pub param: Symbol,
+    /// The declared result kind.
+    pub result_kind: Kind,
+    /// Checked equations (lhs instance type, rhs type, rhs kind).
+    pub equations: Vec<(Type, Type, Kind)>,
+}
+
+impl FamilyInfo {
+    /// Reduces `F τ` for a concrete argument, if an equation matches.
+    pub fn reduce(&self, arg: &Type) -> Option<&Type> {
+        self.equations
+            .iter()
+            .find(|(lhs, _, _)| lhs.alpha_eq(arg))
+            .map(|(_, rhs, _)| rhs)
+    }
+}
+
+/// Checks a closed type family declaration under the `TYPE r` regime:
+/// every equation's right-hand side must inhabit the *declared* result
+/// kind, with no sub-kinding to hide representation differences.
+///
+/// # Errors
+///
+/// [`ErrorCode::InhomogeneousFamily`] when an equation's kind differs
+/// from the declared result kind — the §7.1 rejection.
+pub fn check_family(
+    env: &TypeEnv,
+    name: Symbol,
+    param: Symbol,
+    result_kind: &SKind,
+    equations: &[(SType, SType)],
+    span: Span,
+) -> Result<FamilyInfo, Diagnostic> {
+    let mut implicit = Vec::new();
+    let result_kind = convert_kind(result_kind, &ConvScope::new(), &mut implicit, span)?;
+    if !implicit.is_empty() {
+        return Err(Diagnostic::error(
+            ErrorCode::InhomogeneousFamily,
+            format!(
+                "type family `{name}` declares a levity-polymorphic result kind; \
+                 the code generator could not choose registers for its applications"
+            ),
+            span,
+        )
+        .with_note("see section 8.2: GHC 8.2 cannot support type families in type representations"));
+    }
+    let mut checked = Vec::new();
+    let no_classes = |_c: Symbol| false;
+    for (lhs, rhs) in equations {
+        let lhs_ty = convert_type(
+            env,
+            &no_classes,
+            lhs,
+            &mut ConvScope::new(),
+            ConvertOptions { implicit_quantify: false, span },
+        )?;
+        let rhs_ty = convert_type(
+            env,
+            &no_classes,
+            rhs,
+            &mut ConvScope::new(),
+            ConvertOptions { implicit_quantify: false, span },
+        )?;
+        let mut scope = Scope::new();
+        scope.push(param, ScopeEntry::TyVar(Kind::TYPE));
+        let rhs_kind = kind_of(env, &mut scope, &rhs_ty).map_err(|e| {
+            Diagnostic::error(ErrorCode::KindMismatch, e.to_string(), span)
+        })?;
+        if rhs_kind != result_kind {
+            return Err(Diagnostic::error(
+                ErrorCode::InhomogeneousFamily,
+                format!(
+                    "type family `{name}`: equation `{name} {lhs_ty} = {rhs_ty}` has kind \
+                     `{rhs_kind}`, but the declared result kind is `{result_kind}`"
+                ),
+                span,
+            )
+            .with_note(
+                "under TYPE r there is no common kind `#` for differently-represented \
+                 unlifted types (section 7.1)",
+            ));
+        }
+        checked.push((lhs_ty, rhs_ty, rhs_kind));
+    }
+    Ok(FamilyInfo { name, param, result_kind, equations: checked })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levity_surface::parser::parse_module;
+    use levity_surface::ast::SDecl;
+
+    fn run_family(src: &str) -> Result<FamilyInfo, Diagnostic> {
+        let module = parse_module(src).unwrap();
+        let env = TypeEnv::new();
+        match &module.decls[0] {
+            SDecl::TypeFamily { name, param, result_kind, equations, span } => {
+                check_family(&env, *name, *param, result_kind, equations, *span)
+            }
+            other => panic!("expected a family, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn homogeneous_family_is_accepted() {
+        // Both equations land in TYPE IntRep: fine.
+        let info = run_family(
+            "type family G a :: TYPE IntRep where { G Int = Int#; G Bool = Int# }\n",
+        )
+        .unwrap();
+        assert_eq!(info.equations.len(), 2);
+    }
+
+    #[test]
+    fn section_7_1_family_is_rejected() {
+        // The paper's F: Int# and Char# live at different representations.
+        let err = run_family(
+            "type family F a :: TYPE IntRep where { F Int = Int#; F Char = Char# }\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.code, ErrorCode::InhomogeneousFamily);
+    }
+
+    #[test]
+    fn lifted_families_work() {
+        let info =
+            run_family("type family H a :: Type where { H Int = Bool; H Bool = Int }\n").unwrap();
+        assert_eq!(info.result_kind, Kind::TYPE);
+        // Reduction works for matching arguments.
+        let env = TypeEnv::new();
+        let int = Type::con0(&env.builtins.int);
+        assert_eq!(info.reduce(&int).unwrap().to_string(), "Bool");
+        let double = Type::con0(&env.builtins.double);
+        assert!(info.reduce(&double).is_none());
+    }
+
+    #[test]
+    fn levity_polymorphic_result_kind_is_rejected() {
+        let module =
+            parse_module("type family J a :: TYPE r where { J Int = Int# }\n").unwrap();
+        let env = TypeEnv::new();
+        match &module.decls[0] {
+            SDecl::TypeFamily { name, param, result_kind, equations, span } => {
+                let err =
+                    check_family(&env, *name, *param, result_kind, equations, *span).unwrap_err();
+                assert_eq!(err.code, ErrorCode::InhomogeneousFamily);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! The legacy `OpenKind` sub-kinding system (§3.2–3.3), as a comparison
+//! baseline.
+//!
+//! Before levity polymorphism, GHC coped with unlifted types through a
+//! sub-kinding hierarchy:
+//!
+//! ```text
+//!        OpenKind
+//!        /      \
+//!     Type       #
+//! ```
+//!
+//! `(->)` was given the "bizarre kind" `OpenKind -> OpenKind -> Type`
+//! (fully saturated uses only), and `error` got the magical type
+//! `∀(a :: OpenKind). String -> a`. The scheme worked, but:
+//!
+//! * the magic was *fragile*: a user-written wrapper like `myError`
+//!   re-generalized at kind `Type`, silently losing applicability to
+//!   unlifted types (§3.3);
+//! * kind unification needed "awkward and unprincipled special cases";
+//! * `OpenKind` leaked into error messages.
+//!
+//! This module models exactly that system over a miniature kind language
+//! so the benchmarks and tests can compare it with the levity-polymorphic
+//! replacement.
+
+use std::collections::HashMap;
+
+use levity_core::symbol::Symbol;
+
+/// A legacy kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LegacyKind {
+    /// The kind of lifted types (`*` in the Haskell Report; `Type` here).
+    Type,
+    /// The kind `#` of unlifted types — *all* of them, regardless of
+    /// representation, which is exactly the §7.1 problem.
+    Hash,
+    /// The super-kind of both.
+    OpenKind,
+}
+
+impl std::fmt::Display for LegacyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LegacyKind::Type => f.write_str("Type"),
+            LegacyKind::Hash => f.write_str("#"),
+            // "The kind OpenKind would embarrassingly appear in error
+            // messages." (§3.2)
+            LegacyKind::OpenKind => f.write_str("OpenKind"),
+        }
+    }
+}
+
+impl LegacyKind {
+    /// The sub-kinding relation `κ₁ <: κ₂` (reflexive; `Type <: OpenKind`,
+    /// `# <: OpenKind`).
+    pub fn subkind_of(self, other: LegacyKind) -> bool {
+        self == other || other == LegacyKind::OpenKind
+    }
+}
+
+/// A kind-checking problem in the legacy system: can a type of kind
+/// `actual` be used where `expected` is required?
+pub fn legacy_accepts(expected: LegacyKind, actual: LegacyKind) -> bool {
+    actual.subkind_of(expected)
+}
+
+/// A legacy "type scheme": a result kind for each quantified variable.
+/// Only what the §3.3 story needs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LegacyScheme {
+    /// Kinds of the quantified type variables.
+    pub var_kinds: Vec<(Symbol, LegacyKind)>,
+}
+
+/// The legacy generalizer: quantifies inferred type variables **at kind
+/// `Type`** — this is the fragility of §3.3. `error` itself had a
+/// hand-written `OpenKind` scheme; anything *inferred* (like `myError`)
+/// lost it.
+pub fn legacy_generalize(vars: &[Symbol]) -> LegacyScheme {
+    LegacyScheme {
+        var_kinds: vars.iter().map(|v| (*v, LegacyKind::Type)).collect(),
+    }
+}
+
+/// The hand-magicked scheme for `error` (§3.3):
+/// `∀(a :: OpenKind). String -> a`.
+pub fn legacy_error_scheme() -> LegacyScheme {
+    LegacyScheme { var_kinds: vec![(Symbol::intern("a"), LegacyKind::OpenKind)] }
+}
+
+/// Can a scheme be instantiated with a type of the given kind at the
+/// given variable?
+pub fn legacy_instantiable(scheme: &LegacyScheme, var: Symbol, arg_kind: LegacyKind) -> bool {
+    scheme
+        .var_kinds
+        .iter()
+        .find(|(v, _)| *v == var)
+        .is_some_and(|(_, k)| legacy_accepts(*k, arg_kind))
+}
+
+/// A tiny model of the legacy kind *inference* with sub-kinding, enough
+/// to exhibit its "awkward and unprincipled special cases" (§3.2): a
+/// unification variable may stand for `Type`, `#` or `OpenKind`, and
+/// constraints are sub-kind inequalities solved by ad-hoc case analysis.
+#[derive(Debug, Default)]
+pub struct LegacyKindInference {
+    solutions: HashMap<Symbol, LegacyKind>,
+    next: u64,
+}
+
+impl LegacyKindInference {
+    /// A fresh inference state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh kind variable.
+    pub fn fresh(&mut self) -> Symbol {
+        let n = self.next;
+        self.next += 1;
+        Symbol::intern(&format!("?k{n}"))
+    }
+
+    /// Records `var := kind`, propagating through the sub-kind lattice:
+    /// an `OpenKind` solution may later be *refined* to `Type` or `#`,
+    /// but `Type` and `#` conflict. This refinement step is the special
+    /// case that a pure unifier would not need — and the paper's design
+    /// eliminates.
+    pub fn constrain(&mut self, var: Symbol, kind: LegacyKind) -> Result<(), String> {
+        match self.solutions.get(&var).copied() {
+            None => {
+                self.solutions.insert(var, kind);
+                Ok(())
+            }
+            Some(prev) if prev == kind => Ok(()),
+            Some(LegacyKind::OpenKind) => {
+                // Refine downward.
+                self.solutions.insert(var, kind);
+                Ok(())
+            }
+            Some(prev) if kind == LegacyKind::OpenKind => {
+                // Already more precise than requested.
+                let _ = prev;
+                Ok(())
+            }
+            Some(prev) => Err(format!(
+                "cannot unify kind `{prev}` with `{kind}` for `{var}` \
+                 (sub-kinding conflict; OpenKind appears in this error, as §3.2 laments)"
+            )),
+        }
+    }
+
+    /// The current solution for a variable.
+    pub fn solution(&self, var: Symbol) -> Option<LegacyKind> {
+        self.solutions.get(&var).copied()
+    }
+
+    /// The legacy defaulting at generalization: unsolved kind variables
+    /// become `Type` — which is how `myError` loses its magic.
+    pub fn default_unsolved(&mut self, var: Symbol) -> LegacyKind {
+        *self.solutions.entry(var).or_insert(LegacyKind::Type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn subkinding_lattice() {
+        assert!(LegacyKind::Type.subkind_of(LegacyKind::OpenKind));
+        assert!(LegacyKind::Hash.subkind_of(LegacyKind::OpenKind));
+        assert!(!LegacyKind::Type.subkind_of(LegacyKind::Hash));
+        assert!(!LegacyKind::OpenKind.subkind_of(LegacyKind::Type));
+        assert!(LegacyKind::Hash.subkind_of(LegacyKind::Hash));
+    }
+
+    #[test]
+    fn error_magic_accepts_unlifted_instantiation() {
+        // error :: ∀(a :: OpenKind). String -> a can be used at Int#.
+        let scheme = legacy_error_scheme();
+        assert!(legacy_instantiable(&scheme, sym("a"), LegacyKind::Hash));
+        assert!(legacy_instantiable(&scheme, sym("a"), LegacyKind::Type));
+    }
+
+    #[test]
+    fn my_error_loses_the_magic() {
+        // §3.3: "GHC infers the type ∀(a :: Type). String -> a, and the
+        // magic is lost."
+        let scheme = legacy_generalize(&[sym("a")]);
+        assert!(legacy_instantiable(&scheme, sym("a"), LegacyKind::Type));
+        assert!(
+            !legacy_instantiable(&scheme, sym("a"), LegacyKind::Hash),
+            "the regenerated scheme must NOT accept unlifted types"
+        );
+    }
+
+    #[test]
+    fn arrow_saturation_hack() {
+        // (->) :: OpenKind -> OpenKind -> Type accepts Int# -> Double#
+        // when fully saturated.
+        assert!(legacy_accepts(LegacyKind::OpenKind, LegacyKind::Hash));
+        assert!(legacy_accepts(LegacyKind::OpenKind, LegacyKind::Type));
+    }
+
+    #[test]
+    fn kind_inference_refinement_and_conflict() {
+        let mut inf = LegacyKindInference::new();
+        let k = inf.fresh();
+        inf.constrain(k, LegacyKind::OpenKind).unwrap();
+        // Refinement OpenKind → # is the ad-hoc special case.
+        inf.constrain(k, LegacyKind::Hash).unwrap();
+        assert_eq!(inf.solution(k), Some(LegacyKind::Hash));
+        // And now Type conflicts.
+        let err = inf.constrain(k, LegacyKind::Type).unwrap_err();
+        assert!(err.contains("OpenKind"), "{err}");
+    }
+
+    #[test]
+    fn unsolved_kind_vars_default_to_type() {
+        let mut inf = LegacyKindInference::new();
+        let k = inf.fresh();
+        assert_eq!(inf.default_unsolved(k), LegacyKind::Type);
+    }
+}

@@ -1,0 +1,370 @@
+//! Built-in type constructors, data constructors and primop signatures.
+//!
+//! Following §2.1, the boxed types are *not* special: `data Int = I#
+//! Int#` is an ordinary algebraic data type whose field happens to be
+//! unboxed. Only the primitive unboxed types (`Int#`, `Double#`, ...) and
+//! the primops over them are built in.
+
+use std::rc::Rc;
+
+use levity_core::kind::Kind;
+use levity_core::rep::Rep;
+use levity_core::symbol::Symbol;
+use levity_m::syntax::PrimOp;
+
+use crate::terms::{DataConInfo, DataDecl, TyParam};
+use crate::types::{TyCon, Type};
+
+/// The built-in environment: primitive and prelude type constructors and
+/// data constructors.
+#[derive(Clone, Debug)]
+pub struct Builtins {
+    /// `Int# :: TYPE IntRep`.
+    pub int_hash: Rc<TyCon>,
+    /// `Char# :: TYPE CharRep`.
+    pub char_hash: Rc<TyCon>,
+    /// `Float# :: TYPE FloatRep`.
+    pub float_hash: Rc<TyCon>,
+    /// `Double# :: TYPE DoubleRep`.
+    pub double_hash: Rc<TyCon>,
+    /// `ByteArray# :: TYPE UnliftedRep` (boxed, unlifted — Figure 1).
+    pub byte_array_hash: Rc<TyCon>,
+    /// `Array# :: Type -> TYPE UnliftedRep` (§7.1: parameterized unlifted).
+    pub array_hash: Rc<TyCon>,
+    /// `Int :: Type`.
+    pub int: Rc<TyCon>,
+    /// `Char :: Type`.
+    pub char: Rc<TyCon>,
+    /// `Float :: Type`.
+    pub float: Rc<TyCon>,
+    /// `Double :: Type`.
+    pub double: Rc<TyCon>,
+    /// `Bool :: Type`.
+    pub bool: Rc<TyCon>,
+    /// `Maybe :: Type -> Type`.
+    pub maybe: Rc<TyCon>,
+    /// `List :: Type -> Type` (written `[a]` in Haskell).
+    pub list: Rc<TyCon>,
+    /// `Unit :: Type` (written `()`).
+    pub unit: Rc<TyCon>,
+    /// `Pair :: Type -> Type -> Type` (boxed `(,)`).
+    pub pair: Rc<TyCon>,
+
+    /// `I# :: Int# -> Int`.
+    pub i_hash: Rc<DataConInfo>,
+    /// `C# :: Char# -> Char`.
+    pub c_hash: Rc<DataConInfo>,
+    /// `F# :: Float# -> Float`.
+    pub f_hash: Rc<DataConInfo>,
+    /// `D# :: Double# -> Double`.
+    pub d_hash: Rc<DataConInfo>,
+    /// `False :: Bool` (tag 0).
+    pub false_con: Rc<DataConInfo>,
+    /// `True :: Bool` (tag 1).
+    pub true_con: Rc<DataConInfo>,
+    /// `Nothing :: Maybe a` (tag 0).
+    pub nothing: Rc<DataConInfo>,
+    /// `Just :: a -> Maybe a` (tag 1).
+    pub just: Rc<DataConInfo>,
+    /// `Nil :: List a` (tag 0).
+    pub nil: Rc<DataConInfo>,
+    /// `Cons :: a -> List a -> List a` (tag 1).
+    pub cons: Rc<DataConInfo>,
+    /// `MkUnit :: Unit`.
+    pub unit_con: Rc<DataConInfo>,
+    /// `MkPair :: a -> b -> Pair a b` — the boxed tuple of §2.3: "a
+    /// heap-allocated vector of pointers", all fields lifted.
+    pub pair_con: Rc<DataConInfo>,
+
+    /// The prelude datatype declarations, in dependency order.
+    pub data_decls: Vec<Rc<DataDecl>>,
+}
+
+fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+/// Builds the built-in environment. Cheap enough to call freely.
+pub fn builtins() -> Builtins {
+    let int_hash = Rc::new(TyCon::of_rep("Int#", Rep::Int));
+    let char_hash = Rc::new(TyCon::of_rep("Char#", Rep::Char));
+    let float_hash = Rc::new(TyCon::of_rep("Float#", Rep::Float));
+    let double_hash = Rc::new(TyCon::of_rep("Double#", Rep::Double));
+    let byte_array_hash = Rc::new(TyCon::of_rep("ByteArray#", Rep::Unlifted));
+    let array_hash = Rc::new(TyCon {
+        name: sym("Array#"),
+        kind: Kind::arrow(Kind::TYPE, Kind::of_rep(Rep::Unlifted)),
+    });
+    let int = Rc::new(TyCon::lifted("Int"));
+    let char = Rc::new(TyCon::lifted("Char"));
+    let float = Rc::new(TyCon::lifted("Float"));
+    let double = Rc::new(TyCon::lifted("Double"));
+    let bool_tc = Rc::new(TyCon::lifted("Bool"));
+    let maybe = Rc::new(TyCon { name: sym("Maybe"), kind: Kind::arrow(Kind::TYPE, Kind::TYPE) });
+    let list = Rc::new(TyCon { name: sym("List"), kind: Kind::arrow(Kind::TYPE, Kind::TYPE) });
+    let unit = Rc::new(TyCon::lifted("Unit"));
+    let pair = Rc::new(TyCon {
+        name: sym("Pair"),
+        kind: Kind::arrow(Kind::TYPE, Kind::arrow(Kind::TYPE, Kind::TYPE)),
+    });
+
+    // data Int = I# Int#   (and friends: §2.1, "GHC does not treat them
+    // specially")
+    let i_hash = Rc::new(DataConInfo {
+        name: sym("I#"),
+        tag: 0,
+        params: vec![],
+        field_types: vec![Type::con0(&int_hash)],
+        result: Type::con0(&int),
+    });
+    let c_hash = Rc::new(DataConInfo {
+        name: sym("C#"),
+        tag: 0,
+        params: vec![],
+        field_types: vec![Type::con0(&char_hash)],
+        result: Type::con0(&char),
+    });
+    let f_hash = Rc::new(DataConInfo {
+        name: sym("F#"),
+        tag: 0,
+        params: vec![],
+        field_types: vec![Type::con0(&float_hash)],
+        result: Type::con0(&float),
+    });
+    let d_hash = Rc::new(DataConInfo {
+        name: sym("D#"),
+        tag: 0,
+        params: vec![],
+        field_types: vec![Type::con0(&double_hash)],
+        result: Type::con0(&double),
+    });
+    let false_con = Rc::new(DataConInfo {
+        name: sym("False"),
+        tag: 0,
+        params: vec![],
+        field_types: vec![],
+        result: Type::con0(&bool_tc),
+    });
+    let true_con = Rc::new(DataConInfo {
+        name: sym("True"),
+        tag: 1,
+        params: vec![],
+        field_types: vec![],
+        result: Type::con0(&bool_tc),
+    });
+    let a = sym("a");
+    let b = sym("b");
+    let nothing = Rc::new(DataConInfo {
+        name: sym("Nothing"),
+        tag: 0,
+        params: vec![TyParam::Ty(a, Kind::TYPE)],
+        field_types: vec![],
+        result: Type::Con(Rc::clone(&maybe), vec![Type::Var(a)]),
+    });
+    let just = Rc::new(DataConInfo {
+        name: sym("Just"),
+        tag: 1,
+        params: vec![TyParam::Ty(a, Kind::TYPE)],
+        field_types: vec![Type::Var(a)],
+        result: Type::Con(Rc::clone(&maybe), vec![Type::Var(a)]),
+    });
+    let nil = Rc::new(DataConInfo {
+        name: sym("Nil"),
+        tag: 0,
+        params: vec![TyParam::Ty(a, Kind::TYPE)],
+        field_types: vec![],
+        result: Type::Con(Rc::clone(&list), vec![Type::Var(a)]),
+    });
+    let cons = Rc::new(DataConInfo {
+        name: sym("Cons"),
+        tag: 1,
+        params: vec![TyParam::Ty(a, Kind::TYPE)],
+        field_types: vec![
+            Type::Var(a),
+            Type::Con(Rc::clone(&list), vec![Type::Var(a)]),
+        ],
+        result: Type::Con(Rc::clone(&list), vec![Type::Var(a)]),
+    });
+    let unit_con = Rc::new(DataConInfo {
+        name: sym("MkUnit"),
+        tag: 0,
+        params: vec![],
+        field_types: vec![],
+        result: Type::con0(&unit),
+    });
+    let pair_con = Rc::new(DataConInfo {
+        name: sym("MkPair"),
+        tag: 0,
+        params: vec![TyParam::Ty(a, Kind::TYPE), TyParam::Ty(b, Kind::TYPE)],
+        field_types: vec![Type::Var(a), Type::Var(b)],
+        result: Type::Con(Rc::clone(&pair), vec![Type::Var(a), Type::Var(b)]),
+    });
+
+    let data_decls = vec![
+        Rc::new(DataDecl {
+            tycon: Rc::clone(&int),
+            params: vec![],
+            cons: vec![Rc::clone(&i_hash)],
+        }),
+        Rc::new(DataDecl {
+            tycon: Rc::clone(&char),
+            params: vec![],
+            cons: vec![Rc::clone(&c_hash)],
+        }),
+        Rc::new(DataDecl {
+            tycon: Rc::clone(&float),
+            params: vec![],
+            cons: vec![Rc::clone(&f_hash)],
+        }),
+        Rc::new(DataDecl {
+            tycon: Rc::clone(&double),
+            params: vec![],
+            cons: vec![Rc::clone(&d_hash)],
+        }),
+        Rc::new(DataDecl {
+            tycon: Rc::clone(&bool_tc),
+            params: vec![],
+            cons: vec![Rc::clone(&false_con), Rc::clone(&true_con)],
+        }),
+        Rc::new(DataDecl {
+            tycon: Rc::clone(&maybe),
+            params: vec![TyParam::Ty(a, Kind::TYPE)],
+            cons: vec![Rc::clone(&nothing), Rc::clone(&just)],
+        }),
+        Rc::new(DataDecl {
+            tycon: Rc::clone(&list),
+            params: vec![TyParam::Ty(a, Kind::TYPE)],
+            cons: vec![Rc::clone(&nil), Rc::clone(&cons)],
+        }),
+        Rc::new(DataDecl {
+            tycon: Rc::clone(&unit),
+            params: vec![],
+            cons: vec![Rc::clone(&unit_con)],
+        }),
+        Rc::new(DataDecl {
+            tycon: Rc::clone(&pair),
+            params: vec![TyParam::Ty(a, Kind::TYPE), TyParam::Ty(b, Kind::TYPE)],
+            cons: vec![Rc::clone(&pair_con)],
+        }),
+    ];
+
+    Builtins {
+        int_hash,
+        char_hash,
+        float_hash,
+        double_hash,
+        byte_array_hash,
+        array_hash,
+        int,
+        char,
+        float,
+        double,
+        bool: bool_tc,
+        maybe,
+        list,
+        unit,
+        pair,
+        i_hash,
+        c_hash,
+        f_hash,
+        d_hash,
+        false_con,
+        true_con,
+        nothing,
+        just,
+        nil,
+        cons,
+        unit_con,
+        pair_con,
+        data_decls,
+    }
+}
+
+/// The argument and result types of a primop (§2.1's `+#`, §7.3's `+##`).
+pub fn prim_signature(op: PrimOp, b: &Builtins) -> (Vec<Type>, Type) {
+    let ih = || Type::con0(&b.int_hash);
+    let dh = || Type::con0(&b.double_hash);
+    let fh = || Type::con0(&b.float_hash);
+    let ch = || Type::con0(&b.char_hash);
+    match op {
+        PrimOp::AddI | PrimOp::SubI | PrimOp::MulI | PrimOp::QuotI | PrimOp::RemI => {
+            (vec![ih(), ih()], ih())
+        }
+        PrimOp::NegI => (vec![ih()], ih()),
+        PrimOp::EqI | PrimOp::NeI | PrimOp::LtI | PrimOp::LeI | PrimOp::GtI | PrimOp::GeI => {
+            (vec![ih(), ih()], ih())
+        }
+        PrimOp::AddD | PrimOp::SubD | PrimOp::MulD | PrimOp::DivD => (vec![dh(), dh()], dh()),
+        PrimOp::NegD => (vec![dh()], dh()),
+        PrimOp::EqD | PrimOp::LtD | PrimOp::LeD => (vec![dh(), dh()], ih()),
+        PrimOp::AddF | PrimOp::SubF | PrimOp::MulF | PrimOp::DivF => (vec![fh(), fh()], fh()),
+        PrimOp::IntToDouble => (vec![ih()], dh()),
+        PrimOp::DoubleToInt => (vec![dh()], ih()),
+        PrimOp::IntToFloat => (vec![ih()], fh()),
+        PrimOp::FloatToDouble => (vec![fh()], dh()),
+        PrimOp::CharToInt => (vec![ch()], ih()),
+        PrimOp::IntToChar => (vec![ih()], ch()),
+        PrimOp::EqC => (vec![ch(), ch()], ih()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_kinds_match_figure1() {
+        let b = builtins();
+        assert_eq!(b.int_hash.kind, Kind::of_rep(Rep::Int));
+        assert_eq!(b.byte_array_hash.kind, Kind::of_rep(Rep::Unlifted));
+        assert_eq!(b.int.kind, Kind::TYPE);
+        // Array# :: Type -> TYPE UnliftedRep (§7.1).
+        assert_eq!(b.array_hash.kind, Kind::arrow(Kind::TYPE, Kind::of_rep(Rep::Unlifted)));
+    }
+
+    #[test]
+    fn int_is_an_ordinary_adt_over_int_hash() {
+        let b = builtins();
+        assert_eq!(b.i_hash.field_types, vec![Type::con0(&b.int_hash)]);
+        assert_eq!(b.i_hash.result, Type::con0(&b.int));
+    }
+
+    #[test]
+    fn bool_tags_are_stable() {
+        let b = builtins();
+        assert_eq!(b.false_con.tag, 0);
+        assert_eq!(b.true_con.tag, 1);
+    }
+
+    #[test]
+    fn boxed_pair_fields_are_lifted() {
+        // §2.3: all elements of a boxed tuple must also be boxed.
+        let b = builtins();
+        assert_eq!(b.pair_con.field_types.len(), 2);
+        assert!(matches!(b.pair_con.field_types[0], Type::Var(_)));
+        // Its parameters are Type-kinded (lifted), so fields are lifted.
+        for p in &b.pair_con.params {
+            match p {
+                TyParam::Ty(_, k) => assert_eq!(*k, Kind::TYPE),
+                TyParam::Rep(_) => panic!("boxed pair has no rep params"),
+            }
+        }
+    }
+
+    #[test]
+    fn prim_signatures_are_well_formed() {
+        let b = builtins();
+        for op in [
+            PrimOp::AddI,
+            PrimOp::SubI,
+            PrimOp::LtI,
+            PrimOp::AddD,
+            PrimOp::EqD,
+            PrimOp::IntToDouble,
+            PrimOp::CharToInt,
+        ] {
+            let (args, _result) = prim_signature(op, &b);
+            assert_eq!(args.len(), op.arity());
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Core: the explicitly-typed intermediate representation of the
+//! levity-polymorphism pipeline.
+//!
+//! Where the formal `L` calculus (crate `levity-l`) has exactly the
+//! constructs of Figure 2, Core scales the same ideas to a realistic
+//! surface language: the full `Rep` grammar (§4.1–4.2), algebraic
+//! datatypes (including `data Int = I# Int#`, which is *not* special,
+//! §2.1), unboxed tuples, primops, `let`/`letrec`, and class
+//! dictionaries (§7.3).
+//!
+//! The split of checking mirrors GHC (§8.2):
+//!
+//! * [`typecheck`] — kinding and type checking ("lint"); levity-
+//!   polymorphic *types* are allowed everywhere here;
+//! * [`levity`] — the §5.1 restrictions (no levity-polymorphic binders or
+//!   arguments), run as a separate later pass, "in the desugarer".
+//!
+//! # Example
+//!
+//! ```
+//! use levity_ir::typecheck::{kind_of, Scope, TypeEnv};
+//! use levity_ir::types::Type;
+//!
+//! let env = TypeEnv::new();
+//! // Int# -> Int# is well-kinded — no sub-kinding needed (§3.2 solved).
+//! let t = Type::fun(
+//!     Type::con0(&env.builtins.int_hash),
+//!     Type::con0(&env.builtins.int_hash),
+//! );
+//! let k = kind_of(&env, &mut Scope::new(), &t).unwrap();
+//! assert_eq!(k.to_string(), "Type");
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use levity_core::symbol::Symbol;
+
+pub mod builtin;
+pub mod levity;
+pub mod terms;
+pub mod typecheck;
+pub mod types;
+
+pub use builtin::{builtins, prim_signature, Builtins};
+pub use terms::{CoreAlt, CoreExpr, DataConInfo, DataDecl, LetKind, Program, TopBind, TyArg, TyParam};
+pub use typecheck::{check_program, kind_of, type_of, CoreError, Scope, ScopeEntry, TypeEnv};
+pub use types::{TyCon, Type};
+
+static FRESH: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh symbol derived from `base`, for capture-avoiding substitution.
+pub fn freshen(base: Symbol) -> Symbol {
+    let n = FRESH.fetch_add(1, Ordering::Relaxed);
+    let stem = base.as_str().split('\'').next().unwrap_or("v");
+    Symbol::intern(&format!("{stem}'{n}"))
+}

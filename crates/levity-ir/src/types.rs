@@ -1,0 +1,565 @@
+//! Core types: the full-spectrum version of the paper's type language.
+//!
+//! Where the formal `L` has two base types and kinds `TYPE P`/`TYPE I`,
+//! Core types range over arbitrary type constructors with arbitrary
+//! kinds, the full `Rep` grammar (§4.1–4.2), unboxed tuples, and
+//! class-dictionary types. The function arrow has the §4.3 kind
+//!
+//! ```text
+//! (->) :: forall (r1 :: Rep) (r2 :: Rep). TYPE r1 -> TYPE r2 -> Type
+//! ```
+//!
+//! so `Int# -> Int#` is well-kinded with no sub-kinding anywhere.
+
+use std::fmt;
+use std::rc::Rc;
+
+use levity_core::kind::Kind;
+use levity_core::pretty::PrintOptions;
+use levity_core::rep::{Rep, RepTy};
+use levity_core::symbol::Symbol;
+
+/// A type constructor: a name with a kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TyCon {
+    /// Constructor name (`Int`, `Maybe`, `Array#`, ...).
+    pub name: Symbol,
+    /// Its kind (`Type`, `Type -> Type`, `Type -> TYPE UnliftedRep`, ...).
+    pub kind: Kind,
+}
+
+impl TyCon {
+    /// A constructor of kind `Type`.
+    pub fn lifted(name: impl Into<Symbol>) -> TyCon {
+        TyCon { name: name.into(), kind: Kind::TYPE }
+    }
+
+    /// A constructor of kind `TYPE rep`.
+    pub fn of_rep(name: impl Into<Symbol>, rep: Rep) -> TyCon {
+        TyCon { name: name.into(), kind: Kind::of_rep(rep) }
+    }
+}
+
+impl fmt::Display for TyCon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A Core type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Type {
+    /// A (possibly partial) application of a type constructor:
+    /// `Maybe Int`, `Array# Bool`, or bare `Int`.
+    Con(Rc<TyCon>, Vec<Type>),
+    /// A type variable.
+    Var(Symbol),
+    /// `τ₁ -> τ₂` with the §4.3 levity-polymorphic arrow kind.
+    Fun(Box<Type>, Box<Type>),
+    /// `forall (a :: κ). τ`.
+    ForallTy(Symbol, Kind, Box<Type>),
+    /// `forall (r :: Rep). τ`.
+    ForallRep(Symbol, Box<Type>),
+    /// `(# τ₁, …, τₙ #)` of kind `TYPE (TupleRep '[…])`.
+    UnboxedTuple(Vec<Type>),
+    /// The dictionary type for a class constraint `C τ` — an ordinary
+    /// boxed, lifted record (§7.3).
+    Dict(Symbol, Box<Type>),
+}
+
+impl Type {
+    /// `τ₁ -> τ₂`.
+    pub fn fun(a: Type, b: Type) -> Type {
+        Type::Fun(Box::new(a), Box::new(b))
+    }
+
+    /// Curried function type over several arguments.
+    pub fn funs(args: impl IntoIterator<Item = Type>, result: Type) -> Type {
+        let args: Vec<_> = args.into_iter().collect();
+        args.into_iter().rev().fold(result, |acc, a| Type::fun(a, acc))
+    }
+
+    /// `forall (a :: κ). τ`.
+    pub fn forall_ty(a: impl Into<Symbol>, kind: Kind, body: Type) -> Type {
+        Type::ForallTy(a.into(), kind, Box::new(body))
+    }
+
+    /// `forall (r :: Rep). τ`.
+    pub fn forall_rep(r: impl Into<Symbol>, body: Type) -> Type {
+        Type::ForallRep(r.into(), Box::new(body))
+    }
+
+    /// A bare type constructor.
+    pub fn con0(tc: &Rc<TyCon>) -> Type {
+        Type::Con(Rc::clone(tc), Vec::new())
+    }
+
+    /// Splits a curried function type into arguments and result.
+    pub fn split_funs(&self) -> (Vec<&Type>, &Type) {
+        let mut args = Vec::new();
+        let mut cur = self;
+        while let Type::Fun(a, b) = cur {
+            args.push(&**a);
+            cur = b;
+        }
+        (args, cur)
+    }
+
+    /// Free type variables (not representation variables).
+    pub fn free_ty_vars(&self) -> Vec<Symbol> {
+        fn go(t: &Type, bound: &mut Vec<Symbol>, out: &mut Vec<Symbol>) {
+            match t {
+                Type::Var(v) => {
+                    if !bound.contains(v) && !out.contains(v) {
+                        out.push(*v);
+                    }
+                }
+                Type::Con(_, args) => args.iter().for_each(|a| go(a, bound, out)),
+                Type::Fun(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Type::ForallTy(a, _, body) => {
+                    bound.push(*a);
+                    go(body, bound, out);
+                    bound.pop();
+                }
+                Type::ForallRep(_, body) => go(body, bound, out),
+                Type::UnboxedTuple(ts) => ts.iter().for_each(|t| go(t, bound, out)),
+                Type::Dict(_, t) => go(t, bound, out),
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Free representation variables (from kinds of quantifiers and
+    /// `TYPE r` kinds reached through constructors do not occur in types
+    /// directly; rep vars occur in `ForallTy` kinds and are bound by
+    /// `ForallRep`).
+    pub fn free_rep_vars(&self) -> Vec<Symbol> {
+        fn go(t: &Type, bound: &mut Vec<Symbol>, out: &mut Vec<Symbol>) {
+            match t {
+                Type::Var(_) => {}
+                Type::Con(_, args) => args.iter().for_each(|a| go(a, bound, out)),
+                Type::Fun(a, b) => {
+                    go(a, bound, out);
+                    go(b, bound, out);
+                }
+                Type::ForallTy(_, kind, body) => {
+                    for v in kind.free_rep_vars() {
+                        if !bound.contains(&v) && !out.contains(&v) {
+                            out.push(v);
+                        }
+                    }
+                    go(body, bound, out);
+                }
+                Type::ForallRep(r, body) => {
+                    bound.push(*r);
+                    go(body, bound, out);
+                    bound.pop();
+                }
+                Type::UnboxedTuple(ts) => ts.iter().for_each(|t| go(t, bound, out)),
+                Type::Dict(_, t) => go(t, bound, out),
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Substitutes a type for a type variable (capture-avoiding via the
+    /// global fresh supply).
+    pub fn subst_ty(&self, var: Symbol, payload: &Type) -> Type {
+        match self {
+            Type::Var(v) if *v == var => payload.clone(),
+            Type::Var(_) => self.clone(),
+            Type::Con(tc, args) => {
+                Type::Con(Rc::clone(tc), args.iter().map(|a| a.subst_ty(var, payload)).collect())
+            }
+            Type::Fun(a, b) => Type::fun(a.subst_ty(var, payload), b.subst_ty(var, payload)),
+            Type::ForallTy(a, kind, body) => {
+                if *a == var {
+                    self.clone()
+                } else if payload.free_ty_vars().contains(a) {
+                    let fresh = crate::freshen(*a);
+                    let renamed = body.subst_ty(*a, &Type::Var(fresh));
+                    Type::forall_ty(fresh, kind.clone(), renamed.subst_ty(var, payload))
+                } else {
+                    Type::forall_ty(*a, kind.clone(), body.subst_ty(var, payload))
+                }
+            }
+            Type::ForallRep(r, body) => {
+                if payload.free_rep_vars().contains(r) {
+                    let fresh = crate::freshen(*r);
+                    let renamed = body.subst_rep(*r, &RepTy::Var(fresh));
+                    Type::forall_rep(fresh, renamed.subst_ty(var, payload))
+                } else {
+                    Type::forall_rep(*r, body.subst_ty(var, payload))
+                }
+            }
+            Type::UnboxedTuple(ts) => {
+                Type::UnboxedTuple(ts.iter().map(|t| t.subst_ty(var, payload)).collect())
+            }
+            Type::Dict(c, t) => Type::Dict(*c, Box::new(t.subst_ty(var, payload))),
+        }
+    }
+
+    /// Substitutes a representation for a representation variable.
+    pub fn subst_rep(&self, var: Symbol, payload: &RepTy) -> Type {
+        match self {
+            Type::Var(_) => self.clone(),
+            Type::Con(tc, args) => {
+                Type::Con(Rc::clone(tc), args.iter().map(|a| a.subst_rep(var, payload)).collect())
+            }
+            Type::Fun(a, b) => Type::fun(a.subst_rep(var, payload), b.subst_rep(var, payload)),
+            Type::ForallTy(a, kind, body) => Type::forall_ty(
+                *a,
+                kind.substitute_rep(var, payload),
+                body.subst_rep(var, payload),
+            ),
+            Type::ForallRep(r, body) => {
+                if *r == var {
+                    self.clone()
+                } else if matches!(payload, RepTy::Var(v) if v == r) {
+                    let fresh = crate::freshen(*r);
+                    let renamed = body.subst_rep(*r, &RepTy::Var(fresh));
+                    Type::forall_rep(fresh, renamed.subst_rep(var, payload))
+                } else {
+                    Type::forall_rep(*r, body.subst_rep(var, payload))
+                }
+            }
+            Type::UnboxedTuple(ts) => {
+                Type::UnboxedTuple(ts.iter().map(|t| t.subst_rep(var, payload)).collect())
+            }
+            Type::Dict(c, t) => Type::Dict(*c, Box::new(t.subst_rep(var, payload))),
+        }
+    }
+
+    /// α-equivalence of Core types.
+    pub fn alpha_eq(&self, other: &Type) -> bool {
+        fn go(
+            t1: &Type,
+            t2: &Type,
+            env: &mut Vec<(Symbol, Symbol)>,
+            renv: &mut Vec<(Symbol, Symbol)>,
+        ) -> bool {
+            match (t1, t2) {
+                (Type::Var(a), Type::Var(b)) => {
+                    for (l, r) in env.iter().rev() {
+                        if l == a || r == b {
+                            return l == a && r == b;
+                        }
+                    }
+                    a == b
+                }
+                (Type::Con(c1, a1), Type::Con(c2, a2)) => {
+                    c1.name == c2.name
+                        && a1.len() == a2.len()
+                        && a1.iter().zip(a2).all(|(x, y)| go(x, y, env, renv))
+                }
+                (Type::Fun(a1, b1), Type::Fun(a2, b2)) => {
+                    go(a1, a2, env, renv) && go(b1, b2, env, renv)
+                }
+                (Type::ForallTy(a1, k1, b1), Type::ForallTy(a2, k2, b2)) => {
+                    if !kind_alpha_eq(k1, k2, renv) {
+                        return false;
+                    }
+                    env.push((*a1, *a2));
+                    let ok = go(b1, b2, env, renv);
+                    env.pop();
+                    ok
+                }
+                (Type::ForallRep(r1, b1), Type::ForallRep(r2, b2)) => {
+                    renv.push((*r1, *r2));
+                    let ok = go(b1, b2, env, renv);
+                    renv.pop();
+                    ok
+                }
+                (Type::UnboxedTuple(x), Type::UnboxedTuple(y)) => {
+                    x.len() == y.len() && x.iter().zip(y).all(|(a, b)| go(a, b, env, renv))
+                }
+                (Type::Dict(c1, t1), Type::Dict(c2, t2)) => c1 == c2 && go(t1, t2, env, renv),
+                _ => false,
+            }
+        }
+
+        fn rep_alpha_eq(r1: &RepTy, r2: &RepTy, renv: &[(Symbol, Symbol)]) -> bool {
+            match (r1, r2) {
+                (RepTy::Var(a), RepTy::Var(b)) => {
+                    for (l, r) in renv.iter().rev() {
+                        if l == a || r == b {
+                            return l == a && r == b;
+                        }
+                    }
+                    a == b
+                }
+                (RepTy::Concrete(a), RepTy::Concrete(b)) => a == b,
+                (RepTy::Tuple(x), RepTy::Tuple(y)) | (RepTy::Sum(x), RepTy::Sum(y)) => {
+                    x.len() == y.len() && x.iter().zip(y).all(|(a, b)| rep_alpha_eq(a, b, renv))
+                }
+                _ => false,
+            }
+        }
+
+        fn kind_alpha_eq(k1: &Kind, k2: &Kind, renv: &[(Symbol, Symbol)]) -> bool {
+            match (k1, k2) {
+                (Kind::Type(r1), Kind::Type(r2)) => rep_alpha_eq(r1, r2, renv),
+                (Kind::Arrow(a1, b1), Kind::Arrow(a2, b2)) => {
+                    kind_alpha_eq(a1, a2, renv) && kind_alpha_eq(b1, b2, renv)
+                }
+                (Kind::Rep, Kind::Rep) => true,
+                _ => false,
+            }
+        }
+
+        go(self, other, &mut Vec::new(), &mut Vec::new())
+    }
+
+    /// Renders this type under the §8.1 printing policy: unless
+    /// `opts.explicit_runtime_reps`, all `forall (r :: Rep)` quantifiers
+    /// are removed and their variables defaulted to `LiftedRep`, exactly
+    /// as GHC does for `($)`.
+    pub fn display_with(&self, opts: &PrintOptions) -> String {
+        let shown = if opts.explicit_runtime_reps {
+            self.clone()
+        } else {
+            let mut t = self.clone();
+            while let Type::ForallRep(r, body) = t {
+                t = body.subst_rep(r, &RepTy::LIFTED);
+            }
+            t
+        };
+        format!("{shown}")
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_type(self, f, 0)
+    }
+}
+
+/// Precedence: 0 = top, 1 = function argument, 2 = constructor argument.
+fn fmt_type(t: &Type, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    match t {
+        Type::Con(tc, args) => {
+            if args.is_empty() {
+                write!(f, "{tc}")
+            } else {
+                if prec >= 2 {
+                    f.write_str("(")?;
+                }
+                write!(f, "{tc}")?;
+                for a in args {
+                    f.write_str(" ")?;
+                    fmt_type(a, f, 2)?;
+                }
+                if prec >= 2 {
+                    f.write_str(")")?;
+                }
+                Ok(())
+            }
+        }
+        Type::Var(v) => write!(f, "{v}"),
+        Type::Fun(a, b) => {
+            if prec >= 1 {
+                f.write_str("(")?;
+            }
+            fmt_type(a, f, 1)?;
+            f.write_str(" -> ")?;
+            fmt_type(b, f, 0)?;
+            if prec >= 1 {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Type::ForallTy(..) | Type::ForallRep(..) => {
+            if prec >= 1 {
+                f.write_str("(")?;
+            }
+            // Collect a run of quantifiers for compact printing.
+            f.write_str("forall")?;
+            let mut cur = t;
+            loop {
+                match cur {
+                    Type::ForallTy(a, kind, body) => {
+                        if *kind == Kind::TYPE {
+                            write!(f, " {a}")?;
+                        } else {
+                            write!(f, " ({a} :: {kind})")?;
+                        }
+                        cur = body;
+                    }
+                    Type::ForallRep(r, body) => {
+                        write!(f, " ({r} :: Rep)")?;
+                        cur = body;
+                    }
+                    _ => break,
+                }
+            }
+            f.write_str(". ")?;
+            fmt_type(cur, f, 0)?;
+            if prec >= 1 {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Type::UnboxedTuple(ts) => {
+            f.write_str("(#")?;
+            for (i, t) in ts.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                f.write_str(" ")?;
+                fmt_type(t, f, 0)?;
+            }
+            f.write_str(" #)")
+        }
+        Type::Dict(c, t) => {
+            if prec >= 2 {
+                f.write_str("(")?;
+            }
+            write!(f, "{c} ")?;
+            fmt_type(t, f, 2)?;
+            if prec >= 2 {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builtin;
+
+    #[test]
+    fn display_of_basic_types() {
+        let b = builtin::builtins();
+        assert_eq!(Type::con0(&b.int).to_string(), "Int");
+        assert_eq!(Type::con0(&b.int_hash).to_string(), "Int#");
+        assert_eq!(
+            Type::fun(Type::con0(&b.int_hash), Type::con0(&b.int_hash)).to_string(),
+            "Int# -> Int#"
+        );
+        assert_eq!(
+            Type::Con(Rc::clone(&b.maybe), vec![Type::con0(&b.int)]).to_string(),
+            "Maybe Int"
+        );
+    }
+
+    #[test]
+    fn forall_display_groups_quantifiers() {
+        let t = Type::forall_rep(
+            "r",
+            Type::forall_ty(
+                "a",
+                Kind::TYPE,
+                Type::forall_ty(
+                    "b",
+                    Kind::of_rep_var(Symbol::intern("r")),
+                    Type::fun(
+                        Type::fun(Type::Var(Symbol::intern("a")), Type::Var(Symbol::intern("b"))),
+                        Type::fun(Type::Var(Symbol::intern("a")), Type::Var(Symbol::intern("b"))),
+                    ),
+                ),
+            ),
+        );
+        assert_eq!(
+            t.to_string(),
+            "forall (r :: Rep) a (b :: TYPE r). (a -> b) -> a -> b"
+        );
+    }
+
+    #[test]
+    fn section_8_1_default_printing_of_dollar() {
+        // With the default options, the levity-polymorphic ($) prints as
+        // the beginner-friendly type; with -fprint-explicit-runtime-reps
+        // the full type appears.
+        let r = Symbol::intern("r");
+        let dollar = Type::forall_rep(
+            "r",
+            Type::forall_ty(
+                "a",
+                Kind::TYPE,
+                Type::forall_ty(
+                    "b",
+                    Kind::of_rep_var(r),
+                    Type::fun(
+                        Type::fun(Type::Var(Symbol::intern("a")), Type::Var(Symbol::intern("b"))),
+                        Type::fun(Type::Var(Symbol::intern("a")), Type::Var(Symbol::intern("b"))),
+                    ),
+                ),
+            ),
+        );
+        assert_eq!(
+            dollar.display_with(&PrintOptions::default()),
+            "forall a b. (a -> b) -> a -> b"
+        );
+        assert_eq!(
+            dollar.display_with(&PrintOptions::explicit()),
+            "forall (r :: Rep) a (b :: TYPE r). (a -> b) -> a -> b"
+        );
+    }
+
+    #[test]
+    fn unboxed_tuple_display() {
+        let b = builtin::builtins();
+        let t = Type::UnboxedTuple(vec![Type::con0(&b.int_hash), Type::con0(&b.bool)]);
+        assert_eq!(t.to_string(), "(# Int#, Bool #)");
+    }
+
+    #[test]
+    fn alpha_equivalence() {
+        let t1 = Type::forall_ty("a", Kind::TYPE, Type::fun(Type::Var("a".into()), Type::Var("a".into())));
+        let t2 = Type::forall_ty("z", Kind::TYPE, Type::fun(Type::Var("z".into()), Type::Var("z".into())));
+        assert!(t1.alpha_eq(&t2));
+        let t3 = Type::forall_ty(
+            "a",
+            Kind::of_rep(Rep::Int),
+            Type::fun(Type::Var("a".into()), Type::Var("a".into())),
+        );
+        assert!(!t1.alpha_eq(&t3));
+    }
+
+    #[test]
+    fn substitution_in_types() {
+        let b = builtin::builtins();
+        let t = Type::fun(Type::Var("a".into()), Type::Var("a".into()));
+        let out = t.subst_ty("a".into(), &Type::con0(&b.int_hash));
+        assert_eq!(out.to_string(), "Int# -> Int#");
+    }
+
+    #[test]
+    fn rep_substitution_updates_kind_annotations() {
+        let r: Symbol = "r".into();
+        let t = Type::forall_ty("b", Kind::of_rep_var(r), Type::Var("b".into()));
+        let out = t.subst_rep(r, &RepTy::Concrete(Rep::Double));
+        assert_eq!(out.to_string(), "forall (b :: TYPE DoubleRep). b");
+    }
+
+    #[test]
+    fn split_funs() {
+        let b = builtin::builtins();
+        let t = Type::funs(
+            [Type::con0(&b.int), Type::con0(&b.bool)],
+            Type::con0(&b.int),
+        );
+        let (args, result) = t.split_funs();
+        assert_eq!(args.len(), 2);
+        assert_eq!(result.to_string(), "Int");
+    }
+
+    #[test]
+    fn free_vars() {
+        let t = Type::forall_ty("a", Kind::TYPE, Type::fun(Type::Var("a".into()), Type::Var("b".into())));
+        assert_eq!(t.free_ty_vars(), vec![Symbol::intern("b")]);
+        let t2 = Type::forall_ty("x", Kind::of_rep_var("r".into()), Type::Var("x".into()));
+        assert_eq!(t2.free_rep_vars(), vec![Symbol::intern("r")]);
+        let closed = Type::forall_rep("r", t2);
+        assert!(closed.free_rep_vars().is_empty());
+    }
+}

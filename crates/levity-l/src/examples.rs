@@ -1,0 +1,349 @@
+//! Canonical `L` terms from the paper, used by tests, docs and benches.
+
+use levity_core::symbol::Symbol;
+
+use crate::syntax::{Expr, LKind, Rho, Ty};
+
+fn sym(s: &str) -> Symbol {
+    Symbol::intern(s)
+}
+
+/// The polymorphic identity at a chosen kind:
+/// `Λα:κ. λx:α. x : ∀α:κ. α -> α`.
+///
+/// Note that for `κ = TYPE I` this is *still fine*: the binder's kind is
+/// concrete. What §5.1 forbids is a binder at `TYPE r`.
+pub fn poly_id(kind: LKind) -> Expr {
+    Expr::ty_lam("a", kind, Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x"))))
+}
+
+/// `bTwice`, monomorphized in the `Bool` argument (encoded as `Int`:
+/// nonzero means `True`), and polymorphic in `a :: TYPE P` exactly as GHC
+/// compiles it (§3.1):
+///
+/// ```text
+/// Λa:TYPE P. λb:Int. λx:a. λf:a -> a.
+///   case b of I#[t] -> f (f x)      -- t ≠ 0 branch elided: L has one-
+///                                   -- armed case, so this is the True arm
+/// ```
+///
+/// `L` has no booleans and a single-constructor `case`, so this variant
+/// always takes the "true" branch; what matters for the reproduction is
+/// the type: `∀a:TYPE P. Int -> a -> (a -> a) -> a`.
+pub fn b_twice_lifted() -> Expr {
+    Expr::ty_lam(
+        "a",
+        LKind::P,
+        Expr::lam(
+            "b",
+            Ty::Int,
+            Expr::lam(
+                "x",
+                Ty::Var(sym("a")),
+                Expr::lam(
+                    "f",
+                    Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))),
+                    Expr::case(
+                        Expr::Var(sym("b")),
+                        "t",
+                        Expr::app(
+                            Expr::Var(sym("f")),
+                            Expr::app(Expr::Var(sym("f")), Expr::Var(sym("x"))),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// The *illegal* levity-polymorphic `bTwice` of §5:
+///
+/// ```text
+/// Λr. Λa:TYPE r. λb:Int. λx:a. λf:a -> a. case b of I#[t] -> f (f x)
+/// ```
+///
+/// Its binder `x : a :: TYPE r` violates E_LAM's concreteness premise;
+/// [`crate::typecheck::check_closed`] rejects it.
+pub fn b_twice_levity_polymorphic() -> Expr {
+    Expr::rep_lam(
+        "r",
+        Expr::ty_lam(
+            "a",
+            LKind::var(sym("r")),
+            Expr::lam(
+                "b",
+                Ty::Int,
+                Expr::lam(
+                    "x",
+                    Ty::Var(sym("a")),
+                    Expr::lam(
+                        "f",
+                        Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))),
+                        Expr::case(
+                            Expr::Var(sym("b")),
+                            "t",
+                            Expr::app(
+                                Expr::Var(sym("f")),
+                                Expr::app(Expr::Var(sym("f")), Expr::Var(sym("x"))),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// `myError` (§3.3 / §5.2), written with an explicit levity-polymorphic
+/// signature — accepted because the levity-polymorphic value is only
+/// *returned*, never bound or passed:
+///
+/// ```text
+/// Λr. Λa:TYPE r. λs:Int. error {r} [a] s : ∀r. ∀a:TYPE r. Int -> a
+/// ```
+pub fn my_error() -> Expr {
+    Expr::rep_lam(
+        "r",
+        Expr::ty_lam(
+            "a",
+            LKind::var(sym("r")),
+            Expr::lam(
+                "s",
+                Ty::Int,
+                Expr::app(
+                    Expr::ty_app(
+                        Expr::rep_app(Expr::Error, Rho::Var(sym("r"))),
+                        Ty::Var(sym("a")),
+                    ),
+                    Expr::Var(sym("s")),
+                ),
+            ),
+        ),
+    )
+}
+
+/// `($)` in `L`, generalized in its *return* kind as in §7.2:
+///
+/// ```text
+/// Λr. Λa:TYPE P. Λb:TYPE r. λf:a -> b. λx:a. f x
+///   : ∀r. ∀a:TYPE P. ∀b:TYPE r. (a -> b) -> a -> b
+/// ```
+///
+/// Accepted: `x` is lifted, `f` is a function (boxed), and only the
+/// *result* is levity-polymorphic.
+pub fn dollar() -> Expr {
+    Expr::rep_lam(
+        "r",
+        Expr::ty_lam(
+            "a",
+            LKind::P,
+            Expr::ty_lam(
+                "b",
+                LKind::var(sym("r")),
+                Expr::lam(
+                    "f",
+                    Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b"))),
+                    Expr::lam(
+                        "x",
+                        Ty::Var(sym("a")),
+                        Expr::app(Expr::Var(sym("f")), Expr::Var(sym("x"))),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// The type of [`dollar`].
+pub fn dollar_type() -> Ty {
+    Ty::forall_rep(
+        "r",
+        Ty::forall_ty(
+            "a",
+            LKind::P,
+            Ty::forall_ty(
+                "b",
+                LKind::var(sym("r")),
+                Ty::arrow(
+                    Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b"))),
+                    Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b"))),
+                ),
+            ),
+        ),
+    )
+}
+
+/// Function composition `(.)`, generalized only in the *final* result
+/// kind as in §7.2:
+///
+/// ```text
+/// Λr. Λa:TYPE P. Λb:TYPE P. Λc:TYPE r.
+///   λf:b -> c. λg:a -> b. λx:a. f (g x)
+/// ```
+pub fn compose() -> Expr {
+    Expr::rep_lam(
+        "r",
+        Expr::ty_lam(
+            "a",
+            LKind::P,
+            Expr::ty_lam(
+                "b",
+                LKind::P,
+                Expr::ty_lam(
+                    "c",
+                    LKind::var(sym("r")),
+                    Expr::lam(
+                        "f",
+                        Ty::arrow(Ty::Var(sym("b")), Ty::Var(sym("c"))),
+                        Expr::lam(
+                            "g",
+                            Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b"))),
+                            Expr::lam(
+                                "x",
+                                Ty::Var(sym("a")),
+                                Expr::app(
+                                    Expr::Var(sym("f")),
+                                    Expr::app(Expr::Var(sym("g")), Expr::Var(sym("x"))),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+/// The *illegal* variant of `(.)` that also generalizes `b` — rejected
+/// because `g x :: b :: TYPE r'` would be a levity-polymorphic function
+/// argument (§7.2: "we cannot generalize the kind of b").
+pub fn compose_bad() -> Expr {
+    Expr::rep_lam(
+        "r1",
+        Expr::rep_lam(
+            "r2",
+            Expr::ty_lam(
+                "a",
+                LKind::P,
+                Expr::ty_lam(
+                    "b",
+                    LKind::var(sym("r2")),
+                    Expr::ty_lam(
+                        "c",
+                        LKind::var(sym("r1")),
+                        Expr::lam(
+                            "f",
+                            Ty::arrow(Ty::Var(sym("b")), Ty::Var(sym("c"))),
+                            Expr::lam(
+                                "g",
+                                Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b"))),
+                                Expr::lam(
+                                    "x",
+                                    Ty::Var(sym("a")),
+                                    Expr::app(
+                                        Expr::Var(sym("f")),
+                                        Expr::app(Expr::Var(sym("g")), Expr::Var(sym("x"))),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subst::alpha_eq_ty;
+    use crate::typecheck::{check_closed, TypeError};
+
+    #[test]
+    fn poly_id_checks_at_both_kinds() {
+        assert!(check_closed(&poly_id(LKind::P)).is_ok());
+        assert!(check_closed(&poly_id(LKind::I)).is_ok());
+    }
+
+    #[test]
+    fn b_twice_lifted_checks() {
+        let t = check_closed(&b_twice_lifted()).unwrap();
+        let expected = Ty::forall_ty(
+            "a",
+            LKind::P,
+            Ty::arrow(
+                Ty::Int,
+                Ty::arrow(
+                    Ty::Var(sym("a")),
+                    Ty::arrow(
+                        Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))),
+                        Ty::Var(sym("a")),
+                    ),
+                ),
+            ),
+        );
+        assert!(alpha_eq_ty(&t, &expected), "got {t}");
+    }
+
+    #[test]
+    fn b_twice_levity_polymorphic_rejected() {
+        // The motivating rejection of §5: un-compilable levity polymorphism.
+        assert!(matches!(
+            check_closed(&b_twice_levity_polymorphic()).unwrap_err(),
+            TypeError::LevityPolymorphic { .. }
+        ));
+    }
+
+    #[test]
+    fn my_error_checks_with_declared_signature() {
+        let t = check_closed(&my_error()).unwrap();
+        assert!(alpha_eq_ty(&t, &Ty::error_type()), "got {t}");
+    }
+
+    #[test]
+    fn dollar_checks_levity_polymorphically() {
+        let t = check_closed(&dollar()).unwrap();
+        assert!(alpha_eq_ty(&t, &dollar_type()), "got {t}");
+    }
+
+    #[test]
+    fn compose_checks_with_result_generalized() {
+        assert!(check_closed(&compose()).is_ok());
+    }
+
+    #[test]
+    fn compose_with_middle_generalized_is_rejected() {
+        // §7.2: "the restriction around levity-polymorphic arguments bites
+        // here: we cannot generalize the kind of b."
+        assert!(matches!(
+            check_closed(&compose_bad()).unwrap_err(),
+            TypeError::LevityPolymorphic { .. }
+        ));
+    }
+
+    #[test]
+    fn dollar_applies_at_unboxed_result() {
+        // ($) {I} [Int] [Int#] (λn:Int. case n of I#[k] -> k) (I#[3]) ⇓ 3
+        use crate::step::{eval_closed, Outcome};
+        let unbox = Expr::lam(
+            "n",
+            Ty::Int,
+            Expr::case(Expr::Var(sym("n")), "k", Expr::Var(sym("k"))),
+        );
+        let e = Expr::app(
+            Expr::app(
+                Expr::ty_app(
+                    Expr::ty_app(Expr::rep_app(dollar(), Rho::I), Ty::Int),
+                    Ty::IntHash,
+                ),
+                unbox,
+            ),
+            Expr::con(Expr::Lit(3)),
+        );
+        assert!(check_closed(&e).is_ok());
+        let (out, _) = eval_closed(&e, 1000).unwrap();
+        assert_eq!(out, Outcome::Value(Expr::Lit(3)));
+    }
+}

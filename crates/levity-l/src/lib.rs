@@ -1,0 +1,54 @@
+//! The formal calculus **L** of *Levity Polymorphism* (PLDI 2017, §6.1).
+//!
+//! `L` is a variant of System F with unboxed integers (`Int#`), the boxed
+//! `Int` built from them via the constructor `I#`, the divergence constant
+//! `error`, and — the paper's novelty — abstraction over *runtime
+//! representations*: `Λr. e` and `e ρ`.
+//!
+//! The crate implements Figures 2–4 directly:
+//!
+//! * [`syntax`] — the grammar (Figure 2);
+//! * [`ctx`] — contexts `Γ`;
+//! * [`typecheck`] — the typing judgments (Figure 3), whose E_APP/E_LAM
+//!   rules carry the concrete-kind premises that realize the §5.1
+//!   restrictions on levity polymorphism;
+//! * [`step`] — the type-directed small-step semantics (Figure 4), where
+//!   pointer-kinded applications are lazy and integer-kinded ones strict;
+//! * [`subst`] — capture-avoiding substitution and α-equivalence;
+//! * [`gen`] — a generator of random well-typed terms for the §6
+//!   metatheory property tests;
+//! * [`examples`] — the paper's running examples (`bTwice`, `myError`,
+//!   `($)`, `(.)`) as `L` terms.
+//!
+//! # Example
+//!
+//! ```
+//! use levity_l::examples;
+//! use levity_l::typecheck::{check_closed, TypeError};
+//!
+//! // The levity-polymorphic bTwice of §5 cannot be compiled, and the
+//! // type system rejects it:
+//! let bad = examples::b_twice_levity_polymorphic();
+//! assert!(matches!(
+//!     check_closed(&bad).unwrap_err(),
+//!     TypeError::LevityPolymorphic { .. }
+//! ));
+//!
+//! // ... while myError, which only *returns* at an abstract rep, checks:
+//! assert!(check_closed(&examples::my_error()).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod examples;
+pub mod gen;
+pub mod step;
+pub mod subst;
+pub mod syntax;
+pub mod typecheck;
+
+pub use ctx::Ctx;
+pub use step::{eval_closed, Outcome, Step};
+pub use syntax::{ConcreteRep, Expr, LKind, Rho, Ty};
+pub use typecheck::{check_closed, type_of, ty_kind, TypeError};

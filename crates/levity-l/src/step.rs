@@ -1,0 +1,427 @@
+//! The operational semantics of `L` (Figure 4).
+//!
+//! Evaluation is *type-directed*: an application `e₁ e₂` is lazy
+//! (call-by-name: S_APPLAZY / S_BETAPTR) when the argument type has kind
+//! `TYPE P`, and strict (call-by-value, argument first: S_APPSTRICT /
+//! S_APPSTRICT2 / S_BETAUNBOXED) when it has kind `TYPE I`. This is the
+//! formal version of "the kind determines the calling convention".
+//!
+//! Because `L` erases types, evaluation also proceeds *under* `Λ`
+//! (S_TLAM, S_RLAM), and `Λ`-abstractions are values only when their
+//! bodies are (§6.1).
+
+use std::fmt;
+
+use crate::ctx::Ctx;
+use crate::subst::{subst_expr, subst_rep_in_expr, subst_ty_in_expr};
+use crate::syntax::{ConcreteRep, Expr};
+use crate::typecheck::{type_of, ty_concrete_kind, TypeError};
+
+/// The result of one small step `Γ ⊢ e → e'`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// `e` stepped to the contained expression.
+    To(Expr),
+    /// `e` is already a value; no rule applies.
+    Value,
+    /// `e` stepped to ⊥: the machine aborted (S_ERROR).
+    Bottom,
+}
+
+/// Why the step relation got stuck (only possible on ill-typed input;
+/// Progress guarantees this never happens for well-typed closed terms).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepError {
+    /// The semantics needed a type and type checking failed.
+    Type(TypeError),
+    /// No rule applies and the expression is not a value.
+    Stuck(Expr),
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::Type(e) => write!(f, "type error during evaluation: {e}"),
+            StepError::Stuck(e) => write!(f, "stuck expression: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+impl From<TypeError> for StepError {
+    fn from(e: TypeError) -> StepError {
+        StepError::Type(e)
+    }
+}
+
+/// Performs one step of `Γ ⊢ e → e'` (Figure 4).
+///
+/// The context matters only for the type-directed choice between lazy and
+/// strict application and for stepping under binders; closed terms use
+/// [`step_closed`].
+///
+/// # Errors
+///
+/// Returns [`StepError`] only on ill-typed input.
+pub fn step(ctx: &mut Ctx, e: &Expr) -> Result<Step, StepError> {
+    if e.is_value() {
+        return Ok(Step::Value);
+    }
+    match e {
+        // A free variable is stuck, not a value; Progress rules this out
+        // for contexts without term bindings.
+        Expr::Var(_) => Err(StepError::Stuck(e.clone())),
+        // Handled by the is_value check above.
+        Expr::Lam(..) | Expr::Lit(_) => Ok(Step::Value),
+
+        // S_ERROR: error → ⊥.
+        Expr::Error => Ok(Step::Bottom),
+
+        Expr::App(e1, e2) => {
+            // The choice of strategy is dictated by the *kind* of the
+            // argument type (S_APPLAZY vs S_APPSTRICT).
+            let arg_ty = type_of(ctx, e2)?;
+            let rep = ty_concrete_kind(ctx, &arg_ty)?;
+            match rep {
+                ConcreteRep::P => {
+                    // S_BETAPTR: call-by-name; substitute e2 unevaluated.
+                    if let Expr::Lam(x, _, body) = &**e1 {
+                        return Ok(Step::To(subst_expr(body, *x, e2)));
+                    }
+                    // S_APPLAZY: evaluate the function.
+                    match step(ctx, e1)? {
+                        Step::To(e1p) => Ok(Step::To(Expr::app(e1p, (**e2).clone()))),
+                        Step::Bottom => Ok(Step::Bottom),
+                        Step::Value => Err(StepError::Stuck(e.clone())),
+                    }
+                }
+                ConcreteRep::I => {
+                    if !e2.is_value() {
+                        // S_APPSTRICT: evaluate the argument first.
+                        return match step(ctx, e2)? {
+                            Step::To(e2p) => Ok(Step::To(Expr::app((**e1).clone(), e2p))),
+                            Step::Bottom => Ok(Step::Bottom),
+                            Step::Value => Err(StepError::Stuck(e.clone())),
+                        };
+                    }
+                    // S_BETAUNBOXED: argument is a value; β-reduce.
+                    if let Expr::Lam(x, _, body) = &**e1 {
+                        return Ok(Step::To(subst_expr(body, *x, e2)));
+                    }
+                    // S_APPSTRICT2: then evaluate the function.
+                    match step(ctx, e1)? {
+                        Step::To(e1p) => Ok(Step::To(Expr::app(e1p, (**e2).clone()))),
+                        Step::Bottom => Ok(Step::Bottom),
+                        Step::Value => Err(StepError::Stuck(e.clone())),
+                    }
+                }
+            }
+        }
+
+        // S_TBETA / S_TAPP.
+        Expr::TyApp(fun, ty_arg) => {
+            if let Expr::TyLam(alpha, _, body) = &**fun {
+                if body.is_value() {
+                    return Ok(Step::To(subst_ty_in_expr(body, *alpha, ty_arg)));
+                }
+            }
+            match step(ctx, fun)? {
+                Step::To(fp) => Ok(Step::To(Expr::ty_app(fp, ty_arg.clone()))),
+                Step::Bottom => Ok(Step::Bottom),
+                Step::Value => Err(StepError::Stuck(e.clone())),
+            }
+        }
+
+        // S_RBETA / S_RAPP.
+        Expr::RepApp(fun, rho) => {
+            if let Expr::RepLam(r, body) = &**fun {
+                if body.is_value() {
+                    return Ok(Step::To(subst_rep_in_expr(body, *r, *rho)));
+                }
+            }
+            match step(ctx, fun)? {
+                Step::To(fp) => Ok(Step::To(Expr::rep_app(fp, *rho))),
+                Step::Bottom => Ok(Step::Bottom),
+                Step::Value => Err(StepError::Stuck(e.clone())),
+            }
+        }
+
+        // S_TLAM: evaluate under Λ (type erasure).
+        Expr::TyLam(alpha, kind, body) => {
+            ctx.push_ty_var(*alpha, *kind);
+            let inner = step(ctx, body);
+            ctx.pop();
+            match inner? {
+                Step::To(bp) => Ok(Step::To(Expr::ty_lam(*alpha, *kind, bp))),
+                Step::Bottom => Ok(Step::Bottom),
+                Step::Value => Err(StepError::Stuck(e.clone())),
+            }
+        }
+
+        // S_RLAM: evaluate under Λr.
+        Expr::RepLam(r, body) => {
+            ctx.push_rep_var(*r);
+            let inner = step(ctx, body);
+            ctx.pop();
+            match inner? {
+                Step::To(bp) => Ok(Step::To(Expr::rep_lam(*r, bp))),
+                Step::Bottom => Ok(Step::Bottom),
+                Step::Value => Err(StepError::Stuck(e.clone())),
+            }
+        }
+
+        // S_CON: the field of I# is an Int#, evaluated strictly.
+        Expr::Con(inner) => match step(ctx, inner)? {
+            Step::To(ip) => Ok(Step::To(Expr::con(ip))),
+            Step::Bottom => Ok(Step::Bottom),
+            Step::Value => Err(StepError::Stuck(e.clone())),
+        },
+
+        // S_MATCH / S_CASE.
+        Expr::Case(scrut, x, body) => {
+            if let Expr::Con(inner) = &**scrut {
+                if let Expr::Lit(_) = &**inner {
+                    return Ok(Step::To(subst_expr(body, *x, inner)));
+                }
+            }
+            match step(ctx, scrut)? {
+                Step::To(sp) => Ok(Step::To(Expr::case(sp, *x, (**body).clone()))),
+                Step::Bottom => Ok(Step::Bottom),
+                Step::Value => Err(StepError::Stuck(e.clone())),
+            }
+        }
+    }
+}
+
+/// One step of a closed expression.
+pub fn step_closed(e: &Expr) -> Result<Step, StepError> {
+    step(&mut Ctx::new(), e)
+}
+
+/// The observable outcome of running an `L` expression to completion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Evaluated to a value.
+    Value(Expr),
+    /// The machine aborted via `error` (⊥).
+    Bottom,
+    /// Fuel ran out (cannot happen for well-typed terms given enough fuel:
+    /// `L` has no recursion, so all well-typed terms terminate).
+    OutOfFuel(Expr),
+}
+
+impl Outcome {
+    /// The value, if the outcome is a value.
+    pub fn value(&self) -> Option<&Expr> {
+        match self {
+            Outcome::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Runs `e` for at most `fuel` steps, recording the number of steps taken.
+///
+/// # Errors
+///
+/// Returns [`StepError`] only on ill-typed input.
+pub fn eval(ctx: &mut Ctx, e: &Expr, fuel: usize) -> Result<(Outcome, usize), StepError> {
+    let mut cur = e.clone();
+    for taken in 0..fuel {
+        match step(ctx, &cur)? {
+            Step::To(next) => cur = next,
+            Step::Value => return Ok((Outcome::Value(cur), taken)),
+            Step::Bottom => return Ok((Outcome::Bottom, taken + 1)),
+        }
+    }
+    if cur.is_value() {
+        Ok((Outcome::Value(cur), fuel))
+    } else {
+        Ok((Outcome::OutOfFuel(cur), fuel))
+    }
+}
+
+/// Evaluates a closed expression with the given fuel.
+///
+/// # Errors
+///
+/// Returns [`StepError`] only on ill-typed input.
+///
+/// # Examples
+///
+/// ```
+/// use levity_l::step::{eval_closed, Outcome};
+/// use levity_l::syntax::{Expr, Ty};
+///
+/// // (\(x : Int#). x) 7  —  strict application of an unboxed argument.
+/// let e = Expr::app(Expr::lam("x", Ty::IntHash, Expr::Var("x".into())), Expr::Lit(7));
+/// let (outcome, _steps) = eval_closed(&e, 100)?;
+/// assert_eq!(outcome, Outcome::Value(Expr::Lit(7)));
+/// # Ok::<(), levity_l::step::StepError>(())
+/// ```
+pub fn eval_closed(e: &Expr, fuel: usize) -> Result<(Outcome, usize), StepError> {
+    eval(&mut Ctx::new(), e, fuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{LKind, Rho, Ty};
+    use levity_core::symbol::Symbol;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    fn run(e: &Expr) -> Outcome {
+        eval_closed(e, 10_000).expect("evaluation should not get stuck").0
+    }
+
+    #[test]
+    fn beta_unboxed() {
+        let e = Expr::app(Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))), Expr::Lit(3));
+        assert_eq!(run(&e), Outcome::Value(Expr::Lit(3)));
+    }
+
+    #[test]
+    fn beta_pointer_is_call_by_name() {
+        // (λx:Int. I#[5]) (error {P} [Int] (I#[0])) evaluates to I#[5]
+        // without touching the erroring argument: S_BETAPTR substitutes
+        // the argument unevaluated.
+        let diverging_arg = Expr::app(
+            Expr::ty_app(Expr::rep_app(Expr::Error, Rho::P), Ty::Int),
+            Expr::con(Expr::Lit(0)),
+        );
+        let e = Expr::app(
+            Expr::lam("x", Ty::Int, Expr::con(Expr::Lit(5))),
+            diverging_arg,
+        );
+        assert_eq!(run(&e), Outcome::Value(Expr::con(Expr::Lit(5))));
+    }
+
+    #[test]
+    fn strict_application_evaluates_argument_first() {
+        // (λx:Int#. 5) (case (error {P} [Int] (I#[0])) of I#[y] -> y)
+        // must hit ⊥: the Int# argument is evaluated before the call.
+        let erroring = Expr::case(
+            Expr::app(
+                Expr::ty_app(Expr::rep_app(Expr::Error, Rho::P), Ty::Int),
+                Expr::con(Expr::Lit(0)),
+            ),
+            "y",
+            Expr::Var(sym("y")),
+        );
+        let e = Expr::app(Expr::lam("x", Ty::IntHash, Expr::Lit(5)), erroring);
+        assert_eq!(run(&e), Outcome::Bottom);
+    }
+
+    #[test]
+    fn case_unboxes_and_substitutes() {
+        let e = Expr::case(Expr::con(Expr::Lit(9)), "x", Expr::Var(sym("x")));
+        assert_eq!(run(&e), Outcome::Value(Expr::Lit(9)));
+    }
+
+    #[test]
+    fn case_forces_scrutinee() {
+        // case ((λy:Int#. I#[y]) 4) of I#[x] -> x
+        let e = Expr::case(
+            Expr::app(Expr::lam("y", Ty::IntHash, Expr::con(Expr::Var(sym("y")))), Expr::Lit(4)),
+            "x",
+            Expr::Var(sym("x")),
+        );
+        assert_eq!(run(&e), Outcome::Value(Expr::Lit(4)));
+    }
+
+    #[test]
+    fn type_beta_after_body_is_value() {
+        // (Λα:TYPE P. λx:α. x) [Int] applied to I#[2].
+        let e = Expr::app(
+            Expr::ty_app(
+                Expr::ty_lam("a", LKind::P, Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x")))),
+                Ty::Int,
+            ),
+            Expr::con(Expr::Lit(2)),
+        );
+        assert_eq!(run(&e), Outcome::Value(Expr::con(Expr::Lit(2))));
+    }
+
+    #[test]
+    fn evaluation_proceeds_under_type_lambda() {
+        // Λα:TYPE P. ((λx:Int#. λy:α. y) 1) steps under the Λ until the
+        // body is a value.
+        let e = Expr::ty_lam(
+            "a",
+            LKind::P,
+            Expr::app(
+                Expr::lam(
+                    "x",
+                    Ty::IntHash,
+                    Expr::lam("y", Ty::Var(sym("a")), Expr::Var(sym("y"))),
+                ),
+                Expr::Lit(1),
+            ),
+        );
+        let out = run(&e);
+        match out {
+            Outcome::Value(Expr::TyLam(_, _, body)) => assert!(body.is_value()),
+            other => panic!("expected a TyLam value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rep_beta() {
+        // (Λr. Λα:TYPE r. λs:Int. error {r} [α] s) {I} [Int#] (I#[1]) → ⊥
+        let my_error = Expr::rep_lam(
+            "r",
+            Expr::ty_lam(
+                "a",
+                LKind::var(sym("r")),
+                Expr::lam(
+                    "s",
+                    Ty::Int,
+                    Expr::app(
+                        Expr::ty_app(
+                            Expr::rep_app(Expr::Error, Rho::Var(sym("r"))),
+                            Ty::Var(sym("a")),
+                        ),
+                        Expr::Var(sym("s")),
+                    ),
+                ),
+            ),
+        );
+        let e = Expr::app(
+            Expr::ty_app(Expr::rep_app(my_error, Rho::I), Ty::IntHash),
+            Expr::con(Expr::Lit(1)),
+        );
+        assert_eq!(run(&e), Outcome::Bottom);
+    }
+
+    #[test]
+    fn error_alone_bottoms() {
+        assert_eq!(run(&Expr::Error), Outcome::Bottom);
+    }
+
+    #[test]
+    fn con_evaluates_strictly() {
+        // I#[(λx:Int#. x) 8]
+        let e = Expr::con(Expr::app(Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))), Expr::Lit(8)));
+        assert_eq!(run(&e), Outcome::Value(Expr::con(Expr::Lit(8))));
+    }
+
+    #[test]
+    fn steps_are_counted() {
+        let e = Expr::app(Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))), Expr::Lit(3));
+        let (out, steps) = eval_closed(&e, 100).unwrap();
+        assert_eq!(out, Outcome::Value(Expr::Lit(3)));
+        assert_eq!(steps, 1);
+    }
+
+    #[test]
+    fn out_of_fuel_reports_progress() {
+        // A term needing a few steps with fuel 0 reports OutOfFuel.
+        let e = Expr::case(Expr::con(Expr::Lit(1)), "x", Expr::Var(sym("x")));
+        let (out, _) = eval_closed(&e, 0).unwrap();
+        assert!(matches!(out, Outcome::OutOfFuel(_)));
+    }
+}

@@ -1,0 +1,540 @@
+//! Capture-avoiding substitution and α-equivalence for `L`.
+//!
+//! Three substitutions drive the operational semantics (Figure 4):
+//!
+//! * `e[e₂/x]` — β-reduction (S_BETAPTR, S_BETAUNBOXED) and case matching;
+//! * `e[τ/α]` and `τ'[τ/α]` — type β-reduction (S_TBETA, E_TAPP);
+//! * `e[ρ/r]` and `τ[ρ/r]` — representation β-reduction (S_RBETA, E_RAPP).
+//!
+//! All are capture-avoiding: substituting under a binder that would
+//! capture a free variable of the payload first freshens the binder.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use levity_core::symbol::Symbol;
+
+use crate::syntax::{Expr, LKind, Rho, Ty};
+
+static FRESH_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh symbol derived from `base`, guaranteed distinct from all
+/// previously issued names in this process.
+pub fn freshen(base: Symbol) -> Symbol {
+    let n = FRESH_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let stem = base.as_str().split('\'').next().unwrap_or("v");
+    Symbol::intern(&format!("{stem}'{n}"))
+}
+
+// ---------------------------------------------------------------------------
+// Free variables
+// ---------------------------------------------------------------------------
+
+/// Free *term* variables of an expression.
+pub fn free_term_vars(e: &Expr) -> Vec<Symbol> {
+    let mut out = Vec::new();
+    go_term(e, &mut Vec::new(), &mut out);
+    return out;
+
+    fn go_term(e: &Expr, bound: &mut Vec<Symbol>, out: &mut Vec<Symbol>) {
+        match e {
+            Expr::Var(x) => {
+                if !bound.contains(x) && !out.contains(x) {
+                    out.push(*x);
+                }
+            }
+            Expr::App(a, b) => {
+                go_term(a, bound, out);
+                go_term(b, bound, out);
+            }
+            Expr::Lam(x, _, body) => {
+                bound.push(*x);
+                go_term(body, bound, out);
+                bound.pop();
+            }
+            Expr::TyLam(_, _, body) | Expr::RepLam(_, body) | Expr::Con(body) => {
+                go_term(body, bound, out)
+            }
+            Expr::TyApp(a, _) | Expr::RepApp(a, _) => go_term(a, bound, out),
+            Expr::Case(scrut, x, body) => {
+                go_term(scrut, bound, out);
+                bound.push(*x);
+                go_term(body, bound, out);
+                bound.pop();
+            }
+            Expr::Lit(_) | Expr::Error => {}
+        }
+    }
+}
+
+/// Free *type* variables of a type.
+pub fn free_ty_vars(ty: &Ty) -> Vec<Symbol> {
+    let mut out = Vec::new();
+    go(ty, &mut Vec::new(), &mut out);
+    return out;
+
+    fn go(ty: &Ty, bound: &mut Vec<Symbol>, out: &mut Vec<Symbol>) {
+        match ty {
+            Ty::Int | Ty::IntHash => {}
+            Ty::Arrow(a, b) => {
+                go(a, bound, out);
+                go(b, bound, out);
+            }
+            Ty::Var(v) => {
+                if !bound.contains(v) && !out.contains(v) {
+                    out.push(*v);
+                }
+            }
+            Ty::ForallTy(a, _, t) => {
+                bound.push(*a);
+                go(t, bound, out);
+                bound.pop();
+            }
+            Ty::ForallRep(_, t) => go(t, bound, out),
+        }
+    }
+}
+
+/// Free *representation* variables of a type.
+pub fn free_rep_vars_ty(ty: &Ty) -> Vec<Symbol> {
+    let mut out = Vec::new();
+    go(ty, &mut Vec::new(), &mut out);
+    return out;
+
+    fn rho(r: &Rho, bound: &[Symbol], out: &mut Vec<Symbol>) {
+        if let Rho::Var(v) = r {
+            if !bound.contains(v) && !out.contains(v) {
+                out.push(*v);
+            }
+        }
+    }
+
+    fn go(ty: &Ty, bound: &mut Vec<Symbol>, out: &mut Vec<Symbol>) {
+        match ty {
+            Ty::Int | Ty::IntHash | Ty::Var(_) => {}
+            Ty::Arrow(a, b) => {
+                go(a, bound, out);
+                go(b, bound, out);
+            }
+            Ty::ForallTy(_, LKind(k), t) => {
+                rho(k, bound, out);
+                go(t, bound, out);
+            }
+            Ty::ForallRep(r, t) => {
+                bound.push(*r);
+                go(t, bound, out);
+                bound.pop();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Substitution into types
+// ---------------------------------------------------------------------------
+
+/// `τ'[τ/α]`: substitutes type `payload` for type variable `alpha` in `ty`.
+pub fn subst_ty_in_ty(ty: &Ty, alpha: Symbol, payload: &Ty) -> Ty {
+    match ty {
+        Ty::Int | Ty::IntHash => ty.clone(),
+        Ty::Var(v) if *v == alpha => payload.clone(),
+        Ty::Var(_) => ty.clone(),
+        Ty::Arrow(a, b) => Ty::arrow(
+            subst_ty_in_ty(a, alpha, payload),
+            subst_ty_in_ty(b, alpha, payload),
+        ),
+        Ty::ForallTy(a, k, body) => {
+            if *a == alpha {
+                // Shadowed: stop.
+                ty.clone()
+            } else if free_ty_vars(payload).contains(a) {
+                // Would capture: freshen the binder first.
+                let fresh = freshen(*a);
+                let renamed = subst_ty_in_ty(body, *a, &Ty::Var(fresh));
+                Ty::forall_ty(fresh, *k, subst_ty_in_ty(&renamed, alpha, payload))
+            } else {
+                Ty::forall_ty(*a, *k, subst_ty_in_ty(body, alpha, payload))
+            }
+        }
+        Ty::ForallRep(r, body) => {
+            // Type variables and rep variables live in different
+            // namespaces, but the payload type may mention the rep var `r`
+            // freely; freshen if so.
+            if free_rep_vars_ty(payload).contains(r) {
+                let fresh = freshen(*r);
+                let renamed = subst_rep_in_ty(body, *r, Rho::Var(fresh));
+                Ty::forall_rep(fresh, subst_ty_in_ty(&renamed, alpha, payload))
+            } else {
+                Ty::forall_rep(*r, subst_ty_in_ty(body, alpha, payload))
+            }
+        }
+    }
+}
+
+/// `τ[ρ/r]`: substitutes representation `rho` for rep variable `r` in `ty`.
+pub fn subst_rep_in_ty(ty: &Ty, r: Symbol, rho: Rho) -> Ty {
+    fn subst_kind(LKind(k): LKind, r: Symbol, rho: Rho) -> LKind {
+        match k {
+            Rho::Var(v) if v == r => LKind(rho),
+            _ => LKind(k),
+        }
+    }
+    match ty {
+        Ty::Int | Ty::IntHash | Ty::Var(_) => ty.clone(),
+        Ty::Arrow(a, b) => {
+            Ty::arrow(subst_rep_in_ty(a, r, rho), subst_rep_in_ty(b, r, rho))
+        }
+        Ty::ForallTy(a, k, body) => {
+            Ty::forall_ty(*a, subst_kind(*k, r, rho), subst_rep_in_ty(body, r, rho))
+        }
+        Ty::ForallRep(s, body) => {
+            if *s == r {
+                ty.clone()
+            } else if matches!(rho, Rho::Var(v) if v == *s) {
+                let fresh = freshen(*s);
+                let renamed = subst_rep_in_ty(body, *s, Rho::Var(fresh));
+                Ty::forall_rep(fresh, subst_rep_in_ty(&renamed, r, rho))
+            } else {
+                Ty::forall_rep(*s, subst_rep_in_ty(body, r, rho))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Substitution into expressions
+// ---------------------------------------------------------------------------
+
+/// `e[e₂/x]`: substitutes expression `payload` for term variable `x`.
+pub fn subst_expr(e: &Expr, x: Symbol, payload: &Expr) -> Expr {
+    match e {
+        Expr::Var(y) if *y == x => payload.clone(),
+        Expr::Var(_) | Expr::Lit(_) | Expr::Error => e.clone(),
+        Expr::App(a, b) => Expr::app(subst_expr(a, x, payload), subst_expr(b, x, payload)),
+        Expr::Lam(y, ty, body) => {
+            if *y == x {
+                e.clone()
+            } else if free_term_vars(payload).contains(y) {
+                let fresh = freshen(*y);
+                let renamed = subst_expr(body, *y, &Expr::Var(fresh));
+                Expr::lam(fresh, ty.clone(), subst_expr(&renamed, x, payload))
+            } else {
+                Expr::lam(*y, ty.clone(), subst_expr(body, x, payload))
+            }
+        }
+        Expr::TyLam(a, k, body) => Expr::ty_lam(*a, *k, subst_expr(body, x, payload)),
+        Expr::TyApp(f, ty) => Expr::ty_app(subst_expr(f, x, payload), ty.clone()),
+        Expr::RepLam(r, body) => Expr::rep_lam(*r, subst_expr(body, x, payload)),
+        Expr::RepApp(f, rho) => Expr::rep_app(subst_expr(f, x, payload), *rho),
+        Expr::Con(inner) => Expr::con(subst_expr(inner, x, payload)),
+        Expr::Case(scrut, y, body) => {
+            let scrut = subst_expr(scrut, x, payload);
+            if *y == x {
+                Expr::case(scrut, *y, (**body).clone())
+            } else if free_term_vars(payload).contains(y) {
+                let fresh = freshen(*y);
+                let renamed = subst_expr(body, *y, &Expr::Var(fresh));
+                Expr::case(scrut, fresh, subst_expr(&renamed, x, payload))
+            } else {
+                Expr::case(scrut, *y, subst_expr(body, x, payload))
+            }
+        }
+    }
+}
+
+/// `e[τ/α]`: substitutes a type for a type variable in an expression.
+pub fn subst_ty_in_expr(e: &Expr, alpha: Symbol, payload: &Ty) -> Expr {
+    match e {
+        Expr::Var(_) | Expr::Lit(_) | Expr::Error => e.clone(),
+        Expr::App(a, b) => Expr::app(
+            subst_ty_in_expr(a, alpha, payload),
+            subst_ty_in_expr(b, alpha, payload),
+        ),
+        Expr::Lam(x, ty, body) => Expr::lam(
+            *x,
+            subst_ty_in_ty(ty, alpha, payload),
+            subst_ty_in_expr(body, alpha, payload),
+        ),
+        Expr::TyLam(a, k, body) => {
+            if *a == alpha {
+                e.clone()
+            } else if free_ty_vars(payload).contains(a) {
+                let fresh = freshen(*a);
+                let renamed = subst_ty_in_expr(body, *a, &Ty::Var(fresh));
+                Expr::ty_lam(fresh, *k, subst_ty_in_expr(&renamed, alpha, payload))
+            } else {
+                Expr::ty_lam(*a, *k, subst_ty_in_expr(body, alpha, payload))
+            }
+        }
+        Expr::TyApp(f, ty) => Expr::ty_app(
+            subst_ty_in_expr(f, alpha, payload),
+            subst_ty_in_ty(ty, alpha, payload),
+        ),
+        Expr::RepLam(r, body) => {
+            if free_rep_vars_ty(payload).contains(r) {
+                let fresh = freshen(*r);
+                let renamed = subst_rep_in_expr(body, *r, Rho::Var(fresh));
+                Expr::rep_lam(fresh, subst_ty_in_expr(&renamed, alpha, payload))
+            } else {
+                Expr::rep_lam(*r, subst_ty_in_expr(body, alpha, payload))
+            }
+        }
+        Expr::RepApp(f, rho) => Expr::rep_app(subst_ty_in_expr(f, alpha, payload), *rho),
+        Expr::Con(inner) => Expr::con(subst_ty_in_expr(inner, alpha, payload)),
+        Expr::Case(scrut, x, body) => Expr::case(
+            subst_ty_in_expr(scrut, alpha, payload),
+            *x,
+            subst_ty_in_expr(body, alpha, payload),
+        ),
+    }
+}
+
+/// `e[ρ/r]`: substitutes a representation for a rep variable in an
+/// expression.
+pub fn subst_rep_in_expr(e: &Expr, r: Symbol, rho: Rho) -> Expr {
+    fn subst_kind(LKind(k): LKind, r: Symbol, rho: Rho) -> LKind {
+        match k {
+            Rho::Var(v) if v == r => LKind(rho),
+            _ => LKind(k),
+        }
+    }
+    fn subst_rho(inner: Rho, r: Symbol, rho: Rho) -> Rho {
+        match inner {
+            Rho::Var(v) if v == r => rho,
+            _ => inner,
+        }
+    }
+    match e {
+        Expr::Var(_) | Expr::Lit(_) | Expr::Error => e.clone(),
+        Expr::App(a, b) => {
+            Expr::app(subst_rep_in_expr(a, r, rho), subst_rep_in_expr(b, r, rho))
+        }
+        Expr::Lam(x, ty, body) => Expr::lam(
+            *x,
+            subst_rep_in_ty(ty, r, rho),
+            subst_rep_in_expr(body, r, rho),
+        ),
+        Expr::TyLam(a, k, body) => {
+            Expr::ty_lam(*a, subst_kind(*k, r, rho), subst_rep_in_expr(body, r, rho))
+        }
+        Expr::TyApp(f, ty) => {
+            Expr::ty_app(subst_rep_in_expr(f, r, rho), subst_rep_in_ty(ty, r, rho))
+        }
+        Expr::RepLam(s, body) => {
+            if *s == r {
+                e.clone()
+            } else if matches!(rho, Rho::Var(v) if v == *s) {
+                let fresh = freshen(*s);
+                let renamed = subst_rep_in_expr(body, *s, Rho::Var(fresh));
+                Expr::rep_lam(fresh, subst_rep_in_expr(&renamed, r, rho))
+            } else {
+                Expr::rep_lam(*s, subst_rep_in_expr(body, r, rho))
+            }
+        }
+        Expr::RepApp(f, inner) => {
+            Expr::rep_app(subst_rep_in_expr(f, r, rho), subst_rho(*inner, r, rho))
+        }
+        Expr::Con(inner) => Expr::con(subst_rep_in_expr(inner, r, rho)),
+        Expr::Case(scrut, x, body) => Expr::case(
+            subst_rep_in_expr(scrut, r, rho),
+            *x,
+            subst_rep_in_expr(body, r, rho),
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// α-equivalence of types
+// ---------------------------------------------------------------------------
+
+/// α-equivalence of types, used by the checker at E_APP (the argument type
+/// must *be* the domain type) and by the preservation tests.
+pub fn alpha_eq_ty(t1: &Ty, t2: &Ty) -> bool {
+    fn go(t1: &Ty, t2: &Ty, env: &mut Vec<(Symbol, Symbol)>, renv: &mut Vec<(Symbol, Symbol)>) -> bool {
+        match (t1, t2) {
+            (Ty::Int, Ty::Int) | (Ty::IntHash, Ty::IntHash) => true,
+            (Ty::Arrow(a1, b1), Ty::Arrow(a2, b2)) => {
+                go(a1, a2, env, renv) && go(b1, b2, env, renv)
+            }
+            (Ty::Var(v1), Ty::Var(v2)) => {
+                // Look for the most recent binding of either side.
+                for (l, r) in env.iter().rev() {
+                    if l == v1 || r == v2 {
+                        return l == v1 && r == v2;
+                    }
+                }
+                v1 == v2
+            }
+            (Ty::ForallTy(a1, k1, b1), Ty::ForallTy(a2, k2, b2)) => {
+                if !kind_eq(*k1, *k2, renv) {
+                    return false;
+                }
+                env.push((*a1, *a2));
+                let ok = go(b1, b2, env, renv);
+                env.pop();
+                ok
+            }
+            (Ty::ForallRep(r1, b1), Ty::ForallRep(r2, b2)) => {
+                renv.push((*r1, *r2));
+                let ok = go(b1, b2, env, renv);
+                renv.pop();
+                ok
+            }
+            _ => false,
+        }
+    }
+
+    fn kind_eq(LKind(k1): LKind, LKind(k2): LKind, renv: &[(Symbol, Symbol)]) -> bool {
+        match (k1, k2) {
+            (Rho::Concrete(u1), Rho::Concrete(u2)) => u1 == u2,
+            (Rho::Var(v1), Rho::Var(v2)) => {
+                for (l, r) in renv.iter().rev() {
+                    if *l == v1 || *r == v2 {
+                        return *l == v1 && *r == v2;
+                    }
+                }
+                v1 == v2
+            }
+            _ => false,
+        }
+    }
+
+    go(t1, t2, &mut Vec::new(), &mut Vec::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn simple_term_substitution() {
+        let e = Expr::app(Expr::Var(sym("f")), Expr::Var(sym("x")));
+        let out = subst_expr(&e, sym("x"), &Expr::Lit(1));
+        assert_eq!(out, Expr::app(Expr::Var(sym("f")), Expr::Lit(1)));
+    }
+
+    #[test]
+    fn substitution_respects_shadowing() {
+        // (λx. x)[1/x] = λx. x
+        let e = Expr::lam("x", Ty::IntHash, Expr::Var(sym("x")));
+        assert_eq!(subst_expr(&e, sym("x"), &Expr::Lit(1)), e);
+    }
+
+    #[test]
+    fn substitution_avoids_capture() {
+        // (λy. x)[y/x] must not become λy. y.
+        let e = Expr::lam("y", Ty::Int, Expr::Var(sym("x")));
+        let out = subst_expr(&e, sym("x"), &Expr::Var(sym("y")));
+        match out {
+            Expr::Lam(binder, _, body) => {
+                assert_ne!(binder, sym("y"), "binder should have been freshened");
+                assert_eq!(*body, Expr::Var(sym("y")));
+            }
+            other => panic!("expected lambda, got {other}"),
+        }
+    }
+
+    #[test]
+    fn ty_substitution_under_forall_avoids_capture() {
+        // (∀b. a -> b)[b/a] must not capture.
+        let t = Ty::forall_ty("b", LKind::P, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b"))));
+        let out = subst_ty_in_ty(&t, sym("a"), &Ty::Var(sym("b")));
+        match out {
+            Ty::ForallTy(binder, _, body) => {
+                assert_ne!(binder, sym("b"));
+                assert_eq!(*body, Ty::arrow(Ty::Var(sym("b")), Ty::Var(binder)));
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rep_substitution_in_types() {
+        // (∀α:TYPE r. α -> Int)[I/r]
+        let t = Ty::forall_ty(
+            "a",
+            LKind::var(sym("r")),
+            Ty::arrow(Ty::Var(sym("a")), Ty::Int),
+        );
+        let out = subst_rep_in_ty(&t, sym("r"), Rho::I);
+        assert_eq!(
+            out,
+            Ty::forall_ty("a", LKind::I, Ty::arrow(Ty::Var(sym("a")), Ty::Int))
+        );
+    }
+
+    #[test]
+    fn rep_substitution_respects_shadowing() {
+        let t = Ty::forall_rep("r", Ty::forall_ty("a", LKind::var(sym("r")), Ty::Var(sym("a"))));
+        assert_eq!(subst_rep_in_ty(&t, sym("r"), Rho::P), t);
+    }
+
+    #[test]
+    fn alpha_equivalence_of_foralls() {
+        let t1 = Ty::forall_ty("a", LKind::P, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))));
+        let t2 = Ty::forall_ty("b", LKind::P, Ty::arrow(Ty::Var(sym("b")), Ty::Var(sym("b"))));
+        assert!(alpha_eq_ty(&t1, &t2));
+        let t3 = Ty::forall_ty("a", LKind::I, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))));
+        assert!(!alpha_eq_ty(&t1, &t3), "kinds must match");
+    }
+
+    #[test]
+    fn alpha_equivalence_of_rep_foralls() {
+        let t1 = Ty::forall_rep("r", Ty::forall_ty("a", LKind::var(sym("r")), Ty::arrow(Ty::Int, Ty::Var(sym("a")))));
+        let t2 = Ty::forall_rep("s", Ty::forall_ty("b", LKind::var(sym("s")), Ty::arrow(Ty::Int, Ty::Var(sym("b")))));
+        assert!(alpha_eq_ty(&t1, &t2));
+    }
+
+    #[test]
+    fn alpha_inequivalence_detects_swaps() {
+        // ∀a b. a -> b  vs  ∀a b. b -> a
+        let t1 = Ty::forall_ty(
+            "a",
+            LKind::P,
+            Ty::forall_ty("b", LKind::P, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b")))),
+        );
+        let t2 = Ty::forall_ty(
+            "a",
+            LKind::P,
+            Ty::forall_ty("b", LKind::P, Ty::arrow(Ty::Var(sym("b")), Ty::Var(sym("a")))),
+        );
+        assert!(!alpha_eq_ty(&t1, &t2));
+    }
+
+    #[test]
+    fn free_vars_of_open_terms() {
+        let e = Expr::lam("x", Ty::Int, Expr::app(Expr::Var(sym("f")), Expr::Var(sym("x"))));
+        assert_eq!(free_term_vars(&e), vec![sym("f")]);
+    }
+
+    #[test]
+    fn free_rep_vars_see_through_ty_binders() {
+        let t = Ty::forall_ty("a", LKind::var(sym("r")), Ty::Var(sym("a")));
+        assert_eq!(free_rep_vars_ty(&t), vec![sym("r")]);
+        let closed = Ty::forall_rep("r", t);
+        assert!(free_rep_vars_ty(&closed).is_empty());
+    }
+
+    #[test]
+    fn subst_ty_in_expr_rewrites_annotations() {
+        let e = Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x")));
+        let out = subst_ty_in_expr(&e, sym("a"), &Ty::IntHash);
+        assert_eq!(out, Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))));
+    }
+
+    #[test]
+    fn subst_rep_in_expr_rewrites_kinds_and_rep_apps() {
+        let e = Expr::rep_app(
+            Expr::ty_lam("a", LKind::var(sym("r")), Expr::Var(sym("y"))),
+            Rho::Var(sym("r")),
+        );
+        let out = subst_rep_in_expr(&e, sym("r"), Rho::I);
+        assert_eq!(
+            out,
+            Expr::rep_app(Expr::ty_lam("a", LKind::I, Expr::Var(sym("y"))), Rho::I)
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! The grammar of `L` (Figure 2).
+//!
+//! `L` is a variant of System F with:
+//!
+//! * base types `Int` (boxed, lifted) and `Int#` (unboxed integer);
+//! * the data constructor `I#[e]` and `case e₁ of I#[x] -> e₂`;
+//! * `error` (halts the machine);
+//! * and — the novelty — *representation abstraction* `Λr. e` and
+//!   application `e ρ`, where `ρ` ranges over representation variables and
+//!   the two concrete representations `P` (pointer) and `I` (integer).
+//!
+//! Kinds are `TYPE ρ`; a kind `TYPE υ` with `υ ∈ {P, I}` is *concrete*.
+//! The typing rules (Figure 3) demand concrete kinds exactly where the
+//! §5.1 restrictions do: at λ-binders and at function applications.
+
+use std::fmt;
+
+use levity_core::symbol::Symbol;
+
+/// A concrete representation `υ ::= P | I` (Figure 2).
+///
+/// `P` is "pointer": boxed, lifted, call-by-need. `I` is "integer":
+/// unboxed, call-by-value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConcreteRep {
+    /// Pointer representation (boxed, lifted).
+    P,
+    /// Integer representation (unboxed).
+    I,
+}
+
+impl fmt::Display for ConcreteRep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConcreteRep::P => f.write_str("P"),
+            ConcreteRep::I => f.write_str("I"),
+        }
+    }
+}
+
+/// A runtime representation `ρ ::= r | υ` (Figure 2): either a
+/// representation variable or a concrete representation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Rho {
+    /// A representation variable `r`.
+    Var(Symbol),
+    /// A concrete representation `υ`.
+    Concrete(ConcreteRep),
+}
+
+impl Rho {
+    /// Shorthand for `Rho::Concrete(ConcreteRep::P)`.
+    pub const P: Rho = Rho::Concrete(ConcreteRep::P);
+    /// Shorthand for `Rho::Concrete(ConcreteRep::I)`.
+    pub const I: Rho = Rho::Concrete(ConcreteRep::I);
+
+    /// The concrete representation, if this is not a variable.
+    pub fn as_concrete(self) -> Option<ConcreteRep> {
+        match self {
+            Rho::Var(_) => None,
+            Rho::Concrete(u) => Some(u),
+        }
+    }
+}
+
+impl fmt::Display for Rho {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rho::Var(r) => write!(f, "{r}"),
+            Rho::Concrete(u) => write!(f, "{u}"),
+        }
+    }
+}
+
+/// A kind `κ ::= TYPE ρ` (Figure 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LKind(pub Rho);
+
+impl LKind {
+    /// `TYPE P`.
+    pub const P: LKind = LKind(Rho::P);
+    /// `TYPE I`.
+    pub const I: LKind = LKind(Rho::I);
+
+    /// `TYPE r` for a representation variable.
+    pub fn var(r: Symbol) -> LKind {
+        LKind(Rho::Var(r))
+    }
+
+    /// Is the representation concrete (`TYPE υ`)? This is the premise
+    /// highlighted in E_APP and E_LAM (Figure 3).
+    pub fn is_concrete(self) -> bool {
+        self.0.as_concrete().is_some()
+    }
+}
+
+impl fmt::Display for LKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TYPE {}", self.0)
+    }
+}
+
+/// A type `τ` (Figure 2).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// `Int`: boxed, lifted integers, of kind `TYPE P`.
+    Int,
+    /// `Int#`: unboxed integers, of kind `TYPE I`.
+    IntHash,
+    /// `τ₁ -> τ₂`, of kind `TYPE P` (functions are boxed and lifted).
+    Arrow(Box<Ty>, Box<Ty>),
+    /// A type variable `α`.
+    Var(Symbol),
+    /// `∀α:κ. τ`.
+    ForallTy(Symbol, LKind, Box<Ty>),
+    /// `∀r. τ`.
+    ForallRep(Symbol, Box<Ty>),
+}
+
+impl Ty {
+    /// `τ₁ -> τ₂`.
+    pub fn arrow(from: Ty, to: Ty) -> Ty {
+        Ty::Arrow(Box::new(from), Box::new(to))
+    }
+
+    /// `∀α:κ. τ`.
+    pub fn forall_ty(alpha: impl Into<Symbol>, kind: LKind, body: Ty) -> Ty {
+        Ty::ForallTy(alpha.into(), kind, Box::new(body))
+    }
+
+    /// `∀r. τ`.
+    pub fn forall_rep(r: impl Into<Symbol>, body: Ty) -> Ty {
+        Ty::ForallRep(r.into(), Box::new(body))
+    }
+
+    /// The type of `error` (rule E_ERROR):
+    /// `∀r. ∀α:TYPE r. Int -> α`.
+    ///
+    /// (`L` uses `Int` where Haskell's `error` takes a `String`.)
+    pub fn error_type() -> Ty {
+        let r = Symbol::intern("r");
+        let a = Symbol::intern("a");
+        Ty::forall_rep(
+            r,
+            Ty::forall_ty(a, LKind::var(r), Ty::arrow(Ty::Int, Ty::Var(a))),
+        )
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Int => f.write_str("Int"),
+            Ty::IntHash => f.write_str("Int#"),
+            Ty::Arrow(a, b) => {
+                if matches!(**a, Ty::Arrow(..) | Ty::ForallTy(..) | Ty::ForallRep(..)) {
+                    write!(f, "({a}) -> {b}")
+                } else {
+                    write!(f, "{a} -> {b}")
+                }
+            }
+            Ty::Var(v) => write!(f, "{v}"),
+            Ty::ForallTy(a, k, t) => write!(f, "forall ({a} :: {k}). {t}"),
+            Ty::ForallRep(r, t) => write!(f, "forall {r}. {t}"),
+        }
+    }
+}
+
+/// An expression `e` (Figure 2).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A term variable `x`.
+    Var(Symbol),
+    /// Application `e₁ e₂`.
+    App(Box<Expr>, Box<Expr>),
+    /// Abstraction `λx:τ. e`.
+    Lam(Symbol, Ty, Box<Expr>),
+    /// Type abstraction `Λα:κ. e`.
+    TyLam(Symbol, LKind, Box<Expr>),
+    /// Type application `e τ`.
+    TyApp(Box<Expr>, Ty),
+    /// Representation abstraction `Λr. e` — the novel form.
+    RepLam(Symbol, Box<Expr>),
+    /// Representation application `e ρ` — the novel form.
+    RepApp(Box<Expr>, Rho),
+    /// The data constructor `I#[e]`, boxing an `Int#` into an `Int`.
+    Con(Box<Expr>),
+    /// `case e₁ of I#[x] -> e₂`, unboxing an `Int`.
+    Case(Box<Expr>, Symbol, Box<Expr>),
+    /// An integer literal `n`, of type `Int#`.
+    Lit(i64),
+    /// `error`: halts the machine when evaluated (S_ERROR / ERR).
+    Error,
+}
+
+impl Expr {
+    /// `e₁ e₂`.
+    pub fn app(fun: Expr, arg: Expr) -> Expr {
+        Expr::App(Box::new(fun), Box::new(arg))
+    }
+
+    /// `λx:τ. e`.
+    pub fn lam(x: impl Into<Symbol>, ty: Ty, body: Expr) -> Expr {
+        Expr::Lam(x.into(), ty, Box::new(body))
+    }
+
+    /// `Λα:κ. e`.
+    pub fn ty_lam(alpha: impl Into<Symbol>, kind: LKind, body: Expr) -> Expr {
+        Expr::TyLam(alpha.into(), kind, Box::new(body))
+    }
+
+    /// `e τ`.
+    pub fn ty_app(fun: Expr, ty: Ty) -> Expr {
+        Expr::TyApp(Box::new(fun), ty)
+    }
+
+    /// `Λr. e`.
+    pub fn rep_lam(r: impl Into<Symbol>, body: Expr) -> Expr {
+        Expr::RepLam(r.into(), Box::new(body))
+    }
+
+    /// `e ρ`.
+    pub fn rep_app(fun: Expr, rho: Rho) -> Expr {
+        Expr::RepApp(Box::new(fun), rho)
+    }
+
+    /// `I#[e]`.
+    pub fn con(e: Expr) -> Expr {
+        Expr::Con(Box::new(e))
+    }
+
+    /// `case scrut of I#[x] -> body`.
+    pub fn case(scrut: Expr, x: impl Into<Symbol>, body: Expr) -> Expr {
+        Expr::Case(Box::new(scrut), x.into(), Box::new(body))
+    }
+
+    /// Is this expression a value (Figure 2)?
+    ///
+    /// Note that type and representation abstractions are values only when
+    /// their *bodies* are values: `L` supports type erasure, so evaluation
+    /// proceeds under `Λ` (§6.1).
+    pub fn is_value(&self) -> bool {
+        match self {
+            Expr::Lam(..) | Expr::Lit(_) => true,
+            Expr::TyLam(_, _, body) | Expr::RepLam(_, body) => body.is_value(),
+            Expr::Con(inner) => inner.is_value(),
+            _ => false,
+        }
+    }
+
+    /// Number of AST nodes, used to bound generated terms in tests.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Var(_) | Expr::Lit(_) | Expr::Error => 1,
+            Expr::App(a, b) => 1 + a.size() + b.size(),
+            Expr::Lam(_, _, b) | Expr::TyLam(_, _, b) | Expr::RepLam(_, b) | Expr::Con(b) => {
+                1 + b.size()
+            }
+            Expr::TyApp(a, _) | Expr::RepApp(a, _) => 1 + a.size(),
+            Expr::Case(a, _, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Var(x) => write!(f, "{x}"),
+            Expr::App(e1, e2) => {
+                write_atom(f, e1)?;
+                f.write_str(" ")?;
+                write_atom(f, e2)
+            }
+            Expr::Lam(x, ty, body) => write!(f, "\\({x} : {ty}). {body}"),
+            Expr::TyLam(a, k, body) => write!(f, "/\\({a} :: {k}). {body}"),
+            Expr::TyApp(e, ty) => {
+                write_atom(f, e)?;
+                write!(f, " [{ty}]")
+            }
+            Expr::RepLam(r, body) => write!(f, "/\\{r}. {body}"),
+            Expr::RepApp(e, rho) => {
+                write_atom(f, e)?;
+                write!(f, " {{{rho}}}")
+            }
+            Expr::Con(e) => write!(f, "I#[{e}]"),
+            Expr::Case(scrut, x, body) => {
+                write!(f, "case {scrut} of I#[{x}] -> {body}")
+            }
+            Expr::Lit(n) => write!(f, "{n}"),
+            Expr::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Parenthesizes non-atomic expressions when printed in application
+/// position.
+fn write_atom(f: &mut fmt::Formatter<'_>, e: &Expr) -> fmt::Result {
+    match e {
+        Expr::Var(_) | Expr::Lit(_) | Expr::Error | Expr::Con(_) => write!(f, "{e}"),
+        _ => write!(f, "({e})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn literals_and_lambdas_are_values() {
+        assert!(Expr::Lit(3).is_value());
+        assert!(Expr::lam("x", Ty::Int, Expr::Var(sym("x"))).is_value());
+    }
+
+    #[test]
+    fn value_under_type_lambda_requires_value_body() {
+        // Λα:TYPE P. 3 is a value; Λα:TYPE P. (case ... ) is not.
+        let v = Expr::ty_lam("a", LKind::P, Expr::Lit(3));
+        assert!(v.is_value());
+        let not_v = Expr::ty_lam(
+            "a",
+            LKind::P,
+            Expr::case(Expr::con(Expr::Lit(1)), "x", Expr::Var(sym("x"))),
+        );
+        assert!(!not_v.is_value());
+    }
+
+    #[test]
+    fn con_of_value_is_value() {
+        assert!(Expr::con(Expr::Lit(1)).is_value());
+        assert!(!Expr::con(Expr::case(Expr::con(Expr::Lit(1)), "x", Expr::Var(sym("x"))))
+            .is_value());
+    }
+
+    #[test]
+    fn error_is_not_a_value() {
+        assert!(!Expr::Error.is_value());
+    }
+
+    #[test]
+    fn applications_are_not_values() {
+        let e = Expr::app(Expr::lam("x", Ty::Int, Expr::Var(sym("x"))), Expr::con(Expr::Lit(1)));
+        assert!(!e.is_value());
+    }
+
+    #[test]
+    fn error_type_is_the_paper_type() {
+        assert_eq!(
+            Ty::error_type().to_string(),
+            "forall r. forall (a :: TYPE r). Int -> a"
+        );
+    }
+
+    #[test]
+    fn display_round_trips_shapes() {
+        let e = Expr::rep_app(
+            Expr::ty_app(Expr::Error, Ty::IntHash),
+            Rho::I,
+        );
+        assert_eq!(e.to_string(), "(error [Int#]) {I}");
+        let lam = Expr::lam("x", Ty::IntHash, Expr::Var(sym("x")));
+        assert_eq!(lam.to_string(), "\\(x : Int#). x");
+    }
+
+    #[test]
+    fn arrow_display_parenthesizes_left_nesting() {
+        let t = Ty::arrow(Ty::arrow(Ty::Int, Ty::Int), Ty::Int);
+        assert_eq!(t.to_string(), "(Int -> Int) -> Int");
+        let t2 = Ty::arrow(Ty::Int, Ty::arrow(Ty::Int, Ty::Int));
+        assert_eq!(t2.to_string(), "Int -> Int -> Int");
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let e = Expr::app(Expr::lam("x", Ty::Int, Expr::Var(sym("x"))), Expr::con(Expr::Lit(1)));
+        assert_eq!(e.size(), 5);
+    }
+
+    #[test]
+    fn kind_concreteness() {
+        assert!(LKind::P.is_concrete());
+        assert!(LKind::I.is_concrete());
+        assert!(!LKind::var(sym("r")).is_concrete());
+    }
+}

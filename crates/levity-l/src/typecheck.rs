@@ -1,0 +1,505 @@
+//! The typing judgments of `L` (Figure 3).
+//!
+//! Three judgments:
+//!
+//! * `Γ ⊢ κ kind` — kind validity (K_CONST, K_VAR);
+//! * `Γ ⊢ τ : κ` — type validity (T_INT … T_ALLREP);
+//! * `Γ ⊢ e : τ` — term validity (E_VAR … E_INTLIT).
+//!
+//! The rules E_APP and E_LAM carry the highlighted premise
+//! `Γ ⊢ τ₁ : TYPE υ`: the argument/binder type's kind must be *concrete*.
+//! These premises are the formal counterpart of the two §5.1 restrictions,
+//! and they are what makes the Compilation theorem (§6.3) go through.
+
+use std::fmt;
+
+use levity_core::symbol::Symbol;
+
+use crate::ctx::Ctx;
+use crate::subst::{alpha_eq_ty, subst_rep_in_ty, subst_ty_in_ty};
+use crate::syntax::{ConcreteRep, Expr, LKind, Rho, Ty};
+
+/// A typing error in `L`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TypeError {
+    /// An unbound term variable.
+    UnboundVar(Symbol),
+    /// An unbound type variable.
+    UnboundTyVar(Symbol),
+    /// An unbound representation variable (premise of K_VAR).
+    UnboundRepVar(Symbol),
+    /// Applied a non-function.
+    NotAFunction(Ty),
+    /// Type-applied a term whose type is not `∀α:κ. τ`.
+    NotAForall(Ty),
+    /// Rep-applied a term whose type is not `∀r. τ`.
+    NotARepForall(Ty),
+    /// Argument type does not match the function's domain.
+    ArgMismatch {
+        /// What the function expects.
+        expected: Ty,
+        /// What the argument has.
+        actual: Ty,
+    },
+    /// Type argument's kind does not match the quantifier's kind.
+    KindMismatch {
+        /// The quantifier's kind.
+        expected: LKind,
+        /// The argument type's kind.
+        actual: LKind,
+    },
+    /// The highlighted premise of E_APP/E_LAM failed: the type's kind is
+    /// `TYPE r` for a representation variable — levity polymorphism in a
+    /// place where the calling convention must be known (§5.1).
+    LevityPolymorphic {
+        /// The offending type.
+        ty: Ty,
+        /// Its (non-concrete) kind.
+        kind: LKind,
+    },
+    /// T_ALLREP's side condition failed: `∀r. τ` where `τ : TYPE r`.
+    RepEscapes {
+        /// The bound representation variable.
+        rep_var: Symbol,
+        /// The body type whose kind mentions it.
+        body: Ty,
+    },
+    /// Scrutinee of `case` is not an `Int`.
+    CaseScrutineeNotInt(Ty),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVar(x) => write!(f, "unbound variable `{x}`"),
+            TypeError::UnboundTyVar(a) => write!(f, "unbound type variable `{a}`"),
+            TypeError::UnboundRepVar(r) => write!(f, "unbound representation variable `{r}`"),
+            TypeError::NotAFunction(t) => write!(f, "expected a function, got `{t}`"),
+            TypeError::NotAForall(t) => write!(f, "expected a forall type, got `{t}`"),
+            TypeError::NotARepForall(t) => {
+                write!(f, "expected a representation-forall type, got `{t}`")
+            }
+            TypeError::ArgMismatch { expected, actual } => {
+                write!(f, "argument type mismatch: expected `{expected}`, got `{actual}`")
+            }
+            TypeError::KindMismatch { expected, actual } => {
+                write!(f, "kind mismatch: expected `{expected}`, got `{actual}`")
+            }
+            TypeError::LevityPolymorphic { ty, kind } => write!(
+                f,
+                "levity-polymorphic type `{ty}` (of kind `{kind}`) where a concrete representation is required"
+            ),
+            TypeError::RepEscapes { rep_var, body } => write!(
+                f,
+                "representation variable `{rep_var}` escapes in the kind of `{body}`"
+            ),
+            TypeError::CaseScrutineeNotInt(t) => {
+                write!(f, "case scrutinee must have type Int, got `{t}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// `Γ ⊢ κ kind` (Figure 3, bottom).
+pub fn kind_valid(ctx: &Ctx, kind: LKind) -> Result<(), TypeError> {
+    match kind.0 {
+        // K_CONST
+        Rho::Concrete(_) => Ok(()),
+        // K_VAR
+        Rho::Var(r) => {
+            if ctx.has_rep_var(r) {
+                Ok(())
+            } else {
+                Err(TypeError::UnboundRepVar(r))
+            }
+        }
+    }
+}
+
+/// `Γ ⊢ ρ` — well-scopedness of a representation (implicit in Figure 3).
+pub fn rho_valid(ctx: &Ctx, rho: Rho) -> Result<(), TypeError> {
+    kind_valid(ctx, LKind(rho))
+}
+
+/// `Γ ⊢ τ : κ` (Figure 3, middle).
+pub fn ty_kind(ctx: &mut Ctx, ty: &Ty) -> Result<LKind, TypeError> {
+    match ty {
+        // T_INT
+        Ty::Int => Ok(LKind::P),
+        // T_INTH
+        Ty::IntHash => Ok(LKind::I),
+        // T_ARROW: premises only demand both sides are valid types; the
+        // arrow itself is boxed and lifted, hence TYPE P.
+        Ty::Arrow(a, b) => {
+            ty_kind(ctx, a)?;
+            ty_kind(ctx, b)?;
+            Ok(LKind::P)
+        }
+        // T_VAR
+        Ty::Var(alpha) => ctx.lookup_ty_var(*alpha).ok_or(TypeError::UnboundTyVar(*alpha)),
+        // T_ALLTY: the forall's kind is the *body's* kind κ₂ — evidence of
+        // type erasure (§6.1): a type abstraction is represented exactly
+        // like its body.
+        Ty::ForallTy(alpha, k1, body) => {
+            kind_valid(ctx, *k1)?;
+            ctx.push_ty_var(*alpha, *k1);
+            let k2 = ty_kind(ctx, body);
+            ctx.pop();
+            k2
+        }
+        // T_ALLREP: likewise erased, with the side condition κ ≠ TYPE r —
+        // the bound representation must not escape into the kind.
+        Ty::ForallRep(r, body) => {
+            ctx.push_rep_var(*r);
+            let k = ty_kind(ctx, body);
+            ctx.pop();
+            let k = k?;
+            if k == LKind::var(*r) {
+                return Err(TypeError::RepEscapes { rep_var: *r, body: (**body).clone() });
+            }
+            Ok(k)
+        }
+    }
+}
+
+/// Requires `Γ ⊢ τ : TYPE υ` for a *concrete* υ — the highlighted premise
+/// of E_APP and E_LAM. Returns the concrete representation.
+pub fn ty_concrete_kind(ctx: &mut Ctx, ty: &Ty) -> Result<ConcreteRep, TypeError> {
+    let kind = ty_kind(ctx, ty)?;
+    kind.0.as_concrete().ok_or(TypeError::LevityPolymorphic { ty: ty.clone(), kind })
+}
+
+/// `Γ ⊢ e : τ` (Figure 3, top).
+pub fn type_of(ctx: &mut Ctx, e: &Expr) -> Result<Ty, TypeError> {
+    match e {
+        // E_VAR
+        Expr::Var(x) => ctx.lookup_term(*x).cloned().ok_or(TypeError::UnboundVar(*x)),
+        // E_INTLIT
+        Expr::Lit(_) => Ok(Ty::IntHash),
+        // E_ERROR
+        Expr::Error => Ok(Ty::error_type()),
+        // E_CON
+        Expr::Con(inner) => {
+            let t = type_of(ctx, inner)?;
+            if alpha_eq_ty(&t, &Ty::IntHash) {
+                Ok(Ty::Int)
+            } else {
+                Err(TypeError::ArgMismatch { expected: Ty::IntHash, actual: t })
+            }
+        }
+        // E_APP, with the highlighted premise Γ ⊢ τ₁ : TYPE υ.
+        Expr::App(e1, e2) => {
+            let fun_ty = type_of(ctx, e1)?;
+            let arg_ty = type_of(ctx, e2)?;
+            match fun_ty {
+                Ty::Arrow(dom, cod) => {
+                    if !alpha_eq_ty(&dom, &arg_ty) {
+                        return Err(TypeError::ArgMismatch { expected: *dom, actual: arg_ty });
+                    }
+                    ty_concrete_kind(ctx, &dom)?;
+                    Ok(*cod)
+                }
+                other => Err(TypeError::NotAFunction(other)),
+            }
+        }
+        // E_LAM, with the highlighted premise Γ ⊢ τ₁ : TYPE υ.
+        Expr::Lam(x, ty, body) => {
+            ty_concrete_kind(ctx, ty)?;
+            ctx.push_term(*x, ty.clone());
+            let body_ty = type_of(ctx, body);
+            ctx.pop();
+            Ok(Ty::arrow(ty.clone(), body_ty?))
+        }
+        // E_TLAM
+        Expr::TyLam(alpha, kind, body) => {
+            kind_valid(ctx, *kind)?;
+            ctx.push_ty_var(*alpha, *kind);
+            let body_ty = type_of(ctx, body);
+            ctx.pop();
+            Ok(Ty::forall_ty(*alpha, *kind, body_ty?))
+        }
+        // E_TAPP
+        Expr::TyApp(fun, ty_arg) => {
+            let fun_ty = type_of(ctx, fun)?;
+            match fun_ty {
+                Ty::ForallTy(alpha, kind, body) => {
+                    let arg_kind = ty_kind(ctx, ty_arg)?;
+                    if arg_kind != kind {
+                        return Err(TypeError::KindMismatch { expected: kind, actual: arg_kind });
+                    }
+                    Ok(subst_ty_in_ty(&body, alpha, ty_arg))
+                }
+                other => Err(TypeError::NotAForall(other)),
+            }
+        }
+        // E_RLAM. Figure 3 has no premise beyond Γ, r ⊢ e : τ; we also
+        // check that the *resulting type* ∀r.τ is valid (T_ALLREP's side
+        // condition), which the paper leaves implicit. Without it the rule
+        // would accept e.g. Λr. Λ(a :: TYPE r). error {r} [a] (I#[0]),
+        // whose type ∀r. ∀(a :: TYPE r). a has no valid kind.
+        Expr::RepLam(r, body) => {
+            ctx.push_rep_var(*r);
+            let body_ty = type_of(ctx, body);
+            ctx.pop();
+            let body_ty = body_ty?;
+            let result = Ty::forall_rep(*r, body_ty);
+            ty_kind(ctx, &result)?;
+            Ok(result)
+        }
+        // E_RAPP
+        Expr::RepApp(fun, rho) => {
+            let fun_ty = type_of(ctx, fun)?;
+            rho_valid(ctx, *rho)?;
+            match fun_ty {
+                Ty::ForallRep(r, body) => Ok(subst_rep_in_ty(&body, r, *rho)),
+                other => Err(TypeError::NotARepForall(other)),
+            }
+        }
+        // E_CASE
+        Expr::Case(scrut, x, body) => {
+            let scrut_ty = type_of(ctx, scrut)?;
+            if !alpha_eq_ty(&scrut_ty, &Ty::Int) {
+                return Err(TypeError::CaseScrutineeNotInt(scrut_ty));
+            }
+            ctx.push_term(*x, Ty::IntHash);
+            let body_ty = type_of(ctx, body);
+            ctx.pop();
+            body_ty
+        }
+    }
+}
+
+/// Checks a closed expression, returning its type.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] found.
+///
+/// # Examples
+///
+/// ```
+/// use levity_l::syntax::{Expr, Ty};
+/// use levity_l::typecheck::check_closed;
+///
+/// let id = Expr::lam("x", Ty::Int, Expr::Var("x".into()));
+/// assert_eq!(check_closed(&id).unwrap(), Ty::arrow(Ty::Int, Ty::Int));
+/// ```
+pub fn check_closed(e: &Expr) -> Result<Ty, TypeError> {
+    type_of(&mut Ctx::new(), e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn literals_have_int_hash() {
+        assert_eq!(check_closed(&Expr::Lit(42)).unwrap(), Ty::IntHash);
+    }
+
+    #[test]
+    fn con_boxes() {
+        assert_eq!(check_closed(&Expr::con(Expr::Lit(1))).unwrap(), Ty::Int);
+    }
+
+    #[test]
+    fn con_requires_int_hash() {
+        let err = check_closed(&Expr::con(Expr::con(Expr::Lit(1)))).unwrap_err();
+        assert!(matches!(err, TypeError::ArgMismatch { .. }));
+    }
+
+    #[test]
+    fn identity_at_both_base_types() {
+        let idp = Expr::lam("x", Ty::Int, Expr::Var(sym("x")));
+        assert_eq!(check_closed(&idp).unwrap(), Ty::arrow(Ty::Int, Ty::Int));
+        let idi = Expr::lam("x", Ty::IntHash, Expr::Var(sym("x")));
+        assert_eq!(check_closed(&idi).unwrap(), Ty::arrow(Ty::IntHash, Ty::IntHash));
+    }
+
+    #[test]
+    fn application_checks_domain() {
+        let id = Expr::lam("x", Ty::Int, Expr::Var(sym("x")));
+        let good = Expr::app(id.clone(), Expr::con(Expr::Lit(1)));
+        assert_eq!(check_closed(&good).unwrap(), Ty::Int);
+        let bad = Expr::app(id, Expr::Lit(1));
+        assert!(matches!(check_closed(&bad).unwrap_err(), TypeError::ArgMismatch { .. }));
+    }
+
+    #[test]
+    fn polymorphic_identity() {
+        // Λα:TYPE P. λx:α. x : ∀α:TYPE P. α -> α
+        let e = Expr::ty_lam("a", LKind::P, Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x"))));
+        let t = check_closed(&e).unwrap();
+        assert!(alpha_eq_ty(
+            &t,
+            &Ty::forall_ty("a", LKind::P, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))))
+        ));
+        // Instantiating at Int is fine; at Int# is a kind error — the
+        // Instantiation Principle of §3, enforced through kinds (§3.1).
+        let at_int = Expr::ty_app(e.clone(), Ty::Int);
+        assert!(check_closed(&at_int).is_ok());
+        let at_int_hash = Expr::ty_app(e, Ty::IntHash);
+        assert!(matches!(
+            check_closed(&at_int_hash).unwrap_err(),
+            TypeError::KindMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn levity_polymorphic_binder_rejected() {
+        // Λr. Λα:TYPE r. λx:α. x — the un-compilable bTwice-style term
+        // (§5): rejected by E_LAM's highlighted premise.
+        let e = Expr::rep_lam(
+            "r",
+            Expr::ty_lam(
+                "a",
+                LKind::var(sym("r")),
+                Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x"))),
+            ),
+        );
+        assert!(matches!(
+            check_closed(&e).unwrap_err(),
+            TypeError::LevityPolymorphic { .. }
+        ));
+    }
+
+    #[test]
+    fn error_can_be_levity_polymorphic() {
+        // error {I} [Int#] (I#[0]) : Int# — fine: error never stores an
+        // `a` value (§3.3).
+        let e = Expr::app(
+            Expr::ty_app(Expr::rep_app(Expr::Error, Rho::I), Ty::IntHash),
+            Expr::con(Expr::Lit(0)),
+        );
+        assert_eq!(check_closed(&e).unwrap(), Ty::IntHash);
+    }
+
+    #[test]
+    fn rep_lam_over_error_checks() {
+        // myError in L: Λr. Λα:TYPE r. λs:Int. error {r} [α] s
+        let e = my_error();
+        let t = check_closed(&e).unwrap();
+        assert!(alpha_eq_ty(&t, &Ty::error_type()));
+    }
+
+    fn my_error() -> Expr {
+        Expr::rep_lam(
+            "r",
+            Expr::ty_lam(
+                "a",
+                LKind::var(sym("r")),
+                Expr::lam(
+                    "s",
+                    Ty::Int,
+                    Expr::app(
+                        Expr::ty_app(
+                            Expr::rep_app(Expr::Error, Rho::Var(sym("r"))),
+                            Ty::Var(sym("a")),
+                        ),
+                        Expr::Var(sym("s")),
+                    ),
+                ),
+            ),
+        )
+    }
+
+    #[test]
+    fn rep_escape_rejected() {
+        // Λr. Λα:TYPE r. error {r} [α] (I#[0]) has type ∀r. ∀α:TYPE r. α,
+        // which T_ALLREP rejects (κ = TYPE r).
+        let e = Expr::rep_lam(
+            "r",
+            Expr::ty_lam(
+                "a",
+                LKind::var(sym("r")),
+                Expr::app(
+                    Expr::ty_app(
+                        Expr::rep_app(Expr::Error, Rho::Var(sym("r"))),
+                        Ty::Var(sym("a")),
+                    ),
+                    Expr::con(Expr::Lit(0)),
+                ),
+            ),
+        );
+        assert!(matches!(check_closed(&e).unwrap_err(), TypeError::RepEscapes { .. }));
+    }
+
+    #[test]
+    fn forall_kind_is_body_kind() {
+        // ∀α:TYPE P. Int# : TYPE I (T_ALLTY) — type erasure in kinds.
+        let t = Ty::forall_ty("a", LKind::P, Ty::IntHash);
+        assert_eq!(ty_kind(&mut Ctx::new(), &t).unwrap(), LKind::I);
+    }
+
+    #[test]
+    fn arrows_are_always_pointers() {
+        let t = Ty::arrow(Ty::IntHash, Ty::IntHash);
+        assert_eq!(ty_kind(&mut Ctx::new(), &t).unwrap(), LKind::P);
+    }
+
+    #[test]
+    fn unbound_rep_var_in_kind() {
+        let t = Ty::forall_ty("a", LKind::var(sym("nope")), Ty::Var(sym("a")));
+        assert!(matches!(
+            ty_kind(&mut Ctx::new(), &t).unwrap_err(),
+            TypeError::UnboundRepVar(_)
+        ));
+    }
+
+    #[test]
+    fn case_unboxes() {
+        let e = Expr::case(Expr::con(Expr::Lit(5)), "x", Expr::Var(sym("x")));
+        assert_eq!(check_closed(&e).unwrap(), Ty::IntHash);
+    }
+
+    #[test]
+    fn case_scrutinee_must_be_int() {
+        let e = Expr::case(Expr::Lit(5), "x", Expr::Var(sym("x")));
+        assert!(matches!(
+            check_closed(&e).unwrap_err(),
+            TypeError::CaseScrutineeNotInt(_)
+        ));
+    }
+
+    #[test]
+    fn rep_application_instantiates() {
+        // error {P} : ∀α:TYPE P. Int -> α
+        let e = Expr::rep_app(Expr::Error, Rho::P);
+        let t = check_closed(&e).unwrap();
+        assert!(alpha_eq_ty(
+            &t,
+            &Ty::forall_ty("a", LKind::P, Ty::arrow(Ty::Int, Ty::Var(sym("a"))))
+        ));
+    }
+
+    #[test]
+    fn rep_application_requires_scoped_var() {
+        let e = Expr::rep_app(Expr::Error, Rho::Var(sym("r")));
+        assert!(matches!(check_closed(&e).unwrap_err(), TypeError::UnboundRepVar(_)));
+    }
+
+    #[test]
+    fn btwice_at_type_p_is_fine() {
+        // bTwice specialized to a :: TYPE P, with Bool ~ Int here:
+        // λx:Int. λf:Int -> Int. f (f x)
+        let e = Expr::lam(
+            "x",
+            Ty::Int,
+            Expr::lam(
+                "f",
+                Ty::arrow(Ty::Int, Ty::Int),
+                Expr::app(
+                    Expr::Var(sym("f")),
+                    Expr::app(Expr::Var(sym("f")), Expr::Var(sym("x"))),
+                ),
+            ),
+        );
+        assert!(check_closed(&e).is_ok());
+    }
+}

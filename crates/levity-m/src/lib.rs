@@ -1,0 +1,48 @@
+//! The machine language **M** of *Levity Polymorphism* (PLDI 2017, §6.2).
+//!
+//! `M` is a λ-calculus in A-normal form whose operational semantics works
+//! with an explicit stack and heap and "is quite close to how a concrete
+//! machine would behave. All operations must work with data of known,
+//! fixed width; `M` does not support levity polymorphism."
+//!
+//! * [`syntax`] — the grammar (Figure 5), with every variable carrying a
+//!   register class; extended with primops, general constructors,
+//!   unboxed multi-values and globals for the full pipeline;
+//! * [`machine`] — the transition rules (Figure 6): lazy `let` allocates
+//!   thunks, `Force` frames implement thunk update (sharing), `App`
+//!   frames pass width-checked atoms, and `error` aborts;
+//! * [`subst`] — atom substitution, "implementable" precisely because
+//!   atoms have known width;
+//! * [`prim`] — the `+#`/`+##` primitive operations.
+//!
+//! The machine is instrumented ([`machine::MachineStats`]): steps, thunk
+//! allocations, forces, updates and constructor allocations — the
+//! quantities behind the §2.1 boxed-vs-unboxed gap.
+//!
+//! # Example
+//!
+//! ```
+//! use levity_m::machine::{Machine, RunOutcome, Value};
+//! use levity_m::syntax::{Atom, Binder, Literal, MExpr, PrimOp};
+//!
+//! // let! i = 40# +# 2# in I#[i]
+//! let t = MExpr::let_strict(
+//!     Binder::int("i"),
+//!     MExpr::prim(PrimOp::AddI, vec![Atom::Lit(Literal::Int(40)), Atom::Lit(Literal::Int(2))]),
+//!     MExpr::con_int_hash(Atom::Var("i".into())),
+//! );
+//! let mut machine = Machine::new();
+//! let outcome = machine.run(t)?;
+//! assert_eq!(outcome.value().and_then(Value::as_boxed_int), Some(42));
+//! # Ok::<(), levity_m::machine::MachineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod machine;
+pub mod prim;
+pub mod subst;
+pub mod syntax;
+
+pub use machine::{Globals, Machine, MachineError, MachineStats, RunOutcome, Value};
+pub use syntax::{Addr, Alt, Atom, Binder, DataCon, Literal, MExpr, PrimOp};

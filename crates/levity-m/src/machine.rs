@@ -1,0 +1,907 @@
+//! The operational semantics of `M` (Figure 6): a machine state
+//! `⟨t; S; H⟩` of an expression under evaluation, a stack of frames, and
+//! a heap.
+//!
+//! The rules are implemented one-for-one, with the extended forms
+//! (general constructors, primops, multi-values, globals) slotting in
+//! beside them:
+//!
+//! | Figure 6 | Here |
+//! |---|---|
+//! | PAPP / IAPP | `Eval(App …)` pushes [`Frame::App`] |
+//! | VAL | `Eval(Atom(Addr …))` on a heap *value* |
+//! | EVAL | `Eval(Atom(Addr …))` on a heap *thunk* (blackholes it) |
+//! | LET | `Eval(LetLazy …)` allocates a thunk |
+//! | SLET | `Eval(LetStrict …)` pushes [`Frame::LetStrict`] |
+//! | CASE | `Eval(Case …)` pushes [`Frame::Case`] |
+//! | ERR | `Eval(Error …)` aborts with [`RunOutcome::Error`] |
+//! | PPOP / IPOP | `Ret(Lam …)` under [`Frame::App`], width-checked |
+//! | FCE | `Ret(w)` under [`Frame::Force`] writes `w` back (thunk update) |
+//! | ILET | `Ret(w)` under [`Frame::LetStrict`] |
+//! | IMAT | `Ret(Con …)` under [`Frame::Case`] |
+//!
+//! Every substitution is width-checked against the binder's register
+//! class — the machine-level reason levity-polymorphic binders cannot
+//! exist (§5.1, §6.2).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+use levity_core::rep::Slot;
+use levity_core::symbol::Symbol;
+
+use crate::prim::{apply_prim, PrimError};
+use crate::subst::{subst_atom, subst_atoms};
+use crate::syntax::{Addr, Alt, Atom, Binder, DataCon, Literal, MExpr};
+
+/// A machine value `w` (Figure 5, extended). Constructor and multi-value
+/// fields are resolved atoms (addresses or literals), never variables.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `λy. t`.
+    Lam(Binder, Rc<MExpr>),
+    /// A saturated constructor value, e.g. `I#[3]`.
+    Con(DataCon, Vec<Atom>),
+    /// A literal.
+    Lit(Literal),
+    /// An unboxed multi-value: contents of several registers, never
+    /// heap-allocated.
+    Multi(Vec<Atom>),
+}
+
+impl Value {
+    /// The register class of this value when stored or passed.
+    pub fn slot(&self) -> Option<Slot> {
+        match self {
+            Value::Lam(..) | Value::Con(..) => Some(Slot::Ptr),
+            Value::Lit(l) => Some(l.slot()),
+            Value::Multi(_) => None, // occupies several registers
+        }
+    }
+
+    /// Convenience: the `i64` payload of an integer literal value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Lit(l) => l.as_int(),
+            _ => None,
+        }
+    }
+
+    /// Convenience: matches `I#[n]` and returns `n`.
+    pub fn as_boxed_int(&self) -> Option<i64> {
+        match self {
+            Value::Con(c, args) if c.name == Symbol::intern("I#") => match args.as_slice() {
+                [Atom::Lit(Literal::Int(n))] => Some(*n),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Lam(b, _) => write!(f, "<function \\{b}>"),
+            Value::Con(c, args) => {
+                write!(f, "{c}[")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Lit(l) => write!(f, "{l}"),
+            Value::Multi(args) => {
+                write!(f, "(#")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, " {a}")?;
+                }
+                write!(f, " #)")
+            }
+        }
+    }
+}
+
+/// A heap cell.
+#[derive(Clone, Debug)]
+enum HeapCell {
+    /// An unevaluated expression (mapped by LET).
+    Thunk(Rc<MExpr>),
+    /// An evaluated value (written by FCE or by storing a strict result).
+    Value(Value),
+    /// A thunk currently under evaluation; re-entering one means the
+    /// program demands its own result (`<<loop>>` in GHC).
+    Blackhole,
+}
+
+/// A stack frame `S` (Figure 5).
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// `App(p)` / `App(n)`: a pending argument (resolved atom).
+    App(Atom),
+    /// `Force(p)`: write the value back to the heap when done (FCE).
+    Force(Addr),
+    /// `Let(y, t)`: continue with `t` once the strict rhs is a value.
+    LetStrict(Binder, Rc<MExpr>),
+    /// `Case(y, t)` generalized to alternative lists.
+    Case(Vec<Alt>, Option<(Binder, Rc<MExpr>)>),
+    /// Unpack a multi-value.
+    CaseMulti(Vec<Binder>, Rc<MExpr>),
+}
+
+/// Instrumentation counters. These are the quantities the benchmarks
+/// report: the boxed-vs-unboxed story of §2.1 shows up as allocation and
+/// thunk traffic long before it shows up as wall-clock time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Machine transitions taken.
+    pub steps: u64,
+    /// Thunks allocated by LET.
+    pub thunk_allocs: u64,
+    /// Constructor values built (boxing events, e.g. `I#[n]`).
+    pub con_allocs: u64,
+    /// Thunks entered (EVAL) — each is a pointer chase plus a jump.
+    pub thunk_forces: u64,
+    /// Thunk updates (FCE) — heap writes implementing sharing.
+    pub updates: u64,
+    /// Heap value lookups (VAL).
+    pub var_lookups: u64,
+    /// Primitive operations executed.
+    pub prim_ops: u64,
+    /// Estimated words allocated (2/thunk, 1+arity/constructor).
+    pub allocated_words: u64,
+    /// High-water mark of the stack.
+    pub max_stack: usize,
+}
+
+/// Top-level definitions for the extended machine (recursion support).
+///
+/// The formal Figure 7 fragment never uses globals; the full pipeline
+/// maps each top-level binding to one.
+#[derive(Clone, Debug, Default)]
+pub struct Globals {
+    defs: HashMap<Symbol, Rc<MExpr>>,
+}
+
+impl Globals {
+    /// An empty global environment.
+    pub fn new() -> Globals {
+        Globals::default()
+    }
+
+    /// Defines (or replaces) a global.
+    pub fn define(&mut self, name: impl Into<Symbol>, body: Rc<MExpr>) {
+        self.defs.insert(name.into(), body);
+    }
+
+    /// Looks up a global.
+    pub fn get(&self, name: Symbol) -> Option<&Rc<MExpr>> {
+        self.defs.get(&name)
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Is the environment empty?
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+/// How a run ended, *as the semantics sees it*: `error` is a legitimate
+/// outcome (rule ERR reaches ⊥), not a machine failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RunOutcome {
+    /// The program evaluated to a value with an empty stack.
+    Value(Value),
+    /// The program aborted via `error` (⊥).
+    Error(String),
+}
+
+impl RunOutcome {
+    /// The value, if any.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            RunOutcome::Value(v) => Some(v),
+            RunOutcome::Error(_) => None,
+        }
+    }
+}
+
+/// A genuine machine failure — unreachable from type-checked, compiled
+/// code; reachable when hand-written `M` code breaks the invariants the
+/// `L` type system (or the Core lint) enforces.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MachineError {
+    /// Ran out of fuel.
+    OutOfFuel {
+        /// The fuel limit that was exhausted.
+        limit: u64,
+    },
+    /// A variable had no substitution — an open term.
+    UnboundVariable(Symbol),
+    /// An unknown global.
+    UnknownGlobal(Symbol),
+    /// Applied a non-function value.
+    AppliedNonFunction(String),
+    /// The width check failed: tried to pass a value of one register
+    /// class to a binder of another. This is the §6.2 invariant.
+    ClassMismatch {
+        /// The binder that was being filled.
+        binder: Symbol,
+        /// Its declared register class.
+        expected: Slot,
+        /// The class of the value actually supplied.
+        actual: Slot,
+    },
+    /// A `case` with no matching alternative.
+    NoMatchingAlt(String),
+    /// A `case`/`let!` shape error (e.g. multi-value in a scalar place).
+    InvalidState(String),
+    /// A primop failure (arity/class/division by zero).
+    Prim(PrimError),
+    /// A thunk demanded its own value (`<<loop>>`).
+    Loop,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::OutOfFuel { limit } => write!(f, "out of fuel after {limit} steps"),
+            MachineError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            MachineError::UnknownGlobal(g) => write!(f, "unknown global `{g}`"),
+            MachineError::AppliedNonFunction(w) => write!(f, "applied non-function value {w}"),
+            MachineError::ClassMismatch { binder, expected, actual } => write!(
+                f,
+                "register class mismatch: binder `{binder}` wants {expected}, got {actual}"
+            ),
+            MachineError::NoMatchingAlt(w) => write!(f, "no matching case alternative for {w}"),
+            MachineError::InvalidState(msg) => write!(f, "invalid machine state: {msg}"),
+            MachineError::Prim(e) => write!(f, "{e}"),
+            MachineError::Loop => write!(f, "<<loop>>: a thunk demanded its own value"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<PrimError> for MachineError {
+    fn from(e: PrimError) -> MachineError {
+        MachineError::Prim(e)
+    }
+}
+
+enum Control {
+    Eval(Rc<MExpr>),
+    Ret(Value),
+}
+
+/// The `M` machine.
+///
+/// # Examples
+///
+/// ```
+/// use levity_m::machine::{Machine, RunOutcome, Value};
+/// use levity_m::syntax::{Atom, Binder, Literal, MExpr};
+///
+/// // (λi. i) 42#
+/// let t = MExpr::app(
+///     MExpr::lam(Binder::int("i"), MExpr::var("i")),
+///     Atom::Lit(Literal::Int(42)),
+/// );
+/// let mut machine = Machine::new();
+/// let outcome = machine.run(t)?;
+/// assert_eq!(outcome, RunOutcome::Value(Value::Lit(Literal::Int(42))));
+/// # Ok::<(), levity_m::machine::MachineError>(())
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    heap: Vec<HeapCell>,
+    stack: Vec<Frame>,
+    globals: Globals,
+    stats: MachineStats,
+    fuel: u64,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// Default fuel: generous enough for every test and bench workload.
+    pub const DEFAULT_FUEL: u64 = 500_000_000;
+
+    /// A machine with no globals and default fuel.
+    pub fn new() -> Machine {
+        Machine::with_globals(Globals::new())
+    }
+
+    /// A machine with the given global definitions.
+    pub fn with_globals(globals: Globals) -> Machine {
+        Machine { heap: Vec::new(), stack: Vec::new(), globals, stats: MachineStats::default(), fuel: Self::DEFAULT_FUEL }
+    }
+
+    /// Replaces the fuel limit.
+    pub fn set_fuel(&mut self, fuel: u64) {
+        self.fuel = fuel;
+    }
+
+    /// The statistics accumulated so far.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Current heap size in cells.
+    pub fn heap_size(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn alloc(&mut self, cell: HeapCell) -> Addr {
+        let addr = Addr(self.heap.len() as u64);
+        self.heap.push(cell);
+        addr
+    }
+
+    /// Resolves a source atom to a runtime atom; variables must have been
+    /// substituted away.
+    fn resolve(&self, a: Atom) -> Result<Atom, MachineError> {
+        match a {
+            Atom::Var(x) => Err(MachineError::UnboundVariable(x)),
+            other => Ok(other),
+        }
+    }
+
+    fn resolve_all(&self, args: &[Atom]) -> Result<Vec<Atom>, MachineError> {
+        args.iter().map(|a| self.resolve(*a)).collect()
+    }
+
+    /// Resolves an atom to a literal, for primops.
+    fn literal_of(&self, a: Atom) -> Result<Literal, MachineError> {
+        match self.resolve(a)? {
+            Atom::Lit(l) => Ok(l),
+            Atom::Addr(addr) => match &self.heap[addr.0 as usize] {
+                HeapCell::Value(Value::Lit(l)) => Ok(*l),
+                _ => Err(MachineError::InvalidState(format!(
+                    "primop argument at {addr} is not an evaluated literal"
+                ))),
+            },
+            Atom::Var(_) => unreachable!("resolved"),
+        }
+    }
+
+    /// The register class of a resolved atom.
+    fn class_of(&self, a: Atom) -> Slot {
+        match a {
+            Atom::Addr(_) => Slot::Ptr,
+            Atom::Lit(l) => l.slot(),
+            Atom::Var(_) => unreachable!("resolved"),
+        }
+    }
+
+    /// Width check: binder class must equal atom class (§6.2).
+    fn check_class(&self, binder: Binder, atom: Atom) -> Result<(), MachineError> {
+        let actual = self.class_of(atom);
+        if binder.class == actual {
+            Ok(())
+        } else {
+            Err(MachineError::ClassMismatch { binder: binder.name, expected: binder.class, actual })
+        }
+    }
+
+    /// Turns a value into an atom, storing boxed values in the heap if
+    /// necessary so they can be substituted (only atoms are substituted).
+    fn value_to_atom(&mut self, w: Value) -> Result<Atom, MachineError> {
+        match w {
+            Value::Lit(l) => Ok(Atom::Lit(l)),
+            Value::Lam(..) | Value::Con(..) => {
+                let addr = self.alloc(HeapCell::Value(w));
+                Ok(Atom::Addr(addr))
+            }
+            Value::Multi(_) => Err(MachineError::InvalidState(
+                "a multi-value cannot be bound to a single register".to_owned(),
+            )),
+        }
+    }
+
+    /// Runs `t` to completion (empty stack, value in control) or abort.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError`] on broken invariants or fuel exhaustion; `error`
+    /// is reported as `Ok(RunOutcome::Error(..))`, matching rule ERR.
+    pub fn run(&mut self, t: Rc<MExpr>) -> Result<RunOutcome, MachineError> {
+        let mut control = Control::Eval(t);
+        loop {
+            // ERR: ⟨error; S; H⟩ → ⊥, whatever the stack holds.
+            if let Control::Eval(ref t) = control {
+                if let MExpr::Error(msg) = &**t {
+                    return Ok(RunOutcome::Error(msg.clone()));
+                }
+            }
+            if self.stats.steps >= self.fuel {
+                return Err(MachineError::OutOfFuel { limit: self.fuel });
+            }
+            self.stats.steps += 1;
+            control = match control {
+                Control::Eval(t) => self.step_eval(t)?,
+                Control::Ret(w) => match self.stack.pop() {
+                    None => return Ok(RunOutcome::Value(w)),
+                    Some(frame) => self.step_ret(w, frame)?,
+                },
+            };
+        }
+    }
+
+    fn step_eval(&mut self, t: Rc<MExpr>) -> Result<Control, MachineError> {
+        match &*t {
+            MExpr::Atom(Atom::Lit(l)) => Ok(Control::Ret(Value::Lit(*l))),
+            MExpr::Atom(Atom::Addr(a)) => {
+                let ix = a.0 as usize;
+                match &self.heap[ix] {
+                    // VAL
+                    HeapCell::Value(w) => {
+                        self.stats.var_lookups += 1;
+                        Ok(Control::Ret(w.clone()))
+                    }
+                    // EVAL (with blackholing)
+                    HeapCell::Thunk(t1) => {
+                        self.stats.thunk_forces += 1;
+                        let t1 = Rc::clone(t1);
+                        self.heap[ix] = HeapCell::Blackhole;
+                        self.push(Frame::Force(*a));
+                        Ok(Control::Eval(t1))
+                    }
+                    HeapCell::Blackhole => Err(MachineError::Loop),
+                }
+            }
+            MExpr::Atom(Atom::Var(x)) => Err(MachineError::UnboundVariable(*x)),
+            // PAPP / IAPP
+            MExpr::App(fun, arg) => {
+                let arg = self.resolve(*arg)?;
+                self.push(Frame::App(arg));
+                Ok(Control::Eval(Rc::clone(fun)))
+            }
+            MExpr::Lam(binder, body) => Ok(Control::Ret(Value::Lam(*binder, Rc::clone(body)))),
+            // LET (cyclic: the rhs may mention the binder, giving
+            // recursion through the heap).
+            MExpr::LetLazy(p, rhs, body) => {
+                let addr = self.alloc(HeapCell::Blackhole);
+                let rhs2 = subst_atom(rhs, *p, Atom::Addr(addr));
+                self.heap[addr.0 as usize] = HeapCell::Thunk(rhs2);
+                self.stats.thunk_allocs += 1;
+                self.stats.allocated_words += 2;
+                Ok(Control::Eval(subst_atom(body, *p, Atom::Addr(addr))))
+            }
+            // SLET
+            MExpr::LetStrict(binder, rhs, body) => {
+                self.push(Frame::LetStrict(*binder, Rc::clone(body)));
+                Ok(Control::Eval(Rc::clone(rhs)))
+            }
+            // CASE
+            MExpr::Case(scrut, alts, def) => {
+                self.push(Frame::Case(alts.clone(), def.clone()));
+                Ok(Control::Eval(Rc::clone(scrut)))
+            }
+            MExpr::Con(c, args) => {
+                let args = self.resolve_all(args)?;
+                self.stats.con_allocs += 1;
+                self.stats.allocated_words += 1 + args.len() as u64;
+                Ok(Control::Ret(Value::Con(c.clone(), args)))
+            }
+            MExpr::Prim(op, args) => {
+                let lits =
+                    args.iter().map(|a| self.literal_of(*a)).collect::<Result<Vec<_>, _>>()?;
+                self.stats.prim_ops += 1;
+                Ok(Control::Ret(Value::Lit(apply_prim(*op, &lits)?)))
+            }
+            // Multi-values exist only in registers: no allocation.
+            MExpr::MultiVal(args) => Ok(Control::Ret(Value::Multi(self.resolve_all(args)?))),
+            MExpr::CaseMulti(scrut, binders, body) => {
+                self.push(Frame::CaseMulti(binders.clone(), Rc::clone(body)));
+                Ok(Control::Eval(Rc::clone(scrut)))
+            }
+            MExpr::Global(g) => {
+                let code =
+                    self.globals.get(*g).ok_or(MachineError::UnknownGlobal(*g))?;
+                Ok(Control::Eval(Rc::clone(code)))
+            }
+            MExpr::Error(_) => {
+                unreachable!("handled in run()")
+            }
+        }
+    }
+
+    fn step_ret(&mut self, w: Value, frame: Frame) -> Result<Control, MachineError> {
+        match frame {
+            // PPOP / IPOP, width-checked.
+            Frame::App(arg) => match w {
+                Value::Lam(binder, body) => {
+                    self.check_class(binder, arg)?;
+                    Ok(Control::Eval(subst_atom(&body, binder.name, arg)))
+                }
+                other => Err(MachineError::AppliedNonFunction(other.to_string())),
+            },
+            // FCE: thunk update.
+            Frame::Force(addr) => {
+                self.heap[addr.0 as usize] = HeapCell::Value(w.clone());
+                self.stats.updates += 1;
+                Ok(Control::Ret(w))
+            }
+            // ILET (extended to boxed strict lets).
+            Frame::LetStrict(binder, body) => {
+                let atom = match &w {
+                    Value::Lit(l) => Atom::Lit(*l),
+                    Value::Lam(..) | Value::Con(..) => self.value_to_atom(w.clone())?,
+                    Value::Multi(_) => {
+                        return Err(MachineError::InvalidState(
+                            "let! of a multi-value; use case-of-multi".to_owned(),
+                        ))
+                    }
+                };
+                self.check_class(binder, atom)?;
+                Ok(Control::Eval(subst_atom(&body, binder.name, atom)))
+            }
+            // IMAT (extended to arbitrary constructors and literal alts).
+            Frame::Case(alts, def) => match &w {
+                Value::Con(c, fields) => {
+                    for alt in &alts {
+                        if let Alt::Con(c2, binders, rhs) = alt {
+                            if c2.name == c.name {
+                                if binders.len() != fields.len() {
+                                    return Err(MachineError::InvalidState(format!(
+                                        "constructor {c} arity mismatch in case"
+                                    )));
+                                }
+                                for (b, a) in binders.iter().zip(fields.iter()) {
+                                    self.check_class(*b, *a)?;
+                                }
+                                let pairs: Vec<_> = binders
+                                    .iter()
+                                    .map(|b| b.name)
+                                    .zip(fields.iter().copied())
+                                    .map(|(n, a)| (n, a))
+                                    .collect();
+                                return Ok(Control::Eval(subst_atoms(rhs, &pairs)));
+                            }
+                        }
+                    }
+                    self.take_default(w, def)
+                }
+                Value::Lit(l) => {
+                    for alt in &alts {
+                        if let Alt::Lit(l2, rhs) = alt {
+                            if l2 == l {
+                                return Ok(Control::Eval(Rc::clone(rhs)));
+                            }
+                        }
+                    }
+                    self.take_default(w, def)
+                }
+                Value::Lam(..) => self.take_default(w, def),
+                Value::Multi(_) => Err(MachineError::InvalidState(
+                    "case on a multi-value; use case-of-multi".to_owned(),
+                )),
+            },
+            Frame::CaseMulti(binders, body) => match w {
+                Value::Multi(fields) => {
+                    if binders.len() != fields.len() {
+                        return Err(MachineError::InvalidState(
+                            "multi-value arity mismatch".to_owned(),
+                        ));
+                    }
+                    for (b, a) in binders.iter().zip(fields.iter()) {
+                        self.check_class(*b, *a)?;
+                    }
+                    let pairs: Vec<_> =
+                        binders.iter().map(|b| b.name).zip(fields.iter().copied()).collect();
+                    Ok(Control::Eval(subst_atoms(&body, &pairs)))
+                }
+                other => Err(MachineError::InvalidState(format!(
+                    "case-of-multi scrutinee evaluated to {other}"
+                ))),
+            },
+        }
+    }
+
+    fn take_default(
+        &mut self,
+        w: Value,
+        def: Option<(Binder, Rc<MExpr>)>,
+    ) -> Result<Control, MachineError> {
+        match def {
+            Some((binder, rhs)) => {
+                let atom = self.value_to_atom(w)?;
+                self.check_class(binder, atom)?;
+                Ok(Control::Eval(subst_atom(&rhs, binder.name, atom)))
+            }
+            None => Err(MachineError::NoMatchingAlt(w.to_string())),
+        }
+    }
+
+    fn push(&mut self, frame: Frame) {
+        self.stack.push(frame);
+        self.stats.max_stack = self.stats.max_stack.max(self.stack.len());
+    }
+}
+
+/// Runs a program with fresh machine state, returning the outcome and
+/// statistics.
+///
+/// # Errors
+///
+/// See [`Machine::run`].
+pub fn run_program(
+    t: Rc<MExpr>,
+    globals: Globals,
+    fuel: u64,
+) -> Result<(RunOutcome, MachineStats), MachineError> {
+    let mut machine = Machine::with_globals(globals);
+    machine.set_fuel(fuel);
+    let outcome = machine.run(t)?;
+    Ok((outcome, *machine.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::PrimOp;
+
+    fn int_atom(n: i64) -> Atom {
+        Atom::Lit(Literal::Int(n))
+    }
+
+    fn run(t: Rc<MExpr>) -> RunOutcome {
+        Machine::new().run(t).expect("machine failure")
+    }
+
+    #[test]
+    fn literal_evaluates_to_itself() {
+        assert_eq!(run(MExpr::int(5)), RunOutcome::Value(Value::Lit(Literal::Int(5))));
+    }
+
+    #[test]
+    fn ipop_substitutes_integer_argument() {
+        // (λi. i) 42# — IAPP then IPOP.
+        let t = MExpr::app(MExpr::lam(Binder::int("i"), MExpr::var("i")), int_atom(42));
+        assert_eq!(run(t), RunOutcome::Value(Value::Lit(Literal::Int(42))));
+    }
+
+    #[test]
+    fn lazy_let_defers_work_and_shares_it() {
+        // let p = (+# 1 2)-as-thunk in (λq. I#[...]) style:
+        // let p = <thunk> in case p of I#[i] -> (+# i i) forces p once.
+        let thunk = MExpr::con_int_hash(int_atom(21));
+        let t = MExpr::let_lazy(
+            "p",
+            thunk,
+            Rc::new(MExpr::Case(
+                MExpr::var("p"),
+                vec![Alt::Con(
+                    DataCon::int_hash(),
+                    vec![Binder::int("i")],
+                    MExpr::prim(PrimOp::AddI, vec![Atom::Var(Symbol::intern("i")), Atom::Var(Symbol::intern("i"))]),
+                )],
+                None,
+            )),
+        );
+        let mut m = Machine::new();
+        let out = m.run(t).unwrap();
+        assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(42))));
+        assert_eq!(m.stats().thunk_allocs, 1);
+        assert_eq!(m.stats().thunk_forces, 1);
+        assert_eq!(m.stats().updates, 1);
+    }
+
+    #[test]
+    fn thunks_are_forced_at_most_once() {
+        // let p = I#[7] in case p of I#[a] -> case p of I#[b] -> +# a b
+        // Second use of p hits VAL, not EVAL.
+        let t = MExpr::let_lazy(
+            "p",
+            MExpr::con_int_hash(int_atom(7)),
+            MExpr::case_int_hash(
+                MExpr::var("p"),
+                "a",
+                MExpr::case_int_hash(
+                    MExpr::var("p"),
+                    "b",
+                    MExpr::prim(
+                        PrimOp::AddI,
+                        vec![Atom::Var(Symbol::intern("a")), Atom::Var(Symbol::intern("b"))],
+                    ),
+                ),
+            ),
+        );
+        let mut m = Machine::new();
+        let out = m.run(t).unwrap();
+        assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(14))));
+        assert_eq!(m.stats().thunk_forces, 1, "sharing: forced once");
+        assert_eq!(m.stats().var_lookups, 1, "second use is a VAL lookup");
+    }
+
+    #[test]
+    fn strict_let_evaluates_rhs_first() {
+        // let! i = (+# 1# 2#) in I#[i]
+        let t = MExpr::let_strict(
+            Binder::int("i"),
+            MExpr::prim(PrimOp::AddI, vec![int_atom(1), int_atom(2)]),
+            MExpr::con_int_hash(Atom::Var(Symbol::intern("i"))),
+        );
+        let out = run(t);
+        assert_eq!(out, RunOutcome::Value(Value::Con(DataCon::int_hash(), vec![int_atom(3)])));
+    }
+
+    #[test]
+    fn error_aborts_the_machine() {
+        // let! i = error in 5# — the strict let forces the error.
+        let t = MExpr::let_strict(Binder::int("i"), MExpr::error("boom"), MExpr::int(5));
+        assert_eq!(run(t), RunOutcome::Error("boom".to_owned()));
+    }
+
+    #[test]
+    fn lazy_error_is_not_forced() {
+        // let p = error in 5# — never demanded, so no abort (laziness).
+        let t = MExpr::let_lazy("p", MExpr::error("boom"), MExpr::int(5));
+        assert_eq!(run(t), RunOutcome::Value(Value::Lit(Literal::Int(5))));
+    }
+
+    #[test]
+    fn width_check_rejects_class_mismatch() {
+        // (λp:ptr. p) 1# — passing an integer to a pointer binder.
+        let t = MExpr::app(MExpr::lam(Binder::ptr("p"), MExpr::var("p")), int_atom(1));
+        let err = Machine::new().run(t).unwrap_err();
+        assert!(matches!(err, MachineError::ClassMismatch { .. }));
+    }
+
+    #[test]
+    fn blackhole_detects_self_reference() {
+        // let p = case p of I#[i] -> I#[i] in case p of I#[i] -> i
+        let body = MExpr::case_int_hash(MExpr::var("p"), "i", MExpr::con_int_hash(Atom::Var(Symbol::intern("i"))));
+        let t = MExpr::let_lazy(
+            "p",
+            body,
+            MExpr::case_int_hash(MExpr::var("p"), "i", MExpr::var("i")),
+        );
+        assert_eq!(Machine::new().run(t).unwrap_err(), MachineError::Loop);
+    }
+
+    #[test]
+    fn multi_values_unpack_without_allocation() {
+        // case (# 3#, 4# #) of (# a, b #) -> +# a b
+        let t = Rc::new(MExpr::CaseMulti(
+            Rc::new(MExpr::MultiVal(vec![int_atom(3), int_atom(4)])),
+            vec![Binder::int("a"), Binder::int("b")],
+            MExpr::prim(
+                PrimOp::AddI,
+                vec![Atom::Var(Symbol::intern("a")), Atom::Var(Symbol::intern("b"))],
+            ),
+        ));
+        let mut m = Machine::new();
+        let out = m.run(t).unwrap();
+        assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(7))));
+        assert_eq!(m.stats().allocated_words, 0, "unboxed tuples never allocate");
+        assert_eq!(m.stats().con_allocs, 0);
+    }
+
+    #[test]
+    fn globals_enable_recursion() {
+        // sumTo# acc n = if n == 0 then acc else sumTo# (acc+n) (n-1)
+        let acc = Symbol::intern("acc");
+        let n = Symbol::intern("n");
+        let body = Rc::new(MExpr::Case(
+            MExpr::prim(PrimOp::EqI, vec![Atom::Var(n), int_atom(0)]),
+            vec![Alt::Lit(Literal::Int(1), MExpr::var("acc"))],
+            Some((
+                Binder::int("_t"),
+                MExpr::let_strict(
+                    Binder::int("acc2"),
+                    MExpr::prim(PrimOp::AddI, vec![Atom::Var(acc), Atom::Var(n)]),
+                    MExpr::let_strict(
+                        Binder::int("n2"),
+                        MExpr::prim(PrimOp::SubI, vec![Atom::Var(n), int_atom(1)]),
+                        MExpr::apps(
+                            MExpr::global("sumTo#"),
+                            [Atom::Var(Symbol::intern("acc2")), Atom::Var(Symbol::intern("n2"))],
+                        ),
+                    ),
+                ),
+            )),
+        ));
+        let def = MExpr::lams([Binder::int("acc"), Binder::int("n")], body);
+        let mut globals = Globals::new();
+        globals.define("sumTo#", def);
+        let main = MExpr::apps(MExpr::global("sumTo#"), [int_atom(0), int_atom(100)]);
+        let mut m = Machine::with_globals(globals);
+        let out = m.run(main).unwrap();
+        assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(5050))));
+        // The unboxed loop allocates nothing at all (§2.1: "no memory
+        // traffic whatsoever").
+        assert_eq!(m.stats().allocated_words, 0);
+    }
+
+    #[test]
+    fn case_selects_by_constructor_tag() {
+        let true_con = DataCon::nullary("True", 1);
+        let false_con = DataCon::nullary("False", 0);
+        let t = Rc::new(MExpr::Case(
+            Rc::new(MExpr::Con(true_con.clone(), vec![])),
+            vec![
+                Alt::Con(false_con, vec![], MExpr::int(0)),
+                Alt::Con(true_con, vec![], MExpr::int(1)),
+            ],
+            None,
+        ));
+        assert_eq!(run(t), RunOutcome::Value(Value::Lit(Literal::Int(1))));
+    }
+
+    #[test]
+    fn case_literal_alternatives_with_default() {
+        let scrut = MExpr::int(7);
+        let t = Rc::new(MExpr::Case(
+            scrut,
+            vec![Alt::Lit(Literal::Int(0), MExpr::int(100))],
+            Some((Binder::int("n"), MExpr::prim(PrimOp::MulI, vec![Atom::Var(Symbol::intern("n")), int_atom(2)]))),
+        ));
+        assert_eq!(run(t), RunOutcome::Value(Value::Lit(Literal::Int(14))));
+    }
+
+    #[test]
+    fn no_matching_alt_is_a_machine_error() {
+        let t = Rc::new(MExpr::Case(MExpr::int(7), vec![Alt::Lit(Literal::Int(0), MExpr::int(1))], None));
+        assert!(matches!(
+            Machine::new().run(t).unwrap_err(),
+            MachineError::NoMatchingAlt(_)
+        ));
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_detected() {
+        // let p = case p of … in … loops via globals instead: simplest
+        // infinite loop is a global that calls itself.
+        let mut globals = Globals::new();
+        globals.define("spin", MExpr::global("spin"));
+        let mut m = Machine::with_globals(globals);
+        m.set_fuel(1000);
+        assert!(matches!(
+            m.run(MExpr::global("spin")).unwrap_err(),
+            MachineError::OutOfFuel { .. }
+        ));
+    }
+
+    #[test]
+    fn applied_non_function_is_a_machine_error() {
+        let t = MExpr::app(MExpr::int(3), int_atom(4));
+        assert!(matches!(
+            Machine::new().run(t).unwrap_err(),
+            MachineError::AppliedNonFunction(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_global_is_a_machine_error() {
+        assert!(matches!(
+            Machine::new().run(MExpr::global("nope")).unwrap_err(),
+            MachineError::UnknownGlobal(_)
+        ));
+    }
+
+    #[test]
+    fn stats_track_stack_high_water() {
+        let t = MExpr::app(MExpr::lam(Binder::int("i"), MExpr::var("i")), int_atom(1));
+        let mut m = Machine::new();
+        m.run(t).unwrap();
+        assert!(m.stats().max_stack >= 1);
+        assert!(m.stats().steps > 0);
+    }
+}

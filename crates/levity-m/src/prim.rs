@@ -1,0 +1,198 @@
+//! Evaluation of primitive operations.
+//!
+//! Primops are the `+#`/`+##` family of §2.1/§7.3: pure functions on
+//! unboxed values, evaluated in a single machine step. Comparisons return
+//! `1#`/`0#` as in GHC.
+
+use std::fmt;
+
+use crate::syntax::{Literal, PrimOp};
+
+/// An error applying a primop — wrong arity or wrong literal classes.
+/// Unreachable from type-checked code.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrimError {
+    /// The offending operation.
+    pub op: PrimOp,
+    /// The literal arguments received.
+    pub args: Vec<Literal>,
+}
+
+impl fmt::Display for PrimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "primop `{}` applied to invalid arguments {:?}", self.op, self.args)
+    }
+}
+
+impl std::error::Error for PrimError {}
+
+fn bool_lit(b: bool) -> Literal {
+    Literal::Int(if b { 1 } else { 0 })
+}
+
+/// Applies a primop to literal arguments.
+///
+/// # Errors
+///
+/// Returns [`PrimError`] on arity or class mismatch (impossible for
+/// machine code produced by the type-checked pipeline). Integer division
+/// by zero also errors, mirroring a hardware trap.
+pub fn apply_prim(op: PrimOp, args: &[Literal]) -> Result<Literal, PrimError> {
+    let err = || PrimError { op, args: args.to_vec() };
+    let int2 = |f: fn(i64, i64) -> Option<Literal>| -> Result<Literal, PrimError> {
+        match args {
+            [Literal::Int(a), Literal::Int(b)] => f(*a, *b).ok_or_else(err),
+            _ => Err(err()),
+        }
+    };
+    let dbl2 = |f: fn(f64, f64) -> Literal| -> Result<Literal, PrimError> {
+        match args {
+            [Literal::DoubleBits(a), Literal::DoubleBits(b)] => {
+                Ok(f(f64::from_bits(*a), f64::from_bits(*b)))
+            }
+            _ => Err(err()),
+        }
+    };
+    let flt2 = |f: fn(f32, f32) -> Literal| -> Result<Literal, PrimError> {
+        match args {
+            [Literal::FloatBits(a), Literal::FloatBits(b)] => {
+                Ok(f(f32::from_bits(*a), f32::from_bits(*b)))
+            }
+            _ => Err(err()),
+        }
+    };
+    match op {
+        PrimOp::AddI => int2(|a, b| Some(Literal::Int(a.wrapping_add(b)))),
+        PrimOp::SubI => int2(|a, b| Some(Literal::Int(a.wrapping_sub(b)))),
+        PrimOp::MulI => int2(|a, b| Some(Literal::Int(a.wrapping_mul(b)))),
+        PrimOp::QuotI => int2(|a, b| a.checked_div(b).map(Literal::Int)),
+        PrimOp::RemI => int2(|a, b| a.checked_rem(b).map(Literal::Int)),
+        PrimOp::NegI => match args {
+            [Literal::Int(a)] => Ok(Literal::Int(a.wrapping_neg())),
+            _ => Err(err()),
+        },
+        PrimOp::EqI => int2(|a, b| Some(bool_lit(a == b))),
+        PrimOp::NeI => int2(|a, b| Some(bool_lit(a != b))),
+        PrimOp::LtI => int2(|a, b| Some(bool_lit(a < b))),
+        PrimOp::LeI => int2(|a, b| Some(bool_lit(a <= b))),
+        PrimOp::GtI => int2(|a, b| Some(bool_lit(a > b))),
+        PrimOp::GeI => int2(|a, b| Some(bool_lit(a >= b))),
+        PrimOp::AddD => dbl2(|a, b| Literal::double(a + b)),
+        PrimOp::SubD => dbl2(|a, b| Literal::double(a - b)),
+        PrimOp::MulD => dbl2(|a, b| Literal::double(a * b)),
+        PrimOp::DivD => dbl2(|a, b| Literal::double(a / b)),
+        PrimOp::NegD => match args {
+            [Literal::DoubleBits(a)] => Ok(Literal::double(-f64::from_bits(*a))),
+            _ => Err(err()),
+        },
+        PrimOp::EqD => dbl2(|a, b| bool_lit(a == b)),
+        PrimOp::LtD => dbl2(|a, b| bool_lit(a < b)),
+        PrimOp::LeD => dbl2(|a, b| bool_lit(a <= b)),
+        PrimOp::AddF => flt2(|a, b| Literal::float(a + b)),
+        PrimOp::SubF => flt2(|a, b| Literal::float(a - b)),
+        PrimOp::MulF => flt2(|a, b| Literal::float(a * b)),
+        PrimOp::DivF => flt2(|a, b| Literal::float(a / b)),
+        PrimOp::IntToDouble => match args {
+            [Literal::Int(a)] => Ok(Literal::double(*a as f64)),
+            _ => Err(err()),
+        },
+        PrimOp::DoubleToInt => match args {
+            [Literal::DoubleBits(a)] => Ok(Literal::Int(f64::from_bits(*a) as i64)),
+            _ => Err(err()),
+        },
+        PrimOp::IntToFloat => match args {
+            [Literal::Int(a)] => Ok(Literal::float(*a as f32)),
+            _ => Err(err()),
+        },
+        PrimOp::FloatToDouble => match args {
+            [Literal::FloatBits(a)] => Ok(Literal::double(f32::from_bits(*a) as f64)),
+            _ => Err(err()),
+        },
+        PrimOp::CharToInt => match args {
+            [Literal::Char(c)] => Ok(Literal::Int(*c as i64)),
+            _ => Err(err()),
+        },
+        PrimOp::IntToChar => match args {
+            [Literal::Int(n)] => u32::try_from(*n)
+                .ok()
+                .and_then(char::from_u32)
+                .map(Literal::Char)
+                .ok_or_else(err),
+            _ => Err(err()),
+        },
+        PrimOp::EqC => match args {
+            [Literal::Char(a), Literal::Char(b)] => Ok(bool_lit(a == b)),
+            _ => Err(err()),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(apply_prim(PrimOp::AddI, &[Literal::Int(2), Literal::Int(3)]), Ok(Literal::Int(5)));
+        assert_eq!(apply_prim(PrimOp::SubI, &[Literal::Int(2), Literal::Int(3)]), Ok(Literal::Int(-1)));
+        assert_eq!(apply_prim(PrimOp::MulI, &[Literal::Int(4), Literal::Int(3)]), Ok(Literal::Int(12)));
+        assert_eq!(apply_prim(PrimOp::QuotI, &[Literal::Int(7), Literal::Int(2)]), Ok(Literal::Int(3)));
+        assert_eq!(apply_prim(PrimOp::RemI, &[Literal::Int(7), Literal::Int(2)]), Ok(Literal::Int(1)));
+        assert_eq!(apply_prim(PrimOp::NegI, &[Literal::Int(7)]), Ok(Literal::Int(-7)));
+    }
+
+    #[test]
+    fn comparisons_return_unboxed_bools() {
+        assert_eq!(apply_prim(PrimOp::LtI, &[Literal::Int(1), Literal::Int(2)]), Ok(Literal::Int(1)));
+        assert_eq!(apply_prim(PrimOp::GeI, &[Literal::Int(1), Literal::Int(2)]), Ok(Literal::Int(0)));
+        assert_eq!(apply_prim(PrimOp::EqI, &[Literal::Int(2), Literal::Int(2)]), Ok(Literal::Int(1)));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(apply_prim(PrimOp::QuotI, &[Literal::Int(1), Literal::Int(0)]).is_err());
+        assert!(apply_prim(PrimOp::RemI, &[Literal::Int(1), Literal::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn double_arithmetic() {
+        assert_eq!(
+            apply_prim(PrimOp::AddD, &[Literal::double(1.5), Literal::double(2.25)]),
+            Ok(Literal::double(3.75))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::LtD, &[Literal::double(1.0), Literal::double(2.0)]),
+            Ok(Literal::Int(1))
+        );
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        assert_eq!(
+            apply_prim(PrimOp::MulF, &[Literal::float(2.0), Literal::float(4.0)]),
+            Ok(Literal::float(8.0))
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(apply_prim(PrimOp::IntToDouble, &[Literal::Int(3)]), Ok(Literal::double(3.0)));
+        assert_eq!(apply_prim(PrimOp::DoubleToInt, &[Literal::double(3.9)]), Ok(Literal::Int(3)));
+        assert_eq!(apply_prim(PrimOp::CharToInt, &[Literal::Char('A')]), Ok(Literal::Int(65)));
+        assert_eq!(apply_prim(PrimOp::IntToChar, &[Literal::Int(66)]), Ok(Literal::Char('B')));
+    }
+
+    #[test]
+    fn class_mismatch_is_an_error() {
+        assert!(apply_prim(PrimOp::AddI, &[Literal::Int(1), Literal::double(2.0)]).is_err());
+        assert!(apply_prim(PrimOp::AddI, &[Literal::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn wrapping_semantics() {
+        assert_eq!(
+            apply_prim(PrimOp::AddI, &[Literal::Int(i64::MAX), Literal::Int(1)]),
+            Ok(Literal::Int(i64::MIN))
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Atom substitution for `M`.
+//!
+//! The machine models parameter passing by substitution (§6.2): "in a
+//! real machine, of course, parameters to functions would be passed in
+//! registers. However, notice that the value being substituted is always
+//! of a known width; this substitution is thus implementable."
+//!
+//! Only *atoms* (heap addresses and literals) are ever substituted, and
+//! the machine checks that the atom's register class matches the
+//! binder's class — a levity-polymorphic binder would make that check
+//! impossible, which is why `M` cannot express one.
+
+use std::rc::Rc;
+
+use levity_core::symbol::Symbol;
+
+use crate::syntax::{Alt, Atom, MExpr};
+
+/// Substitutes `payload` for the variable `name` throughout `t`,
+/// respecting shadowing.
+pub fn subst_atom(t: &Rc<MExpr>, name: Symbol, payload: Atom) -> Rc<MExpr> {
+    // Fast path: share the subtree when the variable cannot occur.
+    // (A full occurs-check would traverse anyway, so just substitute.)
+    match &**t {
+        MExpr::Atom(a) => match sub_in_atom(*a, name, payload) {
+            Some(a2) => Rc::new(MExpr::Atom(a2)),
+            None => Rc::clone(t),
+        },
+        MExpr::App(fun, arg) => {
+            let fun2 = subst_atom(fun, name, payload);
+            let arg2 = sub_in_atom(*arg, name, payload);
+            if Rc::ptr_eq(&fun2, fun) && arg2.is_none() {
+                Rc::clone(t)
+            } else {
+                Rc::new(MExpr::App(fun2, arg2.unwrap_or(*arg)))
+            }
+        }
+        MExpr::Lam(binder, body) => {
+            if binder.name == name {
+                Rc::clone(t)
+            } else {
+                let body2 = subst_atom(body, name, payload);
+                if Rc::ptr_eq(&body2, body) {
+                    Rc::clone(t)
+                } else {
+                    Rc::new(MExpr::Lam(*binder, body2))
+                }
+            }
+        }
+        MExpr::LetLazy(p, rhs, body) => {
+            if *p == name {
+                Rc::clone(t)
+            } else {
+                Rc::new(MExpr::LetLazy(
+                    *p,
+                    subst_atom(rhs, name, payload),
+                    subst_atom(body, name, payload),
+                ))
+            }
+        }
+        MExpr::LetStrict(binder, rhs, body) => {
+            let rhs2 = subst_atom(rhs, name, payload);
+            let body2 = if binder.name == name {
+                Rc::clone(body)
+            } else {
+                subst_atom(body, name, payload)
+            };
+            Rc::new(MExpr::LetStrict(*binder, rhs2, body2))
+        }
+        MExpr::Case(scrut, alts, def) => {
+            let scrut2 = subst_atom(scrut, name, payload);
+            let alts2 = alts
+                .iter()
+                .map(|alt| match alt {
+                    Alt::Con(c, binders, rhs) => {
+                        if binders.iter().any(|b| b.name == name) {
+                            Alt::Con(c.clone(), binders.clone(), Rc::clone(rhs))
+                        } else {
+                            Alt::Con(c.clone(), binders.clone(), subst_atom(rhs, name, payload))
+                        }
+                    }
+                    Alt::Lit(l, rhs) => Alt::Lit(*l, subst_atom(rhs, name, payload)),
+                })
+                .collect();
+            let def2 = def.as_ref().map(|(b, rhs)| {
+                if b.name == name {
+                    (*b, Rc::clone(rhs))
+                } else {
+                    (*b, subst_atom(rhs, name, payload))
+                }
+            });
+            Rc::new(MExpr::Case(scrut2, alts2, def2))
+        }
+        MExpr::Con(c, args) => {
+            Rc::new(MExpr::Con(c.clone(), sub_in_atoms(args, name, payload)))
+        }
+        MExpr::Prim(op, args) => Rc::new(MExpr::Prim(*op, sub_in_atoms(args, name, payload))),
+        MExpr::MultiVal(args) => Rc::new(MExpr::MultiVal(sub_in_atoms(args, name, payload))),
+        MExpr::CaseMulti(scrut, binders, body) => {
+            let scrut2 = subst_atom(scrut, name, payload);
+            let body2 = if binders.iter().any(|b| b.name == name) {
+                Rc::clone(body)
+            } else {
+                subst_atom(body, name, payload)
+            };
+            Rc::new(MExpr::CaseMulti(scrut2, binders.clone(), body2))
+        }
+        MExpr::Global(_) | MExpr::Error(_) => Rc::clone(t),
+    }
+}
+
+fn sub_in_atom(a: Atom, name: Symbol, payload: Atom) -> Option<Atom> {
+    match a {
+        Atom::Var(x) if x == name => Some(payload),
+        _ => None,
+    }
+}
+
+fn sub_in_atoms(args: &[Atom], name: Symbol, payload: Atom) -> Vec<Atom> {
+    args.iter().map(|a| sub_in_atom(*a, name, payload).unwrap_or(*a)).collect()
+}
+
+/// Substitutes several atoms at once (used when a case alternative binds
+/// multiple fields).
+pub fn subst_atoms(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
+    let mut out = Rc::clone(t);
+    for (name, atom) in pairs {
+        out = subst_atom(&out, *name, *atom);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{Binder, Literal};
+
+    fn sym(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+
+    #[test]
+    fn substitutes_free_occurrences() {
+        let t = MExpr::app(MExpr::var("f"), Atom::Var(sym("x")));
+        let out = subst_atom(&t, sym("x"), Atom::Lit(Literal::Int(3)));
+        assert_eq!(out.to_string(), "(f 3#)");
+    }
+
+    #[test]
+    fn respects_lambda_shadowing() {
+        let t = MExpr::lam(Binder::int("x"), MExpr::var("x"));
+        let out = subst_atom(&t, sym("x"), Atom::Lit(Literal::Int(3)));
+        assert_eq!(out.to_string(), "\\x:word. x");
+    }
+
+    #[test]
+    fn respects_let_shadowing() {
+        let t = MExpr::let_lazy("p", MExpr::var("p"), MExpr::var("p"));
+        // `let p = … in …` binds p in both rhs (cyclic) and body.
+        let out = subst_atom(&t, sym("p"), Atom::Lit(Literal::Int(1)));
+        assert_eq!(out.to_string(), "let p = p in p");
+    }
+
+    #[test]
+    fn strict_let_rhs_is_not_shadowed() {
+        // `let! y = t1 in t2` binds y only in t2.
+        let t = MExpr::let_strict(Binder::int("y"), MExpr::var("y"), MExpr::var("y"));
+        let out = subst_atom(&t, sym("y"), Atom::Lit(Literal::Int(9)));
+        assert_eq!(out.to_string(), "let! y:word = 9# in y");
+    }
+
+    #[test]
+    fn case_alt_binders_shadow() {
+        let t = MExpr::case_int_hash(MExpr::var("s"), "i", MExpr::var("i"));
+        let out = subst_atom(&t, sym("i"), Atom::Lit(Literal::Int(5)));
+        assert!(out.to_string().contains("-> i"), "{out}");
+        let out2 = subst_atom(&t, sym("s"), Atom::Lit(Literal::Int(5)));
+        assert!(out2.to_string().contains("case 5#"), "{out2}");
+    }
+
+    #[test]
+    fn sharing_is_preserved_when_variable_absent() {
+        let t = MExpr::lam(Binder::int("x"), MExpr::var("x"));
+        let out = subst_atom(&t, sym("zzz"), Atom::Lit(Literal::Int(0)));
+        assert!(Rc::ptr_eq(&t, &out), "untouched subtrees should be shared");
+    }
+
+    #[test]
+    fn multi_substitution() {
+        let t = MExpr::prim(
+            crate::syntax::PrimOp::AddI,
+            vec![Atom::Var(sym("a")), Atom::Var(sym("b"))],
+        );
+        let out = subst_atoms(
+            &t,
+            &[(sym("a"), Atom::Lit(Literal::Int(1))), (sym("b"), Atom::Lit(Literal::Int(2)))],
+        );
+        assert_eq!(out.to_string(), "(+# 1# 2#)");
+    }
+}

@@ -1,0 +1,675 @@
+//! The grammar of `M` (Figure 5), extended for the full pipeline.
+//!
+//! `M` is a λ-calculus in A-normal form: functions are applied only to
+//! *atoms* (variables or literals), so every intermediate result is named
+//! by a `let`. Corresponding to the two kinds of application in `L`, `M`
+//! has a lazy `let` (heap-allocates a thunk) and a strict `let!`
+//! (evaluates first). Every variable carries its register class, making
+//! widths explicit: "we must know sizes of variables in M" (§6.2).
+//!
+//! The paper's `M` has pointer and integer variables, one data
+//! constructor `I#`, and integer literals. The pipeline needs a little
+//! more, so this grammar adds — without disturbing the Figure 5 subset —
+//! float/double/char literals, arbitrary saturated data constructors,
+//! multi-alternative `case`, primitive operations, unboxed multi-values
+//! (`(# .. #)` erased to registers, §2.3), and references to top-level
+//! globals (which enable recursion; the formal fragment never emits
+//! them).
+
+use std::fmt;
+use std::rc::Rc;
+
+use levity_core::rep::Slot;
+use levity_core::symbol::Symbol;
+
+/// A machine literal. Floating-point payloads are stored as bits so the
+/// type can be `Eq`/`Hash`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Literal {
+    /// An `Int#`.
+    Int(i64),
+    /// A `Char#`.
+    Char(char),
+    /// A `Float#` (bit pattern).
+    FloatBits(u32),
+    /// A `Double#` (bit pattern).
+    DoubleBits(u64),
+}
+
+impl Literal {
+    /// A `Float#` literal.
+    pub fn float(x: f32) -> Literal {
+        Literal::FloatBits(x.to_bits())
+    }
+
+    /// A `Double#` literal.
+    pub fn double(x: f64) -> Literal {
+        Literal::DoubleBits(x.to_bits())
+    }
+
+    /// The float value, if this is a float literal.
+    pub fn as_float(self) -> Option<f32> {
+        match self {
+            Literal::FloatBits(b) => Some(f32::from_bits(b)),
+            _ => None,
+        }
+    }
+
+    /// The double value, if this is a double literal.
+    pub fn as_double(self) -> Option<f64> {
+        match self {
+            Literal::DoubleBits(b) => Some(f64::from_bits(b)),
+            _ => None,
+        }
+    }
+
+    /// The integer value, if this is an integer literal.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Literal::Int(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The register class holding this literal.
+    pub fn slot(self) -> Slot {
+        match self {
+            Literal::Int(_) | Literal::Char(_) => Slot::Word,
+            Literal::FloatBits(_) => Slot::Float,
+            Literal::DoubleBits(_) => Slot::Double,
+        }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Int(n) => write!(f, "{n}#"),
+            Literal::Char(c) => write!(f, "{c:?}#"),
+            Literal::FloatBits(b) => write!(f, "{}#f", f32::from_bits(*b)),
+            Literal::DoubleBits(b) => write!(f, "{}##", f64::from_bits(*b)),
+        }
+    }
+}
+
+/// A heap address, created by `let` (LET) or by storing a value (FCE).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Addr(pub u64);
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An atom: the only things that may appear in argument position in ANF.
+///
+/// `Var` appears in source terms; `Addr` appears only at runtime, after
+/// substitution has replaced a pointer variable by a heap address. The
+/// machine only ever substitutes atoms — values of known, fixed width
+/// ("this substitution is thus implementable", §6.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Atom {
+    /// A named variable (source form).
+    Var(Symbol),
+    /// A heap address (runtime form; class `Slot::Ptr`).
+    Addr(Addr),
+    /// A literal (class per [`Literal::slot`]).
+    Lit(Literal),
+}
+
+impl Atom {
+    /// The register class of this atom, if knowable without a context
+    /// (variables need their binder's class).
+    pub fn slot(self) -> Option<Slot> {
+        match self {
+            Atom::Var(_) => None,
+            Atom::Addr(_) => Some(Slot::Ptr),
+            Atom::Lit(l) => Some(l.slot()),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Atom::Var(x) => write!(f, "{x}"),
+            Atom::Addr(a) => write!(f, "{a}"),
+            Atom::Lit(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl From<Literal> for Atom {
+    fn from(l: Literal) -> Atom {
+        Atom::Lit(l)
+    }
+}
+
+/// A variable binder with its register class — the `p` vs `i` distinction
+/// of Figure 5, generalized to all [`Slot`] classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Binder {
+    /// The variable name.
+    pub name: Symbol,
+    /// The register class of values bound here. There is no "unknown"
+    /// class: a levity-polymorphic binder is *unrepresentable* in `M`,
+    /// which is the whole point (§5.1).
+    pub class: Slot,
+}
+
+impl Binder {
+    /// A pointer-class binder (`p` in Figure 5).
+    pub fn ptr(name: impl Into<Symbol>) -> Binder {
+        Binder { name: name.into(), class: Slot::Ptr }
+    }
+
+    /// A word-class binder (`i` in Figure 5).
+    pub fn int(name: impl Into<Symbol>) -> Binder {
+        Binder { name: name.into(), class: Slot::Word }
+    }
+
+    /// A binder of the given class.
+    pub fn new(name: impl Into<Symbol>, class: Slot) -> Binder {
+        Binder { name: name.into(), class }
+    }
+}
+
+impl fmt::Display for Binder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.name, self.class)
+    }
+}
+
+/// A data constructor. `I#` is the paper's only constructor; the extended
+/// machine allows any saturated constructor with classed fields.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DataCon {
+    /// Constructor name, e.g. `I#`, `True`, `(,)`.
+    pub name: Symbol,
+    /// Tag within its datatype (used for case selection).
+    pub tag: u32,
+    /// Register classes of the fields.
+    pub fields: Vec<Slot>,
+}
+
+impl DataCon {
+    /// The paper's `I#` constructor: one word field, tag 0.
+    pub fn int_hash() -> DataCon {
+        DataCon { name: Symbol::intern("I#"), tag: 0, fields: vec![Slot::Word] }
+    }
+
+    /// A nullary constructor (e.g. `False` with tag 0, `True` with tag 1).
+    pub fn nullary(name: impl Into<Symbol>, tag: u32) -> DataCon {
+        DataCon { name: name.into(), tag, fields: Vec::new() }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+}
+
+impl fmt::Display for DataCon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A primitive operation on unboxed values. These are the `+#`-style
+/// operations of §2.1; each is a pure function on literals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// `+#`
+    AddI,
+    /// `-#`
+    SubI,
+    /// `*#`
+    MulI,
+    /// `quotInt#`
+    QuotI,
+    /// `remInt#`
+    RemI,
+    /// `negateInt#`
+    NegI,
+    /// `==#` (returns `1#` or `0#`)
+    EqI,
+    /// `/=#`
+    NeI,
+    /// `<#`
+    LtI,
+    /// `<=#`
+    LeI,
+    /// `>#`
+    GtI,
+    /// `>=#`
+    GeI,
+    /// `+##`
+    AddD,
+    /// `-##`
+    SubD,
+    /// `*##`
+    MulD,
+    /// `/##`
+    DivD,
+    /// `negateDouble#`
+    NegD,
+    /// `==##`
+    EqD,
+    /// `<##`
+    LtD,
+    /// `<=##`
+    LeD,
+    /// `plusFloat#`
+    AddF,
+    /// `minusFloat#`
+    SubF,
+    /// `timesFloat#`
+    MulF,
+    /// `divideFloat#`
+    DivF,
+    /// `int2Double#`
+    IntToDouble,
+    /// `double2Int#`
+    DoubleToInt,
+    /// `int2Float#`
+    IntToFloat,
+    /// `float2Double#`
+    FloatToDouble,
+    /// `ord#`
+    CharToInt,
+    /// `chr#`
+    IntToChar,
+    /// `eqChar#`
+    EqC,
+}
+
+impl PrimOp {
+    /// The GHC-style printed name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrimOp::AddI => "+#",
+            PrimOp::SubI => "-#",
+            PrimOp::MulI => "*#",
+            PrimOp::QuotI => "quotInt#",
+            PrimOp::RemI => "remInt#",
+            PrimOp::NegI => "negateInt#",
+            PrimOp::EqI => "==#",
+            PrimOp::NeI => "/=#",
+            PrimOp::LtI => "<#",
+            PrimOp::LeI => "<=#",
+            PrimOp::GtI => ">#",
+            PrimOp::GeI => ">=#",
+            PrimOp::AddD => "+##",
+            PrimOp::SubD => "-##",
+            PrimOp::MulD => "*##",
+            PrimOp::DivD => "/##",
+            PrimOp::NegD => "negateDouble#",
+            PrimOp::EqD => "==##",
+            PrimOp::LtD => "<##",
+            PrimOp::LeD => "<=##",
+            PrimOp::AddF => "plusFloat#",
+            PrimOp::SubF => "minusFloat#",
+            PrimOp::MulF => "timesFloat#",
+            PrimOp::DivF => "divideFloat#",
+            PrimOp::IntToDouble => "int2Double#",
+            PrimOp::DoubleToInt => "double2Int#",
+            PrimOp::IntToFloat => "int2Float#",
+            PrimOp::FloatToDouble => "float2Double#",
+            PrimOp::CharToInt => "ord#",
+            PrimOp::IntToChar => "chr#",
+            PrimOp::EqC => "eqChar#",
+        }
+    }
+
+    /// Number of arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::NegI
+            | PrimOp::NegD
+            | PrimOp::IntToDouble
+            | PrimOp::DoubleToInt
+            | PrimOp::IntToFloat
+            | PrimOp::FloatToDouble
+            | PrimOp::CharToInt
+            | PrimOp::IntToChar => 1,
+            _ => 2,
+        }
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A case alternative.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Alt {
+    /// `C y₁ … yₙ -> t`
+    Con(DataCon, Vec<Binder>, Rc<MExpr>),
+    /// `lit -> t`
+    Lit(Literal, Rc<MExpr>),
+}
+
+/// An `M` expression (Figure 5, extended).
+///
+/// The Figure 5 fragment is: [`MExpr::Atom`] (`y`, `n`), [`MExpr::App`]
+/// (`t y`, `t n`), [`MExpr::Lam`], [`MExpr::LetLazy`] (`let`),
+/// [`MExpr::LetStrict`] (`let!`), [`MExpr::Case`] with a single `I#`
+/// alternative, [`MExpr::Con`] (`I#[y]`, `I#[n]`), and [`MExpr::Error`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum MExpr {
+    /// `y` or `n`: an atom in expression position.
+    Atom(Atom),
+    /// `t a`: application to an atom.
+    App(Rc<MExpr>, Atom),
+    /// `λy. t`.
+    Lam(Binder, Rc<MExpr>),
+    /// `let p = t₁ in t₂`: lazy; allocates a thunk (rule LET). The bound
+    /// variable is always pointer-class. `t₁` may mention `p` (cyclic
+    /// thunks give recursion; the formal fragment never does this).
+    LetLazy(Symbol, Rc<MExpr>, Rc<MExpr>),
+    /// `let! y = t₁ in t₂`: strict; evaluates `t₁` first (rule SLET).
+    LetStrict(Binder, Rc<MExpr>, Rc<MExpr>),
+    /// `case t of alts [default]`: forces `t`, then selects.
+    Case(Rc<MExpr>, Vec<Alt>, Option<(Binder, Rc<MExpr>)>),
+    /// A saturated constructor application.
+    Con(DataCon, Vec<Atom>),
+    /// A saturated primitive operation.
+    Prim(PrimOp, Vec<Atom>),
+    /// `(# a₁, …, aₙ #)`: an unboxed multi-value; exists only in
+    /// registers, never in the heap (§2.3).
+    MultiVal(Vec<Atom>),
+    /// `case t of (# y₁, …, yₙ #) -> t₂`: unpacks a multi-value.
+    CaseMulti(Rc<MExpr>, Vec<Binder>, Rc<MExpr>),
+    /// A reference to a top-level definition (extension: recursion).
+    Global(Symbol),
+    /// `error`: aborts the machine (rule ERR).
+    Error(String),
+}
+
+impl MExpr {
+    /// `y` as an expression.
+    pub fn var(name: impl Into<Symbol>) -> Rc<MExpr> {
+        Rc::new(MExpr::Atom(Atom::Var(name.into())))
+    }
+
+    /// `n` as an expression.
+    pub fn lit(l: Literal) -> Rc<MExpr> {
+        Rc::new(MExpr::Atom(Atom::Lit(l)))
+    }
+
+    /// An integer literal expression.
+    pub fn int(n: i64) -> Rc<MExpr> {
+        MExpr::lit(Literal::Int(n))
+    }
+
+    /// `t a`.
+    pub fn app(fun: Rc<MExpr>, arg: Atom) -> Rc<MExpr> {
+        Rc::new(MExpr::App(fun, arg))
+    }
+
+    /// Applies to several atoms left to right.
+    pub fn apps(fun: Rc<MExpr>, args: impl IntoIterator<Item = Atom>) -> Rc<MExpr> {
+        args.into_iter().fold(fun, MExpr::app)
+    }
+
+    /// `λy. t`.
+    pub fn lam(binder: Binder, body: Rc<MExpr>) -> Rc<MExpr> {
+        Rc::new(MExpr::Lam(binder, body))
+    }
+
+    /// Multi-argument lambda.
+    pub fn lams(binders: impl IntoIterator<Item = Binder>, body: Rc<MExpr>) -> Rc<MExpr> {
+        let binders: Vec<_> = binders.into_iter().collect();
+        binders.into_iter().rev().fold(body, |acc, b| MExpr::lam(b, acc))
+    }
+
+    /// `let p = t₁ in t₂`.
+    pub fn let_lazy(p: impl Into<Symbol>, rhs: Rc<MExpr>, body: Rc<MExpr>) -> Rc<MExpr> {
+        Rc::new(MExpr::LetLazy(p.into(), rhs, body))
+    }
+
+    /// `let! y = t₁ in t₂`.
+    pub fn let_strict(binder: Binder, rhs: Rc<MExpr>, body: Rc<MExpr>) -> Rc<MExpr> {
+        Rc::new(MExpr::LetStrict(binder, rhs, body))
+    }
+
+    /// `case t₁ of I#[i] -> t₂` — the paper's single-alternative case.
+    pub fn case_int_hash(scrut: Rc<MExpr>, i: impl Into<Symbol>, body: Rc<MExpr>) -> Rc<MExpr> {
+        Rc::new(MExpr::Case(
+            scrut,
+            vec![Alt::Con(DataCon::int_hash(), vec![Binder::int(i)], body)],
+            None,
+        ))
+    }
+
+    /// `I#[a]`.
+    pub fn con_int_hash(a: Atom) -> Rc<MExpr> {
+        Rc::new(MExpr::Con(DataCon::int_hash(), vec![a]))
+    }
+
+    /// A primitive application.
+    pub fn prim(op: PrimOp, args: Vec<Atom>) -> Rc<MExpr> {
+        Rc::new(MExpr::Prim(op, args))
+    }
+
+    /// A reference to a global definition.
+    pub fn global(name: impl Into<Symbol>) -> Rc<MExpr> {
+        Rc::new(MExpr::Global(name.into()))
+    }
+
+    /// `error`.
+    pub fn error(msg: impl Into<String>) -> Rc<MExpr> {
+        Rc::new(MExpr::Error(msg.into()))
+    }
+
+    /// Is this expression a *value* per Figure 5 (`w ::= λy.t | I#[n] | n`,
+    /// extended with saturated constructors over atom fields and
+    /// multi-values)?
+    pub fn is_value(&self) -> bool {
+        match self {
+            MExpr::Lam(..) => true,
+            MExpr::Atom(Atom::Lit(_)) => true,
+            MExpr::Con(_, args) => args.iter().all(|a| !matches!(a, Atom::Var(_))),
+            MExpr::MultiVal(args) => args.iter().all(|a| !matches!(a, Atom::Var(_))),
+            _ => false,
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            MExpr::Atom(_) | MExpr::Global(_) | MExpr::Error(_) => 1,
+            MExpr::App(t, _) => 1 + t.size(),
+            MExpr::Lam(_, t) => 1 + t.size(),
+            MExpr::LetLazy(_, a, b) | MExpr::LetStrict(_, a, b) => 1 + a.size() + b.size(),
+            MExpr::Case(s, alts, def) => {
+                1 + s.size()
+                    + alts
+                        .iter()
+                        .map(|alt| match alt {
+                            Alt::Con(_, _, t) | Alt::Lit(_, t) => t.size(),
+                        })
+                        .sum::<usize>()
+                    + def.as_ref().map_or(0, |(_, t)| t.size())
+            }
+            MExpr::Con(_, args) | MExpr::Prim(_, args) | MExpr::MultiVal(args) => 1 + args.len(),
+            MExpr::CaseMulti(s, _, t) => 1 + s.size() + t.size(),
+        }
+    }
+}
+
+impl fmt::Display for MExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                MExpr::Atom(a) => write!(f, "{a}"),
+                MExpr::App(t, a) => write!(f, "({t} {a})"),
+                MExpr::Lam(b, t) => write!(f, "\\{b}. {t}"),
+                MExpr::LetLazy(p, rhs, body) => write!(f, "let {p} = {rhs} in {body}"),
+                MExpr::LetStrict(b, rhs, body) => write!(f, "let! {b} = {rhs} in {body}"),
+                MExpr::Case(s, alts, def) => {
+                    write!(f, "case {s} of {{")?;
+                    for (i, alt) in alts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "; ")?;
+                        }
+                        match alt {
+                            Alt::Con(c, bs, t) => {
+                                write!(f, "{c}")?;
+                                for b in bs {
+                                    write!(f, " {b}")?;
+                                }
+                                write!(f, " -> {t}")?;
+                            }
+                            Alt::Lit(l, t) => write!(f, "{l} -> {t}")?,
+                        }
+                    }
+                    if let Some((b, t)) = def {
+                        if !alts.is_empty() {
+                            write!(f, "; ")?;
+                        }
+                        write!(f, "{b} -> {t}")?;
+                    }
+                    write!(f, "}}")
+                }
+                MExpr::Con(c, args) => {
+                    write!(f, "{c}[")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{a}")?;
+                    }
+                    write!(f, "]")
+                }
+                MExpr::Prim(op, args) => {
+                    write!(f, "({op}")?;
+                    for a in args {
+                        write!(f, " {a}")?;
+                    }
+                    write!(f, ")")
+                }
+                MExpr::MultiVal(args) => {
+                    write!(f, "(#")?;
+                    for (i, a) in args.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, " {a}")?;
+                    }
+                    write!(f, " #)")
+                }
+                MExpr::CaseMulti(s, bs, t) => {
+                    write!(f, "case {s} of (#")?;
+                    for (i, b) in bs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ",")?;
+                        }
+                        write!(f, " {b}")?;
+                    }
+                    write!(f, " #) -> {t}")
+                }
+                MExpr::Global(g) => write!(f, "@{g}"),
+                MExpr::Error(msg) => write!(f, "error \"{msg}\""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_slots() {
+        assert_eq!(Literal::Int(3).slot(), Slot::Word);
+        assert_eq!(Literal::double(1.5).slot(), Slot::Double);
+        assert_eq!(Literal::float(1.5).slot(), Slot::Float);
+        assert_eq!(Literal::Char('x').slot(), Slot::Word);
+    }
+
+    #[test]
+    fn literal_round_trips() {
+        assert_eq!(Literal::double(2.5).as_double(), Some(2.5));
+        assert_eq!(Literal::float(0.25).as_float(), Some(0.25));
+        assert_eq!(Literal::Int(-7).as_int(), Some(-7));
+        assert_eq!(Literal::Int(1).as_double(), None);
+    }
+
+    #[test]
+    fn values_per_figure5() {
+        // λi. i is a value.
+        assert!(MExpr::lam(Binder::int("i"), MExpr::var("i")).is_value());
+        // n is a value.
+        assert!(MExpr::int(3).is_value());
+        // I#[n] is a value; I#[i] (unsubstituted variable) is not.
+        assert!(MExpr::con_int_hash(Atom::Lit(Literal::Int(3))).is_value());
+        assert!(!MExpr::con_int_hash(Atom::Var(Symbol::intern("i"))).is_value());
+        // Applications and lets are not values.
+        assert!(!MExpr::app(MExpr::var("f"), Atom::Lit(Literal::Int(1))).is_value());
+    }
+
+    #[test]
+    fn multi_values_are_values_once_resolved() {
+        assert!(Rc::new(MExpr::MultiVal(vec![
+            Atom::Lit(Literal::Int(1)),
+            Atom::Addr(Addr(0))
+        ]))
+        .is_value());
+        assert!(!Rc::new(MExpr::MultiVal(vec![Atom::Var(Symbol::intern("x"))])).is_value());
+    }
+
+    #[test]
+    fn display_of_core_forms() {
+        let t = MExpr::let_strict(
+            Binder::int("i"),
+            MExpr::prim(PrimOp::AddI, vec![Atom::Lit(Literal::Int(1)), Atom::Lit(Literal::Int(2))]),
+            MExpr::con_int_hash(Atom::Var(Symbol::intern("i"))),
+        );
+        let shown = t.to_string();
+        assert!(shown.contains("let! i:word"), "{shown}");
+        assert!(shown.contains("+#"), "{shown}");
+    }
+
+    #[test]
+    fn lams_and_apps_fold_correctly() {
+        let f = MExpr::lams(
+            [Binder::int("a"), Binder::int("b")],
+            MExpr::prim(PrimOp::AddI, vec![Atom::Var(Symbol::intern("a")), Atom::Var(Symbol::intern("b"))]),
+        );
+        match &*f {
+            MExpr::Lam(b, inner) => {
+                assert_eq!(b.name, Symbol::intern("a"));
+                assert!(matches!(&**inner, MExpr::Lam(b2, _) if b2.name == Symbol::intern("b")));
+            }
+            other => panic!("expected lambda, got {other}"),
+        }
+        let applied = MExpr::apps(
+            MExpr::var("f"),
+            [Atom::Lit(Literal::Int(1)), Atom::Lit(Literal::Int(2))],
+        );
+        assert_eq!(applied.to_string(), "((f 1#) 2#)");
+    }
+
+    #[test]
+    fn primop_metadata() {
+        assert_eq!(PrimOp::AddI.name(), "+#");
+        assert_eq!(PrimOp::AddI.arity(), 2);
+        assert_eq!(PrimOp::NegI.arity(), 1);
+    }
+
+    #[test]
+    fn data_con_int_hash() {
+        let c = DataCon::int_hash();
+        assert_eq!(c.arity(), 1);
+        assert_eq!(c.fields, vec![Slot::Word]);
+    }
+
+    #[test]
+    fn size_counts() {
+        let t = MExpr::let_lazy("p", MExpr::int(1), MExpr::var("p"));
+        assert_eq!(t.size(), 3);
+    }
+}

@@ -1,0 +1,247 @@
+//! The surface abstract syntax tree.
+//!
+//! The surface language is a compact GHC-flavoured functional language
+//! with the features the paper's examples need: `#`-suffixed unboxed
+//! literals and names, unboxed tuples `(# … #)`, `forall (r :: Rep)`
+//! signatures, `data` declarations, classes and instances (§7.3), and
+//! closed type families (§7.1).
+
+use levity_core::diag::Span;
+use levity_core::symbol::Symbol;
+
+/// A surface kind expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SKind {
+    /// `Type`.
+    Type,
+    /// `TYPE ρ`.
+    Type_(SRep),
+    /// `Rep` (the kind of representation variables).
+    Rep,
+    /// `κ₁ -> κ₂`.
+    Arrow(Box<SKind>, Box<SKind>),
+}
+
+/// A surface representation expression (the promoted `Rep` of §4.1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SRep {
+    /// `LiftedRep`, `IntRep`, ... — resolved during renaming.
+    Con(Symbol),
+    /// A representation variable.
+    Var(Symbol),
+    /// `TupleRep '[ρ…]`.
+    Tuple(Vec<SRep>),
+}
+
+/// A surface type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SType {
+    /// A type constructor name (`Int`, `Maybe`, `Int#`).
+    Con(Symbol),
+    /// A type variable (`a`).
+    Var(Symbol),
+    /// Application (`Maybe Int`).
+    App(Box<SType>, Box<SType>),
+    /// `τ₁ -> τ₂`.
+    Fun(Box<SType>, Box<SType>),
+    /// `forall binders. τ` (binders may carry kinds).
+    Forall(Vec<(Symbol, Option<SKind>)>, Box<SType>),
+    /// `(# τ₁, …, τₙ #)`.
+    UnboxedTuple(Vec<SType>),
+    /// A class constraint context: `C τ => τ'`.
+    Qual(Vec<(Symbol, SType)>, Box<SType>),
+}
+
+impl SType {
+    /// `τ₁ -> τ₂`.
+    pub fn fun(a: SType, b: SType) -> SType {
+        SType::Fun(Box::new(a), Box::new(b))
+    }
+}
+
+/// A literal.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SLit {
+    /// `3#` — unboxed integer.
+    IntHash(i64),
+    /// `3` — boxed integer (becomes `I# 3#`).
+    Int(i64),
+    /// `2.5##` — unboxed double.
+    DoubleHash(f64),
+    /// `2.5` — boxed double.
+    Double(f64),
+    /// `'c'#` — unboxed character.
+    CharHash(char),
+    /// `'c'` — boxed character.
+    Char(char),
+}
+
+/// A pattern (in `case` alternatives and λ binders).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SPat {
+    /// A variable binding.
+    Var(Symbol),
+    /// A variable with a type annotation: `(x :: τ)`.
+    Ann(Symbol, SType),
+    /// A constructor pattern `C x₁ … xₙ` (sub-patterns are variables).
+    Con(Symbol, Vec<Symbol>),
+    /// A literal pattern.
+    Lit(SLit),
+    /// `(# x₁, …, xₙ #)`.
+    UnboxedTuple(Vec<Symbol>),
+    /// `_`.
+    Wild,
+}
+
+/// A surface expression.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SExpr {
+    /// The node itself.
+    pub node: SExprNode,
+    /// Source location.
+    pub span: Span,
+}
+
+/// The kinds of surface expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SExprNode {
+    /// A variable or operator name.
+    Var(Symbol),
+    /// A constructor name.
+    Con(Symbol),
+    /// A literal.
+    Lit(SLit),
+    /// A string literal (only meaningful as `error`'s argument).
+    Str(String),
+    /// Application.
+    App(Box<SExpr>, Box<SExpr>),
+    /// Visible type application `e @τ`.
+    TyApp(Box<SExpr>, SType),
+    /// `\p₁ … pₙ -> e`.
+    Lam(Vec<SPat>, Box<SExpr>),
+    /// `let x [:: τ] = e₁ in e₂` (recursive if `x` occurs in `e₁`).
+    Let(Symbol, Option<SType>, Box<SExpr>, Box<SExpr>),
+    /// `case e of { alt; … }`.
+    Case(Box<SExpr>, Vec<(SPat, SExpr)>),
+    /// `if c then t else f` (sugar for a Bool case).
+    If(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    /// `(# e₁, …, eₙ #)`.
+    UnboxedTuple(Vec<SExpr>),
+    /// `e :: τ` — type ascription.
+    Ann(Box<SExpr>, SType),
+}
+
+impl SExpr {
+    /// Wraps a node with a span.
+    pub fn new(node: SExprNode, span: Span) -> SExpr {
+        SExpr { node, span }
+    }
+
+    /// Application helper.
+    pub fn app(f: SExpr, a: SExpr) -> SExpr {
+        let span = f.span.to(a.span);
+        SExpr::new(SExprNode::App(Box::new(f), Box::new(a)), span)
+    }
+
+    /// Variable helper.
+    pub fn var(name: impl Into<Symbol>, span: Span) -> SExpr {
+        SExpr::new(SExprNode::Var(name.into()), span)
+    }
+}
+
+/// A top-level declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SDecl {
+    /// `data T a₁ … aₙ = C τ… | …`.
+    Data {
+        /// Type constructor name.
+        name: Symbol,
+        /// Type parameters (kinds default to `Type`).
+        params: Vec<(Symbol, Option<SKind>)>,
+        /// Constructors: name and field types.
+        cons: Vec<(Symbol, Vec<SType>)>,
+        /// Source span.
+        span: Span,
+    },
+    /// `x :: τ` — a type signature for a later binding.
+    Sig {
+        /// The bound name.
+        name: Symbol,
+        /// The declared type.
+        ty: SType,
+        /// Source span.
+        span: Span,
+    },
+    /// `f p₁ … pₙ = e` — a function/value binding.
+    Bind {
+        /// The bound name.
+        name: Symbol,
+        /// Parameter patterns (sugar for a λ).
+        params: Vec<SPat>,
+        /// The right-hand side.
+        body: SExpr,
+        /// Source span.
+        span: Span,
+    },
+    /// `class C (a :: κ) where { m :: τ; … }` (§7.3, possibly
+    /// levity-polymorphic in `a`).
+    Class {
+        /// Class name.
+        name: Symbol,
+        /// The class variable.
+        var: Symbol,
+        /// Its kind, if annotated (`TYPE r` enables levity polymorphism).
+        var_kind: Option<SKind>,
+        /// Method signatures.
+        methods: Vec<(Symbol, SType)>,
+        /// Source span.
+        span: Span,
+    },
+    /// `instance C τ where { m = e; … }`.
+    Instance {
+        /// Class name.
+        class: Symbol,
+        /// The instance head type.
+        head: SType,
+        /// Method bindings (patterns are sugar for λ).
+        methods: Vec<(Symbol, Vec<SPat>, SExpr)>,
+        /// Source span.
+        span: Span,
+    },
+    /// `type family F a where { F τ = τ'; … }` — closed type family
+    /// (§7.1), used to reproduce the `F Int = Int#; F Char = Char#`
+    /// example.
+    TypeFamily {
+        /// Family name.
+        name: Symbol,
+        /// Parameter.
+        param: Symbol,
+        /// Declared result kind.
+        result_kind: SKind,
+        /// Equations: argument type to result type.
+        equations: Vec<(SType, SType)>,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl SDecl {
+    /// The declaration's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            SDecl::Data { span, .. }
+            | SDecl::Sig { span, .. }
+            | SDecl::Bind { span, .. }
+            | SDecl::Class { span, .. }
+            | SDecl::Instance { span, .. }
+            | SDecl::TypeFamily { span, .. } => *span,
+        }
+    }
+}
+
+/// A parsed module: a list of declarations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Module {
+    /// Declarations in source order.
+    pub decls: Vec<SDecl>,
+}

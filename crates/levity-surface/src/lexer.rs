@@ -1,0 +1,613 @@
+//! The lexer.
+//!
+//! Notable lexical features, all inherited from GHC:
+//!
+//! * names and operators may end in `#` (`sumTo#`, `Int#`, `+#`) — "the
+//!   suffix # does not imply any special treatment by the compiler; it is
+//!   simply a naming convention" (§2.1);
+//! * `3#` is an unboxed integer literal, `2.5##` an unboxed double,
+//!   `2.5#` an unboxed float, `'c'#` an unboxed char;
+//! * `(#` and `#)` delimit unboxed tuples;
+//! * `'[` opens a promoted list (for `TupleRep '[…]`).
+//!
+//! Layout is simplified: a token starting at column 0 begins a new
+//! top-level declaration (a virtual separator is emitted); inside braces
+//! the separator is ignored.
+
+use std::fmt;
+
+use levity_core::diag::{Diagnostic, ErrorCode, Span};
+use levity_core::symbol::Symbol;
+
+/// A token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    /// Lowercase-initial identifier (possibly `#`-suffixed).
+    VarId(Symbol),
+    /// Uppercase-initial identifier (possibly `#`-suffixed).
+    ConId(Symbol),
+    /// Symbolic operator (`+`, `+#`, `$`, `.`).
+    Op(Symbol),
+    /// `3`.
+    Int(i64),
+    /// `3#`.
+    IntHash(i64),
+    /// `2.5`.
+    Double(f64),
+    /// `2.5##`.
+    DoubleHash(f64),
+    /// `2.5#`.
+    FloatHash(f32),
+    /// `'c'`.
+    Char(char),
+    /// `'c'#`.
+    CharHash(char),
+    /// `"…"`.
+    Str(String),
+    /// `data`.
+    Data,
+    /// `type` (for `type family`).
+    Type,
+    /// `family`.
+    Family,
+    /// `class`.
+    Class,
+    /// `instance`.
+    Instance,
+    /// `where`.
+    Where,
+    /// `let`.
+    Let,
+    /// `in`.
+    In,
+    /// `case`.
+    Case,
+    /// `of`.
+    Of,
+    /// `forall`.
+    Forall,
+    /// `if`.
+    If,
+    /// `then`.
+    Then,
+    /// `else`.
+    Else,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `(#`.
+    LParenHash,
+    /// `#)`.
+    HashRParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `'[` — promoted list open.
+    PromListOpen,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semi,
+    /// `=`.
+    Equals,
+    /// `::`.
+    DColon,
+    /// `->`.
+    Arrow,
+    /// `=>`.
+    FatArrow,
+    /// `\`.
+    Backslash,
+    /// `|`.
+    Pipe,
+    /// `_`.
+    Underscore,
+    /// `@`.
+    At,
+    /// Virtual separator: next token began at column 0.
+    TopSep,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::VarId(s) | Tok::ConId(s) | Tok::Op(s) => write!(f, "{s}"),
+            Tok::Int(n) => write!(f, "{n}"),
+            Tok::IntHash(n) => write!(f, "{n}#"),
+            Tok::Double(x) => write!(f, "{x}"),
+            Tok::DoubleHash(x) => write!(f, "{x}##"),
+            Tok::FloatHash(x) => write!(f, "{x}#"),
+            Tok::Char(c) => write!(f, "{c:?}"),
+            Tok::CharHash(c) => write!(f, "{c:?}#"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Data => f.write_str("data"),
+            Tok::Type => f.write_str("type"),
+            Tok::Family => f.write_str("family"),
+            Tok::Class => f.write_str("class"),
+            Tok::Instance => f.write_str("instance"),
+            Tok::Where => f.write_str("where"),
+            Tok::Let => f.write_str("let"),
+            Tok::In => f.write_str("in"),
+            Tok::Case => f.write_str("case"),
+            Tok::Of => f.write_str("of"),
+            Tok::Forall => f.write_str("forall"),
+            Tok::If => f.write_str("if"),
+            Tok::Then => f.write_str("then"),
+            Tok::Else => f.write_str("else"),
+            Tok::LParen => f.write_str("("),
+            Tok::RParen => f.write_str(")"),
+            Tok::LParenHash => f.write_str("(#"),
+            Tok::HashRParen => f.write_str("#)"),
+            Tok::LBrace => f.write_str("{"),
+            Tok::RBrace => f.write_str("}"),
+            Tok::LBracket => f.write_str("["),
+            Tok::RBracket => f.write_str("]"),
+            Tok::PromListOpen => f.write_str("'["),
+            Tok::Comma => f.write_str(","),
+            Tok::Semi => f.write_str(";"),
+            Tok::Equals => f.write_str("="),
+            Tok::DColon => f.write_str("::"),
+            Tok::Arrow => f.write_str("->"),
+            Tok::FatArrow => f.write_str("=>"),
+            Tok::Backslash => f.write_str("\\"),
+            Tok::Pipe => f.write_str("|"),
+            Tok::Underscore => f.write_str("_"),
+            Tok::At => f.write_str("@"),
+            Tok::TopSep => f.write_str("<newline at column 0>"),
+            Tok::Eof => f.write_str("<end of input>"),
+        }
+    }
+}
+
+/// A token paired with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Lexed {
+    /// The token.
+    pub tok: Tok,
+    /// Its span in the source.
+    pub span: Span,
+}
+
+fn is_symbol_char(c: char) -> bool {
+    matches!(c, '!' | '$' | '%' | '&' | '*' | '+' | '/' | '<' | '=' | '>' | '?' | '^' | '~' | '-' | '.' | ':' | '#' | '|' | '\\' | '@')
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '\''
+}
+
+/// Lexes a source string into tokens (with a trailing [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] with [`ErrorCode::Lex`] on malformed input
+/// (unterminated strings, bad characters, bad numeric literals).
+pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut at_line_start = true;
+    let mut col0 = true; // current position is column 0
+    let n = chars.len();
+
+    macro_rules! err {
+        ($msg:expr, $start:expr) => {
+            return Err(Diagnostic::error(ErrorCode::Lex, $msg, Span::new($start, i.min(n))))
+        };
+    }
+
+    while i < n {
+        let c = chars[i];
+        // Track newlines for the column-0 rule.
+        if c == '\n' {
+            i += 1;
+            at_line_start = true;
+            col0 = true;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col0 = false;
+            continue;
+        }
+        // Line comments.
+        if c == '-' && i + 1 < n && chars[i + 1] == '-' {
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Virtual top-level separator.
+        if at_line_start && col0 && !toks.is_empty() {
+            toks.push(Lexed { tok: Tok::TopSep, span: Span::new(i, i) });
+        }
+        at_line_start = false;
+        col0 = false;
+
+        let start = i;
+        // Punctuation with lookahead.
+        match c {
+            '(' => {
+                if i + 1 < n && chars[i + 1] == '#' {
+                    // `(#` unless it's `(#)` — an operator section like
+                    // `(#)` is not supported, so always tuple-open. But
+                    // `(# #)` needs `(#` then `#)`: handled naturally.
+                    i += 2;
+                    toks.push(Lexed { tok: Tok::LParenHash, span: Span::new(start, i) });
+                } else {
+                    i += 1;
+                    toks.push(Lexed { tok: Tok::LParen, span: Span::new(start, i) });
+                }
+                continue;
+            }
+            ')' => {
+                i += 1;
+                toks.push(Lexed { tok: Tok::RParen, span: Span::new(start, i) });
+                continue;
+            }
+            '{' => {
+                i += 1;
+                toks.push(Lexed { tok: Tok::LBrace, span: Span::new(start, i) });
+                continue;
+            }
+            '}' => {
+                i += 1;
+                toks.push(Lexed { tok: Tok::RBrace, span: Span::new(start, i) });
+                continue;
+            }
+            '[' => {
+                i += 1;
+                toks.push(Lexed { tok: Tok::LBracket, span: Span::new(start, i) });
+                continue;
+            }
+            ']' => {
+                i += 1;
+                toks.push(Lexed { tok: Tok::RBracket, span: Span::new(start, i) });
+                continue;
+            }
+            ',' => {
+                i += 1;
+                toks.push(Lexed { tok: Tok::Comma, span: Span::new(start, i) });
+                continue;
+            }
+            ';' => {
+                i += 1;
+                toks.push(Lexed { tok: Tok::Semi, span: Span::new(start, i) });
+                continue;
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                while i < n && chars[i] != '"' {
+                    if chars[i] == '\\' && i + 1 < n {
+                        i += 1;
+                        s.push(match chars[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    } else {
+                        s.push(chars[i]);
+                    }
+                    i += 1;
+                }
+                if i >= n {
+                    err!("unterminated string literal", start);
+                }
+                i += 1; // closing quote
+                toks.push(Lexed { tok: Tok::Str(s), span: Span::new(start, i) });
+                continue;
+            }
+            '\'' => {
+                // `'[` (promoted list) or a character literal.
+                if i + 1 < n && chars[i + 1] == '[' {
+                    i += 2;
+                    toks.push(Lexed { tok: Tok::PromListOpen, span: Span::new(start, i) });
+                    continue;
+                }
+                if i + 2 < n && chars[i + 2] == '\'' {
+                    let ch = chars[i + 1];
+                    i += 3;
+                    let tok = if i < n && chars[i] == '#' {
+                        i += 1;
+                        Tok::CharHash(ch)
+                    } else {
+                        Tok::Char(ch)
+                    };
+                    toks.push(Lexed { tok, span: Span::new(start, i) });
+                    continue;
+                }
+                err!("malformed character literal", start);
+            }
+            _ => {}
+        }
+
+        // Numbers (and negative literals are handled via unary minus at
+        // the parser level; the lexer only sees unsigned digits).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < n && chars[j].is_ascii_digit() {
+                j += 1;
+            }
+            let mut is_double = false;
+            if j + 1 < n && chars[j] == '.' && chars[j + 1].is_ascii_digit() {
+                is_double = true;
+                j += 1;
+                while j < n && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+            }
+            let text: String = chars[i..j].iter().collect();
+            // Hash suffixes: ## = Double#, # = Int# (or Float# if the
+            // mantissa had a dot).
+            // Maximal munch: trailing hashes belong to the literal, so
+            // `1#)` is `1#` then `)`; closing an unboxed tuple after a
+            // literal needs a space (`(# 1# #)`), as in GHC.
+            let mut hashes = 0;
+            while j + hashes < n && chars[j + hashes] == '#' && hashes < 2 {
+                hashes += 1;
+            }
+            i = j + hashes;
+            let tok = match (is_double, hashes) {
+                (false, 0) => match text.parse::<i64>() {
+                    Ok(v) => Tok::Int(v),
+                    Err(_) => err!("integer literal out of range", start),
+                },
+                (false, 1) => match text.parse::<i64>() {
+                    Ok(v) => Tok::IntHash(v),
+                    Err(_) => err!("integer literal out of range", start),
+                },
+                (false, 2) => match text.parse::<f64>() {
+                    Ok(v) => Tok::DoubleHash(v),
+                    Err(_) => err!("bad double literal", start),
+                },
+                (true, 0) => match text.parse::<f64>() {
+                    Ok(v) => Tok::Double(v),
+                    Err(_) => err!("bad double literal", start),
+                },
+                (true, 1) => match text.parse::<f32>() {
+                    Ok(v) => Tok::FloatHash(v),
+                    Err(_) => err!("bad float literal", start),
+                },
+                (true, 2) => match text.parse::<f64>() {
+                    Ok(v) => Tok::DoubleHash(v),
+                    Err(_) => err!("bad double literal", start),
+                },
+                _ => unreachable!(),
+            };
+            toks.push(Lexed { tok, span: Span::new(start, i) });
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < n && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            // Trailing hashes are part of the name (Int#, sumTo#); as
+            // with literals, `x#)` is `x#` then `)`.
+            while j < n && chars[j] == '#' {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            i = j;
+            let tok = match text.as_str() {
+                "data" => Tok::Data,
+                "type" => Tok::Type,
+                "family" => Tok::Family,
+                "class" => Tok::Class,
+                "instance" => Tok::Instance,
+                "where" => Tok::Where,
+                "let" => Tok::Let,
+                "in" => Tok::In,
+                "case" => Tok::Case,
+                "of" => Tok::Of,
+                "forall" => Tok::Forall,
+                "if" => Tok::If,
+                "then" => Tok::Then,
+                "else" => Tok::Else,
+                "_" => Tok::Underscore,
+                _ => {
+                    let sym = Symbol::intern(&text);
+                    if text.starts_with(|c: char| c.is_ascii_uppercase()) {
+                        Tok::ConId(sym)
+                    } else {
+                        Tok::VarId(sym)
+                    }
+                }
+            };
+            toks.push(Lexed { tok, span: Span::new(start, i) });
+            continue;
+        }
+
+        // Operators (runs of symbol characters, stopping before `#)`).
+        if is_symbol_char(c) {
+            let mut j = i;
+            while j < n && is_symbol_char(chars[j]) {
+                if chars[j] == '#' && chars.get(j + 1) == Some(&')') {
+                    break;
+                }
+                j += 1;
+            }
+            if j == i {
+                // Lone `#` before `)`: emit `#)`.
+                if c == '#' && chars.get(i + 1) == Some(&')') {
+                    i += 2;
+                    toks.push(Lexed { tok: Tok::HashRParen, span: Span::new(start, i) });
+                    continue;
+                }
+                err!(format!("unexpected character `{c}`"), start);
+            }
+            let text: String = chars[i..j].iter().collect();
+            i = j;
+            let tok = match text.as_str() {
+                "=" => Tok::Equals,
+                "::" => Tok::DColon,
+                "->" => Tok::Arrow,
+                "=>" => Tok::FatArrow,
+                "\\" => Tok::Backslash,
+                "|" => Tok::Pipe,
+                "@" => Tok::At,
+                "#" => {
+                    // A lone `#` not before `)` — treat as operator.
+                    Tok::Op(Symbol::intern("#"))
+                }
+                _ => Tok::Op(Symbol::intern(&text)),
+            };
+            toks.push(Lexed { tok, span: Span::new(start, i) });
+            continue;
+        }
+
+        err!(format!("unexpected character `{c}`"), start);
+    }
+
+    toks.push(Lexed { tok: Tok::Eof, span: Span::new(n, n) });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|l| l.tok).collect()
+    }
+
+    #[test]
+    fn hash_suffixed_names() {
+        assert_eq!(
+            toks("sumTo# Int#"),
+            vec![
+                Tok::VarId(Symbol::intern("sumTo#")),
+                Tok::ConId(Symbol::intern("Int#")),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unboxed_literals() {
+        assert_eq!(toks("3"), vec![Tok::Int(3), Tok::Eof]);
+        assert_eq!(toks("3#"), vec![Tok::IntHash(3), Tok::Eof]);
+        assert_eq!(toks("2.5"), vec![Tok::Double(2.5), Tok::Eof]);
+        assert_eq!(toks("2.5##"), vec![Tok::DoubleHash(2.5), Tok::Eof]);
+        assert_eq!(toks("2.5#"), vec![Tok::FloatHash(2.5), Tok::Eof]);
+        assert_eq!(toks("3##"), vec![Tok::DoubleHash(3.0), Tok::Eof]);
+    }
+
+    #[test]
+    fn unboxed_tuples() {
+        assert_eq!(
+            toks("(# 1#, x #)"),
+            vec![
+                Tok::LParenHash,
+                Tok::IntHash(1),
+                Tok::Comma,
+                Tok::VarId(Symbol::intern("x")),
+                Tok::HashRParen,
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("(# #)"), vec![Tok::LParenHash, Tok::HashRParen, Tok::Eof]);
+    }
+
+    #[test]
+    fn hash_operators() {
+        assert_eq!(
+            toks("a +# b"),
+            vec![
+                Tok::VarId(Symbol::intern("a")),
+                Tok::Op(Symbol::intern("+#")),
+                Tok::VarId(Symbol::intern("b")),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(toks("x ==# y")[1], Tok::Op(Symbol::intern("==#")));
+    }
+
+    #[test]
+    fn literal_then_tuple_close() {
+        // `(# 1# #)` — the literal's # then `#)`.
+        assert_eq!(
+            toks("(# 1# #)"),
+            vec![Tok::LParenHash, Tok::IntHash(1), Tok::HashRParen, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_and_punctuation() {
+        assert_eq!(
+            toks("f :: Int -> Int"),
+            vec![
+                Tok::VarId(Symbol::intern("f")),
+                Tok::DColon,
+                Tok::ConId(Symbol::intern("Int")),
+                Tok::Arrow,
+                Tok::ConId(Symbol::intern("Int")),
+                Tok::Eof
+            ]
+        );
+        assert!(toks("class C a where { }").contains(&Tok::Class));
+    }
+
+    #[test]
+    fn promoted_list_for_tuple_rep() {
+        assert_eq!(
+            toks("TYPE (TupleRep '[IntRep])")[3],
+            Tok::PromListOpen
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("x -- the variable\ny"), {
+            vec![
+                Tok::VarId(Symbol::intern("x")),
+                Tok::TopSep,
+                Tok::VarId(Symbol::intern("y")),
+                Tok::Eof,
+            ]
+        });
+    }
+
+    #[test]
+    fn column_zero_separators() {
+        let src = "f = 1\ng = 2\n  h";
+        let ts = toks(src);
+        // `g` at column 0 gets a separator; indented `h` does not.
+        let seps = ts.iter().filter(|t| **t == Tok::TopSep).count();
+        assert_eq!(seps, 1);
+    }
+
+    #[test]
+    fn strings_and_chars() {
+        assert_eq!(toks("\"hi\\n\"")[0], Tok::Str("hi\n".to_owned()));
+        assert_eq!(toks("'a'")[0], Tok::Char('a'));
+        assert_eq!(toks("'a'#")[0], Tok::CharHash('a'));
+    }
+
+    #[test]
+    fn forall_dot() {
+        let ts = toks("forall a. a");
+        assert_eq!(ts[0], Tok::Forall);
+        assert_eq!(ts[2], Tok::Op(Symbol::intern(".")));
+    }
+
+    #[test]
+    fn lex_error_on_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+}

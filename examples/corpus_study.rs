@@ -1,0 +1,22 @@
+//! E8 — the §8.1 study: print the full per-class table (34 of 76
+//! classes in base/ghc-prim can be levity-generalized) and the six
+//! previously-special-cased functions.
+//!
+//! ```sh
+//! cargo run --example corpus_study
+//! ```
+
+use levity::classes::{render_table, run_study, special_functions};
+use levity::core::pretty::PrintOptions;
+
+fn main() {
+    println!("Which standard-library classes can be levity-generalized? (section 8.1)\n");
+    let rows = run_study();
+    println!("{}", render_table(&rows));
+
+    println!("The six functions whose special cases became ordinary levity polymorphism:\n");
+    for f in special_functions() {
+        println!("  {:<24} :: {}", f.name, f.ty.display_with(&PrintOptions::explicit()));
+        println!("  {:<24}    (previously: {})", "", f.old_treatment);
+    }
+}

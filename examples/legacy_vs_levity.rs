@@ -1,0 +1,54 @@
+//! E4 — §3.2–3.3: the legacy `OpenKind` sub-kinding story vs levity
+//! polymorphism, side by side.
+//!
+//! ```sh
+//! cargo run --example legacy_vs_levity
+//! ```
+
+use levity::driver::compile_with_prelude;
+use levity::infer::legacy::{
+    legacy_error_scheme, legacy_generalize, legacy_instantiable, LegacyKind,
+    LegacyKindInference,
+};
+use levity_core::symbol::Symbol;
+
+fn main() {
+    let a = Symbol::intern("a");
+
+    println!("== The old world (section 3.2-3.3): OpenKind sub-kinding ==\n");
+    println!("        OpenKind");
+    println!("        /      \\");
+    println!("     Type       #\n");
+
+    let magic = legacy_error_scheme();
+    println!(
+        "error :: forall (a :: OpenKind). String -> a\n  usable at Int# (kind #)?   {}",
+        legacy_instantiable(&magic, a, LegacyKind::Hash)
+    );
+
+    let inferred = legacy_generalize(&[a]);
+    println!(
+        "\nmyError s = error (\"Program error \" ++ s)\n  GHC infers forall (a :: Type). String -> a\n  usable at Int#?            {}   <- the magic is silently lost!",
+        legacy_instantiable(&inferred, a, LegacyKind::Hash)
+    );
+
+    // The unprincipled special case in kind unification.
+    let mut inf = LegacyKindInference::new();
+    let k = inf.fresh();
+    inf.constrain(k, LegacyKind::OpenKind).unwrap();
+    inf.constrain(k, LegacyKind::Hash).unwrap();
+    let err = inf.constrain(k, LegacyKind::Type).unwrap_err();
+    println!("\nand the error messages leak the hack:\n  {err}");
+
+    println!("\n== The new world (sections 4-5): polymorphism, not sub-kinding ==\n");
+    let src = "myError2 :: forall (r :: Rep) (a :: TYPE r). Bool -> a\n\
+               myError2 b = error \"Program error\"\n\
+               main :: Int#\n\
+               main = if False then myError2 True else 42#\n";
+    let compiled = compile_with_prelude(src).expect("compiles");
+    let (out, _) = compiled.run("main", 10_000_000).expect("runs");
+    println!("the same wrapper, with a *declared* levity-polymorphic signature,");
+    println!("checks and runs at Int#: main = {out:?}");
+    println!("\nno sub-kinding, no OpenKind, no special cases: \"we never infer");
+    println!("levity polymorphism, but we can for the first time check it.\" (section 5.2)");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: compile and run a program through the whole pipeline.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use levity::core::pretty::PrintOptions;
+use levity::driver::compile_with_prelude;
+
+fn main() {
+    let source = r#"
+-- The paper's 'error' story (section 3.3): a wrapper keeps its levity
+-- polymorphism because the signature declares it.
+safeDiv :: Int# -> Int# -> Int#
+safeDiv n k = if intToBool (k ==# 0#)
+              then error "division by zero"
+              else quotInt# n k
+
+-- Levity-polymorphic application (section 7.2): ($) at an unboxed result.
+unbox :: Int -> Int#
+unbox n = case n of { I# k -> k }
+
+main :: Int#
+main = safeDiv (unbox $ 84) (1# + 1#)
+"#;
+
+    let compiled = match compile_with_prelude(source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compilation failed:\n{e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Show some signatures the way GHCi would (section 8.1).
+    for name in ["safeDiv", "$", "+"] {
+        let plain = compiled.signature(name, &PrintOptions::default()).unwrap();
+        let full = compiled.signature(name, &PrintOptions::explicit()).unwrap();
+        println!("{name:>8} :: {plain}");
+        println!("         (with -fprint-explicit-runtime-reps: {full})");
+    }
+
+    let (outcome, stats) = compiled.run("main", 10_000_000).expect("machine failure");
+    println!("\nresult: {outcome:?}");
+    println!(
+        "machine: {} steps, {} words allocated, {} thunks forced",
+        stats.steps, stats.allocated_words, stats.thunk_forces
+    );
+}

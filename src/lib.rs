@@ -1,0 +1,45 @@
+//! # levity — a Rust reproduction of *Levity Polymorphism* (PLDI 2017)
+//!
+//! Eisenberg & Peyton Jones, *Levity Polymorphism*, PLDI 2017: kinds are
+//! calling conventions. Types are classified by kinds `TYPE ρ` where `ρ`
+//! describes the runtime representation of values; polymorphism over `ρ`
+//! ("levity polymorphism") is permitted exactly when no value is moved
+//! or stored at an unknown representation (§5.1).
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`core`] | `Rep`, kinds, register slots, diagnostics, pretty printing |
+//! | [`l`] | the formal calculus **L** (Figures 2–4) |
+//! | [`m`] | the machine **M** (Figures 5–6), instrumented |
+//! | [`compile`] | Figure 7 compilation + the §6 theorems as property tests, and Core→M lowering |
+//! | [`ir`] | the explicitly-typed Core IR with the §5.1 levity checks |
+//! | [`surface`] | lexer/parser for the GHC-flavoured surface language |
+//! | [`infer`] | §5.2 inference (rep metavariables, `LiftedRep` defaulting), §7.3 dictionary elaboration, the legacy `OpenKind` baseline, §7.1 type families |
+//! | [`classes`] | the §8.1 class corpus study (34 of 76) |
+//! | [`driver`] | the end-to-end pipeline and prelude |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use levity::driver::compile_with_prelude;
+//!
+//! // §7.3's punchline: 3# + 4# through a levity-polymorphic Num class.
+//! let compiled = compile_with_prelude("main :: Int#\nmain = 3# + 4#\n")?;
+//! let (out, _) = compiled.run("main", 1_000_000).unwrap();
+//! assert_eq!(out.value().and_then(|v| v.as_int()), Some(7));
+//! # Ok::<(), levity::driver::PipelineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use levity_classes as classes;
+pub use levity_compile as compile;
+pub use levity_core as core;
+pub use levity_driver as driver;
+pub use levity_infer as infer;
+pub use levity_ir as ir;
+pub use levity_l as l;
+pub use levity_m as m;
+pub use levity_surface as surface;

@@ -1,0 +1,61 @@
+//! E6 — the §6 theorems over random well-typed terms, run as integration
+//! tests across the `levity-l`, `levity-m` and `levity-compile` crates.
+
+use levity::compile::metatheory::{check_compilation, check_simulation};
+use levity::l::gen::{GenConfig, Generator};
+use levity::l::typecheck::check_closed;
+
+#[test]
+fn preservation_progress_compilation_simulation_hold() {
+    let mut generator = Generator::new(0xD1CE, GenConfig::default());
+    let mut bottoms = 0;
+    let mut values = 0;
+    for _ in 0..250 {
+        let (e, _ty) = generator.generate();
+        check_compilation(&e).unwrap();
+        let ev = check_simulation(&e).unwrap();
+        if ev.hit_bottom {
+            bottoms += 1;
+        } else {
+            values += 1;
+        }
+    }
+    assert!(bottoms > 0, "the sample should include ⊥ outcomes");
+    assert!(values > 0, "the sample should include value outcomes");
+}
+
+#[test]
+fn deeper_terms_also_satisfy_the_theorems() {
+    let config = GenConfig { max_depth: 9, ..GenConfig::default() };
+    let mut generator = Generator::new(0xABCD, config);
+    for _ in 0..60 {
+        let (e, _ty) = generator.generate();
+        check_simulation(&e).unwrap();
+    }
+}
+
+#[test]
+fn generated_terms_are_well_typed_by_construction() {
+    let mut generator = Generator::new(7, GenConfig::default());
+    for _ in 0..200 {
+        let (e, _ty) = generator.generate();
+        check_closed(&e).unwrap();
+    }
+}
+
+#[test]
+fn type_erasure_is_total_on_well_typed_terms() {
+    // Compilation erases all type and representation forms; the result
+    // must never mention them (M has no such constructs), and must be
+    // closed.
+    use levity::compile::figure7::compile_closed;
+    let mut generator = Generator::new(99, GenConfig::default());
+    for _ in 0..100 {
+        let (e, _ty) = generator.generate();
+        let t = compile_closed(&e).unwrap();
+        // Run it: any unbound variable would surface as a machine error.
+        let mut machine = levity::m::machine::Machine::new();
+        machine.set_fuel(2_000_000);
+        machine.run(t).unwrap();
+    }
+}

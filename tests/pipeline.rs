@@ -1,0 +1,250 @@
+//! End-to-end pipeline tests: surface source through inference,
+//! dictionary elaboration, levity checks, lowering, and the machine.
+
+use levity::driver::compile_with_prelude;
+use levity::m::machine::RunOutcome;
+
+const FUEL: u64 = 50_000_000;
+
+fn run_int(src: &str) -> i64 {
+    let compiled = compile_with_prelude(src).unwrap_or_else(|e| panic!("{e}"));
+    let (out, _) = compiled.run("main", FUEL).unwrap();
+    match out.value() {
+        Some(v) => v
+            .as_int()
+            .or_else(|| v.as_boxed_int())
+            .unwrap_or_else(|| panic!("non-integer result: {v}")),
+        None => panic!("program aborted: {out:?}"),
+    }
+}
+
+#[test]
+fn sum_to_unboxed_runs_with_zero_allocation() {
+    // §2.1's sumTo#, the unboxed loop: "no memory traffic whatsoever."
+    let src = "sumTo# :: Int# -> Int# -> Int#\n\
+               sumTo# acc n = case n of { 0# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }\n\
+               main :: Int#\n\
+               main = sumTo# 0# 1000#\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_int()), Some(500500));
+    assert_eq!(stats.allocated_words, 0);
+    assert_eq!(stats.thunk_forces, 0);
+}
+
+#[test]
+fn sum_to_boxed_allocates_linearly() {
+    // §2.1's boxed sumTo: thunks and boxes per iteration.
+    let src = "sumTo :: Int -> Int -> Int\n\
+               sumTo acc n = case n of { I# k -> case k of { 0# -> acc; _ -> sumTo (acc + n) (n - 1) } }\n\
+               main :: Int\n\
+               main = sumTo 0 1000\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(500500));
+    // At least one allocation per iteration: boxes and thunks.
+    assert!(
+        stats.allocated_words >= 1000,
+        "boxed loop should allocate heavily, got {} words",
+        stats.allocated_words
+    );
+    assert!(stats.thunk_forces >= 1000);
+}
+
+#[test]
+fn class_dispatch_at_unboxed_types() {
+    // §7.3: 3# + 4# via the Num Int# instance.
+    assert_eq!(run_int("main :: Int#\nmain = 3# + 4#\n"), 7);
+    // And at boxed types through the same class.
+    assert_eq!(run_int("main :: Int\nmain = 3 + 4\n"), 7);
+}
+
+#[test]
+fn class_methods_work_across_instances() {
+    assert_eq!(run_int("main :: Int#\nmain = abs (negate 5#)\n"), 5);
+    assert_eq!(run_int("main :: Int\nmain = abs (0 - 42)\n"), 42);
+    // Double# arithmetic through the class, observed via conversion.
+    assert_eq!(
+        run_int("main :: Int#\nmain = double2Int# (2.5## + 1.5##)\n"),
+        4
+    );
+}
+
+#[test]
+fn comparison_classes_dispatch_at_both_reps() {
+    assert_eq!(run_int("main :: Int#\nmain = if 3# < 4# then 1# else 0#\n"), 1);
+    assert_eq!(run_int("main :: Int#\nmain = if 3 == 4 then 1# else 0#\n"), 0);
+    assert_eq!(
+        run_int("main :: Int#\nmain = if 2.0## <= 2.0## then 1# else 0#\n"),
+        1
+    );
+}
+
+#[test]
+fn dollar_applies_at_unboxed_result_type() {
+    // §7.2: the generalized ($) at b :: TYPE IntRep.
+    assert_eq!(
+        run_int(
+            "unbox :: Int -> Int#\n\
+             unbox n = case n of { I# k -> k }\n\
+             main :: Int#\n\
+             main = unbox $ 7\n"
+        ),
+        7
+    );
+}
+
+#[test]
+fn compose_applies_at_unboxed_final_result() {
+    assert_eq!(
+        run_int(
+            "unbox :: Int -> Int#\n\
+             unbox n = case n of { I# k -> k }\n\
+             inc :: Int -> Int\n\
+             inc n = n + 1\n\
+             main :: Int#\n\
+             main = (.) unbox inc 41\n"
+        ),
+        42
+    );
+}
+
+#[test]
+fn laziness_is_observable() {
+    // A bound error that is never demanded does not fire.
+    assert_eq!(
+        run_int(
+            "ignore :: Int -> Int#\n\
+             ignore x = 9#\n\
+             main :: Int#\n\
+             main = ignore (error \"not demanded\")\n"
+        ),
+        9
+    );
+    // But a strict (unboxed) argument is demanded.
+    let compiled = compile_with_prelude(
+        "strict :: Int# -> Int#\n\
+         strict x = 9#\n\
+         main :: Int#\n\
+         main = strict (error \"demanded\")\n",
+    )
+    .unwrap();
+    let (out, _) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out, RunOutcome::Error("demanded".to_owned()));
+}
+
+#[test]
+fn user_data_types_and_matching() {
+    assert_eq!(
+        run_int(
+            "data Shape = Circle Double | Rect Double Double\n\
+             area2 :: Shape -> Int#\n\
+             area2 s = case s of { Circle r -> 1#; Rect w h -> 2# }\n\
+             main :: Int#\n\
+             main = area2 (Rect 1.0 2.0)\n"
+        ),
+        2
+    );
+}
+
+#[test]
+fn polymorphic_data_types_work() {
+    assert_eq!(
+        run_int(
+            "main :: Int\n\
+             main = fromMaybe 0 (Just 42)\n"
+        ),
+        42
+    );
+    assert_eq!(run_int("main :: Int\nmain = fromMaybe 7 Nothing\n"), 7);
+}
+
+#[test]
+fn lists_and_higher_order_functions() {
+    assert_eq!(
+        run_int("main :: Int\nmain = sum (enumFromTo 1 100)\n"),
+        5050
+    );
+    assert_eq!(
+        run_int(
+            "main :: Int\nmain = sum (map (\\x -> x * 2) (enumFromTo 1 10))\n"
+        ),
+        110
+    );
+    assert_eq!(run_int("main :: Int\nmain = length (replicate 5 True)\n"), 5);
+}
+
+#[test]
+fn local_lets_and_recursion() {
+    assert_eq!(
+        run_int(
+            "main :: Int#\n\
+             main = let go = \\(n :: Int#) -> case n of { 0# -> 0#; _ -> 1# + go (n -# 1#) } in go 10#\n"
+        ),
+        10
+    );
+}
+
+#[test]
+fn unsigned_bindings_generalize_with_lifted_defaults() {
+    // §5.2: f = \x -> x infers forall (a :: Type). a -> a, *not* the
+    // un-compilable levity-polymorphic type.
+    let compiled = compile_with_prelude("myId x = x\nmain :: Int\nmain = myId 3\n").unwrap();
+    let sig = compiled
+        .signature("myId", &levity::core::pretty::PrintOptions::explicit())
+        .unwrap();
+    assert!(
+        !sig.contains("Rep"),
+        "inferred type must not be levity-polymorphic: {sig}"
+    );
+    let (out, _) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(3));
+}
+
+#[test]
+fn inferred_identity_rejects_unboxed_arguments() {
+    // Because myId defaulted to Type, using it at Int# must fail to
+    // unify (kind mismatch surfaces as an elaboration error).
+    let err = compile_with_prelude("myId x = x\nmain :: Int#\nmain = myId 3#\n").unwrap_err();
+    assert!(matches!(err, levity::driver::PipelineError::Elaborate(_)), "{err}");
+}
+
+#[test]
+fn char_primops_run() {
+    assert_eq!(run_int("main :: Int#\nmain = ord# 'A'#\n"), 65);
+    assert_eq!(
+        run_int("main :: Int#\nmain = if 'x'# == 'x'# then 1# else 0#\n"),
+        1
+    );
+}
+
+#[test]
+fn mutual_recursion_between_signed_bindings() {
+    assert_eq!(
+        run_int(
+            "isEven :: Int# -> Int#\n\
+             isEven n = case n of { 0# -> 1#; _ -> isOdd (n -# 1#) }\n\
+             isOdd :: Int# -> Int#\n\
+             isOdd n = case n of { 0# -> 0#; _ -> isEven (n -# 1#) }\n\
+             main :: Int#\n\
+             main = isEven 100#\n"
+        ),
+        1
+    );
+}
+
+#[test]
+fn deep_polymorphic_recursion_with_signature() {
+    // Signatures allow polymorphic recursion (§9.2 notes Haskell has it).
+    assert_eq!(
+        run_int(
+            "depth :: Maybe a -> Int -> Int\n\
+             depth m n = case m of { Nothing -> n; Just x -> depth (Just (Just x)) (n + 1) }\n\
+             shallow :: Maybe Int\n\
+             shallow = Nothing\n\
+             main :: Int\n\
+             main = depth shallow 0\n"
+        ),
+        0
+    );
+}

@@ -1,0 +1,211 @@
+//! Property-based tests over the core data structures and invariants,
+//! complementing the directed metatheory checks.
+
+use proptest::prelude::*;
+
+use levity::core::kind::Kind;
+use levity::core::pretty::Doc;
+use levity::core::rep::{Rep, RepTy, Slot};
+use levity::core::symbol::Symbol;
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+fn arb_scalar_rep() -> impl Strategy<Value = Rep> {
+    prop_oneof![
+        Just(Rep::Lifted),
+        Just(Rep::Unlifted),
+        Just(Rep::Int),
+        Just(Rep::Int8),
+        Just(Rep::Int64),
+        Just(Rep::Word),
+        Just(Rep::Char),
+        Just(Rep::Float),
+        Just(Rep::Double),
+        Just(Rep::Addr),
+    ]
+}
+
+fn arb_rep() -> impl Strategy<Value = Rep> {
+    arb_scalar_rep().prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Rep::Tuple),
+            prop::collection::vec(inner, 1..4).prop_map(Rep::Sum),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------------
+// Figure 1 / §4 invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn lifted_implies_boxed(rep in arb_rep()) {
+        // The unboxed-lifted corner of Figure 1 is uninhabited.
+        if rep.is_lifted() {
+            prop_assert!(rep.is_boxed());
+        }
+    }
+
+    #[test]
+    fn width_is_the_sum_of_slot_widths(rep in arb_rep()) {
+        let slots = rep.slots();
+        prop_assert_eq!(rep.width_bytes(), slots.iter().map(|s| s.bytes()).sum::<usize>());
+        prop_assert_eq!(rep.register_count(), slots.len());
+    }
+
+    #[test]
+    fn tuple_nesting_is_computationally_irrelevant(
+        a in arb_rep(), b in arb_rep(), c in arb_rep()
+    ) {
+        // §2.3 generalized: any re-association of tuple nesting yields
+        // the same register slots.
+        let nested = Rep::Tuple(vec![a.clone(), Rep::Tuple(vec![b.clone(), c.clone()])]);
+        let flat = Rep::Tuple(vec![a, b, c]);
+        prop_assert_eq!(nested.slots(), flat.slots());
+    }
+
+    #[test]
+    fn empty_tuples_vanish_from_register_shapes(reps in prop::collection::vec(arb_rep(), 0..4)) {
+        let with_unit = {
+            let mut v = reps.clone();
+            v.push(Rep::Tuple(vec![]));
+            Rep::Tuple(v)
+        };
+        prop_assert_eq!(with_unit.slots(), Rep::Tuple(reps).slots());
+    }
+
+    #[test]
+    fn sum_slots_cover_every_alternative(alts in prop::collection::vec(arb_rep(), 1..4)) {
+        // The merged sum layout must have at least as many slots of each
+        // class as any single alternative needs.
+        let sum = Rep::Sum(alts.clone());
+        let merged = sum.slots();
+        let count = |slots: &[Slot], class: Slot| slots.iter().filter(|s| **s == class).count();
+        for alt in &alts {
+            let alt_slots = alt.slots();
+            for class in [Slot::Ptr, Slot::Word, Slot::Float, Slot::Double] {
+                let available = count(&merged, class)
+                    // the tag word may serve as a word slot only if spare,
+                    // so exclude it from the comparison
+                    - usize::from(class == Slot::Word);
+                prop_assert!(
+                    count(&alt_slots, class) <= available + usize::from(class == Slot::Word),
+                    "alternative {alt} needs more {class} slots than the sum provides"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rep_substitution_is_idempotent_on_closed_reps(rep in arb_rep()) {
+        let rep_ty = RepTy::Concrete(rep);
+        let var = Symbol::intern("r");
+        prop_assert_eq!(rep_ty.substitute(var, &RepTy::LIFTED), rep_ty.clone());
+        prop_assert!(!rep_ty.has_vars());
+        prop_assert_eq!(rep_ty.as_concrete().is_some(), true);
+    }
+
+    #[test]
+    fn kinds_of_concrete_reps_are_never_levity_polymorphic(rep in arb_rep()) {
+        let kind = Kind::of_rep(rep.clone());
+        prop_assert!(!kind.is_levity_polymorphic());
+        prop_assert_eq!(kind.concrete_rep(), Some(rep));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pretty printer
+// ---------------------------------------------------------------------
+
+fn arb_doc() -> impl Strategy<Value = Doc> {
+    let leaf = prop_oneof![
+        Just(Doc::nil()),
+        "[a-z]{0,8}".prop_map(Doc::text),
+        Just(Doc::line()),
+        Just(Doc::soft_break()),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.append(b)),
+            (inner.clone(), 0..6isize).prop_map(|(d, n)| d.nest(n)),
+            inner.prop_map(Doc::group),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn rendering_never_panics_and_respects_grouping(doc in arb_doc(), width in 0usize..120) {
+        let rendered = doc.render(width);
+        // A grouped doc rendered at enormous width has no newlines.
+        let flat = doc.clone().group().render(100_000);
+        prop_assert!(!flat.contains('\n'));
+        // Rendering is deterministic.
+        prop_assert_eq!(rendered.clone(), doc.render(width));
+    }
+}
+
+// ---------------------------------------------------------------------
+// L: substitution and α-equivalence
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn alpha_eq_is_reflexive_on_generated_types(seed in 0u64..500) {
+        use levity::l::gen::{GenConfig, Generator};
+        use levity::l::subst::alpha_eq_ty;
+        let mut generator = Generator::new(seed, GenConfig::default());
+        let (_e, ty) = generator.generate();
+        prop_assert!(alpha_eq_ty(&ty, &ty));
+    }
+
+    #[test]
+    fn substituting_an_absent_variable_is_identity(seed in 0u64..300) {
+        use levity::l::gen::{GenConfig, Generator};
+        use levity::l::subst::{free_term_vars, subst_expr};
+        use levity::l::syntax::Expr;
+        let mut generator = Generator::new(seed, GenConfig::default());
+        let (e, _ty) = generator.generate();
+        let ghost = Symbol::intern("never-bound-anywhere");
+        prop_assert!(!free_term_vars(&e).contains(&ghost));
+        prop_assert_eq!(subst_expr(&e, ghost, &Expr::Lit(0)), e);
+    }
+}
+
+// ---------------------------------------------------------------------
+// §6.2 width safety: compiled code never fails the register-class check
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn compiled_terms_are_width_safe(seed in 0u64..10_000) {
+        use levity::compile::figure7::compile_closed;
+        use levity::l::gen::{GenConfig, Generator};
+        use levity::m::machine::{Machine, MachineError};
+
+        let mut generator = Generator::new(seed, GenConfig::default());
+        let (e, _ty) = generator.generate();
+        let t = compile_closed(&e).expect("well-typed terms compile");
+        let mut machine = Machine::new();
+        machine.set_fuel(2_000_000);
+        match machine.run(t) {
+            Ok(_) => {}
+            // "the value being substituted is always of a known width"
+            // (§6.2): these failures must be impossible.
+            Err(MachineError::ClassMismatch { .. }) => {
+                prop_assert!(false, "width check failed on compiled code: {e}")
+            }
+            Err(MachineError::UnboundVariable(_)) => {
+                prop_assert!(false, "open compiled code: {e}")
+            }
+            Err(MachineError::AppliedNonFunction(_)) => {
+                prop_assert!(false, "shape error in compiled code: {e}")
+            }
+            Err(other) => prop_assert!(false, "unexpected machine failure: {other}"),
+        }
+    }
+}

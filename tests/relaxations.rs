@@ -1,0 +1,117 @@
+//! E9 + E4 — §7.1's relaxed restrictions and the §3.2–3.3 legacy
+//! comparison.
+
+use levity::core::diag::ErrorCode;
+use levity::driver::{compile_with_prelude, PipelineError};
+use levity::infer::legacy::{
+    legacy_accepts, legacy_error_scheme, legacy_generalize, legacy_instantiable, LegacyKind,
+};
+use levity_core::symbol::Symbol;
+
+// ---------------------------------------------------------------------
+// E9: §7.1 relaxations
+// ---------------------------------------------------------------------
+
+#[test]
+fn the_inhomogeneous_type_family_is_now_ill_kinded() {
+    // §7.1: "the F type family is ill-kinded in our new system, as Int#
+    // has kind TYPE IntRep while Char# has kind TYPE CharRep."
+    let err = compile_with_prelude(
+        "type family F a :: TYPE IntRep where { F Int = Int#; F Char = Char# }\n",
+    )
+    .unwrap_err();
+    match err {
+        PipelineError::Elaborate(diags) => {
+            assert!(
+                diags.iter().any(|d| d.code == ErrorCode::InhomogeneousFamily),
+                "{diags:?}"
+            );
+        }
+        other => panic!("expected an elaboration rejection, got {other}"),
+    }
+}
+
+#[test]
+fn homogeneous_unlifted_families_are_fine() {
+    // Families whose equations share one representation now kind-check —
+    // something the blunt "no family may return #" ban forbade.
+    compile_with_prelude(
+        "type family G a :: TYPE IntRep where { G Int = Int#; G Bool = Int# }\n",
+    )
+    .unwrap();
+}
+
+#[test]
+fn under_the_legacy_hash_kind_the_family_was_accepted() {
+    // Both Int# and Char# had kind # (sub-kinding collapsed all unlifted
+    // types), so the legacy system could not reject F — and then could
+    // not compile its uses (§7.1).
+    assert!(legacy_accepts(LegacyKind::Hash, LegacyKind::Hash));
+    // The new kinds are distinct:
+    use levity::core::kind::Kind;
+    use levity::core::rep::Rep;
+    assert_ne!(Kind::of_rep(Rep::Int), Kind::of_rep(Rep::Char));
+}
+
+#[test]
+fn partially_applied_unlifted_tycons_are_now_legal() {
+    // §7.1: "unlifted types had to be fully saturated" — no longer.
+    // Array# :: Type -> TYPE UnliftedRep is a fine partial kind.
+    use levity::ir::typecheck::{kind_of, Scope, TypeEnv};
+    use levity::ir::types::Type;
+    let env = TypeEnv::new();
+    let bare = Type::con0(&env.builtins.array_hash);
+    let k = kind_of(&env, &mut Scope::new(), &bare).unwrap();
+    assert_eq!(k.to_string(), "Type -> TYPE UnliftedRep");
+}
+
+// ---------------------------------------------------------------------
+// E4: the legacy OpenKind system and the myError fragility
+// ---------------------------------------------------------------------
+
+#[test]
+fn legacy_error_magic_works_but_wrappers_lose_it() {
+    let a = Symbol::intern("a");
+    // error :: ∀(a :: OpenKind). String -> a accepted at Int#...
+    let magic = legacy_error_scheme();
+    assert!(legacy_instantiable(&magic, a, LegacyKind::Hash));
+    // ...but the inferred myError is quantified at kind Type (§3.3):
+    let inferred = legacy_generalize(&[a]);
+    assert!(!legacy_instantiable(&inferred, a, LegacyKind::Hash));
+}
+
+#[test]
+fn new_system_keeps_my_error_usable_at_unboxed_types() {
+    // The same wrapper, with its declared levity-polymorphic signature,
+    // works at Int# through the real pipeline.
+    let src = "main :: Int#\n\
+               main = if False then myError True else 3#\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    let (out, _) = compiled.run("main", 10_000_000).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_int()), Some(3));
+}
+
+#[test]
+fn new_system_rejects_what_legacy_sub_kinding_needed_special_cases_for() {
+    // §3.2's complaint: `Int# -> Double#` was accepted only via the
+    // OpenKind hack. In the new system it is directly well-kinded.
+    compile_with_prelude(
+        "f :: Int# -> Double#\n\
+         f n = int2Double# n\n\
+         main :: Int#\n\
+         main = double2Int# (f 3#)\n",
+    )
+    .unwrap();
+}
+
+#[test]
+fn open_kind_never_appears_in_new_system_errors() {
+    // §3.2: "The kind OpenKind would embarrassingly appear in error
+    // messages." Our diagnostics never mention it.
+    let err = compile_with_prelude(
+        "f :: forall (r :: Rep) (a :: TYPE r). a -> a\nf x = x\n",
+    )
+    .unwrap_err();
+    let msg = format!("{err}");
+    assert!(!msg.contains("OpenKind"), "{msg}");
+}

@@ -1,0 +1,119 @@
+//! E3 — unboxed tuples (§2.3, §4.2), end to end.
+//!
+//! "Unboxed tuples do not exist at runtime, at all": returning
+//! `(# q, r #)` compiles to returning two values in registers, while the
+//! boxed `(q, r)` heap-allocates a two-pointer cell.
+
+use levity::driver::compile_with_prelude;
+
+const FUEL: u64 = 50_000_000;
+
+const DIV_MOD: &str = "divMod# :: Int# -> Int# -> (# Int#, Int# #)\n\
+     divMod# n k = (# quotInt# n k, remInt# n k #)\n\
+     useBoth :: Int# -> Int# -> Int#\n\
+     useBoth n k = case divMod# n k of { (# q, r #) -> q +# r }\n\
+     main :: Int#\n\
+     main = useBoth 17# 5#\n";
+
+#[test]
+fn unboxed_div_mod_runs_without_allocation() {
+    let compiled = compile_with_prelude(DIV_MOD).unwrap();
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_int()), Some(3 + 2));
+    assert_eq!(stats.con_allocs, 0, "the unboxed tuple must not allocate");
+    assert_eq!(stats.allocated_words, 0);
+}
+
+#[test]
+fn boxed_div_mod_allocates_the_pair_and_boxes() {
+    let src = "divMod2 :: Int -> Int -> Pair Int Int\n\
+         divMod2 a b = case a of { I# n -> case b of { I# k ->\n\
+           MkPair (I# (quotInt# n k)) (I# (remInt# n k)) } }\n\
+         main :: Int#\n\
+         main = case divMod2 17 5 of { MkPair q r ->\n\
+           case q of { I# qq -> case r of { I# rr -> qq +# rr } } }\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_int()), Some(5));
+    // The pair cell plus two I# boxes (plus the two input boxes).
+    assert!(stats.con_allocs >= 3, "boxed divMod must allocate, got {}", stats.con_allocs);
+}
+
+#[test]
+fn tuple_arguments_pass_in_registers() {
+    // A function *taking* an unboxed tuple compiles to a multi-register
+    // function ("compiles to the exact same code as (+) :: Int -> Int ->
+    // Int", §2.3).
+    let src = "addPair :: (# Int#, Int# #) -> Int#\n\
+         addPair t = case t of { (# a, b #) -> a +# b }\n\
+         main :: Int#\n\
+         main = addPair (# 20#, 22# #)\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_int()), Some(42));
+    assert_eq!(stats.allocated_words, 0);
+}
+
+#[test]
+fn nested_tuples_have_the_same_register_shape_but_different_kinds() {
+    // §4.2: (# Int, (# Float#, Bool #) #) and (# Int, Float#, Bool #)
+    // are "identical at runtime" yet kind-distinct.
+    use levity::core::kind::Kind;
+    use levity::core::rep::Rep;
+    let nested = Rep::Tuple(vec![Rep::Lifted, Rep::Tuple(vec![Rep::Float, Rep::Lifted])]);
+    let flat = Rep::Tuple(vec![Rep::Lifted, Rep::Float, Rep::Lifted]);
+    assert_eq!(nested.slots(), flat.slots());
+    assert_ne!(Kind::of_rep(nested), Kind::of_rep(flat));
+
+    // And a nested tuple program runs with zero allocation too.
+    let src = "mk :: Int# -> (# Int#, (# Int#, Int# #) #)\n\
+         mk n = (# n, (# n +# 1#, n +# 2# #) #)\n\
+         main :: Int#\n\
+         main = case mk 1# of { (# a, bc #) -> case bc of { (# b, c #) -> a +# b +# c } }\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_int()), Some(1 + 2 + 3));
+    assert_eq!(stats.allocated_words, 0);
+}
+
+#[test]
+fn empty_unboxed_tuple_is_represented_by_nothing() {
+    // "(# #) … represented by nothing at all."
+    let src = "nothing# :: (# #)\n\
+         nothing# = (# #)\n\
+         ignore :: (# #) -> Int#\n\
+         ignore u = 5#\n\
+         main :: Int#\n\
+         main = ignore nothing#\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_int()), Some(5));
+    assert_eq!(stats.allocated_words, 0);
+}
+
+#[test]
+fn mixed_rep_tuples_carry_distinct_register_classes() {
+    let src = "pairUp :: Int# -> Double# -> (# Int#, Double# #)\n\
+         pairUp n d = (# n, d #)\n\
+         main :: Int#\n\
+         main = case pairUp 4# 2.5## of { (# n, d #) -> n +# double2Int# d }\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_int()), Some(6));
+    assert_eq!(stats.allocated_words, 0);
+}
+
+#[test]
+fn tuples_of_boxed_values_pass_pointers_without_boxing_the_tuple() {
+    let src = "swap# :: (# Int, Int #) -> (# Int, Int #)\n\
+         swap# t = case t of { (# a, b #) -> (# b, a #) }\n\
+         main :: Int\n\
+         main = case swap# (# 1, 2 #) of { (# x, y #) -> x }\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(2));
+    // The two components are *thunked* (lifted fields are lazy); only
+    // the demanded one ever builds its I# box, and no tuple cell exists.
+    assert_eq!(stats.thunk_allocs, 2);
+    assert_eq!(stats.con_allocs, 1);
+}
