@@ -30,7 +30,10 @@ fn spin_globals() -> Globals {
             Binder::int("k"),
             MExpr::let_strict(
                 Binder::int("n2"),
-                MExpr::prim(PrimOp::SubI, vec![Atom::Var("k".into()), Atom::Lit(Literal::Int(1))]),
+                MExpr::prim(
+                    PrimOp::SubI,
+                    vec![Atom::Var("k".into()), Atom::Lit(Literal::Int(1))],
+                ),
                 MExpr::app(MExpr::global("spin"), Atom::Var("n2".into())),
             ),
         )),
@@ -56,7 +59,10 @@ fn shared_term(n: i64) -> Rc<MExpr> {
             MExpr::case_int_hash(
                 MExpr::var("p"),
                 "b",
-                MExpr::prim(PrimOp::AddI, vec![Atom::Var("a".into()), Atom::Var("b".into())]),
+                MExpr::prim(
+                    PrimOp::AddI,
+                    vec![Atom::Var("a".into()), Atom::Var("b".into())],
+                ),
             ),
         ),
     )
@@ -83,7 +89,10 @@ fn recomputed_term(n: i64) -> Rc<MExpr> {
                 MExpr::case_int_hash(
                     MExpr::var("q"),
                     "b",
-                    MExpr::prim(PrimOp::AddI, vec![Atom::Var("a".into()), Atom::Var("b".into())]),
+                    MExpr::prim(
+                        PrimOp::AddI,
+                        vec![Atom::Var("a".into()), Atom::Var("b".into())],
+                    ),
                 ),
             ),
         ),
@@ -103,10 +112,14 @@ fn bench_ablations(c: &mut Criterion) {
     let ss = run(&globals, &shared);
     let rs = run(&globals, &recomputed);
     eprintln!("\n== Ablation: thunk update (FCE) ==");
-    eprintln!("shared thunk: {} steps, {} forces; recomputed: {} steps, {} forces",
-        ss.steps, ss.thunk_forces, rs.steps, rs.thunk_forces);
-    eprintln!("sharing halves the work for a twice-demanded value ({}x steps)\n",
-        rs.steps as f64 / ss.steps as f64);
+    eprintln!(
+        "shared thunk: {} steps, {} forces; recomputed: {} steps, {} forces",
+        ss.steps, ss.thunk_forces, rs.steps, rs.thunk_forces
+    );
+    eprintln!(
+        "sharing halves the work for a twice-demanded value ({}x steps)\n",
+        rs.steps as f64 / ss.steps as f64
+    );
 
     let mut group = c.benchmark_group("thunk_update");
     group.sample_size(20);
@@ -137,8 +150,7 @@ fn bench_ablations(c: &mut Criterion) {
     for i in (0..N_ARGS).rev() {
         m_inner = MExpr::lam(Binder::ptr(format!("a{i}").as_str()), m_inner);
     }
-    let m_applied =
-        MExpr::apps(m_inner, std::iter::repeat_n(Atom::Var("x".into()), N_ARGS));
+    let m_applied = MExpr::apps(m_inner, std::iter::repeat_n(Atom::Var("x".into()), N_ARGS));
     let direct = MExpr::let_lazy(
         "x",
         MExpr::con_int_hash(Atom::Lit(Literal::Int(1))),
@@ -163,16 +175,16 @@ fn bench_ablations(c: &mut Criterion) {
     // Lazy vs strict binding of a *boxed* argument that is always used:
     // strict avoids the thunk write+force round trip.
     let boxed_value = MExpr::con_int_hash(Atom::Lit(Literal::Int(5)));
-    let use_it = |bind_var: &str| {
-        MExpr::case_int_hash(MExpr::var(bind_var), "k", MExpr::var("k"))
-    };
+    let use_it = |bind_var: &str| MExpr::case_int_hash(MExpr::var(bind_var), "k", MExpr::var("k"));
     let lazy = MExpr::let_lazy("p", Rc::clone(&boxed_value), use_it("p"));
     let strict = MExpr::let_strict(Binder::ptr("p"), boxed_value, use_it("p"));
     let ls = run(&Globals::new(), &lazy);
     let ts = run(&Globals::new(), &strict);
     eprintln!("== Ablation: lazy vs strict binding of a demanded boxed value ==");
-    eprintln!("lazy: {} steps, {} thunk allocs; strict: {} steps, {} thunk allocs\n",
-        ls.steps, ls.thunk_allocs, ts.steps, ts.thunk_allocs);
+    eprintln!(
+        "lazy: {} steps, {} thunk allocs; strict: {} steps, {} thunk allocs\n",
+        ls.steps, ls.thunk_allocs, ts.steps, ts.thunk_allocs
+    );
 
     let mut group = c.benchmark_group("boxed_binding");
     group.sample_size(20);

@@ -38,11 +38,23 @@ fn print_report(n: u64) {
     let (dv, ds) = d.run("main", u64::MAX / 2).unwrap();
     let (cv, cs) = c.run("main", u64::MAX / 2).unwrap();
     let (bv, bs) = b.run("main", u64::MAX / 2).unwrap();
-    assert_eq!(dv.value().and_then(|v| v.as_int()), cv.value().and_then(|v| v.as_int()));
-    assert_eq!(dv.value().and_then(|v| v.as_int()), bv.value().and_then(|v| v.as_boxed_int()));
+    assert_eq!(
+        dv.value().and_then(|v| v.as_int()),
+        cv.value().and_then(|v| v.as_int())
+    );
+    assert_eq!(
+        dv.value().and_then(|v| v.as_int()),
+        bv.value().and_then(|v| v.as_boxed_int())
+    );
     eprintln!("\n== E7 (section 7.3): 3# + 4# works — at what cost? ({n} iterations) ==");
-    eprintln!("{:<26} {:>12} {:>14} {:>14}", "", "direct +#", "Num Int# (+)", "Num Int (+)");
-    eprintln!("{:<26} {:>12} {:>14} {:>14}", "machine steps", ds.steps, cs.steps, bs.steps);
+    eprintln!(
+        "{:<26} {:>12} {:>14} {:>14}",
+        "", "direct +#", "Num Int# (+)", "Num Int (+)"
+    );
+    eprintln!(
+        "{:<26} {:>12} {:>14} {:>14}",
+        "machine steps", ds.steps, cs.steps, bs.steps
+    );
     eprintln!(
         "{:<26} {:>12} {:>14} {:>14}",
         "words allocated", ds.allocated_words, cs.allocated_words, bs.allocated_words

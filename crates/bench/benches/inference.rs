@@ -67,7 +67,11 @@ fn bench_inference(c: &mut Criterion) {
                 for i in 0..n {
                     let k = inf.fresh();
                     inf.constrain(k, LegacyKind::OpenKind).unwrap();
-                    let refined = if i % 2 == 0 { LegacyKind::Type } else { LegacyKind::Hash };
+                    let refined = if i % 2 == 0 {
+                        LegacyKind::Type
+                    } else {
+                        LegacyKind::Hash
+                    };
                     inf.constrain(k, refined).unwrap();
                     if inf.solution(k) == Some(refined) {
                         ok += 1;

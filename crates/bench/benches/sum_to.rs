@@ -37,10 +37,22 @@ fn print_report(n: u64) {
     eprintln!("\n== E1 (section 2.1): sumTo 1..{n} ==");
     eprintln!("{:<22} {:>12} {:>12}", "", "boxed", "unboxed");
     eprintln!("{:<22} {:>12} {:>12}", "machine steps", bs.steps, us.steps);
-    eprintln!("{:<22} {:>12} {:>12}", "words allocated", bs.allocated_words, us.allocated_words);
-    eprintln!("{:<22} {:>12} {:>12}", "thunks forced", bs.thunk_forces, us.thunk_forces);
-    eprintln!("{:<22} {:>12} {:>12}", "thunk updates", bs.updates, us.updates);
-    eprintln!("{:<22} {:>12} {:>12}", "constructor allocs", bs.con_allocs, us.con_allocs);
+    eprintln!(
+        "{:<22} {:>12} {:>12}",
+        "words allocated", bs.allocated_words, us.allocated_words
+    );
+    eprintln!(
+        "{:<22} {:>12} {:>12}",
+        "thunks forced", bs.thunk_forces, us.thunk_forces
+    );
+    eprintln!(
+        "{:<22} {:>12} {:>12}",
+        "thunk updates", bs.updates, us.updates
+    );
+    eprintln!(
+        "{:<22} {:>12} {:>12}",
+        "constructor allocs", bs.con_allocs, us.con_allocs
+    );
     eprintln!(
         "steps ratio: {:.2}x; allocation: {} vs {} words (paper: >200x wall-clock)\n",
         bs.steps as f64 / us.steps as f64,

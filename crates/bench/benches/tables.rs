@@ -13,7 +13,7 @@ use levity_driver::compile_with_prelude;
 
 fn figure1() {
     eprintln!("\n== E2: Figure 1 — boxity and levity, with examples ==");
-    eprintln!("{:<14} {:<10} {:<10} {}", "type", "boxed?", "lifted?", "rep");
+    eprintln!("{:<14} {:<10} {:<10} rep", "type", "boxed?", "lifted?");
     let rows: [(&str, Rep); 5] = [
         ("Int", Rep::Lifted),
         ("Bool", Rep::Lifted),
@@ -61,7 +61,7 @@ fn acceptance_table() {
             "abs2 :: forall (r :: Rep) (a :: TYPE r). Num a => a -> a\nabs2 x = abs x\n",
         ),
     ];
-    eprintln!("{:<26} {}", "program", "verdict");
+    eprintln!("{:<26} verdict", "program");
     for (label, src) in cases {
         let verdict = match compile_with_prelude(src) {
             Ok(_) => "accepted".to_owned(),

@@ -50,18 +50,32 @@ fn print_report(n: u64) {
     let (_, us) = u.run("main", u64::MAX / 2).unwrap();
     eprintln!("\n== E3 (section 2.3): divMod loop, {n} iterations ==");
     eprintln!("{:<22} {:>12} {:>12}", "", "boxed pair", "(# , #)");
-    eprintln!("{:<22} {:>12} {:>12}", "words allocated", bs.allocated_words, us.allocated_words);
-    eprintln!("{:<22} {:>12} {:>12}", "constructor allocs", bs.con_allocs, us.con_allocs);
+    eprintln!(
+        "{:<22} {:>12} {:>12}",
+        "words allocated", bs.allocated_words, us.allocated_words
+    );
+    eprintln!(
+        "{:<22} {:>12} {:>12}",
+        "constructor allocs", bs.con_allocs, us.con_allocs
+    );
     eprintln!("{:<22} {:>12} {:>12}", "machine steps", bs.steps, us.steps);
 
     let nested = compiled(NESTED, n);
     let flat = compiled(FLAT, n);
     let (no, ns) = nested.run("main", u64::MAX / 2).unwrap();
     let (fo, fs) = flat.run("main", u64::MAX / 2).unwrap();
-    assert_eq!(no.value().and_then(|v| v.as_int()), fo.value().and_then(|v| v.as_int()));
-    eprintln!("\nnested vs flat tuples (section 4.2): both allocate {} / {} words;",
-        ns.allocated_words, fs.allocated_words);
-    eprintln!("step counts {} vs {} — nesting is computationally irrelevant\n", ns.steps, fs.steps);
+    assert_eq!(
+        no.value().and_then(|v| v.as_int()),
+        fo.value().and_then(|v| v.as_int())
+    );
+    eprintln!(
+        "\nnested vs flat tuples (section 4.2): both allocate {} / {} words;",
+        ns.allocated_words, fs.allocated_words
+    );
+    eprintln!(
+        "step counts {} vs {} — nesting is computationally irrelevant\n",
+        ns.steps, fs.steps
+    );
 }
 
 fn bench_tuples(c: &mut Criterion) {
@@ -84,8 +98,12 @@ fn bench_tuples(c: &mut Criterion) {
     group.sample_size(10);
     let nested = compiled(NESTED, 1_000);
     let flat = compiled(FLAT, 1_000);
-    group.bench_function("nested", |bch| bch.iter(|| nested.run("main", u64::MAX / 2).unwrap()));
-    group.bench_function("flat", |bch| bch.iter(|| flat.run("main", u64::MAX / 2).unwrap()));
+    group.bench_function("nested", |bch| {
+        bch.iter(|| nested.run("main", u64::MAX / 2).unwrap())
+    });
+    group.bench_function("flat", |bch| {
+        bch.iter(|| flat.run("main", u64::MAX / 2).unwrap())
+    });
     group.finish();
 }
 

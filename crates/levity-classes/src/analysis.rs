@@ -171,11 +171,7 @@ pub struct CorpusClass {
 }
 
 /// Walks a method type checking first-order occurrences of `var`.
-fn check_occurrences(
-    method: &'static str,
-    ty: &CTy,
-    var: &str,
-) -> Result<(), Blocker> {
+fn check_occurrences(method: &'static str, ty: &CTy, var: &str) -> Result<(), Blocker> {
     match ty {
         CTy::V(_) => Ok(()),
         CTy::F(a, b) => {
@@ -284,7 +280,13 @@ mod tests {
     use super::*;
 
     fn fo(name: &'static str, methods: Vec<(&'static str, CTy)>) -> CorpusClass {
-        CorpusClass { name, package: "base", module: "Test", var: ("a", VarShape::FirstOrder), methods }
+        CorpusClass {
+            name,
+            package: "base",
+            module: "Test",
+            var: ("a", VarShape::FirstOrder),
+            methods,
+        }
     }
 
     #[test]
@@ -316,7 +318,10 @@ mod tests {
         // enumFrom :: a -> [a] — [] :: Type -> Type pins a to Type.
         let c = fo(
             "Enum",
-            vec![("enumFrom", CTy::f(CTy::V("a"), CTy::C("[]", vec![CTy::V("a")])))],
+            vec![(
+                "enumFrom",
+                CTy::f(CTy::V("a"), CTy::C("[]", vec![CTy::V("a")])),
+            )],
         );
         assert!(matches!(
             analyze(&c),
@@ -352,7 +357,10 @@ mod tests {
                         ),
                     ),
                 ),
-                ("return", CTy::f(CTy::V("a"), CTy::A("m", vec![CTy::V("a")]))),
+                (
+                    "return",
+                    CTy::f(CTy::V("a"), CTy::A("m", vec![CTy::V("a")])),
+                ),
             ],
         };
         assert!(analyze(&monad).is_generalizable());
@@ -366,7 +374,10 @@ mod tests {
                 "<*>",
                 CTy::f(
                     CTy::A("f", vec![CTy::f(CTy::V("a"), CTy::V("b"))]),
-                    CTy::f(CTy::A("f", vec![CTy::V("a")]), CTy::A("f", vec![CTy::V("b")])),
+                    CTy::f(
+                        CTy::A("f", vec![CTy::V("a")]),
+                        CTy::A("f", vec![CTy::V("b")]),
+                    ),
                 ),
             )],
         };

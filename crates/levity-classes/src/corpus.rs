@@ -12,7 +12,7 @@
 //! signatures that matter for the analysis), so each per-class verdict
 //! is auditable against the §5.1 rules.
 
-use crate::analysis::{analyze, CorpusClass, CTy, Verdict, VarShape};
+use crate::analysis::{analyze, CTy, CorpusClass, VarShape, Verdict};
 
 fn v(s: &'static str) -> CTy {
     CTy::V(s)
@@ -44,7 +44,13 @@ fn fo(
     module: &'static str,
     methods: Vec<(&'static str, CTy)>,
 ) -> CorpusClass {
-    CorpusClass { name, package, module, var: ("a", VarShape::FirstOrder), methods }
+    CorpusClass {
+        name,
+        package,
+        module,
+        var: ("a", VarShape::FirstOrder),
+        methods,
+    }
 }
 
 fn hk(
@@ -54,297 +60,674 @@ fn hk(
     var: &'static str,
     methods: Vec<(&'static str, CTy)>,
 ) -> CorpusClass {
-    CorpusClass { name, package, module, var: (var, VarShape::HigherKinded), methods }
+    CorpusClass {
+        name,
+        package,
+        module,
+        var: (var, VarShape::HigherKinded),
+        methods,
+    }
 }
 
 /// Builds the corpus.
 pub fn corpus() -> Vec<CorpusClass> {
     vec![
         // ghc-prim: GHC.Classes ------------------------------------------------
-        fo("Eq", "ghc-prim", "GHC.Classes", vec![
-            ("==", f3(v("a"), v("a"), c0("Bool"))),
-            ("/=", f3(v("a"), v("a"), c0("Bool"))),
-        ]),
-        fo("Ord", "ghc-prim", "GHC.Classes", vec![
-            ("compare", f3(v("a"), v("a"), c0("Ordering"))),
-            ("<", f3(v("a"), v("a"), c0("Bool"))),
-            ("max", f3(v("a"), v("a"), v("a"))),
-        ]),
+        fo(
+            "Eq",
+            "ghc-prim",
+            "GHC.Classes",
+            vec![
+                ("==", f3(v("a"), v("a"), c0("Bool"))),
+                ("/=", f3(v("a"), v("a"), c0("Bool"))),
+            ],
+        ),
+        fo(
+            "Ord",
+            "ghc-prim",
+            "GHC.Classes",
+            vec![
+                ("compare", f3(v("a"), v("a"), c0("Ordering"))),
+                ("<", f3(v("a"), v("a"), c0("Bool"))),
+                ("max", f3(v("a"), v("a"), v("a"))),
+            ],
+        ),
         fo("IP", "ghc-prim", "GHC.Classes", vec![("ip", v("a"))]),
         // base: numeric hierarchy ---------------------------------------------
-        fo("Enum", "base", "GHC.Enum", vec![
-            ("succ", f(v("a"), v("a"))),
-            ("toEnum", f(c0("Int"), v("a"))),
-            ("enumFrom", f(v("a"), c("[]", vec![v("a")]))),
-        ]),
-        fo("Bounded", "base", "GHC.Enum", vec![
-            ("minBound", v("a")),
-            ("maxBound", v("a")),
-        ]),
-        fo("Num", "base", "GHC.Num", vec![
-            ("+", f3(v("a"), v("a"), v("a"))),
-            ("*", f3(v("a"), v("a"), v("a"))),
-            ("abs", f(v("a"), v("a"))),
-            ("fromInteger", f(c0("Integer"), v("a"))),
-        ]),
-        fo("Real", "base", "GHC.Real", vec![
-            ("toRational", f(v("a"), c0("Rational"))),
-        ]),
-        fo("Integral", "base", "GHC.Real", vec![
-            ("quot", f3(v("a"), v("a"), v("a"))),
-            ("quotRem", f3(v("a"), v("a"), c("(,)", vec![v("a"), v("a")]))),
-            ("toInteger", f(v("a"), c0("Integer"))),
-        ]),
-        fo("Fractional", "base", "GHC.Real", vec![
-            ("/", f3(v("a"), v("a"), v("a"))),
-            ("recip", f(v("a"), v("a"))),
-            ("fromRational", f(c0("Rational"), v("a"))),
-        ]),
-        fo("Floating", "base", "GHC.Float", vec![
-            ("pi", v("a")),
-            ("exp", f(v("a"), v("a"))),
-            ("sin", f(v("a"), v("a"))),
-        ]),
-        fo("RealFrac", "base", "GHC.Real", vec![
-            ("properFraction", f(v("a"), c("(,)", vec![v("b"), v("a")]))),
-            ("truncate", f(v("a"), v("b"))),
-        ]),
-        fo("RealFloat", "base", "GHC.Float", vec![
-            ("floatDigits", f(v("a"), c0("Int"))),
-            ("decodeFloat", f(v("a"), c("(,)", vec![c0("Integer"), c0("Int")]))),
-            ("encodeFloat", f3(c0("Integer"), c0("Int"), v("a"))),
-        ]),
+        fo(
+            "Enum",
+            "base",
+            "GHC.Enum",
+            vec![
+                ("succ", f(v("a"), v("a"))),
+                ("toEnum", f(c0("Int"), v("a"))),
+                ("enumFrom", f(v("a"), c("[]", vec![v("a")]))),
+            ],
+        ),
+        fo(
+            "Bounded",
+            "base",
+            "GHC.Enum",
+            vec![("minBound", v("a")), ("maxBound", v("a"))],
+        ),
+        fo(
+            "Num",
+            "base",
+            "GHC.Num",
+            vec![
+                ("+", f3(v("a"), v("a"), v("a"))),
+                ("*", f3(v("a"), v("a"), v("a"))),
+                ("abs", f(v("a"), v("a"))),
+                ("fromInteger", f(c0("Integer"), v("a"))),
+            ],
+        ),
+        fo(
+            "Real",
+            "base",
+            "GHC.Real",
+            vec![("toRational", f(v("a"), c0("Rational")))],
+        ),
+        fo(
+            "Integral",
+            "base",
+            "GHC.Real",
+            vec![
+                ("quot", f3(v("a"), v("a"), v("a"))),
+                (
+                    "quotRem",
+                    f3(v("a"), v("a"), c("(,)", vec![v("a"), v("a")])),
+                ),
+                ("toInteger", f(v("a"), c0("Integer"))),
+            ],
+        ),
+        fo(
+            "Fractional",
+            "base",
+            "GHC.Real",
+            vec![
+                ("/", f3(v("a"), v("a"), v("a"))),
+                ("recip", f(v("a"), v("a"))),
+                ("fromRational", f(c0("Rational"), v("a"))),
+            ],
+        ),
+        fo(
+            "Floating",
+            "base",
+            "GHC.Float",
+            vec![
+                ("pi", v("a")),
+                ("exp", f(v("a"), v("a"))),
+                ("sin", f(v("a"), v("a"))),
+            ],
+        ),
+        fo(
+            "RealFrac",
+            "base",
+            "GHC.Real",
+            vec![
+                ("properFraction", f(v("a"), c("(,)", vec![v("b"), v("a")]))),
+                ("truncate", f(v("a"), v("b"))),
+            ],
+        ),
+        fo(
+            "RealFloat",
+            "base",
+            "GHC.Float",
+            vec![
+                ("floatDigits", f(v("a"), c0("Int"))),
+                (
+                    "decodeFloat",
+                    f(v("a"), c("(,)", vec![c0("Integer"), c0("Int")])),
+                ),
+                ("encodeFloat", f3(c0("Integer"), c0("Int"), v("a"))),
+            ],
+        ),
         // base: algebraic ------------------------------------------------------
-        fo("Semigroup", "base", "Data.Semigroup", vec![
-            ("<>", f3(v("a"), v("a"), v("a"))),
-            ("sconcat", f(c("NonEmpty", vec![v("a")]), v("a"))),
-        ]),
-        fo("Monoid", "base", "GHC.Base", vec![
-            ("mempty", v("a")),
-            ("mappend", f3(v("a"), v("a"), v("a"))),
-            ("mconcat", f(c("[]", vec![v("a")]), v("a"))),
-        ]),
+        fo(
+            "Semigroup",
+            "base",
+            "Data.Semigroup",
+            vec![
+                ("<>", f3(v("a"), v("a"), v("a"))),
+                ("sconcat", f(c("NonEmpty", vec![v("a")]), v("a"))),
+            ],
+        ),
+        fo(
+            "Monoid",
+            "base",
+            "GHC.Base",
+            vec![
+                ("mempty", v("a")),
+                ("mappend", f3(v("a"), v("a"), v("a"))),
+                ("mconcat", f(c("[]", vec![v("a")]), v("a"))),
+            ],
+        ),
         // base: functor hierarchy ----------------------------------------------
-        hk("Functor", "base", "GHC.Base", "f", vec![
-            ("fmap", f3(f(v("a"), v("b")), a("f", vec![v("a")]), a("f", vec![v("b")]))),
-            ("<$", f3(v("a"), a("f", vec![v("b")]), a("f", vec![v("a")]))),
-        ]),
-        hk("Applicative", "base", "GHC.Base", "f", vec![
-            ("pure", f(v("a"), a("f", vec![v("a")]))),
-            ("<*>", f3(
-                a("f", vec![f(v("a"), v("b"))]),
-                a("f", vec![v("a")]),
-                a("f", vec![v("b")]),
-            )),
-        ]),
-        hk("Monad", "base", "GHC.Base", "m", vec![
-            (">>=", f3(
-                a("m", vec![v("a")]),
-                f(v("a"), a("m", vec![v("b")])),
-                a("m", vec![v("b")]),
-            )),
-            (">>", f3(a("m", vec![v("a")]), a("m", vec![v("b")]), a("m", vec![v("b")]))),
-            ("return", f(v("a"), a("m", vec![v("a")]))),
-        ]),
-        hk("MonadFail", "base", "Control.Monad.Fail", "m", vec![
-            ("fail", f(c0("String"), a("m", vec![v("a")]))),
-        ]),
-        hk("Alternative", "base", "GHC.Base", "f", vec![
-            ("empty", a("f", vec![v("a")])),
-            ("<|>", f3(a("f", vec![v("a")]), a("f", vec![v("a")]), a("f", vec![v("a")]))),
-            ("many", f(a("f", vec![v("a")]), a("f", vec![c("[]", vec![v("a")])]))),
-        ]),
-        hk("MonadPlus", "base", "GHC.Base", "m", vec![
-            ("mzero", a("m", vec![v("a")])),
-            ("mplus", f3(a("m", vec![v("a")]), a("m", vec![v("a")]), a("m", vec![v("a")]))),
-        ]),
-        hk("MonadFix", "base", "Control.Monad.Fix", "m", vec![
-            ("mfix", f(f(v("a"), a("m", vec![v("a")])), a("m", vec![v("a")]))),
-        ]),
-        hk("MonadZip", "base", "Control.Monad.Zip", "m", vec![
-            ("mzip", f3(
-                a("m", vec![v("a")]),
-                a("m", vec![v("b")]),
-                a("m", vec![c("(,)", vec![v("a"), v("b")])]),
-            )),
-        ]),
-        hk("MonadIO", "base", "Control.Monad.IO.Class", "m", vec![
-            ("liftIO", f(c("IO", vec![v("a")]), a("m", vec![v("a")]))),
-        ]),
-        hk("Foldable", "base", "Data.Foldable", "t", vec![
-            ("foldr", f3(f(v("a"), f(v("b"), v("b"))), v("b"), f(a("t", vec![v("a")]), v("b")))),
-            ("toList", f(a("t", vec![v("a")]), c("[]", vec![v("a")]))),
-        ]),
-        hk("Traversable", "base", "Data.Traversable", "t", vec![
-            ("traverse", f3(
-                f(v("a"), c("Applicative_f", vec![v("b")])),
-                a("t", vec![v("a")]),
-                c("Applicative_f", vec![a("t", vec![v("b")])]),
-            )),
-        ]),
+        hk(
+            "Functor",
+            "base",
+            "GHC.Base",
+            "f",
+            vec![
+                (
+                    "fmap",
+                    f3(
+                        f(v("a"), v("b")),
+                        a("f", vec![v("a")]),
+                        a("f", vec![v("b")]),
+                    ),
+                ),
+                ("<$", f3(v("a"), a("f", vec![v("b")]), a("f", vec![v("a")]))),
+            ],
+        ),
+        hk(
+            "Applicative",
+            "base",
+            "GHC.Base",
+            "f",
+            vec![
+                ("pure", f(v("a"), a("f", vec![v("a")]))),
+                (
+                    "<*>",
+                    f3(
+                        a("f", vec![f(v("a"), v("b"))]),
+                        a("f", vec![v("a")]),
+                        a("f", vec![v("b")]),
+                    ),
+                ),
+            ],
+        ),
+        hk(
+            "Monad",
+            "base",
+            "GHC.Base",
+            "m",
+            vec![
+                (
+                    ">>=",
+                    f3(
+                        a("m", vec![v("a")]),
+                        f(v("a"), a("m", vec![v("b")])),
+                        a("m", vec![v("b")]),
+                    ),
+                ),
+                (
+                    ">>",
+                    f3(
+                        a("m", vec![v("a")]),
+                        a("m", vec![v("b")]),
+                        a("m", vec![v("b")]),
+                    ),
+                ),
+                ("return", f(v("a"), a("m", vec![v("a")]))),
+            ],
+        ),
+        hk(
+            "MonadFail",
+            "base",
+            "Control.Monad.Fail",
+            "m",
+            vec![("fail", f(c0("String"), a("m", vec![v("a")])))],
+        ),
+        hk(
+            "Alternative",
+            "base",
+            "GHC.Base",
+            "f",
+            vec![
+                ("empty", a("f", vec![v("a")])),
+                (
+                    "<|>",
+                    f3(
+                        a("f", vec![v("a")]),
+                        a("f", vec![v("a")]),
+                        a("f", vec![v("a")]),
+                    ),
+                ),
+                (
+                    "many",
+                    f(a("f", vec![v("a")]), a("f", vec![c("[]", vec![v("a")])])),
+                ),
+            ],
+        ),
+        hk(
+            "MonadPlus",
+            "base",
+            "GHC.Base",
+            "m",
+            vec![
+                ("mzero", a("m", vec![v("a")])),
+                (
+                    "mplus",
+                    f3(
+                        a("m", vec![v("a")]),
+                        a("m", vec![v("a")]),
+                        a("m", vec![v("a")]),
+                    ),
+                ),
+            ],
+        ),
+        hk(
+            "MonadFix",
+            "base",
+            "Control.Monad.Fix",
+            "m",
+            vec![(
+                "mfix",
+                f(f(v("a"), a("m", vec![v("a")])), a("m", vec![v("a")])),
+            )],
+        ),
+        hk(
+            "MonadZip",
+            "base",
+            "Control.Monad.Zip",
+            "m",
+            vec![(
+                "mzip",
+                f3(
+                    a("m", vec![v("a")]),
+                    a("m", vec![v("b")]),
+                    a("m", vec![c("(,)", vec![v("a"), v("b")])]),
+                ),
+            )],
+        ),
+        hk(
+            "MonadIO",
+            "base",
+            "Control.Monad.IO.Class",
+            "m",
+            vec![("liftIO", f(c("IO", vec![v("a")]), a("m", vec![v("a")])))],
+        ),
+        hk(
+            "Foldable",
+            "base",
+            "Data.Foldable",
+            "t",
+            vec![
+                (
+                    "foldr",
+                    f3(
+                        f(v("a"), f(v("b"), v("b"))),
+                        v("b"),
+                        f(a("t", vec![v("a")]), v("b")),
+                    ),
+                ),
+                ("toList", f(a("t", vec![v("a")]), c("[]", vec![v("a")]))),
+            ],
+        ),
+        hk(
+            "Traversable",
+            "base",
+            "Data.Traversable",
+            "t",
+            vec![(
+                "traverse",
+                f3(
+                    f(v("a"), c("Applicative_f", vec![v("b")])),
+                    a("t", vec![v("a")]),
+                    c("Applicative_f", vec![a("t", vec![v("b")])]),
+                ),
+            )],
+        ),
         // base: text -----------------------------------------------------------
-        fo("Show", "base", "GHC.Show", vec![
-            ("showsPrec", f3(c0("Int"), v("a"), c0("ShowS"))),
-            ("show", f(v("a"), c0("String"))),
-            ("showList", f(c("[]", vec![v("a")]), c0("ShowS"))),
-        ]),
-        fo("Read", "base", "GHC.Read", vec![
-            ("readsPrec", f(c0("Int"), c("ReadS", vec![v("a")]))),
-            ("readList", c("ReadS", vec![c("[]", vec![v("a")])])),
-        ]),
+        fo(
+            "Show",
+            "base",
+            "GHC.Show",
+            vec![
+                ("showsPrec", f3(c0("Int"), v("a"), c0("ShowS"))),
+                ("show", f(v("a"), c0("String"))),
+                ("showList", f(c("[]", vec![v("a")]), c0("ShowS"))),
+            ],
+        ),
+        fo(
+            "Read",
+            "base",
+            "GHC.Read",
+            vec![
+                ("readsPrec", f(c0("Int"), c("ReadS", vec![v("a")]))),
+                ("readList", c("ReadS", vec![c("[]", vec![v("a")])])),
+            ],
+        ),
         // base: indexing and storage --------------------------------------------
-        fo("Ix", "base", "GHC.Arr", vec![
-            ("range", f(c("(,)", vec![v("a"), v("a")]), c("[]", vec![v("a")]))),
-            ("index", f3(c("(,)", vec![v("a"), v("a")]), v("a"), c0("Int"))),
-        ]),
-        fo("Storable", "base", "Foreign.Storable", vec![
-            ("sizeOf", f(v("a"), c0("Int"))),
-            ("peek", f(c("Ptr", vec![v("a")]), c("IO", vec![v("a")]))),
-            ("poke", f3(c("Ptr", vec![v("a")]), v("a"), c("IO", vec![c0("Unit")]))),
-        ]),
-        fo("Bits", "base", "Data.Bits", vec![
-            (".&.", f3(v("a"), v("a"), v("a"))),
-            ("shiftL", f3(v("a"), c0("Int"), v("a"))),
-            ("testBit", f3(v("a"), c0("Int"), c0("Bool"))),
-            ("zeroBits", v("a")),
-        ]),
-        fo("FiniteBits", "base", "Data.Bits", vec![
-            ("finiteBitSize", f(v("a"), c0("Int"))),
-            ("countLeadingZeros", f(v("a"), c0("Int"))),
-        ]),
+        fo(
+            "Ix",
+            "base",
+            "GHC.Arr",
+            vec![
+                (
+                    "range",
+                    f(c("(,)", vec![v("a"), v("a")]), c("[]", vec![v("a")])),
+                ),
+                (
+                    "index",
+                    f3(c("(,)", vec![v("a"), v("a")]), v("a"), c0("Int")),
+                ),
+            ],
+        ),
+        fo(
+            "Storable",
+            "base",
+            "Foreign.Storable",
+            vec![
+                ("sizeOf", f(v("a"), c0("Int"))),
+                ("peek", f(c("Ptr", vec![v("a")]), c("IO", vec![v("a")]))),
+                (
+                    "poke",
+                    f3(c("Ptr", vec![v("a")]), v("a"), c("IO", vec![c0("Unit")])),
+                ),
+            ],
+        ),
+        fo(
+            "Bits",
+            "base",
+            "Data.Bits",
+            vec![
+                (".&.", f3(v("a"), v("a"), v("a"))),
+                ("shiftL", f3(v("a"), c0("Int"), v("a"))),
+                ("testBit", f3(v("a"), c0("Int"), c0("Bool"))),
+                ("zeroBits", v("a")),
+            ],
+        ),
+        fo(
+            "FiniteBits",
+            "base",
+            "Data.Bits",
+            vec![
+                ("finiteBitSize", f(v("a"), c0("Int"))),
+                ("countLeadingZeros", f(v("a"), c0("Int"))),
+            ],
+        ),
         // base: overloading -----------------------------------------------------
-        fo("IsString", "base", "Data.String", vec![
-            ("fromString", f(c0("String"), v("a"))),
-        ]),
-        fo("IsList", "base", "GHC.Exts", vec![
-            ("fromList", f(c("[]", vec![c("Item", vec![v("a")])]), v("a"))),
-            ("toList", f(v("a"), c("[]", vec![c("Item", vec![v("a")])]))),
-        ]),
-        fo("Exception", "base", "Control.Exception", vec![
-            ("toException", f(v("a"), c0("SomeException"))),
-            ("fromException", f(c0("SomeException"), c("Maybe", vec![v("a")]))),
-        ]),
+        fo(
+            "IsString",
+            "base",
+            "Data.String",
+            vec![("fromString", f(c0("String"), v("a")))],
+        ),
+        fo(
+            "IsList",
+            "base",
+            "GHC.Exts",
+            vec![
+                (
+                    "fromList",
+                    f(c("[]", vec![c("Item", vec![v("a")])]), v("a")),
+                ),
+                ("toList", f(v("a"), c("[]", vec![c("Item", vec![v("a")])]))),
+            ],
+        ),
+        fo(
+            "Exception",
+            "base",
+            "Control.Exception",
+            vec![
+                ("toException", f(v("a"), c0("SomeException"))),
+                (
+                    "fromException",
+                    f(c0("SomeException"), c("Maybe", vec![v("a")])),
+                ),
+            ],
+        ),
         // base: arrows -----------------------------------------------------------
-        hk("Category", "base", "Control.Category", "cat", vec![
-            ("id", a("cat", vec![v("a"), v("a")])),
-            (".", f3(
-                a("cat", vec![v("b"), v("c")]),
-                a("cat", vec![v("a"), v("b")]),
-                a("cat", vec![v("a"), v("c")]),
-            )),
-        ]),
-        hk("Arrow", "base", "Control.Arrow", "arr", vec![
-            ("arr", f(f(v("b"), v("c")), a("arr", vec![v("b"), v("c")]))),
-            ("first", f(
-                a("arr", vec![v("b"), v("c")]),
-                a("arr", vec![
-                    c("(,)", vec![v("b"), v("d")]),
-                    c("(,)", vec![v("c"), v("d")]),
-                ]),
-            )),
-        ]),
-        hk("ArrowZero", "base", "Control.Arrow", "arr", vec![
-            ("zeroArrow", a("arr", vec![v("b"), v("c")])),
-        ]),
-        hk("ArrowPlus", "base", "Control.Arrow", "arr", vec![
-            ("<+>", f3(
-                a("arr", vec![v("b"), v("c")]),
-                a("arr", vec![v("b"), v("c")]),
-                a("arr", vec![v("b"), v("c")]),
-            )),
-        ]),
-        hk("ArrowChoice", "base", "Control.Arrow", "arr", vec![
-            ("left", f(
-                a("arr", vec![v("b"), v("c")]),
-                a("arr", vec![
-                    c("Either", vec![v("b"), v("d")]),
-                    c("Either", vec![v("c"), v("d")]),
-                ]),
-            )),
-        ]),
-        hk("ArrowApply", "base", "Control.Arrow", "arr", vec![
-            ("app", a("arr", vec![
-                c("(,)", vec![a("arr", vec![v("b"), v("c")]), v("b")]),
-                v("c"),
-            ])),
-        ]),
-        hk("ArrowLoop", "base", "Control.Arrow", "arr", vec![
-            ("loop", f(
-                a("arr", vec![
-                    c("(,)", vec![v("b"), v("d")]),
-                    c("(,)", vec![v("c"), v("d")]),
-                ]),
-                a("arr", vec![v("b"), v("c")]),
-            )),
-        ]),
+        hk(
+            "Category",
+            "base",
+            "Control.Category",
+            "cat",
+            vec![
+                ("id", a("cat", vec![v("a"), v("a")])),
+                (
+                    ".",
+                    f3(
+                        a("cat", vec![v("b"), v("c")]),
+                        a("cat", vec![v("a"), v("b")]),
+                        a("cat", vec![v("a"), v("c")]),
+                    ),
+                ),
+            ],
+        ),
+        hk(
+            "Arrow",
+            "base",
+            "Control.Arrow",
+            "arr",
+            vec![
+                ("arr", f(f(v("b"), v("c")), a("arr", vec![v("b"), v("c")]))),
+                (
+                    "first",
+                    f(
+                        a("arr", vec![v("b"), v("c")]),
+                        a(
+                            "arr",
+                            vec![
+                                c("(,)", vec![v("b"), v("d")]),
+                                c("(,)", vec![v("c"), v("d")]),
+                            ],
+                        ),
+                    ),
+                ),
+            ],
+        ),
+        hk(
+            "ArrowZero",
+            "base",
+            "Control.Arrow",
+            "arr",
+            vec![("zeroArrow", a("arr", vec![v("b"), v("c")]))],
+        ),
+        hk(
+            "ArrowPlus",
+            "base",
+            "Control.Arrow",
+            "arr",
+            vec![(
+                "<+>",
+                f3(
+                    a("arr", vec![v("b"), v("c")]),
+                    a("arr", vec![v("b"), v("c")]),
+                    a("arr", vec![v("b"), v("c")]),
+                ),
+            )],
+        ),
+        hk(
+            "ArrowChoice",
+            "base",
+            "Control.Arrow",
+            "arr",
+            vec![(
+                "left",
+                f(
+                    a("arr", vec![v("b"), v("c")]),
+                    a(
+                        "arr",
+                        vec![
+                            c("Either", vec![v("b"), v("d")]),
+                            c("Either", vec![v("c"), v("d")]),
+                        ],
+                    ),
+                ),
+            )],
+        ),
+        hk(
+            "ArrowApply",
+            "base",
+            "Control.Arrow",
+            "arr",
+            vec![(
+                "app",
+                a(
+                    "arr",
+                    vec![
+                        c("(,)", vec![a("arr", vec![v("b"), v("c")]), v("b")]),
+                        v("c"),
+                    ],
+                ),
+            )],
+        ),
+        hk(
+            "ArrowLoop",
+            "base",
+            "Control.Arrow",
+            "arr",
+            vec![(
+                "loop",
+                f(
+                    a(
+                        "arr",
+                        vec![
+                            c("(,)", vec![v("b"), v("d")]),
+                            c("(,)", vec![v("c"), v("d")]),
+                        ],
+                    ),
+                    a("arr", vec![v("b"), v("c")]),
+                ),
+            )],
+        ),
         // base: bifunctors and lifted classes ------------------------------------
-        hk("Bifunctor", "base", "Data.Bifunctor", "p", vec![
-            ("bimap", f3(
-                f(v("a"), v("b")),
-                f(v("c"), v("d")),
-                f(a("p", vec![v("a"), v("c")]), a("p", vec![v("b"), v("d")])),
-            )),
-        ]),
-        hk("Eq1", "base", "Data.Functor.Classes", "f", vec![
-            ("liftEq", f3(
-                f3(v("a"), v("b"), c0("Bool")),
-                a("f", vec![v("a")]),
-                f(a("f", vec![v("b")]), c0("Bool")),
-            )),
-        ]),
-        hk("Ord1", "base", "Data.Functor.Classes", "f", vec![
-            ("liftCompare", f3(
-                f3(v("a"), v("b"), c0("Ordering")),
-                a("f", vec![v("a")]),
-                f(a("f", vec![v("b")]), c0("Ordering")),
-            )),
-        ]),
-        hk("Show1", "base", "Data.Functor.Classes", "f", vec![
-            ("liftShowsPrec", f3(
-                f3(c0("Int"), v("a"), c0("ShowS")),
-                f(c("[]", vec![v("a")]), c0("ShowS")),
-                f3(c0("Int"), a("f", vec![v("a")]), c0("ShowS")),
-            )),
-        ]),
-        hk("Read1", "base", "Data.Functor.Classes", "f", vec![
-            ("liftReadsPrec", f3(
-                f(c0("Int"), c("ReadS", vec![v("a")])),
-                c("ReadS", vec![c("[]", vec![v("a")])]),
-                f(c0("Int"), c("ReadS", vec![a("f", vec![v("a")])])),
-            )),
-        ]),
-        hk("Eq2", "base", "Data.Functor.Classes", "f", vec![
-            ("liftEq2", f3(
-                f3(v("a"), v("b"), c0("Bool")),
-                f3(v("c"), v("d"), c0("Bool")),
-                f3(a("f", vec![v("a"), v("c")]), a("f", vec![v("b"), v("d")]), c0("Bool")),
-            )),
-        ]),
-        hk("Ord2", "base", "Data.Functor.Classes", "f", vec![
-            ("liftCompare2", f3(
-                f3(v("a"), v("b"), c0("Ordering")),
-                f3(v("c"), v("d"), c0("Ordering")),
-                f3(a("f", vec![v("a"), v("c")]), a("f", vec![v("b"), v("d")]), c0("Ordering")),
-            )),
-        ]),
-        hk("Show2", "base", "Data.Functor.Classes", "f", vec![
-            ("liftShowsPrec2", f3(
-                f3(c0("Int"), v("a"), c0("ShowS")),
-                f(c("[]", vec![v("a")]), c0("ShowS")),
-                f3(c0("Int"), a("f", vec![v("a"), v("b")]), c0("ShowS")),
-            )),
-        ]),
-        hk("Read2", "base", "Data.Functor.Classes", "f", vec![
-            ("liftReadsPrec2", f3(
-                f(c0("Int"), c("ReadS", vec![v("a")])),
-                c("ReadS", vec![c("[]", vec![v("a")])]),
-                f(c0("Int"), c("ReadS", vec![a("f", vec![v("a"), v("b")])])),
-            )),
-        ]),
+        hk(
+            "Bifunctor",
+            "base",
+            "Data.Bifunctor",
+            "p",
+            vec![(
+                "bimap",
+                f3(
+                    f(v("a"), v("b")),
+                    f(v("c"), v("d")),
+                    f(a("p", vec![v("a"), v("c")]), a("p", vec![v("b"), v("d")])),
+                ),
+            )],
+        ),
+        hk(
+            "Eq1",
+            "base",
+            "Data.Functor.Classes",
+            "f",
+            vec![(
+                "liftEq",
+                f3(
+                    f3(v("a"), v("b"), c0("Bool")),
+                    a("f", vec![v("a")]),
+                    f(a("f", vec![v("b")]), c0("Bool")),
+                ),
+            )],
+        ),
+        hk(
+            "Ord1",
+            "base",
+            "Data.Functor.Classes",
+            "f",
+            vec![(
+                "liftCompare",
+                f3(
+                    f3(v("a"), v("b"), c0("Ordering")),
+                    a("f", vec![v("a")]),
+                    f(a("f", vec![v("b")]), c0("Ordering")),
+                ),
+            )],
+        ),
+        hk(
+            "Show1",
+            "base",
+            "Data.Functor.Classes",
+            "f",
+            vec![(
+                "liftShowsPrec",
+                f3(
+                    f3(c0("Int"), v("a"), c0("ShowS")),
+                    f(c("[]", vec![v("a")]), c0("ShowS")),
+                    f3(c0("Int"), a("f", vec![v("a")]), c0("ShowS")),
+                ),
+            )],
+        ),
+        hk(
+            "Read1",
+            "base",
+            "Data.Functor.Classes",
+            "f",
+            vec![(
+                "liftReadsPrec",
+                f3(
+                    f(c0("Int"), c("ReadS", vec![v("a")])),
+                    c("ReadS", vec![c("[]", vec![v("a")])]),
+                    f(c0("Int"), c("ReadS", vec![a("f", vec![v("a")])])),
+                ),
+            )],
+        ),
+        hk(
+            "Eq2",
+            "base",
+            "Data.Functor.Classes",
+            "f",
+            vec![(
+                "liftEq2",
+                f3(
+                    f3(v("a"), v("b"), c0("Bool")),
+                    f3(v("c"), v("d"), c0("Bool")),
+                    f3(
+                        a("f", vec![v("a"), v("c")]),
+                        a("f", vec![v("b"), v("d")]),
+                        c0("Bool"),
+                    ),
+                ),
+            )],
+        ),
+        hk(
+            "Ord2",
+            "base",
+            "Data.Functor.Classes",
+            "f",
+            vec![(
+                "liftCompare2",
+                f3(
+                    f3(v("a"), v("b"), c0("Ordering")),
+                    f3(v("c"), v("d"), c0("Ordering")),
+                    f3(
+                        a("f", vec![v("a"), v("c")]),
+                        a("f", vec![v("b"), v("d")]),
+                        c0("Ordering"),
+                    ),
+                ),
+            )],
+        ),
+        hk(
+            "Show2",
+            "base",
+            "Data.Functor.Classes",
+            "f",
+            vec![(
+                "liftShowsPrec2",
+                f3(
+                    f3(c0("Int"), v("a"), c0("ShowS")),
+                    f(c("[]", vec![v("a")]), c0("ShowS")),
+                    f3(c0("Int"), a("f", vec![v("a"), v("b")]), c0("ShowS")),
+                ),
+            )],
+        ),
+        hk(
+            "Read2",
+            "base",
+            "Data.Functor.Classes",
+            "f",
+            vec![(
+                "liftReadsPrec2",
+                f3(
+                    f(c0("Int"), c("ReadS", vec![v("a")])),
+                    c("ReadS", vec![c("[]", vec![v("a")])]),
+                    f(c0("Int"), c("ReadS", vec![a("f", vec![v("a"), v("b")])])),
+                ),
+            )],
+        ),
         // base: generics and reflection ------------------------------------------
-        fo("Data", "base", "Data.Data", vec![
-            ("gfoldl", f(v("a"), c("c", vec![v("a")]))), // abbreviated: a under c
-        ]),
+        fo(
+            "Data",
+            "base",
+            "Data.Data",
+            vec![
+                ("gfoldl", f(v("a"), c("c", vec![v("a")]))), // abbreviated: a under c
+            ],
+        ),
         CorpusClass {
             name: "Typeable",
             package: "base",
@@ -352,21 +735,38 @@ pub fn corpus() -> Vec<CorpusClass> {
             var: ("a", VarShape::Magic),
             methods: vec![],
         },
-        fo("Generic", "base", "GHC.Generics", vec![
-            ("from", f(v("a"), c("Rep", vec![v("a"), v("x")]))),
-            ("to", f(c("Rep", vec![v("a"), v("x")]), v("a"))),
-        ]),
-        fo("Generic1", "base", "GHC.Generics", vec![
-            ("from1", f(a("f", vec![v("p")]), c("Rep1", vec![v("a"), v("p")]))),
-        ]),
+        fo(
+            "Generic",
+            "base",
+            "GHC.Generics",
+            vec![
+                ("from", f(v("a"), c("Rep", vec![v("a"), v("x")]))),
+                ("to", f(c("Rep", vec![v("a"), v("x")]), v("a"))),
+            ],
+        ),
+        fo(
+            "Generic1",
+            "base",
+            "GHC.Generics",
+            vec![(
+                "from1",
+                f(a("f", vec![v("p")]), c("Rep1", vec![v("a"), v("p")])),
+            )],
+        ),
         CorpusClass {
             name: "Datatype",
             package: "base",
             module: "GHC.Generics",
             var: ("d", VarShape::FirstOrder),
             methods: vec![
-                ("datatypeName", f(a("t", vec![v("d"), v("f"), v("x")]), c0("String"))),
-                ("moduleName", f(a("t", vec![v("d"), v("f"), v("x")]), c0("String"))),
+                (
+                    "datatypeName",
+                    f(a("t", vec![v("d"), v("f"), v("x")]), c0("String")),
+                ),
+                (
+                    "moduleName",
+                    f(a("t", vec![v("d"), v("f"), v("x")]), c0("String")),
+                ),
             ],
         },
         CorpusClass {
@@ -374,30 +774,62 @@ pub fn corpus() -> Vec<CorpusClass> {
             package: "base",
             module: "GHC.Generics",
             var: ("c", VarShape::FirstOrder),
-            methods: vec![("conName", f(a("t", vec![v("c"), v("f"), v("x")]), c0("String")))],
+            methods: vec![(
+                "conName",
+                f(a("t", vec![v("c"), v("f"), v("x")]), c0("String")),
+            )],
         },
         CorpusClass {
             name: "Selector",
             package: "base",
             module: "GHC.Generics",
             var: ("s", VarShape::FirstOrder),
-            methods: vec![("selName", f(a("t", vec![v("s"), v("f"), v("x")]), c0("String")))],
+            methods: vec![(
+                "selName",
+                f(a("t", vec![v("s"), v("f"), v("x")]), c0("String")),
+            )],
         },
         // base: printf ------------------------------------------------------------
-        fo("PrintfArg", "base", "Text.Printf", vec![
-            ("formatArg", f(v("a"), c0("FieldFormatter"))),
-            ("parseFormat", f(v("a"), c0("ModifierParser"))),
-        ]),
-        fo("IsChar", "base", "Text.Printf", vec![
-            ("toChar", f(v("a"), c0("Char"))),
-            ("fromChar", f(c0("Char"), v("a"))),
-        ]),
-        fo("PrintfType", "base", "Text.Printf", vec![
-            ("spr", f3(c0("String"), c("[]", vec![c0("UPrintf")]), v("a"))),
-        ]),
-        fo("HPrintfType", "base", "Text.Printf", vec![
-            ("hspr", f3(c0("Handle"), c0("String"), f(c("[]", vec![c0("UPrintf")]), v("a")))),
-        ]),
+        fo(
+            "PrintfArg",
+            "base",
+            "Text.Printf",
+            vec![
+                ("formatArg", f(v("a"), c0("FieldFormatter"))),
+                ("parseFormat", f(v("a"), c0("ModifierParser"))),
+            ],
+        ),
+        fo(
+            "IsChar",
+            "base",
+            "Text.Printf",
+            vec![
+                ("toChar", f(v("a"), c0("Char"))),
+                ("fromChar", f(c0("Char"), v("a"))),
+            ],
+        ),
+        fo(
+            "PrintfType",
+            "base",
+            "Text.Printf",
+            vec![(
+                "spr",
+                f3(c0("String"), c("[]", vec![c0("UPrintf")]), v("a")),
+            )],
+        ),
+        fo(
+            "HPrintfType",
+            "base",
+            "Text.Printf",
+            vec![(
+                "hspr",
+                f3(
+                    c0("Handle"),
+                    c0("String"),
+                    f(c("[]", vec![c0("UPrintf")]), v("a")),
+                ),
+            )],
+        ),
         // base: type-level -----------------------------------------------------
         CorpusClass {
             name: "KnownNat",
@@ -413,20 +845,34 @@ pub fn corpus() -> Vec<CorpusClass> {
             var: ("n", VarShape::FirstOrder),
             methods: vec![("symbolVal", f(a("proxy", vec![v("n")]), c0("String")))],
         },
-        hk("TestEquality", "base", "Data.Type.Equality", "f", vec![
-            ("testEquality", f3(
-                a("f", vec![v("a")]),
-                a("f", vec![v("b")]),
-                c("Maybe", vec![c("(:~:)", vec![v("a"), v("b")])]),
-            )),
-        ]),
-        hk("TestCoercion", "base", "Data.Type.Coercion", "f", vec![
-            ("testCoercion", f3(
-                a("f", vec![v("a")]),
-                a("f", vec![v("b")]),
-                c("Maybe", vec![c("Coercion", vec![v("a"), v("b")])]),
-            )),
-        ]),
+        hk(
+            "TestEquality",
+            "base",
+            "Data.Type.Equality",
+            "f",
+            vec![(
+                "testEquality",
+                f3(
+                    a("f", vec![v("a")]),
+                    a("f", vec![v("b")]),
+                    c("Maybe", vec![c("(:~:)", vec![v("a"), v("b")])]),
+                ),
+            )],
+        ),
+        hk(
+            "TestCoercion",
+            "base",
+            "Data.Type.Coercion",
+            "f",
+            vec![(
+                "testCoercion",
+                f3(
+                    a("f", vec![v("a")]),
+                    a("f", vec![v("b")]),
+                    c("Maybe", vec![c("Coercion", vec![v("a"), v("b")])]),
+                ),
+            )],
+        ),
         CorpusClass {
             name: "HasResolution",
             package: "base",
@@ -435,46 +881,117 @@ pub fn corpus() -> Vec<CorpusClass> {
             methods: vec![("resolution", f(a("p", vec![v("a")]), c0("Integer")))],
         },
         // base: IO internals ------------------------------------------------------
-        fo("IODevice", "base", "GHC.IO.Device", vec![
-            ("ready", f3(v("a"), c0("Bool"), f(c0("Int"), c("IO", vec![c0("Bool")])))),
-            ("close", f(v("a"), c("IO", vec![c0("Unit")]))),
-            ("devType", f(v("a"), c("IO", vec![c0("IODeviceType")]))),
-        ]),
-        fo("RawIO", "base", "GHC.IO.Device", vec![
-            ("read", f3(v("a"), c("Ptr", vec![c0("Word8")]), f(c0("Int"), c("IO", vec![c0("Int")])))),
-            ("write", f3(v("a"), c("Ptr", vec![c0("Word8")]), f(c0("Int"), c("IO", vec![c0("Unit")])))),
-        ]),
-        fo("BufferedIO", "base", "GHC.IO.BufferedIO", vec![
-            ("newBuffer", f3(v("a"), c0("BufferState"), c("IO", vec![c("Buffer", vec![c0("Word8")])]))),
-            ("fillReadBuffer", f3(
-                v("a"),
-                c("Buffer", vec![c0("Word8")]),
-                c("IO", vec![c("(,)", vec![c0("Int"), c("Buffer", vec![c0("Word8")])])]),
-            )),
-        ]),
-        fo("IsLabel", "base", "GHC.OverloadedLabels", vec![("fromLabel", v("a"))]),
-        fo("IsStatic", "base", "GHC.StaticPtr", vec![
-            ("fromStaticPtr", f(c("StaticPtr", vec![v("b")]), v("b"))),
-            ("staticKey", f(v("a"), c("StaticPtr", vec![v("a")]))),
-        ]),
-        hk("GHCiSandboxIO", "base", "GHC.GHCi", "m", vec![
-            ("ghciStepIO", f(a("m", vec![v("a")]), c("IO", vec![v("a")]))),
-        ]),
+        fo(
+            "IODevice",
+            "base",
+            "GHC.IO.Device",
+            vec![
+                (
+                    "ready",
+                    f3(v("a"), c0("Bool"), f(c0("Int"), c("IO", vec![c0("Bool")]))),
+                ),
+                ("close", f(v("a"), c("IO", vec![c0("Unit")]))),
+                ("devType", f(v("a"), c("IO", vec![c0("IODeviceType")]))),
+            ],
+        ),
+        fo(
+            "RawIO",
+            "base",
+            "GHC.IO.Device",
+            vec![
+                (
+                    "read",
+                    f3(
+                        v("a"),
+                        c("Ptr", vec![c0("Word8")]),
+                        f(c0("Int"), c("IO", vec![c0("Int")])),
+                    ),
+                ),
+                (
+                    "write",
+                    f3(
+                        v("a"),
+                        c("Ptr", vec![c0("Word8")]),
+                        f(c0("Int"), c("IO", vec![c0("Unit")])),
+                    ),
+                ),
+            ],
+        ),
+        fo(
+            "BufferedIO",
+            "base",
+            "GHC.IO.BufferedIO",
+            vec![
+                (
+                    "newBuffer",
+                    f3(
+                        v("a"),
+                        c0("BufferState"),
+                        c("IO", vec![c("Buffer", vec![c0("Word8")])]),
+                    ),
+                ),
+                (
+                    "fillReadBuffer",
+                    f3(
+                        v("a"),
+                        c("Buffer", vec![c0("Word8")]),
+                        c(
+                            "IO",
+                            vec![c("(,)", vec![c0("Int"), c("Buffer", vec![c0("Word8")])])],
+                        ),
+                    ),
+                ),
+            ],
+        ),
+        fo(
+            "IsLabel",
+            "base",
+            "GHC.OverloadedLabels",
+            vec![("fromLabel", v("a"))],
+        ),
+        fo(
+            "IsStatic",
+            "base",
+            "GHC.StaticPtr",
+            vec![
+                ("fromStaticPtr", f(c("StaticPtr", vec![v("b")]), v("b"))),
+                ("staticKey", f(v("a"), c("StaticPtr", vec![v("a")]))),
+            ],
+        ),
+        hk(
+            "GHCiSandboxIO",
+            "base",
+            "GHC.GHCi",
+            "m",
+            vec![("ghciStepIO", f(a("m", vec![v("a")]), c("IO", vec![v("a")])))],
+        ),
         // Placeholders for the three entries of the ticket's list that the
         // reconstruction could not identify; counted, conservatively
         // non-generalizable.
-        fo("(unidentified-1)", "base", "(reconstruction placeholder)", vec![
-            ("method", f(v("a"), c("IO", vec![v("a")]))),
-        ]),
-        fo("(unidentified-2)", "base", "(reconstruction placeholder)", vec![
-            ("method", f(v("a"), c("IO", vec![v("a")]))),
-        ]),
-        fo("(unidentified-3)", "base", "(reconstruction placeholder)", vec![
-            ("method", f(v("a"), c("IO", vec![v("a")]))),
-        ]),
-        fo("(unidentified-4)", "base", "(reconstruction placeholder)", vec![
-            ("method", f(v("a"), c("IO", vec![v("a")]))),
-        ]),
+        fo(
+            "(unidentified-1)",
+            "base",
+            "(reconstruction placeholder)",
+            vec![("method", f(v("a"), c("IO", vec![v("a")])))],
+        ),
+        fo(
+            "(unidentified-2)",
+            "base",
+            "(reconstruction placeholder)",
+            vec![("method", f(v("a"), c("IO", vec![v("a")])))],
+        ),
+        fo(
+            "(unidentified-3)",
+            "base",
+            "(reconstruction placeholder)",
+            vec![("method", f(v("a"), c("IO", vec![v("a")])))],
+        ),
+        fo(
+            "(unidentified-4)",
+            "base",
+            "(reconstruction placeholder)",
+            vec![("method", f(v("a"), c("IO", vec![v("a")])))],
+        ),
     ]
 }
 
@@ -493,7 +1010,11 @@ pub struct CorpusRow {
 pub fn run_study() -> Vec<CorpusRow> {
     corpus()
         .iter()
-        .map(|c| CorpusRow { name: c.name, package: c.package, verdict: analyze(c) })
+        .map(|c| CorpusRow {
+            name: c.name,
+            package: c.package,
+            verdict: analyze(c),
+        })
         .collect()
 }
 

@@ -37,9 +37,8 @@ pub struct SpecialFunction {
 /// Builds the list of six (§8.1, footnote 15).
 pub fn special_functions() -> Vec<SpecialFunction> {
     let lifted_a = |body: Type| Type::forall_ty(a(), Kind::TYPE, body);
-    let poly = |body: Type| {
-        Type::forall_rep(r(), Type::forall_ty(a(), Kind::of_rep_var(r()), body))
-    };
+    let poly =
+        |body: Type| Type::forall_rep(r(), Type::forall_ty(a(), Kind::of_rep_var(r()), body));
     vec![
         SpecialFunction {
             name: "error",
@@ -170,7 +169,10 @@ mod tests {
     #[test]
     fn dollar_prints_simply_by_default() {
         // The §8.1 pretty-printing policy demo on the real signature.
-        let dollar = special_functions().into_iter().find(|f| f.name == "($)").unwrap();
+        let dollar = special_functions()
+            .into_iter()
+            .find(|f| f.name == "($)")
+            .unwrap();
         assert_eq!(
             dollar.ty.display_with(&PrintOptions::default()),
             "forall a b. (a -> b) -> a -> b"
@@ -185,7 +187,10 @@ mod tests {
     fn undefined_is_a_bare_levity_polymorphic_value() {
         // ⊥ :: forall (r :: Rep) (a :: TYPE r). a — fine as a *result*,
         // exactly the §3.3 shape.
-        let u = special_functions().into_iter().find(|f| f.name == "undefined").unwrap();
+        let u = special_functions()
+            .into_iter()
+            .find(|f| f.name == "undefined")
+            .unwrap();
         assert_eq!(
             u.ty.display_with(&PrintOptions::explicit()),
             "forall (r :: Rep) (a :: TYPE r). HasCallStack String -> a"

@@ -31,6 +31,6 @@ pub mod analysis;
 pub mod corpus;
 pub mod functions;
 
-pub use analysis::{analyze, Blocker, CorpusClass, CTy, VarShape, Verdict};
+pub use analysis::{analyze, Blocker, CTy, CorpusClass, VarShape, Verdict};
 pub use corpus::{corpus, render_table, run_study, study_counts, CorpusRow};
 pub use functions::{special_functions, SpecialFunction};

@@ -99,7 +99,11 @@ impl VarEnv {
     }
 
     fn lookup(&self, x: Symbol) -> Option<Binder> {
-        self.entries.iter().rev().find(|(y, _)| *y == x).map(|(_, b)| *b)
+        self.entries
+            .iter()
+            .rev()
+            .find(|(y, _)| *y == x)
+            .map(|(_, b)| *b)
     }
 
     fn push(&mut self, x: Symbol, binder: Binder) {
@@ -112,15 +116,14 @@ impl VarEnv {
 }
 
 /// The concrete register class of an `L` type, per its kind.
-fn class_of(
-    ctx: &mut Ctx,
-    ty: &Ty,
-    site: AbstractSite,
-) -> Result<ConcreteRep, CompileError> {
+fn class_of(ctx: &mut Ctx, ty: &Ty, site: AbstractSite) -> Result<ConcreteRep, CompileError> {
     let kind = ty_kind(ctx, ty)?;
     kind.0
         .as_concrete()
-        .ok_or_else(|| CompileError::AbstractRepresentation { site, ty: ty.clone() })
+        .ok_or_else(|| CompileError::AbstractRepresentation {
+            site,
+            ty: ty.clone(),
+        })
 }
 
 fn binder_for(rep: ConcreteRep, name: Symbol) -> Binder {
@@ -249,7 +252,12 @@ pub fn compile(
 /// # Ok::<(), levity_compile::figure7::CompileError>(())
 /// ```
 pub fn compile_closed(e: &Expr) -> Result<Rc<MExpr>, CompileError> {
-    compile(&mut Ctx::new(), &mut VarEnv::new(), &mut NameSupply::new(), e)
+    compile(
+        &mut Ctx::new(),
+        &mut VarEnv::new(),
+        &mut NameSupply::new(),
+        e,
+    )
 }
 
 /// The observable behaviour shared by `L` and `M` programs, used to state
@@ -344,7 +352,10 @@ mod tests {
     #[test]
     fn c_appint_builds_a_strict_let() {
         // (λx:Int#. x) 1 — integer-kinded argument.
-        let e = Expr::app(Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))), Expr::Lit(1));
+        let e = Expr::app(
+            Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))),
+            Expr::Lit(1),
+        );
         let t = compile_closed(&e).unwrap();
         assert!(matches!(&*t, MExpr::LetStrict(..)), "got {t}");
     }
@@ -372,7 +383,10 @@ mod tests {
         assert!(
             matches!(
                 err,
-                CompileError::AbstractRepresentation { site: AbstractSite::Binder, .. }
+                CompileError::AbstractRepresentation {
+                    site: AbstractSite::Binder,
+                    ..
+                }
             ),
             "got {err}"
         );
@@ -410,7 +424,10 @@ mod tests {
         assert!(
             matches!(
                 err,
-                CompileError::AbstractRepresentation { site: AbstractSite::Argument, .. }
+                CompileError::AbstractRepresentation {
+                    site: AbstractSite::Argument,
+                    ..
+                }
             ),
             "got {err}"
         );
@@ -427,7 +444,10 @@ mod tests {
         );
         let t = compile_closed(&e).unwrap();
         let out = Machine::new().run(t).unwrap();
-        assert_eq!(Observable::of_m_outcome(&out), Some(Observable::BoxedInt(20)));
+        assert_eq!(
+            Observable::of_m_outcome(&out),
+            Some(Observable::BoxedInt(20))
+        );
     }
 
     #[test]

@@ -36,4 +36,4 @@ pub mod lower;
 pub mod metatheory;
 
 pub use figure7::{compile, compile_closed, AbstractSite, CompileError, Observable, VarEnv};
-pub use lower::{lower_expr, lower_program, Lowerer, LowerError};
+pub use lower::{lower_expr, lower_program, LowerError, Lowerer};

@@ -36,7 +36,9 @@ use levity_core::rep::{Rep, Slot};
 use levity_core::symbol::{NameSupply, Symbol};
 
 use levity_ir::terms::{CoreAlt, CoreExpr, DataConInfo, LetKind, Program, TopBind};
-use levity_ir::typecheck::{kind_of, resolve_con_tyargs, type_of, CoreError, Scope, ScopeEntry, TypeEnv};
+use levity_ir::typecheck::{
+    kind_of, resolve_con_tyargs, type_of, CoreError, Scope, ScopeEntry, TypeEnv,
+};
 use levity_ir::types::Type;
 use levity_m::machine::Globals;
 use levity_m::syntax::{Alt, Atom, Binder, DataCon, MExpr};
@@ -102,17 +104,30 @@ pub struct Lowerer<'a> {
 impl<'a> Lowerer<'a> {
     /// A fresh lowerer over the given environment.
     pub fn new(env: &'a TypeEnv) -> Lowerer<'a> {
-        Lowerer { env, scope: Scope::new(), locals: Vec::new(), supply: NameSupply::new() }
+        Lowerer {
+            env,
+            scope: Scope::new(),
+            locals: Vec::new(),
+            supply: NameSupply::new(),
+        }
     }
 
     fn lookup(&self, x: Symbol) -> Option<&Lowered> {
-        self.locals.iter().rev().find(|(n, _)| *n == x).map(|(_, l)| l)
+        self.locals
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == x)
+            .map(|(_, l)| l)
     }
 
     /// The concrete representation of a type, or the abstract-rep error.
     fn rep_of(&mut self, ty: &Type) -> Result<Rep, LowerError> {
         let kind = kind_of(self.env, &mut self.scope, ty)?;
-        kind.concrete_rep().ok_or(LowerError::AbstractRepresentation { ty: ty.clone(), kind })
+        kind.concrete_rep()
+            .ok_or(LowerError::AbstractRepresentation {
+                ty: ty.clone(),
+                kind,
+            })
     }
 
     fn type_of(&mut self, e: &CoreExpr) -> Result<Type, LowerError> {
@@ -153,7 +168,11 @@ impl<'a> Lowerer<'a> {
             }
             fields.push(self.scalar_class(&rep, ft)?);
         }
-        Ok(DataCon { name: con.name, tag: con.tag, fields })
+        Ok(DataCon {
+            name: con.name,
+            tag: con.tag,
+            fields,
+        })
     }
 
     /// Lowers an expression to an `M` term.
@@ -195,27 +214,30 @@ impl<'a> Lowerer<'a> {
                     Ok(Rc::new(MExpr::Con(mcon.clone(), atoms)))
                 })
             }
-            CoreExpr::Prim(op, args) => self.bind_args(args, |_, atoms| {
-                Ok(Rc::new(MExpr::Prim(*op, atoms)))
-            }),
-            CoreExpr::Tuple(es) => self.bind_args(es, |_, atoms| {
-                Ok(Rc::new(MExpr::MultiVal(atoms)))
-            }),
+            CoreExpr::Prim(op, args) => {
+                self.bind_args(args, |_, atoms| Ok(Rc::new(MExpr::Prim(*op, atoms))))
+            }
+            CoreExpr::Tuple(es) => {
+                self.bind_args(es, |_, atoms| Ok(Rc::new(MExpr::MultiVal(atoms))))
+            }
             CoreExpr::Error(_, msg) => Ok(MExpr::error(msg.clone())),
         }
     }
 
     /// Lowers a λ, expanding tuple-kinded binders into one machine binder
     /// per register slot (unarisation).
-    fn lower_lam(&mut self, x: Symbol, ty: &Type, body: &CoreExpr) -> Result<Rc<MExpr>, LowerError> {
+    fn lower_lam(
+        &mut self,
+        x: Symbol,
+        ty: &Type,
+        body: &CoreExpr,
+    ) -> Result<Rc<MExpr>, LowerError> {
         let rep = self.rep_of(ty)?;
         match rep {
             Rep::Tuple(_) => {
                 let slots = rep.slots();
-                let parts: Vec<(Symbol, Slot)> = slots
-                    .iter()
-                    .map(|s| (self.supply.fresh("u"), *s))
-                    .collect();
+                let parts: Vec<(Symbol, Slot)> =
+                    slots.iter().map(|s| (self.supply.fresh("u"), *s)).collect();
                 self.locals.push((x, Lowered::Multi(parts.clone())));
                 self.scope.push(x, ScopeEntry::Term(ty.clone()));
                 let inner = self.lower(body);
@@ -353,11 +375,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_case(
-        &mut self,
-        scrut: &CoreExpr,
-        alts: &[CoreAlt],
-    ) -> Result<Rc<MExpr>, LowerError> {
+    fn lower_case(&mut self, scrut: &CoreExpr, alts: &[CoreAlt]) -> Result<Rc<MExpr>, LowerError> {
         let scrut_ty = self.type_of(scrut)?;
         let rep = self.rep_of(&scrut_ty)?;
         let scrut_t = self.lower(scrut)?;
@@ -380,8 +398,7 @@ impl<'a> Lowerer<'a> {
                             .iter()
                             .map(|s| (self.supply.fresh("u"), *s))
                             .collect();
-                        mbinders
-                            .extend(parts.iter().map(|(n, s)| Binder::new(*n, *s)));
+                        mbinders.extend(parts.iter().map(|(n, s)| Binder::new(*n, *s)));
                         self.locals.push((*x, Lowered::Multi(parts)));
                     }
                     Rep::Sum(_) => {
@@ -413,11 +430,11 @@ impl<'a> Lowerer<'a> {
                 CoreAlt::Con { con, binders, rhs } => {
                     let ty_args = resolve_con_tyargs(self.env, &mut self.scope, con, &scrut_ty)
                         .ok_or_else(|| {
-                        LowerError::Core(CoreError::AltMismatch(format!(
-                            "constructor {} vs `{scrut_ty}`",
-                            con.name
-                        )))
-                    })?;
+                            LowerError::Core(CoreError::AltMismatch(format!(
+                                "constructor {} vs `{scrut_ty}`",
+                                con.name
+                            )))
+                        })?;
                     let (field_types, _) = con
                         .instantiate(&ty_args)
                         .ok_or(LowerError::Core(CoreError::ConArity(con.name)))?;
@@ -748,10 +765,18 @@ mod tests {
             CoreExpr::Con(
                 Rc::clone(&b.just),
                 vec![TyArg::Ty(int.clone())],
-                vec![CoreExpr::Con(Rc::clone(&b.i_hash), vec![], vec![CoreExpr::int(11)])],
+                vec![CoreExpr::Con(
+                    Rc::clone(&b.i_hash),
+                    vec![],
+                    vec![CoreExpr::int(11)],
+                )],
             ),
             vec![
-                CoreAlt::Con { con: Rc::clone(&b.nothing), binders: vec![], rhs: CoreExpr::int(0) },
+                CoreAlt::Con {
+                    con: Rc::clone(&b.nothing),
+                    binders: vec![],
+                    rhs: CoreExpr::int(0),
+                },
                 CoreAlt::Con {
                     con: Rc::clone(&b.just),
                     binders: vec![("v".into(), int.clone())],
@@ -805,7 +830,10 @@ mod tests {
             ),
         );
         let err = lower_expr(&env, &e).unwrap_err();
-        assert!(matches!(err, LowerError::AbstractRepresentation { .. }), "{err}");
+        assert!(
+            matches!(err, LowerError::AbstractRepresentation { .. }),
+            "{err}"
+        );
     }
 
     #[test]

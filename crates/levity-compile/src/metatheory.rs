@@ -51,8 +51,7 @@ pub struct Evidence {
 /// Returns a human-readable description of the first theorem violation.
 pub fn check_preservation_progress(e: &Expr) -> Result<(Outcome, Vec<Expr>), String> {
     let mut ctx = Ctx::new();
-    let original_ty =
-        type_of(&mut ctx, e).map_err(|err| format!("input ill-typed: {err}"))?;
+    let original_ty = type_of(&mut ctx, e).map_err(|err| format!("input ill-typed: {err}"))?;
     let mut trace = vec![e.clone()];
     let mut current = e.clone();
     for _ in 0..L_FUEL {
@@ -68,8 +67,9 @@ pub fn check_preservation_progress(e: &Expr) -> Result<(Outcome, Vec<Expr>), Str
             }
         };
         // Preservation: the type must be unchanged (up to α).
-        let next_ty = type_of(&mut Ctx::new(), &next)
-            .map_err(|err| format!("preservation violated: step produced ill-typed term: {next}\n  ({err})"))?;
+        let next_ty = type_of(&mut Ctx::new(), &next).map_err(|err| {
+            format!("preservation violated: step produced ill-typed term: {next}\n  ({err})")
+        })?;
         if !alpha_eq_ty(&next_ty, &original_ty) {
             return Err(format!(
                 "preservation violated: type changed from `{original_ty}` to `{next_ty}` at {next}"
@@ -78,7 +78,9 @@ pub fn check_preservation_progress(e: &Expr) -> Result<(Outcome, Vec<Expr>), Str
         trace.push(next.clone());
         current = next;
     }
-    Err(format!("term failed to terminate within {L_FUEL} steps: {current}"))
+    Err(format!(
+        "term failed to terminate within {L_FUEL} steps: {current}"
+    ))
 }
 
 /// Checks the Compilation theorem for one term: well-typed ⇒ compiles.
@@ -106,8 +108,11 @@ pub fn check_simulation(e: &Expr) -> Result<Evidence, String> {
     let (outcome, trace) = check_preservation_progress(e)?;
     let expected = Observable::of_l_outcome(&outcome)
         .ok_or_else(|| format!("L outcome not observable for {e}"))?;
-    let mut evidence =
-        Evidence { l_steps: trace.len() - 1, hit_bottom: expected == Observable::Bottom, m_runs: 0 };
+    let mut evidence = Evidence {
+        l_steps: trace.len() - 1,
+        hit_bottom: expected == Observable::Bottom,
+        m_runs: 0,
+    };
     for (i, ei) in trace.iter().enumerate() {
         let t = compile_closed(ei).map_err(|err| {
             format!("simulation: trace element #{i} failed to compile: {ei}\n  ({err})")
@@ -117,7 +122,9 @@ pub fn check_simulation(e: &Expr) -> Result<Evidence, String> {
         let out = match machine.run(t) {
             Ok(out) => out,
             Err(MachineError::OutOfFuel { .. }) => {
-                return Err(format!("simulation: machine ran out of fuel on trace element #{i}"))
+                return Err(format!(
+                    "simulation: machine ran out of fuel on trace element #{i}"
+                ))
             }
             Err(err) => {
                 return Err(format!(
@@ -188,12 +195,18 @@ mod tests {
         }
         // The generator includes `error`, so some runs must exercise ⊥
         // propagation — otherwise the test is weaker than intended.
-        assert!(bottoms > 0, "no generated term hit bottom; broaden the generator");
+        assert!(
+            bottoms > 0,
+            "no generated term hit bottom; broaden the generator"
+        );
     }
 
     #[test]
     fn theorems_hold_on_random_terms_without_error() {
-        let config = GenConfig { allow_error: false, ..GenConfig::default() };
+        let config = GenConfig {
+            allow_error: false,
+            ..GenConfig::default()
+        };
         let mut generator = Generator::new(0xFACE, config);
         for _ in 0..200 {
             let (e, _ty) = generator.generate();

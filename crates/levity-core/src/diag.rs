@@ -31,7 +31,10 @@ impl Span {
 
     /// Smallest span covering both `self` and `other`.
     pub fn to(self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 
     /// Is this the synthetic (generated-code) span?
@@ -138,7 +141,13 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// An error diagnostic.
     pub fn error(code: ErrorCode, message: impl Into<String>, span: Span) -> Diagnostic {
-        Diagnostic { severity: Severity::Error, code, message: message.into(), span, notes: Vec::new() }
+        Diagnostic {
+            severity: Severity::Error,
+            code,
+            message: message.into(),
+            span,
+            notes: Vec::new(),
+        }
     }
 
     /// A warning diagnostic.
@@ -161,7 +170,10 @@ impl Diagnostic {
     /// Renders with line/column information resolved against `source`.
     pub fn render(&self, source: &str) -> String {
         let (line, col) = line_col(source, self.span.start);
-        let mut out = format!("{}[{}]: {} at {}:{}", self.severity, self.code, self.message, line, col);
+        let mut out = format!(
+            "{}[{}]: {} at {}:{}",
+            self.severity, self.code, self.message, line, col
+        );
         for note in &self.notes {
             out.push_str("\n  note: ");
             out.push_str(note);
@@ -275,7 +287,11 @@ mod tests {
     fn diagnostics_sink_tracks_errors() {
         let mut diags = Diagnostics::new();
         assert!(!diags.has_errors());
-        diags.push(Diagnostic::warning(ErrorCode::Parse, "odd layout", Span::SYNTHETIC));
+        diags.push(Diagnostic::warning(
+            ErrorCode::Parse,
+            "odd layout",
+            Span::SYNTHETIC,
+        ));
         assert!(!diags.has_errors());
         diags.push(Diagnostic::error(
             ErrorCode::LevityPolymorphicBinder,
@@ -288,8 +304,12 @@ mod tests {
 
     #[test]
     fn diagnostic_display_includes_code_and_notes() {
-        let d = Diagnostic::error(ErrorCode::KindMismatch, "expected Type, got TYPE IntRep", Span::SYNTHETIC)
-            .with_note("in the application of bTwice");
+        let d = Diagnostic::error(
+            ErrorCode::KindMismatch,
+            "expected Type, got TYPE IntRep",
+            Span::SYNTHETIC,
+        )
+        .with_note("in the application of bTwice");
         let shown = d.to_string();
         assert!(shown.contains("E-kind"));
         assert!(shown.contains("note: in the application of bTwice"));
@@ -298,14 +318,24 @@ mod tests {
     #[test]
     fn render_resolves_line_and_column() {
         let src = "x = 1\ny = oops";
-        let d = Diagnostic::error(ErrorCode::Scope, "unbound variable `oops`", Span::new(10, 14));
+        let d = Diagnostic::error(
+            ErrorCode::Scope,
+            "unbound variable `oops`",
+            Span::new(10, 14),
+        );
         let rendered = d.render(src);
         assert!(rendered.contains("2:5"), "{rendered}");
     }
 
     #[test]
     fn error_codes_display_stably() {
-        assert_eq!(ErrorCode::LevityPolymorphicBinder.to_string(), "E-levity-binder");
-        assert_eq!(ErrorCode::LevityPolymorphicArgument.to_string(), "E-levity-argument");
+        assert_eq!(
+            ErrorCode::LevityPolymorphicBinder.to_string(),
+            "E-levity-binder"
+        );
+        assert_eq!(
+            ErrorCode::LevityPolymorphicArgument.to_string(),
+            "E-levity-argument"
+        );
     }
 }

@@ -188,7 +188,10 @@ mod tests {
             Kind::of_rep(Rep::Tuple(vec![Rep::Int, Rep::Lifted])).to_string(),
             "TYPE (TupleRep '[IntRep, LiftedRep])"
         );
-        assert_eq!(Kind::arrow(Kind::TYPE, Kind::TYPE).to_string(), "Type -> Type");
+        assert_eq!(
+            Kind::arrow(Kind::TYPE, Kind::TYPE).to_string(),
+            "Type -> Type"
+        );
         assert_eq!(
             Kind::arrow(Kind::arrow(Kind::TYPE, Kind::TYPE), Kind::TYPE).to_string(),
             "(Type -> Type) -> Type"
@@ -221,7 +224,10 @@ mod tests {
         // Array# :: Type -> TYPE UnliftedRep (§7.1).
         let array = Kind::arrow(Kind::TYPE, Kind::of_rep(Rep::Unlifted));
         assert_eq!(array.to_string(), "Type -> TYPE UnliftedRep");
-        assert_eq!(array.apply_one().unwrap().concrete_rep(), Some(Rep::Unlifted));
+        assert_eq!(
+            array.apply_one().unwrap().concrete_rep(),
+            Some(Rep::Unlifted)
+        );
     }
 
     #[test]

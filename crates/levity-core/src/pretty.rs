@@ -44,14 +44,20 @@ pub struct PrintOptions {
 
 impl Default for PrintOptions {
     fn default() -> Self {
-        PrintOptions { width: 80, explicit_runtime_reps: false }
+        PrintOptions {
+            width: 80,
+            explicit_runtime_reps: false,
+        }
     }
 }
 
 impl PrintOptions {
     /// Options matching `-fprint-explicit-runtime-reps`.
     pub fn explicit() -> Self {
-        PrintOptions { explicit_runtime_reps: true, ..PrintOptions::default() }
+        PrintOptions {
+            explicit_runtime_reps: true,
+            ..PrintOptions::default()
+        }
     }
 }
 
@@ -244,13 +250,19 @@ mod tests {
 
     #[test]
     fn group_fits_on_one_line() {
-        let d = Doc::text("a").append(Doc::line()).append(Doc::text("b")).group();
+        let d = Doc::text("a")
+            .append(Doc::line())
+            .append(Doc::text("b"))
+            .group();
         assert_eq!(d.render(80), "a b");
     }
 
     #[test]
     fn group_breaks_when_too_wide() {
-        let d = Doc::text("aaaa").append(Doc::line()).append(Doc::text("bbbb")).group();
+        let d = Doc::text("aaaa")
+            .append(Doc::line())
+            .append(Doc::text("bbbb"))
+            .group();
         assert_eq!(d.render(5), "aaaa\nbbbb");
     }
 
@@ -264,17 +276,17 @@ mod tests {
 
     #[test]
     fn soft_break_disappears_when_flat() {
-        let d = Doc::text("f").append(Doc::soft_break()).append(Doc::text("x")).group();
+        let d = Doc::text("f")
+            .append(Doc::soft_break())
+            .append(Doc::text("x"))
+            .group();
         assert_eq!(d.render(80), "fx");
         assert_eq!(d.render(1), "f\nx");
     }
 
     #[test]
     fn join_inserts_separators() {
-        let d = Doc::join(
-            ["a", "b", "c"].into_iter().map(Doc::text),
-            Doc::text(", "),
-        );
+        let d = Doc::join(["a", "b", "c"].into_iter().map(Doc::text), Doc::text(", "));
         assert_eq!(d.render(80), "a, b, c");
     }
 
@@ -287,8 +299,14 @@ mod tests {
 
     #[test]
     fn nested_groups_break_independently() {
-        let inner = Doc::text("bb").append(Doc::line()).append(Doc::text("cc")).group();
-        let outer = Doc::text("aaaaaa").append(Doc::line()).append(inner).group();
+        let inner = Doc::text("bb")
+            .append(Doc::line())
+            .append(Doc::text("cc"))
+            .group();
+        let outer = Doc::text("aaaaaa")
+            .append(Doc::line())
+            .append(inner)
+            .group();
         // Outer breaks; inner still fits on its own line.
         assert_eq!(outer.render(8), "aaaaaa\nbb cc");
     }

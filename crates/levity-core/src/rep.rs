@@ -401,7 +401,10 @@ impl RepTy {
 pub fn normalize_tuple(parts: Vec<RepTy>) -> RepTy {
     if parts.iter().all(|p| !p.has_vars()) {
         RepTy::Concrete(Rep::Tuple(
-            parts.iter().map(|p| p.as_concrete().expect("no vars")).collect(),
+            parts
+                .iter()
+                .map(|p| p.as_concrete().expect("no vars"))
+                .collect(),
         ))
     } else {
         RepTy::Tuple(parts)
@@ -413,7 +416,10 @@ pub fn normalize_tuple(parts: Vec<RepTy>) -> RepTy {
 pub fn normalize_sum(parts: Vec<RepTy>) -> RepTy {
     if parts.iter().all(|p| !p.has_vars()) {
         RepTy::Concrete(Rep::Sum(
-            parts.iter().map(|p| p.as_concrete().expect("no vars")).collect(),
+            parts
+                .iter()
+                .map(|p| p.as_concrete().expect("no vars"))
+                .collect(),
         ))
     } else {
         RepTy::Sum(parts)
@@ -461,7 +467,10 @@ mod tests {
 
     #[test]
     fn figure1_bytearray_is_boxed_unlifted() {
-        assert_eq!(Rep::Unlifted.classification(), Classification::BoxedUnlifted);
+        assert_eq!(
+            Rep::Unlifted.classification(),
+            Classification::BoxedUnlifted
+        );
         assert!(Rep::Unlifted.is_boxed());
         assert!(!Rep::Unlifted.is_lifted());
     }
@@ -527,8 +536,14 @@ mod tests {
     fn nesting_is_computationally_irrelevant() {
         // (# Int, (# Bool, Double #) #) vs (# (# Char, String #), Int #):
         // "Both are represented by three garbage-collected pointers."
-        let a = Rep::Tuple(vec![Rep::Lifted, Rep::Tuple(vec![Rep::Lifted, Rep::Lifted])]);
-        let b = Rep::Tuple(vec![Rep::Tuple(vec![Rep::Lifted, Rep::Lifted]), Rep::Lifted]);
+        let a = Rep::Tuple(vec![
+            Rep::Lifted,
+            Rep::Tuple(vec![Rep::Lifted, Rep::Lifted]),
+        ]);
+        let b = Rep::Tuple(vec![
+            Rep::Tuple(vec![Rep::Lifted, Rep::Lifted]),
+            Rep::Lifted,
+        ]);
         assert_eq!(a.slots(), vec![Slot::Ptr; 3]);
         assert_eq!(a.slots(), b.slots());
         // ... yet they are distinct kinds (§4.2 kept the nested structure).
@@ -572,7 +587,10 @@ mod tests {
 
         let mono = poly.substitute(r, &RepTy::Concrete(Rep::Int));
         assert!(!mono.has_vars());
-        assert_eq!(mono.as_concrete(), Some(Rep::Tuple(vec![Rep::Int, Rep::Lifted])));
+        assert_eq!(
+            mono.as_concrete(),
+            Some(Rep::Tuple(vec![Rep::Int, Rep::Lifted]))
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ struct Interner {
 
 impl Interner {
     fn new() -> Self {
-        Interner { table: HashMap::new(), strings: Vec::new() }
+        Interner {
+            table: HashMap::new(),
+            strings: Vec::new(),
+        }
     }
 
     fn intern(&mut self, s: &str) -> u32 {

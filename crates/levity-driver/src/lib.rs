@@ -36,7 +36,9 @@
 pub mod pipeline;
 pub mod prelude;
 
-pub use pipeline::{compile_prelude, compile_source, compile_with_prelude, Compiled, PipelineError};
+pub use pipeline::{
+    compile_prelude, compile_source, compile_with_prelude, Compiled, PipelineError,
+};
 pub use prelude::PRELUDE;
 
 #[cfg(test)]

@@ -141,9 +141,11 @@ pub fn compile_source(source: &str) -> Result<Compiled, PipelineError> {
     if levity_diags.has_errors() {
         return Err(PipelineError::Levity(levity_diags));
     }
-    let globals =
-        lower_program(&env, &elaborated.program).map_err(PipelineError::Lower)?;
-    Ok(Compiled { elaborated, globals })
+    let globals = lower_program(&env, &elaborated.program).map_err(PipelineError::Lower)?;
+    Ok(Compiled {
+        elaborated,
+        globals,
+    })
 }
 
 /// Compiles user source together with the [`PRELUDE`].

@@ -29,7 +29,10 @@ fn the_prelude_compiles_cleanly() {
 
 #[test]
 fn prelude_arithmetic_identities() {
-    assert_eq!(int_result("main :: Int\nmain = sum (enumFromTo 1 10)\n"), 55);
+    assert_eq!(
+        int_result("main :: Int\nmain = sum (enumFromTo 1 10)\n"),
+        55
+    );
     assert_eq!(int_result("main :: Int#\nmain = abs (0# - 7#)\n"), 7);
     assert_eq!(int_result("main :: Int\nmain = (1 + 2) * (3 + 4)\n"), 21);
 }
@@ -115,8 +118,7 @@ fn fuel_exhaustion_is_a_machine_error() {
 
 #[test]
 fn runtime_errors_carry_their_message() {
-    let compiled =
-        compile_with_prelude("main :: Int#\nmain = error \"custom message\"\n").unwrap();
+    let compiled = compile_with_prelude("main :: Int#\nmain = error \"custom message\"\n").unwrap();
     let (out, _) = compiled.run("main", FUEL).unwrap();
     assert_eq!(out, RunOutcome::Error("custom message".to_owned()));
 }
@@ -124,9 +126,13 @@ fn runtime_errors_carry_their_message() {
 #[test]
 fn signatures_default_reps_when_printing() {
     let compiled = compile_prelude().unwrap();
-    let plain = compiled.signature("myError", &PrintOptions::default()).unwrap();
+    let plain = compiled
+        .signature("myError", &PrintOptions::default())
+        .unwrap();
     assert_eq!(plain, "forall a. Bool -> a");
-    let full = compiled.signature("myError", &PrintOptions::explicit()).unwrap();
+    let full = compiled
+        .signature("myError", &PrintOptions::explicit())
+        .unwrap();
     assert_eq!(full, "forall (r :: Rep) (a :: TYPE r). Bool -> a");
 }
 
@@ -158,7 +164,10 @@ fn run_term_executes_arbitrary_machine_code() {
         MExpr::let_lazy(
             "b",
             two,
-            MExpr::apps(MExpr::global("plusInt"), [Atom::Var("a".into()), Atom::Var("b".into())]),
+            MExpr::apps(
+                MExpr::global("plusInt"),
+                [Atom::Var("a".into()), Atom::Var("b".into())],
+            ),
         ),
     );
     let (out, _) = compiled.run_term(term, FUEL).unwrap();
@@ -184,10 +193,7 @@ fn annotations_check_against_expected_types() {
 
 #[test]
 fn visible_type_application_instantiates() {
-    assert_eq!(
-        int_result("main :: Int\nmain = id @Int 9\n"),
-        9
-    );
+    assert_eq!(int_result("main :: Int\nmain = id @Int 9\n"), 9);
 }
 
 #[test]

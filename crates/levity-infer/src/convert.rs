@@ -142,7 +142,10 @@ pub fn convert_type(
         // polymorphism).
         let mut free = Vec::new();
         collect_free_ty_vars(sty, &mut scope.clone(), &mut free);
-        let inner_opts = ConvertOptions { implicit_quantify: false, ..opts };
+        let inner_opts = ConvertOptions {
+            implicit_quantify: false,
+            ..opts
+        };
         for v in &free {
             scope.ty_vars.push((*v, Kind::TYPE));
         }
@@ -194,7 +197,10 @@ fn convert(
                     if args.len() >= tc.kind.arity() {
                         return Err(Diagnostic::error(
                             ErrorCode::KindMismatch,
-                            format!("type constructor `{}` applied to too many arguments", tc.name),
+                            format!(
+                                "type constructor `{}` applied to too many arguments",
+                                tc.name
+                            ),
                             span,
                         ));
                     }
@@ -203,7 +209,9 @@ fn convert(
                 }
                 other => Err(Diagnostic::error(
                     ErrorCode::KindMismatch,
-                    format!("cannot apply type `{other}` (higher-kinded variables are not supported)"),
+                    format!(
+                        "cannot apply type `{other}` (higher-kinded variables are not supported)"
+                    ),
                     span,
                 )),
             }
@@ -228,7 +236,9 @@ fn convert(
             {
                 return Err(Diagnostic::error(
                     ErrorCode::Scope,
-                    format!("representation variable `{r}` must be bound with `forall ({r} :: Rep)`"),
+                    format!(
+                        "representation variable `{r}` must be bound with `forall ({r} :: Rep)`"
+                    ),
                     span,
                 ));
             }
@@ -320,9 +330,9 @@ fn collect_free_ty_vars(sty: &SType, scope: &mut ConvScope, out: &mut Vec<Symbol
                 }
             }
         }
-        SType::UnboxedTuple(parts) => {
-            parts.iter().for_each(|p| collect_free_ty_vars(p, scope, out))
-        }
+        SType::UnboxedTuple(parts) => parts
+            .iter()
+            .for_each(|p| collect_free_ty_vars(p, scope, out)),
         SType::Qual(ctx, body) => {
             for (_, t) in ctx {
                 collect_free_ty_vars(t, scope, out);
@@ -351,7 +361,10 @@ mod tests {
             &|c: Symbol| c.as_str() == "Num",
             &sty,
             &mut scope,
-            ConvertOptions { implicit_quantify: true, span: Span::SYNTHETIC },
+            ConvertOptions {
+                implicit_quantify: true,
+                span: Span::SYNTHETIC,
+            },
         )
     }
 

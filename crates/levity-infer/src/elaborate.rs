@@ -76,7 +76,9 @@ pub struct ClassEnv {
 impl ClassEnv {
     /// Finds the instance for `class` at `head`, if any.
     pub fn lookup_instance(&self, class: Symbol, head: &Type) -> Option<&InstanceInfo> {
-        self.instances.iter().find(|i| i.class == class && i.head.alpha_eq(head))
+        self.instances
+            .iter()
+            .find(|i| i.class == class && i.head.alpha_eq(head))
     }
 }
 
@@ -135,7 +137,9 @@ pub fn primop_table() -> HashMap<Symbol, PrimOp> {
     m
 }
 
-/// Wrappers accumulated while peeling a signature.
+/// Wrappers accumulated while peeling a signature. The variants are
+/// deliberately named after the `CoreExpr` forms they wrap with.
+#[allow(clippy::enum_variant_names)]
 enum Wrapper {
     RepLam(Symbol),
     TyLam(Symbol, Kind),
@@ -165,8 +169,10 @@ const DIAG_LIMIT: usize = 60;
 impl Elaborator {
     fn new() -> Elaborator {
         let env = TypeEnv::new();
-        let program =
-            Program { data_decls: env.builtins.data_decls.clone(), bindings: Vec::new() };
+        let program = Program {
+            data_decls: env.builtins.data_decls.clone(),
+            bindings: Vec::new(),
+        };
         Elaborator {
             env,
             unifier: Unifier::new(),
@@ -194,11 +200,17 @@ impl Elaborator {
     fn error_expr(&mut self, msg: &str, span: Span, code: ErrorCode) -> (CoreExpr, Type) {
         self.diag(Diagnostic::error(code, msg.to_owned(), span));
         let ty = self.unifier.fresh_ty_meta();
-        (CoreExpr::Error(ty.clone(), format!("elaboration error: {msg}")), ty)
+        (
+            CoreExpr::Error(ty.clone(), format!("elaboration error: {msg}")),
+            ty,
+        )
     }
 
     fn conv_scope(&self) -> ConvScope {
-        ConvScope { ty_vars: self.rigid_tys.clone(), rep_vars: self.rigid_reps.clone() }
+        ConvScope {
+            ty_vars: self.rigid_tys.clone(),
+            rep_vars: self.rigid_reps.clone(),
+        }
     }
 
     fn convert_sig(&mut self, sty: &SType, span: Span) -> Result<Type, Diagnostic> {
@@ -209,7 +221,10 @@ impl Elaborator {
             &checker,
             sty,
             &mut self.conv_scope(),
-            ConvertOptions { implicit_quantify: true, span },
+            ConvertOptions {
+                implicit_quantify: true,
+                span,
+            },
         )
     }
 
@@ -221,7 +236,10 @@ impl Elaborator {
             &checker,
             sty,
             &mut self.conv_scope(),
-            ConvertOptions { implicit_quantify: false, span },
+            ConvertOptions {
+                implicit_quantify: false,
+                span,
+            },
         )
     }
 
@@ -229,7 +247,13 @@ impl Elaborator {
     // Declarations
     // =================================================================
 
-    fn process_data(&mut self, name: Symbol, params: &[(Symbol, Option<levity_surface::ast::SKind>)], cons: &[(Symbol, Vec<SType>)], span: Span) {
+    fn process_data(
+        &mut self,
+        name: Symbol,
+        params: &[(Symbol, Option<levity_surface::ast::SKind>)],
+        cons: &[(Symbol, Vec<SType>)],
+        span: Span,
+    ) {
         // Build the tycon kind: κ₁ -> … -> Type (data types are lifted).
         let mut param_info = Vec::new();
         for (v, sk) in params {
@@ -264,7 +288,10 @@ impl Elaborator {
         // Register the tycon before converting fields (recursive types).
         let placeholder_decl = Rc::new(DataDecl {
             tycon: Rc::clone(&tycon),
-            params: param_info.iter().map(|(v, k)| TyParam::Ty(*v, k.clone())).collect(),
+            params: param_info
+                .iter()
+                .map(|(v, k)| TyParam::Ty(*v, k.clone()))
+                .collect(),
             cons: Vec::new(),
         });
         self.env.add_data_decl(Rc::clone(&placeholder_decl));
@@ -288,7 +315,10 @@ impl Elaborator {
                     &checker,
                     f,
                     &mut scope,
-                    ConvertOptions { implicit_quantify: false, span },
+                    ConvertOptions {
+                        implicit_quantify: false,
+                        span,
+                    },
                 ) {
                     Ok(t) => field_types.push(t),
                     Err(d) => {
@@ -300,14 +330,20 @@ impl Elaborator {
             con_infos.push(Rc::new(DataConInfo {
                 name: *cname,
                 tag: tag as u32,
-                params: param_info.iter().map(|(v, k)| TyParam::Ty(*v, k.clone())).collect(),
+                params: param_info
+                    .iter()
+                    .map(|(v, k)| TyParam::Ty(*v, k.clone()))
+                    .collect(),
                 field_types,
                 result: result.clone(),
             }));
         }
         let decl = Rc::new(DataDecl {
             tycon,
-            params: param_info.iter().map(|(v, k)| TyParam::Ty(*v, k.clone())).collect(),
+            params: param_info
+                .iter()
+                .map(|(v, k)| TyParam::Ty(*v, k.clone()))
+                .collect(),
             cons: con_infos,
         });
         self.env.add_data_decl(Rc::clone(&decl));
@@ -347,7 +383,10 @@ impl Elaborator {
                 &checker,
                 sty,
                 &mut scope,
-                ConvertOptions { implicit_quantify: false, span },
+                ConvertOptions {
+                    implicit_quantify: false,
+                    span,
+                },
             ) {
                 Ok(t) => method_types.push((*mname, t)),
                 Err(d) => self.diag(d),
@@ -403,7 +442,11 @@ impl Elaborator {
             );
             self.env.define_global(*mname, sel_ty.clone());
             self.classes.methods.insert(*mname, name);
-            self.program.bindings.push(TopBind { name: *mname, ty: sel_ty, expr: core });
+            self.program.bindings.push(TopBind {
+                name: *mname,
+                ty: sel_ty,
+                expr: core,
+            });
         }
 
         self.classes.classes.insert(
@@ -421,7 +464,12 @@ impl Elaborator {
 
     /// Registers an instance header (dict global + table entry) without
     /// elaborating the bodies, so earlier bindings can resolve it.
-    fn register_instance_header(&mut self, class: Symbol, head: &SType, span: Span) -> Option<(Symbol, Type, RepTy)> {
+    fn register_instance_header(
+        &mut self,
+        class: Symbol,
+        head: &SType,
+        span: Span,
+    ) -> Option<(Symbol, Type, RepTy)> {
         let Some(ci) = self.classes.classes.get(&class).cloned() else {
             self.diag(Diagnostic::error(
                 ErrorCode::ClassResolution,
@@ -443,7 +491,11 @@ impl Elaborator {
         let head_kind = match levity_ir::typecheck::kind_of(&self.env, &mut scope, &head_ty) {
             Ok(k) => k,
             Err(e) => {
-                self.diag(Diagnostic::error(ErrorCode::KindMismatch, e.to_string(), span));
+                self.diag(Diagnostic::error(
+                    ErrorCode::KindMismatch,
+                    e.to_string(),
+                    span,
+                ));
                 return None;
             }
         };
@@ -477,7 +529,11 @@ impl Elaborator {
         let dict_global = Symbol::intern(&format!("$d{class}_{head_ty}"));
         self.env
             .define_global(dict_global, Type::Dict(class, Box::new(head_ty.clone())));
-        self.classes.instances.push(InstanceInfo { class, head: head_ty.clone(), dict_global });
+        self.classes.instances.push(InstanceInfo {
+            class,
+            head: head_ty.clone(),
+            dict_global,
+        });
         Some((dict_global, head_ty, head_rep))
     }
 
@@ -490,7 +546,9 @@ impl Elaborator {
         methods: &[(Symbol, Vec<SPat>, SExpr)],
         span: Span,
     ) {
-        let Some(ci) = self.classes.classes.get(&class).cloned() else { return };
+        let Some(ci) = self.classes.classes.get(&class).cloned() else {
+            return;
+        };
         let mut method_globals = Vec::new();
         for (mname, mty) in &ci.methods {
             let Some((_, params, body)) = methods.iter().find(|(n, _, _)| n == mname) else {
@@ -511,7 +569,11 @@ impl Elaborator {
             let core = self.check_binding_body(params, body, &inst_ty, span);
             let core = self.finalize_binding(core, span);
             self.env.define_global(global, inst_ty.clone());
-            self.program.bindings.push(TopBind { name: global, ty: inst_ty, expr: core });
+            self.program.bindings.push(TopBind {
+                name: global,
+                ty: inst_ty,
+                expr: core,
+            });
             method_globals.push(global);
         }
         for (mname, _, _) in methods {
@@ -614,7 +676,13 @@ impl Elaborator {
     }
 
     /// Checks `\params -> body` against an expected (rho) type.
-    fn check_clauses(&mut self, params: &[SPat], body: &SExpr, expected: &Type, span: Span) -> CoreExpr {
+    fn check_clauses(
+        &mut self,
+        params: &[SPat],
+        body: &SExpr,
+        expected: &Type,
+        span: Span,
+    ) -> CoreExpr {
         if params.is_empty() {
             return self.check_expr(body, expected);
         }
@@ -675,8 +743,7 @@ impl Elaborator {
                 (*v, Box::new(|e| e), 1)
             }
             SPat::UnboxedTuple(vars) => {
-                let metas: Vec<Type> =
-                    vars.iter().map(|_| self.unifier.fresh_ty_meta()).collect();
+                let metas: Vec<Type> = vars.iter().map(|_| self.unifier.fresh_ty_meta()).collect();
                 if let Err(e) = self.unifier.unify(dom, &Type::UnboxedTuple(metas.clone())) {
                     self.diag(Diagnostic::error(
                         ErrorCode::TypeMismatch,
@@ -688,8 +755,11 @@ impl Elaborator {
                     self.locals.push((*v, t.clone()));
                 }
                 let scrut_name = self.supply.fresh("tup");
-                let binders: Vec<(Symbol, Type)> =
-                    vars.iter().zip(&metas).map(|(v, t)| (*v, t.clone())).collect();
+                let binders: Vec<(Symbol, Type)> = vars
+                    .iter()
+                    .zip(&metas)
+                    .map(|(v, t)| (*v, t.clone()))
+                    .collect();
                 (
                     scrut_name,
                     Box::new(move |body| {
@@ -738,8 +808,10 @@ impl Elaborator {
         let wanteds = std::mem::take(&mut self.wanteds);
         for (placeholder, class, ty, wspan) in wanteds {
             let ty = self.unifier.zonk(&ty);
-            if let Some((_, _, d)) =
-                self.givens.iter().find(|(c, t, _)| *c == class && t.alpha_eq(&ty))
+            if let Some((_, _, d)) = self
+                .givens
+                .iter()
+                .find(|(c, t, _)| *c == class && t.alpha_eq(&ty))
             {
                 replacements.insert(placeholder, CoreExpr::Var(*d));
                 continue;
@@ -777,7 +849,11 @@ impl Elaborator {
     // =================================================================
 
     fn lookup_local(&self, v: Symbol) -> Option<&Type> {
-        self.locals.iter().rev().find(|(n, _)| *n == v).map(|(_, t)| t)
+        self.locals
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == v)
+            .map(|(_, t)| t)
     }
 
     /// Instantiates a σ-type: rep foralls and ty foralls become fresh
@@ -809,7 +885,9 @@ impl Elaborator {
                     }
                 },
                 Type::Fun(dom, cod) if matches!(*dom, Type::Dict(..)) => {
-                    let Type::Dict(c, arg) = *dom else { unreachable!() };
+                    let Type::Dict(c, arg) = *dom else {
+                        unreachable!()
+                    };
                     let placeholder = self.supply.fresh("$w");
                     self.wanteds.push((placeholder, c, (*arg).clone(), span));
                     core = CoreExpr::app(core, CoreExpr::Var(placeholder));
@@ -840,12 +918,13 @@ impl Elaborator {
     fn eta_expand_prim(&mut self, op: PrimOp) -> (CoreExpr, Type) {
         let (args, result) = levity_ir::builtin::prim_signature(op, &self.env.builtins);
         let names: Vec<Symbol> = args.iter().map(|_| self.supply.fresh("pa")).collect();
-        let body = CoreExpr::Prim(
-            op,
-            names.iter().map(|n| CoreExpr::Var(*n)).collect(),
-        );
+        let body = CoreExpr::Prim(op, names.iter().map(|n| CoreExpr::Var(*n)).collect());
         let core = CoreExpr::lams(
-            names.iter().copied().zip(args.iter().cloned()).collect::<Vec<_>>(),
+            names
+                .iter()
+                .copied()
+                .zip(args.iter().cloned())
+                .collect::<Vec<_>>(),
             body,
         );
         (core, Type::funs(args, result))
@@ -886,11 +965,9 @@ impl Elaborator {
                 }
                 match self.lookup_var(*v, span) {
                     Some((core, ty, _global)) => self.instantiate(core, ty, span),
-                    None => self.error_expr(
-                        &format!("unbound variable `{v}`"),
-                        span,
-                        ErrorCode::Scope,
-                    ),
+                    None => {
+                        self.error_expr(&format!("unbound variable `{v}`"), span, ErrorCode::Scope)
+                    }
                 }
             }
             SExprNode::Con(c) => self.elaborate_con(*c, &[], span),
@@ -969,9 +1046,7 @@ impl Elaborator {
         let (head, args) = Self::flatten_spine(e);
         match &head.node {
             SExprNode::Var(v) if *v == self.error_name => self.elaborate_error(&args, span),
-            SExprNode::Var(v)
-                if self.prims.contains_key(v) && self.lookup_local(*v).is_none() =>
-            {
+            SExprNode::Var(v) if self.prims.contains_key(v) && self.lookup_local(*v).is_none() => {
                 let op = self.prims[v];
                 self.elaborate_prim(op, &args, span)
             }
@@ -982,8 +1057,10 @@ impl Elaborator {
                 if args.iter().any(|a| matches!(a, SpineArg::Type(_)))
                     && self.lookup_var(*v, span).is_some() =>
             {
-                let (mut core, mut ty) =
-                    self.lookup_var(*v, span).map(|(c, t, _)| (c, t)).expect("checked");
+                let (mut core, mut ty) = self
+                    .lookup_var(*v, span)
+                    .map(|(c, t, _)| (c, t))
+                    .expect("checked");
                 for arg in args {
                     (core, ty) = self.apply_arg(core, ty, arg, span);
                 }
@@ -1039,8 +1116,9 @@ impl Elaborator {
                             }
                             match levity_ir::typecheck::kind_of(&self.env, &mut scope, &arg_ty) {
                                 Ok(actual) => {
-                                    if let Err(err) =
-                                        self.unifier.unify_kind(&self.unifier.zonk_kind(&k).clone(), &actual)
+                                    if let Err(err) = self
+                                        .unifier
+                                        .unify_kind(&self.unifier.zonk_kind(&k).clone(), &actual)
                                     {
                                         self.diag(Diagnostic::error(
                                             ErrorCode::KindMismatch,
@@ -1141,7 +1219,12 @@ impl Elaborator {
         (core, ty)
     }
 
-    fn elaborate_prim(&mut self, op: PrimOp, args: &[SpineArg<'_>], span: Span) -> (CoreExpr, Type) {
+    fn elaborate_prim(
+        &mut self,
+        op: PrimOp,
+        args: &[SpineArg<'_>],
+        span: Span,
+    ) -> (CoreExpr, Type) {
         let (arg_tys, result) = levity_ir::builtin::prim_signature(op, &self.env.builtins);
         let arity = arg_tys.len();
         let term_args: Vec<&SExpr> = args
@@ -1181,7 +1264,12 @@ impl Elaborator {
         }
     }
 
-    fn elaborate_con(&mut self, cname: Symbol, args: &[SpineArg<'_>], span: Span) -> (CoreExpr, Type) {
+    fn elaborate_con(
+        &mut self,
+        cname: Symbol,
+        args: &[SpineArg<'_>],
+        span: Span,
+    ) -> (CoreExpr, Type) {
         let Some(con) = self.env.datacon(cname).cloned() else {
             return self.error_expr(
                 &format!("unknown data constructor `{cname}`"),
@@ -1260,14 +1348,19 @@ impl Elaborator {
         let b = self.env.builtins.clone();
         match lit {
             SLit::IntHash(n) => (CoreExpr::Lit(Literal::Int(n)), Type::con0(&b.int_hash)),
-            SLit::DoubleHash(x) => {
-                (CoreExpr::Lit(Literal::double(x)), Type::con0(&b.double_hash))
-            }
+            SLit::DoubleHash(x) => (
+                CoreExpr::Lit(Literal::double(x)),
+                Type::con0(&b.double_hash),
+            ),
             SLit::CharHash(c) => (CoreExpr::Lit(Literal::Char(c)), Type::con0(&b.char_hash)),
             // Boxed literals are ordinary constructor applications:
             // 3 is I# 3# (§2.1).
             SLit::Int(n) => (
-                CoreExpr::Con(Rc::clone(&b.i_hash), vec![], vec![CoreExpr::Lit(Literal::Int(n))]),
+                CoreExpr::Con(
+                    Rc::clone(&b.i_hash),
+                    vec![],
+                    vec![CoreExpr::Lit(Literal::Int(n))],
+                ),
                 Type::con0(&b.int),
             ),
             SLit::Double(x) => (
@@ -1279,7 +1372,11 @@ impl Elaborator {
                 Type::con0(&b.double),
             ),
             SLit::Char(c) => (
-                CoreExpr::Con(Rc::clone(&b.c_hash), vec![], vec![CoreExpr::Lit(Literal::Char(c))]),
+                CoreExpr::Con(
+                    Rc::clone(&b.c_hash),
+                    vec![],
+                    vec![CoreExpr::Lit(Literal::Char(c))],
+                ),
                 Type::con0(&b.char),
             ),
         }
@@ -1317,7 +1414,11 @@ impl Elaborator {
                 self.locals.push((x, sig.clone()));
                 let (body_core, body_ty) = self.infer_expr(body);
                 self.locals.pop();
-                let kind = if recursive { LetKind::Rec } else { LetKind::NonRec };
+                let kind = if recursive {
+                    LetKind::Rec
+                } else {
+                    LetKind::NonRec
+                };
                 (
                     CoreExpr::Let(kind, x, sig, Box::new(rhs_core), Box::new(body_core)),
                     body_ty,
@@ -1338,7 +1439,11 @@ impl Elaborator {
                 self.locals.push((x, ty.clone()));
                 let (body_core, body_ty) = self.infer_expr(body);
                 self.locals.pop();
-                let kind = if recursive { LetKind::Rec } else { LetKind::NonRec };
+                let kind = if recursive {
+                    LetKind::Rec
+                } else {
+                    LetKind::NonRec
+                };
                 (
                     CoreExpr::Let(kind, x, ty, Box::new(rhs_core), Box::new(body_core)),
                     body_ty,
@@ -1356,7 +1461,11 @@ impl Elaborator {
     ) -> CoreExpr {
         let (scrut_core, scrut_ty) = self.infer_expr(scrut);
         if alts.is_empty() {
-            self.diag(Diagnostic::error(ErrorCode::Parse, "empty case expression", span));
+            self.diag(Diagnostic::error(
+                ErrorCode::Parse,
+                "empty case expression",
+                span,
+            ));
             return CoreExpr::Error(result.clone(), "empty case".to_owned());
         }
         let mut core_alts = Vec::new();
@@ -1388,7 +1497,8 @@ impl Elaborator {
                                     Kind::Type(rep) => self.unifier.fresh_ty_meta_of(rep.clone()),
                                     _ => self.unifier.fresh_ty_meta(),
                                 };
-                                fields = fields.into_iter().map(|f| f.subst_ty(*v, &meta)).collect();
+                                fields =
+                                    fields.into_iter().map(|f| f.subst_ty(*v, &meta)).collect();
                                 result_ty = result_ty.subst_ty(*v, &meta);
                             }
                         }
@@ -1430,9 +1540,10 @@ impl Elaborator {
                         SLit::IntHash(n) => {
                             (Literal::Int(*n), Type::con0(&self.env.builtins.int_hash))
                         }
-                        SLit::DoubleHash(x) => {
-                            (Literal::double(*x), Type::con0(&self.env.builtins.double_hash))
-                        }
+                        SLit::DoubleHash(x) => (
+                            Literal::double(*x),
+                            Type::con0(&self.env.builtins.double_hash),
+                        ),
                         SLit::CharHash(c) => {
                             (Literal::Char(*c), Type::con0(&self.env.builtins.char_hash))
                         }
@@ -1453,13 +1564,17 @@ impl Elaborator {
                         ));
                     }
                     let rhs_core = self.check_expr(rhs, result);
-                    core_alts.push(CoreAlt::Lit { lit: mlit, rhs: rhs_core });
+                    core_alts.push(CoreAlt::Lit {
+                        lit: mlit,
+                        rhs: rhs_core,
+                    });
                 }
                 SPat::UnboxedTuple(vars) => {
                     let metas: Vec<Type> =
                         vars.iter().map(|_| self.unifier.fresh_ty_meta()).collect();
-                    if let Err(e) =
-                        self.unifier.unify(&scrut_ty, &Type::UnboxedTuple(metas.clone()))
+                    if let Err(e) = self
+                        .unifier
+                        .unify(&scrut_ty, &Type::UnboxedTuple(metas.clone()))
                     {
                         self.diag(Diagnostic::error(
                             ErrorCode::TypeMismatch,
@@ -1481,7 +1596,10 @@ impl Elaborator {
                 }
                 SPat::Wild => {
                     let rhs_core = self.check_expr(rhs, result);
-                    core_alts.push(CoreAlt::Default { binder: None, rhs: rhs_core });
+                    core_alts.push(CoreAlt::Default {
+                        binder: None,
+                        rhs: rhs_core,
+                    });
                 }
                 SPat::Var(v) => {
                     self.locals.push((*v, scrut_ty.clone()));
@@ -1520,8 +1638,16 @@ impl Elaborator {
         CoreExpr::case(
             c_core,
             vec![
-                CoreAlt::Con { con: Rc::clone(&b.false_con), binders: vec![], rhs: f_core },
-                CoreAlt::Con { con: Rc::clone(&b.true_con), binders: vec![], rhs: t_core },
+                CoreAlt::Con {
+                    con: Rc::clone(&b.false_con),
+                    binders: vec![],
+                    rhs: f_core,
+                },
+                CoreAlt::Con {
+                    con: Rc::clone(&b.true_con),
+                    binders: vec![],
+                    rhs: t_core,
+                },
             ],
         )
     }
@@ -1529,10 +1655,7 @@ impl Elaborator {
     fn check_expr(&mut self, e: &SExpr, expected: &Type) -> CoreExpr {
         let span = e.span;
         match &e.node {
-            SExprNode::Lam(pats, body) => {
-                let core = self.check_clauses(pats, body, expected, span);
-                core
-            }
+            SExprNode::Lam(pats, body) => self.check_clauses(pats, body, expected, span),
             SExprNode::Case(scrut, alts) => self.elaborate_case(scrut, alts, expected, span),
             SExprNode::If(c, t, f) => self.elaborate_if(c, t, f, expected, span),
             SExprNode::Let(x, ann, rhs, body) => {
@@ -1550,7 +1673,11 @@ impl Elaborator {
             _ => {
                 let (core, ty) = self.infer_expr(e);
                 if let Err(err) = self.unifier.unify(&ty, expected) {
-                    self.diag(Diagnostic::error(ErrorCode::TypeMismatch, format!("{err}"), span));
+                    self.diag(Diagnostic::error(
+                        ErrorCode::TypeMismatch,
+                        format!("{err}"),
+                        span,
+                    ));
                 }
                 core
             }
@@ -1599,18 +1726,21 @@ impl Elaborator {
             Type::Var(_) => ty.clone(),
             Type::Con(tc, args) => Type::Con(
                 tc.clone(),
-                args.iter().map(|a| self.default_unsolved(a, span)).collect(),
+                args.iter()
+                    .map(|a| self.default_unsolved(a, span))
+                    .collect(),
             ),
-            Type::Fun(a, b) => {
-                Type::fun(self.default_unsolved(a, span), self.default_unsolved(b, span))
-            }
+            Type::Fun(a, b) => Type::fun(
+                self.default_unsolved(a, span),
+                self.default_unsolved(b, span),
+            ),
             Type::ForallTy(v, k, body) => {
                 Type::forall_ty(*v, k.clone(), self.default_unsolved(body, span))
             }
             Type::ForallRep(r, body) => Type::forall_rep(*r, self.default_unsolved(body, span)),
-            Type::UnboxedTuple(ts) => Type::UnboxedTuple(
-                ts.iter().map(|t| self.default_unsolved(t, span)).collect(),
-            ),
+            Type::UnboxedTuple(ts) => {
+                Type::UnboxedTuple(ts.iter().map(|t| self.default_unsolved(t, span)).collect())
+            }
             Type::Dict(c, t) => Type::Dict(*c, Box::new(self.default_unsolved(t, span))),
         }
     }
@@ -1668,9 +1798,10 @@ impl Elaborator {
                                 .collect(),
                             rhs: self.zonk_core(rhs),
                         },
-                        CoreAlt::Lit { lit, rhs } => {
-                            CoreAlt::Lit { lit, rhs: self.zonk_core(rhs) }
-                        }
+                        CoreAlt::Lit { lit, rhs } => CoreAlt::Lit {
+                            lit,
+                            rhs: self.zonk_core(rhs),
+                        },
                         CoreAlt::Tuple { binders, rhs } => CoreAlt::Tuple {
                             binders: binders
                                 .into_iter()
@@ -1732,7 +1863,11 @@ impl Elaborator {
                 let sig = sig.clone();
                 let core = self.check_binding_body(params, body, &sig, span);
                 let core = self.finalize_binding(core, span);
-                self.program.bindings.push(TopBind { name, ty: sig, expr: core });
+                self.program.bindings.push(TopBind {
+                    name,
+                    ty: sig,
+                    expr: core,
+                });
             }
             None => {
                 // Infer, then generalize with rep defaulting (§5.2).
@@ -1741,7 +1876,10 @@ impl Elaborator {
                 let lam = if params.is_empty() {
                     body.clone()
                 } else {
-                    SExpr::new(SExprNode::Lam(params.to_vec(), Box::new(body.clone())), span)
+                    SExpr::new(
+                        SExprNode::Lam(params.to_vec(), Box::new(body.clone())),
+                        span,
+                    )
                 };
                 let (core, ty) = self.infer_expr(&lam);
                 self.locals.pop();
@@ -1780,7 +1918,11 @@ impl Elaborator {
                     .rev()
                     .fold(core, |acc, (v, k)| CoreExpr::ty_lam(*v, k.clone(), acc));
                 self.env.define_global(name, gen_ty.clone());
-                self.program.bindings.push(TopBind { name, ty: gen_ty, expr: gen_core });
+                self.program.bindings.push(TopBind {
+                    name,
+                    ty: gen_ty,
+                    expr: gen_core,
+                });
             }
         }
     }
@@ -1823,7 +1965,9 @@ fn occurs_in_expr(x: Symbol, e: &SExpr) -> bool {
         }
         SExprNode::Case(scrut, alts) => {
             occurs_in_expr(x, scrut)
-                || alts.iter().any(|(p, rhs)| !pat_binds(p, x) && occurs_in_expr(x, rhs))
+                || alts
+                    .iter()
+                    .any(|(p, rhs)| !pat_binds(p, x) && occurs_in_expr(x, rhs))
         }
         SExprNode::If(c, t, f) => {
             occurs_in_expr(x, c) || occurs_in_expr(x, t) || occurs_in_expr(x, f)
@@ -1871,16 +2015,23 @@ fn replace_vars(e: CoreExpr, map: &HashMap<Symbol, CoreExpr>) -> CoreExpr {
             Box::new(replace_vars(*scrut, map)),
             alts.into_iter()
                 .map(|alt| match alt {
-                    CoreAlt::Con { con, binders, rhs } => {
-                        CoreAlt::Con { con, binders, rhs: replace_vars(rhs, map) }
-                    }
-                    CoreAlt::Lit { lit, rhs } => CoreAlt::Lit { lit, rhs: replace_vars(rhs, map) },
-                    CoreAlt::Tuple { binders, rhs } => {
-                        CoreAlt::Tuple { binders, rhs: replace_vars(rhs, map) }
-                    }
-                    CoreAlt::Default { binder, rhs } => {
-                        CoreAlt::Default { binder, rhs: replace_vars(rhs, map) }
-                    }
+                    CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
+                        con,
+                        binders,
+                        rhs: replace_vars(rhs, map),
+                    },
+                    CoreAlt::Lit { lit, rhs } => CoreAlt::Lit {
+                        lit,
+                        rhs: replace_vars(rhs, map),
+                    },
+                    CoreAlt::Tuple { binders, rhs } => CoreAlt::Tuple {
+                        binders,
+                        rhs: replace_vars(rhs, map),
+                    },
+                    CoreAlt::Default { binder, rhs } => CoreAlt::Default {
+                        binder,
+                        rhs: replace_vars(rhs, map),
+                    },
                 })
                 .collect(),
         ),
@@ -1908,13 +2059,26 @@ pub fn elaborate_module(module: &Module) -> Result<Elaborated, Diagnostics> {
 
     // Pass 0: datatypes.
     for decl in &module.decls {
-        if let SDecl::Data { name, params, cons, span } = decl {
+        if let SDecl::Data {
+            name,
+            params,
+            cons,
+            span,
+        } = decl
+        {
             el.process_data(*name, params, cons, *span);
         }
     }
     // Pass 1: type families (§7.1): standalone representation checking.
     for decl in &module.decls {
-        if let SDecl::TypeFamily { name, param, result_kind, equations, span } = decl {
+        if let SDecl::TypeFamily {
+            name,
+            param,
+            result_kind,
+            equations,
+            span,
+        } = decl
+        {
             match check_family(&el.env, *name, *param, result_kind, equations, *span) {
                 Ok(info) => el.families.push(info),
                 Err(d) => el.diag(d),
@@ -1923,7 +2087,14 @@ pub fn elaborate_module(module: &Module) -> Result<Elaborated, Diagnostics> {
     }
     // Pass 2: classes (§7.3).
     for decl in &module.decls {
-        if let SDecl::Class { name, var, var_kind, methods, span } = decl {
+        if let SDecl::Class {
+            name,
+            var,
+            var_kind,
+            methods,
+            span,
+        } = decl
+        {
             el.process_class(*name, *var, var_kind, methods, *span);
         }
     }
@@ -1942,7 +2113,13 @@ pub fn elaborate_module(module: &Module) -> Result<Elaborated, Diagnostics> {
     }
     let mut instance_headers = Vec::new();
     for decl in &module.decls {
-        if let SDecl::Instance { class, head, methods, span } = decl {
+        if let SDecl::Instance {
+            class,
+            head,
+            methods,
+            span,
+        } = decl
+        {
             if let Some((dict_global, head_ty, head_rep)) =
                 el.register_instance_header(*class, head, *span)
             {
@@ -1952,7 +2129,13 @@ pub fn elaborate_module(module: &Module) -> Result<Elaborated, Diagnostics> {
     }
     // Pass 4: value bindings in source order.
     for decl in &module.decls {
-        if let SDecl::Bind { name, params, body, span } = decl {
+        if let SDecl::Bind {
+            name,
+            params,
+            body,
+            span,
+        } = decl
+        {
             let sig = sigs.get(name).cloned();
             el.elaborate_top_bind(*name, params, body, sig.as_ref(), *span);
         }

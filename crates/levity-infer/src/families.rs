@@ -76,7 +76,9 @@ pub fn check_family(
             ),
             span,
         )
-        .with_note("see section 8.2: GHC 8.2 cannot support type families in type representations"));
+        .with_note(
+            "see section 8.2: GHC 8.2 cannot support type families in type representations",
+        ));
     }
     let mut checked = Vec::new();
     let no_classes = |_c: Symbol| false;
@@ -86,20 +88,25 @@ pub fn check_family(
             &no_classes,
             lhs,
             &mut ConvScope::new(),
-            ConvertOptions { implicit_quantify: false, span },
+            ConvertOptions {
+                implicit_quantify: false,
+                span,
+            },
         )?;
         let rhs_ty = convert_type(
             env,
             &no_classes,
             rhs,
             &mut ConvScope::new(),
-            ConvertOptions { implicit_quantify: false, span },
+            ConvertOptions {
+                implicit_quantify: false,
+                span,
+            },
         )?;
         let mut scope = Scope::new();
         scope.push(param, ScopeEntry::TyVar(Kind::TYPE));
-        let rhs_kind = kind_of(env, &mut scope, &rhs_ty).map_err(|e| {
-            Diagnostic::error(ErrorCode::KindMismatch, e.to_string(), span)
-        })?;
+        let rhs_kind = kind_of(env, &mut scope, &rhs_ty)
+            .map_err(|e| Diagnostic::error(ErrorCode::KindMismatch, e.to_string(), span))?;
         if rhs_kind != result_kind {
             return Err(Diagnostic::error(
                 ErrorCode::InhomogeneousFamily,
@@ -116,22 +123,31 @@ pub fn check_family(
         }
         checked.push((lhs_ty, rhs_ty, rhs_kind));
     }
-    Ok(FamilyInfo { name, param, result_kind, equations: checked })
+    Ok(FamilyInfo {
+        name,
+        param,
+        result_kind,
+        equations: checked,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use levity_surface::parser::parse_module;
     use levity_surface::ast::SDecl;
+    use levity_surface::parser::parse_module;
 
     fn run_family(src: &str) -> Result<FamilyInfo, Diagnostic> {
         let module = parse_module(src).unwrap();
         let env = TypeEnv::new();
         match &module.decls[0] {
-            SDecl::TypeFamily { name, param, result_kind, equations, span } => {
-                check_family(&env, *name, *param, result_kind, equations, *span)
-            }
+            SDecl::TypeFamily {
+                name,
+                param,
+                result_kind,
+                equations,
+                span,
+            } => check_family(&env, *name, *param, result_kind, equations, *span),
             other => panic!("expected a family, got {other:?}"),
         }
     }
@@ -139,20 +155,18 @@ mod tests {
     #[test]
     fn homogeneous_family_is_accepted() {
         // Both equations land in TYPE IntRep: fine.
-        let info = run_family(
-            "type family G a :: TYPE IntRep where { G Int = Int#; G Bool = Int# }\n",
-        )
-        .unwrap();
+        let info =
+            run_family("type family G a :: TYPE IntRep where { G Int = Int#; G Bool = Int# }\n")
+                .unwrap();
         assert_eq!(info.equations.len(), 2);
     }
 
     #[test]
     fn section_7_1_family_is_rejected() {
         // The paper's F: Int# and Char# live at different representations.
-        let err = run_family(
-            "type family F a :: TYPE IntRep where { F Int = Int#; F Char = Char# }\n",
-        )
-        .unwrap_err();
+        let err =
+            run_family("type family F a :: TYPE IntRep where { F Int = Int#; F Char = Char# }\n")
+                .unwrap_err();
         assert_eq!(err.code, ErrorCode::InhomogeneousFamily);
     }
 
@@ -171,11 +185,16 @@ mod tests {
 
     #[test]
     fn levity_polymorphic_result_kind_is_rejected() {
-        let module =
-            parse_module("type family J a :: TYPE r where { J Int = Int# }\n").unwrap();
+        let module = parse_module("type family J a :: TYPE r where { J Int = Int# }\n").unwrap();
         let env = TypeEnv::new();
         match &module.decls[0] {
-            SDecl::TypeFamily { name, param, result_kind, equations, span } => {
+            SDecl::TypeFamily {
+                name,
+                param,
+                result_kind,
+                equations,
+                span,
+            } => {
                 let err =
                     check_family(&env, *name, *param, result_kind, equations, *span).unwrap_err();
                 assert_eq!(err.code, ErrorCode::InhomogeneousFamily);

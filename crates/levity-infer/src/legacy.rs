@@ -87,7 +87,9 @@ pub fn legacy_generalize(vars: &[Symbol]) -> LegacyScheme {
 /// The hand-magicked scheme for `error` (§3.3):
 /// `∀(a :: OpenKind). String -> a`.
 pub fn legacy_error_scheme() -> LegacyScheme {
-    LegacyScheme { var_kinds: vec![(Symbol::intern("a"), LegacyKind::OpenKind)] }
+    LegacyScheme {
+        var_kinds: vec![(Symbol::intern("a"), LegacyKind::OpenKind)],
+    }
 }
 
 /// Can a scheme be instantiated with a type of the given kind at the

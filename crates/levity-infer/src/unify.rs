@@ -161,13 +161,9 @@ impl Unifier {
                 Type::Con(tc.clone(), args.iter().map(|a| self.zonk(a)).collect())
             }
             Type::Fun(a, b) => Type::fun(self.zonk(a), self.zonk(b)),
-            Type::ForallTy(v, k, body) => {
-                Type::forall_ty(*v, self.zonk_kind(k), self.zonk(body))
-            }
+            Type::ForallTy(v, k, body) => Type::forall_ty(*v, self.zonk_kind(k), self.zonk(body)),
             Type::ForallRep(r, body) => Type::forall_rep(*r, self.zonk(body)),
-            Type::UnboxedTuple(ts) => {
-                Type::UnboxedTuple(ts.iter().map(|t| self.zonk(t)).collect())
-            }
+            Type::UnboxedTuple(ts) => Type::UnboxedTuple(ts.iter().map(|t| self.zonk(t)).collect()),
             Type::Dict(c, t) => Type::Dict(*c, Box::new(self.zonk(t))),
         }
     }
@@ -316,9 +312,7 @@ impl Unifier {
             return Err(UnifyError::Occurs(v, ty.clone()));
         }
         // Kind preservation: the solution's rep must match the meta's.
-        if let (Some(meta_rep), Some(ty_rep)) =
-            (self.meta_kind_rep(v), self.head_kind_rep(ty))
-        {
+        if let (Some(meta_rep), Some(ty_rep)) = (self.meta_kind_rep(v), self.head_kind_rep(ty)) {
             self.unify_rep(&meta_rep, &ty_rep)?;
         }
         self.ty_solutions.insert(v, ty.clone());
@@ -353,21 +347,21 @@ impl Unifier {
     pub fn free_ty_metas(&self, ty: &Type) -> Vec<Symbol> {
         let ty = self.zonk(ty);
         let mut out = Vec::new();
-        fn go(u: &Unifier, t: &Type, out: &mut Vec<Symbol>) {
+        fn go(t: &Type, out: &mut Vec<Symbol>) {
             match t {
                 Type::Var(v) if Unifier::is_ty_meta(*v) && !out.contains(v) => out.push(*v),
                 Type::Var(_) => {}
-                Type::Con(_, args) => args.iter().for_each(|a| go(u, a, out)),
+                Type::Con(_, args) => args.iter().for_each(|a| go(a, out)),
                 Type::Fun(a, b) => {
-                    go(u, a, out);
-                    go(u, b, out);
+                    go(a, out);
+                    go(b, out);
                 }
-                Type::ForallTy(_, _, b) | Type::ForallRep(_, b) => go(u, b, out),
-                Type::UnboxedTuple(ts) => ts.iter().for_each(|t| go(u, t, out)),
-                Type::Dict(_, t) => go(u, t, out),
+                Type::ForallTy(_, _, b) | Type::ForallRep(_, b) => go(b, out),
+                Type::UnboxedTuple(ts) => ts.iter().for_each(|t| go(t, out)),
+                Type::Dict(_, t) => go(t, out),
             }
         }
-        go(self, &ty, &mut out);
+        go(&ty, &mut out);
         out
     }
 
@@ -404,7 +398,9 @@ fn collect_rep_metas_in_type(u: &Unifier, ty: &Type, out: &mut Vec<Symbol>) {
             }
         }
         Type::Var(_) => {}
-        Type::Con(_, args) => args.iter().for_each(|a| collect_rep_metas_in_type(u, a, out)),
+        Type::Con(_, args) => args
+            .iter()
+            .for_each(|a| collect_rep_metas_in_type(u, a, out)),
         Type::Fun(a, b) => {
             collect_rep_metas_in_type(u, a, out);
             collect_rep_metas_in_type(u, b, out);
@@ -416,9 +412,7 @@ fn collect_rep_metas_in_type(u: &Unifier, ty: &Type, out: &mut Vec<Symbol>) {
             collect_rep_metas_in_type(u, b, out);
         }
         Type::ForallRep(_, b) => collect_rep_metas_in_type(u, b, out),
-        Type::UnboxedTuple(ts) => {
-            ts.iter().for_each(|t| collect_rep_metas_in_type(u, t, out))
-        }
+        Type::UnboxedTuple(ts) => ts.iter().for_each(|t| collect_rep_metas_in_type(u, t, out)),
         Type::Dict(_, t) => collect_rep_metas_in_type(u, t, out),
     }
 }
@@ -505,7 +499,11 @@ mod tests {
         let mut u = Unifier::new();
         let a1 = u.fresh_ty_meta();
         let a2 = u.fresh_ty_meta();
-        u.unify(&a1, &Type::Con(std::rc::Rc::clone(&b.maybe), vec![a2.clone()])).unwrap();
+        u.unify(
+            &a1,
+            &Type::Con(std::rc::Rc::clone(&b.maybe), vec![a2.clone()]),
+        )
+        .unwrap();
         u.unify(&a2, &Type::con0(&b.bool)).unwrap();
         assert_eq!(u.zonk(&a1).to_string(), "Maybe Bool");
     }
@@ -523,11 +521,23 @@ mod tests {
 
     #[test]
     fn alpha_equivalent_foralls_unify() {
-        let t1 = Type::forall_ty("a", Kind::TYPE, Type::fun(Type::Var("a".into()), Type::Var("a".into())));
-        let t2 = Type::forall_ty("b", Kind::TYPE, Type::fun(Type::Var("b".into()), Type::Var("b".into())));
+        let t1 = Type::forall_ty(
+            "a",
+            Kind::TYPE,
+            Type::fun(Type::Var("a".into()), Type::Var("a".into())),
+        );
+        let t2 = Type::forall_ty(
+            "b",
+            Kind::TYPE,
+            Type::fun(Type::Var("b".into()), Type::Var("b".into())),
+        );
         let mut u = Unifier::new();
         u.unify(&t1, &t2).unwrap();
-        let t3 = Type::forall_ty("b", Kind::TYPE, Type::fun(Type::Var("b".into()), Type::con0(&builtins().int)));
+        let t3 = Type::forall_ty(
+            "b",
+            Kind::TYPE,
+            Type::fun(Type::Var("b".into()), Type::con0(&builtins().int)),
+        );
         assert!(u.unify(&t1, &t3).is_err());
     }
 }

@@ -100,8 +100,14 @@ pub fn builtins() -> Builtins {
     let float = Rc::new(TyCon::lifted("Float"));
     let double = Rc::new(TyCon::lifted("Double"));
     let bool_tc = Rc::new(TyCon::lifted("Bool"));
-    let maybe = Rc::new(TyCon { name: sym("Maybe"), kind: Kind::arrow(Kind::TYPE, Kind::TYPE) });
-    let list = Rc::new(TyCon { name: sym("List"), kind: Kind::arrow(Kind::TYPE, Kind::TYPE) });
+    let maybe = Rc::new(TyCon {
+        name: sym("Maybe"),
+        kind: Kind::arrow(Kind::TYPE, Kind::TYPE),
+    });
+    let list = Rc::new(TyCon {
+        name: sym("List"),
+        kind: Kind::arrow(Kind::TYPE, Kind::TYPE),
+    });
     let unit = Rc::new(TyCon::lifted("Unit"));
     let pair = Rc::new(TyCon {
         name: sym("Pair"),
@@ -319,7 +325,10 @@ mod tests {
         assert_eq!(b.byte_array_hash.kind, Kind::of_rep(Rep::Unlifted));
         assert_eq!(b.int.kind, Kind::TYPE);
         // Array# :: Type -> TYPE UnliftedRep (§7.1).
-        assert_eq!(b.array_hash.kind, Kind::arrow(Kind::TYPE, Kind::of_rep(Rep::Unlifted)));
+        assert_eq!(
+            b.array_hash.kind,
+            Kind::arrow(Kind::TYPE, Kind::of_rep(Rep::Unlifted))
+        );
     }
 
     #[test]

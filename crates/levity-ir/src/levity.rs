@@ -26,13 +26,7 @@ use crate::types::Type;
 
 /// Checks one binder type; returns a diagnostic when its kind mentions a
 /// representation variable.
-fn check_binder(
-    env: &TypeEnv,
-    scope: &mut Scope,
-    who: Symbol,
-    ty: &Type,
-    diags: &mut Diagnostics,
-) {
+fn check_binder(env: &TypeEnv, scope: &mut Scope, who: Symbol, ty: &Type, diags: &mut Diagnostics) {
     match kind_of(env, scope, ty) {
         Ok(kind) => {
             if kind.is_levity_polymorphic() {
@@ -48,12 +42,12 @@ fn check_binder(
 fn levity_binder_error(who: Symbol, ty: &Type, kind: &Kind) -> Diagnostic {
     Diagnostic::error(
         ErrorCode::LevityPolymorphicBinder,
-        format!(
-            "the binder `{who}` has a levity-polymorphic type `{ty}` (of kind `{kind}`)"
-        ),
+        format!("the binder `{who}` has a levity-polymorphic type `{ty}` (of kind `{kind}`)"),
         Span::SYNTHETIC,
     )
-    .with_note("a bound variable must have a fixed runtime representation (section 5.1, restriction 1)")
+    .with_note(
+        "a bound variable must have a fixed runtime representation (section 5.1, restriction 1)",
+    )
 }
 
 fn levity_argument_error(ty: &Type, kind: &Kind) -> Diagnostic {
@@ -62,7 +56,9 @@ fn levity_argument_error(ty: &Type, kind: &Kind) -> Diagnostic {
         format!("a function argument has levity-polymorphic type `{ty}` (of kind `{kind}`)"),
         Span::SYNTHETIC,
     )
-    .with_note("arguments are passed in registers, whose class must be known (section 5.1, restriction 2)")
+    .with_note(
+        "arguments are passed in registers, whose class must be known (section 5.1, restriction 2)",
+    )
 }
 
 /// Walks an expression, reporting every §5.1 violation.
@@ -210,7 +206,11 @@ mod tests {
         let a: Symbol = "a".into();
         Type::forall_rep(
             r,
-            Type::forall_ty(a, Kind::of_rep_var(r), Type::fun(Type::Var(a), Type::Var(a))),
+            Type::forall_ty(
+                a,
+                Kind::of_rep_var(r),
+                Type::fun(Type::Var(a), Type::Var(a)),
+            ),
         )
     }
 
@@ -227,7 +227,10 @@ mod tests {
                 a,
                 Kind::of_rep_var(r),
                 CoreExpr::ty_app(
-                    CoreExpr::rep_app(CoreExpr::Global("abs".into()), levity_core::rep::RepTy::Var(r)),
+                    CoreExpr::rep_app(
+                        CoreExpr::Global("abs".into()),
+                        levity_core::rep::RepTy::Var(r),
+                    ),
                     Type::Var(a),
                 ),
             ),
@@ -269,8 +272,14 @@ mod tests {
         check_expr(&env, &mut Scope::new(), &abs2, &mut diags);
         assert!(diags.has_errors());
         let codes: Vec<_> = diags.iter().map(|d| d.code).collect();
-        assert!(codes.contains(&ErrorCode::LevityPolymorphicBinder), "{codes:?}");
-        assert!(codes.contains(&ErrorCode::LevityPolymorphicArgument), "{codes:?}");
+        assert!(
+            codes.contains(&ErrorCode::LevityPolymorphicBinder),
+            "{codes:?}"
+        );
+        assert!(
+            codes.contains(&ErrorCode::LevityPolymorphicArgument),
+            "{codes:?}"
+        );
     }
 
     #[test]

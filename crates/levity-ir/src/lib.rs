@@ -44,7 +44,9 @@ pub mod typecheck;
 pub mod types;
 
 pub use builtin::{builtins, prim_signature, Builtins};
-pub use terms::{CoreAlt, CoreExpr, DataConInfo, DataDecl, LetKind, Program, TopBind, TyArg, TyParam};
+pub use terms::{
+    CoreAlt, CoreExpr, DataConInfo, DataDecl, LetKind, Program, TopBind, TyArg, TyParam,
+};
 pub use typecheck::{check_program, kind_of, type_of, CoreError, Scope, ScopeEntry, TypeEnv};
 pub use types::{TyCon, Type};
 

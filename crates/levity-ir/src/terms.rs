@@ -217,10 +217,7 @@ impl CoreExpr {
     }
 
     /// n-ary lambda.
-    pub fn lams(
-        binders: impl IntoIterator<Item = (Symbol, Type)>,
-        body: CoreExpr,
-    ) -> CoreExpr {
+    pub fn lams(binders: impl IntoIterator<Item = (Symbol, Type)>, body: CoreExpr) -> CoreExpr {
         let binders: Vec<_> = binders.into_iter().collect();
         binders
             .into_iter()
@@ -425,7 +422,10 @@ mod tests {
         let e = CoreExpr::lam(
             "x",
             Type::con0(&b.int_hash),
-            CoreExpr::Prim(PrimOp::AddI, vec![CoreExpr::Var("x".into()), CoreExpr::int(1)]),
+            CoreExpr::Prim(
+                PrimOp::AddI,
+                vec![CoreExpr::Var("x".into()), CoreExpr::int(1)],
+            ),
         );
         assert_eq!(e.to_string(), "\\(x :: Int#) -> (+# x 1#)");
     }

@@ -85,10 +85,16 @@ impl fmt::Display for CoreError {
                 write!(f, "kind mismatch: expected `{expected}`, got `{actual}`")
             }
             CoreError::NotAValueKind(t, k) => {
-                write!(f, "type `{t}` has kind `{k}`, which does not classify values")
+                write!(
+                    f,
+                    "type `{t}` has kind `{k}`, which does not classify values"
+                )
             }
             CoreError::RepEscapes(r, t) => {
-                write!(f, "representation variable `{r}` escapes in the kind of `{t}`")
+                write!(
+                    f,
+                    "representation variable `{r}` escapes in the kind of `{t}`"
+                )
             }
             CoreError::ConArity(c) => write!(f, "constructor `{c}` applied at wrong arity"),
             CoreError::PrimArity(op) => write!(f, "primop `{op}` applied at wrong arity"),
@@ -275,6 +281,9 @@ fn check_kind_scoped(scope: &Scope, kind: &Kind) -> Result<(), CoreError> {
 }
 
 /// Computes the kind of a type (`Γ ⊢ τ : κ`, generalized from Figure 3).
+// `env` is part of the judgment's signature even though the current rule
+// set only consults it through recursive calls.
+#[allow(clippy::only_used_in_recursion)]
 pub fn kind_of(env: &TypeEnv, scope: &mut Scope, ty: &Type) -> Result<Kind, CoreError> {
     match ty {
         Type::Con(tc, args) => {
@@ -476,7 +485,10 @@ pub fn type_of(env: &TypeEnv, scope: &mut Scope, e: &CoreExpr) -> Result<Type, C
             match fun_ty {
                 Type::Fun(dom, cod) => {
                     if !dom.alpha_eq(&arg_ty) {
-                        return Err(CoreError::Mismatch { expected: *dom, actual: arg_ty });
+                        return Err(CoreError::Mismatch {
+                            expected: *dom,
+                            actual: arg_ty,
+                        });
                     }
                     Ok(*cod)
                 }
@@ -489,7 +501,10 @@ pub fn type_of(env: &TypeEnv, scope: &mut Scope, e: &CoreExpr) -> Result<Type, C
                 Type::ForallTy(v, k, body) => {
                     let arg_kind = kind_of(env, scope, arg)?;
                     if arg_kind != k {
-                        return Err(CoreError::KindMismatch { expected: k, actual: arg_kind });
+                        return Err(CoreError::KindMismatch {
+                            expected: k,
+                            actual: arg_kind,
+                        });
                     }
                     Ok(body.subst_ty(v, arg))
                 }
@@ -546,12 +561,18 @@ pub fn type_of(env: &TypeEnv, scope: &mut Scope, e: &CoreExpr) -> Result<Type, C
                 scope.pop();
                 let rhs_ty = rhs_ty?;
                 if !rhs_ty.alpha_eq(ty) {
-                    return Err(CoreError::Mismatch { expected: ty.clone(), actual: rhs_ty });
+                    return Err(CoreError::Mismatch {
+                        expected: ty.clone(),
+                        actual: rhs_ty,
+                    });
                 }
             } else {
                 let rhs_ty = type_of(env, scope, rhs)?;
                 if !rhs_ty.alpha_eq(ty) {
-                    return Err(CoreError::Mismatch { expected: ty.clone(), actual: rhs_ty });
+                    return Err(CoreError::Mismatch {
+                        expected: ty.clone(),
+                        actual: rhs_ty,
+                    });
                 }
             }
             scope.push(*x, ScopeEntry::Term(ty.clone()));
@@ -568,14 +589,16 @@ pub fn type_of(env: &TypeEnv, scope: &mut Scope, e: &CoreExpr) -> Result<Type, C
             for alt in alts {
                 let rhs_ty = match alt {
                     CoreAlt::Con { con, binders, rhs } => {
-                        let ty_args = resolve_con_tyargs(env, scope, con, &scrut_ty).ok_or_else(|| {
-                            CoreError::AltMismatch(format!(
-                                "constructor {} does not build `{}`",
-                                con.name, scrut_ty
-                            ))
-                        })?;
-                        let (fields, _result) =
-                            con.instantiate(&ty_args).ok_or(CoreError::ConArity(con.name))?;
+                        let ty_args =
+                            resolve_con_tyargs(env, scope, con, &scrut_ty).ok_or_else(|| {
+                                CoreError::AltMismatch(format!(
+                                    "constructor {} does not build `{}`",
+                                    con.name, scrut_ty
+                                ))
+                            })?;
+                        let (fields, _result) = con
+                            .instantiate(&ty_args)
+                            .ok_or(CoreError::ConArity(con.name))?;
                         if fields.len() != binders.len() {
                             return Err(CoreError::ConArity(con.name));
                         }
@@ -668,8 +691,9 @@ pub fn type_of(env: &TypeEnv, scope: &mut Scope, e: &CoreExpr) -> Result<Type, C
                     TyArg::Rep(r) => check_rep_scoped(scope, r)?,
                 }
             }
-            let (field_tys, result) =
-                con.instantiate(ty_args).ok_or(CoreError::ConArity(con.name))?;
+            let (field_tys, result) = con
+                .instantiate(ty_args)
+                .ok_or(CoreError::ConArity(con.name))?;
             if field_tys.len() != fields.len() {
                 return Err(CoreError::ConArity(con.name));
             }
@@ -692,7 +716,10 @@ pub fn type_of(env: &TypeEnv, scope: &mut Scope, e: &CoreExpr) -> Result<Type, C
             for (exp, arg) in expected.iter().zip(args) {
                 let actual = type_of(env, scope, arg)?;
                 if !exp.alpha_eq(&actual) {
-                    return Err(CoreError::Mismatch { expected: exp.clone(), actual });
+                    return Err(CoreError::Mismatch {
+                        expected: exp.clone(),
+                        actual,
+                    });
                 }
             }
             Ok(result)
@@ -741,7 +768,10 @@ pub fn check_program(prog: &Program) -> Result<TypeEnv, (Symbol, CoreError)> {
         if !actual.alpha_eq(&bind.ty) {
             return Err((
                 bind.name,
-                CoreError::Mismatch { expected: bind.ty.clone(), actual },
+                CoreError::Mismatch {
+                    expected: bind.ty.clone(),
+                    actual,
+                },
             ));
         }
     }
@@ -763,7 +793,9 @@ mod tests {
         let env = env();
         let mut scope = Scope::new();
         assert_eq!(
-            type_of(&env, &mut scope, &CoreExpr::int(3)).unwrap().to_string(),
+            type_of(&env, &mut scope, &CoreExpr::int(3))
+                .unwrap()
+                .to_string(),
             "Int#"
         );
         let boxed = CoreExpr::Con(
@@ -771,7 +803,10 @@ mod tests {
             vec![],
             vec![CoreExpr::int(3)],
         );
-        assert_eq!(type_of(&env, &mut scope, &boxed).unwrap().to_string(), "Int");
+        assert_eq!(
+            type_of(&env, &mut scope, &boxed).unwrap().to_string(),
+            "Int"
+        );
     }
 
     #[test]
@@ -780,7 +815,10 @@ mod tests {
         // (->) is levity-polymorphic in both arguments.
         let env = env();
         let mut scope = Scope::new();
-        let t = Type::fun(Type::con0(&env.builtins.int_hash), Type::con0(&env.builtins.int_hash));
+        let t = Type::fun(
+            Type::con0(&env.builtins.int_hash),
+            Type::con0(&env.builtins.int_hash),
+        );
         assert_eq!(kind_of(&env, &mut scope, &t).unwrap(), Kind::TYPE);
     }
 
@@ -815,7 +853,11 @@ mod tests {
         // ... but the *runtime* shape matches (computed via Rep::slots).
         let rn = kn.concrete_rep().unwrap();
         let rf = kf.concrete_rep().unwrap();
-        assert_eq!(rn.slots(), rf.slots(), "nesting is computationally irrelevant");
+        assert_eq!(
+            rn.slots(),
+            rf.slots(),
+            "nesting is computationally irrelevant"
+        );
     }
 
     #[test]
@@ -834,7 +876,10 @@ mod tests {
             Rc::clone(&env.builtins.array_hash),
             vec![Type::con0(&env.builtins.int)],
         );
-        assert_eq!(kind_of(&env, &mut scope, &applied).unwrap(), Kind::of_rep(Rep::Unlifted));
+        assert_eq!(
+            kind_of(&env, &mut scope, &applied).unwrap(),
+            Kind::of_rep(Rep::Unlifted)
+        );
     }
 
     #[test]
@@ -871,10 +916,7 @@ mod tests {
             ),
         );
         let t = type_of(&env, &mut scope, &e).unwrap();
-        assert_eq!(
-            t.to_string(),
-            "forall (r :: Rep) (a :: TYPE r). Int -> a"
-        );
+        assert_eq!(t.to_string(), "forall (r :: Rep) (a :: TYPE r). Int -> a");
     }
 
     #[test]
@@ -885,8 +927,16 @@ mod tests {
         let e = CoreExpr::case(
             CoreExpr::Con(Rc::clone(&b.true_con), vec![], vec![]),
             vec![
-                CoreAlt::Con { con: Rc::clone(&b.false_con), binders: vec![], rhs: CoreExpr::int(0) },
-                CoreAlt::Con { con: Rc::clone(&b.true_con), binders: vec![], rhs: CoreExpr::int(1) },
+                CoreAlt::Con {
+                    con: Rc::clone(&b.false_con),
+                    binders: vec![],
+                    rhs: CoreExpr::int(0),
+                },
+                CoreAlt::Con {
+                    con: Rc::clone(&b.true_con),
+                    binders: vec![],
+                    rhs: CoreExpr::int(1),
+                },
             ],
         );
         assert_eq!(type_of(&env, &mut scope, &e).unwrap().to_string(), "Int#");
@@ -900,7 +950,11 @@ mod tests {
         let e = CoreExpr::case(
             CoreExpr::Con(Rc::clone(&b.true_con), vec![], vec![]),
             vec![
-                CoreAlt::Con { con: Rc::clone(&b.false_con), binders: vec![], rhs: CoreExpr::int(0) },
+                CoreAlt::Con {
+                    con: Rc::clone(&b.false_con),
+                    binders: vec![],
+                    rhs: CoreExpr::int(0),
+                },
                 CoreAlt::Con {
                     con: Rc::clone(&b.true_con),
                     binders: vec![],
@@ -924,7 +978,11 @@ mod tests {
             CoreExpr::Con(
                 Rc::clone(&b.just),
                 vec![TyArg::Ty(Type::con0(&b.int))],
-                vec![CoreExpr::Con(Rc::clone(&b.i_hash), vec![], vec![CoreExpr::int(3)])],
+                vec![CoreExpr::Con(
+                    Rc::clone(&b.i_hash),
+                    vec![],
+                    vec![CoreExpr::int(3)],
+                )],
             ),
             vec![
                 CoreAlt::Con {
@@ -1001,7 +1059,10 @@ mod tests {
                 expr: CoreExpr::lam(
                     "x",
                     ih.clone(),
-                    CoreExpr::Prim(PrimOp::AddI, vec![CoreExpr::Var("x".into()), CoreExpr::int(1)]),
+                    CoreExpr::Prim(
+                        PrimOp::AddI,
+                        vec![CoreExpr::Var("x".into()), CoreExpr::int(1)],
+                    ),
                 ),
             }],
         };

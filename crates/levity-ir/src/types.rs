@@ -31,12 +31,18 @@ pub struct TyCon {
 impl TyCon {
     /// A constructor of kind `Type`.
     pub fn lifted(name: impl Into<Symbol>) -> TyCon {
-        TyCon { name: name.into(), kind: Kind::TYPE }
+        TyCon {
+            name: name.into(),
+            kind: Kind::TYPE,
+        }
     }
 
     /// A constructor of kind `TYPE rep`.
     pub fn of_rep(name: impl Into<Symbol>, rep: Rep) -> TyCon {
-        TyCon { name: name.into(), kind: Kind::of_rep(rep) }
+        TyCon {
+            name: name.into(),
+            kind: Kind::of_rep(rep),
+        }
     }
 }
 
@@ -76,7 +82,9 @@ impl Type {
     /// Curried function type over several arguments.
     pub fn funs(args: impl IntoIterator<Item = Type>, result: Type) -> Type {
         let args: Vec<_> = args.into_iter().collect();
-        args.into_iter().rev().fold(result, |acc, a| Type::fun(a, acc))
+        args.into_iter()
+            .rev()
+            .fold(result, |acc, a| Type::fun(a, acc))
     }
 
     /// `forall (a :: κ). τ`.
@@ -175,9 +183,10 @@ impl Type {
         match self {
             Type::Var(v) if *v == var => payload.clone(),
             Type::Var(_) => self.clone(),
-            Type::Con(tc, args) => {
-                Type::Con(Rc::clone(tc), args.iter().map(|a| a.subst_ty(var, payload)).collect())
-            }
+            Type::Con(tc, args) => Type::Con(
+                Rc::clone(tc),
+                args.iter().map(|a| a.subst_ty(var, payload)).collect(),
+            ),
             Type::Fun(a, b) => Type::fun(a.subst_ty(var, payload), b.subst_ty(var, payload)),
             Type::ForallTy(a, kind, body) => {
                 if *a == var {
@@ -210,9 +219,10 @@ impl Type {
     pub fn subst_rep(&self, var: Symbol, payload: &RepTy) -> Type {
         match self {
             Type::Var(_) => self.clone(),
-            Type::Con(tc, args) => {
-                Type::Con(Rc::clone(tc), args.iter().map(|a| a.subst_rep(var, payload)).collect())
-            }
+            Type::Con(tc, args) => Type::Con(
+                Rc::clone(tc),
+                args.iter().map(|a| a.subst_rep(var, payload)).collect(),
+            ),
             Type::Fun(a, b) => Type::fun(a.subst_rep(var, payload), b.subst_rep(var, payload)),
             Type::ForallTy(a, kind, body) => Type::forall_ty(
                 *a,
@@ -462,8 +472,14 @@ mod tests {
                     "b",
                     Kind::of_rep_var(Symbol::intern("r")),
                     Type::fun(
-                        Type::fun(Type::Var(Symbol::intern("a")), Type::Var(Symbol::intern("b"))),
-                        Type::fun(Type::Var(Symbol::intern("a")), Type::Var(Symbol::intern("b"))),
+                        Type::fun(
+                            Type::Var(Symbol::intern("a")),
+                            Type::Var(Symbol::intern("b")),
+                        ),
+                        Type::fun(
+                            Type::Var(Symbol::intern("a")),
+                            Type::Var(Symbol::intern("b")),
+                        ),
                     ),
                 ),
             ),
@@ -489,8 +505,14 @@ mod tests {
                     "b",
                     Kind::of_rep_var(r),
                     Type::fun(
-                        Type::fun(Type::Var(Symbol::intern("a")), Type::Var(Symbol::intern("b"))),
-                        Type::fun(Type::Var(Symbol::intern("a")), Type::Var(Symbol::intern("b"))),
+                        Type::fun(
+                            Type::Var(Symbol::intern("a")),
+                            Type::Var(Symbol::intern("b")),
+                        ),
+                        Type::fun(
+                            Type::Var(Symbol::intern("a")),
+                            Type::Var(Symbol::intern("b")),
+                        ),
                     ),
                 ),
             ),
@@ -514,8 +536,16 @@ mod tests {
 
     #[test]
     fn alpha_equivalence() {
-        let t1 = Type::forall_ty("a", Kind::TYPE, Type::fun(Type::Var("a".into()), Type::Var("a".into())));
-        let t2 = Type::forall_ty("z", Kind::TYPE, Type::fun(Type::Var("z".into()), Type::Var("z".into())));
+        let t1 = Type::forall_ty(
+            "a",
+            Kind::TYPE,
+            Type::fun(Type::Var("a".into()), Type::Var("a".into())),
+        );
+        let t2 = Type::forall_ty(
+            "z",
+            Kind::TYPE,
+            Type::fun(Type::Var("z".into()), Type::Var("z".into())),
+        );
         assert!(t1.alpha_eq(&t2));
         let t3 = Type::forall_ty(
             "a",
@@ -555,7 +585,11 @@ mod tests {
 
     #[test]
     fn free_vars() {
-        let t = Type::forall_ty("a", Kind::TYPE, Type::fun(Type::Var("a".into()), Type::Var("b".into())));
+        let t = Type::forall_ty(
+            "a",
+            Kind::TYPE,
+            Type::fun(Type::Var("a".into()), Type::Var("b".into())),
+        );
         assert_eq!(t.free_ty_vars(), vec![Symbol::intern("b")]);
         let t2 = Type::forall_ty("x", Kind::of_rep_var("r".into()), Type::Var("x".into()));
         assert_eq!(t2.free_rep_vars(), vec![Symbol::intern("r")]);

@@ -72,7 +72,10 @@ impl Ctx {
 
     /// Is representation variable `r` in scope? (Premise of K_VAR.)
     pub fn has_rep_var(&self, r: Symbol) -> bool {
-        self.bindings.iter().rev().any(|b| matches!(b, Binding::RepVar(s) if *s == r))
+        self.bindings
+            .iter()
+            .rev()
+            .any(|b| matches!(b, Binding::RepVar(s) if *s == r))
     }
 
     /// Does the context contain *no term bindings*? Both Progress and

@@ -14,7 +14,11 @@ fn sym(s: &str) -> Symbol {
 /// Note that for `κ = TYPE I` this is *still fine*: the binder's kind is
 /// concrete. What §5.1 forbids is a binder at `TYPE r`.
 pub fn poly_id(kind: LKind) -> Expr {
-    Expr::ty_lam("a", kind, Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x"))))
+    Expr::ty_lam(
+        "a",
+        kind,
+        Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x"))),
+    )
 }
 
 /// `bTwice`, monomorphized in the `Bool` argument (encoded as `Int`:

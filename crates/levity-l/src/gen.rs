@@ -32,7 +32,11 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { max_depth: 6, allow_error: true, allow_rep_poly: true }
+        GenConfig {
+            max_depth: 6,
+            allow_error: true,
+            allow_rep_poly: true,
+        }
     }
 }
 
@@ -47,7 +51,11 @@ pub struct Generator {
 impl Generator {
     /// Creates a generator with the given seed and configuration.
     pub fn new(seed: u64, config: GenConfig) -> Generator {
-        Generator { rng: StdRng::seed_from_u64(seed), config, fresh: 0 }
+        Generator {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            fresh: 0,
+        }
     }
 
     /// Generates one closed well-typed term together with its type.
@@ -74,7 +82,11 @@ impl Generator {
     /// Samples a closed type whose kind is concrete.
     fn gen_goal_type(&mut self, depth: usize) -> Ty {
         if depth == 0 {
-            return if self.rng.random::<bool>() { Ty::Int } else { Ty::IntHash };
+            return if self.rng.random::<bool>() {
+                Ty::Int
+            } else {
+                Ty::IntHash
+            };
         }
         match self.rng.random_range(0..6u8) {
             0 => Ty::Int,
@@ -88,7 +100,11 @@ impl Generator {
                 // ∀α:κ. …α used only at concrete positions: keep it simple
                 // by generating ∀α:κ. α -> α or ∀α:κ. closed.
                 let alpha = self.fresh("a");
-                let kind = if self.rng.random::<bool>() { LKind::P } else { LKind::I };
+                let kind = if self.rng.random::<bool>() {
+                    LKind::P
+                } else {
+                    LKind::I
+                };
                 if self.rng.random::<bool>() {
                     Ty::forall_ty(alpha, kind, Ty::arrow(Ty::Var(alpha), Ty::Var(alpha)))
                 } else {
@@ -204,9 +220,13 @@ impl Generator {
                 env.pop();
                 Some(Expr::rep_lam(*r, inner?))
             }
-            Ty::Var(_) => self
-                .try_var(env, ty)
-                .or_else(|| if self.config.allow_error { self.try_error(env, ty, depth) } else { None }),
+            Ty::Var(_) => self.try_var(env, ty).or_else(|| {
+                if self.config.allow_error {
+                    self.try_error(env, ty, depth)
+                } else {
+                    None
+                }
+            }),
         }
     }
 
@@ -241,7 +261,12 @@ impl Generator {
         Some(Expr::app(Expr::lam(x, arg_ty, body), arg))
     }
 
-    fn try_ty_app_wrapper(&mut self, env: &mut Vec<EnvEntry>, ty: &Ty, depth: usize) -> Option<Expr> {
+    fn try_ty_app_wrapper(
+        &mut self,
+        env: &mut Vec<EnvEntry>,
+        ty: &Ty,
+        depth: usize,
+    ) -> Option<Expr> {
         let alpha = self.fresh("a");
         let (kind, arg_ty) = if self.rng.random::<bool>() {
             (LKind::P, Ty::Int)
@@ -254,9 +279,18 @@ impl Generator {
         Some(Expr::ty_app(Expr::ty_lam(alpha, kind, body), arg_ty))
     }
 
-    fn try_rep_app_wrapper(&mut self, env: &mut Vec<EnvEntry>, ty: &Ty, depth: usize) -> Option<Expr> {
+    fn try_rep_app_wrapper(
+        &mut self,
+        env: &mut Vec<EnvEntry>,
+        ty: &Ty,
+        depth: usize,
+    ) -> Option<Expr> {
         let r = self.fresh("r");
-        let rho = if self.rng.random::<bool>() { Rho::P } else { Rho::I };
+        let rho = if self.rng.random::<bool>() {
+            Rho::P
+        } else {
+            Rho::I
+        };
         // The generated body never mentions the fresh r, and ty must not
         // have kind TYPE r (it cannot: r is fresh), so the RepLam checks.
         let body = self.gen_expr(env, ty, depth - 1)?;
@@ -325,7 +359,10 @@ mod tests {
 
     #[test]
     fn generator_without_error_never_emits_error() {
-        let config = GenConfig { allow_error: false, ..GenConfig::default() };
+        let config = GenConfig {
+            allow_error: false,
+            ..GenConfig::default()
+        };
         let mut generator = Generator::new(42, config);
         fn mentions_error(e: &Expr) -> bool {
             match e {

@@ -51,4 +51,4 @@ pub mod typecheck;
 pub use ctx::Ctx;
 pub use step::{eval_closed, Outcome, Step};
 pub use syntax::{ConcreteRep, Expr, LKind, Rho, Ty};
-pub use typecheck::{check_closed, type_of, ty_kind, TypeError};
+pub use typecheck::{check_closed, ty_kind, type_of, TypeError};

@@ -15,7 +15,7 @@ use std::fmt;
 use crate::ctx::Ctx;
 use crate::subst::{subst_expr, subst_rep_in_expr, subst_ty_in_expr};
 use crate::syntax::{ConcreteRep, Expr};
-use crate::typecheck::{type_of, ty_concrete_kind, TypeError};
+use crate::typecheck::{ty_concrete_kind, type_of, TypeError};
 
 /// The result of one small step `Γ ⊢ e → e'`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -275,12 +275,17 @@ mod tests {
     }
 
     fn run(e: &Expr) -> Outcome {
-        eval_closed(e, 10_000).expect("evaluation should not get stuck").0
+        eval_closed(e, 10_000)
+            .expect("evaluation should not get stuck")
+            .0
     }
 
     #[test]
     fn beta_unboxed() {
-        let e = Expr::app(Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))), Expr::Lit(3));
+        let e = Expr::app(
+            Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))),
+            Expr::Lit(3),
+        );
         assert_eq!(run(&e), Outcome::Value(Expr::Lit(3)));
     }
 
@@ -326,7 +331,10 @@ mod tests {
     fn case_forces_scrutinee() {
         // case ((λy:Int#. I#[y]) 4) of I#[x] -> x
         let e = Expr::case(
-            Expr::app(Expr::lam("y", Ty::IntHash, Expr::con(Expr::Var(sym("y")))), Expr::Lit(4)),
+            Expr::app(
+                Expr::lam("y", Ty::IntHash, Expr::con(Expr::Var(sym("y")))),
+                Expr::Lit(4),
+            ),
             "x",
             Expr::Var(sym("x")),
         );
@@ -338,7 +346,11 @@ mod tests {
         // (Λα:TYPE P. λx:α. x) [Int] applied to I#[2].
         let e = Expr::app(
             Expr::ty_app(
-                Expr::ty_lam("a", LKind::P, Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x")))),
+                Expr::ty_lam(
+                    "a",
+                    LKind::P,
+                    Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x"))),
+                ),
                 Ty::Int,
             ),
             Expr::con(Expr::Lit(2)),
@@ -405,13 +417,19 @@ mod tests {
     #[test]
     fn con_evaluates_strictly() {
         // I#[(λx:Int#. x) 8]
-        let e = Expr::con(Expr::app(Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))), Expr::Lit(8)));
+        let e = Expr::con(Expr::app(
+            Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))),
+            Expr::Lit(8),
+        ));
         assert_eq!(run(&e), Outcome::Value(Expr::con(Expr::Lit(8))));
     }
 
     #[test]
     fn steps_are_counted() {
-        let e = Expr::app(Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))), Expr::Lit(3));
+        let e = Expr::app(
+            Expr::lam("x", Ty::IntHash, Expr::Var(sym("x"))),
+            Expr::Lit(3),
+        );
         let (out, steps) = eval_closed(&e, 100).unwrap();
         assert_eq!(out, Outcome::Value(Expr::Lit(3)));
         assert_eq!(steps, 1);

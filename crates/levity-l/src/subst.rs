@@ -180,9 +180,7 @@ pub fn subst_rep_in_ty(ty: &Ty, r: Symbol, rho: Rho) -> Ty {
     }
     match ty {
         Ty::Int | Ty::IntHash | Ty::Var(_) => ty.clone(),
-        Ty::Arrow(a, b) => {
-            Ty::arrow(subst_rep_in_ty(a, r, rho), subst_rep_in_ty(b, r, rho))
-        }
+        Ty::Arrow(a, b) => Ty::arrow(subst_rep_in_ty(a, r, rho), subst_rep_in_ty(b, r, rho)),
         Ty::ForallTy(a, k, body) => {
             Ty::forall_ty(*a, subst_kind(*k, r, rho), subst_rep_in_ty(body, r, rho))
         }
@@ -305,9 +303,7 @@ pub fn subst_rep_in_expr(e: &Expr, r: Symbol, rho: Rho) -> Expr {
     }
     match e {
         Expr::Var(_) | Expr::Lit(_) | Expr::Error => e.clone(),
-        Expr::App(a, b) => {
-            Expr::app(subst_rep_in_expr(a, r, rho), subst_rep_in_expr(b, r, rho))
-        }
+        Expr::App(a, b) => Expr::app(subst_rep_in_expr(a, r, rho), subst_rep_in_expr(b, r, rho)),
         Expr::Lam(x, ty, body) => Expr::lam(
             *x,
             subst_rep_in_ty(ty, r, rho),
@@ -349,7 +345,12 @@ pub fn subst_rep_in_expr(e: &Expr, r: Symbol, rho: Rho) -> Expr {
 /// α-equivalence of types, used by the checker at E_APP (the argument type
 /// must *be* the domain type) and by the preservation tests.
 pub fn alpha_eq_ty(t1: &Ty, t2: &Ty) -> bool {
-    fn go(t1: &Ty, t2: &Ty, env: &mut Vec<(Symbol, Symbol)>, renv: &mut Vec<(Symbol, Symbol)>) -> bool {
+    fn go(
+        t1: &Ty,
+        t2: &Ty,
+        env: &mut Vec<(Symbol, Symbol)>,
+        renv: &mut Vec<(Symbol, Symbol)>,
+    ) -> bool {
         match (t1, t2) {
             (Ty::Int, Ty::Int) | (Ty::IntHash, Ty::IntHash) => true,
             (Ty::Arrow(a1, b1), Ty::Arrow(a2, b2)) => {
@@ -440,7 +441,11 @@ mod tests {
     #[test]
     fn ty_substitution_under_forall_avoids_capture() {
         // (∀b. a -> b)[b/a] must not capture.
-        let t = Ty::forall_ty("b", LKind::P, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b"))));
+        let t = Ty::forall_ty(
+            "b",
+            LKind::P,
+            Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b"))),
+        );
         let out = subst_ty_in_ty(&t, sym("a"), &Ty::Var(sym("b")));
         match out {
             Ty::ForallTy(binder, _, body) => {
@@ -468,23 +473,52 @@ mod tests {
 
     #[test]
     fn rep_substitution_respects_shadowing() {
-        let t = Ty::forall_rep("r", Ty::forall_ty("a", LKind::var(sym("r")), Ty::Var(sym("a"))));
+        let t = Ty::forall_rep(
+            "r",
+            Ty::forall_ty("a", LKind::var(sym("r")), Ty::Var(sym("a"))),
+        );
         assert_eq!(subst_rep_in_ty(&t, sym("r"), Rho::P), t);
     }
 
     #[test]
     fn alpha_equivalence_of_foralls() {
-        let t1 = Ty::forall_ty("a", LKind::P, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))));
-        let t2 = Ty::forall_ty("b", LKind::P, Ty::arrow(Ty::Var(sym("b")), Ty::Var(sym("b"))));
+        let t1 = Ty::forall_ty(
+            "a",
+            LKind::P,
+            Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))),
+        );
+        let t2 = Ty::forall_ty(
+            "b",
+            LKind::P,
+            Ty::arrow(Ty::Var(sym("b")), Ty::Var(sym("b"))),
+        );
         assert!(alpha_eq_ty(&t1, &t2));
-        let t3 = Ty::forall_ty("a", LKind::I, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))));
+        let t3 = Ty::forall_ty(
+            "a",
+            LKind::I,
+            Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))),
+        );
         assert!(!alpha_eq_ty(&t1, &t3), "kinds must match");
     }
 
     #[test]
     fn alpha_equivalence_of_rep_foralls() {
-        let t1 = Ty::forall_rep("r", Ty::forall_ty("a", LKind::var(sym("r")), Ty::arrow(Ty::Int, Ty::Var(sym("a")))));
-        let t2 = Ty::forall_rep("s", Ty::forall_ty("b", LKind::var(sym("s")), Ty::arrow(Ty::Int, Ty::Var(sym("b")))));
+        let t1 = Ty::forall_rep(
+            "r",
+            Ty::forall_ty(
+                "a",
+                LKind::var(sym("r")),
+                Ty::arrow(Ty::Int, Ty::Var(sym("a"))),
+            ),
+        );
+        let t2 = Ty::forall_rep(
+            "s",
+            Ty::forall_ty(
+                "b",
+                LKind::var(sym("s")),
+                Ty::arrow(Ty::Int, Ty::Var(sym("b"))),
+            ),
+        );
         assert!(alpha_eq_ty(&t1, &t2));
     }
 
@@ -494,19 +528,31 @@ mod tests {
         let t1 = Ty::forall_ty(
             "a",
             LKind::P,
-            Ty::forall_ty("b", LKind::P, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b")))),
+            Ty::forall_ty(
+                "b",
+                LKind::P,
+                Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("b"))),
+            ),
         );
         let t2 = Ty::forall_ty(
             "a",
             LKind::P,
-            Ty::forall_ty("b", LKind::P, Ty::arrow(Ty::Var(sym("b")), Ty::Var(sym("a")))),
+            Ty::forall_ty(
+                "b",
+                LKind::P,
+                Ty::arrow(Ty::Var(sym("b")), Ty::Var(sym("a"))),
+            ),
         );
         assert!(!alpha_eq_ty(&t1, &t2));
     }
 
     #[test]
     fn free_vars_of_open_terms() {
-        let e = Expr::lam("x", Ty::Int, Expr::app(Expr::Var(sym("f")), Expr::Var(sym("x"))));
+        let e = Expr::lam(
+            "x",
+            Ty::Int,
+            Expr::app(Expr::Var(sym("f")), Expr::Var(sym("x"))),
+        );
         assert_eq!(free_term_vars(&e), vec![sym("f")]);
     }
 

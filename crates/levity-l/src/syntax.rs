@@ -331,8 +331,12 @@ mod tests {
     #[test]
     fn con_of_value_is_value() {
         assert!(Expr::con(Expr::Lit(1)).is_value());
-        assert!(!Expr::con(Expr::case(Expr::con(Expr::Lit(1)), "x", Expr::Var(sym("x"))))
-            .is_value());
+        assert!(!Expr::con(Expr::case(
+            Expr::con(Expr::Lit(1)),
+            "x",
+            Expr::Var(sym("x"))
+        ))
+        .is_value());
     }
 
     #[test]
@@ -342,7 +346,10 @@ mod tests {
 
     #[test]
     fn applications_are_not_values() {
-        let e = Expr::app(Expr::lam("x", Ty::Int, Expr::Var(sym("x"))), Expr::con(Expr::Lit(1)));
+        let e = Expr::app(
+            Expr::lam("x", Ty::Int, Expr::Var(sym("x"))),
+            Expr::con(Expr::Lit(1)),
+        );
         assert!(!e.is_value());
     }
 
@@ -356,10 +363,7 @@ mod tests {
 
     #[test]
     fn display_round_trips_shapes() {
-        let e = Expr::rep_app(
-            Expr::ty_app(Expr::Error, Ty::IntHash),
-            Rho::I,
-        );
+        let e = Expr::rep_app(Expr::ty_app(Expr::Error, Ty::IntHash), Rho::I);
         assert_eq!(e.to_string(), "(error [Int#]) {I}");
         let lam = Expr::lam("x", Ty::IntHash, Expr::Var(sym("x")));
         assert_eq!(lam.to_string(), "\\(x : Int#). x");
@@ -375,7 +379,10 @@ mod tests {
 
     #[test]
     fn size_counts_nodes() {
-        let e = Expr::app(Expr::lam("x", Ty::Int, Expr::Var(sym("x"))), Expr::con(Expr::Lit(1)));
+        let e = Expr::app(
+            Expr::lam("x", Ty::Int, Expr::Var(sym("x"))),
+            Expr::con(Expr::Lit(1)),
+        );
         assert_eq!(e.size(), 5);
     }
 

@@ -138,7 +138,9 @@ pub fn ty_kind(ctx: &mut Ctx, ty: &Ty) -> Result<LKind, TypeError> {
             Ok(LKind::P)
         }
         // T_VAR
-        Ty::Var(alpha) => ctx.lookup_ty_var(*alpha).ok_or(TypeError::UnboundTyVar(*alpha)),
+        Ty::Var(alpha) => ctx
+            .lookup_ty_var(*alpha)
+            .ok_or(TypeError::UnboundTyVar(*alpha)),
         // T_ALLTY: the forall's kind is the *body's* kind κ₂ — evidence of
         // type erasure (§6.1): a type abstraction is represented exactly
         // like its body.
@@ -157,7 +159,10 @@ pub fn ty_kind(ctx: &mut Ctx, ty: &Ty) -> Result<LKind, TypeError> {
             ctx.pop();
             let k = k?;
             if k == LKind::var(*r) {
-                return Err(TypeError::RepEscapes { rep_var: *r, body: (**body).clone() });
+                return Err(TypeError::RepEscapes {
+                    rep_var: *r,
+                    body: (**body).clone(),
+                });
             }
             Ok(k)
         }
@@ -168,14 +173,20 @@ pub fn ty_kind(ctx: &mut Ctx, ty: &Ty) -> Result<LKind, TypeError> {
 /// of E_APP and E_LAM. Returns the concrete representation.
 pub fn ty_concrete_kind(ctx: &mut Ctx, ty: &Ty) -> Result<ConcreteRep, TypeError> {
     let kind = ty_kind(ctx, ty)?;
-    kind.0.as_concrete().ok_or(TypeError::LevityPolymorphic { ty: ty.clone(), kind })
+    kind.0.as_concrete().ok_or(TypeError::LevityPolymorphic {
+        ty: ty.clone(),
+        kind,
+    })
 }
 
 /// `Γ ⊢ e : τ` (Figure 3, top).
 pub fn type_of(ctx: &mut Ctx, e: &Expr) -> Result<Ty, TypeError> {
     match e {
         // E_VAR
-        Expr::Var(x) => ctx.lookup_term(*x).cloned().ok_or(TypeError::UnboundVar(*x)),
+        Expr::Var(x) => ctx
+            .lookup_term(*x)
+            .cloned()
+            .ok_or(TypeError::UnboundVar(*x)),
         // E_INTLIT
         Expr::Lit(_) => Ok(Ty::IntHash),
         // E_ERROR
@@ -186,7 +197,10 @@ pub fn type_of(ctx: &mut Ctx, e: &Expr) -> Result<Ty, TypeError> {
             if alpha_eq_ty(&t, &Ty::IntHash) {
                 Ok(Ty::Int)
             } else {
-                Err(TypeError::ArgMismatch { expected: Ty::IntHash, actual: t })
+                Err(TypeError::ArgMismatch {
+                    expected: Ty::IntHash,
+                    actual: t,
+                })
             }
         }
         // E_APP, with the highlighted premise Γ ⊢ τ₁ : TYPE υ.
@@ -196,7 +210,10 @@ pub fn type_of(ctx: &mut Ctx, e: &Expr) -> Result<Ty, TypeError> {
             match fun_ty {
                 Ty::Arrow(dom, cod) => {
                     if !alpha_eq_ty(&dom, &arg_ty) {
-                        return Err(TypeError::ArgMismatch { expected: *dom, actual: arg_ty });
+                        return Err(TypeError::ArgMismatch {
+                            expected: *dom,
+                            actual: arg_ty,
+                        });
                     }
                     ty_concrete_kind(ctx, &dom)?;
                     Ok(*cod)
@@ -227,7 +244,10 @@ pub fn type_of(ctx: &mut Ctx, e: &Expr) -> Result<Ty, TypeError> {
                 Ty::ForallTy(alpha, kind, body) => {
                     let arg_kind = ty_kind(ctx, ty_arg)?;
                     if arg_kind != kind {
-                        return Err(TypeError::KindMismatch { expected: kind, actual: arg_kind });
+                        return Err(TypeError::KindMismatch {
+                            expected: kind,
+                            actual: arg_kind,
+                        });
                     }
                     Ok(subst_ty_in_ty(&body, alpha, ty_arg))
                 }
@@ -319,7 +339,10 @@ mod tests {
         let idp = Expr::lam("x", Ty::Int, Expr::Var(sym("x")));
         assert_eq!(check_closed(&idp).unwrap(), Ty::arrow(Ty::Int, Ty::Int));
         let idi = Expr::lam("x", Ty::IntHash, Expr::Var(sym("x")));
-        assert_eq!(check_closed(&idi).unwrap(), Ty::arrow(Ty::IntHash, Ty::IntHash));
+        assert_eq!(
+            check_closed(&idi).unwrap(),
+            Ty::arrow(Ty::IntHash, Ty::IntHash)
+        );
     }
 
     #[test]
@@ -328,17 +351,28 @@ mod tests {
         let good = Expr::app(id.clone(), Expr::con(Expr::Lit(1)));
         assert_eq!(check_closed(&good).unwrap(), Ty::Int);
         let bad = Expr::app(id, Expr::Lit(1));
-        assert!(matches!(check_closed(&bad).unwrap_err(), TypeError::ArgMismatch { .. }));
+        assert!(matches!(
+            check_closed(&bad).unwrap_err(),
+            TypeError::ArgMismatch { .. }
+        ));
     }
 
     #[test]
     fn polymorphic_identity() {
         // Λα:TYPE P. λx:α. x : ∀α:TYPE P. α -> α
-        let e = Expr::ty_lam("a", LKind::P, Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x"))));
+        let e = Expr::ty_lam(
+            "a",
+            LKind::P,
+            Expr::lam("x", Ty::Var(sym("a")), Expr::Var(sym("x"))),
+        );
         let t = check_closed(&e).unwrap();
         assert!(alpha_eq_ty(
             &t,
-            &Ty::forall_ty("a", LKind::P, Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a"))))
+            &Ty::forall_ty(
+                "a",
+                LKind::P,
+                Ty::arrow(Ty::Var(sym("a")), Ty::Var(sym("a")))
+            )
         ));
         // Instantiating at Int is fine; at Int# is a kind error — the
         // Instantiation Principle of §3, enforced through kinds (§3.1).
@@ -427,7 +461,10 @@ mod tests {
                 ),
             ),
         );
-        assert!(matches!(check_closed(&e).unwrap_err(), TypeError::RepEscapes { .. }));
+        assert!(matches!(
+            check_closed(&e).unwrap_err(),
+            TypeError::RepEscapes { .. }
+        ));
     }
 
     #[test]
@@ -481,7 +518,10 @@ mod tests {
     #[test]
     fn rep_application_requires_scoped_var() {
         let e = Expr::rep_app(Expr::Error, Rho::Var(sym("r")));
-        assert!(matches!(check_closed(&e).unwrap_err(), TypeError::UnboundRepVar(_)));
+        assert!(matches!(
+            check_closed(&e).unwrap_err(),
+            TypeError::UnboundRepVar(_)
+        ));
     }
 
     #[test]

@@ -260,7 +260,11 @@ impl fmt::Display for MachineError {
             MachineError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
             MachineError::UnknownGlobal(g) => write!(f, "unknown global `{g}`"),
             MachineError::AppliedNonFunction(w) => write!(f, "applied non-function value {w}"),
-            MachineError::ClassMismatch { binder, expected, actual } => write!(
+            MachineError::ClassMismatch {
+                binder,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "register class mismatch: binder `{binder}` wants {expected}, got {actual}"
             ),
@@ -329,7 +333,13 @@ impl Machine {
 
     /// A machine with the given global definitions.
     pub fn with_globals(globals: Globals) -> Machine {
-        Machine { heap: Vec::new(), stack: Vec::new(), globals, stats: MachineStats::default(), fuel: Self::DEFAULT_FUEL }
+        Machine {
+            heap: Vec::new(),
+            stack: Vec::new(),
+            globals,
+            stats: MachineStats::default(),
+            fuel: Self::DEFAULT_FUEL,
+        }
     }
 
     /// Replaces the fuel limit.
@@ -395,7 +405,11 @@ impl Machine {
         if binder.class == actual {
             Ok(())
         } else {
-            Err(MachineError::ClassMismatch { binder: binder.name, expected: binder.class, actual })
+            Err(MachineError::ClassMismatch {
+                binder: binder.name,
+                expected: binder.class,
+                actual,
+            })
         }
     }
 
@@ -500,8 +514,10 @@ impl Machine {
                 Ok(Control::Ret(Value::Con(c.clone(), args)))
             }
             MExpr::Prim(op, args) => {
-                let lits =
-                    args.iter().map(|a| self.literal_of(*a)).collect::<Result<Vec<_>, _>>()?;
+                let lits = args
+                    .iter()
+                    .map(|a| self.literal_of(*a))
+                    .collect::<Result<Vec<_>, _>>()?;
                 self.stats.prim_ops += 1;
                 Ok(Control::Ret(Value::Lit(apply_prim(*op, &lits)?)))
             }
@@ -512,8 +528,10 @@ impl Machine {
                 Ok(Control::Eval(Rc::clone(scrut)))
             }
             MExpr::Global(g) => {
-                let code =
-                    self.globals.get(*g).ok_or(MachineError::UnknownGlobal(*g))?;
+                let code = self
+                    .globals
+                    .get(*g)
+                    .ok_or(MachineError::UnknownGlobal(*g))?;
                 Ok(Control::Eval(Rc::clone(code)))
             }
             MExpr::Error(_) => {
@@ -570,7 +588,6 @@ impl Machine {
                                     .iter()
                                     .map(|b| b.name)
                                     .zip(fields.iter().copied())
-                                    .map(|(n, a)| (n, a))
                                     .collect();
                                 return Ok(Control::Eval(subst_atoms(rhs, &pairs)));
                             }
@@ -603,8 +620,11 @@ impl Machine {
                     for (b, a) in binders.iter().zip(fields.iter()) {
                         self.check_class(*b, *a)?;
                     }
-                    let pairs: Vec<_> =
-                        binders.iter().map(|b| b.name).zip(fields.iter().copied()).collect();
+                    let pairs: Vec<_> = binders
+                        .iter()
+                        .map(|b| b.name)
+                        .zip(fields.iter().copied())
+                        .collect();
                     Ok(Control::Eval(subst_atoms(&body, &pairs)))
                 }
                 other => Err(MachineError::InvalidState(format!(
@@ -667,7 +687,10 @@ mod tests {
 
     #[test]
     fn literal_evaluates_to_itself() {
-        assert_eq!(run(MExpr::int(5)), RunOutcome::Value(Value::Lit(Literal::Int(5))));
+        assert_eq!(
+            run(MExpr::int(5)),
+            RunOutcome::Value(Value::Lit(Literal::Int(5)))
+        );
     }
 
     #[test]
@@ -690,7 +713,13 @@ mod tests {
                 vec![Alt::Con(
                     DataCon::int_hash(),
                     vec![Binder::int("i")],
-                    MExpr::prim(PrimOp::AddI, vec![Atom::Var(Symbol::intern("i")), Atom::Var(Symbol::intern("i"))]),
+                    MExpr::prim(
+                        PrimOp::AddI,
+                        vec![
+                            Atom::Var(Symbol::intern("i")),
+                            Atom::Var(Symbol::intern("i")),
+                        ],
+                    ),
                 )],
                 None,
             )),
@@ -718,7 +747,10 @@ mod tests {
                     "b",
                     MExpr::prim(
                         PrimOp::AddI,
-                        vec![Atom::Var(Symbol::intern("a")), Atom::Var(Symbol::intern("b"))],
+                        vec![
+                            Atom::Var(Symbol::intern("a")),
+                            Atom::Var(Symbol::intern("b")),
+                        ],
                     ),
                 ),
             ),
@@ -739,7 +771,10 @@ mod tests {
             MExpr::con_int_hash(Atom::Var(Symbol::intern("i"))),
         );
         let out = run(t);
-        assert_eq!(out, RunOutcome::Value(Value::Con(DataCon::int_hash(), vec![int_atom(3)])));
+        assert_eq!(
+            out,
+            RunOutcome::Value(Value::Con(DataCon::int_hash(), vec![int_atom(3)]))
+        );
     }
 
     #[test]
@@ -767,7 +802,11 @@ mod tests {
     #[test]
     fn blackhole_detects_self_reference() {
         // let p = case p of I#[i] -> I#[i] in case p of I#[i] -> i
-        let body = MExpr::case_int_hash(MExpr::var("p"), "i", MExpr::con_int_hash(Atom::Var(Symbol::intern("i"))));
+        let body = MExpr::case_int_hash(
+            MExpr::var("p"),
+            "i",
+            MExpr::con_int_hash(Atom::Var(Symbol::intern("i"))),
+        );
         let t = MExpr::let_lazy(
             "p",
             body,
@@ -784,13 +823,20 @@ mod tests {
             vec![Binder::int("a"), Binder::int("b")],
             MExpr::prim(
                 PrimOp::AddI,
-                vec![Atom::Var(Symbol::intern("a")), Atom::Var(Symbol::intern("b"))],
+                vec![
+                    Atom::Var(Symbol::intern("a")),
+                    Atom::Var(Symbol::intern("b")),
+                ],
             ),
         ));
         let mut m = Machine::new();
         let out = m.run(t).unwrap();
         assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(7))));
-        assert_eq!(m.stats().allocated_words, 0, "unboxed tuples never allocate");
+        assert_eq!(
+            m.stats().allocated_words,
+            0,
+            "unboxed tuples never allocate"
+        );
         assert_eq!(m.stats().con_allocs, 0);
     }
 
@@ -812,7 +858,10 @@ mod tests {
                         MExpr::prim(PrimOp::SubI, vec![Atom::Var(n), int_atom(1)]),
                         MExpr::apps(
                             MExpr::global("sumTo#"),
-                            [Atom::Var(Symbol::intern("acc2")), Atom::Var(Symbol::intern("n2"))],
+                            [
+                                Atom::Var(Symbol::intern("acc2")),
+                                Atom::Var(Symbol::intern("n2")),
+                            ],
                         ),
                     ),
                 ),
@@ -851,14 +900,24 @@ mod tests {
         let t = Rc::new(MExpr::Case(
             scrut,
             vec![Alt::Lit(Literal::Int(0), MExpr::int(100))],
-            Some((Binder::int("n"), MExpr::prim(PrimOp::MulI, vec![Atom::Var(Symbol::intern("n")), int_atom(2)]))),
+            Some((
+                Binder::int("n"),
+                MExpr::prim(
+                    PrimOp::MulI,
+                    vec![Atom::Var(Symbol::intern("n")), int_atom(2)],
+                ),
+            )),
         ));
         assert_eq!(run(t), RunOutcome::Value(Value::Lit(Literal::Int(14))));
     }
 
     #[test]
     fn no_matching_alt_is_a_machine_error() {
-        let t = Rc::new(MExpr::Case(MExpr::int(7), vec![Alt::Lit(Literal::Int(0), MExpr::int(1))], None));
+        let t = Rc::new(MExpr::Case(
+            MExpr::int(7),
+            vec![Alt::Lit(Literal::Int(0), MExpr::int(1))],
+            None,
+        ));
         assert!(matches!(
             Machine::new().run(t).unwrap_err(),
             MachineError::NoMatchingAlt(_)

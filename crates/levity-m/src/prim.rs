@@ -20,7 +20,11 @@ pub struct PrimError {
 
 impl fmt::Display for PrimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "primop `{}` applied to invalid arguments {:?}", self.op, self.args)
+        write!(
+            f,
+            "primop `{}` applied to invalid arguments {:?}",
+            self.op, self.args
+        )
     }
 }
 
@@ -38,7 +42,10 @@ fn bool_lit(b: bool) -> Literal {
 /// machine code produced by the type-checked pipeline). Integer division
 /// by zero also errors, mirroring a hardware trap.
 pub fn apply_prim(op: PrimOp, args: &[Literal]) -> Result<Literal, PrimError> {
-    let err = || PrimError { op, args: args.to_vec() };
+    let err = || PrimError {
+        op,
+        args: args.to_vec(),
+    };
     let int2 = |f: fn(i64, i64) -> Option<Literal>| -> Result<Literal, PrimError> {
         match args {
             [Literal::Int(a), Literal::Int(b)] => f(*a, *b).ok_or_else(err),
@@ -133,19 +140,46 @@ mod tests {
 
     #[test]
     fn integer_arithmetic() {
-        assert_eq!(apply_prim(PrimOp::AddI, &[Literal::Int(2), Literal::Int(3)]), Ok(Literal::Int(5)));
-        assert_eq!(apply_prim(PrimOp::SubI, &[Literal::Int(2), Literal::Int(3)]), Ok(Literal::Int(-1)));
-        assert_eq!(apply_prim(PrimOp::MulI, &[Literal::Int(4), Literal::Int(3)]), Ok(Literal::Int(12)));
-        assert_eq!(apply_prim(PrimOp::QuotI, &[Literal::Int(7), Literal::Int(2)]), Ok(Literal::Int(3)));
-        assert_eq!(apply_prim(PrimOp::RemI, &[Literal::Int(7), Literal::Int(2)]), Ok(Literal::Int(1)));
-        assert_eq!(apply_prim(PrimOp::NegI, &[Literal::Int(7)]), Ok(Literal::Int(-7)));
+        assert_eq!(
+            apply_prim(PrimOp::AddI, &[Literal::Int(2), Literal::Int(3)]),
+            Ok(Literal::Int(5))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::SubI, &[Literal::Int(2), Literal::Int(3)]),
+            Ok(Literal::Int(-1))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::MulI, &[Literal::Int(4), Literal::Int(3)]),
+            Ok(Literal::Int(12))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::QuotI, &[Literal::Int(7), Literal::Int(2)]),
+            Ok(Literal::Int(3))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::RemI, &[Literal::Int(7), Literal::Int(2)]),
+            Ok(Literal::Int(1))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::NegI, &[Literal::Int(7)]),
+            Ok(Literal::Int(-7))
+        );
     }
 
     #[test]
     fn comparisons_return_unboxed_bools() {
-        assert_eq!(apply_prim(PrimOp::LtI, &[Literal::Int(1), Literal::Int(2)]), Ok(Literal::Int(1)));
-        assert_eq!(apply_prim(PrimOp::GeI, &[Literal::Int(1), Literal::Int(2)]), Ok(Literal::Int(0)));
-        assert_eq!(apply_prim(PrimOp::EqI, &[Literal::Int(2), Literal::Int(2)]), Ok(Literal::Int(1)));
+        assert_eq!(
+            apply_prim(PrimOp::LtI, &[Literal::Int(1), Literal::Int(2)]),
+            Ok(Literal::Int(1))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::GeI, &[Literal::Int(1), Literal::Int(2)]),
+            Ok(Literal::Int(0))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::EqI, &[Literal::Int(2), Literal::Int(2)]),
+            Ok(Literal::Int(1))
+        );
     }
 
     #[test]
@@ -176,10 +210,22 @@ mod tests {
 
     #[test]
     fn conversions() {
-        assert_eq!(apply_prim(PrimOp::IntToDouble, &[Literal::Int(3)]), Ok(Literal::double(3.0)));
-        assert_eq!(apply_prim(PrimOp::DoubleToInt, &[Literal::double(3.9)]), Ok(Literal::Int(3)));
-        assert_eq!(apply_prim(PrimOp::CharToInt, &[Literal::Char('A')]), Ok(Literal::Int(65)));
-        assert_eq!(apply_prim(PrimOp::IntToChar, &[Literal::Int(66)]), Ok(Literal::Char('B')));
+        assert_eq!(
+            apply_prim(PrimOp::IntToDouble, &[Literal::Int(3)]),
+            Ok(Literal::double(3.0))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::DoubleToInt, &[Literal::double(3.9)]),
+            Ok(Literal::Int(3))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::CharToInt, &[Literal::Char('A')]),
+            Ok(Literal::Int(65))
+        );
+        assert_eq!(
+            apply_prim(PrimOp::IntToChar, &[Literal::Int(66)]),
+            Ok(Literal::Char('B'))
+        );
     }
 
     #[test]

@@ -91,9 +91,7 @@ pub fn subst_atom(t: &Rc<MExpr>, name: Symbol, payload: Atom) -> Rc<MExpr> {
             });
             Rc::new(MExpr::Case(scrut2, alts2, def2))
         }
-        MExpr::Con(c, args) => {
-            Rc::new(MExpr::Con(c.clone(), sub_in_atoms(args, name, payload)))
-        }
+        MExpr::Con(c, args) => Rc::new(MExpr::Con(c.clone(), sub_in_atoms(args, name, payload))),
         MExpr::Prim(op, args) => Rc::new(MExpr::Prim(*op, sub_in_atoms(args, name, payload))),
         MExpr::MultiVal(args) => Rc::new(MExpr::MultiVal(sub_in_atoms(args, name, payload))),
         MExpr::CaseMulti(scrut, binders, body) => {
@@ -117,7 +115,9 @@ fn sub_in_atom(a: Atom, name: Symbol, payload: Atom) -> Option<Atom> {
 }
 
 fn sub_in_atoms(args: &[Atom], name: Symbol, payload: Atom) -> Vec<Atom> {
-    args.iter().map(|a| sub_in_atom(*a, name, payload).unwrap_or(*a)).collect()
+    args.iter()
+        .map(|a| sub_in_atom(*a, name, payload).unwrap_or(*a))
+        .collect()
 }
 
 /// Substitutes several atoms at once (used when a case alternative binds
@@ -193,7 +193,10 @@ mod tests {
         );
         let out = subst_atoms(
             &t,
-            &[(sym("a"), Atom::Lit(Literal::Int(1))), (sym("b"), Atom::Lit(Literal::Int(2)))],
+            &[
+                (sym("a"), Atom::Lit(Literal::Int(1))),
+                (sym("b"), Atom::Lit(Literal::Int(2))),
+            ],
         );
         assert_eq!(out.to_string(), "(+# 1# 2#)");
     }

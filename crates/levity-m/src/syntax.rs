@@ -161,17 +161,26 @@ pub struct Binder {
 impl Binder {
     /// A pointer-class binder (`p` in Figure 5).
     pub fn ptr(name: impl Into<Symbol>) -> Binder {
-        Binder { name: name.into(), class: Slot::Ptr }
+        Binder {
+            name: name.into(),
+            class: Slot::Ptr,
+        }
     }
 
     /// A word-class binder (`i` in Figure 5).
     pub fn int(name: impl Into<Symbol>) -> Binder {
-        Binder { name: name.into(), class: Slot::Word }
+        Binder {
+            name: name.into(),
+            class: Slot::Word,
+        }
     }
 
     /// A binder of the given class.
     pub fn new(name: impl Into<Symbol>, class: Slot) -> Binder {
-        Binder { name: name.into(), class }
+        Binder {
+            name: name.into(),
+            class,
+        }
     }
 }
 
@@ -196,12 +205,20 @@ pub struct DataCon {
 impl DataCon {
     /// The paper's `I#` constructor: one word field, tag 0.
     pub fn int_hash() -> DataCon {
-        DataCon { name: Symbol::intern("I#"), tag: 0, fields: vec![Slot::Word] }
+        DataCon {
+            name: Symbol::intern("I#"),
+            tag: 0,
+            fields: vec![Slot::Word],
+        }
     }
 
     /// A nullary constructor (e.g. `False` with tag 0, `True` with tag 1).
     pub fn nullary(name: impl Into<Symbol>, tag: u32) -> DataCon {
-        DataCon { name: name.into(), tag, fields: Vec::new() }
+        DataCon {
+            name: name.into(),
+            tag,
+            fields: Vec::new(),
+        }
     }
 
     /// Number of fields.
@@ -424,7 +441,10 @@ impl MExpr {
     /// Multi-argument lambda.
     pub fn lams(binders: impl IntoIterator<Item = Binder>, body: Rc<MExpr>) -> Rc<MExpr> {
         let binders: Vec<_> = binders.into_iter().collect();
-        binders.into_iter().rev().fold(body, |acc, b| MExpr::lam(b, acc))
+        binders
+            .into_iter()
+            .rev()
+            .fold(body, |acc, b| MExpr::lam(b, acc))
     }
 
     /// `let p = t₁ in t₂`.
@@ -504,76 +524,76 @@ impl MExpr {
 
 impl fmt::Display for MExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                MExpr::Atom(a) => write!(f, "{a}"),
-                MExpr::App(t, a) => write!(f, "({t} {a})"),
-                MExpr::Lam(b, t) => write!(f, "\\{b}. {t}"),
-                MExpr::LetLazy(p, rhs, body) => write!(f, "let {p} = {rhs} in {body}"),
-                MExpr::LetStrict(b, rhs, body) => write!(f, "let! {b} = {rhs} in {body}"),
-                MExpr::Case(s, alts, def) => {
-                    write!(f, "case {s} of {{")?;
-                    for (i, alt) in alts.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, "; ")?;
-                        }
-                        match alt {
-                            Alt::Con(c, bs, t) => {
-                                write!(f, "{c}")?;
-                                for b in bs {
-                                    write!(f, " {b}")?;
-                                }
-                                write!(f, " -> {t}")?;
+        match self {
+            MExpr::Atom(a) => write!(f, "{a}"),
+            MExpr::App(t, a) => write!(f, "({t} {a})"),
+            MExpr::Lam(b, t) => write!(f, "\\{b}. {t}"),
+            MExpr::LetLazy(p, rhs, body) => write!(f, "let {p} = {rhs} in {body}"),
+            MExpr::LetStrict(b, rhs, body) => write!(f, "let! {b} = {rhs} in {body}"),
+            MExpr::Case(s, alts, def) => {
+                write!(f, "case {s} of {{")?;
+                for (i, alt) in alts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    match alt {
+                        Alt::Con(c, bs, t) => {
+                            write!(f, "{c}")?;
+                            for b in bs {
+                                write!(f, " {b}")?;
                             }
-                            Alt::Lit(l, t) => write!(f, "{l} -> {t}")?,
+                            write!(f, " -> {t}")?;
                         }
+                        Alt::Lit(l, t) => write!(f, "{l} -> {t}")?,
                     }
-                    if let Some((b, t)) = def {
-                        if !alts.is_empty() {
-                            write!(f, "; ")?;
-                        }
-                        write!(f, "{b} -> {t}")?;
-                    }
-                    write!(f, "}}")
                 }
-                MExpr::Con(c, args) => {
-                    write!(f, "{c}[")?;
-                    for (i, a) in args.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{a}")?;
+                if let Some((b, t)) = def {
+                    if !alts.is_empty() {
+                        write!(f, "; ")?;
                     }
-                    write!(f, "]")
+                    write!(f, "{b} -> {t}")?;
                 }
-                MExpr::Prim(op, args) => {
-                    write!(f, "({op}")?;
-                    for a in args {
-                        write!(f, " {a}")?;
+                write!(f, "}}")
+            }
+            MExpr::Con(c, args) => {
+                write!(f, "{c}[")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
                     }
-                    write!(f, ")")
+                    write!(f, "{a}")?;
                 }
-                MExpr::MultiVal(args) => {
-                    write!(f, "(#")?;
-                    for (i, a) in args.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ",")?;
-                        }
-                        write!(f, " {a}")?;
+                write!(f, "]")
+            }
+            MExpr::Prim(op, args) => {
+                write!(f, "({op}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+            MExpr::MultiVal(args) => {
+                write!(f, "(#")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
                     }
-                    write!(f, " #)")
+                    write!(f, " {a}")?;
                 }
-                MExpr::CaseMulti(s, bs, t) => {
-                    write!(f, "case {s} of (#")?;
-                    for (i, b) in bs.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ",")?;
-                        }
-                        write!(f, " {b}")?;
+                write!(f, " #)")
+            }
+            MExpr::CaseMulti(s, bs, t) => {
+                write!(f, "case {s} of (#")?;
+                for (i, b) in bs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
                     }
-                    write!(f, " #) -> {t}")
+                    write!(f, " {b}")?;
                 }
-                MExpr::Global(g) => write!(f, "@{g}"),
-                MExpr::Error(msg) => write!(f, "error \"{msg}\""),
+                write!(f, " #) -> {t}")
+            }
+            MExpr::Global(g) => write!(f, "@{g}"),
+            MExpr::Error(msg) => write!(f, "error \"{msg}\""),
         }
     }
 }
@@ -625,7 +645,10 @@ mod tests {
     fn display_of_core_forms() {
         let t = MExpr::let_strict(
             Binder::int("i"),
-            MExpr::prim(PrimOp::AddI, vec![Atom::Lit(Literal::Int(1)), Atom::Lit(Literal::Int(2))]),
+            MExpr::prim(
+                PrimOp::AddI,
+                vec![Atom::Lit(Literal::Int(1)), Atom::Lit(Literal::Int(2))],
+            ),
             MExpr::con_int_hash(Atom::Var(Symbol::intern("i"))),
         );
         let shown = t.to_string();
@@ -637,7 +660,13 @@ mod tests {
     fn lams_and_apps_fold_correctly() {
         let f = MExpr::lams(
             [Binder::int("a"), Binder::int("b")],
-            MExpr::prim(PrimOp::AddI, vec![Atom::Var(Symbol::intern("a")), Atom::Var(Symbol::intern("b"))]),
+            MExpr::prim(
+                PrimOp::AddI,
+                vec![
+                    Atom::Var(Symbol::intern("a")),
+                    Atom::Var(Symbol::intern("b")),
+                ],
+            ),
         );
         match &*f {
             MExpr::Lam(b, inner) => {

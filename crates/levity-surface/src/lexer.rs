@@ -177,7 +177,28 @@ pub struct Lexed {
 }
 
 fn is_symbol_char(c: char) -> bool {
-    matches!(c, '!' | '$' | '%' | '&' | '*' | '+' | '/' | '<' | '=' | '>' | '?' | '^' | '~' | '-' | '.' | ':' | '#' | '|' | '\\' | '@')
+    matches!(
+        c,
+        '!' | '$'
+            | '%'
+            | '&'
+            | '*'
+            | '+'
+            | '/'
+            | '<'
+            | '='
+            | '>'
+            | '?'
+            | '^'
+            | '~'
+            | '-'
+            | '.'
+            | ':'
+            | '#'
+            | '|'
+            | '\\'
+            | '@'
+    )
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -204,7 +225,11 @@ pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
 
     macro_rules! err {
         ($msg:expr, $start:expr) => {
-            return Err(Diagnostic::error(ErrorCode::Lex, $msg, Span::new($start, i.min(n))))
+            return Err(Diagnostic::error(
+                ErrorCode::Lex,
+                $msg,
+                Span::new($start, i.min(n)),
+            ))
         };
     }
 
@@ -231,7 +256,10 @@ pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
         }
         // Virtual top-level separator.
         if at_line_start && col0 && !toks.is_empty() {
-            toks.push(Lexed { tok: Tok::TopSep, span: Span::new(i, i) });
+            toks.push(Lexed {
+                tok: Tok::TopSep,
+                span: Span::new(i, i),
+            });
         }
         at_line_start = false;
         col0 = false;
@@ -245,46 +273,73 @@ pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
                     // `(#)` is not supported, so always tuple-open. But
                     // `(# #)` needs `(#` then `#)`: handled naturally.
                     i += 2;
-                    toks.push(Lexed { tok: Tok::LParenHash, span: Span::new(start, i) });
+                    toks.push(Lexed {
+                        tok: Tok::LParenHash,
+                        span: Span::new(start, i),
+                    });
                 } else {
                     i += 1;
-                    toks.push(Lexed { tok: Tok::LParen, span: Span::new(start, i) });
+                    toks.push(Lexed {
+                        tok: Tok::LParen,
+                        span: Span::new(start, i),
+                    });
                 }
                 continue;
             }
             ')' => {
                 i += 1;
-                toks.push(Lexed { tok: Tok::RParen, span: Span::new(start, i) });
+                toks.push(Lexed {
+                    tok: Tok::RParen,
+                    span: Span::new(start, i),
+                });
                 continue;
             }
             '{' => {
                 i += 1;
-                toks.push(Lexed { tok: Tok::LBrace, span: Span::new(start, i) });
+                toks.push(Lexed {
+                    tok: Tok::LBrace,
+                    span: Span::new(start, i),
+                });
                 continue;
             }
             '}' => {
                 i += 1;
-                toks.push(Lexed { tok: Tok::RBrace, span: Span::new(start, i) });
+                toks.push(Lexed {
+                    tok: Tok::RBrace,
+                    span: Span::new(start, i),
+                });
                 continue;
             }
             '[' => {
                 i += 1;
-                toks.push(Lexed { tok: Tok::LBracket, span: Span::new(start, i) });
+                toks.push(Lexed {
+                    tok: Tok::LBracket,
+                    span: Span::new(start, i),
+                });
                 continue;
             }
             ']' => {
                 i += 1;
-                toks.push(Lexed { tok: Tok::RBracket, span: Span::new(start, i) });
+                toks.push(Lexed {
+                    tok: Tok::RBracket,
+                    span: Span::new(start, i),
+                });
                 continue;
             }
             ',' => {
                 i += 1;
-                toks.push(Lexed { tok: Tok::Comma, span: Span::new(start, i) });
+                toks.push(Lexed {
+                    tok: Tok::Comma,
+                    span: Span::new(start, i),
+                });
                 continue;
             }
             ';' => {
                 i += 1;
-                toks.push(Lexed { tok: Tok::Semi, span: Span::new(start, i) });
+                toks.push(Lexed {
+                    tok: Tok::Semi,
+                    span: Span::new(start, i),
+                });
                 continue;
             }
             '"' => {
@@ -307,14 +362,20 @@ pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
                     err!("unterminated string literal", start);
                 }
                 i += 1; // closing quote
-                toks.push(Lexed { tok: Tok::Str(s), span: Span::new(start, i) });
+                toks.push(Lexed {
+                    tok: Tok::Str(s),
+                    span: Span::new(start, i),
+                });
                 continue;
             }
             '\'' => {
                 // `'[` (promoted list) or a character literal.
                 if i + 1 < n && chars[i + 1] == '[' {
                     i += 2;
-                    toks.push(Lexed { tok: Tok::PromListOpen, span: Span::new(start, i) });
+                    toks.push(Lexed {
+                        tok: Tok::PromListOpen,
+                        span: Span::new(start, i),
+                    });
                     continue;
                 }
                 if i + 2 < n && chars[i + 2] == '\'' {
@@ -326,7 +387,10 @@ pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
                     } else {
                         Tok::Char(ch)
                     };
-                    toks.push(Lexed { tok, span: Span::new(start, i) });
+                    toks.push(Lexed {
+                        tok,
+                        span: Span::new(start, i),
+                    });
                     continue;
                 }
                 err!("malformed character literal", start);
@@ -387,7 +451,10 @@ pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
                 },
                 _ => unreachable!(),
             };
-            toks.push(Lexed { tok, span: Span::new(start, i) });
+            toks.push(Lexed {
+                tok,
+                span: Span::new(start, i),
+            });
             continue;
         }
 
@@ -429,7 +496,10 @@ pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
                     }
                 }
             };
-            toks.push(Lexed { tok, span: Span::new(start, i) });
+            toks.push(Lexed {
+                tok,
+                span: Span::new(start, i),
+            });
             continue;
         }
 
@@ -446,7 +516,10 @@ pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
                 // Lone `#` before `)`: emit `#)`.
                 if c == '#' && chars.get(i + 1) == Some(&')') {
                     i += 2;
-                    toks.push(Lexed { tok: Tok::HashRParen, span: Span::new(start, i) });
+                    toks.push(Lexed {
+                        tok: Tok::HashRParen,
+                        span: Span::new(start, i),
+                    });
                     continue;
                 }
                 err!(format!("unexpected character `{c}`"), start);
@@ -467,14 +540,20 @@ pub fn lex(source: &str) -> Result<Vec<Lexed>, Diagnostic> {
                 }
                 _ => Tok::Op(Symbol::intern(&text)),
             };
-            toks.push(Lexed { tok, span: Span::new(start, i) });
+            toks.push(Lexed {
+                tok,
+                span: Span::new(start, i),
+            });
             continue;
         }
 
         err!(format!("unexpected character `{c}`"), start);
     }
 
-    toks.push(Lexed { tok: Tok::Eof, span: Span::new(n, n) });
+    toks.push(Lexed {
+        tok: Tok::Eof,
+        span: Span::new(n, n),
+    });
     Ok(toks)
 }
 
@@ -521,7 +600,10 @@ mod tests {
                 Tok::Eof
             ]
         );
-        assert_eq!(toks("(# #)"), vec![Tok::LParenHash, Tok::HashRParen, Tok::Eof]);
+        assert_eq!(
+            toks("(# #)"),
+            vec![Tok::LParenHash, Tok::HashRParen, Tok::Eof]
+        );
     }
 
     #[test]
@@ -565,10 +647,7 @@ mod tests {
 
     #[test]
     fn promoted_list_for_tuple_rep() {
-        assert_eq!(
-            toks("TYPE (TupleRep '[IntRep])")[3],
-            Tok::PromListOpen
-        );
+        assert_eq!(toks("TYPE (TupleRep '[IntRep])")[3], Tok::PromListOpen);
     }
 
     #[test]

@@ -46,7 +46,11 @@ type PResult<T> = Result<T, Diagnostic>;
 
 impl Parser {
     fn new(toks: Vec<Lexed>) -> Parser {
-        Parser { toks, pos: 0, brace_depth: 0 }
+        Parser {
+            toks,
+            pos: 0,
+            brace_depth: 0,
+        }
     }
 
     /// Skips TopSep tokens when inside braces (explicit blocks ignore the
@@ -184,7 +188,11 @@ impl Parser {
                 if self.eat(&Tok::DColon) {
                     let ty = self.ty()?;
                     let end = self.toks[self.pos.saturating_sub(1)].span;
-                    Ok(SDecl::Sig { name, ty, span: start.to(end) })
+                    Ok(SDecl::Sig {
+                        name,
+                        ty,
+                        span: start.to(end),
+                    })
                 } else {
                     let mut params = Vec::new();
                     while *self.peek() != Tok::Equals {
@@ -193,7 +201,12 @@ impl Parser {
                     self.expect(Tok::Equals)?;
                     let body = self.expr()?;
                     let span = start.to(body.span);
-                    Ok(SDecl::Bind { name, params, body, span })
+                    Ok(SDecl::Bind {
+                        name,
+                        params,
+                        body,
+                        span,
+                    })
                 }
             }
         }
@@ -234,7 +247,12 @@ impl Parser {
             }
         }
         let end = self.toks[self.pos.saturating_sub(1)].span;
-        Ok(SDecl::Data { name, params, cons, span: start.to(end) })
+        Ok(SDecl::Data {
+            name,
+            params,
+            cons,
+            span: start.to(end),
+        })
     }
 
     fn class_decl(&mut self, start: Span) -> PResult<SDecl> {
@@ -268,7 +286,13 @@ impl Parser {
             }
         }
         let end = self.expect(Tok::RBrace)?;
-        Ok(SDecl::Class { name, var, var_kind, methods, span: start.to(end) })
+        Ok(SDecl::Class {
+            name,
+            var,
+            var_kind,
+            methods,
+            span: start.to(end),
+        })
     }
 
     fn instance_decl(&mut self, start: Span) -> PResult<SDecl> {
@@ -292,7 +316,12 @@ impl Parser {
             }
         }
         let end = self.expect(Tok::RBrace)?;
-        Ok(SDecl::Instance { class, head, methods, span: start.to(end) })
+        Ok(SDecl::Instance {
+            class,
+            head,
+            methods,
+            span: start.to(end),
+        })
     }
 
     fn family_decl(&mut self, start: Span) -> PResult<SDecl> {
@@ -321,7 +350,13 @@ impl Parser {
             }
         }
         let end = self.expect(Tok::RBrace)?;
-        Ok(SDecl::TypeFamily { name, param, result_kind, equations, span: start.to(end) })
+        Ok(SDecl::TypeFamily {
+            name,
+            param,
+            result_kind,
+            equations,
+            span: start.to(end),
+        })
     }
 
     // -----------------------------------------------------------------
@@ -394,7 +429,9 @@ impl Parser {
                 self.expect(Tok::RParen)?;
                 Ok(r)
             }
-            other => self.error(format!("expected a runtime representation, found `{other}`")),
+            other => self.error(format!(
+                "expected a runtime representation, found `{other}`"
+            )),
         }
     }
 
@@ -482,7 +519,10 @@ impl Parser {
     }
 
     fn starts_atype(&mut self) -> bool {
-        matches!(self.peek(), Tok::ConId(_) | Tok::VarId(_) | Tok::LParen | Tok::LParenHash)
+        matches!(
+            self.peek(),
+            Tok::ConId(_) | Tok::VarId(_) | Tok::LParen | Tok::LParenHash
+        )
     }
 
     fn atype(&mut self) -> PResult<SType> {
@@ -631,12 +671,9 @@ impl Parser {
 
     fn op_expr(&mut self, min_prec: u8) -> PResult<SExpr> {
         let mut lhs = self.app_expr()?;
-        loop {
-            let (op, prec, right) = match self.peek().clone() {
-                Tok::Op(s) => match fixity(s) {
-                    Some((p, r)) if p >= min_prec => (s, p, r),
-                    _ => break,
-                },
+        while let Tok::Op(s) = self.peek().clone() {
+            let (op, prec, right) = match fixity(s) {
+                Some((p, r)) if p >= min_prec => (s, p, r),
                 _ => break,
             };
             let op_span = self.span();
@@ -753,7 +790,11 @@ impl Parser {
             Tok::Let => {
                 self.next();
                 let name = self.binder_name()?;
-                let ty = if self.eat(&Tok::DColon) { Some(self.ty()?) } else { None };
+                let ty = if self.eat(&Tok::DColon) {
+                    Some(self.ty()?)
+                } else {
+                    None
+                };
                 // Sugar: let f x y = e — parameters become a lambda.
                 let mut params = Vec::new();
                 while *self.peek() != Tok::Equals {
@@ -791,7 +832,10 @@ impl Parser {
                     }
                 }
                 let end = self.expect(Tok::RBrace)?;
-                Ok(SExpr::new(SExprNode::Case(Box::new(scrut), alts), start.to(end)))
+                Ok(SExpr::new(
+                    SExprNode::Case(Box::new(scrut), alts),
+                    start.to(end),
+                ))
             }
             Tok::If => {
                 self.next();
@@ -917,7 +961,10 @@ mod tests {
         match &e.node {
             SExprNode::App(f, _) => match &f.node {
                 SExprNode::App(op, _) => {
-                    assert!(matches!(&op.node, SExprNode::Var(s) if s.as_str() == "+#"), "{shown}");
+                    assert!(
+                        matches!(&op.node, SExprNode::Var(s) if s.as_str() == "+#"),
+                        "{shown}"
+                    );
                 }
                 _ => panic!("{shown}"),
             },
@@ -941,10 +988,8 @@ mod tests {
 
     #[test]
     fn levity_polymorphic_signature() {
-        let t = parse_type(
-            "forall (r :: Rep) (a :: Type) (b :: TYPE r). (a -> b) -> a -> b",
-        )
-        .unwrap();
+        let t =
+            parse_type("forall (r :: Rep) (a :: Type) (b :: TYPE r). (a -> b) -> a -> b").unwrap();
         match t {
             SType::Forall(binders, _) => {
                 assert_eq!(binders.len(), 3);
@@ -994,7 +1039,12 @@ mod tests {
         .unwrap();
         assert_eq!(m.decls.len(), 2);
         match &m.decls[0] {
-            SDecl::Class { name, var_kind, methods, .. } => {
+            SDecl::Class {
+                name,
+                var_kind,
+                methods,
+                ..
+            } => {
                 assert_eq!(name.as_str(), "Num");
                 assert_eq!(*var_kind, Some(SKind::Type_(SRep::Var("r".into()))));
                 assert_eq!(methods.len(), 2);
@@ -1015,7 +1065,9 @@ mod tests {
     fn data_declaration() {
         let m = parse_module("data Shape a = Circle Double a | Square Double\n").unwrap();
         match &m.decls[0] {
-            SDecl::Data { name, params, cons, .. } => {
+            SDecl::Data {
+                name, params, cons, ..
+            } => {
                 assert_eq!(name.as_str(), "Shape");
                 assert_eq!(params.len(), 1);
                 assert_eq!(cons.len(), 2);
@@ -1027,12 +1079,13 @@ mod tests {
 
     #[test]
     fn type_family() {
-        let m = parse_module(
-            "type family F a :: TYPE IntRep where { F Int = Int#; F Char = Char# }\n",
-        )
-        .unwrap();
+        let m =
+            parse_module("type family F a :: TYPE IntRep where { F Int = Int#; F Char = Char# }\n")
+                .unwrap();
         match &m.decls[0] {
-            SDecl::TypeFamily { name, equations, .. } => {
+            SDecl::TypeFamily {
+                name, equations, ..
+            } => {
                 assert_eq!(name.as_str(), "F");
                 assert_eq!(equations.len(), 2);
             }

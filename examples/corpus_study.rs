@@ -16,7 +16,11 @@ fn main() {
 
     println!("The six functions whose special cases became ordinary levity polymorphism:\n");
     for f in special_functions() {
-        println!("  {:<24} :: {}", f.name, f.ty.display_with(&PrintOptions::explicit()));
+        println!(
+            "  {:<24} :: {}",
+            f.name,
+            f.ty.display_with(&PrintOptions::explicit())
+        );
         println!("  {:<24}    (previously: {})", "", f.old_treatment);
     }
 }

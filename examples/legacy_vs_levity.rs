@@ -7,8 +7,7 @@
 
 use levity::driver::compile_with_prelude;
 use levity::infer::legacy::{
-    legacy_error_scheme, legacy_generalize, legacy_instantiable, LegacyKind,
-    LegacyKindInference,
+    legacy_error_scheme, legacy_generalize, legacy_instantiable, LegacyKind, LegacyKindInference,
 };
 use levity_core::symbol::Symbol;
 

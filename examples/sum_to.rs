@@ -44,14 +44,25 @@ fn main() {
 
     println!("{:<22} {:>14} {:>14}", "", "boxed Int", "unboxed Int#");
     println!("{:<22} {:>14} {:>14}", "machine steps", bs.steps, us.steps);
-    println!("{:<22} {:>14} {:>14}", "words allocated", bs.allocated_words, us.allocated_words);
-    println!("{:<22} {:>14} {:>14}", "thunks forced", bs.thunk_forces, us.thunk_forces);
-    println!("{:<22} {:>14} {:>14}", "constructor allocs", bs.con_allocs, us.con_allocs);
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "words allocated", bs.allocated_words, us.allocated_words
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "thunks forced", bs.thunk_forces, us.thunk_forces
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "constructor allocs", bs.con_allocs, us.con_allocs
+    );
     println!("{:<22} {:>14.4} {:>14.4}", "wall seconds", bt, ut);
     println!(
         "\nslowdown of boxed over unboxed: {:.1}x time, {}x allocation (paper: >200x time on real hardware)",
         bt / ut,
-        if us.allocated_words == 0 { "∞".to_owned() } else { (bs.allocated_words / us.allocated_words).to_string() }
+        bs.allocated_words
+            .checked_div(us.allocated_words)
+            .map_or_else(|| "∞".to_owned(), |r| r.to_string())
     );
     println!("result: {bv}");
 }

@@ -31,14 +31,29 @@ fn main() {
     let boxed = compile_with_prelude(BOXED).expect("boxed compiles");
     let (uo, us) = unboxed.run("main", 1_000_000_000).expect("runs");
     let (bo, bs) = boxed.run("main", 1_000_000_000).expect("runs");
-    assert_eq!(uo.value().and_then(|v| v.as_int()), bo.value().and_then(|v| v.as_int()));
+    assert_eq!(
+        uo.value().and_then(|v| v.as_int()),
+        bo.value().and_then(|v| v.as_int())
+    );
 
     println!("divMod over 2000 iterations (section 2.3)\n");
     println!("{:<22} {:>14} {:>14}", "", "boxed (q, r)", "(# q, r #)");
-    println!("{:<22} {:>14} {:>14}", "words allocated", bs.allocated_words, us.allocated_words);
-    println!("{:<22} {:>14} {:>14}", "constructor allocs", bs.con_allocs, us.con_allocs);
-    println!("{:<22} {:>14} {:>14}", "thunks forced", bs.thunk_forces, us.thunk_forces);
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "words allocated", bs.allocated_words, us.allocated_words
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "constructor allocs", bs.con_allocs, us.con_allocs
+    );
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "thunks forced", bs.thunk_forces, us.thunk_forces
+    );
     println!("{:<22} {:>14} {:>14}", "machine steps", bs.steps, us.steps);
-    println!("\nthe unboxed tuple \"does not exist at runtime, at all\": {} words allocated", us.allocated_words);
+    println!(
+        "\nthe unboxed tuple \"does not exist at runtime, at all\": {} words allocated",
+        us.allocated_words
+    );
     println!("result (both): {uo:?}");
 }

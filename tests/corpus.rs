@@ -14,8 +14,11 @@ fn the_headline_34_of_76() {
 #[test]
 fn generalizable_classes_include_the_papers_example() {
     let rows = run_study();
-    let gen: Vec<_> =
-        rows.iter().filter(|r| r.verdict.is_generalizable()).map(|r| r.name).collect();
+    let gen: Vec<_> = rows
+        .iter()
+        .filter(|r| r.verdict.is_generalizable())
+        .map(|r| r.name)
+        .collect();
     assert!(gen.contains(&"Num"), "§7.3's Num must be generalizable");
     assert!(gen.contains(&"Eq"));
     assert!(!gen.contains(&"Monoid"), "mempty :: a blocks Monoid");
@@ -26,7 +29,14 @@ fn six_functions_were_de_special_cased() {
     let fns = special_functions();
     assert_eq!(fns.len(), 6);
     let names: Vec<_> = fns.iter().map(|f| f.name).collect();
-    for expected in ["error", "errorWithoutStackTrace", "undefined", "oneShot", "runRW#", "($)"] {
+    for expected in [
+        "error",
+        "errorWithoutStackTrace",
+        "undefined",
+        "oneShot",
+        "runRW#",
+        "($)",
+    ] {
         assert!(names.contains(&expected), "missing {expected}");
     }
 }
@@ -38,7 +48,10 @@ fn dollar_signature_printing_follows_section_8_1() {
     let plain = compiled.signature("$", &PrintOptions::default()).unwrap();
     let explicit = compiled.signature("$", &PrintOptions::explicit()).unwrap();
     assert_eq!(plain, "forall a b. (a -> b) -> a -> b");
-    assert_eq!(explicit, "forall (r :: Rep) a (b :: TYPE r). (a -> b) -> a -> b");
+    assert_eq!(
+        explicit,
+        "forall (r :: Rep) a (b :: TYPE r). (a -> b) -> a -> b"
+    );
 }
 
 #[test]
@@ -48,7 +61,10 @@ fn num_class_methods_are_levity_polymorphic_selectors() {
     // otherwise.
     let compiled = compile_with_prelude("main :: Int\nmain = 1 + 1\n").unwrap();
     let explicit = compiled.signature("+", &PrintOptions::explicit()).unwrap();
-    assert_eq!(explicit, "forall (r :: Rep) (a :: TYPE r). Num a -> a -> a -> a");
+    assert_eq!(
+        explicit,
+        "forall (r :: Rep) (a :: TYPE r). Num a -> a -> a -> a"
+    );
     let plain = compiled.signature("+", &PrintOptions::default()).unwrap();
     assert_eq!(plain, "forall a. Num a -> a -> a -> a");
 }

@@ -26,7 +26,10 @@ fn preservation_progress_compilation_simulation_hold() {
 
 #[test]
 fn deeper_terms_also_satisfy_the_theorems() {
-    let config = GenConfig { max_depth: 9, ..GenConfig::default() };
+    let config = GenConfig {
+        max_depth: 9,
+        ..GenConfig::default()
+    };
     let mut generator = Generator::new(0xABCD, config);
     for _ in 0..60 {
         let (e, _ty) = generator.generate();

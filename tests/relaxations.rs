@@ -23,7 +23,9 @@ fn the_inhomogeneous_type_family_is_now_ill_kinded() {
     match err {
         PipelineError::Elaborate(diags) => {
             assert!(
-                diags.iter().any(|d| d.code == ErrorCode::InhomogeneousFamily),
+                diags
+                    .iter()
+                    .any(|d| d.code == ErrorCode::InhomogeneousFamily),
                 "{diags:?}"
             );
         }
@@ -35,10 +37,8 @@ fn the_inhomogeneous_type_family_is_now_ill_kinded() {
 fn homogeneous_unlifted_families_are_fine() {
     // Families whose equations share one representation now kind-check —
     // something the blunt "no family may return #" ban forbade.
-    compile_with_prelude(
-        "type family G a :: TYPE IntRep where { G Int = Int#; G Bool = Int# }\n",
-    )
-    .unwrap();
+    compile_with_prelude("type family G a :: TYPE IntRep where { G Int = Int#; G Bool = Int# }\n")
+        .unwrap();
 }
 
 #[test]
@@ -108,10 +108,8 @@ fn new_system_rejects_what_legacy_sub_kinding_needed_special_cases_for() {
 fn open_kind_never_appears_in_new_system_errors() {
     // §3.2: "The kind OpenKind would embarrassingly appear in error
     // messages." Our diagnostics never mention it.
-    let err = compile_with_prelude(
-        "f :: forall (r :: Rep) (a :: TYPE r). a -> a\nf x = x\n",
-    )
-    .unwrap_err();
+    let err = compile_with_prelude("f :: forall (r :: Rep) (a :: TYPE r). a -> a\nf x = x\n")
+        .unwrap_err();
     let msg = format!("{err}");
     assert!(!msg.contains("OpenKind"), "{msg}");
 }

@@ -36,7 +36,11 @@ fn boxed_div_mod_allocates_the_pair_and_boxes() {
     let (out, stats) = compiled.run("main", FUEL).unwrap();
     assert_eq!(out.value().and_then(|v| v.as_int()), Some(5));
     // The pair cell plus two I# boxes (plus the two input boxes).
-    assert!(stats.con_allocs >= 3, "boxed divMod must allocate, got {}", stats.con_allocs);
+    assert!(
+        stats.con_allocs >= 3,
+        "boxed divMod must allocate, got {}",
+        stats.con_allocs
+    );
 }
 
 #[test]

@@ -1,0 +1,203 @@
+//! Offline shim for the subset of the `criterion` 0.5 API used by the
+//! benches in `crates/bench/`.
+//!
+//! The build container cannot reach crates.io, so this stand-in keeps
+//! criterion's interface — `Criterion`, benchmark groups, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros —
+//! while replacing its statistics engine with a simple measured loop:
+//! a warm-up pass, then `sample_size` timed samples, reporting min /
+//! mean / max time per iteration on one machine-greppable line:
+//!
+//! ```text
+//! bench: <group>/<name> ... min <ns> ns, mean <ns> ns, max <ns> ns (<k> iters/sample)
+//! ```
+//!
+//! Swapping the real criterion back in later is a one-line change in
+//! `[workspace.dependencies]`; no bench source needs to change.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(None, name, DEFAULT_SAMPLE_SIZE, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(Some(&self.name), name, self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(Some(&self.name), &id.render(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. (The real criterion emits summary plots here;
+    /// the shim has already printed per-benchmark lines.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark name with a parameter, rendered `name/param`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn render(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// Passed to the benchmark closure; its [`iter`](Bencher::iter) method
+/// does the timing.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled in by `iter`; consumed by `run_benchmark`.
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its result alive via `black_box`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and pick an iteration count targeting ~5ms/sample so
+        // fast routines aren't dominated by timer resolution.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters *= 2;
+        };
+        let target_ns = 5_000_000.0;
+        self.iters_per_sample = ((target_ns / per_iter.max(1.0)) as u64).clamp(1, 1 << 22);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / self.iters_per_sample as f64);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    name: &str,
+    sample_size: usize,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        samples_ns: Vec::new(),
+        iters_per_sample: 0,
+    };
+    f(&mut bencher);
+    let full_name = match group {
+        Some(g) => format!("{g}/{name}"),
+        None => name.to_owned(),
+    };
+    if bencher.samples_ns.is_empty() {
+        println!("bench: {full_name} ... no samples (closure never called iter)");
+        return;
+    }
+    let min = bencher
+        .samples_ns
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    let max = bencher.samples_ns.iter().copied().fold(0.0_f64, f64::max);
+    let mean: f64 = bencher.samples_ns.iter().sum::<f64>() / bencher.samples_ns.len() as f64;
+    println!(
+        "bench: {full_name} ... min {min:.0} ns, mean {mean:.0} ns, max {max:.0} ns \
+         ({} iters/sample, {} samples)",
+        bencher.iters_per_sample,
+        bencher.samples_ns.len()
+    );
+}
+
+/// Groups benchmark functions under one entry point, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

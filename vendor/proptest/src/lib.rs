@@ -1,0 +1,162 @@
+//! Offline shim for the subset of the `proptest` 1.x API used in this
+//! workspace.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors
+//! this dependency-free stand-in. It keeps proptest's *shape* — the
+//! [`Strategy`] trait with `prop_map`/`prop_recursive`, `prop_oneof!`,
+//! `prop::collection::vec`, range and regex-character-class strategies,
+//! and the [`proptest!`] test macro — but trades shrinking for
+//! simplicity: a failing case panics with the offending inputs rather
+//! than minimizing them. Generation is deterministic per test name, so
+//! failures reproduce.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// The subset of `proptest::prelude` the tests import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors `proptest::prelude::prop`: the combinator namespace.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<T>` with a length sampled from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Anything usable as a size range for [`vec`].
+    pub trait SizeRange {
+        /// Returns the inclusive (min, max) lengths.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    /// Creates a strategy generating vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.rng.random_range(self.min..=self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop_oneof![a, b, c]`: choose uniformly among the strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Assert inside a property; formats like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(, $fmt:tt)* $(,)?) => {
+        assert!($cond $(, $fmt)*)
+    };
+}
+
+/// Assert equality inside a property; formats like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(, $fmt:tt)* $(,)?) => {
+        assert_eq!($left, $right $(, $fmt)*)
+    };
+}
+
+/// Assert inequality inside a property; formats like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(, $fmt:tt)* $(,)?) => {
+        assert_ne!($left, $right $(, $fmt)*)
+    };
+}
+
+/// The property-test macro.
+///
+/// Each `#[test] fn name(x in strategy, ...) { body }` item expands to a
+/// plain test that samples the strategies `config.cases` times and runs
+/// the body on every sample. Sampling is seeded from the test name, so a
+/// failure reproduces on every run.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    rng.case = case;
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            &mut rng,
+                        );
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,284 @@
+//! Value-generation strategies.
+
+use std::rc::Rc;
+
+use rand::Rng;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of type `Value`.
+///
+/// Unlike real proptest there is no shrinking: `generate` produces one
+/// sample directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and
+    /// `recurse` wraps a strategy for depth `d` into one for depth
+    /// `d + 1`. `depth` bounds the nesting; the size hints are accepted
+    /// for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            // At each level, half the mass goes to leaves so generated
+            // structures stay finite and small.
+            strat = Union::new(vec![leaf.clone(), recurse(strat).boxed()]).boxed();
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A clonable, type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Chooses uniformly among several strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Creates a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let ix = rng.rng.random_range(0..self.options.len());
+        self.options[ix].generate(rng)
+    }
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String-pattern strategies: a `&str` is interpreted as a regex of the
+/// restricted form `[chars]{min,max}` (or a plain literal), which covers
+/// the patterns this workspace uses. Unsupported syntax falls back to
+/// generating the pattern text itself.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((chars, min, max)) => {
+                let len = rng.rng.random_range(min..=max);
+                (0..len)
+                    .map(|_| chars[rng.rng.random_range(0..chars.len())])
+                    .collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `[a-z0-9_]{min,max}` / `[abc]{n}` / `[abc]` patterns into
+/// (alphabet, min, max).
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut chars = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i], class[i + 2]);
+            for c in lo..=hi {
+                chars.push(c);
+            }
+            i += 3;
+        } else {
+            chars.push(class[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let quant = &rest[close + 1..];
+    if quant.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let body = quant.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = match body.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = body.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((chars, min, max))
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A);
+impl_strategy_for_tuple!(A, B);
+impl_strategy_for_tuple!(A, B, C);
+impl_strategy_for_tuple!(A, B, C, D);
+impl_strategy_for_tuple!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_repeat_parses() {
+        let (chars, min, max) = parse_class_repeat("[a-z]{0,8}").unwrap();
+        assert_eq!(chars.len(), 26);
+        assert_eq!((min, max), (0, 8));
+        let (chars, min, max) = parse_class_repeat("[xy]{3}").unwrap();
+        assert_eq!(chars, vec!['x', 'y']);
+        assert_eq!((min, max), (3, 3));
+        assert!(parse_class_repeat("plain").is_none());
+    }
+
+    #[test]
+    fn string_strategy_respects_bounds() {
+        let mut rng = TestRng::from_name("string_strategy_respects_bounds");
+        for _ in 0..200 {
+            let s = "[a-z]{0,8}".generate(&mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            // The payloads exist to exercise generation; only the shape
+            // of the tree matters to the test.
+            #[allow(dead_code)]
+            Leaf(u8),
+            #[allow(dead_code)]
+            Node(Vec<Tree>),
+        }
+        let strat = (0..10u8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::from_name("recursive_strategies_terminate");
+        for _ in 0..200 {
+            let _ = strat.generate(&mut rng);
+        }
+    }
+}

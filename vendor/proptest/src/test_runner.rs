@@ -1,0 +1,50 @@
+//! Test configuration and the deterministic RNG behind the shim.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// How many samples each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256 cases; match it.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies. Seeded from the test name so each
+/// property sees a stable, reproducible stream.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+    /// The current case index (set by the `proptest!` expansion; useful
+    /// in panic messages).
+    pub case: u32,
+}
+
+impl TestRng {
+    /// Creates an RNG seeded from `name` (FNV-1a hash).
+    pub fn from_name(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+            case: 0,
+        }
+    }
+}
