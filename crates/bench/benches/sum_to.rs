@@ -62,10 +62,15 @@ fn print_report(n: u64) {
 }
 
 fn bench_sum_to(c: &mut Criterion) {
-    print_report(5_000);
+    // CI smoke mode: one small size, just enough to prove the whole
+    // compile-and-run path works under the bench profile without
+    // spending CI minutes on statistics.
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let sizes: &[u64] = if smoke { &[50] } else { &[200, 1_000, 5_000] };
+    print_report(if smoke { 50 } else { 5_000 });
     let mut group = c.benchmark_group("sum_to");
     group.sample_size(10);
-    for n in [200u64, 1_000, 5_000] {
+    for &n in sizes {
         let b = compiled(BOXED, n);
         let u = compiled(UNBOXED, n);
         group.bench_with_input(BenchmarkId::new("boxed", n), &n, |bch, _| {

@@ -481,7 +481,7 @@ impl<'a> Lowerer<'a> {
                 }
             }
         }
-        Ok(Rc::new(MExpr::Case(scrut_t, malts, default)))
+        Ok(Rc::new(MExpr::Case(scrut_t, malts.into(), default)))
     }
 
     /// A-normalizes a scalar expression: atoms pass through, anything

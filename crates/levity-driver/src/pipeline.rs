@@ -21,8 +21,11 @@ use levity_compile::lower::{lower_program, LowerError};
 use levity_infer::elaborate::{elaborate_module, Elaborated};
 use levity_ir::levity::check_program_levity;
 use levity_ir::typecheck::CoreError;
+use levity_m::compile::CodeProgram;
+use levity_m::env::EnvMachine;
 use levity_m::machine::{Globals, Machine, MachineError, MachineStats, RunOutcome};
 use levity_m::syntax::MExpr;
+use levity_m::Engine;
 use levity_surface::parser::parse_module;
 
 use crate::prelude::PRELUDE;
@@ -78,27 +81,49 @@ impl PipelineError {
     }
 }
 
-/// A fully compiled program, ready to run on the `M` machine.
+/// A fully compiled program, ready to run on either `M` engine.
+///
+/// The prelude and user globals are lowered to [`Globals`] (the
+/// substitution machine's input) *and* pre-compiled once into a shared
+/// [`CodeProgram`] for the environment engine, so repeated runs — the
+/// benchmark loops in particular — pay no per-run compilation cost.
 #[derive(Debug)]
 pub struct Compiled {
     /// Elaboration results (Core program, environments, classes).
     pub elaborated: Elaborated,
     /// Machine code for every top-level binding.
     pub globals: Globals,
+    /// The globals pre-compiled for the environment engine.
+    pub code: Rc<CodeProgram>,
 }
 
 impl Compiled {
-    /// Runs a zero-argument top-level binding.
+    /// Runs a zero-argument top-level binding on the default engine
+    /// ([`Engine::Env`]).
     ///
     /// # Errors
     ///
     /// Machine failures (including fuel exhaustion).
     pub fn run(&self, entry: &str, fuel: u64) -> Result<(RunOutcome, MachineStats), MachineError> {
-        let entry_expr = MExpr::global(entry);
-        self.run_term(entry_expr, fuel)
+        self.run_with_engine(entry, fuel, Engine::default())
     }
 
-    /// Runs an arbitrary `M` term against this program's globals.
+    /// Runs a zero-argument top-level binding on the chosen engine.
+    ///
+    /// # Errors
+    ///
+    /// Machine failures (including fuel exhaustion).
+    pub fn run_with_engine(
+        &self,
+        entry: &str,
+        fuel: u64,
+        engine: Engine,
+    ) -> Result<(RunOutcome, MachineStats), MachineError> {
+        self.run_term_with_engine(MExpr::global(entry), fuel, engine)
+    }
+
+    /// Runs an arbitrary `M` term against this program's globals on the
+    /// default engine ([`Engine::Env`]).
     ///
     /// # Errors
     ///
@@ -108,10 +133,37 @@ impl Compiled {
         term: Rc<MExpr>,
         fuel: u64,
     ) -> Result<(RunOutcome, MachineStats), MachineError> {
-        let mut machine = Machine::with_globals(self.globals.clone());
-        machine.set_fuel(fuel);
-        let out = machine.run(term)?;
-        Ok((out, *machine.stats()))
+        self.run_term_with_engine(term, fuel, Engine::default())
+    }
+
+    /// Runs an arbitrary `M` term against this program's globals on the
+    /// chosen engine. On [`Engine::Env`] only the entry term itself is
+    /// compiled per call; the globals were compiled once up front.
+    ///
+    /// # Errors
+    ///
+    /// Machine failures (including fuel exhaustion).
+    pub fn run_term_with_engine(
+        &self,
+        term: Rc<MExpr>,
+        fuel: u64,
+        engine: Engine,
+    ) -> Result<(RunOutcome, MachineStats), MachineError> {
+        match engine {
+            Engine::Subst => {
+                let mut machine = Machine::with_globals(self.globals.clone());
+                machine.set_fuel(fuel);
+                let out = machine.run(term)?;
+                Ok((out, *machine.stats()))
+            }
+            Engine::Env => {
+                let entry = self.code.compile_entry(&term);
+                let mut machine = EnvMachine::new(Rc::clone(&self.code));
+                machine.set_fuel(fuel);
+                let out = machine.run(entry)?;
+                Ok((out, *machine.stats()))
+            }
+        }
     }
 
     /// The printed type of a global, under the §8.1 policy: rep
@@ -142,9 +194,13 @@ pub fn compile_source(source: &str) -> Result<Compiled, PipelineError> {
         return Err(PipelineError::Levity(levity_diags));
     }
     let globals = lower_program(&env, &elaborated.program).map_err(PipelineError::Lower)?;
+    // Pre-resolve everything once for the environment engine: each
+    // `Compiled::run` then starts from shared, already-compiled code.
+    let code = Rc::new(CodeProgram::compile(&globals));
     Ok(Compiled {
         elaborated,
         globals,
+        code,
     })
 }
 

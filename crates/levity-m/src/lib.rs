@@ -13,7 +13,17 @@
 //!   frames pass width-checked atoms, and `error` aborts;
 //! * [`subst`] — atom substitution, "implementable" precisely because
 //!   atoms have known width;
+//! * [`compile`] — one-time compilation of [`MExpr`] to pre-resolved
+//!   [`compile::Code`]: variables become environment slots, globals
+//!   become indices, alternatives become shared slices;
+//! * [`env`] — the environment (closure) engine over compiled code: the
+//!   fast evaluator, differentially tested against [`machine`];
 //! * [`prim`] — the `+#`/`+##` primitive operations.
+//!
+//! The two execution engines implement the same semantics. The
+//! substitution machine stays as the executable reference — it *is*
+//! Figure 6 — while the environment engine is how the benchmarks run
+//! (select with [`Engine`]).
 //!
 //! The machine is instrumented ([`machine::MachineStats`]): steps, thunk
 //! allocations, forces, updates and constructor allocations — the
@@ -39,10 +49,31 @@
 
 #![warn(missing_docs)]
 
+pub mod compile;
+pub mod env;
 pub mod machine;
 pub mod prim;
 pub mod subst;
 pub mod syntax;
 
+pub use compile::CodeProgram;
+pub use env::EnvMachine;
 pub use machine::{Globals, Machine, MachineError, MachineStats, RunOutcome, Value};
 pub use syntax::{Addr, Alt, Atom, Binder, DataCon, Literal, MExpr, PrimOp};
+
+/// Which execution engine to run `M` code on.
+///
+/// Both engines implement the Figure 6 semantics and agree on outcomes
+/// and on every [`MachineStats`] counter; the differential suite in
+/// `tests/differential.rs` enforces this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The reference substitution machine ([`machine::Machine`]):
+    /// Figure 6 transcribed literally, β-reduction by `subst_atom`.
+    Subst,
+    /// The environment (closure) engine ([`env::EnvMachine`]) over
+    /// pre-compiled [`compile::Code`]: β-reduction by O(1) environment
+    /// extension. The default for benchmarks and the driver.
+    #[default]
+    Env,
+}

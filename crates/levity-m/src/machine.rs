@@ -2,27 +2,34 @@
 //! `⟨t; S; H⟩` of an expression under evaluation, a stack of frames, and
 //! a heap.
 //!
-//! The rules are implemented one-for-one, with the extended forms
-//! (general constructors, primops, multi-values, globals) slotting in
-//! beside them:
+//! This is the **reference engine**: Figure 6 transcribed literally,
+//! parameters passed "by substitution" exactly as the paper writes the
+//! rules. The production path is [`crate::env::EnvMachine`], which runs
+//! the same transitions over pre-compiled code with an environment; the
+//! differential suite keeps the two in lock-step (same outcomes, same
+//! counters). The rules are implemented one-for-one, with the extended
+//! forms (general constructors, primops, multi-values, globals)
+//! slotting in beside them — the middle column is this machine, the
+//! right one its environment-engine counterpart:
 //!
-//! | Figure 6 | Here |
-//! |---|---|
-//! | PAPP / IAPP | `Eval(App …)` pushes [`Frame::App`] |
-//! | VAL | `Eval(Atom(Addr …))` on a heap *value* |
-//! | EVAL | `Eval(Atom(Addr …))` on a heap *thunk* (blackholes it) |
-//! | LET | `Eval(LetLazy …)` allocates a thunk |
-//! | SLET | `Eval(LetStrict …)` pushes [`Frame::LetStrict`] |
-//! | CASE | `Eval(Case …)` pushes [`Frame::Case`] |
-//! | ERR | `Eval(Error …)` aborts with [`RunOutcome::Error`] |
-//! | PPOP / IPOP | `Ret(Lam …)` under [`Frame::App`], width-checked |
-//! | FCE | `Ret(w)` under [`Frame::Force`] writes `w` back (thunk update) |
-//! | ILET | `Ret(w)` under [`Frame::LetStrict`] |
-//! | IMAT | `Ret(Con …)` under [`Frame::Case`] |
+//! | Figure 6 | Here (reference, subst) | [`crate::env`] (fast, env) |
+//! |---|---|---|
+//! | PAPP / IAPP | `Eval(App …)` pushes [`Frame::App`] | same, argument resolved through the env |
+//! | VAL | `Eval(Atom(Addr …))` on a heap *value* | `Eval(Local …)` resolving to a heap value |
+//! | EVAL | `Eval(Atom(Addr …))` on a heap *thunk* (blackholes it) | same; thunks are (code, env) pairs |
+//! | LET | `Eval(LetLazy …)` allocates a thunk, substitutes the address | allocates a thunk, *extends the env* with the address |
+//! | SLET | `Eval(LetStrict …)` pushes [`Frame::LetStrict`] | same, frame captures the env |
+//! | CASE | `Eval(Case …)` pushes [`Frame::Case`] (shared `Rc<[Alt]>`) | same, shared compiled alternatives |
+//! | ERR | `Eval(Error …)` aborts with [`RunOutcome::Error`] | same |
+//! | PPOP / IPOP | `Ret(Lam …)` under [`Frame::App`]: width-checked `subst_atom` | `Ret(Clos …)`: width-checked O(1) env extension |
+//! | FCE | `Ret(w)` under [`Frame::Force`] writes `w` back (thunk update) | same |
+//! | ILET | `Ret(w)` under [`Frame::LetStrict`] | same, binds by env extension |
+//! | IMAT | `Ret(Con …)` under [`Frame::Case`] | same, fields bound by env extension |
 //!
-//! Every substitution is width-checked against the binder's register
-//! class — the machine-level reason levity-polymorphic binders cannot
-//! exist (§5.1, §6.2).
+//! Every substitution (reference) or environment binding (fast engine)
+//! is width-checked against the binder's register class — the
+//! machine-level reason levity-polymorphic binders cannot exist (§5.1,
+//! §6.2).
 
 use std::collections::HashMap;
 use std::fmt;
@@ -33,7 +40,7 @@ use levity_core::symbol::Symbol;
 
 use crate::prim::{apply_prim, PrimError};
 use crate::subst::{subst_atom, subst_atoms};
-use crate::syntax::{Addr, Alt, Atom, Binder, DataCon, Literal, MExpr};
+use crate::syntax::{int_hash_symbol, Addr, Alt, Atom, Binder, DataCon, Literal, MExpr};
 
 /// A machine value `w` (Figure 5, extended). Constructor and multi-value
 /// fields are resolved atoms (addresses or literals), never variables.
@@ -71,7 +78,7 @@ impl Value {
     /// Convenience: matches `I#[n]` and returns `n`.
     pub fn as_boxed_int(&self) -> Option<i64> {
         match self {
-            Value::Con(c, args) if c.name == Symbol::intern("I#") => match args.as_slice() {
+            Value::Con(c, args) if c.name == int_hash_symbol() => match args.as_slice() {
                 [Atom::Lit(Literal::Int(n))] => Some(*n),
                 _ => None,
             },
@@ -130,8 +137,9 @@ pub enum Frame {
     Force(Addr),
     /// `Let(y, t)`: continue with `t` once the strict rhs is a value.
     LetStrict(Binder, Rc<MExpr>),
-    /// `Case(y, t)` generalized to alternative lists.
-    Case(Vec<Alt>, Option<(Binder, Rc<MExpr>)>),
+    /// `Case(y, t)` generalized to alternative lists; the alternatives
+    /// are shared with the `case` expression, so pushing is O(1).
+    Case(Rc<[Alt]>, Option<(Binder, Rc<MExpr>)>),
     /// Unpack a multi-value.
     CaseMulti(Vec<Binder>, Rc<MExpr>),
 }
@@ -189,6 +197,11 @@ impl Globals {
     /// Number of definitions.
     pub fn len(&self) -> usize {
         self.defs.len()
+    }
+
+    /// Iterates over the definitions (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Rc<MExpr>)> {
+        self.defs.iter().map(|(name, body)| (*name, body))
     }
 
     /// Is the environment empty?
@@ -281,6 +294,32 @@ impl std::error::Error for MachineError {}
 impl From<PrimError> for MachineError {
     fn from(e: PrimError) -> MachineError {
         MachineError::Prim(e)
+    }
+}
+
+/// The register class of a resolved atom. Shared by both engines so
+/// the §6.2 check cannot drift between them.
+pub(crate) fn class_of_atom(a: Atom) -> Slot {
+    match a {
+        Atom::Addr(_) => Slot::Ptr,
+        Atom::Lit(l) => l.slot(),
+        Atom::Var(_) => unreachable!("resolved"),
+    }
+}
+
+/// Width check: binder class must equal atom class (§6.2). One
+/// implementation serves both engines — the differential suite compares
+/// the resulting `ClassMismatch` payloads by value.
+pub(crate) fn check_atom_class(binder: Binder, atom: Atom) -> Result<(), MachineError> {
+    let actual = class_of_atom(atom);
+    if binder.class == actual {
+        Ok(())
+    } else {
+        Err(MachineError::ClassMismatch {
+            binder: binder.name,
+            expected: binder.class,
+            actual,
+        })
     }
 }
 
@@ -390,27 +429,9 @@ impl Machine {
         }
     }
 
-    /// The register class of a resolved atom.
-    fn class_of(&self, a: Atom) -> Slot {
-        match a {
-            Atom::Addr(_) => Slot::Ptr,
-            Atom::Lit(l) => l.slot(),
-            Atom::Var(_) => unreachable!("resolved"),
-        }
-    }
-
     /// Width check: binder class must equal atom class (§6.2).
     fn check_class(&self, binder: Binder, atom: Atom) -> Result<(), MachineError> {
-        let actual = self.class_of(atom);
-        if binder.class == actual {
-            Ok(())
-        } else {
-            Err(MachineError::ClassMismatch {
-                binder: binder.name,
-                expected: binder.class,
-                actual,
-            })
-        }
+        check_atom_class(binder, atom)
     }
 
     /// Turns a value into an atom, storing boxed values in the heap if
@@ -573,7 +594,7 @@ impl Machine {
             // IMAT (extended to arbitrary constructors and literal alts).
             Frame::Case(alts, def) => match &w {
                 Value::Con(c, fields) => {
-                    for alt in &alts {
+                    for alt in alts.iter() {
                         if let Alt::Con(c2, binders, rhs) = alt {
                             if c2.name == c.name {
                                 if binders.len() != fields.len() {
@@ -596,7 +617,7 @@ impl Machine {
                     self.take_default(w, def)
                 }
                 Value::Lit(l) => {
-                    for alt in &alts {
+                    for alt in alts.iter() {
                         if let Alt::Lit(l2, rhs) = alt {
                             if l2 == l {
                                 return Ok(Control::Eval(Rc::clone(rhs)));
@@ -708,7 +729,7 @@ mod tests {
         let t = MExpr::let_lazy(
             "p",
             thunk,
-            Rc::new(MExpr::Case(
+            MExpr::case(
                 MExpr::var("p"),
                 vec![Alt::Con(
                     DataCon::int_hash(),
@@ -722,7 +743,7 @@ mod tests {
                     ),
                 )],
                 None,
-            )),
+            ),
         );
         let mut m = Machine::new();
         let out = m.run(t).unwrap();
@@ -845,7 +866,7 @@ mod tests {
         // sumTo# acc n = if n == 0 then acc else sumTo# (acc+n) (n-1)
         let acc = Symbol::intern("acc");
         let n = Symbol::intern("n");
-        let body = Rc::new(MExpr::Case(
+        let body = MExpr::case(
             MExpr::prim(PrimOp::EqI, vec![Atom::Var(n), int_atom(0)]),
             vec![Alt::Lit(Literal::Int(1), MExpr::var("acc"))],
             Some((
@@ -866,7 +887,7 @@ mod tests {
                     ),
                 ),
             )),
-        ));
+        );
         let def = MExpr::lams([Binder::int("acc"), Binder::int("n")], body);
         let mut globals = Globals::new();
         globals.define("sumTo#", def);
@@ -883,21 +904,21 @@ mod tests {
     fn case_selects_by_constructor_tag() {
         let true_con = DataCon::nullary("True", 1);
         let false_con = DataCon::nullary("False", 0);
-        let t = Rc::new(MExpr::Case(
+        let t = MExpr::case(
             Rc::new(MExpr::Con(true_con.clone(), vec![])),
             vec![
                 Alt::Con(false_con, vec![], MExpr::int(0)),
                 Alt::Con(true_con, vec![], MExpr::int(1)),
             ],
             None,
-        ));
+        );
         assert_eq!(run(t), RunOutcome::Value(Value::Lit(Literal::Int(1))));
     }
 
     #[test]
     fn case_literal_alternatives_with_default() {
         let scrut = MExpr::int(7);
-        let t = Rc::new(MExpr::Case(
+        let t = MExpr::case(
             scrut,
             vec![Alt::Lit(Literal::Int(0), MExpr::int(100))],
             Some((
@@ -907,17 +928,17 @@ mod tests {
                     vec![Atom::Var(Symbol::intern("n")), int_atom(2)],
                 ),
             )),
-        ));
+        );
         assert_eq!(run(t), RunOutcome::Value(Value::Lit(Literal::Int(14))));
     }
 
     #[test]
     fn no_matching_alt_is_a_machine_error() {
-        let t = Rc::new(MExpr::Case(
+        let t = MExpr::case(
             MExpr::int(7),
             vec![Alt::Lit(Literal::Int(0), MExpr::int(1))],
             None,
-        ));
+        );
         assert!(matches!(
             Machine::new().run(t).unwrap_err(),
             MachineError::NoMatchingAlt(_)

@@ -69,7 +69,7 @@ pub fn subst_atom(t: &Rc<MExpr>, name: Symbol, payload: Atom) -> Rc<MExpr> {
         }
         MExpr::Case(scrut, alts, def) => {
             let scrut2 = subst_atom(scrut, name, payload);
-            let alts2 = alts
+            let alts2: Rc<[Alt]> = alts
                 .iter()
                 .map(|alt| match alt {
                     Alt::Con(c, binders, rhs) => {
@@ -120,14 +120,151 @@ fn sub_in_atoms(args: &[Atom], name: Symbol, payload: Atom) -> Vec<Atom> {
         .collect()
 }
 
-/// Substitutes several atoms at once (used when a case alternative binds
-/// multiple fields).
+/// Substitutes several atoms *simultaneously* in a single traversal
+/// (used when a case alternative binds multiple fields).
+///
+/// The payloads are resolved atoms (addresses and literals, never
+/// variables), so simultaneous substitution agrees with the sequential
+/// one except in the degenerate case of duplicate names among `pairs`,
+/// where the *last* pair wins — matching lexical shadowing (the
+/// innermost of two same-named case-field binders shadows the other).
 pub fn subst_atoms(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
-    let mut out = Rc::clone(t);
-    for (name, atom) in pairs {
-        out = subst_atom(&out, *name, *atom);
+    debug_assert!(
+        pairs.iter().all(|(_, a)| !matches!(a, Atom::Var(_))),
+        "substitution payloads must be resolved atoms"
+    );
+    match pairs {
+        [] => Rc::clone(t),
+        [(name, atom)] => subst_atom(t, *name, *atom),
+        _ => subst_multi(t, pairs),
     }
-    out
+}
+
+/// Looks up `a` among the active pairs; the last match wins.
+fn multi_in_atom(a: Atom, pairs: &[(Symbol, Atom)]) -> Option<Atom> {
+    match a {
+        Atom::Var(x) => pairs
+            .iter()
+            .rev()
+            .find(|(name, _)| *name == x)
+            .map(|(_, payload)| *payload),
+        _ => None,
+    }
+}
+
+fn multi_in_atoms(args: &[Atom], pairs: &[(Symbol, Atom)]) -> Vec<Atom> {
+    args.iter()
+        .map(|a| multi_in_atom(*a, pairs).unwrap_or(*a))
+        .collect()
+}
+
+/// Drops the pairs shadowed by binders for which `is_bound` holds.
+/// Returns `None` when nothing is shadowed (the common case), so the
+/// caller can keep borrowing the original slice without copying.
+fn unshadowed(
+    pairs: &[(Symbol, Atom)],
+    is_bound: impl Fn(Symbol) -> bool,
+) -> Option<Vec<(Symbol, Atom)>> {
+    if pairs.iter().any(|(name, _)| is_bound(*name)) {
+        Some(
+            pairs
+                .iter()
+                .filter(|(name, _)| !is_bound(*name))
+                .copied()
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+fn subst_multi(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
+    if pairs.is_empty() {
+        return Rc::clone(t);
+    }
+    match &**t {
+        MExpr::Atom(a) => match multi_in_atom(*a, pairs) {
+            Some(a2) => Rc::new(MExpr::Atom(a2)),
+            None => Rc::clone(t),
+        },
+        MExpr::App(fun, arg) => {
+            let fun2 = subst_multi(fun, pairs);
+            let arg2 = multi_in_atom(*arg, pairs);
+            if Rc::ptr_eq(&fun2, fun) && arg2.is_none() {
+                Rc::clone(t)
+            } else {
+                Rc::new(MExpr::App(fun2, arg2.unwrap_or(*arg)))
+            }
+        }
+        MExpr::Lam(binder, body) => {
+            let body2 = match unshadowed(pairs, |n| n == binder.name) {
+                Some(active) => subst_multi(body, &active),
+                None => subst_multi(body, pairs),
+            };
+            if Rc::ptr_eq(&body2, body) {
+                Rc::clone(t)
+            } else {
+                Rc::new(MExpr::Lam(*binder, body2))
+            }
+        }
+        MExpr::LetLazy(p, rhs, body) => {
+            // `let p = rhs in body` binds p in both rhs and body.
+            let (rhs2, body2) = match unshadowed(pairs, |n| n == *p) {
+                Some(active) => (subst_multi(rhs, &active), subst_multi(body, &active)),
+                None => (subst_multi(rhs, pairs), subst_multi(body, pairs)),
+            };
+            if Rc::ptr_eq(&rhs2, rhs) && Rc::ptr_eq(&body2, body) {
+                Rc::clone(t)
+            } else {
+                Rc::new(MExpr::LetLazy(*p, rhs2, body2))
+            }
+        }
+        MExpr::LetStrict(binder, rhs, body) => {
+            let rhs2 = subst_multi(rhs, pairs);
+            let body2 = match unshadowed(pairs, |n| n == binder.name) {
+                Some(active) => subst_multi(body, &active),
+                None => subst_multi(body, pairs),
+            };
+            Rc::new(MExpr::LetStrict(*binder, rhs2, body2))
+        }
+        MExpr::Case(scrut, alts, def) => {
+            let scrut2 = subst_multi(scrut, pairs);
+            let alts2: Rc<[Alt]> = alts
+                .iter()
+                .map(|alt| match alt {
+                    Alt::Con(c, binders, rhs) => {
+                        let rhs2 = match unshadowed(pairs, |n| binders.iter().any(|b| b.name == n))
+                        {
+                            Some(active) => subst_multi(rhs, &active),
+                            None => subst_multi(rhs, pairs),
+                        };
+                        Alt::Con(c.clone(), binders.clone(), rhs2)
+                    }
+                    Alt::Lit(l, rhs) => Alt::Lit(*l, subst_multi(rhs, pairs)),
+                })
+                .collect();
+            let def2 = def.as_ref().map(|(b, rhs)| {
+                let rhs2 = match unshadowed(pairs, |n| n == b.name) {
+                    Some(active) => subst_multi(rhs, &active),
+                    None => subst_multi(rhs, pairs),
+                };
+                (*b, rhs2)
+            });
+            Rc::new(MExpr::Case(scrut2, alts2, def2))
+        }
+        MExpr::Con(c, args) => Rc::new(MExpr::Con(c.clone(), multi_in_atoms(args, pairs))),
+        MExpr::Prim(op, args) => Rc::new(MExpr::Prim(*op, multi_in_atoms(args, pairs))),
+        MExpr::MultiVal(args) => Rc::new(MExpr::MultiVal(multi_in_atoms(args, pairs))),
+        MExpr::CaseMulti(scrut, binders, body) => {
+            let scrut2 = subst_multi(scrut, pairs);
+            let body2 = match unshadowed(pairs, |n| binders.iter().any(|b| b.name == n)) {
+                Some(active) => subst_multi(body, &active),
+                None => subst_multi(body, pairs),
+            };
+            Rc::new(MExpr::CaseMulti(scrut2, binders.clone(), body2))
+        }
+        MExpr::Global(_) | MExpr::Error(_) => Rc::clone(t),
+    }
 }
 
 #[cfg(test)]
@@ -199,5 +336,86 @@ mod tests {
             ],
         );
         assert_eq!(out.to_string(), "(+# 1# 2#)");
+    }
+
+    #[test]
+    fn multi_substitution_respects_shadowing_per_binder() {
+        // λa. (+# a b): the lambda shadows the `a` pair only; `b` is
+        // still substituted under it in the same traversal.
+        let t = MExpr::lam(
+            Binder::int("a"),
+            MExpr::prim(
+                crate::syntax::PrimOp::AddI,
+                vec![Atom::Var(sym("a")), Atom::Var(sym("b"))],
+            ),
+        );
+        let out = subst_atoms(
+            &t,
+            &[
+                (sym("a"), Atom::Lit(Literal::Int(1))),
+                (sym("b"), Atom::Lit(Literal::Int(2))),
+            ],
+        );
+        assert_eq!(out.to_string(), "\\a:word. (+# a 2#)");
+    }
+
+    #[test]
+    fn duplicate_pairs_resolve_to_the_last_binder() {
+        // Duplicate names among the pairs model two same-named case
+        // fields; the innermost (last) binder wins, as in the
+        // environment engine's lexical resolution.
+        let t = MExpr::var("x");
+        let out = subst_atoms(
+            &t,
+            &[
+                (sym("x"), Atom::Lit(Literal::Int(1))),
+                (sym("x"), Atom::Lit(Literal::Int(2))),
+            ],
+        );
+        assert_eq!(out.to_string(), "2#");
+    }
+
+    #[test]
+    fn multi_substitution_shares_untouched_subtrees() {
+        let t = MExpr::lam(Binder::int("x"), MExpr::var("x"));
+        let out = subst_atoms(
+            &t,
+            &[
+                (sym("y"), Atom::Lit(Literal::Int(0))),
+                (sym("z"), Atom::Lit(Literal::Int(1))),
+            ],
+        );
+        assert!(Rc::ptr_eq(&t, &out), "untouched subtrees should be shared");
+    }
+
+    #[test]
+    fn multi_substitution_agrees_with_sequential_on_distinct_names() {
+        // With distinct names and resolved payloads the simultaneous
+        // traversal must equal pair-at-a-time substitution.
+        let t = MExpr::let_strict(
+            Binder::int("k"),
+            MExpr::prim(
+                crate::syntax::PrimOp::AddI,
+                vec![Atom::Var(sym("a")), Atom::Var(sym("b"))],
+            ),
+            MExpr::case_int_hash(
+                MExpr::con_int_hash(Atom::Var(sym("a"))),
+                "i",
+                MExpr::prim(
+                    crate::syntax::PrimOp::MulI,
+                    vec![Atom::Var(sym("i")), Atom::Var(sym("c"))],
+                ),
+            ),
+        );
+        let pairs = [
+            (sym("a"), Atom::Lit(Literal::Int(1))),
+            (sym("b"), Atom::Lit(Literal::Int(2))),
+            (sym("c"), Atom::Lit(Literal::Int(3))),
+        ];
+        let mut sequential = Rc::clone(&t);
+        for (name, atom) in &pairs {
+            sequential = subst_atom(&sequential, *name, *atom);
+        }
+        assert_eq!(subst_atoms(&t, &pairs), sequential);
     }
 }

@@ -18,9 +18,17 @@
 
 use std::fmt;
 use std::rc::Rc;
+use std::sync::OnceLock;
 
 use levity_core::rep::Slot;
 use levity_core::symbol::Symbol;
+
+/// The interned `I#` symbol, cached so hot paths (value inspection,
+/// constructor matching) never take the interner lock.
+pub fn int_hash_symbol() -> Symbol {
+    static INT_HASH: OnceLock<Symbol> = OnceLock::new();
+    *INT_HASH.get_or_init(|| Symbol::intern("I#"))
+}
 
 /// A machine literal. Floating-point payloads are stored as bits so the
 /// type can be `Eq`/`Hash`.
@@ -206,7 +214,7 @@ impl DataCon {
     /// The paper's `I#` constructor: one word field, tag 0.
     pub fn int_hash() -> DataCon {
         DataCon {
-            name: Symbol::intern("I#"),
+            name: int_hash_symbol(),
             tag: 0,
             fields: vec![Slot::Word],
         }
@@ -390,8 +398,10 @@ pub enum MExpr {
     LetLazy(Symbol, Rc<MExpr>, Rc<MExpr>),
     /// `let! y = t₁ in t₂`: strict; evaluates `t₁` first (rule SLET).
     LetStrict(Binder, Rc<MExpr>, Rc<MExpr>),
-    /// `case t of alts [default]`: forces `t`, then selects.
-    Case(Rc<MExpr>, Vec<Alt>, Option<(Binder, Rc<MExpr>)>),
+    /// `case t of alts [default]`: forces `t`, then selects. The
+    /// alternatives are a shared `Rc<[Alt]>` so a CASE transition pushes
+    /// its frame in O(1) instead of cloning an alternative vector.
+    Case(Rc<MExpr>, Rc<[Alt]>, Option<(Binder, Rc<MExpr>)>),
     /// A saturated constructor application.
     Con(DataCon, Vec<Atom>),
     /// A saturated primitive operation.
@@ -461,9 +471,18 @@ impl MExpr {
     pub fn case_int_hash(scrut: Rc<MExpr>, i: impl Into<Symbol>, body: Rc<MExpr>) -> Rc<MExpr> {
         Rc::new(MExpr::Case(
             scrut,
-            vec![Alt::Con(DataCon::int_hash(), vec![Binder::int(i)], body)],
+            [Alt::Con(DataCon::int_hash(), vec![Binder::int(i)], body)].into(),
             None,
         ))
+    }
+
+    /// `case t of alts [default]`.
+    pub fn case(
+        scrut: Rc<MExpr>,
+        alts: impl Into<Rc<[Alt]>>,
+        def: Option<(Binder, Rc<MExpr>)>,
+    ) -> Rc<MExpr> {
+        Rc::new(MExpr::Case(scrut, alts.into(), def))
     }
 
     /// `I#[a]`.

@@ -1,0 +1,398 @@
+//! Differential testing of the two `M` engines.
+//!
+//! The substitution machine (`levity::m::machine::Machine`) is the
+//! executable reference semantics — Figure 6 transcribed literally. The
+//! environment engine (`levity::m::env::EnvMachine`) is the fast
+//! evaluator the benchmarks run on. This suite pins them together: on
+//! every corpus program, every hand-written machine term, and a
+//! property-based sample of generated well-typed `L` terms, the two
+//! engines must agree on
+//!
+//! * the [`RunOutcome`] (values — functions included, via readback —
+//!   and `error`/⊥ aborts),
+//! * the [`MachineError`] on failing terms (`<<loop>>` blackholing,
+//!   §6.2 `ClassMismatch` width-check failures, fuel exhaustion, …),
+//! * **every** [`MachineStats`] counter: the engines take structurally
+//!   identical transitions, so not only the allocation-shaped counters
+//!   (`thunk_allocs`, `con_allocs`, `allocated_words`, `updates`) but
+//!   also `steps`, `thunk_forces`, `var_lookups`, `prim_ops` and
+//!   `max_stack` must coincide exactly.
+
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use levity::compile::figure7::compile_closed;
+use levity::driver::pipeline::compile_with_prelude;
+use levity::l::gen::{GenConfig, Generator};
+use levity::m::compile::CodeProgram;
+use levity::m::env::EnvMachine;
+use levity::m::machine::{Globals, Machine, MachineError, MachineStats, RunOutcome};
+use levity::m::syntax::{Alt, Atom, Binder, DataCon, Literal, MExpr, PrimOp};
+use levity::m::Engine;
+
+const FUEL: u64 = 200_000_000;
+
+/// Outcome and counters of one run. The stats ride *outside* the
+/// `Result` so that failing terms still pin every counter — an engine
+/// that took extra transitions before erroring must not slip through.
+type MachineResult = (Result<RunOutcome, MachineError>, MachineStats);
+
+/// Runs a raw machine term on the substitution engine.
+fn run_subst(globals: &Globals, t: &Rc<MExpr>, fuel: u64) -> MachineResult {
+    let mut machine = Machine::with_globals(globals.clone());
+    machine.set_fuel(fuel);
+    let result = machine.run(Rc::clone(t));
+    (result, *machine.stats())
+}
+
+/// Runs the same term on the environment engine.
+fn run_env(globals: &Globals, t: &Rc<MExpr>, fuel: u64) -> MachineResult {
+    let program = Rc::new(CodeProgram::compile(globals));
+    let entry = program.compile_entry(t);
+    let mut machine = EnvMachine::new(program);
+    machine.set_fuel(fuel);
+    let result = machine.run(entry);
+    (result, *machine.stats())
+}
+
+/// Asserts both engines produce identical results on a raw term.
+fn assert_engines_agree(globals: &Globals, t: &Rc<MExpr>, fuel: u64, what: &str) {
+    let subst = run_subst(globals, t, fuel);
+    let env = run_env(globals, t, fuel);
+    assert_eq!(subst, env, "engines disagree on {what}: {t}");
+}
+
+/// Asserts both engines produce identical results through the full
+/// pipeline (surface source, prelude included).
+fn assert_pipeline_agrees(source: &str, what: &str) {
+    let compiled = compile_with_prelude(source).unwrap_or_else(|e| panic!("{what}: {e}"));
+    let subst = compiled.run_with_engine("main", FUEL, Engine::Subst);
+    let env = compiled.run_with_engine("main", FUEL, Engine::Env);
+    assert_eq!(subst, env, "engines disagree on {what}");
+}
+
+// ---------------------------------------------------------------------
+// The compiled corpus: every benchmark program plus §2.1/§7.3 shapes
+// ---------------------------------------------------------------------
+
+/// The surface programs the benchmarks time, at reduced sizes, plus
+/// representative prelude workloads. Outcomes *and* allocation counters
+/// must be engine-independent, or the benchmark story would be
+/// comparing different semantics.
+const CORPUS: &[(&str, &str)] = &[
+    (
+        "sum_to boxed (section 2.1)",
+        "sumTo :: Int -> Int -> Int\n\
+         sumTo acc n = case n of { I# k -> case k of { 0# -> acc; _ -> sumTo (acc + n) (n - 1) } }\n\
+         main :: Int\n\
+         main = sumTo 0 300\n",
+    ),
+    (
+        "sum_to unboxed (section 2.1)",
+        "sumTo# :: Int# -> Int# -> Int#\n\
+         sumTo# acc n = case n of { 0# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }\n\
+         main :: Int#\n\
+         main = sumTo# 0# 300#\n",
+    ),
+    (
+        "dictionary dispatch at Int# (section 7.3)",
+        "loop :: Int# -> Int# -> Int#\n\
+         loop acc n = case n of { 0# -> acc; _ -> loop (acc + n) (n - 1#) }\n\
+         main :: Int#\n\
+         main = loop 0# 200#\n",
+    ),
+    (
+        "dictionary dispatch at Int (section 7.3)",
+        "loop :: Int -> Int -> Int\n\
+         loop acc n = case n of { I# k -> case k of { 0# -> acc; _ -> loop (acc + n) (n - 1) } }\n\
+         main :: Int\n\
+         main = loop 0 200\n",
+    ),
+    (
+        "prelude combinators",
+        "main :: Int\nmain = sum (map (\\(x :: Int) -> x * x) (enumFromTo 1 15))\n",
+    ),
+    (
+        "levity-polymorphic ($) at Int# (section 7.2)",
+        "unbox :: Int -> Int#\nunbox n = case n of { I# k -> k }\n\
+         main :: Int#\nmain = unbox $ 41 + 1\n",
+    ),
+    (
+        "pairs and projections",
+        "main :: Int\nmain = fst (MkPair 3 True) + snd (MkPair 1 4)\n",
+    ),
+    (
+        "double class instances",
+        "main :: Int#\nmain = double2Int# (abs (0.0## - 2.25##) * 4.0##)\n",
+    ),
+    (
+        "runtime error carries its message (rule ERR)",
+        "main :: Int#\nmain = error \"differential boom\"\n",
+    ),
+    (
+        "lazy bottom is never demanded",
+        "main :: Int\nmain = fst (MkPair 7 (error \"unforced\"))\n",
+    ),
+    (
+        "levity-polymorphic user class",
+        "class Default (a :: TYPE r) where { deflt :: Bool -> a }\n\
+         instance Default Int# where { deflt b = 0# }\n\
+         instance Default Int where { deflt b = 0 }\n\
+         main :: Int#\n\
+         main = deflt True +# 1#\n",
+    ),
+    (
+        "function-valued main (closure readback)",
+        "main :: Int -> Int\nmain = \\(x :: Int) -> x + 1\n",
+    ),
+];
+
+#[test]
+fn engines_agree_on_the_whole_corpus() {
+    for (what, source) in CORPUS {
+        assert_pipeline_agrees(source, what);
+    }
+}
+
+#[test]
+fn engines_agree_on_fuel_exhaustion_through_the_pipeline() {
+    // OutOfFuel carries the limit; equality also certifies the engines
+    // count the same number of transitions before giving up.
+    let compiled = compile_with_prelude(
+        "spin :: Int# -> Int#\nspin n = spin n\nmain :: Int#\nmain = spin 0#\n",
+    )
+    .unwrap();
+    let subst = compiled.run_with_engine("main", 12_345, Engine::Subst);
+    let env = compiled.run_with_engine("main", 12_345, Engine::Env);
+    assert_eq!(subst, env);
+    assert!(matches!(
+        subst,
+        Err(MachineError::OutOfFuel { limit: 12_345 })
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Hand-written machine terms: failure modes and dark corners
+// ---------------------------------------------------------------------
+
+fn int_atom(n: i64) -> Atom {
+    Atom::Lit(Literal::Int(n))
+}
+
+#[test]
+fn engines_agree_on_blackhole_loops() {
+    // let p = case p of I#[i] -> I#[i] in case p of I#[i] -> i — the
+    // cyclic thunk demands itself: <<loop>> on both engines.
+    let body = MExpr::case_int_hash(
+        MExpr::var("p"),
+        "i",
+        MExpr::con_int_hash(Atom::Var("i".into())),
+    );
+    let t = MExpr::let_lazy(
+        "p",
+        body,
+        MExpr::case_int_hash(MExpr::var("p"), "i", MExpr::var("i")),
+    );
+    let globals = Globals::new();
+    assert_eq!(run_subst(&globals, &t, FUEL).0, Err(MachineError::Loop));
+    assert_engines_agree(&globals, &t, FUEL, "blackhole self-demand");
+}
+
+#[test]
+fn engines_agree_on_width_check_failures() {
+    // (λp:ptr. p) 1# — §6.2 register-class mismatch, same error payload
+    // (binder name, expected class, actual class) from both engines.
+    let t = MExpr::app(MExpr::lam(Binder::ptr("p"), MExpr::var("p")), int_atom(1));
+    let globals = Globals::new();
+    let err = run_subst(&globals, &t, FUEL).0.unwrap_err();
+    assert!(matches!(err, MachineError::ClassMismatch { .. }));
+    assert_engines_agree(&globals, &t, FUEL, "class mismatch");
+
+    // Mismatch through a case field binder.
+    let bad_case = Rc::new(MExpr::Case(
+        MExpr::con_int_hash(int_atom(3)),
+        [Alt::Con(
+            DataCon::int_hash(),
+            vec![Binder::ptr("p")],
+            MExpr::var("p"),
+        )]
+        .into(),
+        None,
+    ));
+    assert_engines_agree(&globals, &bad_case, FUEL, "case-field class mismatch");
+}
+
+#[test]
+fn engines_agree_on_machine_failures() {
+    let globals = Globals::new();
+    for (what, t) in [
+        (
+            "applied non-function",
+            MExpr::app(MExpr::int(3), int_atom(4)),
+        ),
+        ("unknown global", MExpr::global("nope")),
+        ("unbound variable", MExpr::var("ghost")),
+        (
+            "no matching alternative",
+            Rc::new(MExpr::Case(
+                MExpr::int(7),
+                [Alt::Lit(Literal::Int(0), MExpr::int(1))].into(),
+                None,
+            )),
+        ),
+        (
+            "case on a multi-value",
+            Rc::new(MExpr::Case(
+                Rc::new(MExpr::MultiVal(vec![int_atom(1), int_atom(2)])),
+                [Alt::Lit(Literal::Int(0), MExpr::int(1))].into(),
+                None,
+            )),
+        ),
+        (
+            "let! of a multi-value",
+            MExpr::let_strict(
+                Binder::int("x"),
+                Rc::new(MExpr::MultiVal(vec![int_atom(1)])),
+                MExpr::var("x"),
+            ),
+        ),
+        (
+            "division by zero",
+            MExpr::prim(PrimOp::QuotI, vec![int_atom(1), int_atom(0)]),
+        ),
+        (
+            "oversaturated primop",
+            MExpr::prim(PrimOp::AddI, vec![int_atom(1), int_atom(2), int_atom(3)]),
+        ),
+    ] {
+        assert!(
+            run_subst(&globals, &t, FUEL).0.is_err(),
+            "{what} should fail"
+        );
+        assert_engines_agree(&globals, &t, FUEL, what);
+    }
+}
+
+#[test]
+fn engines_count_prim_ops_identically_even_on_failure() {
+    // A 3-argument primop errors in apply_prim on both engines — after
+    // the op was counted. The run helpers only compare stats on Ok, so
+    // read the counters off the machines directly here.
+    let t = MExpr::prim(PrimOp::AddI, vec![int_atom(1), int_atom(2), int_atom(3)]);
+    let mut subst = Machine::new();
+    let subst_err = subst.run(Rc::clone(&t)).unwrap_err();
+    let program = Rc::new(CodeProgram::compile(&Globals::new()));
+    let entry = program.compile_entry(&t);
+    let mut env = EnvMachine::new(program);
+    let env_err = env.run(entry).unwrap_err();
+    assert_eq!(subst_err, env_err);
+    assert_eq!(subst.stats(), env.stats());
+    assert_eq!(subst.stats().prim_ops, 1);
+}
+
+#[test]
+fn engines_agree_on_shared_thunks_and_stats() {
+    // Shared thunk demanded twice: thunk_forces/updates/var_lookups
+    // must match, not just the outcome.
+    let t = MExpr::let_lazy(
+        "p",
+        MExpr::con_int_hash(int_atom(7)),
+        MExpr::case_int_hash(
+            MExpr::var("p"),
+            "a",
+            MExpr::case_int_hash(
+                MExpr::var("p"),
+                "b",
+                MExpr::prim(
+                    PrimOp::AddI,
+                    vec![Atom::Var("a".into()), Atom::Var("b".into())],
+                ),
+            ),
+        ),
+    );
+    let globals = Globals::new();
+    let (result, stats) = run_subst(&globals, &t, FUEL);
+    result.unwrap();
+    assert_eq!(stats.thunk_forces, 1);
+    assert_eq!(stats.var_lookups, 1);
+    assert_engines_agree(&globals, &t, FUEL, "thunk sharing");
+}
+
+#[test]
+fn engines_agree_on_function_results_with_captured_bindings() {
+    // let! a = 5# in λb. +# a b — the subst machine substitutes a into
+    // the lambda body; the env engine must read the closure back to the
+    // same term.
+    let t = MExpr::let_strict(
+        Binder::int("a"),
+        MExpr::int(5),
+        MExpr::lam(
+            Binder::int("b"),
+            MExpr::prim(
+                PrimOp::AddI,
+                vec![Atom::Var("a".into()), Atom::Var("b".into())],
+            ),
+        ),
+    );
+    let globals = Globals::new();
+    let out = run_subst(&globals, &t, FUEL).0.unwrap();
+    assert_eq!(
+        out.value().map(ToString::to_string),
+        Some("<function \\b:word>".to_owned())
+    );
+    assert_engines_agree(&globals, &t, FUEL, "closure readback");
+}
+
+#[test]
+fn engines_agree_on_shadowed_case_fields() {
+    // case T[1#, 2#] of T x x -> x — the innermost (last) binder wins
+    // on both engines.
+    let two_field = DataCon {
+        name: "T".into(),
+        tag: 0,
+        fields: vec![levity::core::rep::Slot::Word, levity::core::rep::Slot::Word],
+    };
+    let t = Rc::new(MExpr::Case(
+        Rc::new(MExpr::Con(
+            two_field.clone(),
+            vec![int_atom(1), int_atom(2)],
+        )),
+        [Alt::Con(
+            two_field,
+            vec![Binder::int("x"), Binder::int("x")],
+            MExpr::var("x"),
+        )]
+        .into(),
+        None,
+    ));
+    let globals = Globals::new();
+    let out = run_subst(&globals, &t, FUEL).0.unwrap();
+    assert_eq!(
+        out,
+        RunOutcome::Value(levity::m::Value::Lit(Literal::Int(2)))
+    );
+    assert_engines_agree(&globals, &t, FUEL, "shadowed case fields");
+}
+
+// ---------------------------------------------------------------------
+// Property-based differential testing over generated well-typed terms
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    #[test]
+    fn engines_agree_on_generated_well_typed_programs(seed in 0u64..25_000) {
+        // Type-directed generation (levity-l) through the Figure 7
+        // compiler exercises β-redexes, closures, case, `error`/⊥ and
+        // rep-polymorphic instantiations — closed terms, so both
+        // engines must agree on outcome, error and every counter.
+        let mut generator = Generator::new(seed, GenConfig::default());
+        let (e, _ty) = generator.generate();
+        let t = compile_closed(&e).expect("well-typed terms compile");
+        let globals = Globals::new();
+        let subst = run_subst(&globals, &t, 2_000_000);
+        let env = run_env(&globals, &t, 2_000_000);
+        prop_assert_eq!(subst, env, "engines disagree on generated term {}", e);
+    }
+}
