@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use levity_driver::compile_with_prelude;
+use levity_driver::{compile_with_prelude, compile_with_prelude_opt, OptLevel};
 
 const BOXED: &str = "sumTo :: Int -> Int -> Int\n\
      sumTo acc n = case n of { I# k -> case k of { 0# -> acc; _ -> sumTo (acc + n) (n - 1) } }\n\
@@ -26,38 +26,50 @@ fn compiled(src: &str, n: u64) -> levity_driver::Compiled {
 }
 
 fn print_report(n: u64) {
+    // The §2.1 claim is about the *compilation scheme* for boxed code,
+    // so the narrative column compiles at O0; the optimized column shows
+    // what the levity-directed optimizer makes of the same source.
+    let b0 = compile_with_prelude_opt(&BOXED.replace("LIMIT", &n.to_string()), OptLevel::O0)
+        .expect("compiles");
     let b = compiled(BOXED, n);
     let u = compiled(UNBOXED, n);
+    let (b0o, b0s) = b0.run("main", u64::MAX / 2).unwrap();
     let (bo, bs) = b.run("main", u64::MAX / 2).unwrap();
     let (uo, us) = u.run("main", u64::MAX / 2).unwrap();
     assert_eq!(
         bo.value().and_then(|v| v.as_boxed_int()),
         uo.value().and_then(|v| v.as_int())
     );
+    assert_eq!(
+        b0o.value().and_then(|v| v.as_boxed_int()),
+        bo.value().and_then(|v| v.as_boxed_int())
+    );
     eprintln!("\n== E1 (section 2.1): sumTo 1..{n} ==");
-    eprintln!("{:<22} {:>12} {:>12}", "", "boxed", "unboxed");
-    eprintln!("{:<22} {:>12} {:>12}", "machine steps", bs.steps, us.steps);
     eprintln!(
-        "{:<22} {:>12} {:>12}",
-        "words allocated", bs.allocated_words, us.allocated_words
+        "{:<22} {:>12} {:>12} {:>12}",
+        "", "boxed (O0)", "boxed (O2)", "unboxed"
     );
     eprintln!(
-        "{:<22} {:>12} {:>12}",
-        "thunks forced", bs.thunk_forces, us.thunk_forces
+        "{:<22} {:>12} {:>12} {:>12}",
+        "machine steps", b0s.steps, bs.steps, us.steps
     );
     eprintln!(
-        "{:<22} {:>12} {:>12}",
-        "thunk updates", bs.updates, us.updates
+        "{:<22} {:>12} {:>12} {:>12}",
+        "words allocated", b0s.allocated_words, bs.allocated_words, us.allocated_words
     );
     eprintln!(
-        "{:<22} {:>12} {:>12}",
-        "constructor allocs", bs.con_allocs, us.con_allocs
+        "{:<22} {:>12} {:>12} {:>12}",
+        "thunks forced", b0s.thunk_forces, bs.thunk_forces, us.thunk_forces
     );
     eprintln!(
-        "steps ratio: {:.2}x; allocation: {} vs {} words (paper: >200x wall-clock)\n",
+        "{:<22} {:>12} {:>12} {:>12}",
+        "constructor allocs", b0s.con_allocs, bs.con_allocs, us.con_allocs
+    );
+    eprintln!(
+        "steps ratio (O0/unboxed): {:.2}x (paper: >200x wall-clock); \
+         the optimizer's worker/wrapper closes it to {:.2}x\n",
+        b0s.steps as f64 / us.steps as f64,
         bs.steps as f64 / us.steps as f64,
-        bs.allocated_words,
-        us.allocated_words
     );
 }
 

@@ -1,0 +1,216 @@
+//! The CI bench-regression gate.
+//!
+//! ```text
+//! bench_gate [--repo-root DIR] [--fresh FILE] [--out FILE]
+//!            [--tolerance X] [--inject-slowdown X]
+//! ```
+//!
+//! Two checks, both against the **newest committed baseline**
+//! (`BENCH_baseline.json` < `BENCH_pr2.json` < `BENCH_pr3.json` < …):
+//!
+//! 1. **cross-PR** — the newest committed file is compared against the
+//!    previous one over their common benchmark names: a mean that grew
+//!    by more than the tolerance means a PR recorded a regression and
+//!    shipped it anyway;
+//! 2. **fresh run** — `--fresh` points at the captured stdout of a
+//!    `BENCH_SMOKE=1 cargo bench` run on this machine; its `bench:`
+//!    lines are compared against the newest committed baseline over
+//!    common names, and re-rendered as JSON to `--out` so CI can upload
+//!    the artifact.
+//!
+//! The tolerance defaults to 1.5× and can be tuned with `--tolerance`
+//! or the `BENCH_GATE_TOLERANCE` environment variable (CI runners and
+//! recording machines differ; 1.5× is headroom, not precision).
+//! `--inject-slowdown X` multiplies every fresh mean by `X`, and
+//! `--baseline-from-fresh` makes the un-injected fresh run itself the
+//! baseline — together they let CI prove the gate trips on a 2×
+//! slowdown *deterministically*, independent of how the CI machine's
+//! speed relates to the machine that recorded the committed baselines.
+//!
+//! Exit status: 0 when clean, 1 on any regression or usage error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use bench::{baseline_rank, compare, parse_bench_json, parse_bench_lines, render_bench_json};
+
+struct Args {
+    repo_root: PathBuf,
+    fresh: Option<PathBuf>,
+    out: PathBuf,
+    tolerance: f64,
+    inject_slowdown: f64,
+    baseline_from_fresh: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        repo_root: PathBuf::from("."),
+        fresh: None,
+        out: PathBuf::from("target/bench-fresh.json"),
+        tolerance: std::env::var("BENCH_GATE_TOLERANCE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.5),
+        inject_slowdown: 1.0,
+        baseline_from_fresh: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--repo-root" => args.repo_root = PathBuf::from(value("--repo-root")?),
+            "--fresh" => args.fresh = Some(PathBuf::from(value("--fresh")?)),
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|e| format!("bad --tolerance: {e}"))?;
+            }
+            "--inject-slowdown" => {
+                args.inject_slowdown = value("--inject-slowdown")?
+                    .parse()
+                    .map_err(|e| format!("bad --inject-slowdown: {e}"))?;
+            }
+            "--baseline-from-fresh" => args.baseline_from_fresh = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Collect and rank the committed baselines.
+    let mut committed: Vec<(u64, String, bench::BenchSet)> = Vec::new();
+    let entries = match std::fs::read_dir(&args.repo_root) {
+        Ok(es) => es,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {}: {e}", args.repo_root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !(name.starts_with("BENCH_") && name.ends_with(".json")) {
+            continue;
+        }
+        let text = match std::fs::read_to_string(entry.path()) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_gate: cannot read {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match parse_bench_json(&text) {
+            Ok(set) => committed.push((baseline_rank(&name), name, set)),
+            Err(e) => {
+                eprintln!("bench_gate: {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    committed.sort_by_key(|c| c.0);
+    let Some((_, newest_name, newest)) = committed.last() else {
+        eprintln!("bench_gate: no committed BENCH_*.json baselines found");
+        return ExitCode::FAILURE;
+    };
+    let mut failed = false;
+
+    // Check 1: the newest committed file against its predecessor.
+    if committed.len() >= 2 {
+        let (_, prev_name, prev) = &committed[committed.len() - 2];
+        let regs = compare(prev, newest, args.tolerance);
+        if regs.is_empty() {
+            println!(
+                "bench_gate: {newest_name} vs {prev_name}: no mean regressed beyond {:.2}x",
+                args.tolerance
+            );
+        } else {
+            failed = true;
+            for r in regs {
+                eprintln!(
+                    "bench_gate: REGRESSION {}: {:.0} ns -> {:.0} ns ({:.2}x > {:.2}x) \
+                     [{newest_name} vs {prev_name}]",
+                    r.name, r.baseline_ns, r.candidate_ns, r.ratio, args.tolerance
+                );
+            }
+        }
+    }
+
+    // Check 2: a fresh run against the newest committed baseline.
+    if let Some(fresh_path) = &args.fresh {
+        let text = match std::fs::read_to_string(fresh_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_gate: cannot read {}: {e}", fresh_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut fresh = parse_bench_lines(&text);
+        if fresh.is_empty() {
+            eprintln!(
+                "bench_gate: {} contains no `bench:` lines — did the smoke run fail?",
+                fresh_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        let fresh_baseline = args.baseline_from_fresh.then(|| fresh.clone());
+        for e in fresh.values_mut() {
+            e.min_ns *= args.inject_slowdown;
+            e.mean_ns *= args.inject_slowdown;
+            e.max_ns *= args.inject_slowdown;
+        }
+        let note = format!(
+            "fresh BENCH_SMOKE run gated against {newest_name} (tolerance {:.2}x, \
+             injected slowdown {:.2}x)",
+            args.tolerance, args.inject_slowdown
+        );
+        if let Some(dir) = args.out.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(&args.out, render_bench_json(&fresh, &note)) {
+            eprintln!("bench_gate: cannot write {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        let (baseline_set, baseline_desc): (&bench::BenchSet, String) = match &fresh_baseline {
+            Some(set) => (set, "the un-injected fresh run".to_owned()),
+            None => (newest, newest_name.clone()),
+        };
+        let common = fresh
+            .keys()
+            .filter(|k| baseline_set.contains_key(*k))
+            .count();
+        let regs = compare(baseline_set, &fresh, args.tolerance);
+        if regs.is_empty() {
+            println!(
+                "bench_gate: fresh run vs {baseline_desc}: {common} common benches, none \
+                 regressed beyond {:.2}x (fresh JSON: {})",
+                args.tolerance,
+                args.out.display()
+            );
+        } else {
+            failed = true;
+            for r in regs {
+                eprintln!(
+                    "bench_gate: REGRESSION {}: {:.0} ns committed -> {:.0} ns fresh \
+                     ({:.2}x > {:.2}x)",
+                    r.name, r.baseline_ns, r.candidate_ns, r.ratio, args.tolerance
+                );
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

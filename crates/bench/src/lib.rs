@@ -1,2 +1,290 @@
-//! Benchmark-only crate; see the `benches/` directory.
+//! Benchmark crate: the criterion suites live in `benches/`; this
+//! library holds the machinery for the CI bench-regression gate
+//! (`src/bin/bench_gate.rs`).
+//!
+//! The gate consumes two formats:
+//!
+//! * the committed `BENCH_*.json` files at the repository root
+//!   (hand-recorded per PR, schema: `{"benches": {"<name>": {"min_ns":
+//!   N, "mean_ns": N, "max_ns": N}, …}}`), parsed by a deliberately
+//!   minimal JSON reader — the container vendors no serde, and the
+//!   schema is ours;
+//! * the live output of the vendored criterion shim (`bench: <name> ...
+//!   min X ns, mean Y ns, max Z ns (...)`), parsed line-wise.
+
 #![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+/// One benchmark's recorded numbers, nanoseconds per iteration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Mean over samples — what the gate compares.
+    pub mean_ns: f64,
+    /// Slowest sample.
+    pub max_ns: f64,
+}
+
+/// A named set of benchmark results (ordered for stable output).
+pub type BenchSet = BTreeMap<String, BenchEntry>;
+
+/// Parses a committed `BENCH_*.json` file: finds the `"benches"` object
+/// and reads each `"name": {"min_ns": …, "mean_ns": …, "max_ns": …}`
+/// entry. Tolerant of the surrounding metadata keys, strict about the
+/// entry schema.
+///
+/// # Errors
+///
+/// A human-readable description of the first malformed construct.
+pub fn parse_bench_json(text: &str) -> Result<BenchSet, String> {
+    let start = text
+        .find("\"benches\"")
+        .ok_or("no \"benches\" key in file")?;
+    let rest = &text[start..];
+    let open = rest.find('{').ok_or("\"benches\" key has no object")?;
+    let mut out = BenchSet::new();
+    let mut cursor = &rest[open + 1..];
+    loop {
+        cursor = cursor.trim_start_matches([' ', '\t', '\n', '\r', ',']);
+        if cursor.starts_with('}') || cursor.is_empty() {
+            break;
+        }
+        let (name, after_name) = parse_string(cursor)?;
+        let after_colon = after_name
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| format!("expected ':' after \"{name}\""))?;
+        let obj_start = after_colon
+            .trim_start()
+            .strip_prefix('{')
+            .ok_or_else(|| format!("expected an object for \"{name}\""))?;
+        let obj_end = obj_start
+            .find('}')
+            .ok_or_else(|| format!("unterminated object for \"{name}\""))?;
+        let body = &obj_start[..obj_end];
+        let field = |key: &str| -> Result<f64, String> {
+            let k = format!("\"{key}\"");
+            let at = body
+                .find(&k)
+                .ok_or_else(|| format!("\"{name}\" is missing {key}"))?;
+            let after = body[at + k.len()..]
+                .trim_start()
+                .strip_prefix(':')
+                .ok_or_else(|| format!("expected ':' after {key} in \"{name}\""))?;
+            let num: String = after
+                .trim_start()
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+                .collect();
+            num.parse()
+                .map_err(|_| format!("bad number for {key} in \"{name}\": {num:?}"))
+        };
+        out.insert(
+            name.clone(),
+            BenchEntry {
+                min_ns: field("min_ns")?,
+                mean_ns: field("mean_ns")?,
+                max_ns: field("max_ns")?,
+            },
+        );
+        cursor = &obj_start[obj_end + 1..];
+    }
+    Ok(out)
+}
+
+fn parse_string(s: &str) -> Result<(String, &str), String> {
+    let inner = s
+        .strip_prefix('"')
+        .ok_or_else(|| format!("expected a string at {:?}", &s[..s.len().min(20)]))?;
+    let end = inner.find('"').ok_or("unterminated string")?;
+    Ok((inner[..end].to_owned(), &inner[end + 1..]))
+}
+
+/// Parses the vendored criterion shim's stdout: every
+/// `bench: <name> ... min X ns, mean Y ns, max Z ns (…)` line.
+pub fn parse_bench_lines(text: &str) -> BenchSet {
+    let mut out = BenchSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.trim().strip_prefix("bench: ") else {
+            continue;
+        };
+        let Some((name, nums)) = rest.split_once(" ... ") else {
+            continue;
+        };
+        let grab = |key: &str| -> Option<f64> {
+            let at = nums.find(key)?;
+            let tail = nums[at + key.len()..].trim_start();
+            let digits: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            digits.parse().ok()
+        };
+        if let (Some(min), Some(mean), Some(max)) = (grab("min"), grab("mean"), grab("max")) {
+            out.insert(
+                name.to_owned(),
+                BenchEntry {
+                    min_ns: min,
+                    mean_ns: mean,
+                    max_ns: max,
+                },
+            );
+        }
+    }
+    out
+}
+
+/// Renders a [`BenchSet`] in the committed `BENCH_*.json` schema (used
+/// to upload the fresh CI run as a workflow artifact).
+pub fn render_bench_json(set: &BenchSet, note: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"note\": \"{note}\",\n"));
+    out.push_str("  \"benches\": {\n");
+    let mut first = true;
+    for (name, e) in set {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "    \"{name}\": {{ \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {} }}",
+            e.min_ns, e.mean_ns, e.max_ns
+        ));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// A regression found by [`compare`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Benchmark name.
+    pub name: String,
+    /// Baseline mean (ns).
+    pub baseline_ns: f64,
+    /// Candidate mean (ns).
+    pub candidate_ns: f64,
+    /// `candidate / baseline`.
+    pub ratio: f64,
+}
+
+/// Compares `candidate` against `baseline` over their common names:
+/// every mean that grew by more than `tolerance`× is a regression.
+/// Names present on only one side are ignored (suites grow over time;
+/// the smoke run covers a subset).
+pub fn compare(baseline: &BenchSet, candidate: &BenchSet, tolerance: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    for (name, base) in baseline {
+        let Some(cand) = candidate.get(name) else {
+            continue;
+        };
+        if base.mean_ns <= 0.0 {
+            continue;
+        }
+        let ratio = cand.mean_ns / base.mean_ns;
+        if ratio > tolerance {
+            out.push(Regression {
+                name: name.clone(),
+                baseline_ns: base.mean_ns,
+                candidate_ns: cand.mean_ns,
+                ratio,
+            });
+        }
+    }
+    out
+}
+
+/// Orders committed baseline files: `BENCH_baseline.json` is oldest
+/// (0), `BENCH_pr<N>.json` sorts by `N`. Unknown names sort oldest so a
+/// stray file can never masquerade as the newest baseline.
+pub fn baseline_rank(file_name: &str) -> u64 {
+    if file_name == "BENCH_baseline.json" {
+        return 0;
+    }
+    file_name
+        .strip_prefix("BENCH_pr")
+        .and_then(|s| s.strip_suffix(".json"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+      "note": "x",
+      "benches": {
+        "sum_to/boxed/200": { "min_ns": 100, "mean_ns": 110, "max_ns": 130 },
+        "num_class/dict_boxed/2000": { "min_ns": 5, "mean_ns": 6.5, "max_ns": 9 }
+      }
+    }"#;
+
+    #[test]
+    fn parses_committed_json() {
+        let set = parse_bench_json(SAMPLE).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set["sum_to/boxed/200"].mean_ns, 110.0);
+        assert_eq!(set["num_class/dict_boxed/2000"].mean_ns, 6.5);
+    }
+
+    #[test]
+    fn parses_the_real_committed_files() {
+        // The schema contract with the repository root: every committed
+        // baseline must stay parseable, or the gate silently guards
+        // nothing.
+        for file in ["BENCH_baseline.json", "BENCH_pr2.json", "BENCH_pr3.json"] {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_owned() + "/" + file;
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            let set = parse_bench_json(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
+            assert!(!set.is_empty(), "{file} has no benches");
+        }
+    }
+
+    #[test]
+    fn parses_shim_output_lines() {
+        let text = "warmup noise\n\
+            bench: sum_to/boxed/50 ... min 14301 ns, mean 15692 ns, max 19814 ns (351 iters/sample, 10 samples)\n\
+            unrelated line\n";
+        let set = parse_bench_lines(text);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set["sum_to/boxed/50"].mean_ns, 15692.0);
+        assert_eq!(set["sum_to/boxed/50"].min_ns, 14301.0);
+        assert_eq!(set["sum_to/boxed/50"].max_ns, 19814.0);
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        let set = parse_bench_json(SAMPLE).unwrap();
+        let rendered = render_bench_json(&set, "round trip");
+        assert_eq!(parse_bench_json(&rendered).unwrap(), set);
+    }
+
+    #[test]
+    fn compare_flags_only_regressions_beyond_tolerance() {
+        let base = parse_bench_json(SAMPLE).unwrap();
+        let mut cand = base.clone();
+        cand.get_mut("sum_to/boxed/200").unwrap().mean_ns = 140.0; // 1.27x: fine
+        assert!(compare(&base, &cand, 1.5).is_empty());
+        cand.get_mut("sum_to/boxed/200").unwrap().mean_ns = 170.0; // 1.55x: regression
+        let regs = compare(&base, &cand, 1.5);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "sum_to/boxed/200");
+        assert!((regs[0].ratio - 170.0 / 110.0).abs() < 1e-9);
+        // Names only on one side never count.
+        cand.remove("num_class/dict_boxed/2000");
+        assert_eq!(compare(&base, &cand, 1.5).len(), 1);
+    }
+
+    #[test]
+    fn baseline_files_rank_in_pr_order() {
+        assert_eq!(baseline_rank("BENCH_baseline.json"), 0);
+        assert_eq!(baseline_rank("BENCH_pr2.json"), 2);
+        assert_eq!(baseline_rank("BENCH_pr3.json"), 3);
+        assert!(baseline_rank("BENCH_pr10.json") > baseline_rank("BENCH_pr3.json"));
+        assert_eq!(baseline_rank("BENCH_garbage.json"), 0);
+    }
+}

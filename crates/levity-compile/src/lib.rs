@@ -34,6 +34,8 @@
 pub mod figure7;
 pub mod lower;
 pub mod metatheory;
+pub mod opt;
 
 pub use figure7::{compile, compile_closed, AbstractSite, CompileError, Observable, VarEnv};
 pub use lower::{lower_expr, lower_program, LowerError, Lowerer};
+pub use opt::{optimise_program, OptLevel, OptReport};

@@ -1,0 +1,297 @@
+//! Inlining of saturated calls to small, non-recursive top-level
+//! functions, with β-reduction.
+//!
+//! The specialiser leaves behind direct calls like `$fNum_Int#_+ acc n`
+//! whose bodies are a couple of nodes; the worker/wrapper split leaves
+//! thin wrappers at every call site. This pass replaces such calls with
+//! the callee's body, substituting atomic arguments directly and
+//! `let`-binding the rest.
+//!
+//! Two invariants keep the rewrite outcome-exact:
+//!
+//! * the callee's body is α-refreshed before grafting, so its binders
+//!   can never capture call-site variables;
+//! * non-atomic arguments are bound with the **last argument outermost**,
+//!   because lowering a curried application evaluates strict arguments
+//!   right-to-left (each `App` wraps its own `let!` around the spine
+//!   built so far) — the `let` nest reproduces that order exactly.
+//!
+//! Functions on a call-graph cycle are never inlined (the pass would not
+//! terminate, and loops belong in one place); everything else under the
+//! size threshold is fair game, plus whatever the worker/wrapper pass
+//! explicitly marks (wrappers must disappear at call sites for the
+//! worker to tail-call itself directly).
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use levity_core::rep::RepTy;
+use levity_core::symbol::Symbol;
+use levity_ir::terms::{CoreAlt, CoreExpr, LetKind, Program, TopBind};
+use levity_ir::types::Type;
+
+use super::subst::{globals_of, is_value_atom, refresh_binders, substitute};
+
+/// Bodies above this node count are not worth duplicating.
+const INLINE_SIZE_LIMIT: usize = 64;
+
+/// One argument of a flattened application spine.
+pub(super) enum SpinePart {
+    Term(CoreExpr),
+    Ty(Type),
+    Rep(RepTy),
+}
+
+/// Flattens nested `App`/`TyApp`/`RepApp` into head + arguments in
+/// application order.
+pub(super) fn flatten_spine(e: &CoreExpr) -> (&CoreExpr, Vec<SpinePart>) {
+    let mut parts = Vec::new();
+    let mut cur = e;
+    loop {
+        match cur {
+            CoreExpr::App(f, a) => {
+                parts.push(SpinePart::Term((**a).clone()));
+                cur = f;
+            }
+            CoreExpr::TyApp(f, t) => {
+                parts.push(SpinePart::Ty(t.clone()));
+                cur = f;
+            }
+            CoreExpr::RepApp(f, r) => {
+                parts.push(SpinePart::Rep(r.clone()));
+                cur = f;
+            }
+            _ => break,
+        }
+    }
+    parts.reverse();
+    (cur, parts)
+}
+
+/// β-reduces a literal redex — an application spine whose head is a
+/// λ/Λ-chain, as left behind by other passes. Used by the simplifier.
+pub(super) fn reduce_redex(e: &CoreExpr) -> Option<CoreExpr> {
+    if !matches!(
+        e,
+        CoreExpr::App(..) | CoreExpr::TyApp(..) | CoreExpr::RepApp(..)
+    ) {
+        return None;
+    }
+    let (head, parts) = flatten_spine(e);
+    if !matches!(
+        head,
+        CoreExpr::Lam(..) | CoreExpr::TyLam(..) | CoreExpr::RepLam(..)
+    ) || parts.is_empty()
+    {
+        return None;
+    }
+    beta(head, &parts)
+}
+
+fn beta(body: &CoreExpr, parts: &[SpinePart]) -> Option<CoreExpr> {
+    let mut cur = refresh_binders(body);
+    let mut atom_map: HashMap<Symbol, CoreExpr> = HashMap::new();
+    // (binder, type, rhs) for non-atomic arguments, in argument order.
+    let mut pending: Vec<(Symbol, Type, CoreExpr)> = Vec::new();
+    let mut leftover = Vec::new();
+    let mut it = parts.iter();
+    while let Some(part) = it.next() {
+        match (part, cur) {
+            (SpinePart::Ty(t), CoreExpr::TyLam(a, _, inner)) => {
+                cur = super::subst::subst_ty_expr(&inner, a, t);
+            }
+            (SpinePart::Rep(r), CoreExpr::RepLam(v, inner)) => {
+                cur = super::subst::subst_rep_expr(&inner, v, r);
+            }
+            (SpinePart::Term(e), CoreExpr::Lam(x, ty, inner)) => {
+                // Only variables and literals substitute directly: a
+                // `Global` must keep its evaluation point (a strict
+                // binding evaluates it exactly once, here and now), so
+                // it is let-bound like any other expression.
+                if is_value_atom(e) {
+                    atom_map.insert(x, e.clone());
+                } else {
+                    pending.push((x, ty, e.clone()));
+                }
+                cur = *inner;
+            }
+            (_, other) => {
+                // The chain ran out (oversaturation) or the shapes
+                // mismatch. Oversaturated *term* arguments can simply be
+                // re-applied around the reduced prefix; a type argument
+                // with no Λ to consume means we should not have tried.
+                cur = other;
+                match part {
+                    SpinePart::Term(e) => leftover.push(SpinePart::Term(e.clone())),
+                    _ => return None,
+                }
+                for rest in it.by_ref() {
+                    match rest {
+                        SpinePart::Term(e) => leftover.push(SpinePart::Term(e.clone())),
+                        _ => return None,
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let mut out = substitute(&cur, &atom_map);
+    // Last argument outermost: lowering evaluates curried-call arguments
+    // right-to-left, and the let-nest must agree.
+    for (x, ty, rhs) in pending {
+        out = CoreExpr::Let(LetKind::NonRec, x, ty, Box::new(rhs), Box::new(out));
+    }
+    for part in leftover {
+        if let SpinePart::Term(e) = part {
+            out = CoreExpr::app(out, e);
+        }
+    }
+    Some(out)
+}
+
+/// The set of globals that participate in a call-graph cycle (including
+/// self-recursion); these are never inlined.
+fn cyclic_globals(prog: &Program) -> HashSet<Symbol> {
+    let mut edges: HashMap<Symbol, Vec<Symbol>> = HashMap::new();
+    for b in &prog.bindings {
+        let mut callees = Vec::new();
+        globals_of(&b.expr, &mut callees);
+        edges.insert(b.name, callees);
+    }
+    let mut cyclic = HashSet::new();
+    for b in &prog.bindings {
+        // DFS from each binding's callees; a path back to the binding
+        // itself marks the whole path's endpoints lazily (per-node check
+        // keeps this simple and the program sizes small).
+        let mut stack: Vec<Symbol> = edges.get(&b.name).cloned().unwrap_or_default();
+        let mut seen = HashSet::new();
+        while let Some(g) = stack.pop() {
+            if g == b.name {
+                cyclic.insert(b.name);
+                break;
+            }
+            if seen.insert(g) {
+                if let Some(next) = edges.get(&g) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+    }
+    cyclic
+}
+
+/// Runs one inlining pass over the program. `force_inline` names
+/// bindings (worker/wrapper wrappers) inlined regardless of size.
+/// Returns the rewritten program and the number of call sites inlined.
+pub fn inline(prog: &Program, force_inline: &HashSet<Symbol>) -> (Program, usize) {
+    let cyclic = cyclic_globals(prog);
+    let mut bodies: HashMap<Symbol, CoreExpr> = HashMap::new();
+    for b in &prog.bindings {
+        // A worker/wrapper wrapper sits on a cycle *through its worker*
+        // (the worker's recursive calls go back through the wrapper),
+        // but never mentions itself — inlining it terminates, and must
+        // happen for the worker to call itself directly. The worker is
+        // the loop breaker.
+        let allowed = if force_inline.contains(&b.name) {
+            !super::subst::mentions_global(&b.expr, b.name)
+        } else {
+            b.expr.size() <= INLINE_SIZE_LIMIT && !cyclic.contains(&b.name)
+        };
+        if allowed {
+            bodies.insert(b.name, b.expr.clone());
+        }
+    }
+    let mut count = 0usize;
+    let bindings = prog
+        .bindings
+        .iter()
+        .map(|b| TopBind {
+            name: b.name,
+            ty: b.ty.clone(),
+            expr: walk(&b.expr, &bodies, &mut count),
+        })
+        .collect();
+    (
+        Program {
+            data_decls: prog.data_decls.clone(),
+            bindings,
+        },
+        count,
+    )
+}
+
+fn walk(e: &CoreExpr, bodies: &HashMap<Symbol, CoreExpr>, count: &mut usize) -> CoreExpr {
+    // Try the node itself as a saturated call first.
+    if matches!(e, CoreExpr::App(..)) {
+        let (head, parts) = flatten_spine(e);
+        if let CoreExpr::Global(g) = head {
+            if let Some(body) = bodies.get(g) {
+                // Saturation: at least one term argument, and the binder
+                // chain must consume every type/rep argument.
+                let has_term = parts.iter().any(|p| matches!(p, SpinePart::Term(_)));
+                if has_term {
+                    if let Some(reduced) = beta(body, &parts) {
+                        *count += 1;
+                        // Process the grafted body's own sub-calls (the
+                        // graft is fresh code from a *pre-pass* snapshot,
+                        // so this cannot loop).
+                        return walk(&reduced, bodies, count);
+                    }
+                }
+            }
+        }
+    }
+    match e {
+        CoreExpr::Var(_) | CoreExpr::Global(_) | CoreExpr::Lit(_) | CoreExpr::Error(..) => {
+            e.clone()
+        }
+        CoreExpr::App(f, a) => CoreExpr::app(walk(f, bodies, count), walk(a, bodies, count)),
+        CoreExpr::TyApp(f, t) => CoreExpr::ty_app(walk(f, bodies, count), t.clone()),
+        CoreExpr::RepApp(f, r) => CoreExpr::rep_app(walk(f, bodies, count), r.clone()),
+        CoreExpr::Lam(x, t, b) => CoreExpr::lam(*x, t.clone(), walk(b, bodies, count)),
+        CoreExpr::TyLam(a, k, b) => CoreExpr::ty_lam(*a, k.clone(), walk(b, bodies, count)),
+        CoreExpr::RepLam(r, b) => CoreExpr::rep_lam(*r, walk(b, bodies, count)),
+        CoreExpr::Let(kind, x, t, rhs, body) => CoreExpr::Let(
+            *kind,
+            *x,
+            t.clone(),
+            Box::new(walk(rhs, bodies, count)),
+            Box::new(walk(body, bodies, count)),
+        ),
+        CoreExpr::Case(scrut, alts) => CoreExpr::Case(
+            Box::new(walk(scrut, bodies, count)),
+            alts.iter()
+                .map(|alt| match alt {
+                    CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
+                        con: Rc::clone(con),
+                        binders: binders.clone(),
+                        rhs: walk(rhs, bodies, count),
+                    },
+                    CoreAlt::Lit { lit, rhs } => CoreAlt::Lit {
+                        lit: *lit,
+                        rhs: walk(rhs, bodies, count),
+                    },
+                    CoreAlt::Tuple { binders, rhs } => CoreAlt::Tuple {
+                        binders: binders.clone(),
+                        rhs: walk(rhs, bodies, count),
+                    },
+                    CoreAlt::Default { binder, rhs } => CoreAlt::Default {
+                        binder: binder.clone(),
+                        rhs: walk(rhs, bodies, count),
+                    },
+                })
+                .collect(),
+        ),
+        CoreExpr::Con(con, ty_args, fields) => CoreExpr::Con(
+            Rc::clone(con),
+            ty_args.clone(),
+            fields.iter().map(|f| walk(f, bodies, count)).collect(),
+        ),
+        CoreExpr::Prim(op, args) => {
+            CoreExpr::Prim(*op, args.iter().map(|a| walk(a, bodies, count)).collect())
+        }
+        CoreExpr::Tuple(args) => {
+            CoreExpr::Tuple(args.iter().map(|a| walk(a, bodies, count)).collect())
+        }
+    }
+}

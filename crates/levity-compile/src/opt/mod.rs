@@ -1,0 +1,181 @@
+//! The levity-directed Core-to-Core optimizer.
+//!
+//! §6.2's thesis is that kinding types by representation lets the
+//! compiler *act* on representation information. The pipeline's acting
+//! layer is this module: a short sequence of passes run between
+//! [`check_program_levity`](levity_ir::levity::check_program_levity) and
+//! [`lower_program`](crate::lower::lower_program), each justified by
+//! facts the kinds already state:
+//!
+//! 1. [`specialise`](specialise::specialise) — class-method projections
+//!    out of statically known dictionaries become direct calls to the
+//!    instance methods (§7.3's cost, refunded);
+//! 2. [`inline`](inline::inline) + [`simplify`](simplify::simplify) —
+//!    small non-recursive calls β-reduce, case-of-known-constructor and
+//!    friends clean up (iterated to a bounded fixpoint);
+//! 3. [`worker_wrapper`](ww::worker_wrapper) — strictly-demanded boxed
+//!    arguments split into an unboxed worker plus an inline wrapper,
+//!    with each binder's §6.2 register class read off its kind;
+//! 4. inline + simplify again, so wrappers vanish at call sites and
+//!    workers tail-call themselves on raw registers.
+//!
+//! **The pipeline is representation-preserving by construction and by
+//! check:** after every pass the whole program is re-typechecked (the
+//! pass returns an error — surfaced as a compiler bug — if it broke
+//! typing), and under `debug_assertions` the §5.1 levity checks are
+//! re-run too. `tests/differential.rs` additionally pins optimized and
+//! unoptimized programs to identical outcomes over the corpus and a
+//! property-based sample.
+
+pub mod inline;
+pub mod simplify;
+pub mod specialise;
+pub mod subst;
+pub mod ww;
+
+use std::collections::HashSet;
+use std::fmt;
+
+use levity_core::symbol::Symbol;
+use levity_ir::terms::Program;
+use levity_ir::typecheck::{check_program, CoreError, TypeEnv};
+
+/// How hard the optimizer works.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OptLevel {
+    /// No Core-to-Core optimization: lower the elaborated program
+    /// verbatim. The differential baseline.
+    O0,
+    /// The full pass pipeline (the default everywhere).
+    #[default]
+    O2,
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::O0 => f.write_str("O0"),
+            OptLevel::O2 => f.write_str("O2"),
+        }
+    }
+}
+
+/// What the optimizer did, for reporting and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptReport {
+    /// Dictionary projections replaced by instance methods.
+    pub specialised: usize,
+    /// Call sites inlined (all rounds).
+    pub inlined: usize,
+    /// Simplifier rewrites applied (all rounds).
+    pub simplified: usize,
+    /// Worker/wrapper splits performed.
+    pub workers: usize,
+}
+
+/// Inline/simplify rounds on each side of the worker/wrapper split.
+const ROUNDS: usize = 2;
+
+/// Runs the full pass pipeline over a checked program. Returns the
+/// optimized program, a report of what fired, and the final
+/// [`TypeEnv`] — already covering any worker globals the split added,
+/// so the caller can lower without re-checking.
+///
+/// # Errors
+///
+/// An error means a pass produced ill-typed Core — a bug in the
+/// optimizer, never in the input program (which the caller has already
+/// checked). The offending pass is re-validated after every step, so
+/// the error surfaces immediately next to its cause.
+pub fn optimise_program(
+    prog: &Program,
+) -> Result<(Program, OptReport, TypeEnv), (Symbol, CoreError)> {
+    let mut report = OptReport::default();
+    let (mut cur, n) = specialise::specialise(prog);
+    report.specialised = n;
+    let mut env = validate(&cur, "specialise")?;
+
+    let no_force: HashSet<Symbol> = HashSet::new();
+    for _ in 0..ROUNDS {
+        let (next, n) = inline::inline(&cur, &no_force);
+        report.inlined += n;
+        cur = next;
+        env = validate(&cur, "inline")?;
+        let (next, n) = simplify::simplify(&env, &cur);
+        report.simplified += n;
+        cur = next;
+        env = validate(&cur, "simplify")?;
+    }
+
+    let (next, wrappers, n) = ww::worker_wrapper(&env, &cur);
+    report.workers = n;
+    cur = next;
+    env = validate(&cur, "worker/wrapper")?;
+
+    for _ in 0..ROUNDS {
+        let (next, n) = inline::inline(&cur, &wrappers);
+        report.inlined += n;
+        cur = next;
+        env = validate(&cur, "inline")?;
+        let (next, n) = simplify::simplify(&env, &cur);
+        report.simplified += n;
+        cur = next;
+        env = validate(&cur, "simplify")?;
+    }
+    Ok((cur, report, env))
+}
+
+/// Re-typechecks the program after a pass (always), and re-runs the
+/// §5.1 levity checks (under `debug_assertions`): the optimizer must be
+/// representation-preserving, and a pass that is not should fail here,
+/// next to its name, rather than at lowering or — worse — at runtime.
+fn validate(prog: &Program, pass: &str) -> Result<TypeEnv, (Symbol, CoreError)> {
+    let env = check_program(prog).map_err(|(name, e)| {
+        // Attach the pass name for the panic message in debug builds;
+        // release callers surface the CoreError through the pipeline.
+        debug_assert!(
+            false,
+            "optimizer pass `{pass}` broke typing of `{name}`: {e}"
+        );
+        (name, e)
+    })?;
+    #[cfg(debug_assertions)]
+    {
+        let diags = levity_ir::levity::check_program_levity(&env, prog);
+        assert!(
+            !diags.has_errors(),
+            "optimizer pass `{pass}` violated the section-5.1 levity checks:\n{diags:?}"
+        );
+    }
+    let _ = pass;
+    Ok(env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levity_ir::terms::{CoreExpr, TopBind};
+    use levity_ir::types::Type;
+
+    /// A minimal program: the optimizer must be the identity on code
+    /// with nothing to do, and the result must stay well-typed.
+    #[test]
+    fn optimizing_a_trivial_program_is_sound() {
+        let env = TypeEnv::new();
+        let ih = Type::con0(&env.builtins.int_hash);
+        let prog = Program {
+            data_decls: env.builtins.data_decls.clone(),
+            bindings: vec![TopBind {
+                name: "main".into(),
+                ty: ih,
+                expr: CoreExpr::int(42),
+            }],
+        };
+        let (out, report, _env) =
+            optimise_program(&prog).expect("optimizer broke a trivial program");
+        assert_eq!(out.bindings.len(), 1);
+        assert_eq!(out.bindings[0].expr, CoreExpr::int(42));
+        assert_eq!(report.specialised, 0);
+        assert_eq!(report.workers, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Dictionary specialisation: the §6.2 payoff of knowing every
+//! representation statically.
+//!
+//! Elaboration (§7.3) turns `acc + n` at `Int#` into
+//!
+//! ```text
+//! ((+) @IntRep @Int# $dNum_Int#) acc n
+//! ```
+//!
+//! — a levity-polymorphic *selector* applied to a statically known
+//! top-level dictionary. At runtime that costs a dictionary allocation
+//! walk and a `case` per call. This pass recognizes both halves purely
+//! structurally — no class environment needed, so user-defined classes
+//! specialise exactly like the prelude's — and rewrites the projection
+//! to the instance method it would select:
+//!
+//! ```text
+//! ($fNum_Int#_+) acc n
+//! ```
+//!
+//! A dictionary that is *not* statically known (a `Num a => …` function
+//! receives its dictionary as a λ-bound variable) is left untouched:
+//! specialisation is exactly as partial as the information the types
+//! provide.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use levity_core::symbol::Symbol;
+use levity_ir::terms::{CoreAlt, CoreExpr, Program, TopBind};
+use levity_ir::types::Type;
+
+use super::subst::is_atom;
+
+/// A recognized method selector: projects field `index` out of a
+/// dictionary built by constructor `con`.
+struct Selector {
+    con: Symbol,
+    index: usize,
+}
+
+/// A recognized dictionary CAF: `$dC_τ = MkC @… m₁ … mₙ` with every
+/// field an atom (instance method globals, by construction).
+struct DictCaf {
+    con: Symbol,
+    fields: Vec<CoreExpr>,
+}
+
+/// Recognizes `Λr*. Λa. λ(d :: C a). case d of { MkC f₁ … fₙ -> fᵢ }`.
+fn recognize_selector(expr: &CoreExpr) -> Option<Selector> {
+    let mut body = expr;
+    while let CoreExpr::RepLam(_, inner) | CoreExpr::TyLam(_, _, inner) = body {
+        body = inner;
+    }
+    let CoreExpr::Lam(d, Type::Dict(..), lam_body) = body else {
+        return None;
+    };
+    let CoreExpr::Case(scrut, alts) = &**lam_body else {
+        return None;
+    };
+    if !matches!(&**scrut, CoreExpr::Var(v) if v == d) || alts.len() != 1 {
+        return None;
+    }
+    let CoreAlt::Con { con, binders, rhs } = &alts[0] else {
+        return None;
+    };
+    let CoreExpr::Var(out) = rhs else {
+        return None;
+    };
+    let index = binders.iter().position(|(b, _)| b == out)?;
+    Some(Selector {
+        con: con.name,
+        index,
+    })
+}
+
+/// Recognizes `$dC_τ :: C τ = MkC @… f₁ … fₙ` with atomic fields.
+fn recognize_dict_caf(bind: &TopBind) -> Option<DictCaf> {
+    if !matches!(bind.ty, Type::Dict(..)) {
+        return None;
+    }
+    let CoreExpr::Con(con, _, fields) = &bind.expr else {
+        return None;
+    };
+    if !fields.iter().all(is_atom) {
+        return None;
+    }
+    Some(DictCaf {
+        con: con.name,
+        fields: fields.clone(),
+    })
+}
+
+/// Strips erased type/representation applications down to the head.
+fn strip_erased(e: &CoreExpr) -> &CoreExpr {
+    match e {
+        CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => strip_erased(f),
+        other => other,
+    }
+}
+
+/// Runs dictionary specialisation over a whole program. Returns the
+/// rewritten program and the number of projections specialised.
+pub fn specialise(prog: &Program) -> (Program, usize) {
+    let mut selectors: HashMap<Symbol, Selector> = HashMap::new();
+    let mut dicts: HashMap<Symbol, DictCaf> = HashMap::new();
+    for bind in &prog.bindings {
+        if let Some(sel) = recognize_selector(&bind.expr) {
+            selectors.insert(bind.name, sel);
+        }
+        if let Some(caf) = recognize_dict_caf(bind) {
+            dicts.insert(bind.name, caf);
+        }
+    }
+    let mut count = 0usize;
+    let bindings = prog
+        .bindings
+        .iter()
+        .map(|b| TopBind {
+            name: b.name,
+            ty: b.ty.clone(),
+            expr: rewrite(&b.expr, &selectors, &dicts, &mut count),
+        })
+        .collect();
+    (
+        Program {
+            data_decls: prog.data_decls.clone(),
+            bindings,
+        },
+        count,
+    )
+}
+
+fn rewrite(
+    e: &CoreExpr,
+    selectors: &HashMap<Symbol, Selector>,
+    dicts: &HashMap<Symbol, DictCaf>,
+    count: &mut usize,
+) -> CoreExpr {
+    let again = |e: &CoreExpr, count: &mut usize| rewrite(e, selectors, dicts, count);
+    match e {
+        CoreExpr::App(f, a) => {
+            // The pattern: (selector @ρ… @τ…) dict-global.
+            if let (CoreExpr::Global(s), CoreExpr::Global(d)) = (strip_erased(f), strip_erased(a)) {
+                if let (Some(sel), Some(caf)) = (selectors.get(s), dicts.get(d)) {
+                    if sel.con == caf.con {
+                        *count += 1;
+                        return caf.fields[sel.index].clone();
+                    }
+                }
+            }
+            CoreExpr::app(again(f, count), again(a, count))
+        }
+        CoreExpr::Var(_) | CoreExpr::Global(_) | CoreExpr::Lit(_) | CoreExpr::Error(..) => {
+            e.clone()
+        }
+        CoreExpr::TyApp(f, t) => CoreExpr::ty_app(again(f, count), t.clone()),
+        CoreExpr::RepApp(f, r) => CoreExpr::rep_app(again(f, count), r.clone()),
+        CoreExpr::Lam(x, t, b) => CoreExpr::lam(*x, t.clone(), again(b, count)),
+        CoreExpr::TyLam(a, k, b) => CoreExpr::ty_lam(*a, k.clone(), again(b, count)),
+        CoreExpr::RepLam(r, b) => CoreExpr::rep_lam(*r, again(b, count)),
+        CoreExpr::Let(kind, x, t, rhs, body) => CoreExpr::Let(
+            *kind,
+            *x,
+            t.clone(),
+            Box::new(again(rhs, count)),
+            Box::new(again(body, count)),
+        ),
+        CoreExpr::Case(scrut, alts) => CoreExpr::Case(
+            Box::new(again(scrut, count)),
+            alts.iter()
+                .map(|alt| match alt {
+                    CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
+                        con: Rc::clone(con),
+                        binders: binders.clone(),
+                        rhs: again(rhs, count),
+                    },
+                    CoreAlt::Lit { lit, rhs } => CoreAlt::Lit {
+                        lit: *lit,
+                        rhs: again(rhs, count),
+                    },
+                    CoreAlt::Tuple { binders, rhs } => CoreAlt::Tuple {
+                        binders: binders.clone(),
+                        rhs: again(rhs, count),
+                    },
+                    CoreAlt::Default { binder, rhs } => CoreAlt::Default {
+                        binder: binder.clone(),
+                        rhs: again(rhs, count),
+                    },
+                })
+                .collect(),
+        ),
+        CoreExpr::Con(con, ty_args, fields) => CoreExpr::Con(
+            Rc::clone(con),
+            ty_args.clone(),
+            fields.iter().map(|f| again(f, count)).collect(),
+        ),
+        CoreExpr::Prim(op, args) => {
+            CoreExpr::Prim(*op, args.iter().map(|a| again(a, count)).collect())
+        }
+        CoreExpr::Tuple(args) => CoreExpr::Tuple(args.iter().map(|a| again(a, count)).collect()),
+    }
+}

@@ -1,0 +1,504 @@
+//! Worker/wrapper unboxing: the §6.2 representation classes put to work.
+//!
+//! A function like
+//!
+//! ```text
+//! loop :: Int -> Int -> Int
+//! loop acc n = case n of { I# k -> case k of { 0# -> acc; _ -> … } }
+//! ```
+//!
+//! scrutinises its boxed argument `n` before doing anything else, and is
+//! strict in `acc` on every path (one branch returns it, the other
+//! feeds it back into a strict position of the recursive call). Each
+//! such argument is split: a **worker** `$wloop :: Int# -> Int# -> Int`
+//! receives the payload in its §6.2 register class directly, and `loop`
+//! becomes a thin **wrapper** that unboxes and tail-calls the worker.
+//! The wrapper is then inlined at every call site (including the
+//! worker's own recursive calls), and case-of-known-constructor cleanup
+//! erases the reboxing — leaving a loop that runs entirely in unboxed
+//! registers.
+//!
+//! Selection is deliberately conservative:
+//!
+//! * only **monomorphic** top-level functions (no quantifiers, no
+//!   dictionary arguments) whose λ-arity matches their type;
+//! * only arguments of single-constructor, single-field datatypes whose
+//!   field has a concrete unboxed scalar representation (`Int`, `Double`,
+//!   `Char` boxes — recognized from the data declarations, not by name);
+//! * an argument qualifies if it is **head-scrutinised** (a `case` on it
+//!   begins the body), or if every path through the body demands it —
+//!   returns it in tail position, scrutinises it, or passes it to a
+//!   strict position of a saturated self-call — **and** at least one
+//!   path demands it directly (a witness), so a bare `f x = f x` never
+//!   unboxes anything. The self-call rule mirrors GHC's strictness
+//!   analysis on self-recursive loops; like GHC's, on a *diverging*
+//!   call it can force a ⊥ argument that only the untaken terminating
+//!   paths demand (observable only as one `error`/`<<loop>>` outcome
+//!   replacing another, never as a wrong value — the imprecise-⊥
+//!   latitude GHC also takes).
+
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use levity_core::rep::Rep;
+use levity_core::symbol::Symbol;
+use levity_ir::freshen;
+use levity_ir::terms::{CoreAlt, CoreExpr, DataConInfo, LetKind, Program, TopBind};
+use levity_ir::typecheck::{kind_of, Scope, TypeEnv};
+use levity_ir::types::Type;
+use levity_m::syntax::PrimOp;
+
+use super::inline::{flatten_spine, SpinePart};
+use super::subst::substitute;
+
+/// A worker/wrapper split candidate argument.
+struct Unboxing {
+    /// The box constructor (`I#`, `D#`, …).
+    con: Rc<DataConInfo>,
+    /// The unboxed field type (`Int#`, …).
+    field_ty: Type,
+}
+
+/// Is `ty` a single-constructor, single-field box around an unboxed
+/// scalar? Recognized structurally from the data declarations.
+fn unboxable(env: &TypeEnv, ty: &Type) -> Option<Unboxing> {
+    let Type::Con(tc, args) = ty else {
+        return None;
+    };
+    if !args.is_empty() {
+        return None;
+    }
+    let decl = env.datatype(tc.name)?;
+    if !decl.params.is_empty() || decl.cons.len() != 1 {
+        return None;
+    }
+    let con = &decl.cons[0];
+    if con.arity() != 1 {
+        return None;
+    }
+    let field_ty = con.field_types[0].clone();
+    let kind = kind_of(env, &mut Scope::new(), &field_ty).ok()?;
+    match kind.concrete_rep() {
+        Some(Rep::Lifted | Rep::Unlifted | Rep::Tuple(_) | Rep::Sum(_)) | None => None,
+        Some(_) => Some(Unboxing {
+            con: Rc::clone(con),
+            field_ty,
+        }),
+    }
+}
+
+/// Context for the all-paths demand analysis.
+struct DemandCx<'a> {
+    env: &'a TypeEnv,
+    /// The function being analysed (for self-call detection).
+    fname: Symbol,
+    /// Its argument names, in order.
+    args: &'a [Symbol],
+    /// Which argument positions have unboxed types (already values —
+    /// evaluated at every call before the body runs).
+    arg_unboxed: &'a [bool],
+    /// Argument positions assumed strict (the immediate set plus the
+    /// candidate under test).
+    assumed: &'a HashSet<usize>,
+}
+
+/// Is `ty` an unboxed scalar type — one whose values cannot be thunks,
+/// so forcing a variable of this type can never abort? Open types (only
+/// reachable under local polymorphism) conservatively answer no.
+fn is_unboxed_value_ty(env: &TypeEnv, ty: &Type) -> bool {
+    match kind_of(env, &mut Scope::new(), ty) {
+        Ok(kind) => !matches!(
+            kind.concrete_rep(),
+            Some(Rep::Lifted | Rep::Unlifted) | None
+        ),
+        Err(_) => false,
+    }
+}
+
+/// Is `x` demanded *directly* somewhere in `e` — in evaluated position
+/// (tail return, scrutinee, primop argument, application head), not
+/// merely passed to a self-call? The all-paths analysis is an
+/// optimistic fixpoint over self-calls; without a direct witness it
+/// would conclude `f x = f x` is strict in `x` and force an argument a
+/// diverging program never demands.
+fn direct_demand_witness(e: &CoreExpr, x: Symbol) -> bool {
+    match e {
+        CoreExpr::Var(v) => *v == x,
+        CoreExpr::Global(_)
+        | CoreExpr::Lit(_)
+        | CoreExpr::Error(..)
+        | CoreExpr::Lam(..)
+        | CoreExpr::Con(..)
+        | CoreExpr::Tuple(_) => false,
+        CoreExpr::TyLam(_, _, b) | CoreExpr::RepLam(_, b) => direct_demand_witness(b, x),
+        CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => direct_demand_witness(f, x),
+        CoreExpr::Prim(_, args) => args.iter().any(|a| direct_demand_witness(a, x)),
+        CoreExpr::App(..) => {
+            let (head, _) = flatten_spine(e);
+            matches!(head, CoreExpr::Var(v) if *v == x)
+        }
+        CoreExpr::Let(kind, y, _, rhs, body) => {
+            let in_rhs = !(*kind == LetKind::Rec && *y == x) && direct_demand_witness(rhs, x);
+            in_rhs || (*y != x && direct_demand_witness(body, x))
+        }
+        CoreExpr::Case(scrut, alts) => {
+            if matches!(&**scrut, CoreExpr::Var(v) if *v == x) || direct_demand_witness(scrut, x) {
+                return true;
+            }
+            alts.iter().any(|alt| {
+                let shadowed = match alt {
+                    CoreAlt::Con { binders, .. } | CoreAlt::Tuple { binders, .. } => {
+                        binders.iter().any(|(b, _)| *b == x)
+                    }
+                    CoreAlt::Default { binder, .. } => {
+                        matches!(binder, Some((b, _)) if *b == x)
+                    }
+                    CoreAlt::Lit { .. } => false,
+                };
+                !shadowed && direct_demand_witness(alt.rhs(), x)
+            })
+        }
+    }
+}
+
+/// Can evaluating `e` be relied on not to abort or diverge? Used to
+/// order demand against effects: atoms are values (prim arguments and
+/// unboxed call arguments are unboxed-typed, so even a variable is
+/// already a value), and total primops over atoms cannot fail.
+fn eval_cannot_abort(e: &CoreExpr) -> bool {
+    match e {
+        CoreExpr::Var(_) | CoreExpr::Lit(_) => true,
+        CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => eval_cannot_abort(f),
+        CoreExpr::Prim(op, args) => {
+            !matches!(op, PrimOp::QuotI | PrimOp::RemI) && args.iter().all(eval_cannot_abort)
+        }
+        _ => false,
+    }
+}
+
+/// Does evaluating `e` to WHNF demand the variable `x` on every path,
+/// *before* any other evaluation that could abort or diverge with a
+/// different observable? `evaluated` tracks in-scope variables known to
+/// be values already (unboxed binders), whose forcing is free of
+/// effects — only such scrutinees license the all-alternatives rule.
+fn demands(e: &CoreExpr, x: Symbol, cx: &DemandCx<'_>, evaluated: &mut Vec<Symbol>) -> bool {
+    match e {
+        CoreExpr::Var(v) => *v == x,
+        CoreExpr::Global(_)
+        | CoreExpr::Lit(_)
+        | CoreExpr::Error(..)
+        | CoreExpr::Lam(..)
+        | CoreExpr::Con(..)
+        | CoreExpr::Tuple(_) => false,
+        CoreExpr::TyLam(_, _, b) | CoreExpr::RepLam(_, b) => demands(b, x, cx, evaluated),
+        CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => demands(f, x, cx, evaluated),
+        CoreExpr::Prim(_, args) => {
+            // Arguments evaluate left-to-right; demand in a later
+            // argument only counts while everything before it is
+            // effect-free (prim arguments are unboxed-typed, so a
+            // variable is already a value).
+            for a in args {
+                if demands(a, x, cx, evaluated) {
+                    return true;
+                }
+                if !eval_cannot_abort(a) {
+                    return false;
+                }
+            }
+            false
+        }
+        CoreExpr::App(..) => {
+            let (head, parts) = flatten_spine(e);
+            match head {
+                CoreExpr::Var(v) => *v == x,
+                CoreExpr::Global(g) if *g == cx.fname => {
+                    let terms: Vec<&CoreExpr> = parts
+                        .iter()
+                        .filter_map(|p| match p {
+                            SpinePart::Term(t) => Some(t),
+                            _ => None,
+                        })
+                        .collect();
+                    if terms.len() != cx.args.len() || parts.len() != terms.len() {
+                        return false;
+                    }
+                    // The callee's wrapper forces an assumed position
+                    // only after the call's own unboxed arguments have
+                    // evaluated — those must not be able to abort first.
+                    let unboxed_args_safe = terms
+                        .iter()
+                        .enumerate()
+                        .all(|(j, arg)| !cx.arg_unboxed[j] || eval_cannot_abort(arg));
+                    unboxed_args_safe
+                        && terms.iter().enumerate().any(|(j, arg)| {
+                            cx.assumed.contains(&j) && demands(arg, x, cx, evaluated)
+                        })
+                }
+                _ => false,
+            }
+        }
+        CoreExpr::Let(kind, y, ty, rhs, body) => {
+            // A *strict* (unboxed) binding evaluates its rhs first, so
+            // demand there counts; a lazy rhs is merely thunked and
+            // contributes nothing. The binder enters the evaluated set
+            // exactly when the binding is strict.
+            let strict = is_unboxed_value_ty(cx.env, ty);
+            if *kind == LetKind::NonRec && strict {
+                if demands(rhs, x, cx, evaluated) {
+                    return true;
+                }
+                if !eval_cannot_abort(rhs) {
+                    return false;
+                }
+            }
+            if *y == x {
+                return false;
+            }
+            if strict {
+                evaluated.push(*y);
+            }
+            let out = demands(body, x, cx, evaluated);
+            if strict {
+                evaluated.pop();
+            }
+            out
+        }
+        CoreExpr::Case(scrut, alts) => {
+            if demands(scrut, x, cx, evaluated) {
+                return true;
+            }
+            // Demand inside every alternative only counts when forcing
+            // the scrutinee cannot itself abort first with a different
+            // observable: a literal, or a variable already known to be
+            // a value (an unboxed binder or unboxed argument). A lazy
+            // variable's thunk may abort, so it does not qualify.
+            let transparent = match &**scrut {
+                CoreExpr::Lit(_) => true,
+                CoreExpr::Var(v) => {
+                    evaluated.contains(v)
+                        || cx
+                            .args
+                            .iter()
+                            .position(|a| a == v)
+                            .is_some_and(|i| cx.arg_unboxed[i])
+                }
+                _ => false,
+            };
+            if !transparent || alts.is_empty() {
+                return false;
+            }
+            alts.iter().all(|alt| {
+                let (binders, rhs): (Vec<(Symbol, Type)>, &CoreExpr) = match alt {
+                    CoreAlt::Con { binders, rhs, .. } | CoreAlt::Tuple { binders, rhs } => {
+                        (binders.clone(), rhs)
+                    }
+                    CoreAlt::Default { binder, rhs } => (binder.iter().cloned().collect(), rhs),
+                    CoreAlt::Lit { rhs, .. } => (Vec::new(), rhs),
+                };
+                if binders.iter().any(|(b, _)| *b == x) {
+                    return false;
+                }
+                let mut pushed = 0usize;
+                for (b, t) in &binders {
+                    if is_unboxed_value_ty(cx.env, t) {
+                        evaluated.push(*b);
+                        pushed += 1;
+                    }
+                }
+                let out = demands(rhs, x, cx, evaluated);
+                for _ in 0..pushed {
+                    evaluated.pop();
+                }
+                out
+            })
+        }
+    }
+}
+
+/// Runs the worker/wrapper split over the program. Returns the new
+/// program, the set of wrapper names (which the caller must force-inline
+/// so workers tail-call themselves directly), and how many workers were
+/// created.
+pub fn worker_wrapper(env: &TypeEnv, prog: &Program) -> (Program, HashSet<Symbol>, usize) {
+    let existing: HashSet<Symbol> = prog.bindings.iter().map(|b| b.name).collect();
+    let mut wrappers = HashSet::new();
+    let mut made = 0usize;
+    let mut bindings: Vec<TopBind> = Vec::with_capacity(prog.bindings.len());
+    for b in &prog.bindings {
+        match split_binding(env, b, &existing) {
+            Some((wrapper, worker)) => {
+                wrappers.insert(wrapper.name);
+                made += 1;
+                bindings.push(wrapper);
+                bindings.push(worker);
+            }
+            None => bindings.push(b.clone()),
+        }
+    }
+    (
+        Program {
+            data_decls: prog.data_decls.clone(),
+            bindings,
+        },
+        wrappers,
+        made,
+    )
+}
+
+fn split_binding(
+    env: &TypeEnv,
+    b: &TopBind,
+    existing: &HashSet<Symbol>,
+) -> Option<(TopBind, TopBind)> {
+    if b.name.as_str().starts_with("$w") {
+        return None;
+    }
+    // Monomorphic function type only; no dictionary arguments.
+    let (arg_tys, _result_ty) = b.ty.split_funs();
+    if arg_tys.is_empty()
+        || matches!(b.ty, Type::ForallTy(..) | Type::ForallRep(..))
+        || arg_tys.iter().any(|t| matches!(t, Type::Dict(..)))
+    {
+        return None;
+    }
+    // Peel exactly one λ per argument.
+    let mut lams: Vec<(Symbol, Type)> = Vec::new();
+    let mut body = &b.expr;
+    while let CoreExpr::Lam(x, t, inner) = body {
+        if lams.len() == arg_tys.len() {
+            break;
+        }
+        lams.push((*x, t.clone()));
+        body = inner;
+    }
+    if lams.len() != arg_tys.len() {
+        return None;
+    }
+    let arg_names: Vec<Symbol> = lams.iter().map(|(x, _)| *x).collect();
+    let positions: HashMap<Symbol, usize> =
+        arg_names.iter().enumerate().map(|(i, x)| (*x, i)).collect();
+    let unboxings: Vec<Option<Unboxing>> = lams.iter().map(|(_, t)| unboxable(env, t)).collect();
+
+    // Phase 1: head-scrutinised arguments, in scrutiny order. The
+    // unboxed field binders they introduce are values in the rest of
+    // the body — phase 2's demand analysis starts from that knowledge.
+    let mut order: Vec<usize> = Vec::new();
+    let mut peel_binders: Vec<Symbol> = Vec::new();
+    let mut rest = body;
+    while let CoreExpr::Case(scrut, alts) = rest {
+        let CoreExpr::Var(v) = &**scrut else { break };
+        let Some(&i) = positions.get(v) else { break };
+        let Some(u) = &unboxings[i] else { break };
+        if order.contains(&i) {
+            break;
+        }
+        let [CoreAlt::Con { con, binders, rhs }] = &alts[..] else {
+            break;
+        };
+        if con.name != u.con.name || binders.len() != 1 {
+            break;
+        }
+        order.push(i);
+        peel_binders.push(binders[0].0);
+        rest = rhs;
+    }
+    // Phase 2: arguments demanded on every remaining path.
+    let arg_unboxed: Vec<bool> = lams
+        .iter()
+        .map(|(_, t)| is_unboxed_value_ty(env, t))
+        .collect();
+    for i in 0..arg_names.len() {
+        if order.contains(&i) || unboxings[i].is_none() {
+            continue;
+        }
+        let assumed: HashSet<usize> = order.iter().copied().chain([i]).collect();
+        let cx = DemandCx {
+            env,
+            fname: b.name,
+            args: &arg_names,
+            arg_unboxed: &arg_unboxed,
+            assumed: &assumed,
+        };
+        let mut evaluated = peel_binders.clone();
+        if direct_demand_witness(rest, arg_names[i])
+            && demands(rest, arg_names[i], &cx, &mut evaluated)
+        {
+            order.push(i);
+        }
+    }
+    if order.is_empty() {
+        return None;
+    }
+
+    let worker_name = Symbol::intern(&format!("$w{}", b.name));
+    if existing.contains(&worker_name) {
+        return None;
+    }
+
+    // Worker: same λ-chain, unboxed binders for the selected arguments;
+    // occurrences of a selected argument rebox (case-of-known-con erases
+    // the rebox wherever the body scrutinises).
+    let mut worker_args: Vec<(Symbol, Type)> = Vec::new();
+    let mut rebox: HashMap<Symbol, CoreExpr> = HashMap::new();
+    for (i, (x, t)) in lams.iter().enumerate() {
+        if order.contains(&i) {
+            let u = unboxings[i].as_ref().expect("selected implies unboxable");
+            let y = freshen(*x);
+            rebox.insert(
+                *x,
+                CoreExpr::Con(Rc::clone(&u.con), Vec::new(), vec![CoreExpr::Var(y)]),
+            );
+            worker_args.push((y, u.field_ty.clone()));
+        } else {
+            worker_args.push((*x, t.clone()));
+        }
+    }
+    let worker_body = CoreExpr::lams(worker_args.clone(), substitute(body, &rebox));
+    let worker_ty = Type::funs(worker_args.iter().map(|(_, t)| t.clone()), {
+        let (_, result) = b.ty.split_funs();
+        result.clone()
+    });
+
+    // Wrapper: unbox the selected arguments in demand order, tail-call
+    // the worker.
+    let wrapper_args: Vec<(Symbol, Type)> =
+        lams.iter().map(|(x, t)| (freshen(*x), t.clone())).collect();
+    let mut payload: HashMap<usize, Symbol> = HashMap::new();
+    for &i in &order {
+        payload.insert(i, freshen(arg_names[i]));
+    }
+    let call = CoreExpr::apps(
+        CoreExpr::Global(worker_name),
+        wrapper_args
+            .iter()
+            .enumerate()
+            .map(|(i, (w, _))| match payload.get(&i) {
+                Some(z) => CoreExpr::Var(*z),
+                None => CoreExpr::Var(*w),
+            }),
+    );
+    // Innermost case last: build from the end of the demand order.
+    let mut wrapper_body = call;
+    for &i in order.iter().rev() {
+        let u = unboxings[i].as_ref().expect("selected implies unboxable");
+        wrapper_body = CoreExpr::case(
+            CoreExpr::Var(wrapper_args[i].0),
+            vec![CoreAlt::Con {
+                con: Rc::clone(&u.con),
+                binders: vec![(payload[&i], u.field_ty.clone())],
+                rhs: wrapper_body,
+            }],
+        );
+    }
+    let wrapper = TopBind {
+        name: b.name,
+        ty: b.ty.clone(),
+        expr: CoreExpr::lams(wrapper_args, wrapper_body),
+    };
+    let worker = TopBind {
+        name: worker_name,
+        ty: worker_ty,
+        expr: worker_body,
+    };
+    Some((wrapper, worker))
+}

@@ -36,8 +36,10 @@
 pub mod pipeline;
 pub mod prelude;
 
+pub use levity_compile::opt::{OptLevel, OptReport};
 pub use pipeline::{
-    compile_prelude, compile_source, compile_with_prelude, Compiled, PipelineError,
+    compile_prelude, compile_source, compile_source_opt, compile_with_prelude,
+    compile_with_prelude_opt, Compiled, PipelineError,
 };
 pub use prelude::PRELUDE;
 

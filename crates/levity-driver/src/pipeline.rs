@@ -3,12 +3,21 @@
 //! ```text
 //! source ──parse──▶ surface AST ──elaborate──▶ Core (§5.2, §7.3)
 //!        ──lint──▶ checked Core ──levity-check──▶ (§5.1, "desugarer")
+//!        ──opt──▶ optimized Core (specialise, inline, worker/wrapper)
 //!        ──lower──▶ M globals ──run──▶ value + machine statistics
 //! ```
 //!
 //! Each stage's failures are reported separately so tests can pinpoint
 //! *where* a program is rejected — in particular, levity violations are
 //! distinguishable from ordinary type errors, mirroring GHC (§8.2).
+//!
+//! The optimizer runs at [`OptLevel::O2`] by default and is selectable
+//! like the engine: [`compile_source_opt`] / [`compile_with_prelude_opt`]
+//! take an explicit level, and `O0` lowers the elaborated Core verbatim
+//! (the differential-testing baseline). The optimized program is
+//! re-typechecked before lowering, and the §5.1 levity checks re-run on
+//! it in debug builds — the pass pipeline must be
+//! representation-preserving.
 
 use std::fmt;
 use std::rc::Rc;
@@ -18,8 +27,10 @@ use levity_core::pretty::PrintOptions;
 use levity_core::symbol::Symbol;
 
 use levity_compile::lower::{lower_program, LowerError};
+use levity_compile::opt::{optimise_program, OptLevel, OptReport};
 use levity_infer::elaborate::{elaborate_module, Elaborated};
 use levity_ir::levity::check_program_levity;
+use levity_ir::terms::Program;
 use levity_ir::typecheck::CoreError;
 use levity_m::compile::CodeProgram;
 use levity_m::env::EnvMachine;
@@ -89,8 +100,17 @@ impl PipelineError {
 /// benchmark loops in particular — pay no per-run compilation cost.
 #[derive(Debug)]
 pub struct Compiled {
-    /// Elaboration results (Core program, environments, classes).
+    /// Elaboration results (the *unoptimized* Core program,
+    /// environments, classes).
     pub elaborated: Elaborated,
+    /// The Core program that was actually lowered: the optimizer's
+    /// output at [`OptLevel::O2`], the elaborated program verbatim at
+    /// [`OptLevel::O0`].
+    pub program: Program,
+    /// The optimization level this program was compiled at.
+    pub opt_level: OptLevel,
+    /// What the optimizer did (all-zero at `O0`).
+    pub opt_report: OptReport,
     /// Machine code for every top-level binding.
     pub globals: Globals,
     /// The globals pre-compiled for the environment engine.
@@ -177,12 +197,23 @@ impl Compiled {
     }
 }
 
-/// Compiles a module from source, without the prelude.
+/// Compiles a module from source, without the prelude, at the default
+/// optimization level ([`OptLevel::O2`]).
 ///
 /// # Errors
 ///
 /// See [`PipelineError`].
 pub fn compile_source(source: &str) -> Result<Compiled, PipelineError> {
+    compile_source_opt(source, OptLevel::default())
+}
+
+/// Compiles a module from source, without the prelude, at the given
+/// optimization level.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_source_opt(source: &str, opt_level: OptLevel) -> Result<Compiled, PipelineError> {
     let module = parse_module(source).map_err(PipelineError::Parse)?;
     let elaborated = elaborate_module(&module).map_err(PipelineError::Elaborate)?;
     // Core lint: the elaborator must produce well-typed Core.
@@ -193,12 +224,30 @@ pub fn compile_source(source: &str) -> Result<Compiled, PipelineError> {
     if levity_diags.has_errors() {
         return Err(PipelineError::Levity(levity_diags));
     }
-    let globals = lower_program(&env, &elaborated.program).map_err(PipelineError::Lower)?;
+    // The levity-directed optimizer, between the checks and lowering.
+    // Every pass re-typechecks its output (and re-runs the levity checks
+    // under debug_assertions); a failure here is an optimizer bug and
+    // surfaces through the lint variant.
+    let (program, opt_report, env) = match opt_level {
+        OptLevel::O0 => (elaborated.program.clone(), OptReport::default(), env),
+        OptLevel::O2 => {
+            // The returned environment already covers worker globals:
+            // the optimizer re-typechecked the whole program after its
+            // final pass, so lowering can proceed directly.
+            let (program, report, env) = optimise_program(&elaborated.program)
+                .map_err(|(name, e)| PipelineError::CoreLint(name, e))?;
+            (program, report, env)
+        }
+    };
+    let globals = lower_program(&env, &program).map_err(PipelineError::Lower)?;
     // Pre-resolve everything once for the environment engine: each
     // `Compiled::run` then starts from shared, already-compiled code.
     let code = Rc::new(CodeProgram::compile(&globals));
     Ok(Compiled {
         elaborated,
+        program,
+        opt_level,
+        opt_report,
         globals,
         code,
     })
@@ -223,11 +272,25 @@ pub fn compile_source(source: &str) -> Result<Compiled, PipelineError> {
 /// # Ok::<(), levity_driver::pipeline::PipelineError>(())
 /// ```
 pub fn compile_with_prelude(source: &str) -> Result<Compiled, PipelineError> {
+    compile_with_prelude_opt(source, OptLevel::default())
+}
+
+/// Compiles user source together with the [`PRELUDE`] at the given
+/// optimization level. `O0` is the differential-testing baseline: the
+/// elaborated Core is lowered verbatim.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_with_prelude_opt(
+    source: &str,
+    opt_level: OptLevel,
+) -> Result<Compiled, PipelineError> {
     let mut combined = String::with_capacity(PRELUDE.len() + source.len() + 1);
     combined.push_str(PRELUDE);
     combined.push('\n');
     combined.push_str(source);
-    compile_source(&combined)
+    compile_source_opt(&combined, opt_level)
 }
 
 /// Compiles just the prelude (used by benchmarks that only need the

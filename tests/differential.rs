@@ -1,12 +1,12 @@
-//! Differential testing of the two `M` engines.
+//! Differential testing along two independent axes:
 //!
-//! The substitution machine (`levity::m::machine::Machine`) is the
-//! executable reference semantics — Figure 6 transcribed literally. The
-//! environment engine (`levity::m::env::EnvMachine`) is the fast
-//! evaluator the benchmarks run on. This suite pins them together: on
-//! every corpus program, every hand-written machine term, and a
-//! property-based sample of generated well-typed `L` terms, the two
-//! engines must agree on
+//! **subst vs env** — the substitution machine
+//! (`levity::m::machine::Machine`) is the executable reference
+//! semantics, Figure 6 transcribed literally; the environment engine
+//! (`levity::m::env::EnvMachine`) is the fast evaluator the benchmarks
+//! run on. On every corpus program, every hand-written machine term,
+//! and a property-based sample of generated well-typed `L` terms, the
+//! two engines must agree on
 //!
 //! * the [`RunOutcome`] (values — functions included, via readback —
 //!   and `error`/⊥ aborts),
@@ -17,13 +17,23 @@
 //!   (`thunk_allocs`, `con_allocs`, `allocated_words`, `updates`) but
 //!   also `steps`, `thunk_forces`, `var_lookups`, `prim_ops` and
 //!   `max_stack` must coincide exactly.
+//!
+//! **opt vs no-opt** — the levity-directed Core optimizer must preserve
+//! outcomes and final values (its entire point is to change the
+//! *counters*): every corpus program and a property-based sample of
+//! generated surface programs compile at `O0` and at the default level
+//! and must produce identical [`RunOutcome`]s, on both engines.
+//!
+//! Both proptest blocks honour `LEVITY_PROPTEST_CASES` (the nightly CI
+//! job raises it to 2048).
 
 use std::rc::Rc;
 
 use proptest::prelude::*;
 
 use levity::compile::figure7::compile_closed;
-use levity::driver::pipeline::compile_with_prelude;
+use levity::driver::pipeline::{compile_with_prelude, compile_with_prelude_opt};
+use levity::driver::OptLevel;
 use levity::l::gen::{GenConfig, Generator};
 use levity::m::compile::CodeProgram;
 use levity::m::env::EnvMachine;
@@ -32,6 +42,15 @@ use levity::m::syntax::{Alt, Atom, Binder, DataCon, Literal, MExpr, PrimOp};
 use levity::m::Engine;
 
 const FUEL: u64 = 200_000_000;
+
+/// Property-test case count, overridable via `LEVITY_PROPTEST_CASES`
+/// (the scheduled nightly CI job runs with 2048).
+fn proptest_cases(default: u32) -> u32 {
+    std::env::var("LEVITY_PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
 
 /// Outcome and counters of one run. The stats ride *outside* the
 /// `Result` so that failing terms still pin every counter — an engine
@@ -380,7 +399,7 @@ fn engines_agree_on_shadowed_case_fields() {
 // ---------------------------------------------------------------------
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(96)))]
     #[test]
     fn engines_agree_on_generated_well_typed_programs(seed in 0u64..25_000) {
         // Type-directed generation (levity-l) through the Figure 7
@@ -394,5 +413,316 @@ proptest! {
         let subst = run_subst(&globals, &t, 2_000_000);
         let env = run_env(&globals, &t, 2_000_000);
         prop_assert_eq!(subst, env, "engines disagree on generated term {}", e);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Optimized vs unoptimized: outcomes and final values must be identical
+// ---------------------------------------------------------------------
+
+/// A run result with function values made opaque: the optimizer is free
+/// to compile a λ differently (that is its job), so two closures count
+/// as the same *final value*; data values, literals and aborts must
+/// match exactly.
+#[derive(Debug, PartialEq)]
+enum Observed {
+    Value(String),
+    Closure,
+    Abort(String),
+    Failed(MachineError),
+}
+
+fn observe(r: Result<RunOutcome, MachineError>) -> Observed {
+    match r {
+        Ok(RunOutcome::Value(levity::m::Value::Lam(..))) => Observed::Closure,
+        Ok(RunOutcome::Value(v)) => Observed::Value(v.to_string()),
+        Ok(RunOutcome::Error(msg)) => Observed::Abort(msg),
+        Err(e) => Observed::Failed(e),
+    }
+}
+
+/// Compiles at both levels and asserts identical run results on both
+/// engines. Stats are deliberately *not* compared: changing the
+/// counters while preserving the outcome is the optimizer's job.
+fn assert_opt_noopt_agree(source: &str, what: &str) {
+    let o0 = compile_with_prelude_opt(source, OptLevel::O0)
+        .unwrap_or_else(|e| panic!("{what} (O0): {e}"));
+    let o2 = compile_with_prelude_opt(source, OptLevel::O2)
+        .unwrap_or_else(|e| panic!("{what} (O2): {e}"));
+    for engine in [Engine::Subst, Engine::Env] {
+        let r0 = observe(o0.run_with_engine("main", FUEL, engine).map(|(out, _)| out));
+        let r2 = observe(o2.run_with_engine("main", FUEL, engine).map(|(out, _)| out));
+        assert_eq!(r0, r2, "O0 and O2 disagree on {what} ({engine:?} engine)");
+    }
+}
+
+#[test]
+fn optimizer_preserves_outcomes_on_the_whole_corpus() {
+    for (what, source) in CORPUS {
+        assert_opt_noopt_agree(source, what);
+    }
+}
+
+#[test]
+fn worker_wrapper_never_forces_a_lazily_bound_argument() {
+    // Two regression shapes for the demand analysis. `pad` keeps the
+    // functions above the inline threshold so worker/wrapper (not
+    // inlining) decides their fate.
+    //
+    // (a) `x` flows into a *lazy* let whose thunk the taken branch never
+    // forces: unboxing `x` would turn `I# 81#` into an abort.
+    let lazy_rhs = "pad :: Int# -> Int#\n\
+         pad v = ((((v +# 1#) *# 2#) -# 3#) +# ((v *# v) -# (v +# 7#)))\n\
+         f :: Int -> Int -> Int\n\
+         f x b = let y = (case x of { I# k -> I# (k +# 1#) }) in \
+                 case b of { I# j -> case j of { 0# -> y; _ -> I# (pad (j +# 80#)) } }\n\
+         main :: Int\n\
+         main = f (error \"boom\") 1\n";
+    assert_opt_noopt_agree(lazy_rhs, "lazy let rhs must contribute no demand");
+    // (b) the scrutinee is itself a lazy binding of ⊥: the alternatives'
+    // demand on `x` must not count, or the wrapper reorders which error
+    // surfaces (O0 says \"E\", a bad O2 would say \"X\").
+    let lazy_scrutinee = "pad :: Int# -> Int#\n\
+         pad v = ((((v +# 1#) *# 2#) -# 3#) +# ((v *# v) -# (v +# 7#)))\n\
+         g :: Int -> Int\n\
+         g x = let y = (error \"E\") in \
+               case y of { I# k -> case x of { I# j -> I# (pad (k +# j)) } }\n\
+         main :: Int\n\
+         main = g (error \"X\")\n";
+    assert_opt_noopt_agree(
+        lazy_scrutinee,
+        "lazy scrutinee must not license branch demand",
+    );
+}
+
+#[test]
+fn optimizer_preserves_failure_modes() {
+    // Aborts must carry the same message, laziness must stay observable,
+    // and a diverging program must diverge at both levels.
+    for (what, source) in [
+        (
+            "error reached through an optimized call chain",
+            "f :: Int -> Int\nf n = case n of { I# k -> I# (k +# 1#) }\n\
+             main :: Int\nmain = f (error \"kept message\")\n",
+        ),
+        (
+            "error in a dead lazy binding stays dead",
+            "main :: Int\nmain = fst (MkPair 3 (error \"never forced\"))\n",
+        ),
+        (
+            "error selected by class dispatch",
+            "main :: Int#\nmain = abs (error \"strict position\")\n",
+        ),
+        (
+            "division by zero after specialisation",
+            "main :: Int#\nmain = quotInt# 1# (0# * 1#)\n",
+        ),
+        (
+            "aborting unboxed global passed to a function that ignores it",
+            // `bad` is a Global of unboxed type: a strict argument, so
+            // its body runs at the call even though `f` drops it. The
+            // inliner must not substitute the global away.
+            "bad :: Int#\nbad = quotInt# 1# 0#\n\
+             f :: Int# -> Int#\nf x = 42#\n\
+             main :: Int#\nmain = f bad\n",
+        ),
+        (
+            "aborting unboxed global in a dead strict let",
+            "bad :: Int#\nbad = quotInt# 1# 0#\n\
+             main :: Int#\nmain = let v = bad in 42#\n",
+        ),
+    ] {
+        assert_opt_noopt_agree(source, what);
+    }
+    // Fuel exhaustion: an infinite loop must stay infinite (the error
+    // payload is the limit, which both levels share).
+    let src = "spin :: Int# -> Int#\nspin n = spin n\nmain :: Int#\nmain = spin 0#\n";
+    let o0 = compile_with_prelude_opt(src, OptLevel::O0).unwrap();
+    let o2 = compile_with_prelude_opt(src, OptLevel::O2).unwrap();
+    let r0 = o0.run("main", 50_000).map(|(out, _)| out);
+    let r2 = o2.run("main", 50_000).map(|(out, _)| out);
+    assert_eq!(r0, r2);
+    assert!(matches!(r0, Err(MachineError::OutOfFuel { limit: 50_000 })));
+    // `f x = f x` with a ⊥ argument: the demand analysis must not let
+    // the optimistic self-call rule (with no direct-demand witness)
+    // unbox x, or O2 would abort where O0 spins.
+    let src = "f :: Int -> Int\nf x = f x\nmain :: Int\nmain = f (error \"boom\")\n";
+    let o0 = compile_with_prelude_opt(src, OptLevel::O0).unwrap();
+    let o2 = compile_with_prelude_opt(src, OptLevel::O2).unwrap();
+    let r0 = o0.run("main", 50_000).map(|(out, _)| out);
+    let r2 = o2.run("main", 50_000).map(|(out, _)| out);
+    assert_eq!(r0, r2);
+    assert!(matches!(r0, Err(MachineError::OutOfFuel { .. })));
+}
+
+// ---------------------------------------------------------------------
+// Property-based opt-vs-noopt over generated surface programs
+// ---------------------------------------------------------------------
+
+/// SplitMix64; tiny, deterministic, and dependency-free.
+struct SurfaceGen {
+    state: u64,
+}
+
+impl SurfaceGen {
+    fn new(seed: u64) -> SurfaceGen {
+        SurfaceGen {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Helper definitions exercising every optimizer pass: `inc`/`addB` are
+/// worker/wrapper fodder (head-scrutinised boxed arguments), `stepDown`
+/// is the §2.1 accumulator loop (branch-demanded argument), `sq` keeps
+/// its dictionary abstract — its implicit `a` defaults to `Type` (§5.2),
+/// so it exists only at boxed types and the specialiser must leave its
+/// projection alone — `h1` is a plain unboxed helper, and `unboxI`
+/// rides `($)`'s levity-polymorphic result type.
+const GEN_PRELUDE: &str = "\
+inc :: Int -> Int\n\
+inc n = case n of { I# k -> I# (k +# 1#) }\n\
+addB :: Int -> Int -> Int\n\
+addB a b = case a of { I# x -> case b of { I# y -> I# (x +# y) } }\n\
+stepDown :: Int -> Int -> Int\n\
+stepDown acc n = case n of { I# k -> case k of { 0# -> acc; _ -> stepDown (acc + n) (n - 1) } }\n\
+sq :: Num a => a -> a\n\
+sq x = x * x\n\
+h1 :: Int# -> Int#\n\
+h1 x = x +# 10#\n\
+unboxI :: Int -> Int#\n\
+unboxI n = case n of { I# k -> k }\n";
+
+/// A random `Int#`-typed expression.
+fn gen_unboxed(g: &mut SurfaceGen, depth: u32, binders: &mut u32) -> String {
+    if depth == 0 {
+        return format!("{}#", g.below(10));
+    }
+    let d = depth - 1;
+    match g.below(12) {
+        0 => format!("{}#", g.below(10)),
+        1 => format!(
+            "({} +# {})",
+            gen_unboxed(g, d, binders),
+            gen_unboxed(g, d, binders)
+        ),
+        2 => format!(
+            "({} + {})",
+            gen_unboxed(g, d, binders),
+            gen_unboxed(g, d, binders)
+        ),
+        3 => format!(
+            "({} - {})",
+            gen_unboxed(g, d, binders),
+            gen_unboxed(g, d, binders)
+        ),
+        4 => format!("(abs {})", gen_unboxed(g, d, binders)),
+        5 => format!("(negate {})", gen_unboxed(g, d, binders)),
+        6 => format!("(h1 {})", gen_unboxed(g, d, binders)),
+        7 => format!("(unboxI {})", gen_boxed(g, d, binders)),
+        8 => format!("(unboxI $ {})", gen_boxed(g, d, binders)),
+        9 => format!(
+            "(if {} < {} then {} else {})",
+            gen_unboxed(g, d, binders),
+            gen_unboxed(g, d, binders),
+            gen_unboxed(g, d, binders),
+            gen_unboxed(g, d, binders)
+        ),
+        10 => {
+            *binders += 1;
+            let v = format!("v{binders}");
+            format!(
+                "(let {v} = {} in ({v} +# {}))",
+                gen_unboxed(g, d, binders),
+                gen_unboxed(g, d, binders)
+            )
+        }
+        _ => format!(
+            "(case {} of {{ 0# -> {}; _ -> {} }})",
+            gen_unboxed(g, d, binders),
+            gen_unboxed(g, d, binders),
+            // An abort in a branch that may or may not be taken: the
+            // optimizer must neither lose nor invent it.
+            if g.below(6) == 0 {
+                format!("error \"alt{}\"", g.below(100))
+            } else {
+                gen_unboxed(g, d, binders)
+            }
+        ),
+    }
+}
+
+/// A random boxed-`Int`-typed expression.
+fn gen_boxed(g: &mut SurfaceGen, depth: u32, binders: &mut u32) -> String {
+    if depth == 0 {
+        return format!("{}", g.below(10));
+    }
+    let d = depth - 1;
+    match g.below(8) {
+        0 => format!("{}", g.below(10)),
+        1 => format!("(inc {})", gen_boxed(g, d, binders)),
+        2 => format!(
+            "(addB {} {})",
+            gen_boxed(g, d, binders),
+            gen_boxed(g, d, binders)
+        ),
+        3 => format!(
+            "({} + {})",
+            gen_boxed(g, d, binders),
+            gen_boxed(g, d, binders)
+        ),
+        4 => format!("(sq {})", gen_boxed(g, d, binders)),
+        5 => format!("(stepDown {} {})", gen_boxed(g, d, binders), g.below(9)),
+        6 => format!("(I# {})", gen_unboxed(g, d, binders)),
+        _ => format!(
+            "(if {} == {} then {} else {})",
+            gen_boxed(g, d, binders),
+            gen_boxed(g, d, binders),
+            gen_boxed(g, d, binders),
+            gen_boxed(g, d, binders)
+        ),
+    }
+}
+
+fn gen_program(seed: u64) -> String {
+    let mut g = SurfaceGen::new(seed);
+    let mut binders = 0u32;
+    let main = if g.below(24) == 0 {
+        format!("error \"main{}\"", g.below(100))
+    } else {
+        gen_unboxed(&mut g, 4, &mut binders)
+    };
+    format!("{GEN_PRELUDE}main :: Int#\nmain = {main}\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(proptest_cases(64)))]
+    #[test]
+    fn optimizer_preserves_outcomes_on_generated_surface_programs(seed in 0u64..1_000_000) {
+        let source = gen_program(seed);
+        let o0 = compile_with_prelude_opt(&source, OptLevel::O0)
+            .unwrap_or_else(|e| panic!("generated program must compile (O0): {e}\n{source}"));
+        let o2 = compile_with_prelude_opt(&source, OptLevel::O2)
+            .unwrap_or_else(|e| panic!("generated program must compile (O2): {e}\n{source}"));
+        let r0 = o0.run("main", FUEL).map(|(out, _)| out);
+        let r2 = o2.run("main", FUEL).map(|(out, _)| out);
+        prop_assert_eq!(r0, r2, "O0 and O2 disagree on seed {}:\n{}", seed, source);
+        // And the optimized program itself must still be
+        // engine-independent, counters included.
+        let subst = o2.run_with_engine("main", FUEL, Engine::Subst);
+        let env = o2.run_with_engine("main", FUEL, Engine::Env);
+        prop_assert_eq!(subst, env, "engines disagree on optimized seed {}", seed);
     }
 }

@@ -34,12 +34,16 @@ fn sum_to_unboxed_runs_with_zero_allocation() {
 
 #[test]
 fn sum_to_boxed_allocates_linearly() {
-    // §2.1's boxed sumTo: thunks and boxes per iteration.
+    // §2.1's boxed sumTo: thunks and boxes per iteration. This is a
+    // claim about the *unoptimized* compilation scheme, so it pins the
+    // `O0` baseline — the optimizer's whole job is to destroy it (see
+    // `optimizer_unboxes_the_boxed_loop` below).
     let src = "sumTo :: Int -> Int -> Int\n\
                sumTo acc n = case n of { I# k -> case k of { 0# -> acc; _ -> sumTo (acc + n) (n - 1) } }\n\
                main :: Int\n\
                main = sumTo 0 1000\n";
-    let compiled = compile_with_prelude(src).unwrap();
+    let compiled =
+        levity::driver::compile_with_prelude_opt(src, levity::driver::OptLevel::O0).unwrap();
     let (out, stats) = compiled.run("main", FUEL).unwrap();
     assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(500500));
     // At least one allocation per iteration: boxes and thunks.
@@ -49,6 +53,31 @@ fn sum_to_boxed_allocates_linearly() {
         stats.allocated_words
     );
     assert!(stats.thunk_forces >= 1000);
+}
+
+#[test]
+fn optimizer_unboxes_the_boxed_loop() {
+    // The same program at the default level: specialisation +
+    // worker/wrapper turn the boxed class-dispatch loop into an unboxed
+    // register loop — only the final result is boxed.
+    let src = "sumTo :: Int -> Int -> Int\n\
+               sumTo acc n = case n of { I# k -> case k of { 0# -> acc; _ -> sumTo (acc + n) (n - 1) } }\n\
+               main :: Int\n\
+               main = sumTo 0 1000\n";
+    let compiled = compile_with_prelude(src).unwrap();
+    assert!(
+        compiled.opt_report.workers >= 1,
+        "{:?}",
+        compiled.opt_report
+    );
+    let (out, stats) = compiled.run("main", FUEL).unwrap();
+    assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(500500));
+    assert!(
+        stats.allocated_words <= 8,
+        "optimized boxed loop should allocate O(1) words, got {}",
+        stats.allocated_words
+    );
+    assert_eq!(stats.thunk_forces, 0);
 }
 
 #[test]
@@ -257,6 +286,107 @@ fn deep_polymorphic_recursion_with_signature() {
         ),
         0
     );
+}
+
+// ---------------------------------------------------------------------
+// Optimizer boundaries: what the passes must *not* touch, and opt-level
+// coverage of the pipeline's own corner programs.
+// ---------------------------------------------------------------------
+
+mod optimizer_boundaries {
+    use levity::driver::{
+        compile_prelude, compile_with_prelude, compile_with_prelude_opt, OptLevel,
+    };
+
+    /// Programs must behave identically at `O0` and the default level,
+    /// through the full pipeline entry points (the differential suite
+    /// covers the corpus; this pins the pipeline API itself).
+    #[test]
+    fn every_opt_level_produces_the_same_values() {
+        for src in [
+            "main :: Int#\nmain = 3# + 4#\n",
+            "main :: Int\nmain = sum (enumFromTo 1 20)\n",
+            "main :: Int#\nmain = abs (negate 5#)\n",
+        ] {
+            let o0 = compile_with_prelude_opt(src, OptLevel::O0).unwrap();
+            let o2 = compile_with_prelude_opt(src, OptLevel::O2).unwrap();
+            let (v0, _) = o0.run("main", super::FUEL).unwrap();
+            let (v2, _) = o2.run("main", super::FUEL).unwrap();
+            assert_eq!(
+                v0.value().map(ToString::to_string),
+                v2.value().map(ToString::to_string),
+                "{src}"
+            );
+        }
+    }
+
+    /// The specialiser must not fire when the dictionary is abstract: a
+    /// `Num a => …` function receives it as a λ-binder, and nothing in
+    /// the prelude itself has a statically known dictionary projection.
+    #[test]
+    fn specialiser_leaves_unknown_dictionaries_alone() {
+        let prelude_only = compile_prelude().unwrap();
+        assert_eq!(prelude_only.opt_report.specialised, 0);
+        let compiled = compile_with_prelude(
+            "square :: Num a => a -> a\n\
+             square x = x * x\n\
+             main :: Int\n\
+             main = square 7\n",
+        )
+        .unwrap();
+        assert_eq!(
+            compiled.opt_report.specialised, 0,
+            "an abstract dictionary must keep its projection"
+        );
+        let (out, _) = compiled.run("main", super::FUEL).unwrap();
+        assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(49));
+        // …and the moment the dictionary *is* known, it must fire.
+        let known = compile_with_prelude("main :: Int#\nmain = 3# + 4#\n").unwrap();
+        assert!(known.opt_report.specialised >= 1, "{:?}", known.opt_report);
+    }
+
+    /// Truly levity-polymorphic bindings — the class selectors (whose
+    /// types quantify `r :: Rep`) and the prelude's `myError` — must
+    /// come through the optimizer byte-for-byte unchanged: there is no
+    /// representation information to act on.
+    #[test]
+    fn levity_polymorphic_bindings_are_untouched() {
+        let compiled = compile_with_prelude("main :: Int#\nmain = 1#\n").unwrap();
+        for name in ["+", "abs", "==", "myError"] {
+            let before = compiled
+                .elaborated
+                .program
+                .binding(name.into())
+                .unwrap_or_else(|| panic!("{name} missing from elaborated program"));
+            let after = compiled
+                .program
+                .binding(name.into())
+                .unwrap_or_else(|| panic!("{name} missing from optimized program"));
+            assert_eq!(
+                before.expr, after.expr,
+                "optimizer must not rewrite the levity-polymorphic `{name}`"
+            );
+            assert_eq!(before.ty, after.ty);
+        }
+    }
+
+    /// The worker/wrapper split must not touch a function whose argument
+    /// is not demanded on every path — unboxing it would force a thunk
+    /// the program never evaluates.
+    #[test]
+    fn lazy_arguments_are_not_unboxed() {
+        let compiled = compile_with_prelude(
+            "pick :: Int -> Int -> Int\n\
+             pick a b = case a of { I# k -> case k of { 0# -> b; _ -> a } }\n\
+             main :: Int\n\
+             main = pick 3 (error \"must stay lazy\")\n",
+        )
+        .unwrap();
+        let (out, _) = compiled.run("main", super::FUEL).unwrap();
+        // `b` is only demanded on the 0# path; with a = 3 the error is
+        // never forced, at any optimization level.
+        assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(3));
+    }
 }
 
 // ---------------------------------------------------------------------
