@@ -27,6 +27,34 @@ const CLASSY_BOXED: &str = "loop :: Int -> Int -> Int\n\
      main :: Int\n\
      main = loop 0 LIMIT\n";
 
+/// The §7.3 loop driven through a constrained *function*: `step` is a
+/// genuine `Num a => a -> a` helper that threads its dictionary at
+/// runtime at O0; the function specialiser clones it per call-site
+/// dictionary and the dictionary pass discharges the clone. The `Int#`
+/// flavour uses the `forall (a :: TYPE IntRep)` shape §5.1 admits (the
+/// binder's representation is concrete even though its type is not).
+const POLY_FN_UNBOXED: &str = "step :: forall (a :: TYPE IntRep). Num a => a -> a\n\
+     step x = x + x\n\
+     loop :: Int# -> Int# -> Int#\n\
+     loop acc n = case n of { 0# -> acc; _ -> loop (acc + step n) (n - 1#) }\n\
+     main :: Int#\n\
+     main = loop 0# LIMIT#\n";
+
+/// The same helper shape at boxed `Int` (`a` defaults to `Type`).
+const POLY_FN_BOXED: &str = "step :: Num a => a -> a\n\
+     step x = x + x\n\
+     loop :: Int -> Int -> Int\n\
+     loop acc n = case n of { I# k -> case k of { 0# -> acc; _ -> loop (acc + step n) (n - 1) } }\n\
+     main :: Int\n\
+     main = loop 0 LIMIT\n";
+
+/// What the specialised `Int#` helper loop must compile down to: the
+/// direct primop equivalent, the denominator of the ≤1.1x step claim.
+const POLY_FN_DIRECT: &str = "loop :: Int# -> Int# -> Int#\n\
+     loop acc n = case n of { 0# -> acc; _ -> loop (acc +# (n +# n)) (n -# 1#) }\n\
+     main :: Int#\n\
+     main = loop 0# LIMIT#\n";
+
 fn compiled(src: &str, n: u64) -> levity_driver::Compiled {
     compile_with_prelude(&src.replace("LIMIT", &n.to_string())).expect("compiles")
 }
@@ -82,6 +110,70 @@ fn print_report(n: u64) {
         c0s.steps as f64 / d0s.steps as f64,
         cs.steps as f64 / ds.steps as f64
     );
+
+    // The constrained-function ladder: `step :: Num a => a -> a`
+    // driving the loop. O0 threads the dictionary through every call;
+    // at O2 the function specialiser must bring the Int# flavour to
+    // within 1.1x of the direct primop loop, with the dictionary-
+    // threading original eliminated.
+    let pd = at(POLY_FN_DIRECT, OptLevel::O2);
+    let pu0 = at(POLY_FN_UNBOXED, OptLevel::O0);
+    let pu = at(POLY_FN_UNBOXED, OptLevel::O2);
+    let pb0 = at(POLY_FN_BOXED, OptLevel::O0);
+    let pb = at(POLY_FN_BOXED, OptLevel::O2);
+    let (pdv, pds) = pd.run("main", u64::MAX / 2).unwrap();
+    let (_, pu0s) = pu0.run("main", u64::MAX / 2).unwrap();
+    let (puv, pus) = pu.run("main", u64::MAX / 2).unwrap();
+    let (_, pb0s) = pb0.run("main", u64::MAX / 2).unwrap();
+    let (pbv, pbs) = pb.run("main", u64::MAX / 2).unwrap();
+    assert_eq!(
+        pdv.value().and_then(|v| v.as_int()),
+        puv.value().and_then(|v| v.as_int())
+    );
+    assert_eq!(
+        pdv.value().and_then(|v| v.as_int()),
+        pbv.value().and_then(|v| v.as_boxed_int())
+    );
+    assert!(pu.opt_report.fn_specialised >= 1, "{:?}", pu.opt_report);
+    assert!(pu.opt_report.dead_globals >= 1, "{:?}", pu.opt_report);
+    assert!(
+        pu.program.binding("step".into()).is_none(),
+        "the specialised-away original must be eliminated"
+    );
+    let ratio = pus.steps as f64 / pds.steps as f64;
+    assert!(
+        ratio <= 1.1,
+        "dict_poly_fn at Int# must reach <=1.1x of the direct primop loop, got {ratio:.3}x"
+    );
+    let boxed_ratio = pbs.steps as f64 / pds.steps as f64;
+    assert!(
+        boxed_ratio <= 1.1,
+        "dict_poly_fn at Int must reach <=1.1x of the direct primop loop, got {boxed_ratio:.3}x"
+    );
+    eprintln!("== dict_poly_fn: a `Num a => a -> a` helper drives the loop ==");
+    eprintln!(
+        "{:<26} {:>12} {:>14} {:>14}",
+        "", "direct +#", "helper @Int#", "helper @Int"
+    );
+    eprintln!(
+        "{:<26} {:>12} {:>14} {:>14}",
+        "machine steps (O0)", pds.steps, pu0s.steps, pb0s.steps
+    );
+    eprintln!(
+        "{:<26} {:>12} {:>14} {:>14}",
+        "machine steps (O2)", pds.steps, pus.steps, pbs.steps
+    );
+    eprintln!(
+        "{:<26} {:>12} {:>14} {:>14}",
+        "words allocated (O2)", pds.allocated_words, pus.allocated_words, pbs.allocated_words
+    );
+    eprintln!(
+        "constrained-function overhead at Int#: {:.2}x steps unoptimized; after \
+         function specialisation: {:.2}x (originals eliminated: {} globals dropped)\n",
+        pu0s.steps as f64 / pds.steps as f64,
+        ratio,
+        pu.opt_report.dead_globals
+    );
 }
 
 fn bench_dictionaries(c: &mut Criterion) {
@@ -92,6 +184,8 @@ fn bench_dictionaries(c: &mut Criterion) {
         let direct = compiled(DIRECT, n);
         let classy = compiled(CLASSY, n);
         let boxed = compiled(CLASSY_BOXED, n);
+        let poly = compiled(POLY_FN_UNBOXED, n);
+        let poly_boxed = compiled(POLY_FN_BOXED, n);
         group.bench_with_input(BenchmarkId::new("direct_primop", n), &n, |bch, _| {
             bch.iter(|| direct.run("main", u64::MAX / 2).unwrap())
         });
@@ -100,6 +194,12 @@ fn bench_dictionaries(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("dict_boxed", n), &n, |bch, _| {
             bch.iter(|| boxed.run("main", u64::MAX / 2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dict_poly_fn", n), &n, |bch, _| {
+            bch.iter(|| poly.run("main", u64::MAX / 2).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dict_poly_fn_boxed", n), &n, |bch, _| {
+            bch.iter(|| poly_boxed.run("main", u64::MAX / 2).unwrap())
         });
     }
     group.finish();

@@ -3,6 +3,7 @@
 //! ```text
 //! bench_gate [--repo-root DIR] [--fresh FILE] [--out FILE]
 //!            [--tolerance X] [--inject-slowdown X]
+//!            [--floor-ns NS] [--floor-ratio X] [--explain]
 //! ```
 //!
 //! Two checks, both against the **newest committed baseline**
@@ -21,26 +22,41 @@
 //! The tolerance defaults to 1.5× and can be tuned with `--tolerance`
 //! or the `BENCH_GATE_TOLERANCE` environment variable (CI runners and
 //! recording machines differ; 1.5× is headroom, not precision).
+//! Entries whose means sit under the absolute-time floor (`--floor-ns`,
+//! default 50 µs) are additionally forgiven up to `--floor-ratio`
+//! (default 3×): sub-microsecond benches jitter by multiples on noisy
+//! runners, and a mean that small regressing by less than 3× is
+//! scheduling noise, not a shipped slowdown. `--explain` prints the
+//! full comparison table even when every check passes, so a regression
+//! two PRs later can be diagnosed from green CI logs.
 //! `--inject-slowdown X` multiplies every fresh mean by `X`, and
 //! `--baseline-from-fresh` makes the un-injected fresh run itself the
-//! baseline — together they let CI prove the gate trips on a 2×
+//! baseline — together they let CI prove the gate trips on an injected
 //! slowdown *deterministically*, independent of how the CI machine's
-//! speed relates to the machine that recorded the committed baselines.
+//! speed relates to the machine that recorded the committed baselines
+//! (CI injects 4×: past the floor ratio, so the self-test also proves
+//! the floor does not blind the gate).
 //!
 //! Exit status: 0 when clean, 1 on any regression or usage error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use bench::{baseline_rank, compare, parse_bench_json, parse_bench_lines, render_bench_json};
+use bench::{
+    baseline_rank, compare_with_floor, comparison_table, parse_bench_json, parse_bench_lines,
+    render_bench_json,
+};
 
 struct Args {
     repo_root: PathBuf,
     fresh: Option<PathBuf>,
     out: PathBuf,
     tolerance: f64,
+    floor_ns: f64,
+    floor_ratio: f64,
     inject_slowdown: f64,
     baseline_from_fresh: bool,
+    explain: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,8 +68,11 @@ fn parse_args() -> Result<Args, String> {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(1.5),
+        floor_ns: 50_000.0,
+        floor_ratio: 3.0,
         inject_slowdown: 1.0,
         baseline_from_fresh: false,
+        explain: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -67,12 +86,23 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --tolerance: {e}"))?;
             }
+            "--floor-ns" => {
+                args.floor_ns = value("--floor-ns")?
+                    .parse()
+                    .map_err(|e| format!("bad --floor-ns: {e}"))?;
+            }
+            "--floor-ratio" => {
+                args.floor_ratio = value("--floor-ratio")?
+                    .parse()
+                    .map_err(|e| format!("bad --floor-ratio: {e}"))?;
+            }
             "--inject-slowdown" => {
                 args.inject_slowdown = value("--inject-slowdown")?
                     .parse()
                     .map_err(|e| format!("bad --inject-slowdown: {e}"))?;
             }
             "--baseline-from-fresh" => args.baseline_from_fresh = true,
+            "--explain" => args.explain = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -127,7 +157,26 @@ fn main() -> ExitCode {
     // Check 1: the newest committed file against its predecessor.
     if committed.len() >= 2 {
         let (_, prev_name, prev) = &committed[committed.len() - 2];
-        let regs = compare(prev, newest, args.tolerance);
+        let regs = compare_with_floor(
+            prev,
+            newest,
+            args.tolerance,
+            args.floor_ns,
+            args.floor_ratio,
+        );
+        if args.explain {
+            println!("bench_gate: {newest_name} vs {prev_name}:");
+            print!(
+                "{}",
+                comparison_table(
+                    prev,
+                    newest,
+                    args.tolerance,
+                    args.floor_ns,
+                    args.floor_ratio
+                )
+            );
+        }
         if regs.is_empty() {
             println!(
                 "bench_gate: {newest_name} vs {prev_name}: no mean regressed beyond {:.2}x",
@@ -188,7 +237,26 @@ fn main() -> ExitCode {
             .keys()
             .filter(|k| baseline_set.contains_key(*k))
             .count();
-        let regs = compare(baseline_set, &fresh, args.tolerance);
+        let regs = compare_with_floor(
+            baseline_set,
+            &fresh,
+            args.tolerance,
+            args.floor_ns,
+            args.floor_ratio,
+        );
+        if args.explain {
+            println!("bench_gate: fresh run vs {baseline_desc}:");
+            print!(
+                "{}",
+                comparison_table(
+                    baseline_set,
+                    &fresh,
+                    args.tolerance,
+                    args.floor_ns,
+                    args.floor_ratio
+                )
+            );
+        }
         if regs.is_empty() {
             println!(
                 "bench_gate: fresh run vs {baseline_desc}: {common} common benches, none \

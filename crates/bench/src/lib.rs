@@ -175,6 +175,22 @@ pub struct Regression {
 /// Names present on only one side are ignored (suites grow over time;
 /// the smoke run covers a subset).
 pub fn compare(baseline: &BenchSet, candidate: &BenchSet, tolerance: f64) -> Vec<Regression> {
+    compare_with_floor(baseline, candidate, tolerance, 0.0, f64::INFINITY)
+}
+
+/// [`compare`] with an absolute-time floor: a regression where both
+/// means sit under `floor_ns` is ignored unless its ratio exceeds
+/// `floor_ratio`. Sub-microsecond entries jitter by multiples on noisy
+/// CI runners — a 700 ns mean "regressing" to 1.2 µs is scheduling
+/// noise, while a genuine pathology (say 50×) still trips even below
+/// the floor. The gate runs with a 50 µs floor and a 3× floor ratio.
+pub fn compare_with_floor(
+    baseline: &BenchSet,
+    candidate: &BenchSet,
+    tolerance: f64,
+    floor_ns: f64,
+    floor_ratio: f64,
+) -> Vec<Regression> {
     let mut out = Vec::new();
     for (name, base) in baseline {
         let Some(cand) = candidate.get(name) else {
@@ -184,14 +200,71 @@ pub fn compare(baseline: &BenchSet, candidate: &BenchSet, tolerance: f64) -> Vec
             continue;
         }
         let ratio = cand.mean_ns / base.mean_ns;
-        if ratio > tolerance {
-            out.push(Regression {
-                name: name.clone(),
-                baseline_ns: base.mean_ns,
-                candidate_ns: cand.mean_ns,
-                ratio,
-            });
+        if ratio <= tolerance {
+            continue;
         }
+        let under_floor = base.mean_ns < floor_ns && cand.mean_ns < floor_ns;
+        if under_floor && ratio <= floor_ratio {
+            continue;
+        }
+        out.push(Regression {
+            name: name.clone(),
+            baseline_ns: base.mean_ns,
+            candidate_ns: cand.mean_ns,
+            ratio,
+        });
+    }
+    out
+}
+
+/// Renders the full baseline-vs-candidate comparison as an aligned
+/// table over the common names (used by `bench_gate --explain`, so a
+/// green CI log still shows what was compared against what). Verdicts
+/// match [`compare_with_floor`] exactly: an entry the floor forgives
+/// reads `forgiven (floor)`, never `REGRESSION` — the table must never
+/// contradict the gate's exit status.
+pub fn comparison_table(
+    baseline: &BenchSet,
+    candidate: &BenchSet,
+    tolerance: f64,
+    floor_ns: f64,
+    floor_ratio: f64,
+) -> String {
+    let mut out = String::new();
+    let width = baseline
+        .keys()
+        .filter(|k| candidate.contains_key(*k))
+        .map(|k| k.len())
+        .max()
+        .unwrap_or(9)
+        .max("benchmark".len());
+    out.push_str(&format!(
+        "{:<width$} {:>14} {:>14} {:>8}  verdict\n",
+        "benchmark", "baseline ns", "candidate ns", "ratio"
+    ));
+    for (name, base) in baseline {
+        let Some(cand) = candidate.get(name) else {
+            continue;
+        };
+        let ratio = if base.mean_ns > 0.0 {
+            cand.mean_ns / base.mean_ns
+        } else {
+            f64::NAN
+        };
+        let under_floor = base.mean_ns < floor_ns && cand.mean_ns < floor_ns;
+        let verdict = if ratio.is_nan() {
+            "skipped (zero baseline)"
+        } else if ratio <= tolerance {
+            "ok"
+        } else if under_floor && ratio <= floor_ratio {
+            "forgiven (floor)"
+        } else {
+            "REGRESSION"
+        };
+        out.push_str(&format!(
+            "{name:<width$} {:>14.0} {:>14.0} {:>7.2}x  {verdict}\n",
+            base.mean_ns, cand.mean_ns, ratio
+        ));
     }
     out
 }
@@ -235,7 +308,12 @@ mod tests {
         // The schema contract with the repository root: every committed
         // baseline must stay parseable, or the gate silently guards
         // nothing.
-        for file in ["BENCH_baseline.json", "BENCH_pr2.json", "BENCH_pr3.json"] {
+        for file in [
+            "BENCH_baseline.json",
+            "BENCH_pr2.json",
+            "BENCH_pr3.json",
+            "BENCH_pr4.json",
+        ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_owned() + "/" + file;
             let text = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
@@ -277,6 +355,66 @@ mod tests {
         // Names only on one side never count.
         cand.remove("num_class/dict_boxed/2000");
         assert_eq!(compare(&base, &cand, 1.5).len(), 1);
+    }
+
+    #[test]
+    fn floor_ignores_fast_jitter_but_not_pathologies() {
+        let mut base = BenchSet::new();
+        let mut cand = BenchSet::new();
+        let entry = |ns: f64| BenchEntry {
+            min_ns: ns,
+            mean_ns: ns,
+            max_ns: ns,
+        };
+        // 700 ns -> 1.2 µs: 1.7x, but far below the 50 µs floor — noise.
+        base.insert("fast/jitter".into(), entry(700.0));
+        cand.insert("fast/jitter".into(), entry(1_200.0));
+        // 2 µs -> 9 µs: 4.5x exceeds the 3x floor ratio — real even
+        // under the floor.
+        base.insert("fast/pathology".into(), entry(2_000.0));
+        cand.insert("fast/pathology".into(), entry(9_000.0));
+        // 100 µs -> 170 µs: above the floor, ordinary 1.5x gate applies.
+        base.insert("slow/regressed".into(), entry(100_000.0));
+        cand.insert("slow/regressed".into(), entry(170_000.0));
+        // 40 µs -> 60 µs: 1.5x exactly at tolerance boundary... below
+        // floor on the baseline side but candidate above — not floored.
+        base.insert("edge/crossing".into(), entry(40_000.0));
+        cand.insert("edge/crossing".into(), entry(64_000.0));
+
+        let regs = compare_with_floor(&base, &cand, 1.5, 50_000.0, 3.0);
+        let names: Vec<&str> = regs.iter().map(|r| r.name.as_str()).collect();
+        assert!(!names.contains(&"fast/jitter"), "{names:?}");
+        assert!(names.contains(&"fast/pathology"), "{names:?}");
+        assert!(names.contains(&"slow/regressed"), "{names:?}");
+        assert!(
+            names.contains(&"edge/crossing"),
+            "a candidate above the floor is never floored: {names:?}"
+        );
+        // Plain `compare` still flags everything beyond tolerance.
+        assert_eq!(compare(&base, &cand, 1.5).len(), 4);
+    }
+
+    #[test]
+    fn comparison_table_lists_common_names_with_verdicts() {
+        let base = parse_bench_json(SAMPLE).unwrap();
+        let mut cand = base.clone();
+        // 110 ns -> 500 ns is 4.5x: beyond the floor ratio even though
+        // both sit far under the floor — a visible REGRESSION.
+        cand.get_mut("sum_to/boxed/200").unwrap().mean_ns = 500.0;
+        // 6.5 ns -> 13 ns is 2x: under the floor and under its ratio —
+        // the table must agree with the gate and say forgiven, not
+        // REGRESSION.
+        cand.get_mut("num_class/dict_boxed/2000").unwrap().mean_ns = 13.0;
+        let table = comparison_table(&base, &cand, 1.5, 50_000.0, 3.0);
+        assert!(table.contains("benchmark"), "{table}");
+        assert!(table.contains("sum_to/boxed/200"), "{table}");
+        assert!(table.contains("REGRESSION"), "{table}");
+        assert!(table.contains("num_class/dict_boxed/2000"), "{table}");
+        assert!(table.contains("forgiven (floor)"), "{table}");
+        // The verdicts line up with what compare_with_floor flags.
+        let regs = compare_with_floor(&base, &cand, 1.5, 50_000.0, 3.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "sum_to/boxed/200");
     }
 
     #[test]

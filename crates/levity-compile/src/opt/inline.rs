@@ -88,6 +88,27 @@ pub(super) fn reduce_redex(e: &CoreExpr) -> Option<CoreExpr> {
     beta(head, &parts)
 }
 
+// Capture audit (why the graft cannot capture, even when a let-bound
+// argument's name shadows a free variable of the inlined body across a
+// `Case` binder):
+//
+// 1. `refresh_binders` renames EVERY term binder of the body — the λ
+//    chain itself included — to a globally fresh name before anything
+//    else happens. The λ binders that become `pending` let binders are
+//    therefore fresh and can never collide with a call-site variable
+//    free in a later argument's right-hand side, nor with any `Case`
+//    binder of the body (those were freshened by the same walk).
+// 2. Value atoms substitute through `substitute`, which freshens every
+//    binder it walks under on the way down, so an argument variable
+//    passing a `Case` alternative whose (already fresh) binder happened
+//    to collide would be re-freshened again — collision is impossible
+//    twice over.
+// 3. Type/rep arguments go through `subst_ty_expr`/`subst_rep_expr`,
+//    which rename a shadowing `Λ` quantifier whenever the payload's
+//    free variables would be captured.
+//
+// `tests/differential.rs` (`inliner_alpha_refresh_survives_shadowing`)
+// pins the observable consequences against the O0 baseline.
 fn beta(body: &CoreExpr, parts: &[SpinePart]) -> Option<CoreExpr> {
     let mut cur = refresh_binders(body);
     let mut atom_map: HashMap<Symbol, CoreExpr> = HashMap::new();

@@ -7,17 +7,51 @@
 //! [`lower_program`](crate::lower::lower_program), each justified by
 //! facts the kinds already state:
 //!
-//! 1. [`specialise`](specialise::specialise) — class-method projections
+//! 1. [`specialise_functions`](spec_fun::specialise_functions) — a
+//!    constrained function called with statically known dictionaries is
+//!    cloned per distinct dictionary tuple, the dictionary λ dropped
+//!    and the call sites redirected (GHC's `SPECIALISE`, automatic);
+//!    iterated with the next two passes to a bounded fixed point so
+//!    specialisation propagates through polymorphic call graphs;
+//! 2. [`specialise`](specialise::specialise) — class-method projections
 //!    out of statically known dictionaries become direct calls to the
 //!    instance methods (§7.3's cost, refunded);
-//! 2. [`inline`](inline::inline) + [`simplify`](simplify::simplify) —
+//! 3. [`inline`](inline::inline) + [`simplify`](simplify::simplify) —
 //!    small non-recursive calls β-reduce, case-of-known-constructor and
 //!    friends clean up (iterated to a bounded fixpoint);
-//! 3. [`worker_wrapper`](ww::worker_wrapper) — strictly-demanded boxed
+//! 4. [`worker_wrapper`](ww::worker_wrapper) — strictly-demanded boxed
 //!    arguments split into an unboxed worker plus an inline wrapper,
 //!    with each binder's §6.2 register class read off its kind;
-//! 4. inline + simplify again, so wrappers vanish at call sites and
-//!    workers tail-call themselves on raw registers.
+//! 5. inline + simplify again, so wrappers vanish at call sites and
+//!    workers tail-call themselves on raw registers;
+//! 6. [`eliminate_dead_globals`](usage::eliminate_dead_globals) — the
+//!    specialised-away originals, orphaned selectors and stale wrappers
+//!    left behind by 1–5 are dropped: nothing reachable from the entry
+//!    points mentions them, so they would only cost lowering and code
+//!    size. The entry-point set is the caller's
+//!    ([`optimise_program`]'s `entry_points`; `None` keeps every
+//!    binding).
+//!
+//! The worked §7.3 example, end to end. The elaborated
+//!
+//! ```text
+//! square :: ∀ a. Num a -> a -> a
+//! square = Λa. λ(d :: Num a). λx. ((*) @LiftedRep @a d) x x
+//! main   = square @Int $dNum_Int n
+//! ```
+//!
+//! carries its dictionary through every call. After the pipeline:
+//!
+//! ```text
+//! $ssquare@Int :: Int -> Int               -- clone: dict λ gone (pass 1)
+//! $ssquare@Int = λx. case x of I# a ->     -- (*) projection → timesInt
+//!                  I# (a *# a)             --   (pass 2), inlined + known-
+//! main = $ssquare@Int n                    --   case cleaned (pass 3)
+//! ```
+//!
+//! (then worker/wrapper splits `$ssquare@Int` when its argument is
+//! demanded, and `square` itself — now unreachable — is eliminated,
+//! `specialised`/`dead_globals` counts land in the [`OptReport`]).
 //!
 //! **The pipeline is representation-preserving by construction and by
 //! check:** after every pass the whole program is re-typechecked (the
@@ -29,11 +63,13 @@
 
 pub mod inline;
 pub mod simplify;
+pub mod spec_fun;
 pub mod specialise;
 pub mod subst;
+pub mod usage;
 pub mod ww;
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 use levity_core::symbol::Symbol;
@@ -63,6 +99,10 @@ impl fmt::Display for OptLevel {
 /// What the optimizer did, for reporting and tests.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OptReport {
+    /// Monomorphised clones of constrained functions created.
+    pub fn_specialised: usize,
+    /// Call sites redirected to specialised clones.
+    pub spec_calls: usize,
     /// Dictionary projections replaced by instance methods.
     pub specialised: usize,
     /// Call sites inlined (all rounds).
@@ -71,15 +111,29 @@ pub struct OptReport {
     pub simplified: usize,
     /// Worker/wrapper splits performed.
     pub workers: usize,
+    /// Unreachable top-level bindings eliminated.
+    pub dead_globals: usize,
 }
 
 /// Inline/simplify rounds on each side of the worker/wrapper split.
 const ROUNDS: usize = 2;
 
+/// Bound on the spec-fun ▸ specialise ▸ inline+simplify fixed-point
+/// loop: a later round only finds work when the previous one exposed a
+/// new statically known dictionary (e.g. a `let d = $dNum_Int in f … d`
+/// that let-of-atom collapsed), so two extra rounds cover everything
+/// the test corpus produces and the loop exits early when a round
+/// changes nothing.
+const SPEC_ROUNDS: usize = 3;
+
 /// Runs the full pass pipeline over a checked program. Returns the
 /// optimized program, a report of what fired, and the final
 /// [`TypeEnv`] — already covering any worker globals the split added,
 /// so the caller can lower without re-checking.
+///
+/// `entry_points` drives the final dead-global elimination: bindings
+/// unreachable from the set are dropped. `None` disables elimination
+/// (every binding is kept, as before the pass existed).
 ///
 /// # Errors
 ///
@@ -89,23 +143,46 @@ const ROUNDS: usize = 2;
 /// the error surfaces immediately next to its cause.
 pub fn optimise_program(
     prog: &Program,
+    entry_points: Option<&HashSet<Symbol>>,
 ) -> Result<(Program, OptReport, TypeEnv), (Symbol, CoreError)> {
     let mut report = OptReport::default();
-    let (mut cur, n) = specialise::specialise(prog);
-    report.specialised = n;
-    let mut env = validate(&cur, "specialise")?;
+    let mut cur = prog.clone();
+    let mut env_opt: Option<TypeEnv> = None;
 
     let no_force: HashSet<Symbol> = HashSet::new();
-    for _ in 0..ROUNDS {
-        let (next, n) = inline::inline(&cur, &no_force);
-        report.inlined += n;
+    // The persistent (function, dictionary-tuple) → clone-name map: a
+    // later round that re-exposes an already-specialised tuple
+    // redirects to the existing clone instead of minting a duplicate.
+    let mut spec_cache: HashMap<String, Symbol> = HashMap::new();
+    for round in 0..SPEC_ROUNDS {
+        let (next, clones, calls) = spec_fun::specialise_functions(&cur, &mut spec_cache);
+        if round > 0 && clones == 0 && calls == 0 {
+            // Nothing new became specialisable: `next` is structurally
+            // identical to the program the last round already validated
+            // and cleaned up, so drop it and stop here.
+            break;
+        }
+        report.fn_specialised += clones;
+        report.spec_calls += calls;
         cur = next;
-        env = validate(&cur, "inline")?;
-        let (next, n) = simplify::simplify(&env, &cur);
-        report.simplified += n;
+        validate(&cur, "spec_fun")?;
+        let (next, n) = specialise::specialise(&cur);
+        report.specialised += n;
         cur = next;
-        env = validate(&cur, "simplify")?;
+        let mut env = validate(&cur, "specialise")?;
+        for _ in 0..ROUNDS {
+            let (next, n) = inline::inline(&cur, &no_force);
+            report.inlined += n;
+            cur = next;
+            env = validate(&cur, "inline")?;
+            let (next, n) = simplify::simplify(&env, &cur);
+            report.simplified += n;
+            cur = next;
+            env = validate(&cur, "simplify")?;
+        }
+        env_opt = Some(env);
     }
+    let mut env = env_opt.expect("the first spec round always runs");
 
     let (next, wrappers, n) = ww::worker_wrapper(&env, &cur);
     report.workers = n;
@@ -121,6 +198,13 @@ pub fn optimise_program(
         report.simplified += n;
         cur = next;
         env = validate(&cur, "simplify")?;
+    }
+
+    if let Some(entries) = entry_points {
+        let (next, dropped) = usage::eliminate_dead_globals(&cur, entries);
+        report.dead_globals = dropped;
+        cur = next;
+        env = validate(&cur, "dead-globals")?;
     }
     Ok((cur, report, env))
 }
@@ -172,10 +256,40 @@ mod tests {
             }],
         };
         let (out, report, _env) =
-            optimise_program(&prog).expect("optimizer broke a trivial program");
+            optimise_program(&prog, None).expect("optimizer broke a trivial program");
         assert_eq!(out.bindings.len(), 1);
         assert_eq!(out.bindings[0].expr, CoreExpr::int(42));
         assert_eq!(report.specialised, 0);
+        assert_eq!(report.fn_specialised, 0);
         assert_eq!(report.workers, 0);
+        assert_eq!(report.dead_globals, 0);
+    }
+
+    /// With an entry set, unreachable bindings disappear even when no
+    /// other pass had anything to do.
+    #[test]
+    fn entry_points_drive_dead_global_elimination() {
+        let env = TypeEnv::new();
+        let ih = Type::con0(&env.builtins.int_hash);
+        let prog = Program {
+            data_decls: env.builtins.data_decls.clone(),
+            bindings: vec![
+                TopBind {
+                    name: "main".into(),
+                    ty: ih.clone(),
+                    expr: CoreExpr::int(42),
+                },
+                TopBind {
+                    name: "unused".into(),
+                    ty: ih,
+                    expr: CoreExpr::int(7),
+                },
+            ],
+        };
+        let entries: HashSet<Symbol> = ["main".into()].into();
+        let (out, report, _env) = optimise_program(&prog, Some(&entries)).unwrap();
+        assert_eq!(report.dead_globals, 1);
+        assert!(out.binding("main".into()).is_some());
+        assert!(out.binding("unused".into()).is_none());
     }
 }

@@ -99,6 +99,26 @@ fn pure_value(e: &CoreExpr) -> bool {
     }
 }
 
+/// Can this expression be *evaluated early* without changing any
+/// observable — no abort, no divergence, no thunk forced? Variables
+/// and literals are values; total primops over such arguments compute
+/// but cannot fail (`quot`/`rem` can divide by zero, so they do not
+/// qualify). Used by the let-float rule, which moves an evaluation
+/// forward in time.
+fn pure_total(e: &CoreExpr) -> bool {
+    match e {
+        CoreExpr::Var(_) | CoreExpr::Lit(_) => true,
+        CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => pure_total(f),
+        CoreExpr::Prim(op, args) => {
+            !matches!(
+                op,
+                levity_m::syntax::PrimOp::QuotI | levity_m::syntax::PrimOp::RemI
+            ) && args.iter().all(pure_total)
+        }
+        _ => false,
+    }
+}
+
 /// Runs the simplifier over a whole program (to a bounded fixpoint per
 /// binding). Returns the program and the number of rewrites applied.
 pub fn simplify(env: &TypeEnv, prog: &Program) -> (Program, usize) {
@@ -346,6 +366,39 @@ fn rewrite_let(
             let mut map = HashMap::new();
             map.insert(x, rhs.clone());
             return Some(substitute(body, &map));
+        }
+    }
+    // let x = (let y = e in b) in body
+    //   ==>  let y' = e in let x = b in body
+    // when the inner binding is strict (unboxed) and its right-hand
+    // side is pure and total: evaluating `e` early cannot abort,
+    // diverge, or force anything, so no observable moves — only the
+    // evaluation's position. This is what lets the known-constructor
+    // rule below see through the let-wrapped boxes the inliner's
+    // argument lets produce (`let acc = (let! y = n +# n in I# …) in
+    // … case acc of …`), and with it the reboxing in a specialised
+    // clone's loop disappears entirely.
+    if kind == LetKind::NonRec {
+        if let CoreExpr::Let(LetKind::NonRec, y, yt, ye, yb) = rhs {
+            if cx.strictness(scope, yt) == Strictness::Strict && pure_total(ye) {
+                let fresh = freshen(*y);
+                let mut map = HashMap::new();
+                map.insert(*y, CoreExpr::Var(fresh));
+                let inner_body = substitute(yb, &map);
+                return Some(CoreExpr::Let(
+                    LetKind::NonRec,
+                    fresh,
+                    yt.clone(),
+                    Box::new((**ye).clone()),
+                    Box::new(CoreExpr::Let(
+                        kind,
+                        x,
+                        ty.clone(),
+                        Box::new(inner_body),
+                        Box::new(body.clone()),
+                    )),
+                ));
+            }
         }
     }
     // A binder whose right-hand side is a visible constructor

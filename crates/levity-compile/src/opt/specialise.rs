@@ -30,24 +30,26 @@ use levity_core::symbol::Symbol;
 use levity_ir::terms::{CoreAlt, CoreExpr, Program, TopBind};
 use levity_ir::types::Type;
 
-use super::subst::is_atom;
+use super::subst::{is_atom, strip_erased};
 
 /// A recognized method selector: projects field `index` out of a
 /// dictionary built by constructor `con`.
-struct Selector {
+pub(super) struct Selector {
     con: Symbol,
     index: usize,
 }
 
 /// A recognized dictionary CAF: `$dC_τ = MkC @… m₁ … mₙ` with every
-/// field an atom (instance method globals, by construction).
+/// field an atom (instance method globals, by construction — possibly
+/// wrapped in erased `@ρ`/`@τ` instantiations when a polymorphic
+/// function serves as an instance method directly).
 struct DictCaf {
     con: Symbol,
     fields: Vec<CoreExpr>,
 }
 
 /// Recognizes `Λr*. Λa. λ(d :: C a). case d of { MkC f₁ … fₙ -> fᵢ }`.
-fn recognize_selector(expr: &CoreExpr) -> Option<Selector> {
+pub(super) fn recognize_selector(expr: &CoreExpr) -> Option<Selector> {
     let mut body = expr;
     while let CoreExpr::RepLam(_, inner) | CoreExpr::TyLam(_, _, inner) = body {
         body = inner;
@@ -74,7 +76,15 @@ fn recognize_selector(expr: &CoreExpr) -> Option<Selector> {
     })
 }
 
-/// Recognizes `$dC_τ :: C τ = MkC @… f₁ … fₙ` with atomic fields.
+/// Recognizes `$dC_τ :: C τ = MkC @… f₁ … fₙ` with atomic fields. A
+/// field must be an atom *under* its erased type/rep applications —
+/// [`is_atom`] sees through them exactly as [`strip_erased`] does for
+/// scrutinees, so an instance whose method slot is a rep-applied
+/// polymorphic global (`MkC (poly @IntRep @Int#)`) specialises the
+/// same as one built from bare method globals. The field is stored
+/// *with* its wrappers: the replacement must keep the instantiation to
+/// stay well-typed (the wrappers erase at lowering, so the machine
+/// code is identical either way).
 fn recognize_dict_caf(bind: &TopBind) -> Option<DictCaf> {
     if !matches!(bind.ty, Type::Dict(..)) {
         return None;
@@ -82,21 +92,13 @@ fn recognize_dict_caf(bind: &TopBind) -> Option<DictCaf> {
     let CoreExpr::Con(con, _, fields) = &bind.expr else {
         return None;
     };
-    if !fields.iter().all(is_atom) {
+    if !fields.iter().all(|f| is_atom(strip_erased(f))) {
         return None;
     }
     Some(DictCaf {
         con: con.name,
         fields: fields.clone(),
     })
-}
-
-/// Strips erased type/representation applications down to the head.
-fn strip_erased(e: &CoreExpr) -> &CoreExpr {
-    match e {
-        CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => strip_erased(f),
-        other => other,
-    }
 }
 
 /// Runs dictionary specialisation over a whole program. Returns the
@@ -199,5 +201,136 @@ fn rewrite(
             CoreExpr::Prim(*op, args.iter().map(|a| again(a, count)).collect())
         }
         CoreExpr::Tuple(args) => CoreExpr::Tuple(args.iter().map(|a| again(a, count)).collect()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use levity_core::kind::Kind;
+    use levity_core::rep::{Rep, RepTy};
+    use levity_ir::terms::{CoreAlt, DataConInfo, Program, TopBind, TyArg, TyParam};
+    use levity_ir::typecheck::{check_program, TypeEnv};
+
+    /// A user-defined class whose instance slot is a *rep-applied*
+    /// polymorphic global (`MkPick @IntRep @Int# (polyId @Int#)`):
+    /// the CAF's fields are atoms only under their erased wrappers, the
+    /// projection must still specialise, and the replacement must keep
+    /// the wrapper so the rewritten program stays well-typed.
+    #[test]
+    fn rep_applied_dictionary_fields_specialise() {
+        let env = TypeEnv::new();
+        let ih = levity_ir::types::Type::con0(&env.builtins.int_hash);
+        let r: Symbol = "r".into();
+        let a: Symbol = "a".into();
+        let b: Symbol = "b".into();
+        let class: Symbol = "Pick".into();
+        let dict_ty = |t: Type| Type::Dict(class, Box::new(t));
+
+        // polyId :: forall (b :: TYPE IntRep). b -> b
+        let poly_ty = Type::forall_ty(
+            b,
+            Kind::of_rep(Rep::Int),
+            Type::fun(Type::Var(b), Type::Var(b)),
+        );
+        let poly_id = TopBind {
+            name: "polyId".into(),
+            ty: poly_ty,
+            expr: CoreExpr::ty_lam(
+                b,
+                Kind::of_rep(Rep::Int),
+                CoreExpr::lam("x", Type::Var(b), CoreExpr::Var("x".into())),
+            ),
+        };
+
+        // data Pick (a :: TYPE r) = MkPick (a -> a)
+        let dict_con = Rc::new(DataConInfo {
+            name: "MkPick".into(),
+            tag: 0,
+            params: vec![TyParam::Rep(r), TyParam::Ty(a, Kind::of_rep_var(r))],
+            field_types: vec![Type::fun(Type::Var(a), Type::Var(a))],
+            result: dict_ty(Type::Var(a)),
+        });
+
+        // pick0 :: forall (r :: Rep) (a :: TYPE r). Pick a -> a -> a
+        let sel_ty = Type::forall_rep(
+            r,
+            Type::forall_ty(
+                a,
+                Kind::of_rep_var(r),
+                Type::fun(dict_ty(Type::Var(a)), Type::fun(Type::Var(a), Type::Var(a))),
+            ),
+        );
+        let selector = TopBind {
+            name: "pick0".into(),
+            ty: sel_ty,
+            expr: CoreExpr::rep_lam(
+                r,
+                CoreExpr::ty_lam(
+                    a,
+                    Kind::of_rep_var(r),
+                    CoreExpr::lam(
+                        "d",
+                        dict_ty(Type::Var(a)),
+                        CoreExpr::case(
+                            CoreExpr::Var("d".into()),
+                            vec![CoreAlt::Con {
+                                con: Rc::clone(&dict_con),
+                                binders: vec![("f".into(), Type::fun(Type::Var(a), Type::Var(a)))],
+                                rhs: CoreExpr::Var("f".into()),
+                            }],
+                        ),
+                    ),
+                ),
+            ),
+        };
+
+        // $dPick_Int# = MkPick @IntRep @Int# (polyId @Int#) — the field
+        // is an erased-wrapped atom, not a bare one.
+        let field = CoreExpr::ty_app(CoreExpr::Global("polyId".into()), ih.clone());
+        let caf = TopBind {
+            name: "$dPick_Int#".into(),
+            ty: dict_ty(ih.clone()),
+            expr: CoreExpr::Con(
+                Rc::clone(&dict_con),
+                vec![TyArg::Rep(RepTy::Concrete(Rep::Int)), TyArg::Ty(ih.clone())],
+                vec![field.clone()],
+            ),
+        };
+
+        // use = (pick0 @IntRep @Int# $dPick_Int#) 5#
+        let projection = CoreExpr::app(
+            CoreExpr::ty_app(
+                CoreExpr::rep_app(CoreExpr::Global("pick0".into()), RepTy::Concrete(Rep::Int)),
+                ih.clone(),
+            ),
+            CoreExpr::Global("$dPick_Int#".into()),
+        );
+        let user = TopBind {
+            name: "use".into(),
+            ty: ih.clone(),
+            expr: CoreExpr::app(projection, CoreExpr::int(5)),
+        };
+
+        let prog = Program {
+            data_decls: env.builtins.data_decls.clone(),
+            bindings: vec![poly_id, selector, caf, user],
+        };
+        check_program(&prog).expect("the input program is well-typed");
+
+        let (out, n) = specialise(&prog);
+        assert_eq!(n, 1, "the wrapped-field projection must specialise");
+        check_program(&out).expect("specialisation must preserve typing");
+        let rewritten = out.binding("use".into()).unwrap();
+        assert_eq!(
+            rewritten.expr,
+            CoreExpr::app(field, CoreExpr::int(5)),
+            "the replacement must keep the field's erased instantiation"
+        );
+
+        // And the full pipeline stays sound on the same program.
+        let (final_prog, _report, _env) =
+            super::super::optimise_program(&prog, None).expect("pipeline stays well-typed");
+        assert!(final_prog.binding("use".into()).is_some());
     }
 }

@@ -38,6 +38,17 @@ pub fn is_atom(e: &CoreExpr) -> bool {
     }
 }
 
+/// Strips erased type/representation applications down to the head —
+/// lowering erases them, so two expressions equal up to `strip_erased`
+/// compile to the same machine code. Used by the specialisation passes
+/// to see a `Global` through its instantiating `@ρ`/`@τ` wrappers.
+pub fn strip_erased(e: &CoreExpr) -> &CoreExpr {
+    match e {
+        CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => strip_erased(f),
+        other => other,
+    }
+}
+
 /// Is this expression already a value wherever it sits — a variable
 /// (strict contexts only ever bind evaluated variables) or a literal?
 /// Unlike [`is_atom`], excludes `Global`: substituting or discarding a

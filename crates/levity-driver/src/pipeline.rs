@@ -18,7 +18,27 @@
 //! re-typechecked before lowering, and the §5.1 levity checks re-run on
 //! it in debug builds — the pass pipeline must be
 //! representation-preserving.
+//!
+//! # Entry points
+//!
+//! At `O2` the optimizer finishes with dead-global elimination, driven
+//! by an explicit entry-point set recorded in
+//! [`Compiled::entry_points`]:
+//!
+//! * by default, `main` when the module defines it, otherwise **every**
+//!   top-level binding (so a library-shaped module — the bare prelude,
+//!   a module driven through [`Compiled::run_term`] — keeps everything
+//!   runnable, exactly as before the pass existed);
+//! * [`compile_source_entries`] / [`compile_with_prelude_entries`]
+//!   accept an explicit list — name the globals you intend to run, and
+//!   everything they cannot reach is dropped before lowering. An
+//!   exported-but-unused global survives elimination precisely by being
+//!   listed.
+//!
+//! Running a global that elimination removed fails with the machine's
+//! ordinary `UnknownGlobal` error; `O0` never eliminates anything.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::rc::Rc;
 
@@ -111,6 +131,11 @@ pub struct Compiled {
     pub opt_level: OptLevel,
     /// What the optimizer did (all-zero at `O0`).
     pub opt_report: OptReport,
+    /// The entry points dead-global elimination preserved code for:
+    /// `main` if the module defines it, every binding otherwise, or
+    /// exactly the names given to [`compile_source_entries`] /
+    /// [`compile_with_prelude_entries`].
+    pub entry_points: Vec<Symbol>,
     /// Machine code for every top-level binding.
     pub globals: Globals,
     /// The globals pre-compiled for the environment engine.
@@ -208,12 +233,29 @@ pub fn compile_source(source: &str) -> Result<Compiled, PipelineError> {
 }
 
 /// Compiles a module from source, without the prelude, at the given
-/// optimization level.
+/// optimization level, with the default entry-point policy (`main` if
+/// defined, every binding otherwise).
 ///
 /// # Errors
 ///
 /// See [`PipelineError`].
 pub fn compile_source_opt(source: &str, opt_level: OptLevel) -> Result<Compiled, PipelineError> {
+    compile_source_entries(source, opt_level, None)
+}
+
+/// Compiles a module from source with an explicit entry-point set.
+/// `entries: None` applies the default policy; `Some(names)` keeps
+/// exactly the named globals (and everything they reach) through
+/// dead-global elimination — names that match no binding are ignored.
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_source_entries(
+    source: &str,
+    opt_level: OptLevel,
+    entries: Option<&[&str]>,
+) -> Result<Compiled, PipelineError> {
     let module = parse_module(source).map_err(PipelineError::Parse)?;
     let elaborated = elaborate_module(&module).map_err(PipelineError::Elaborate)?;
     // Core lint: the elaborator must produce well-typed Core.
@@ -224,6 +266,24 @@ pub fn compile_source_opt(source: &str, opt_level: OptLevel) -> Result<Compiled,
     if levity_diags.has_errors() {
         return Err(PipelineError::Levity(levity_diags));
     }
+    // Resolve the entry-point set against the elaborated program: the
+    // optimizer may rename reachable code (specialised clones), but an
+    // entry itself is always kept under its own name.
+    let entry_points: Vec<Symbol> = match entries {
+        Some(names) => names
+            .iter()
+            .map(|n| Symbol::intern(n))
+            .filter(|n| elaborated.program.binding(*n).is_some())
+            .collect(),
+        None => {
+            let main = Symbol::intern("main");
+            if elaborated.program.binding(main).is_some() {
+                vec![main]
+            } else {
+                elaborated.program.bindings.iter().map(|b| b.name).collect()
+            }
+        }
+    };
     // The levity-directed optimizer, between the checks and lowering.
     // Every pass re-typechecks its output (and re-runs the levity checks
     // under debug_assertions); a failure here is an optimizer bug and
@@ -234,7 +294,8 @@ pub fn compile_source_opt(source: &str, opt_level: OptLevel) -> Result<Compiled,
             // The returned environment already covers worker globals:
             // the optimizer re-typechecked the whole program after its
             // final pass, so lowering can proceed directly.
-            let (program, report, env) = optimise_program(&elaborated.program)
+            let entry_set: HashSet<Symbol> = entry_points.iter().copied().collect();
+            let (program, report, env) = optimise_program(&elaborated.program, Some(&entry_set))
                 .map_err(|(name, e)| PipelineError::CoreLint(name, e))?;
             (program, report, env)
         }
@@ -248,6 +309,7 @@ pub fn compile_source_opt(source: &str, opt_level: OptLevel) -> Result<Compiled,
         program,
         opt_level,
         opt_report,
+        entry_points,
         globals,
         code,
     })
@@ -286,11 +348,26 @@ pub fn compile_with_prelude_opt(
     source: &str,
     opt_level: OptLevel,
 ) -> Result<Compiled, PipelineError> {
+    compile_with_prelude_entries(source, opt_level, None)
+}
+
+/// Compiles user source together with the [`PRELUDE`] at the given
+/// optimization level and with an explicit entry-point set (see
+/// [`compile_source_entries`]).
+///
+/// # Errors
+///
+/// See [`PipelineError`].
+pub fn compile_with_prelude_entries(
+    source: &str,
+    opt_level: OptLevel,
+    entries: Option<&[&str]>,
+) -> Result<Compiled, PipelineError> {
     let mut combined = String::with_capacity(PRELUDE.len() + source.len() + 1);
     combined.push_str(PRELUDE);
     combined.push('\n');
     combined.push_str(source);
-    compile_source_opt(&combined, opt_level)
+    compile_source_entries(&combined, opt_level, entries)
 }
 
 /// Compiles just the prelude (used by benchmarks that only need the

@@ -165,6 +165,29 @@ const CORPUS: &[(&str, &str)] = &[
         "function-valued main (closure readback)",
         "main :: Int -> Int\nmain = \\(x :: Int) -> x + 1\n",
     ),
+    (
+        "self-recursive constrained function (spec_fun clones the loop)",
+        "powAcc :: Num a => a -> a -> Int# -> a\n\
+         powAcc acc x n = case n of { 0# -> acc; _ -> powAcc (acc * x) x (n -# 1#) }\n\
+         main :: Int\n\
+         main = powAcc 1 2 10#\n",
+    ),
+    (
+        "mutually recursive constrained helpers",
+        "bounce :: Num a => a -> Int# -> a\n\
+         bounce x n = case n of { 0# -> x; _ -> rebound (x + x) (n -# 1#) }\n\
+         rebound :: Num a => a -> Int# -> a\n\
+         rebound x n = case n of { 0# -> x; _ -> bounce (x * x) (n -# 1#) }\n\
+         main :: Int\n\
+         main = bounce 2 3#\n",
+    ),
+    (
+        "constrained function at Int# (forall (a :: TYPE IntRep))",
+        "stepU :: forall (a :: TYPE IntRep). Num a => a -> a\n\
+         stepU x = (x * x) + x\n\
+         main :: Int#\n\
+         main = stepU 4# + stepU 2#\n",
+    ),
 ];
 
 #[test]
@@ -496,6 +519,66 @@ fn worker_wrapper_never_forces_a_lazily_bound_argument() {
 }
 
 #[test]
+fn inliner_alpha_refresh_survives_shadowing() {
+    // Regression shapes for the inliner's α-refresh: a β-redex whose
+    // let-bound argument shares its name with a free variable of the
+    // inlined body, with the collision routed across `Case` binders.
+    // A capture bug would surface as a wrong value, an unbound
+    // variable (caught by the post-pass typecheck), or a `<<loop>>`
+    // from a let binder capturing its own right-hand side.
+    for (what, src, expected) in [
+        (
+            // λ binder `m` shadows the enclosing function's `m`; the
+            // argument mentions the *outer* `m`, and the body reads the
+            // λ-bound `m` through a Case binder. let m = plusInt m m
+            // (unfreshened) would be self-referential.
+            "λ binder shadows the outer variable it is fed from",
+            "shadow :: Int -> Int\n\
+             shadow m = case m of { I# k -> (\\(m :: Int) -> case m of { I# q -> I# (q +# k) }) (plusInt m m) }\n\
+             main :: Int\n\
+             main = shadow 5\n",
+            15,
+        ),
+        (
+            // A top-level callee whose λ and Case binders reuse the
+            // caller's variable name: inlining `callee` at arguments
+            // that mention the caller's `a` must not capture it under
+            // the body's own `I# a` Case binder.
+            "callee Case binders collide with the caller's free variable",
+            "callee :: Int -> Int -> Int\n\
+             callee x y = case x of { I# a -> case y of { I# b -> I# (a +# b) } }\n\
+             caller :: Int# -> Int\n\
+             caller a = callee (I# (a +# 1#)) (I# (a *# 2#))\n\
+             main :: Int\n\
+             main = caller 4#\n",
+            13,
+        ),
+        (
+            // Two pending (non-atomic) arguments whose rhss mention an
+            // outer binder named like the callee's second λ binder: the
+            // let-nest for argument 1 must not shadow argument 2's rhs.
+            "let-nest ordering with colliding names",
+            "both :: Int -> Int -> Int\n\
+             both x y = case y of { I# j -> case x of { I# i -> I# (i -# j) } }\n\
+             use :: Int -> Int\n\
+             use y = both (plusInt y y) (timesInt y y)\n\
+             main :: Int\n\
+             main = use 3\n",
+            -3,
+        ),
+    ] {
+        assert_opt_noopt_agree(src, what);
+        let compiled = compile_with_prelude(src).unwrap();
+        let (out, _) = compiled.run("main", FUEL).unwrap();
+        assert_eq!(
+            out.value().and_then(|v| v.as_boxed_int()),
+            Some(expected),
+            "{what}"
+        );
+    }
+}
+
+#[test]
 fn optimizer_preserves_failure_modes() {
     // Aborts must carry the same message, laziness must stay observable,
     // and a diverging program must diverge at both levels.
@@ -586,11 +669,15 @@ impl SurfaceGen {
 
 /// Helper definitions exercising every optimizer pass: `inc`/`addB` are
 /// worker/wrapper fodder (head-scrutinised boxed arguments), `stepDown`
-/// is the §2.1 accumulator loop (branch-demanded argument), `sq` keeps
-/// its dictionary abstract — its implicit `a` defaults to `Type` (§5.2),
-/// so it exists only at boxed types and the specialiser must leave its
-/// projection alone — `h1` is a plain unboxed helper, and `unboxI`
-/// rides `($)`'s levity-polymorphic result type.
+/// is the §2.1 accumulator loop (branch-demanded argument), `sq` is a
+/// constrained function — its implicit `a` defaults to `Type` (§5.2),
+/// and every generated call site supplies `$dNum_Int`, so the function
+/// specialiser clones it — `sqU` is the same shape pinned to
+/// `TYPE IntRep` (so its clones run at `Int#`), `gsum` is called at
+/// *two* instance types (`Int` and `Double`, both lifted), `chain2`
+/// routes one constrained function through another (specialisation must
+/// propagate), `h1` is a plain unboxed helper, and `unboxI` rides
+/// `($)`'s levity-polymorphic result type.
 const GEN_PRELUDE: &str = "\
 inc :: Int -> Int\n\
 inc n = case n of { I# k -> I# (k +# 1#) }\n\
@@ -600,6 +687,12 @@ stepDown :: Int -> Int -> Int\n\
 stepDown acc n = case n of { I# k -> case k of { 0# -> acc; _ -> stepDown (acc + n) (n - 1) } }\n\
 sq :: Num a => a -> a\n\
 sq x = x * x\n\
+sqU :: forall (a :: TYPE IntRep). Num a => a -> a\n\
+sqU x = x * x\n\
+gsum :: Num a => a -> a -> a\n\
+gsum x y = x + y\n\
+chain2 :: Num a => a -> a\n\
+chain2 x = gsum (sq x) x\n\
 h1 :: Int# -> Int#\n\
 h1 x = x +# 10#\n\
 unboxI :: Int -> Int#\n\
@@ -611,8 +704,22 @@ fn gen_unboxed(g: &mut SurfaceGen, depth: u32, binders: &mut u32) -> String {
         return format!("{}#", g.below(10));
     }
     let d = depth - 1;
-    match g.below(12) {
+    match g.below(14) {
         0 => format!("{}#", g.below(10)),
+        12 => format!("(sqU {})", gen_unboxed(g, d, binders)),
+        13 => {
+            // `gsum` at its second instance type (Num Double), so one
+            // constrained function is specialised at two types in the
+            // same program.
+            *binders += 1;
+            format!(
+                "(case gsum {}.5 {}.25 of {{ D# d{} -> double2Int# d{} }})",
+                g.below(5),
+                g.below(5),
+                binders,
+                binders
+            )
+        }
         1 => format!(
             "({} +# {})",
             gen_unboxed(g, d, binders),
@@ -670,7 +777,7 @@ fn gen_boxed(g: &mut SurfaceGen, depth: u32, binders: &mut u32) -> String {
         return format!("{}", g.below(10));
     }
     let d = depth - 1;
-    match g.below(8) {
+    match g.below(10) {
         0 => format!("{}", g.below(10)),
         1 => format!("(inc {})", gen_boxed(g, d, binders)),
         2 => format!(
@@ -686,6 +793,12 @@ fn gen_boxed(g: &mut SurfaceGen, depth: u32, binders: &mut u32) -> String {
         4 => format!("(sq {})", gen_boxed(g, d, binders)),
         5 => format!("(stepDown {} {})", gen_boxed(g, d, binders), g.below(9)),
         6 => format!("(I# {})", gen_unboxed(g, d, binders)),
+        8 => format!(
+            "(gsum {} {})",
+            gen_boxed(g, d, binders),
+            gen_boxed(g, d, binders)
+        ),
+        9 => format!("(chain2 {})", gen_boxed(g, d, binders)),
         _ => format!(
             "(if {} == {} then {} else {})",
             gen_boxed(g, d, binders),

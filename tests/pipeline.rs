@@ -320,38 +320,72 @@ mod optimizer_boundaries {
         }
     }
 
-    /// The specialiser must not fire when the dictionary is abstract: a
-    /// `Num a => …` function receives it as a λ-binder, and nothing in
-    /// the prelude itself has a statically known dictionary projection.
+    /// The specialisation passes act exactly when a dictionary is
+    /// statically known. A constrained function *never called with a
+    /// concrete dictionary* keeps its dictionary λ untouched; the
+    /// moment call sites supply one, the function specialiser clones it
+    /// and the clone's projections discharge.
     #[test]
     fn specialiser_leaves_unknown_dictionaries_alone() {
         let prelude_only = compile_prelude().unwrap();
         assert_eq!(prelude_only.opt_report.specialised, 0);
-        let compiled = compile_with_prelude(
+        assert_eq!(prelude_only.opt_report.fn_specialised, 0);
+        // No `main`, so every binding is an entry point and `square`
+        // survives with its abstract dictionary intact: there is no
+        // call site to read a concrete dictionary from.
+        let abstract_only = compile_with_prelude(
+            "square :: Num a => a -> a\n\
+             square x = x * x\n",
+        )
+        .unwrap();
+        assert_eq!(abstract_only.opt_report.specialised, 0);
+        assert_eq!(abstract_only.opt_report.fn_specialised, 0);
+        let square = abstract_only.program.binding("square".into()).unwrap();
+        fn keeps_dict_lambda(mut e: &levity::ir::terms::CoreExpr) -> bool {
+            use levity::ir::terms::CoreExpr;
+            use levity::ir::types::Type;
+            while let CoreExpr::RepLam(_, b) | CoreExpr::TyLam(_, _, b) = e {
+                e = b;
+            }
+            matches!(e, CoreExpr::Lam(_, Type::Dict(..), _))
+        }
+        assert!(
+            keeps_dict_lambda(&square.expr),
+            "an abstract dictionary must keep its λ: {}",
+            square.expr
+        );
+        // …and the moment the dictionary *is* known at a call site, the
+        // function specialiser clones `square`, the clone's projection
+        // discharges, and the constrained original is eliminated.
+        let known = compile_with_prelude(
             "square :: Num a => a -> a\n\
              square x = x * x\n\
              main :: Int\n\
              main = square 7\n",
         )
         .unwrap();
-        assert_eq!(
-            compiled.opt_report.specialised, 0,
-            "an abstract dictionary must keep its projection"
+        assert!(
+            known.opt_report.fn_specialised >= 1,
+            "{:?}",
+            known.opt_report
         );
-        let (out, _) = compiled.run("main", super::FUEL).unwrap();
-        assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(49));
-        // …and the moment the dictionary *is* known, it must fire.
-        let known = compile_with_prelude("main :: Int#\nmain = 3# + 4#\n").unwrap();
         assert!(known.opt_report.specialised >= 1, "{:?}", known.opt_report);
+        let (out, _) = known.run("main", super::FUEL).unwrap();
+        assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(49));
+        // Selector projections fire directly too, as before.
+        let sel = compile_with_prelude("main :: Int#\nmain = 3# + 4#\n").unwrap();
+        assert!(sel.opt_report.specialised >= 1, "{:?}", sel.opt_report);
     }
 
     /// Truly levity-polymorphic bindings — the class selectors (whose
     /// types quantify `r :: Rep`) and the prelude's `myError` — must
     /// come through the optimizer byte-for-byte unchanged: there is no
-    /// representation information to act on.
+    /// representation information to act on. (No `main` here, so every
+    /// binding is an entry point and dead-global elimination keeps the
+    /// whole prelude inspectable.)
     #[test]
     fn levity_polymorphic_bindings_are_untouched() {
-        let compiled = compile_with_prelude("main :: Int#\nmain = 1#\n").unwrap();
+        let compiled = compile_with_prelude("keepAlive :: Int#\nkeepAlive = 1#\n").unwrap();
         for name in ["+", "abs", "==", "myError"] {
             let before = compiled
                 .elaborated
@@ -368,6 +402,143 @@ mod optimizer_boundaries {
             );
             assert_eq!(before.ty, after.ty);
         }
+    }
+
+    /// A constrained function called only at `Int#` (through the
+    /// `forall (a :: TYPE IntRep)` shape §5.1 admits — the binder's rep
+    /// is concrete) is cloned without its dictionary argument, and the
+    /// dictionary-threading original is eliminated from the lowered
+    /// program.
+    #[test]
+    fn constrained_function_at_int_hash_loses_its_dictionary_argument() {
+        use levity::ir::types::Type;
+        let compiled = compile_with_prelude(
+            "stepU :: forall (a :: TYPE IntRep). Num a => a -> a\n\
+             stepU x = (x * x) + x\n\
+             main :: Int#\n\
+             main = stepU 4#\n",
+        )
+        .unwrap();
+        assert!(
+            compiled.opt_report.fn_specialised >= 1,
+            "{:?}",
+            compiled.opt_report
+        );
+        assert!(
+            compiled.opt_report.dead_globals >= 1,
+            "{:?}",
+            compiled.opt_report
+        );
+        // The original — the only binding with a dictionary argument —
+        // is gone from the lowered program…
+        assert!(
+            compiled.program.binding("stepU".into()).is_none(),
+            "the dictionary-threading original must be eliminated"
+        );
+        // …and nothing that survived takes a dictionary.
+        for b in &compiled.program.bindings {
+            let (args, _) = b.ty.split_funs();
+            assert!(
+                !args.iter().any(|t| matches!(t, Type::Dict(..))),
+                "`{}` still threads a dictionary: {}",
+                b.name,
+                b.ty
+            );
+        }
+        let (out, _) = compiled.run("main", super::FUEL).unwrap();
+        assert_eq!(out.value().and_then(|v| v.as_int()), Some(20));
+    }
+
+    /// The PR-4 acceptance criterion, pinned in tier-1: a
+    /// `Num a => a -> a` helper driving the §7.3 loop reaches ≤1.1x
+    /// the step count of the direct primop loop at O2, at `Int` and at
+    /// `Int#` alike.
+    #[test]
+    fn specialised_helper_loops_match_direct_primop_step_counts() {
+        let direct = compile_with_prelude(
+            "loop :: Int# -> Int# -> Int#\n\
+             loop acc n = case n of { 0# -> acc; _ -> loop (acc +# (n +# n)) (n -# 1#) }\n\
+             main :: Int#\n\
+             main = loop 0# 1000#\n",
+        )
+        .unwrap();
+        let unboxed = compile_with_prelude(
+            "step :: forall (a :: TYPE IntRep). Num a => a -> a\n\
+             step x = x + x\n\
+             loop :: Int# -> Int# -> Int#\n\
+             loop acc n = case n of { 0# -> acc; _ -> loop (acc + step n) (n - 1#) }\n\
+             main :: Int#\n\
+             main = loop 0# 1000#\n",
+        )
+        .unwrap();
+        let boxed = compile_with_prelude(
+            "step :: Num a => a -> a\n\
+             step x = x + x\n\
+             loop :: Int -> Int -> Int\n\
+             loop acc n = case n of { I# k -> case k of { 0# -> acc; _ -> loop (acc + step n) (n - 1) } }\n\
+             main :: Int\n\
+             main = loop 0 1000\n",
+        )
+        .unwrap();
+        let (dv, ds) = direct.run("main", super::FUEL).unwrap();
+        let (uv, us) = unboxed.run("main", super::FUEL).unwrap();
+        let (bv, bs) = boxed.run("main", super::FUEL).unwrap();
+        assert_eq!(
+            dv.value().and_then(|v| v.as_int()),
+            uv.value().and_then(|v| v.as_int())
+        );
+        assert_eq!(
+            dv.value().and_then(|v| v.as_int()),
+            bv.value().and_then(|v| v.as_boxed_int())
+        );
+        let unboxed_ratio = us.steps as f64 / ds.steps as f64;
+        let boxed_ratio = bs.steps as f64 / ds.steps as f64;
+        assert!(
+            unboxed_ratio <= 1.1,
+            "Int# helper loop: {} steps vs {} direct ({unboxed_ratio:.3}x)",
+            us.steps,
+            ds.steps
+        );
+        assert!(
+            boxed_ratio <= 1.1,
+            "Int helper loop: {} steps vs {} direct ({boxed_ratio:.3}x)",
+            bs.steps,
+            ds.steps
+        );
+        // And the loops run register-clean: no thunks, O(1) allocation.
+        assert_eq!(us.thunk_forces, 0);
+        assert!(bs.allocated_words <= 8, "{}", bs.allocated_words);
+    }
+
+    /// An exported-but-unused global survives dead-global elimination
+    /// exactly when it is listed as an entry point; unlisted, it is
+    /// dropped.
+    #[test]
+    fn entry_points_protect_exported_but_unused_globals() {
+        use levity::driver::{compile_with_prelude_entries, OptLevel};
+        let src = "exportedHelper :: Int# -> Int#\n\
+                   exportedHelper n = n +# 100#\n\
+                   main :: Int#\n\
+                   main = 1#\n";
+        // Default policy: `main` is the only entry; the helper dies.
+        let default = compile_with_prelude(src).unwrap();
+        assert_eq!(default.entry_points, vec!["main".into()]);
+        assert!(default.program.binding("exportedHelper".into()).is_none());
+        // Listed as an entry point: it survives, and is runnable.
+        let exported =
+            compile_with_prelude_entries(src, OptLevel::O2, Some(&["main", "exportedHelper"]))
+                .unwrap();
+        assert!(exported.program.binding("exportedHelper".into()).is_some());
+        let (out, _) = exported.run("main", super::FUEL).unwrap();
+        assert_eq!(out.value().and_then(|v| v.as_int()), Some(1));
+        let term = levity::m::syntax::MExpr::apps(
+            levity::m::syntax::MExpr::global("exportedHelper"),
+            [levity::m::syntax::Atom::Lit(
+                levity::m::syntax::Literal::Int(5),
+            )],
+        );
+        let (out, _) = exported.run_term(term, super::FUEL).unwrap();
+        assert_eq!(out.value().and_then(|v| v.as_int()), Some(105));
     }
 
     /// The worker/wrapper split must not touch a function whose argument
