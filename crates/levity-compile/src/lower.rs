@@ -41,7 +41,9 @@ use levity_ir::typecheck::{
 };
 use levity_ir::types::Type;
 use levity_m::machine::Globals;
-use levity_m::syntax::{Alt, Atom, Binder, DataCon, MExpr};
+use levity_m::syntax::{Alt, Atom, Binder, DataCon, JoinDef, MExpr};
+
+use crate::opt::subst::count_uses;
 
 /// Why lowering failed.
 #[derive(Clone, Debug, PartialEq)]
@@ -91,6 +93,126 @@ enum Lowered {
     Scalar(Symbol, #[allow(dead_code)] Slot),
     /// An unboxed tuple spread over several registers (possibly zero).
     Multi(Vec<(Symbol, Slot)>),
+    /// A join point: not a value at all. Every occurrence is a
+    /// saturated tail call (validated by [`is_join_let`] before this
+    /// variant is ever recorded) and lowers to [`MExpr::Jump`].
+    Join(Symbol),
+}
+
+/// The number of leading term-λs of a candidate join-point right-hand
+/// side. Joins are monomorphic continuations: any `Λ` disqualifies.
+fn lam_chain_arity(rhs: &CoreExpr) -> Option<usize> {
+    let mut n = 0usize;
+    let mut cur = rhs;
+    while let CoreExpr::Lam(_, _, b) = cur {
+        n += 1;
+        cur = b;
+    }
+    if n == 0 || matches!(cur, CoreExpr::TyLam(..) | CoreExpr::RepLam(..)) {
+        return None;
+    }
+    Some(n)
+}
+
+/// Is `let x = λ…. e in body` a join point — is every free occurrence
+/// of `x` in `body` a *saturated tail call*? "Tail" is relative to the
+/// let body: case-alternative right-hand sides and nested tail-`let`
+/// bodies inherit tailness; scrutinees, arguments, λ-bodies and
+/// ordinary let right-hand sides do not (a jump from any of those would
+/// return control to a frame the jump skips). The right-hand side of a
+/// *nested join candidate* in tail position is itself a tail context —
+/// GHC's rule — so joins created inside other joins' continuations
+/// still qualify.
+fn is_join_let(x: Symbol, arity: usize, body: &CoreExpr) -> bool {
+    join_use_ok(body, x, arity, true)
+}
+
+fn strip_lams(rhs: &CoreExpr) -> &CoreExpr {
+    let mut cur = rhs;
+    while let CoreExpr::Lam(_, _, b) = cur {
+        cur = b;
+    }
+    cur
+}
+
+fn join_use_ok(e: &CoreExpr, x: Symbol, arity: usize, tail: bool) -> bool {
+    match e {
+        // A bare occurrence (unapplied) escapes.
+        CoreExpr::Var(v) => *v != x,
+        CoreExpr::Global(_) | CoreExpr::Lit(_) | CoreExpr::Error(..) => true,
+        // A saturated application spine headed by `x` is a jump — in
+        // tail position only. Its arguments must not mention `x`.
+        CoreExpr::App(..) => {
+            let mut args = 0usize;
+            let mut cur = e;
+            loop {
+                match cur {
+                    CoreExpr::App(f, a) => {
+                        if count_uses(a, x) != 0 {
+                            return false;
+                        }
+                        args += 1;
+                        cur = f;
+                    }
+                    // A type/rep application on the spine means this is
+                    // not the monomorphic call shape joins have.
+                    CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => cur = f,
+                    _ => break,
+                }
+            }
+            match cur {
+                CoreExpr::Var(v) if *v == x => tail && args == arity,
+                head => join_use_ok(head, x, arity, false),
+            }
+        }
+        CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => join_use_ok(f, x, arity, false),
+        // Under a λ the continuation would be captured by a closure.
+        CoreExpr::Lam(b, _, body) => *b == x || count_uses(body, x) == 0,
+        CoreExpr::TyLam(_, _, b) | CoreExpr::RepLam(_, b) => join_use_ok(b, x, arity, tail),
+        CoreExpr::Let(kind, y, _, rhs, body) => {
+            let rhs_shadowed = *kind == LetKind::Rec && *y == x;
+            let rhs_ok = if rhs_shadowed || count_uses(rhs, x) == 0 {
+                // The common case — `x` does not occur in the nested
+                // right-hand side at all. Checked *first*: the nested
+                // re-analysis below re-walks the whole body, and a
+                // chain of k sibling join lets (exactly what
+                // `opt/join.rs` emits) would otherwise cost 2^k body
+                // traversals for no information.
+                true
+            } else if tail
+                && *kind == LetKind::NonRec
+                && *y != x
+                && lam_chain_arity(rhs).is_some_and(|a| is_join_let(*y, a, body))
+            {
+                // `x` occurs inside a nested join candidate's body: a
+                // join's body is a tail context for `x` exactly when
+                // the nested let will itself lower as a join.
+                join_use_ok(strip_lams(rhs), x, arity, true)
+            } else {
+                false
+            };
+            rhs_ok && (*y == x || join_use_ok(body, x, arity, tail))
+        }
+        CoreExpr::Case(scrut, alts) => {
+            count_uses(scrut, x) == 0
+                && alts.iter().all(|alt| {
+                    let shadowed = match alt {
+                        CoreAlt::Con { binders, .. } | CoreAlt::Tuple { binders, .. } => {
+                            binders.iter().any(|(b, _)| *b == x)
+                        }
+                        CoreAlt::Default { binder, .. } => {
+                            matches!(binder, Some((b, _)) if *b == x)
+                        }
+                        CoreAlt::Lit { .. } => false,
+                    };
+                    shadowed || join_use_ok(alt.rhs(), x, arity, tail)
+                })
+        }
+        CoreExpr::Con(_, _, fields) => fields.iter().all(|f| count_uses(f, x) == 0),
+        CoreExpr::Prim(_, args) | CoreExpr::Tuple(args) => {
+            args.iter().all(|a| count_uses(a, x) == 0)
+        }
+    }
 }
 
 /// The lowering context.
@@ -99,16 +221,28 @@ pub struct Lowerer<'a> {
     scope: Scope,
     locals: Vec<(Symbol, Lowered)>,
     supply: NameSupply,
+    /// The top-level binding being lowered; join-point names are minted
+    /// as `j%<owner>%$n`, which is unique per compiled program (binding
+    /// names are unique, `%` never appears in them) — the machines may
+    /// then resolve jumps through one flat map.
+    owner: String,
 }
 
 impl<'a> Lowerer<'a> {
     /// A fresh lowerer over the given environment.
     pub fn new(env: &'a TypeEnv) -> Lowerer<'a> {
+        Lowerer::for_binding(env, "?expr")
+    }
+
+    /// A lowerer for the named top-level binding (the name seeds
+    /// program-unique join-point names).
+    pub fn for_binding(env: &'a TypeEnv, owner: &str) -> Lowerer<'a> {
         Lowerer {
             env,
             scope: Scope::new(),
             locals: Vec::new(),
             supply: NameSupply::new(),
+            owner: owner.to_owned(),
         }
     }
 
@@ -183,6 +317,11 @@ impl<'a> Lowerer<'a> {
                 Some(Lowered::Multi(parts)) => Ok(Rc::new(MExpr::MultiVal(
                     parts.iter().map(|(n, _)| Atom::Var(*n)).collect(),
                 ))),
+                // Unreachable from a binder [`is_join_let`] admitted:
+                // bare occurrences disqualify a join candidate.
+                Some(Lowered::Join(_)) => Err(LowerError::Unsupported(format!(
+                    "join point `{x}` used outside saturated tail-call position"
+                ))),
                 None => Err(LowerError::Core(CoreError::UnboundVar(*x))),
             },
             CoreExpr::Global(g) => Ok(MExpr::global(*g)),
@@ -201,7 +340,12 @@ impl<'a> Lowerer<'a> {
                 out
             }
             CoreExpr::Lam(x, ty, body) => self.lower_lam(*x, ty, body),
-            CoreExpr::App(f, a) => self.lower_app(f, a),
+            CoreExpr::App(f, a) => {
+                if let Some(jump) = self.try_lower_jump(e)? {
+                    return Ok(jump);
+                }
+                self.lower_app(f, a)
+            }
             CoreExpr::Let(kind, x, ty, rhs, body) => self.lower_let(*kind, *x, ty, rhs, body),
             CoreExpr::Case(scrut, alts) => self.lower_case(scrut, alts),
             CoreExpr::Con(con, ty_args, fields) => {
@@ -312,6 +456,118 @@ impl<'a> Lowerer<'a> {
         }
     }
 
+    /// Lowers an application spine headed by a join-point binder as a
+    /// [`MExpr::Jump`]. Returns `Ok(None)` for ordinary applications.
+    fn try_lower_jump(&mut self, e: &CoreExpr) -> Result<Option<Rc<MExpr>>, LowerError> {
+        let mut args: Vec<&CoreExpr> = Vec::new();
+        let mut cur = e;
+        loop {
+            match cur {
+                CoreExpr::App(f, a) => {
+                    args.push(a);
+                    cur = f;
+                }
+                CoreExpr::TyApp(f, _) | CoreExpr::RepApp(f, _) => cur = f,
+                _ => break,
+            }
+        }
+        let CoreExpr::Var(x) = cur else {
+            return Ok(None);
+        };
+        let Some(Lowered::Join(jname)) = self.lookup(*x) else {
+            return Ok(None);
+        };
+        let jname = *jname;
+        args.reverse();
+        let args: Vec<CoreExpr> = args.into_iter().cloned().collect();
+        self.bind_args(&args, |_, atoms| Ok(Rc::new(MExpr::Jump(jname, atoms))))
+            .map(Some)
+    }
+
+    /// Lowers a validated join-point `let`: the continuation's
+    /// parameters become machine binders (tuple params unarised like
+    /// λ-binders), the binder is recorded as [`Lowered::Join`], and the
+    /// whole thing becomes [`MExpr::LetJoin`] — no thunk, no closure.
+    /// Returns `None` (falling back to an ordinary `let`) when a
+    /// parameter's representation has no stable register split (empty
+    /// tuples, sums).
+    fn lower_join(
+        &mut self,
+        x: Symbol,
+        ty: &Type,
+        arity: usize,
+        rhs: &CoreExpr,
+        body: &CoreExpr,
+    ) -> Result<Option<Rc<MExpr>>, LowerError> {
+        // Peel the λ-chain into (binder, type) params.
+        let mut params: Vec<(Symbol, Type)> = Vec::new();
+        let mut jbody = rhs;
+        for _ in 0..arity {
+            let CoreExpr::Lam(p, pty, inner) = jbody else {
+                unreachable!("lam_chain_arity counted the λs");
+            };
+            params.push((*p, pty.clone()));
+            jbody = inner;
+        }
+        // Every parameter must unarise to at least one register: the
+        // jump-site argument flattening and the parameter list must
+        // stay in one-to-one slot correspondence.
+        let mut reps = Vec::with_capacity(params.len());
+        for (_, pty) in &params {
+            let rep = self.rep_of(pty)?;
+            match &rep {
+                Rep::Sum(_) => return Ok(None),
+                Rep::Tuple(slots) if slots.is_empty() => return Ok(None),
+                _ => reps.push(rep),
+            }
+        }
+        let jname = self.supply.fresh(&format!("j%{}%", self.owner));
+        // Lower the continuation body with the params in scope.
+        let mut mparams: Vec<Binder> = Vec::new();
+        let mut pushed = 0usize;
+        for ((p, pty), rep) in params.iter().zip(reps) {
+            match rep {
+                Rep::Tuple(_) => {
+                    let parts: Vec<(Symbol, Slot)> = rep
+                        .slots()
+                        .iter()
+                        .map(|s| (self.supply.fresh("u"), *s))
+                        .collect();
+                    mparams.extend(parts.iter().map(|(n, s)| Binder::new(*n, *s)));
+                    self.locals.push((*p, Lowered::Multi(parts)));
+                }
+                scalar => {
+                    let class = self.scalar_class(&scalar, pty)?;
+                    let name = self.supply.fresh("u");
+                    mparams.push(Binder::new(name, class));
+                    self.locals.push((*p, Lowered::Scalar(name, class)));
+                }
+            }
+            self.scope.push(*p, ScopeEntry::Term(pty.clone()));
+            pushed += 1;
+        }
+        let jbody_t = self.lower(jbody);
+        for _ in 0..pushed {
+            self.scope.pop();
+            self.locals.pop();
+        }
+        let jbody_t = jbody_t?;
+        // Lower the let body with the binder visible as a join point.
+        self.locals.push((x, Lowered::Join(jname)));
+        self.scope.push(x, ScopeEntry::Term(ty.clone()));
+        let body_t = self.lower(body);
+        self.scope.pop();
+        self.locals.pop();
+        Ok(Some(Rc::new(MExpr::LetJoin(
+            Rc::new(JoinDef {
+                name: jname,
+                params: mparams,
+                body: jbody_t,
+            }),
+            body_t?,
+        ))))
+    }
+
     fn lower_let(
         &mut self,
         kind: LetKind,
@@ -320,6 +576,18 @@ impl<'a> Lowerer<'a> {
         rhs: &CoreExpr,
         body: &CoreExpr,
     ) -> Result<Rc<MExpr>, LowerError> {
+        // Join points first: a non-recursive λ-binding whose every use
+        // is a saturated tail call compiles to a jump target, not a
+        // thunk — the machine-level half of the case-of-case story.
+        if kind == LetKind::NonRec {
+            if let Some(arity) = lam_chain_arity(rhs) {
+                if is_join_let(x, arity, body) {
+                    if let Some(out) = self.lower_join(x, ty, arity, rhs, body)? {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
         let rep = self.rep_of(ty)?;
         match rep {
             Rep::Tuple(_) => {
@@ -581,7 +849,7 @@ impl<'a> Lowerer<'a> {
 pub fn lower_program(env: &TypeEnv, prog: &Program) -> Result<Globals, LowerError> {
     let mut globals = Globals::new();
     for TopBind { name, expr, .. } in &prog.bindings {
-        let mut lowerer = Lowerer::new(env);
+        let mut lowerer = Lowerer::for_binding(env, name.as_str());
         globals.define(*name, lowerer.lower(expr)?);
     }
     Ok(globals)
@@ -812,6 +1080,84 @@ mod tests {
         let (out, stats) = run(&env, &e);
         assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(5))));
         assert_eq!(stats.thunk_allocs, 1);
+    }
+
+    #[test]
+    fn tail_called_let_lambda_lowers_to_a_join_point() {
+        // let k = \(y :: Int#) -> y +# 1# in
+        //   case 0# of { 0# -> k 10#; _ -> k 20# }
+        // Both uses are saturated tail calls, so the let becomes a
+        // `join` and the calls become `jump`s: no thunk, no closure.
+        let env = env();
+        let ih = Type::con0(&env.builtins.int_hash);
+        let k: Symbol = "k".into();
+        let body = CoreExpr::case(
+            CoreExpr::int(0),
+            vec![
+                CoreAlt::Lit {
+                    lit: Literal::Int(0),
+                    rhs: CoreExpr::app(CoreExpr::Var(k), CoreExpr::int(10)),
+                },
+                CoreAlt::Default {
+                    binder: None,
+                    rhs: CoreExpr::app(CoreExpr::Var(k), CoreExpr::int(20)),
+                },
+            ],
+        );
+        let e = CoreExpr::let_(
+            k,
+            Type::fun(ih.clone(), ih.clone()),
+            CoreExpr::lam(
+                "y",
+                ih,
+                CoreExpr::Prim(
+                    PrimOp::AddI,
+                    vec![CoreExpr::Var("y".into()), CoreExpr::int(1)],
+                ),
+            ),
+            body,
+        );
+        let t = lower_expr(&env, &e).unwrap();
+        assert!(
+            matches!(&*t, MExpr::LetJoin(..)),
+            "expected a join point, got {t}"
+        );
+        let mut m = Machine::new();
+        let out = m.run(t).unwrap();
+        assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(11))));
+        assert_eq!(m.stats().jumps, 1);
+        assert_eq!(m.stats().thunk_allocs, 0, "a join point is not a thunk");
+        assert_eq!(m.stats().allocated_words, 0);
+    }
+
+    #[test]
+    fn escaping_let_lambda_stays_an_ordinary_closure() {
+        // let f = \(y :: Int#) -> y in (f 1#) +# (case 0# of ...) — an
+        // argument-position use disqualifies the join: `f` appears in a
+        // primop argument, not a tail call.
+        let env = env();
+        let ih = Type::con0(&env.builtins.int_hash);
+        let f: Symbol = "f".into();
+        let e = CoreExpr::let_(
+            f,
+            Type::fun(ih.clone(), ih.clone()),
+            CoreExpr::lam("y", ih, CoreExpr::Var("y".into())),
+            CoreExpr::Prim(
+                PrimOp::AddI,
+                vec![
+                    CoreExpr::app(CoreExpr::Var(f), CoreExpr::int(1)),
+                    CoreExpr::int(2),
+                ],
+            ),
+        );
+        let t = lower_expr(&env, &e).unwrap();
+        assert!(
+            matches!(&*t, MExpr::LetLazy(..)),
+            "an escaping λ must stay a lazy let, got {t}"
+        );
+        let (out, stats) = run(&env, &e);
+        assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(3))));
+        assert_eq!(stats.jumps, 0);
     }
 
     #[test]

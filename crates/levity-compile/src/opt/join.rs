@@ -1,0 +1,276 @@
+//! Case-of-case through join points.
+//!
+//! The simplifier's case-of-case rule pushes an outer `case` into an
+//! inner one only when the inner case has a *single* alternative —
+//! otherwise every outer alternative would be duplicated into every
+//! inner branch. Join points lift that restriction the way GHC does:
+//! each outer alternative is bound once as a **join point** — a
+//! non-recursive, arity-saturated `let` of a λ whose every use is a
+//! saturated tail call — and the pushed copies are one-line jumps:
+//!
+//! ```text
+//! case (case s of { A as -> ra; B bs -> rb }) of { C cs -> e₁; D ds -> e₂ }
+//!   ==>
+//! let $j1 = λcs. e₁ in
+//! let $j2 = λds. e₂ in
+//! case s of { A as -> case ra of { C cs -> $j1 cs; D ds -> $j2 ds }
+//!           ; B bs -> case rb of { C cs -> $j1 cs; D ds -> $j2 ds } }
+//! ```
+//!
+//! At the Core level a join point is an ordinary typed `let`, so the
+//! type checker and the §5.1 levity checks need no new cases. The cost
+//! model is restored downstream: lowering (`crate::lower`) re-derives
+//! the join property — non-escaping, tail-only, saturated — and emits
+//! the machine's `join`/`jump` forms, which allocate nothing and push
+//! no frames. Tiny outer alternatives (an atom, a rebox) are duplicated
+//! directly instead of joined, with binders refreshed per copy; inner
+//! alternative binders are refreshed before the push so a pushed copy
+//! can never be captured.
+//!
+//! Nullary alternatives (literal patterns, binderless defaults) get a
+//! dummy `Int#` parameter so the join stays a function — a zero-arity
+//! "join" would be a lazy thunk, which is exactly the allocation this
+//! pass exists to avoid.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use levity_core::symbol::Symbol;
+use levity_ir::freshen;
+use levity_ir::terms::{CoreAlt, CoreExpr, DataConInfo, LetKind};
+use levity_ir::typecheck::{type_of, Scope, ScopeEntry, TypeEnv};
+use levity_ir::types::Type;
+use levity_m::syntax::Literal;
+
+use super::subst::substitute;
+
+/// Outer alternatives at or below this size are duplicated into the
+/// inner branches instead of becoming join points: a jump would cost as
+/// much as the duplicate.
+const DUP_LIMIT: usize = 6;
+
+/// One prepared outer alternative: either small enough to duplicate, or
+/// a join point to define and jump to.
+enum Prepared {
+    /// Clone the alternative into every inner branch (binders are
+    /// refreshed per copy).
+    Duplicate(CoreAlt),
+    /// Define `name = λparams. rhs` once, jump from every copy.
+    Join {
+        name: Symbol,
+        params: Vec<(Symbol, Type)>,
+        /// The pattern, reproduced (with fresh binders) in the copies.
+        pattern: AltPattern,
+    },
+}
+
+/// The pattern half of a [`CoreAlt`], without its right-hand side.
+enum AltPattern {
+    Con(Rc<DataConInfo>),
+    Lit(Literal),
+    /// `Some` when the default names the scrutinee.
+    Default(bool),
+}
+
+/// Rewrites `case (case s of inner_alts) of outer_alts` when the inner
+/// case has several alternatives. Returns the rewritten expression and
+/// the number of join points created, or `None` when a piece resists
+/// (a type that will not compute here, an outer tuple alternative —
+/// those only pair with single-alternative cases anyway).
+pub(super) fn case_of_case_with_joins(
+    env: &TypeEnv,
+    scope: &mut Scope,
+    inner_scrut: &CoreExpr,
+    inner_alts: &[CoreAlt],
+    outer_alts: &[CoreAlt],
+) -> Option<(CoreExpr, usize)> {
+    let int_hash = Type::con0(&env.builtins.int_hash);
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(outer_alts.len());
+    let mut join_lets: Vec<(Symbol, Type, CoreExpr)> = Vec::new();
+    for alt in outer_alts {
+        if alt.rhs().size() <= DUP_LIMIT {
+            prepared.push(Prepared::Duplicate(alt.clone()));
+            continue;
+        }
+        let (params, rhs, pattern): (Vec<(Symbol, Type)>, CoreExpr, AltPattern) = match alt {
+            CoreAlt::Con { con, binders, rhs } => (
+                binders.clone(),
+                rhs.clone(),
+                AltPattern::Con(Rc::clone(con)),
+            ),
+            CoreAlt::Lit { lit, rhs } => (Vec::new(), rhs.clone(), AltPattern::Lit(*lit)),
+            CoreAlt::Default { binder, rhs } => (
+                binder.iter().cloned().collect(),
+                rhs.clone(),
+                AltPattern::Default(binder.is_some()),
+            ),
+            // An outer tuple alternative implies a single-alternative
+            // case; the no-duplication rule already covers it.
+            CoreAlt::Tuple { .. } => return None,
+        };
+        // Nullary patterns get a dummy Int# parameter: the join must
+        // stay a λ (a zero-arity binding would be a thunk).
+        let lam_params: Vec<(Symbol, Type)> = if params.is_empty() {
+            vec![(freshen(Symbol::intern("unit")), int_hash.clone())]
+        } else {
+            params.clone()
+        };
+        // The join's type is λparams → type-of(rhs), computed under the
+        // alternative's binders.
+        for (x, t) in &lam_params {
+            scope.push(*x, ScopeEntry::Term(t.clone()));
+        }
+        let rhs_ty = type_of(env, scope, &rhs);
+        for _ in &lam_params {
+            scope.pop();
+        }
+        let rhs_ty = rhs_ty.ok()?;
+        let name = freshen(Symbol::intern("$j"));
+        let join_ty = Type::funs(lam_params.iter().map(|(_, t)| t.clone()), rhs_ty);
+        join_lets.push((name, join_ty, CoreExpr::lams(lam_params, rhs.clone())));
+        prepared.push(Prepared::Join {
+            name,
+            params,
+            pattern,
+        });
+    }
+
+    // The pushed case: every inner alternative's rhs is scrutinised by
+    // a fresh copy of the (now small) outer alternatives. The inner
+    // binders are refreshed first, so a copy's free variables can never
+    // be captured by the pattern it lands under.
+    let pushed_alts: Vec<CoreAlt> = inner_alts
+        .iter()
+        .map(|ialt| {
+            let refreshed = refresh_alt(ialt);
+            let copies: Vec<CoreAlt> = prepared.iter().map(instantiate).collect();
+            let rhs = CoreExpr::Case(Box::new(refreshed.rhs().clone()), copies);
+            with_rhs(&refreshed, rhs)
+        })
+        .collect();
+    let mut out = CoreExpr::Case(Box::new(inner_scrut.clone()), pushed_alts);
+    for (name, ty, rhs) in join_lets.into_iter().rev() {
+        out = CoreExpr::Let(LetKind::NonRec, name, ty, Box::new(rhs), Box::new(out));
+    }
+    let joins = prepared
+        .iter()
+        .filter(|p| matches!(p, Prepared::Join { .. }))
+        .count();
+    Some((out, joins))
+}
+
+/// Builds one copy of a prepared outer alternative for a pushed case:
+/// a refreshed duplicate, or a pattern whose rhs jumps to the join.
+fn instantiate(p: &Prepared) -> CoreAlt {
+    match p {
+        Prepared::Duplicate(alt) => refresh_alt(alt),
+        Prepared::Join {
+            name,
+            params,
+            pattern,
+            ..
+        } => {
+            let fresh: Vec<(Symbol, Type)> = params
+                .iter()
+                .map(|(x, t)| (freshen(*x), t.clone()))
+                .collect();
+            let jump = if fresh.is_empty() {
+                // Nullary pattern: feed the dummy Int# parameter.
+                CoreExpr::app(CoreExpr::Var(*name), CoreExpr::int(0))
+            } else {
+                CoreExpr::apps(
+                    CoreExpr::Var(*name),
+                    fresh.iter().map(|(x, _)| CoreExpr::Var(*x)),
+                )
+            };
+            match pattern {
+                AltPattern::Con(con) => CoreAlt::Con {
+                    con: Rc::clone(con),
+                    binders: fresh,
+                    rhs: jump,
+                },
+                AltPattern::Lit(l) => CoreAlt::Lit { lit: *l, rhs: jump },
+                AltPattern::Default(true) => CoreAlt::Default {
+                    binder: Some(fresh.into_iter().next().expect("default binder prepared")),
+                    rhs: jump,
+                },
+                AltPattern::Default(false) => CoreAlt::Default {
+                    binder: None,
+                    rhs: jump,
+                },
+            }
+        }
+    }
+}
+
+/// Clones an alternative with freshened pattern binders (safe to place
+/// several copies as siblings, or to move a copy under new binders).
+fn refresh_alt(alt: &CoreAlt) -> CoreAlt {
+    match alt {
+        CoreAlt::Con { con, binders, rhs } => {
+            let (binders, rhs) = refresh_binder_list(binders, rhs);
+            CoreAlt::Con {
+                con: Rc::clone(con),
+                binders,
+                rhs,
+            }
+        }
+        CoreAlt::Lit { lit, rhs } => CoreAlt::Lit {
+            lit: *lit,
+            rhs: rhs.clone(),
+        },
+        CoreAlt::Tuple { binders, rhs } => {
+            let (binders, rhs) = refresh_binder_list(binders, rhs);
+            CoreAlt::Tuple { binders, rhs }
+        }
+        CoreAlt::Default { binder, rhs } => match binder {
+            Some((x, t)) => {
+                let fresh = freshen(*x);
+                let mut map = HashMap::new();
+                map.insert(*x, CoreExpr::Var(fresh));
+                CoreAlt::Default {
+                    binder: Some((fresh, t.clone())),
+                    rhs: substitute(rhs, &map),
+                }
+            }
+            None => CoreAlt::Default {
+                binder: None,
+                rhs: rhs.clone(),
+            },
+        },
+    }
+}
+
+fn refresh_binder_list(
+    binders: &[(Symbol, Type)],
+    rhs: &CoreExpr,
+) -> (Vec<(Symbol, Type)>, CoreExpr) {
+    let mut map = HashMap::new();
+    let mut renamed = Vec::with_capacity(binders.len());
+    for (x, t) in binders {
+        let fresh = freshen(*x);
+        map.insert(*x, CoreExpr::Var(fresh));
+        renamed.push((fresh, t.clone()));
+    }
+    (renamed, substitute(rhs, &map))
+}
+
+/// Replaces an alternative's right-hand side, keeping its pattern.
+fn with_rhs(alt: &CoreAlt, rhs: CoreExpr) -> CoreAlt {
+    match alt {
+        CoreAlt::Con { con, binders, .. } => CoreAlt::Con {
+            con: Rc::clone(con),
+            binders: binders.clone(),
+            rhs,
+        },
+        CoreAlt::Lit { lit, .. } => CoreAlt::Lit { lit: *lit, rhs },
+        CoreAlt::Tuple { binders, .. } => CoreAlt::Tuple {
+            binders: binders.clone(),
+            rhs,
+        },
+        CoreAlt::Default { binder, .. } => CoreAlt::Default {
+            binder: binder.clone(),
+            rhs,
+        },
+    }
+}

@@ -18,12 +18,17 @@
 //!    instance methods (§7.3's cost, refunded);
 //! 3. [`inline`](inline::inline) + [`simplify`](simplify::simplify) —
 //!    small non-recursive calls β-reduce, case-of-known-constructor and
-//!    friends clean up (iterated to a bounded fixpoint);
+//!    friends clean up; a multi-alternative case-of-case binds its
+//!    outer alternatives as **join points** ([`join`]) so continuations
+//!    flow inward without duplication (iterated to a bounded fixpoint);
 //! 4. [`worker_wrapper`](ww::worker_wrapper) — strictly-demanded boxed
 //!    arguments split into an unboxed worker plus an inline wrapper,
-//!    with each binder's §6.2 register class read off its kind;
-//! 5. inline + simplify again, so wrappers vanish at call sites and
-//!    workers tail-call themselves on raw registers;
+//!    with each binder's §6.2 register class read off its kind; a
+//!    single-constructor **result** scrutinised at every call site is
+//!    returned as an unboxed tuple (CPR), the wrapper reboxing;
+//! 5. inline + simplify again, so wrappers vanish at call sites,
+//!    workers tail-call themselves on raw registers, and CPR reboxes
+//!    cancel against call-site scrutinies;
 //! 6. [`eliminate_dead_globals`](usage::eliminate_dead_globals) — the
 //!    specialised-away originals, orphaned selectors and stale wrappers
 //!    left behind by 1–5 are dropped: nothing reachable from the entry
@@ -62,6 +67,7 @@
 //! property-based sample.
 
 pub mod inline;
+pub mod join;
 pub mod simplify;
 pub mod spec_fun;
 pub mod specialise;
@@ -97,22 +103,45 @@ impl fmt::Display for OptLevel {
 }
 
 /// What the optimizer did, for reporting and tests.
+///
+/// The pipeline iterates several passes to a bounded fixed point, and a
+/// later round re-runs a pass over the *previous round's output* —
+/// summing its counts across rounds would double-count work the pass
+/// merely re-discovers (and make the numbers grow with the round bound
+/// rather than with the program). Counters for iterated passes
+/// therefore record the **busiest single round** ([`fold_round`]);
+/// single-shot passes (worker/wrapper, dead-global elimination) report
+/// plain totals.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct OptReport {
-    /// Monomorphised clones of constrained functions created.
+    /// Monomorphised clones of constrained functions created (per-round
+    /// maximum).
     pub fn_specialised: usize,
-    /// Call sites redirected to specialised clones.
+    /// Call sites redirected to specialised clones (per-round maximum).
     pub spec_calls: usize,
-    /// Dictionary projections replaced by instance methods.
+    /// Dictionary projections replaced by instance methods (per-round
+    /// maximum).
     pub specialised: usize,
-    /// Call sites inlined (all rounds).
+    /// Call sites inlined (per-round maximum).
     pub inlined: usize,
-    /// Simplifier rewrites applied (all rounds).
+    /// Simplifier rewrites applied (per-round maximum).
     pub simplified: usize,
+    /// Join points bound by the case-of-case rule (per-round maximum).
+    pub join_points: usize,
     /// Worker/wrapper splits performed.
     pub workers: usize,
+    /// Workers whose *result* was unboxed to `(# … #)` (constructed
+    /// product result); a subset of [`OptReport::workers`].
+    pub cpr_workers: usize,
     /// Unreachable top-level bindings eliminated.
     pub dead_globals: usize,
+}
+
+/// Folds one round's pass count into an iterated counter: the report
+/// keeps the busiest round, not the sum, so re-running a pass over its
+/// own output can never inflate the number.
+fn fold_round(counter: &mut usize, this_round: usize) {
+    *counter = (*counter).max(this_round);
 }
 
 /// Inline/simplify rounds on each side of the worker/wrapper split.
@@ -162,21 +191,22 @@ pub fn optimise_program(
             // and cleaned up, so drop it and stop here.
             break;
         }
-        report.fn_specialised += clones;
-        report.spec_calls += calls;
+        fold_round(&mut report.fn_specialised, clones);
+        fold_round(&mut report.spec_calls, calls);
         cur = next;
         validate(&cur, "spec_fun")?;
         let (next, n) = specialise::specialise(&cur);
-        report.specialised += n;
+        fold_round(&mut report.specialised, n);
         cur = next;
         let mut env = validate(&cur, "specialise")?;
         for _ in 0..ROUNDS {
             let (next, n) = inline::inline(&cur, &no_force);
-            report.inlined += n;
+            fold_round(&mut report.inlined, n);
             cur = next;
             env = validate(&cur, "inline")?;
-            let (next, n) = simplify::simplify(&env, &cur);
-            report.simplified += n;
+            let (next, n, joins) = simplify::simplify(&env, &cur);
+            fold_round(&mut report.simplified, n);
+            fold_round(&mut report.join_points, joins);
             cur = next;
             env = validate(&cur, "simplify")?;
         }
@@ -184,18 +214,20 @@ pub fn optimise_program(
     }
     let mut env = env_opt.expect("the first spec round always runs");
 
-    let (next, wrappers, n) = ww::worker_wrapper(&env, &cur);
+    let (next, wrappers, n, cpr) = ww::worker_wrapper(&env, &cur);
     report.workers = n;
+    report.cpr_workers = cpr;
     cur = next;
     env = validate(&cur, "worker/wrapper")?;
 
     for _ in 0..ROUNDS {
         let (next, n) = inline::inline(&cur, &wrappers);
-        report.inlined += n;
+        fold_round(&mut report.inlined, n);
         cur = next;
         env = validate(&cur, "inline")?;
-        let (next, n) = simplify::simplify(&env, &cur);
-        report.simplified += n;
+        let (next, n, joins) = simplify::simplify(&env, &cur);
+        fold_round(&mut report.simplified, n);
+        fold_round(&mut report.join_points, joins);
         cur = next;
         env = validate(&cur, "simplify")?;
     }
@@ -263,6 +295,82 @@ mod tests {
         assert_eq!(report.fn_specialised, 0);
         assert_eq!(report.workers, 0);
         assert_eq!(report.dead_globals, 0);
+    }
+
+    /// Iterated-pass counters fold rounds by maximum: a later round
+    /// that merely re-discovers (or re-does less of) the same work can
+    /// never inflate the report.
+    #[test]
+    fn fold_round_keeps_the_busiest_round_not_the_sum() {
+        let mut counter = 0usize;
+        for round in [5, 3, 0, 7, 7] {
+            fold_round(&mut counter, round);
+        }
+        assert_eq!(counter, 7, "the report is a maximum, not a running sum");
+    }
+
+    /// Re-optimising the optimizer's own output must not re-report the
+    /// first run's work: the program is already in normal form, so
+    /// every counter is bounded by (and in practice far below) the
+    /// first report — the observable symptom the per-round-maximum fix
+    /// exists to prevent is counters that grow on every rerun.
+    #[test]
+    fn reoptimising_optimized_output_does_not_inflate_counters() {
+        let env = TypeEnv::new();
+        let ih = Type::con0(&env.builtins.int_hash);
+        let int = Type::con0(&env.builtins.int);
+        // inc n = case n of I# k -> I# (k +# 1#); main = inc (I# 1#) —
+        // enough surface for inline + simplify + worker/wrapper to act.
+        let inc_body = CoreExpr::lam(
+            "n",
+            int.clone(),
+            CoreExpr::case(
+                CoreExpr::Var("n".into()),
+                vec![levity_ir::terms::CoreAlt::Con {
+                    con: std::rc::Rc::clone(&env.builtins.i_hash),
+                    binders: vec![("k".into(), ih.clone())],
+                    rhs: CoreExpr::Con(
+                        std::rc::Rc::clone(&env.builtins.i_hash),
+                        vec![],
+                        vec![CoreExpr::Prim(
+                            levity_m::syntax::PrimOp::AddI,
+                            vec![CoreExpr::Var("k".into()), CoreExpr::int(1)],
+                        )],
+                    ),
+                }],
+            ),
+        );
+        let prog = Program {
+            data_decls: env.builtins.data_decls.clone(),
+            bindings: vec![
+                TopBind {
+                    name: "inc".into(),
+                    ty: Type::fun(int.clone(), int.clone()),
+                    expr: inc_body,
+                },
+                TopBind {
+                    name: "main".into(),
+                    ty: int.clone(),
+                    expr: CoreExpr::app(
+                        CoreExpr::Global("inc".into()),
+                        CoreExpr::Con(
+                            std::rc::Rc::clone(&env.builtins.i_hash),
+                            vec![],
+                            vec![CoreExpr::int(1)],
+                        ),
+                    ),
+                },
+            ],
+        };
+        let (out1, first, _) = optimise_program(&prog, None).unwrap();
+        let (_, second, _) = optimise_program(&out1, None).unwrap();
+        assert!(
+            second.inlined <= first.inlined.max(1)
+                && second.simplified <= first.simplified.max(1)
+                && second.specialised <= first.specialised
+                && second.fn_specialised <= first.fn_specialised,
+            "re-optimising normal-form output inflated the report: first {first:?}, second {second:?}"
+        );
     }
 
     /// With an entry set, unreachable bindings disappear even when no

@@ -6,14 +6,21 @@
 //! case (let a = … in case b of { I# y -> I# (x -# y) }) of { I# k -> e }
 //! ```
 //!
-//! This pass normalizes them away with five local, outcome-exact rules:
+//! This pass normalizes them away with local, outcome-exact rules:
 //!
 //! * **β** — a literal `(\x -> e) a` redex reduces (via the inliner's
 //!   machinery, so argument evaluation order is preserved);
 //! * **case-of-let** — `case (let x = r in b) of alts` floats the `let`
 //!   outward (binder freshened so the alternatives cannot be captured);
 //! * **case-of-case** — when the inner case has exactly *one*
-//!   alternative, the outer case pushes into it (no code duplication);
+//!   alternative, the outer case pushes into it directly (no code
+//!   duplication); a *multi*-alternative inner case goes through
+//!   [`super::join`]: the outer alternatives become join points and the
+//!   pushed copies are jumps, so worker results flow into their
+//!   consumers without duplicating continuations;
+//! * **tuple-η** — `case e of (# x… #) -> (# x… #)` is `e`: this is
+//!   what turns a CPR worker's reboxed-then-unboxed recursive tail
+//!   call back into a direct tuple-returning call;
 //! * **case-of-known-constructor** — a case whose scrutinee is a visible
 //!   constructor application, unboxed tuple, literal, or a global CAF
 //!   that is a constructor of atoms (a specialised dictionary) selects
@@ -65,10 +72,13 @@ struct GlobalCon {
     fields: Vec<CoreExpr>,
 }
 
-/// Shared, read-only context for one simplification pass.
+/// Shared context for one simplification pass. `join_points` counts the
+/// continuations bound by the multi-alternative case-of-case rule (a
+/// `Cell` so the read-mostly context can stay shared).
 struct Cx<'a> {
     env: &'a TypeEnv,
     global_cons: HashMap<Symbol, GlobalCon>,
+    join_points: std::cell::Cell<usize>,
 }
 
 impl Cx<'_> {
@@ -120,8 +130,9 @@ fn pure_total(e: &CoreExpr) -> bool {
 }
 
 /// Runs the simplifier over a whole program (to a bounded fixpoint per
-/// binding). Returns the program and the number of rewrites applied.
-pub fn simplify(env: &TypeEnv, prog: &Program) -> (Program, usize) {
+/// binding). Returns the program, the number of rewrites applied, and
+/// the number of join points bound by the case-of-case rule.
+pub fn simplify(env: &TypeEnv, prog: &Program) -> (Program, usize, usize) {
     let mut global_cons = HashMap::new();
     for b in &prog.bindings {
         if let CoreExpr::Con(con, _, fields) = &b.expr {
@@ -136,7 +147,11 @@ pub fn simplify(env: &TypeEnv, prog: &Program) -> (Program, usize) {
             }
         }
     }
-    let cx = Cx { env, global_cons };
+    let cx = Cx {
+        env,
+        global_cons,
+        join_points: std::cell::Cell::new(0),
+    };
     let mut total = 0usize;
     let bindings = prog
         .bindings
@@ -165,6 +180,7 @@ pub fn simplify(env: &TypeEnv, prog: &Program) -> (Program, usize) {
             bindings,
         },
         total,
+        cx.join_points.get(),
     )
 }
 
@@ -323,7 +339,25 @@ fn rewrite(e: &CoreExpr, cx: &Cx<'_>, scope: &mut Scope) -> Option<CoreExpr> {
         return Some(reduced);
     }
     match e {
-        CoreExpr::Case(scrut, alts) => rewrite_case(scrut, alts, cx),
+        CoreExpr::Case(scrut, alts) => {
+            // Tuple-η: case e of (# x… #) -> (# x… #)  ==>  e. Both
+            // sides force the scrutinee to the same multi-value.
+            if let [CoreAlt::Tuple {
+                binders,
+                rhs: CoreExpr::Tuple(es),
+            }] = &alts[..]
+            {
+                let eta = es.len() == binders.len()
+                    && es
+                        .iter()
+                        .zip(binders)
+                        .all(|(e, (b, _))| matches!(e, CoreExpr::Var(v) if v == b));
+                if eta {
+                    return Some((**scrut).clone());
+                }
+            }
+            rewrite_case(scrut, alts, cx, scope)
+        }
         CoreExpr::Let(kind, x, ty, rhs, body) => rewrite_let(*kind, *x, ty, rhs, body, cx, scope),
         _ => None,
     }
@@ -554,7 +588,12 @@ fn known_case_alt(
     }
 }
 
-fn rewrite_case(scrut: &CoreExpr, alts: &[CoreAlt], cx: &Cx<'_>) -> Option<CoreExpr> {
+fn rewrite_case(
+    scrut: &CoreExpr,
+    alts: &[CoreAlt],
+    cx: &Cx<'_>,
+    scope: &mut Scope,
+) -> Option<CoreExpr> {
     match scrut {
         // case (let x = r in b) of alts  ==>  let x' = r in case b' of alts
         CoreExpr::Let(kind, x, ty, rhs, body) => {
@@ -615,6 +654,14 @@ fn rewrite_case(scrut: &CoreExpr, alts: &[CoreAlt], cx: &Cx<'_>) -> Option<CoreE
                 },
             };
             Some(CoreExpr::case((**inner_scrut).clone(), vec![pushed]))
+        }
+        // Multi-alternative inner case: push through join points, so no
+        // continuation is duplicated (see `super::join`).
+        CoreExpr::Case(inner_scrut, inner_alts) if inner_alts.len() > 1 => {
+            let (out, joins) =
+                super::join::case_of_case_with_joins(cx.env, scope, inner_scrut, inner_alts, alts)?;
+            cx.join_points.set(cx.join_points.get() + joins);
+            Some(out)
         }
         // case C fields of alts — the constructor is visible.
         CoreExpr::Con(con, _, fields) => select_con(con.name, fields, alts, Some(scrut)),

@@ -36,6 +36,18 @@
 //!   paths demand (observable only as one `error`/`<<loop>>` outcome
 //!   replacing another, never as a wrong value — the imprecise-⊥
 //!   latitude GHC also takes).
+//!
+//! The split also covers the **result** (GHC's constructed-product
+//! result, CPR): when the result type is a single-constructor product
+//! of concretely-represented fields, some tail path constructs it
+//! directly, and *every call site scrutinises the result* (checked
+//! program-wide — a result that escapes unscrutinised keeps its box),
+//! the worker returns `(# field₁, … #)` and the wrapper reboxes. The
+//! wrapper's rebox is erased by case-of-known-constructor at every
+//! scrutinising call site, and a `case … of (# x… #) -> (# x… #)`
+//! η-rule turns the worker's recursive tail calls into direct
+//! tuple-returning jumps — deleting the per-iteration result box that
+//! argument unboxing cannot touch.
 
 use std::collections::{HashMap, HashSet};
 use std::rc::Rc;
@@ -43,13 +55,225 @@ use std::rc::Rc;
 use levity_core::rep::Rep;
 use levity_core::symbol::Symbol;
 use levity_ir::freshen;
-use levity_ir::terms::{CoreAlt, CoreExpr, DataConInfo, LetKind, Program, TopBind};
-use levity_ir::typecheck::{kind_of, Scope, TypeEnv};
+use levity_ir::terms::{CoreAlt, CoreExpr, DataConInfo, LetKind, Program, TopBind, TyArg, TyParam};
+use levity_ir::typecheck::{kind_of, match_con_result, Scope, TypeEnv};
 use levity_ir::types::Type;
 use levity_m::syntax::PrimOp;
 
 use super::inline::{flatten_spine, SpinePart};
 use super::subst::substitute;
+
+/// A constructed-product-result (CPR) candidate: the function's result
+/// is a single-constructor product whose every field has a concrete
+/// scalar representation, so the worker can return the fields as an
+/// unboxed tuple `(# τ₁, …, τₙ #)` and the wrapper rebox — which
+/// case-of-known-constructor then erases at every scrutinising call
+/// site, deleting the one allocation per loop iteration that argument
+/// unboxing alone cannot reach.
+struct CprInfo {
+    /// The product's only constructor.
+    con: Rc<DataConInfo>,
+    /// Its type arguments at the function's (monomorphic) result type.
+    ty_args: Vec<TyArg>,
+    /// The instantiated field types — the unboxed tuple's components.
+    field_tys: Vec<Type>,
+}
+
+impl CprInfo {
+    /// The worker's result type, `(# τ₁, …, τₙ #)`.
+    fn tuple_ty(&self) -> Type {
+        Type::UnboxedTuple(self.field_tys.clone())
+    }
+}
+
+/// Is `ty` a single-constructor product fit for CPR? Structural, like
+/// [`unboxable`], but over the *result*: any arity ≥ 1, fields of any
+/// concrete scalar representation (boxed fields ride along in pointer
+/// registers). Rep-parameterised datatypes (dictionaries) and
+/// levity-polymorphic fields are excluded — §6.2 has no register class
+/// for them.
+fn cpr_product(env: &TypeEnv, ty: &Type) -> Option<CprInfo> {
+    let Type::Con(tc, _) = ty else {
+        return None;
+    };
+    let decl = env.datatype(tc.name)?;
+    if decl.cons.len() != 1 || !decl.params.iter().all(|p| matches!(p, TyParam::Ty(..))) {
+        return None;
+    }
+    let con = Rc::clone(&decl.cons[0]);
+    if con.arity() == 0 {
+        return None;
+    }
+    let ty_args = match_con_result(&con, ty)?;
+    let (field_tys, _) = con.instantiate(&ty_args)?;
+    for ft in &field_tys {
+        let kind = kind_of(env, &mut Scope::new(), ft).ok()?;
+        match kind.concrete_rep() {
+            None | Some(Rep::Tuple(_) | Rep::Sum(_)) => return None,
+            Some(_) => {}
+        }
+    }
+    Some(CprInfo {
+        con,
+        ty_args,
+        field_tys,
+    })
+}
+
+/// Flattens `e` into a term-argument spine, refusing any type or rep
+/// application (CPR candidates are monomorphic).
+fn term_spine(e: &CoreExpr) -> Option<(&CoreExpr, Vec<&CoreExpr>)> {
+    let mut args = Vec::new();
+    let mut cur = e;
+    while let CoreExpr::App(f, a) = cur {
+        args.push(&**a);
+        cur = f;
+    }
+    if matches!(cur, CoreExpr::TyApp(..) | CoreExpr::RepApp(..)) {
+        return None;
+    }
+    args.reverse();
+    Some((cur, args))
+}
+
+/// Does every use of `f` in `e` keep its result from escaping — i.e.,
+/// is every occurrence the head of a saturated call that is either the
+/// scrutinee of a `case` or (inside `f`'s own body, `tail = true`) a
+/// tail call that the CPR transform will retype? An escaping result
+/// would make the wrapper's rebox the common path instead of the erased
+/// one, so such functions keep their box.
+fn cpr_uses_ok(e: &CoreExpr, f: Symbol, arity: usize, tail: bool) -> bool {
+    match e {
+        CoreExpr::Global(g) => *g != f,
+        CoreExpr::Var(_) | CoreExpr::Lit(_) | CoreExpr::Error(..) => true,
+        CoreExpr::App(..) => match saturated_call_of(e, f, arity) {
+            // A tail call (inside f itself) is fine: the transform
+            // rewrites it to return the tuple.
+            Some(args) => tail && args.iter().all(|a| cpr_uses_ok(a, f, arity, false)),
+            None => {
+                let Some((head, args)) = term_spine(e) else {
+                    // A type/rep application spine cannot involve the
+                    // monomorphic f as head; check subterms anyway.
+                    return cpr_uses_ok_children(e, f, arity);
+                };
+                cpr_uses_ok(head, f, arity, false)
+                    && args.iter().all(|a| cpr_uses_ok(a, f, arity, false))
+            }
+        },
+        CoreExpr::TyApp(g, _) | CoreExpr::RepApp(g, _) => cpr_uses_ok(g, f, arity, false),
+        CoreExpr::Lam(_, _, b) => cpr_uses_ok(b, f, arity, false),
+        CoreExpr::TyLam(_, _, b) | CoreExpr::RepLam(_, b) => cpr_uses_ok(b, f, arity, tail),
+        CoreExpr::Let(_, _, _, rhs, body) => {
+            cpr_uses_ok(rhs, f, arity, false) && cpr_uses_ok(body, f, arity, tail)
+        }
+        CoreExpr::Case(scrut, alts) => {
+            let scrut_ok = match saturated_call_of(scrut, f, arity) {
+                // The scrutinised call: the shape CPR exists for.
+                Some(args) => args.iter().all(|a| cpr_uses_ok(a, f, arity, false)),
+                None => cpr_uses_ok(scrut, f, arity, false),
+            };
+            scrut_ok
+                && alts
+                    .iter()
+                    .all(|alt| cpr_uses_ok(alt.rhs(), f, arity, tail))
+        }
+        CoreExpr::Con(_, _, fields) => fields.iter().all(|a| cpr_uses_ok(a, f, arity, false)),
+        CoreExpr::Prim(_, args) | CoreExpr::Tuple(args) => {
+            args.iter().all(|a| cpr_uses_ok(a, f, arity, false))
+        }
+    }
+}
+
+/// The saturated-call view of `e`: its term arguments when `e` is
+/// `f a₁ … aₙ` exactly.
+fn saturated_call_of(e: &CoreExpr, f: Symbol, arity: usize) -> Option<Vec<&CoreExpr>> {
+    let (head, args) = term_spine(e)?;
+    match head {
+        CoreExpr::Global(g) if *g == f && args.len() == arity => Some(args),
+        _ => None,
+    }
+}
+
+fn cpr_uses_ok_children(e: &CoreExpr, f: Symbol, arity: usize) -> bool {
+    match e {
+        CoreExpr::App(g, a) => cpr_uses_ok(g, f, arity, false) && cpr_uses_ok(a, f, arity, false),
+        CoreExpr::TyApp(g, _) | CoreExpr::RepApp(g, _) => cpr_uses_ok(g, f, arity, false),
+        _ => cpr_uses_ok(e, f, arity, false),
+    }
+}
+
+/// Does some tail path of `body` construct the product directly? The
+/// witness requirement keeps CPR from splitting functions that merely
+/// forward another function's result.
+fn has_con_tail_witness(body: &CoreExpr, con: Symbol) -> bool {
+    match body {
+        CoreExpr::Con(c, _, _) => c.name == con,
+        CoreExpr::Case(_, alts) => alts.iter().any(|a| has_con_tail_witness(a.rhs(), con)),
+        CoreExpr::Let(_, _, _, _, b) => has_con_tail_witness(b, con),
+        _ => false,
+    }
+}
+
+/// Rewrites every tail position of a CPR worker's body to yield the
+/// unboxed tuple: direct constructions become `(# fields #)`, `error`
+/// is retyped, and any other tail expression (a self-call through the
+/// wrapper, a forwarded call) is unboxed with a `case` — which the
+/// simplifier erases once the wrapper inlines.
+fn cpr_tails(e: &CoreExpr, cpr: &CprInfo) -> CoreExpr {
+    match e {
+        CoreExpr::Con(c, _, fields) if c.name == cpr.con.name => CoreExpr::Tuple(fields.clone()),
+        CoreExpr::Case(scrut, alts) => CoreExpr::Case(
+            scrut.clone(),
+            alts.iter()
+                .map(|alt| match alt {
+                    CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
+                        con: Rc::clone(con),
+                        binders: binders.clone(),
+                        rhs: cpr_tails(rhs, cpr),
+                    },
+                    CoreAlt::Lit { lit, rhs } => CoreAlt::Lit {
+                        lit: *lit,
+                        rhs: cpr_tails(rhs, cpr),
+                    },
+                    CoreAlt::Tuple { binders, rhs } => CoreAlt::Tuple {
+                        binders: binders.clone(),
+                        rhs: cpr_tails(rhs, cpr),
+                    },
+                    CoreAlt::Default { binder, rhs } => CoreAlt::Default {
+                        binder: binder.clone(),
+                        rhs: cpr_tails(rhs, cpr),
+                    },
+                })
+                .collect(),
+        ),
+        CoreExpr::Let(kind, x, t, rhs, body) => CoreExpr::Let(
+            *kind,
+            *x,
+            t.clone(),
+            rhs.clone(),
+            Box::new(cpr_tails(body, cpr)),
+        ),
+        CoreExpr::Error(_, msg) => CoreExpr::Error(cpr.tuple_ty(), msg.clone()),
+        other => {
+            // Unbox whatever the tail evaluates to. The scrutinee's
+            // type is the product, whose only constructor this is, so
+            // the match is total.
+            let binders: Vec<(Symbol, Type)> = cpr
+                .field_tys
+                .iter()
+                .map(|t| (freshen(Symbol::intern("cpr")), t.clone()))
+                .collect();
+            CoreExpr::case(
+                other.clone(),
+                vec![CoreAlt::Con {
+                    con: Rc::clone(&cpr.con),
+                    binders: binders.clone(),
+                    rhs: CoreExpr::Tuple(binders.iter().map(|(b, _)| CoreExpr::Var(*b)).collect()),
+                }],
+            )
+        }
+    }
+}
 
 /// A worker/wrapper split candidate argument.
 struct Unboxing {
@@ -315,20 +539,45 @@ fn demands(e: &CoreExpr, x: Symbol, cx: &DemandCx<'_>, evaluated: &mut Vec<Symbo
     }
 }
 
+/// Does `f`'s result stay scrutinised program-wide? `f`'s own body is
+/// analysed with its leading λs peeled, so tail self-calls (which the
+/// CPR transform retypes) qualify.
+fn result_never_escapes(prog: &Program, f: Symbol, arity: usize) -> bool {
+    prog.bindings.iter().all(|b| {
+        if b.name == f {
+            let mut body = &b.expr;
+            let mut peeled = 0usize;
+            while peeled < arity {
+                let CoreExpr::Lam(_, _, inner) = body else {
+                    break;
+                };
+                body = inner;
+                peeled += 1;
+            }
+            cpr_uses_ok(body, f, arity, true)
+        } else {
+            cpr_uses_ok(&b.expr, f, arity, false)
+        }
+    })
+}
+
 /// Runs the worker/wrapper split over the program. Returns the new
 /// program, the set of wrapper names (which the caller must force-inline
-/// so workers tail-call themselves directly), and how many workers were
-/// created.
-pub fn worker_wrapper(env: &TypeEnv, prog: &Program) -> (Program, HashSet<Symbol>, usize) {
+/// so workers tail-call themselves directly), how many workers were
+/// created, and how many of them are CPR workers (unboxed-tuple
+/// results).
+pub fn worker_wrapper(env: &TypeEnv, prog: &Program) -> (Program, HashSet<Symbol>, usize, usize) {
     let existing: HashSet<Symbol> = prog.bindings.iter().map(|b| b.name).collect();
     let mut wrappers = HashSet::new();
     let mut made = 0usize;
+    let mut cpr_made = 0usize;
     let mut bindings: Vec<TopBind> = Vec::with_capacity(prog.bindings.len());
     for b in &prog.bindings {
-        match split_binding(env, b, &existing) {
-            Some((wrapper, worker)) => {
+        match split_binding(env, b, &existing, prog) {
+            Some((wrapper, worker, cpr_applied)) => {
                 wrappers.insert(wrapper.name);
                 made += 1;
+                cpr_made += usize::from(cpr_applied);
                 bindings.push(wrapper);
                 bindings.push(worker);
             }
@@ -342,6 +591,7 @@ pub fn worker_wrapper(env: &TypeEnv, prog: &Program) -> (Program, HashSet<Symbol
         },
         wrappers,
         made,
+        cpr_made,
     )
 }
 
@@ -349,7 +599,8 @@ fn split_binding(
     env: &TypeEnv,
     b: &TopBind,
     existing: &HashSet<Symbol>,
-) -> Option<(TopBind, TopBind)> {
+    prog: &Program,
+) -> Option<(TopBind, TopBind, bool)> {
     if b.name.as_str().starts_with("$w") {
         return None;
     }
@@ -426,7 +677,17 @@ fn split_binding(
             order.push(i);
         }
     }
-    if order.is_empty() {
+    // Result demand: CPR applies when the result is a single-con
+    // product, some tail constructs it directly, and no call site lets
+    // it escape unscrutinised.
+    let result_ty = {
+        let (_, r) = b.ty.split_funs();
+        r.clone()
+    };
+    let cpr = cpr_product(env, &result_ty)
+        .filter(|c| has_con_tail_witness(body, c.con.name))
+        .filter(|_| result_never_escapes(prog, b.name, arg_names.len()));
+    if order.is_empty() && cpr.is_none() {
         return None;
     }
 
@@ -453,14 +714,19 @@ fn split_binding(
             worker_args.push((*x, t.clone()));
         }
     }
-    let worker_body = CoreExpr::lams(worker_args.clone(), substitute(body, &rebox));
-    let worker_ty = Type::funs(worker_args.iter().map(|(_, t)| t.clone()), {
-        let (_, result) = b.ty.split_funs();
-        result.clone()
-    });
+    let mut unboxed_body = substitute(body, &rebox);
+    if let Some(c) = &cpr {
+        unboxed_body = cpr_tails(&unboxed_body, c);
+    }
+    let worker_body = CoreExpr::lams(worker_args.clone(), unboxed_body);
+    let worker_result = match &cpr {
+        Some(c) => c.tuple_ty(),
+        None => result_ty.clone(),
+    };
+    let worker_ty = Type::funs(worker_args.iter().map(|(_, t)| t.clone()), worker_result);
 
     // Wrapper: unbox the selected arguments in demand order, tail-call
-    // the worker.
+    // the worker, rebox a CPR result.
     let wrapper_args: Vec<(Symbol, Type)> =
         lams.iter().map(|(x, t)| (freshen(*x), t.clone())).collect();
     let mut payload: HashMap<usize, Symbol> = HashMap::new();
@@ -477,6 +743,29 @@ fn split_binding(
                 None => CoreExpr::Var(*w),
             }),
     );
+    let call = match &cpr {
+        Some(c) => {
+            // case $wf … of (# r₁, … #) -> C r₁ … — erased by
+            // case-of-known-con wherever the call site scrutinises.
+            let binders: Vec<(Symbol, Type)> = c
+                .field_tys
+                .iter()
+                .map(|t| (freshen(Symbol::intern("r")), t.clone()))
+                .collect();
+            CoreExpr::case(
+                call,
+                vec![CoreAlt::Tuple {
+                    binders: binders.clone(),
+                    rhs: CoreExpr::Con(
+                        Rc::clone(&c.con),
+                        c.ty_args.clone(),
+                        binders.iter().map(|(x, _)| CoreExpr::Var(*x)).collect(),
+                    ),
+                }],
+            )
+        }
+        None => call,
+    };
     // Innermost case last: build from the end of the demand order.
     let mut wrapper_body = call;
     for &i in order.iter().rev() {
@@ -500,5 +789,5 @@ fn split_binding(
         ty: worker_ty,
         expr: worker_body,
     };
-    Some((wrapper, worker))
+    Some((wrapper, worker, cpr.is_some()))
 }

@@ -40,6 +40,20 @@ use levity_core::symbol::Symbol;
 use crate::machine::Globals;
 use crate::syntax::{Addr, Alt, Atom, Binder, DataCon, Literal, MExpr, PrimOp};
 
+/// A compiled join-point definition: the body is compiled against the
+/// definition-site scope extended by the parameters, and the
+/// environment engine snapshots the definition-site [`crate::env::Env`]
+/// when the `join` is evaluated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CJoin {
+    /// The join point's (program-unique) name.
+    pub name: Symbol,
+    /// Parameters with their register classes.
+    pub params: Rc<[Binder]>,
+    /// The compiled continuation body.
+    pub body: Rc<Code>,
+}
+
 /// Index of a compiled global in a [`CodeProgram`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GlobalId(pub u32);
@@ -96,6 +110,12 @@ pub enum Code {
     MultiVal(Rc<[CAtom]>),
     /// `case t of (# y₁, …, yₙ #) -> t₂`.
     CaseMulti(Rc<Code>, Rc<[Binder]>, Rc<Code>),
+    /// `join j params = t₁ in t₂`: records the continuation (no
+    /// allocation) and continues with `t₂`.
+    LetJoin(Rc<CJoin>, Rc<Code>),
+    /// `jump j a₁ … aₙ`: transfers control to the join body under its
+    /// definition-site environment extended by the arguments.
+    Jump(Symbol, Rc<[CAtom]>),
     /// A resolved reference to a compiled global (name kept for
     /// readback).
     Global(GlobalId, Symbol),
@@ -121,6 +141,8 @@ impl fmt::Display for Code {
             Code::Prim(op, args) => write!(f, "({op} {args:?})"),
             Code::MultiVal(args) => write!(f, "(# {args:?} #)"),
             Code::CaseMulti(s, _, t) => write!(f, "case {s} of (# … #) -> {t}"),
+            Code::LetJoin(def, body) => write!(f, "join {} = {} in {body}", def.name, def.body),
+            Code::Jump(j, args) => write!(f, "jump {j} {args:?}"),
             Code::Global(_, g) => write!(f, "@{g}"),
             Code::UnknownGlobal(g) => write!(f, "@{g}"),
             Code::Error(msg) => write!(f, "error \"{msg}\""),
@@ -281,6 +303,25 @@ fn compile_in(program: &CodeProgram, scope: &mut Vec<Symbol>, t: &Rc<MExpr>) -> 
             Some(id) => Code::Global(id, *g),
             None => Code::UnknownGlobal(*g),
         },
+        MExpr::LetJoin(def, body) => {
+            // The join body sees the definition-site scope plus its own
+            // parameters; the join *name* is not a term variable, so it
+            // never enters the scope stack.
+            let depth = scope.len();
+            scope.extend(def.params.iter().map(|b| b.name));
+            let jbody = compile_in(program, scope, &def.body);
+            scope.truncate(depth);
+            let body = compile_in(program, scope, body);
+            Code::LetJoin(
+                Rc::new(CJoin {
+                    name: def.name,
+                    params: def.params.iter().copied().collect(),
+                    body: jbody,
+                }),
+                body,
+            )
+        }
+        MExpr::Jump(j, args) => Code::Jump(*j, compile_atoms(scope, args)),
         MExpr::Error(msg) => Code::Error(msg.clone()),
     })
 }

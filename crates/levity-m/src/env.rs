@@ -32,10 +32,10 @@ use std::rc::Rc;
 
 use levity_core::symbol::Symbol;
 
-use crate::compile::{CAlt, CAtom, Code, CodeProgram};
+use crate::compile::{CAlt, CAtom, CJoin, Code, CodeProgram};
 use crate::machine::{MachineError, MachineStats, RunOutcome, Value};
 use crate::prim::apply_prim;
-use crate::syntax::{Addr, Alt, Atom, Binder, Literal, MExpr};
+use crate::syntax::{Addr, Alt, Atom, Binder, JoinDef, Literal, MExpr};
 
 /// A persistent runtime environment: a shared cons-list of resolved
 /// atoms. Extension and capture are O(1); looking up de-Bruijn index
@@ -148,19 +148,69 @@ enum ECell {
     Blackhole,
 }
 
+/// Join points in scope: a persistent cons-list of (compiled
+/// definition, definition-site environment). Mirrors the reference
+/// machine's [`crate::machine::JoinScope`] — in particular it is
+/// **captured by every frame that resumes evaluation**, so a jump taken
+/// after a recursive call returns resolves against its own activation's
+/// definitions (a flat machine-global map would be clobbered by the
+/// callee re-executing the same static `join`).
+#[derive(Clone, Debug, Default)]
+struct EJoinScope(Option<Rc<EJoinNode>>);
+
+#[derive(Debug)]
+struct EJoinNode {
+    def: Rc<CJoin>,
+    env: Env,
+    next: EJoinScope,
+}
+
+impl EJoinScope {
+    fn nil() -> EJoinScope {
+        EJoinScope(None)
+    }
+
+    #[must_use]
+    fn push(&self, def: Rc<CJoin>, env: Env) -> EJoinScope {
+        EJoinScope(Some(Rc::new(EJoinNode {
+            def,
+            env,
+            next: self.clone(),
+        })))
+    }
+
+    /// Resolves a jump target; innermost definition wins. Returns the
+    /// definition, its definition-site environment, and the scope at
+    /// its definition site (for the body's own jumps).
+    fn get(&self, name: Symbol) -> Option<(Rc<CJoin>, Env, EJoinScope)> {
+        let mut cur = self;
+        while let Some(node) = cur.0.as_deref() {
+            if node.def.name == name {
+                return Some((
+                    Rc::clone(&node.def),
+                    node.env.clone(),
+                    EJoinScope(cur.0.clone()),
+                ));
+            }
+            cur = &node.next;
+        }
+        None
+    }
+}
+
 /// A stack frame, mirroring [`crate::machine::Frame`] with captured
 /// environments where the reference machine stores substituted terms.
 #[derive(Clone, Debug)]
 enum EFrame {
-    App(Atom),
+    App(Atom, EJoinScope),
     Force(Addr),
-    LetStrict(Binder, Rc<Code>, Env),
-    Case(Rc<[CAlt]>, Option<(Binder, Rc<Code>)>, Env),
-    CaseMulti(Rc<[Binder]>, Rc<Code>, Env),
+    LetStrict(Binder, Rc<Code>, Env, EJoinScope),
+    Case(Rc<[CAlt]>, Option<(Binder, Rc<Code>)>, Env, EJoinScope),
+    CaseMulti(Rc<[Binder]>, Rc<Code>, Env, EJoinScope),
 }
 
 enum EControl {
-    Eval(Rc<Code>, Env),
+    Eval(Rc<Code>, Env, EJoinScope),
     Ret(EValue),
 }
 
@@ -292,10 +342,10 @@ impl EnvMachine {
     /// [`MachineError`] on broken invariants or fuel exhaustion;
     /// `error` is reported as `Ok(RunOutcome::Error(..))` (rule ERR).
     pub fn run(&mut self, entry: Rc<Code>) -> Result<RunOutcome, MachineError> {
-        let mut control = EControl::Eval(entry, Env::nil());
+        let mut control = EControl::Eval(entry, Env::nil(), EJoinScope::nil());
         loop {
             // ERR: ⟨error; S; H⟩ → ⊥, whatever the stack holds.
-            if let EControl::Eval(ref code, _) = control {
+            if let EControl::Eval(ref code, _, _) = control {
                 if let Code::Error(msg) = &**code {
                     return Ok(RunOutcome::Error(msg.clone()));
                 }
@@ -305,7 +355,7 @@ impl EnvMachine {
             }
             self.stats.steps += 1;
             control = match control {
-                EControl::Eval(code, env) => self.step_eval(code, env)?,
+                EControl::Eval(code, env, joins) => self.step_eval(code, env, joins)?,
                 EControl::Ret(w) => match self.stack.pop() {
                     None => return Ok(RunOutcome::Value(self.readback_value(w))),
                     Some(frame) => self.step_ret(w, frame)?,
@@ -325,14 +375,16 @@ impl EnvMachine {
                         self.stats.var_lookups += 1;
                         Ok(EControl::Ret(w.clone()))
                     }
-                    // EVAL (with blackholing)
+                    // EVAL (with blackholing). Thunk bodies never jump
+                    // to enclosing joins (lazy right-hand sides fail
+                    // the escape analysis): fresh join scope.
                     ECell::Thunk(code, env) => {
                         self.stats.thunk_forces += 1;
                         let code = Rc::clone(code);
                         let env = env.clone();
                         self.heap[ix] = ECell::Blackhole;
                         self.push(EFrame::Force(a));
-                        Ok(EControl::Eval(code, env))
+                        Ok(EControl::Eval(code, env, EJoinScope::nil()))
                     }
                     ECell::Blackhole => Err(MachineError::Loop),
                 }
@@ -341,7 +393,12 @@ impl EnvMachine {
         }
     }
 
-    fn step_eval(&mut self, code: Rc<Code>, env: Env) -> Result<EControl, MachineError> {
+    fn step_eval(
+        &mut self,
+        code: Rc<Code>,
+        env: Env,
+        joins: EJoinScope,
+    ) -> Result<EControl, MachineError> {
         match &*code {
             Code::Atom(a) => {
                 let atom = self.resolve(*a, &env)?;
@@ -352,8 +409,8 @@ impl EnvMachine {
             // them before pushing the frame.
             Code::App(fun, arg) => {
                 let arg = self.resolve(*arg, &env)?;
-                self.push(EFrame::App(arg));
-                Ok(EControl::Eval(Rc::clone(fun), env))
+                self.push(EFrame::App(arg, joins.clone()));
+                Ok(EControl::Eval(Rc::clone(fun), env, joins))
             }
             Code::Lam(binder, body) => {
                 Ok(EControl::Ret(EValue::Clos(*binder, Rc::clone(body), env)))
@@ -368,17 +425,27 @@ impl EnvMachine {
                 self.heap[addr.0 as usize] = ECell::Thunk(Rc::clone(rhs), env2.clone());
                 self.stats.thunk_allocs += 1;
                 self.stats.allocated_words += 2;
-                Ok(EControl::Eval(Rc::clone(body), env2))
+                Ok(EControl::Eval(Rc::clone(body), env2, joins))
             }
             // SLET
             Code::LetStrict(binder, rhs, body) => {
-                self.push(EFrame::LetStrict(*binder, Rc::clone(body), env.clone()));
-                Ok(EControl::Eval(Rc::clone(rhs), env))
+                self.push(EFrame::LetStrict(
+                    *binder,
+                    Rc::clone(body),
+                    env.clone(),
+                    joins.clone(),
+                ));
+                Ok(EControl::Eval(Rc::clone(rhs), env, joins))
             }
             // CASE: pushing the frame shares the compiled alternatives.
             Code::Case(scrut, alts, def) => {
-                self.push(EFrame::Case(Rc::clone(alts), def.clone(), env.clone()));
-                Ok(EControl::Eval(Rc::clone(scrut), env))
+                self.push(EFrame::Case(
+                    Rc::clone(alts),
+                    def.clone(),
+                    env.clone(),
+                    joins.clone(),
+                ));
+                Ok(EControl::Eval(Rc::clone(scrut), env, joins))
             }
             Code::Con(c, args) => {
                 let args: Rc<[Atom]> = self.resolve_all(args, &env)?.into();
@@ -415,14 +482,44 @@ impl EnvMachine {
                     Rc::clone(binders),
                     Rc::clone(body),
                     env.clone(),
+                    joins.clone(),
                 ));
-                Ok(EControl::Eval(Rc::clone(scrut), env))
+                Ok(EControl::Eval(Rc::clone(scrut), env, joins))
+            }
+            // JOIN: extend the scope with (definition, environment
+            // snapshot); no allocation in the machine's cost model, one
+            // transition — in lock-step with the reference machine.
+            Code::LetJoin(def, body) => {
+                let joins = joins.push(Rc::clone(def), env.clone());
+                Ok(EControl::Eval(Rc::clone(body), env, joins))
+            }
+            // JUMP: resolve the arguments in the *jump-site* env, then
+            // continue in the definition-site env extended by them and
+            // the definition-site join scope. No frames — a goto,
+            // exactly like the reference machine.
+            Code::Jump(j, args) => {
+                let (def, defenv, defscope) = joins.get(*j).ok_or(MachineError::UnknownJoin(*j))?;
+                if def.params.len() != args.len() {
+                    return Err(MachineError::InvalidState(format!(
+                        "join point `{j}` arity mismatch"
+                    )));
+                }
+                let args = self.resolve_all(args, &env)?;
+                let mut env2 = defenv;
+                for (b, a) in def.params.iter().zip(args.iter()) {
+                    self.check_class(*b, *a)?;
+                    env2 = env2.push(*a);
+                }
+                self.stats.jumps += 1;
+                Ok(EControl::Eval(Rc::clone(&def.body), env2, defscope))
             }
             // Globals were resolved to ids at compile time: entering
-            // one is an indexed fetch of an already-compiled body.
+            // one is an indexed fetch of an already-compiled body. A
+            // global body is closed — empty env, empty join scope.
             Code::Global(id, _) => Ok(EControl::Eval(
                 Rc::clone(self.program.body(*id)),
                 Env::nil(),
+                EJoinScope::nil(),
             )),
             Code::UnknownGlobal(g) => Err(MachineError::UnknownGlobal(*g)),
             Code::Error(_) => unreachable!("handled in run()"),
@@ -433,10 +530,10 @@ impl EnvMachine {
         match frame {
             // PPOP / IPOP, width-checked: β-reduction is an O(1)
             // environment extension instead of a body rebuild.
-            EFrame::App(arg) => match w {
+            EFrame::App(arg, joins) => match w {
                 EValue::Clos(binder, body, env) => {
                     self.check_class(binder, arg)?;
-                    Ok(EControl::Eval(body, env.push(arg)))
+                    Ok(EControl::Eval(body, env.push(arg), joins))
                 }
                 other => Err(MachineError::AppliedNonFunction(other.to_string())),
             },
@@ -447,7 +544,7 @@ impl EnvMachine {
                 Ok(EControl::Ret(w))
             }
             // ILET (extended to boxed strict lets).
-            EFrame::LetStrict(binder, body, env) => {
+            EFrame::LetStrict(binder, body, env, joins) => {
                 let atom = match &w {
                     EValue::Lit(l) => Atom::Lit(*l),
                     EValue::Clos(..) | EValue::Con(..) => self.value_to_atom(w.clone())?,
@@ -458,10 +555,10 @@ impl EnvMachine {
                     }
                 };
                 self.check_class(binder, atom)?;
-                Ok(EControl::Eval(body, env.push(atom)))
+                Ok(EControl::Eval(body, env.push(atom), joins))
             }
             // IMAT (extended to arbitrary constructors and literal alts).
-            EFrame::Case(alts, def, env) => match &w {
+            EFrame::Case(alts, def, env, joins) => match &w {
                 EValue::Con(c, fields) => {
                     for alt in alts.iter() {
                         if let CAlt::Con(c2, binders, rhs) = alt {
@@ -476,28 +573,28 @@ impl EnvMachine {
                                     self.check_class(*b, *a)?;
                                     env2 = env2.push(*a);
                                 }
-                                return Ok(EControl::Eval(Rc::clone(rhs), env2));
+                                return Ok(EControl::Eval(Rc::clone(rhs), env2, joins));
                             }
                         }
                     }
-                    self.take_default(w, def, env)
+                    self.take_default(w, def, env, joins)
                 }
                 EValue::Lit(l) => {
                     for alt in alts.iter() {
                         if let CAlt::Lit(l2, rhs) = alt {
                             if l2 == l {
-                                return Ok(EControl::Eval(Rc::clone(rhs), env));
+                                return Ok(EControl::Eval(Rc::clone(rhs), env, joins));
                             }
                         }
                     }
-                    self.take_default(w, def, env)
+                    self.take_default(w, def, env, joins)
                 }
-                EValue::Clos(..) => self.take_default(w, def, env),
+                EValue::Clos(..) => self.take_default(w, def, env, joins),
                 EValue::Multi(_) => Err(MachineError::InvalidState(
                     "case on a multi-value; use case-of-multi".to_owned(),
                 )),
             },
-            EFrame::CaseMulti(binders, body, env) => match w {
+            EFrame::CaseMulti(binders, body, env, joins) => match w {
                 EValue::Multi(fields) => {
                     if binders.len() != fields.len() {
                         return Err(MachineError::InvalidState(
@@ -509,7 +606,7 @@ impl EnvMachine {
                         self.check_class(*b, *a)?;
                         env2 = env2.push(*a);
                     }
-                    Ok(EControl::Eval(body, env2))
+                    Ok(EControl::Eval(body, env2, joins))
                 }
                 other => Err(MachineError::InvalidState(format!(
                     "case-of-multi scrutinee evaluated to {other}"
@@ -523,12 +620,13 @@ impl EnvMachine {
         w: EValue,
         def: Option<(Binder, Rc<Code>)>,
         env: Env,
+        joins: EJoinScope,
     ) -> Result<EControl, MachineError> {
         match def {
             Some((binder, rhs)) => {
                 let atom = self.value_to_atom(w)?;
                 self.check_class(binder, atom)?;
-                Ok(EControl::Eval(rhs, env.push(atom)))
+                Ok(EControl::Eval(rhs, env.push(atom), joins))
             }
             None => Err(MachineError::NoMatchingAlt(w.to_string())),
         }
@@ -640,6 +738,22 @@ fn readback(code: &Rc<Code>, names: &mut Vec<Symbol>, env: &Env) -> Rc<MExpr> {
             names.truncate(depth);
             MExpr::CaseMulti(scrut, binders.to_vec(), body)
         }
+        Code::LetJoin(def, body) => {
+            let depth = names.len();
+            names.extend(def.params.iter().map(|b| b.name));
+            let jbody = readback(&def.body, names, env);
+            names.truncate(depth);
+            let body = readback(body, names, env);
+            MExpr::LetJoin(
+                Rc::new(JoinDef {
+                    name: def.name,
+                    params: def.params.to_vec(),
+                    body: jbody,
+                }),
+                body,
+            )
+        }
+        Code::Jump(j, args) => MExpr::Jump(*j, args.iter().map(|a| atom_of(names, *a)).collect()),
         Code::Global(_, g) | Code::UnknownGlobal(g) => MExpr::Global(*g),
         Code::Error(msg) => MExpr::Error(msg.clone()),
     })
@@ -858,6 +972,45 @@ mod tests {
             None,
         );
         assert_eq!(run(t), RunOutcome::Value(Value::Lit(Literal::Int(1))));
+    }
+
+    #[test]
+    fn join_points_capture_their_definition_environment() {
+        // λa. join j q = +# q a in case a of { 0# -> jump j 7#; _ -> a }
+        // — the join body's `a` must resolve against the env captured
+        // when the join was *defined*.
+        let def = Rc::new(JoinDef {
+            name: Symbol::intern("j%t%0"),
+            params: vec![Binder::int("q")],
+            body: MExpr::prim(
+                PrimOp::AddI,
+                vec![Atom::Var("q".into()), Atom::Var("a".into())],
+            ),
+        });
+        let t = MExpr::app(
+            MExpr::lam(
+                Binder::int("a"),
+                MExpr::let_join(
+                    def,
+                    MExpr::case(
+                        MExpr::var("a"),
+                        vec![Alt::Lit(
+                            Literal::Int(0),
+                            MExpr::jump("j%t%0", vec![int_atom(7)]),
+                        )],
+                        Some((Binder::int("_d"), MExpr::var("a"))),
+                    ),
+                ),
+            ),
+            int_atom(0),
+        );
+        let program = Rc::new(CodeProgram::compile(&Globals::new()));
+        let entry = program.compile_entry(&t);
+        let mut m = EnvMachine::new(program);
+        let out = m.run(entry).unwrap();
+        assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(7))));
+        assert_eq!(m.stats().jumps, 1);
+        assert_eq!(m.stats().allocated_words, 0);
     }
 
     #[test]

@@ -40,7 +40,7 @@ use levity_core::symbol::Symbol;
 
 use crate::prim::{apply_prim, PrimError};
 use crate::subst::{subst_atom, subst_atoms};
-use crate::syntax::{int_hash_symbol, Addr, Alt, Atom, Binder, DataCon, Literal, MExpr};
+use crate::syntax::{int_hash_symbol, Addr, Alt, Atom, Binder, DataCon, JoinDef, Literal, MExpr};
 
 /// A machine value `w` (Figure 5, extended). Constructor and multi-value
 /// fields are resolved atoms (addresses or literals), never variables.
@@ -128,20 +128,73 @@ enum HeapCell {
     Blackhole,
 }
 
-/// A stack frame `S` (Figure 5).
+/// Join points in scope: a persistent cons-list, extended by `join`
+/// (O(1)) and *captured by every frame that resumes evaluation*, so a
+/// jump taken after a recursive call returns resolves against the join
+/// definitions of **its own activation**, not whatever the callee
+/// happened to define under the same static name. (A machine-global
+/// map would be dynamically scoped: re-entering a `join` inside a case
+/// scrutinee's recursive call would clobber the outer activation's
+/// definition — a silent miscompilation on any join body that closes
+/// over an enclosing argument.)
+#[derive(Clone, Debug, Default)]
+pub struct JoinScope(Option<Rc<JoinNode>>);
+
+#[derive(Debug)]
+struct JoinNode {
+    def: Rc<JoinDef>,
+    next: JoinScope,
+}
+
+impl JoinScope {
+    /// No join points in scope.
+    pub fn nil() -> JoinScope {
+        JoinScope(None)
+    }
+
+    /// Extends the scope with one definition.
+    #[must_use]
+    fn push(&self, def: Rc<JoinDef>) -> JoinScope {
+        JoinScope(Some(Rc::new(JoinNode {
+            def,
+            next: self.clone(),
+        })))
+    }
+
+    /// Resolves a jump target; innermost definition wins. Returns the
+    /// definition and the scope *at its definition site* (so the join
+    /// body's own jumps resolve against the enclosing definitions, not
+    /// the jump site's).
+    fn get(&self, name: Symbol) -> Option<(Rc<JoinDef>, JoinScope)> {
+        let mut cur = self;
+        while let Some(node) = cur.0.as_deref() {
+            if node.def.name == name {
+                return Some((Rc::clone(&node.def), JoinScope(cur.0.clone())));
+            }
+            cur = &node.next;
+        }
+        None
+    }
+}
+
+/// A stack frame `S` (Figure 5). Frames that resume *evaluation* of a
+/// stored expression also capture the [`JoinScope`] current when the
+/// frame was pushed: the stored expression is lexically inside that
+/// scope, whatever joins the scrutinee/right-hand side defined in the
+/// meantime.
 #[derive(Clone, Debug)]
 pub enum Frame {
     /// `App(p)` / `App(n)`: a pending argument (resolved atom).
-    App(Atom),
+    App(Atom, JoinScope),
     /// `Force(p)`: write the value back to the heap when done (FCE).
     Force(Addr),
     /// `Let(y, t)`: continue with `t` once the strict rhs is a value.
-    LetStrict(Binder, Rc<MExpr>),
+    LetStrict(Binder, Rc<MExpr>, JoinScope),
     /// `Case(y, t)` generalized to alternative lists; the alternatives
     /// are shared with the `case` expression, so pushing is O(1).
-    Case(Rc<[Alt]>, Option<(Binder, Rc<MExpr>)>),
+    Case(Rc<[Alt]>, Option<(Binder, Rc<MExpr>)>, JoinScope),
     /// Unpack a multi-value.
-    CaseMulti(Vec<Binder>, Rc<MExpr>),
+    CaseMulti(Vec<Binder>, Rc<MExpr>, JoinScope),
 }
 
 /// Instrumentation counters. These are the quantities the benchmarks
@@ -163,6 +216,9 @@ pub struct MachineStats {
     pub var_lookups: u64,
     /// Primitive operations executed.
     pub prim_ops: u64,
+    /// Join-point jumps taken — each is a register-argument transfer
+    /// with no closure, no thunk, and no stack frame.
+    pub jumps: u64,
     /// Estimated words allocated (2/thunk, 1+arity/constructor).
     pub allocated_words: u64,
     /// High-water mark of the stack.
@@ -262,6 +318,10 @@ pub enum MachineError {
     InvalidState(String),
     /// A primop failure (arity/class/division by zero).
     Prim(PrimError),
+    /// A jump to a join point that was never defined on the current
+    /// path — hand-written `M` only; lowering's escape analysis
+    /// guarantees every jump is dominated by its definition.
+    UnknownJoin(Symbol),
     /// A thunk demanded its own value (`<<loop>>`).
     Loop,
 }
@@ -284,6 +344,7 @@ impl fmt::Display for MachineError {
             MachineError::NoMatchingAlt(w) => write!(f, "no matching case alternative for {w}"),
             MachineError::InvalidState(msg) => write!(f, "invalid machine state: {msg}"),
             MachineError::Prim(e) => write!(f, "{e}"),
+            MachineError::UnknownJoin(j) => write!(f, "jump to undefined join point `{j}`"),
             MachineError::Loop => write!(f, "<<loop>>: a thunk demanded its own value"),
         }
     }
@@ -324,7 +385,7 @@ pub(crate) fn check_atom_class(binder: Binder, atom: Atom) -> Result<(), Machine
 }
 
 enum Control {
-    Eval(Rc<MExpr>),
+    Eval(Rc<MExpr>, JoinScope),
     Ret(Value),
 }
 
@@ -456,10 +517,10 @@ impl Machine {
     /// [`MachineError`] on broken invariants or fuel exhaustion; `error`
     /// is reported as `Ok(RunOutcome::Error(..))`, matching rule ERR.
     pub fn run(&mut self, t: Rc<MExpr>) -> Result<RunOutcome, MachineError> {
-        let mut control = Control::Eval(t);
+        let mut control = Control::Eval(t, JoinScope::nil());
         loop {
             // ERR: ⟨error; S; H⟩ → ⊥, whatever the stack holds.
-            if let Control::Eval(ref t) = control {
+            if let Control::Eval(ref t, _) = control {
                 if let MExpr::Error(msg) = &**t {
                     return Ok(RunOutcome::Error(msg.clone()));
                 }
@@ -469,7 +530,7 @@ impl Machine {
             }
             self.stats.steps += 1;
             control = match control {
-                Control::Eval(t) => self.step_eval(t)?,
+                Control::Eval(t, joins) => self.step_eval(t, joins)?,
                 Control::Ret(w) => match self.stack.pop() {
                     None => return Ok(RunOutcome::Value(w)),
                     Some(frame) => self.step_ret(w, frame)?,
@@ -478,7 +539,7 @@ impl Machine {
         }
     }
 
-    fn step_eval(&mut self, t: Rc<MExpr>) -> Result<Control, MachineError> {
+    fn step_eval(&mut self, t: Rc<MExpr>, joins: JoinScope) -> Result<Control, MachineError> {
         match &*t {
             MExpr::Atom(Atom::Lit(l)) => Ok(Control::Ret(Value::Lit(*l))),
             MExpr::Atom(Atom::Addr(a)) => {
@@ -489,13 +550,15 @@ impl Machine {
                         self.stats.var_lookups += 1;
                         Ok(Control::Ret(w.clone()))
                     }
-                    // EVAL (with blackholing)
+                    // EVAL (with blackholing). A thunk body never jumps
+                    // to an enclosing join (lazy right-hand sides fail
+                    // the escape analysis), so it starts a fresh scope.
                     HeapCell::Thunk(t1) => {
                         self.stats.thunk_forces += 1;
                         let t1 = Rc::clone(t1);
                         self.heap[ix] = HeapCell::Blackhole;
                         self.push(Frame::Force(*a));
-                        Ok(Control::Eval(t1))
+                        Ok(Control::Eval(t1, JoinScope::nil()))
                     }
                     HeapCell::Blackhole => Err(MachineError::Loop),
                 }
@@ -504,8 +567,8 @@ impl Machine {
             // PAPP / IAPP
             MExpr::App(fun, arg) => {
                 let arg = self.resolve(*arg)?;
-                self.push(Frame::App(arg));
-                Ok(Control::Eval(Rc::clone(fun)))
+                self.push(Frame::App(arg, joins.clone()));
+                Ok(Control::Eval(Rc::clone(fun), joins))
             }
             MExpr::Lam(binder, body) => Ok(Control::Ret(Value::Lam(*binder, Rc::clone(body)))),
             // LET (cyclic: the rhs may mention the binder, giving
@@ -516,17 +579,17 @@ impl Machine {
                 self.heap[addr.0 as usize] = HeapCell::Thunk(rhs2);
                 self.stats.thunk_allocs += 1;
                 self.stats.allocated_words += 2;
-                Ok(Control::Eval(subst_atom(body, *p, Atom::Addr(addr))))
+                Ok(Control::Eval(subst_atom(body, *p, Atom::Addr(addr)), joins))
             }
             // SLET
             MExpr::LetStrict(binder, rhs, body) => {
-                self.push(Frame::LetStrict(*binder, Rc::clone(body)));
-                Ok(Control::Eval(Rc::clone(rhs)))
+                self.push(Frame::LetStrict(*binder, Rc::clone(body), joins.clone()));
+                Ok(Control::Eval(Rc::clone(rhs), joins))
             }
             // CASE
             MExpr::Case(scrut, alts, def) => {
-                self.push(Frame::Case(alts.clone(), def.clone()));
-                Ok(Control::Eval(Rc::clone(scrut)))
+                self.push(Frame::Case(alts.clone(), def.clone(), joins.clone()));
+                Ok(Control::Eval(Rc::clone(scrut), joins))
             }
             MExpr::Con(c, args) => {
                 let args = self.resolve_all(args)?;
@@ -545,15 +608,53 @@ impl Machine {
             // Multi-values exist only in registers: no allocation.
             MExpr::MultiVal(args) => Ok(Control::Ret(Value::Multi(self.resolve_all(args)?))),
             MExpr::CaseMulti(scrut, binders, body) => {
-                self.push(Frame::CaseMulti(binders.clone(), Rc::clone(body)));
-                Ok(Control::Eval(Rc::clone(scrut)))
+                self.push(Frame::CaseMulti(
+                    binders.clone(),
+                    Rc::clone(body),
+                    joins.clone(),
+                ));
+                Ok(Control::Eval(Rc::clone(scrut), joins))
             }
+            // A global body is closed: it never jumps to a caller's
+            // join points, so its scope starts empty (mirroring the
+            // environment engine's `Env::nil()`).
             MExpr::Global(g) => {
                 let code = self
                     .globals
                     .get(*g)
                     .ok_or(MachineError::UnknownGlobal(*g))?;
-                Ok(Control::Eval(Rc::clone(code)))
+                Ok(Control::Eval(Rc::clone(code), JoinScope::nil()))
+            }
+            // JOIN: recording the continuation is one transition and
+            // zero allocation in the machine's cost model (contrast
+            // LET's thunk).
+            MExpr::LetJoin(def, body) => {
+                let joins = joins.push(Rc::clone(def));
+                Ok(Control::Eval(Rc::clone(body), joins))
+            }
+            // JUMP: bind the arguments (width-checked like PPOP/IPOP)
+            // and transfer control. The stack is untouched — a jump is
+            // a goto, not a call — and the join body continues in the
+            // scope of its *definition* site.
+            MExpr::Jump(j, args) => {
+                let (def, defscope) = joins.get(*j).ok_or(MachineError::UnknownJoin(*j))?;
+                if def.params.len() != args.len() {
+                    return Err(MachineError::InvalidState(format!(
+                        "join point `{j}` arity mismatch"
+                    )));
+                }
+                let args = self.resolve_all(args)?;
+                for (b, a) in def.params.iter().zip(args.iter()) {
+                    self.check_class(*b, *a)?;
+                }
+                let pairs: Vec<_> = def
+                    .params
+                    .iter()
+                    .map(|b| b.name)
+                    .zip(args.iter().copied())
+                    .collect();
+                self.stats.jumps += 1;
+                Ok(Control::Eval(subst_atoms(&def.body, &pairs), defscope))
             }
             MExpr::Error(_) => {
                 unreachable!("handled in run()")
@@ -563,11 +664,13 @@ impl Machine {
 
     fn step_ret(&mut self, w: Value, frame: Frame) -> Result<Control, MachineError> {
         match frame {
-            // PPOP / IPOP, width-checked.
-            Frame::App(arg) => match w {
+            // PPOP / IPOP, width-checked. The λ body resumes in the
+            // scope captured when the argument was pushed (its own
+            // joins, if any, are defined inside it).
+            Frame::App(arg, joins) => match w {
                 Value::Lam(binder, body) => {
                     self.check_class(binder, arg)?;
-                    Ok(Control::Eval(subst_atom(&body, binder.name, arg)))
+                    Ok(Control::Eval(subst_atom(&body, binder.name, arg), joins))
                 }
                 other => Err(MachineError::AppliedNonFunction(other.to_string())),
             },
@@ -578,7 +681,7 @@ impl Machine {
                 Ok(Control::Ret(w))
             }
             // ILET (extended to boxed strict lets).
-            Frame::LetStrict(binder, body) => {
+            Frame::LetStrict(binder, body, joins) => {
                 let atom = match &w {
                     Value::Lit(l) => Atom::Lit(*l),
                     Value::Lam(..) | Value::Con(..) => self.value_to_atom(w.clone())?,
@@ -589,10 +692,10 @@ impl Machine {
                     }
                 };
                 self.check_class(binder, atom)?;
-                Ok(Control::Eval(subst_atom(&body, binder.name, atom)))
+                Ok(Control::Eval(subst_atom(&body, binder.name, atom), joins))
             }
             // IMAT (extended to arbitrary constructors and literal alts).
-            Frame::Case(alts, def) => match &w {
+            Frame::Case(alts, def, joins) => match &w {
                 Value::Con(c, fields) => {
                     for alt in alts.iter() {
                         if let Alt::Con(c2, binders, rhs) = alt {
@@ -610,28 +713,28 @@ impl Machine {
                                     .map(|b| b.name)
                                     .zip(fields.iter().copied())
                                     .collect();
-                                return Ok(Control::Eval(subst_atoms(rhs, &pairs)));
+                                return Ok(Control::Eval(subst_atoms(rhs, &pairs), joins));
                             }
                         }
                     }
-                    self.take_default(w, def)
+                    self.take_default(w, def, joins)
                 }
                 Value::Lit(l) => {
                     for alt in alts.iter() {
                         if let Alt::Lit(l2, rhs) = alt {
                             if l2 == l {
-                                return Ok(Control::Eval(Rc::clone(rhs)));
+                                return Ok(Control::Eval(Rc::clone(rhs), joins));
                             }
                         }
                     }
-                    self.take_default(w, def)
+                    self.take_default(w, def, joins)
                 }
-                Value::Lam(..) => self.take_default(w, def),
+                Value::Lam(..) => self.take_default(w, def, joins),
                 Value::Multi(_) => Err(MachineError::InvalidState(
                     "case on a multi-value; use case-of-multi".to_owned(),
                 )),
             },
-            Frame::CaseMulti(binders, body) => match w {
+            Frame::CaseMulti(binders, body, joins) => match w {
                 Value::Multi(fields) => {
                     if binders.len() != fields.len() {
                         return Err(MachineError::InvalidState(
@@ -646,7 +749,7 @@ impl Machine {
                         .map(|b| b.name)
                         .zip(fields.iter().copied())
                         .collect();
-                    Ok(Control::Eval(subst_atoms(&body, &pairs)))
+                    Ok(Control::Eval(subst_atoms(&body, &pairs), joins))
                 }
                 other => Err(MachineError::InvalidState(format!(
                     "case-of-multi scrutinee evaluated to {other}"
@@ -659,12 +762,13 @@ impl Machine {
         &mut self,
         w: Value,
         def: Option<(Binder, Rc<MExpr>)>,
+        joins: JoinScope,
     ) -> Result<Control, MachineError> {
         match def {
             Some((binder, rhs)) => {
                 let atom = self.value_to_atom(w)?;
                 self.check_class(binder, atom)?;
-                Ok(Control::Eval(subst_atom(&rhs, binder.name, atom)))
+                Ok(Control::Eval(subst_atom(&rhs, binder.name, atom), joins))
             }
             None => Err(MachineError::NoMatchingAlt(w.to_string())),
         }
@@ -974,6 +1078,62 @@ mod tests {
             Machine::new().run(MExpr::global("nope")).unwrap_err(),
             MachineError::UnknownGlobal(_)
         ));
+    }
+
+    #[test]
+    fn join_points_jump_without_allocating_or_growing_the_stack() {
+        // join j q r = +# q r in case 1# of { 1# -> jump j 20# 22#; _ -> 0# }
+        let def = Rc::new(JoinDef {
+            name: Symbol::intern("j0"),
+            params: vec![Binder::int("q"), Binder::int("r")],
+            body: MExpr::prim(
+                PrimOp::AddI,
+                vec![
+                    Atom::Var(Symbol::intern("q")),
+                    Atom::Var(Symbol::intern("r")),
+                ],
+            ),
+        });
+        let t = MExpr::let_join(
+            def,
+            MExpr::case(
+                MExpr::int(1),
+                vec![Alt::Lit(
+                    Literal::Int(1),
+                    MExpr::jump("j0", vec![int_atom(20), int_atom(22)]),
+                )],
+                Some((Binder::int("_d"), MExpr::int(0))),
+            ),
+        );
+        let mut m = Machine::new();
+        let out = m.run(t).unwrap();
+        assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(42))));
+        assert_eq!(m.stats().jumps, 1);
+        assert_eq!(m.stats().allocated_words, 0, "joins never allocate");
+        assert_eq!(m.stats().thunk_allocs, 0);
+    }
+
+    #[test]
+    fn jump_arguments_are_width_checked() {
+        let def = Rc::new(JoinDef {
+            name: Symbol::intern("j0"),
+            params: vec![Binder::ptr("p")],
+            body: MExpr::var("p"),
+        });
+        let t = MExpr::let_join(def, MExpr::jump("j0", vec![int_atom(1)]));
+        assert!(matches!(
+            Machine::new().run(t).unwrap_err(),
+            MachineError::ClassMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn jump_to_an_undefined_join_point_is_a_machine_error() {
+        let t = MExpr::jump("ghost", vec![int_atom(1)]);
+        assert_eq!(
+            Machine::new().run(t).unwrap_err(),
+            MachineError::UnknownJoin(Symbol::intern("ghost"))
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use levity_core::symbol::Symbol;
 
-use crate::syntax::{Alt, Atom, MExpr};
+use crate::syntax::{Alt, Atom, JoinDef, MExpr};
 
 /// Substitutes `payload` for the variable `name` throughout `t`,
 /// respecting shadowing.
@@ -103,6 +103,30 @@ pub fn subst_atom(t: &Rc<MExpr>, name: Symbol, payload: Atom) -> Rc<MExpr> {
             };
             Rc::new(MExpr::CaseMulti(scrut2, binders.clone(), body2))
         }
+        MExpr::LetJoin(def, body) => {
+            // The join's parameters shadow inside its body; the join
+            // *name* lives in a separate namespace (only `jump` refers
+            // to it), so atom substitution never touches it.
+            let def_body = if def.params.iter().any(|b| b.name == name) {
+                Rc::clone(&def.body)
+            } else {
+                subst_atom(&def.body, name, payload)
+            };
+            let body2 = subst_atom(body, name, payload);
+            if Rc::ptr_eq(&def_body, &def.body) && Rc::ptr_eq(&body2, body) {
+                Rc::clone(t)
+            } else {
+                Rc::new(MExpr::LetJoin(
+                    Rc::new(JoinDef {
+                        name: def.name,
+                        params: def.params.clone(),
+                        body: def_body,
+                    }),
+                    body2,
+                ))
+            }
+        }
+        MExpr::Jump(j, args) => Rc::new(MExpr::Jump(*j, sub_in_atoms(args, name, payload))),
         MExpr::Global(_) | MExpr::Error(_) => Rc::clone(t),
     }
 }
@@ -263,6 +287,26 @@ fn subst_multi(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
             };
             Rc::new(MExpr::CaseMulti(scrut2, binders.clone(), body2))
         }
+        MExpr::LetJoin(def, body) => {
+            let def_body = match unshadowed(pairs, |n| def.params.iter().any(|b| b.name == n)) {
+                Some(active) => subst_multi(&def.body, &active),
+                None => subst_multi(&def.body, pairs),
+            };
+            let body2 = subst_multi(body, pairs);
+            if Rc::ptr_eq(&def_body, &def.body) && Rc::ptr_eq(&body2, body) {
+                Rc::clone(t)
+            } else {
+                Rc::new(MExpr::LetJoin(
+                    Rc::new(JoinDef {
+                        name: def.name,
+                        params: def.params.clone(),
+                        body: def_body,
+                    }),
+                    body2,
+                ))
+            }
+        }
+        MExpr::Jump(j, args) => Rc::new(MExpr::Jump(*j, multi_in_atoms(args, pairs))),
         MExpr::Global(_) | MExpr::Error(_) => Rc::clone(t),
     }
 }

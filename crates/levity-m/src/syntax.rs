@@ -378,6 +378,27 @@ pub enum Alt {
     Lit(Literal, Rc<MExpr>),
 }
 
+/// A join-point definition: a named continuation that is only ever
+/// *jumped to* in tail position, never captured, stored, or partially
+/// applied. Defining one allocates nothing (unlike `let`, which builds
+/// a thunk, and unlike a λ, which the environment engine would close
+/// over); jumping to one replaces the control expression without
+/// touching the stack — the machine-level realisation of GHC's join
+/// points, and the reason case-of-case with shared continuations costs
+/// no closures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinDef {
+    /// The join point's name. Lowering mints these globally unique per
+    /// compiled program, so the machines may resolve jumps through a
+    /// flat map.
+    pub name: Symbol,
+    /// Parameters, each with its §6.2 register class (jumps are
+    /// width-checked exactly like β-reduction).
+    pub params: Vec<Binder>,
+    /// The continuation body.
+    pub body: Rc<MExpr>,
+}
+
 /// An `M` expression (Figure 5, extended).
 ///
 /// The Figure 5 fragment is: [`MExpr::Atom`] (`y`, `n`), [`MExpr::App`]
@@ -413,6 +434,13 @@ pub enum MExpr {
     CaseMulti(Rc<MExpr>, Vec<Binder>, Rc<MExpr>),
     /// A reference to a top-level definition (extension: recursion).
     Global(Symbol),
+    /// `join j y₁ … yₙ = t₁ in t₂`: defines the join point `j` over
+    /// `t₂`. Costs one transition and allocates nothing.
+    LetJoin(Rc<JoinDef>, Rc<MExpr>),
+    /// `jump j a₁ … aₙ`: transfers control to the join point's body with
+    /// the arguments bound — no closure, no stack frame (tail-only by
+    /// construction, enforced by lowering's escape analysis).
+    Jump(Symbol, Vec<Atom>),
     /// `error`: aborts the machine (rule ERR).
     Error(String),
 }
@@ -518,6 +546,16 @@ impl MExpr {
         }
     }
 
+    /// `join j params = body in t`.
+    pub fn let_join(def: Rc<JoinDef>, body: Rc<MExpr>) -> Rc<MExpr> {
+        Rc::new(MExpr::LetJoin(def, body))
+    }
+
+    /// `jump j a₁ … aₙ`.
+    pub fn jump(name: impl Into<Symbol>, args: Vec<Atom>) -> Rc<MExpr> {
+        Rc::new(MExpr::Jump(name.into(), args))
+    }
+
     /// Number of AST nodes.
     pub fn size(&self) -> usize {
         match self {
@@ -537,6 +575,8 @@ impl MExpr {
             }
             MExpr::Con(_, args) | MExpr::Prim(_, args) | MExpr::MultiVal(args) => 1 + args.len(),
             MExpr::CaseMulti(s, _, t) => 1 + s.size() + t.size(),
+            MExpr::LetJoin(def, t) => 1 + def.body.size() + t.size(),
+            MExpr::Jump(_, args) => 1 + args.len(),
         }
     }
 }
@@ -612,6 +652,20 @@ impl fmt::Display for MExpr {
                 write!(f, " #) -> {t}")
             }
             MExpr::Global(g) => write!(f, "@{g}"),
+            MExpr::LetJoin(def, body) => {
+                write!(f, "join {}", def.name)?;
+                for b in &def.params {
+                    write!(f, " {b}")?;
+                }
+                write!(f, " = {} in {body}", def.body)
+            }
+            MExpr::Jump(j, args) => {
+                write!(f, "jump {j}")?;
+                for a in args {
+                    write!(f, " {a}")?;
+                }
+                Ok(())
+            }
             MExpr::Error(msg) => write!(f, "error \"{msg}\""),
         }
     }

@@ -83,12 +83,21 @@ fn assert_engines_agree(globals: &Globals, t: &Rc<MExpr>, fuel: u64, what: &str)
 }
 
 /// Asserts both engines produce identical results through the full
-/// pipeline (surface source, prelude included).
+/// pipeline (surface source, prelude included), at *both* optimization
+/// levels — four runs, with **every** [`MachineStats`] counter equal
+/// between the engines at each level (the optimizer may change the
+/// counters between levels; the engines may not disagree within one).
 fn assert_pipeline_agrees(source: &str, what: &str) {
-    let compiled = compile_with_prelude(source).unwrap_or_else(|e| panic!("{what}: {e}"));
-    let subst = compiled.run_with_engine("main", FUEL, Engine::Subst);
-    let env = compiled.run_with_engine("main", FUEL, Engine::Env);
-    assert_eq!(subst, env, "engines disagree on {what}");
+    for level in [OptLevel::O0, OptLevel::O2] {
+        let compiled = compile_with_prelude_opt(source, level)
+            .unwrap_or_else(|e| panic!("{what} ({level}): {e}"));
+        let subst = compiled.run_with_engine("main", FUEL, Engine::Subst);
+        let env = compiled.run_with_engine("main", FUEL, Engine::Env);
+        assert_eq!(
+            subst, env,
+            "engines disagree on {what} at {level} (outcome or stats)"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -187,6 +196,38 @@ const CORPUS: &[(&str, &str)] = &[
          stepU x = (x * x) + x\n\
          main :: Int#\n\
          main = stepU 4# + stepU 2#\n",
+    ),
+    (
+        "CPR: recursive divMod product scrutinised at every call site",
+        "data QR = QR Int# Int#\n\
+         divMod# :: Int# -> Int# -> QR\n\
+         divMod# n d = case n <# d of { 1# -> QR 0# n; _ -> case divMod# (n -# d) d of { QR q r -> QR (q +# 1#) r } }\n\
+         main :: Int#\n\
+         main = case divMod# 173# 7# of { QR q r -> q *# 100# +# r }\n",
+    ),
+    (
+        "CPR: accumulator whose tail self-call collapses through tuple-eta",
+        "data QR = QR Int# Int#\n\
+         spin :: Int# -> Int# -> QR\n\
+         spin acc n = case n of { 0# -> QR acc n; _ -> spin (acc +# n) (n -# 1#) }\n\
+         main :: Int#\n\
+         main = case spin 0# 50# of { QR s z -> s +# z }\n",
+    ),
+    (
+        "join points: multi-alternative case-of-case diamond",
+        "data QR = QR Int# Int#\n\
+         pick :: Int# -> Int# -> QR\n\
+         pick a b = case (case a <# b of { 1# -> QR a b; _ -> QR b a }) of { QR x y -> QR (x +# 100#) y }\n\
+         main :: Int#\n\
+         main = case pick 3# 5# of { QR u v -> u +# (v *# 2#) +# (u -# v) +# (u *# v) }\n",
+    ),
+    (
+        "CPR result escaping unscrutinised keeps its box",
+        "data QR = QR Int# Int#\n\
+         mk :: Int# -> QR\n\
+         mk n = case n <# 0# of { 1# -> QR 0# n; _ -> case mk (n -# 1#) of { QR a b -> QR (a +# n) b } }\n\
+         main :: QR\n\
+         main = mk 3#\n",
     ),
 ];
 
@@ -519,6 +560,37 @@ fn worker_wrapper_never_forces_a_lazily_bound_argument() {
 }
 
 #[test]
+fn join_scopes_survive_recursive_reentry() {
+    // Regression: a join point whose body closes over an enclosing
+    // argument, jumped to *after* a recursive call in a case scrutinee
+    // returns. The recursive activation re-executes the same static
+    // `join`; with a flat machine-global join map the inner definition
+    // would clobber the outer one and the outer jump would add the
+    // innermost `a` (yielding 1#). Frames must capture the join scope
+    // of their own activation. Spelled out: f 0# = k 0# = 0+0 = 0;
+    // f 1#: f 0# = 0, so k 1# = 1+1 = 2; f 2#: f 1# = 2 ≠ 0, so
+    // k 1# = 1+2 = 3.
+    let src = "f :: Int# -> Int#\n\
+               f a = let k = \\(y :: Int#) -> y +# a in \
+                     case a of { 0# -> k 0#; _ -> case f (a -# 1#) of { 0# -> k 1#; _ -> k 1# } }\n\
+               main :: Int#\n\
+               main = f 2#\n";
+    for level in [OptLevel::O0, OptLevel::O2] {
+        let compiled = compile_with_prelude_opt(src, level).unwrap();
+        for engine in [Engine::Subst, Engine::Env] {
+            let (out, stats) = compiled.run_with_engine("main", FUEL, engine).unwrap();
+            assert_eq!(
+                out.value().and_then(|v| v.as_int()),
+                Some(3),
+                "join scope clobbered by recursive re-entry ({level}, {engine:?})"
+            );
+            assert!(stats.jumps >= 1, "k must still lower as a join point");
+        }
+    }
+    assert_pipeline_agrees(src, "join scope across recursive re-entry");
+}
+
+#[test]
 fn inliner_alpha_refresh_survives_shadowing() {
     // Regression shapes for the inliner's α-refresh: a β-redex whose
     // let-bound argument shares its name with a free variable of the
@@ -677,8 +749,20 @@ impl SurfaceGen {
 /// *two* instance types (`Int` and `Double`, both lifted), `chain2`
 /// routes one constrained function through another (specialisation must
 /// propagate), `h1` is a plain unboxed helper, and `unboxI` rides
-/// `($)`'s levity-polymorphic result type.
+/// `($)`'s levity-polymorphic result type. `qrStep`/`useQr` exercise
+/// the CPR split (a recursive product-returning accumulator scrutinised
+/// at its only call site — the worker must return `(# Int#, Int# #)`
+/// and tail-call itself through tuple-η), and `branchy` is a join-point
+/// diamond (multi-alternative case-of-case with a continuation too big
+/// to duplicate).
 const GEN_PRELUDE: &str = "\
+data QR = QR Int# Int#\n\
+qrStep :: Int# -> Int# -> QR\n\
+qrStep acc n = case n of { 0# -> QR acc n; _ -> qrStep (acc +# n) (n -# 1#) }\n\
+useQr :: Int# -> Int# -> Int#\n\
+useQr a n = case qrStep a n of { QR s z -> s +# z }\n\
+branchy :: Int# -> Int# -> Int#\n\
+branchy a b = case (case a <# b of { 1# -> QR a b; _ -> QR b a }) of { QR x y -> x +# (y *# 2#) +# (x -# y) +# (x *# y) }\n\
 inc :: Int -> Int\n\
 inc n = case n of { I# k -> I# (k +# 1#) }\n\
 addB :: Int -> Int -> Int\n\
@@ -704,8 +788,17 @@ fn gen_unboxed(g: &mut SurfaceGen, depth: u32, binders: &mut u32) -> String {
         return format!("{}#", g.below(10));
     }
     let d = depth - 1;
-    match g.below(14) {
+    match g.below(16) {
         0 => format!("{}#", g.below(10)),
+        // The CPR accumulator: the iteration count stays a small
+        // literal so the loop always terminates.
+        14 => format!("(useQr {} {}#)", gen_unboxed(g, d, binders), g.below(9)),
+        // The join diamond, at arbitrary unboxed arguments.
+        15 => format!(
+            "(branchy {} {})",
+            gen_unboxed(g, d, binders),
+            gen_unboxed(g, d, binders)
+        ),
         12 => format!("(sqU {})", gen_unboxed(g, d, binders)),
         13 => {
             // `gsum` at its second instance type (Num Double), so one
@@ -832,10 +925,19 @@ proptest! {
         let r0 = o0.run("main", FUEL).map(|(out, _)| out);
         let r2 = o2.run("main", FUEL).map(|(out, _)| out);
         prop_assert_eq!(r0, r2, "O0 and O2 disagree on seed {}:\n{}", seed, source);
-        // And the optimized program itself must still be
-        // engine-independent, counters included.
-        let subst = o2.run_with_engine("main", FUEL, Engine::Subst);
-        let env = o2.run_with_engine("main", FUEL, Engine::Env);
-        prop_assert_eq!(subst, env, "engines disagree on optimized seed {}", seed);
+        // And the program must stay engine-independent at *both*
+        // levels, full MachineStats included (steps, jumps, max_stack —
+        // the four-way grid O0/O2 × subst/env).
+        for (level, compiled) in [(OptLevel::O0, &o0), (OptLevel::O2, &o2)] {
+            let subst = compiled.run_with_engine("main", FUEL, Engine::Subst);
+            let env = compiled.run_with_engine("main", FUEL, Engine::Env);
+            prop_assert_eq!(
+                subst,
+                env,
+                "engines disagree on seed {} at {}",
+                seed,
+                level
+            );
+        }
     }
 }

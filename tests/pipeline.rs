@@ -541,6 +541,212 @@ mod optimizer_boundaries {
         assert_eq!(out.value().and_then(|v| v.as_int()), Some(105));
     }
 
+    /// The PR-5 acceptance criterion, pinned in tier-1: the boxed
+    /// sum_to loop at O2 runs within 1.1x of the direct primop loop's
+    /// step count and allocates ~0 words per iteration, and the same
+    /// holds for a CPR'd recursive divMod loop against its hand-written
+    /// unboxed-tuple equivalent.
+    #[test]
+    fn boxed_and_cpr_loops_match_direct_primop_step_counts() {
+        // sum_to/boxed vs the direct unboxed loop.
+        let boxed = compile_with_prelude(
+            "sumTo :: Int -> Int -> Int\n\
+             sumTo acc n = case n of { I# k -> case k of { 0# -> acc; _ -> sumTo (acc + n) (n - 1) } }\n\
+             main :: Int\n\
+             main = sumTo 0 5000\n",
+        )
+        .unwrap();
+        let direct = compile_with_prelude(
+            "sumTo# :: Int# -> Int# -> Int#\n\
+             sumTo# acc n = case n of { 0# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }\n\
+             main :: Int#\n\
+             main = sumTo# 0# 5000#\n",
+        )
+        .unwrap();
+        let (bv, bs) = boxed.run("main", super::FUEL).unwrap();
+        let (dv, ds) = direct.run("main", super::FUEL).unwrap();
+        assert_eq!(
+            bv.value().and_then(|v| v.as_boxed_int()),
+            dv.value().and_then(|v| v.as_int())
+        );
+        let ratio = bs.steps as f64 / ds.steps as f64;
+        assert!(
+            ratio <= 1.1,
+            "sum_to/boxed at O2: {} steps vs {} direct ({ratio:.3}x)",
+            bs.steps,
+            ds.steps
+        );
+        assert!(
+            bs.allocated_words <= 8,
+            "sum_to/boxed at O2 should allocate ~0 words/iteration, got {}",
+            bs.allocated_words
+        );
+
+        // The accumulating divMod-style loop: CPR + tuple-η must bring
+        // the product-returning version to the hand-written
+        // unboxed-tuple loop's step count, with zero allocation.
+        let cpr = compile_with_prelude(
+            "data QR = QR Int# Int#\n\
+             divMod# :: Int# -> Int# -> QR\n\
+             divMod# n d = case n <# d of { 1# -> QR 0# n; _ -> case divMod# (n -# d) d of { QR q r -> QR (q +# 1#) r } }\n\
+             loop :: Int# -> Int# -> Int#\n\
+             loop acc n = case n of { 0# -> acc; _ -> case divMod# n 3# of { QR q r -> loop (acc +# q +# r) (n -# 1#) } }\n\
+             main :: Int#\n\
+             main = loop 0# 1000#\n",
+        )
+        .unwrap();
+        assert!(cpr.opt_report.cpr_workers >= 1, "{:?}", cpr.opt_report);
+        let tuple = compile_with_prelude(
+            "divModU :: Int# -> Int# -> (# Int#, Int# #)\n\
+             divModU n d = case n <# d of { 1# -> (# 0#, n #); _ -> case divModU (n -# d) d of { (# q, r #) -> (# q +# 1#, r #) } }\n\
+             loop :: Int# -> Int# -> Int#\n\
+             loop acc n = case n of { 0# -> acc; _ -> case divModU n 3# of { (# q, r #) -> loop (acc +# q +# r) (n -# 1#) } }\n\
+             main :: Int#\n\
+             main = loop 0# 1000#\n",
+        )
+        .unwrap();
+        let (cv, cs) = cpr.run("main", super::FUEL).unwrap();
+        let (tv, ts) = tuple.run("main", super::FUEL).unwrap();
+        assert_eq!(
+            cv.value().and_then(|v| v.as_int()),
+            tv.value().and_then(|v| v.as_int())
+        );
+        let cpr_ratio = cs.steps as f64 / ts.steps as f64;
+        assert!(
+            cpr_ratio <= 1.1,
+            "CPR divMod loop: {} steps vs {} hand-written tuples ({cpr_ratio:.3}x)",
+            cs.steps,
+            ts.steps
+        );
+        assert_eq!(
+            cs.allocated_words, 0,
+            "the CPR'd loop must not allocate at all"
+        );
+        assert_eq!(cs.con_allocs, 0);
+    }
+
+    /// Negative space for CPR, one: a worker whose result escapes
+    /// unscrutinised (here: returned straight out of `main`) keeps its
+    /// box — no CPR worker is created.
+    #[test]
+    fn cpr_keeps_the_box_when_the_result_escapes() {
+        let compiled = compile_with_prelude(
+            "data QR = QR Int# Int#\n\
+             mk :: Int# -> QR\n\
+             mk n = case n <# 0# of { 1# -> QR 0# n; _ -> case mk (n -# 1#) of { QR a b -> QR (a +# n) b } }\n\
+             main :: QR\n\
+             main = mk 3#\n",
+        )
+        .unwrap();
+        assert_eq!(
+            compiled.opt_report.cpr_workers, 0,
+            "an escaping result must keep its box: {:?}",
+            compiled.opt_report
+        );
+        // And no surviving binding returns an unboxed tuple.
+        for b in &compiled.program.bindings {
+            let (_, result) = b.ty.split_funs();
+            assert!(
+                !matches!(result, levity::ir::types::Type::UnboxedTuple(_)),
+                "`{}` was CPR'd despite the escape: {}",
+                b.name,
+                b.ty
+            );
+        }
+        let (out, _) = compiled.run("main", super::FUEL).unwrap();
+        let v = out.value().expect("mk terminates").to_string();
+        assert_eq!(v, "QR[6#, -1#]");
+    }
+
+    /// Negative space for CPR, two: a levity-polymorphic result (the
+    /// §6.2 restriction — `a :: TYPE IntRep` has a concrete rep but is
+    /// no product) is never CPR'd, neither as the original nor as a
+    /// specialised clone; scalar results are simply not products.
+    #[test]
+    fn levity_polymorphic_results_are_never_cprd() {
+        let compiled = compile_with_prelude(
+            "stepU :: forall (a :: TYPE IntRep). Num a => a -> a\n\
+             stepU x = (x * x) + x\n\
+             main :: Int#\n\
+             main = case stepU 4# of { 0# -> 1#; _ -> 2# }\n",
+        )
+        .unwrap();
+        assert!(
+            compiled.opt_report.fn_specialised >= 1,
+            "{:?}",
+            compiled.opt_report
+        );
+        assert_eq!(
+            compiled.opt_report.cpr_workers, 0,
+            "a levity-polymorphic result must never be CPR'd: {:?}",
+            compiled.opt_report
+        );
+        let (out, _) = compiled.run("main", super::FUEL).unwrap();
+        assert_eq!(out.value().and_then(|v| v.as_int()), Some(2));
+    }
+
+    /// Negative space for join points: a continuation-shaped `let` that
+    /// appears in *argument position* (escapes into a higher-order
+    /// call) is not a join point — it lowers as an ordinary closure and
+    /// the machine records zero jumps; the genuine diamond on the same
+    /// machinery records at least one.
+    #[test]
+    fn join_points_never_appear_in_argument_position() {
+        // At O0 the λ reaches lowering exactly as written: its use is
+        // the argument of `applyTo`, so the escape analysis must refuse
+        // the join and lower a closure (zero jumps). (At O2 the inliner
+        // may legitimately rewrite the call into a direct tail call
+        // first — that is a different program.)
+        let escaping = compile_with_prelude_opt(
+            "applyTo :: (Int -> Int) -> Int -> Int\n\
+             applyTo f x = f x\n\
+             main :: Int\n\
+             main = let g = \\(y :: Int) -> y + 1 in applyTo g 41\n",
+            OptLevel::O0,
+        )
+        .unwrap();
+        let (out, stats) = escaping.run("main", super::FUEL).unwrap();
+        assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(42));
+        assert_eq!(
+            stats.jumps, 0,
+            "an argument-position λ must stay a closure, not a join point"
+        );
+        // And a λ that stays in argument position even at O2 — handed
+        // to the (recursive, never-inlined) `map` — still jumps nowhere.
+        let escaping_o2 = compile_with_prelude(
+            "main :: Int\n\
+             main = let g = \\(y :: Int) -> y + 1 in sum (map g (enumFromTo 1 3))\n",
+        )
+        .unwrap();
+        let (out, stats) = escaping_o2.run("main", super::FUEL).unwrap();
+        assert_eq!(out.value().and_then(|v| v.as_boxed_int()), Some(9));
+        assert_eq!(
+            stats.jumps, 0,
+            "a λ passed to map escapes; it must never become a join point"
+        );
+        let diamond = compile_with_prelude(
+            "data QR = QR Int# Int#\n\
+             pick :: Int# -> Int# -> QR\n\
+             pick a b = case (case a <# b of { 1# -> QR a b; _ -> QR b a }) of { QR x y -> QR (x +# 100#) y }\n\
+             main :: Int#\n\
+             main = case pick 3# 5# of { QR u v -> u +# (v *# 2#) +# (u -# v) +# (u *# v) }\n",
+        )
+        .unwrap();
+        assert!(
+            diamond.opt_report.join_points >= 1,
+            "{:?}",
+            diamond.opt_report
+        );
+        let (out, stats) = diamond.run("main", super::FUEL).unwrap();
+        // pick 3# 5# → QR 103# 5#; 103 + 10 + 98 + 515 = 726.
+        assert_eq!(out.value().and_then(|v| v.as_int()), Some(726));
+        assert!(
+            stats.jumps >= 1,
+            "the diamond's shared continuation must run as a jump"
+        );
+        assert_eq!(stats.allocated_words, 0, "joins allocate nothing");
+    }
+
     /// The worker/wrapper split must not touch a function whose argument
     /// is not demanded on every path — unboxing it would force a thunk
     /// the program never evaluates.
