@@ -10,6 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use levity_driver::{compile_with_prelude, compile_with_prelude_opt, OptLevel};
+use levity_m::Engine;
 
 const DIRECT: &str = "loop :: Int# -> Int# -> Int#\n\
      loop acc n = case n of { 0# -> acc; _ -> loop (acc +# n) (n -# 1#) }\n\
@@ -200,6 +201,24 @@ fn bench_dictionaries(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("dict_poly_fn_boxed", n), &n, |bch, _| {
             bch.iter(|| poly_boxed.run("main", u64::MAX / 2).unwrap())
+        });
+        // The dispatch ladder's endpoints on the Engine-3 flat register
+        // machine: the direct loop and the specialised dictionary loop
+        // (identical after optimisation, so their bytecode times should
+        // track each other too).
+        group.bench_with_input(BenchmarkId::new("direct_primop_bc", n), &n, |bch, _| {
+            bch.iter(|| {
+                direct
+                    .run_with_engine("main", u64::MAX / 2, Engine::Bytecode)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dict_unboxed_bc", n), &n, |bch, _| {
+            bch.iter(|| {
+                classy
+                    .run_with_engine("main", u64::MAX / 2, Engine::Bytecode)
+                    .unwrap()
+            })
         });
     }
     group.finish();

@@ -10,6 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use levity_driver::{compile_with_prelude, compile_with_prelude_opt, OptLevel};
+use levity_m::Engine;
 
 const BOXED: &str = "sumTo :: Int -> Int -> Int\n\
      sumTo acc n = case n of { I# k -> case k of { 0# -> acc; _ -> sumTo (acc + n) (n - 1) } }\n\
@@ -168,6 +169,19 @@ fn bench_cpr(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tuple_direct", n), &n, |bch, _| {
             bch.iter(|| u.run("main", u64::MAX / 2).unwrap())
         });
+        // The same programs on the Engine-3 flat register machine.
+        group.bench_with_input(BenchmarkId::new("boxed_product_bc", n), &n, |bch, _| {
+            bch.iter(|| {
+                b.run_with_engine("main", u64::MAX / 2, Engine::Bytecode)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tuple_direct_bc", n), &n, |bch, _| {
+            bch.iter(|| {
+                u.run_with_engine("main", u64::MAX / 2, Engine::Bytecode)
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }
@@ -189,6 +203,19 @@ fn bench_sum_to(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("unboxed", n), &n, |bch, _| {
             bch.iter(|| u.run("main", u64::MAX / 2).unwrap())
+        });
+        // The same programs on the Engine-3 flat register machine.
+        group.bench_with_input(BenchmarkId::new("boxed_bc", n), &n, |bch, _| {
+            bch.iter(|| {
+                b.run_with_engine("main", u64::MAX / 2, Engine::Bytecode)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("unboxed_bc", n), &n, |bch, _| {
+            bch.iter(|| {
+                u.run_with_engine("main", u64::MAX / 2, Engine::Bytecode)
+                    .unwrap()
+            })
         });
     }
     group.finish();

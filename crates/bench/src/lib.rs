@@ -313,6 +313,8 @@ mod tests {
             "BENCH_pr2.json",
             "BENCH_pr3.json",
             "BENCH_pr4.json",
+            "BENCH_pr5.json",
+            "BENCH_pr6.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_owned() + "/" + file;
             let text = std::fs::read_to_string(&path)

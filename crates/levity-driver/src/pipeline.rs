@@ -52,9 +52,11 @@ use levity_infer::elaborate::{elaborate_module, Elaborated};
 use levity_ir::levity::check_program_levity;
 use levity_ir::terms::Program;
 use levity_ir::typecheck::CoreError;
+use levity_m::bytecode::BcProgram;
 use levity_m::compile::CodeProgram;
 use levity_m::env::EnvMachine;
 use levity_m::machine::{Globals, Machine, MachineError, MachineStats, RunOutcome};
+use levity_m::regmachine::BcMachine;
 use levity_m::syntax::MExpr;
 use levity_m::Engine;
 use levity_surface::parser::parse_module;
@@ -112,12 +114,14 @@ impl PipelineError {
     }
 }
 
-/// A fully compiled program, ready to run on either `M` engine.
+/// A fully compiled program, ready to run on any of the three `M`
+/// engines.
 ///
 /// The prelude and user globals are lowered to [`Globals`] (the
-/// substitution machine's input) *and* pre-compiled once into a shared
-/// [`CodeProgram`] for the environment engine, so repeated runs — the
-/// benchmark loops in particular — pay no per-run compilation cost.
+/// substitution machine's input), pre-compiled once into a shared
+/// [`CodeProgram`] for the environment engine, and flattened once into
+/// a shared [`BcProgram`] for the register machine, so repeated runs —
+/// the benchmark loops in particular — pay no per-run compilation cost.
 #[derive(Debug)]
 pub struct Compiled {
     /// Elaboration results (the *unoptimized* Core program,
@@ -140,6 +144,8 @@ pub struct Compiled {
     pub globals: Globals,
     /// The globals pre-compiled for the environment engine.
     pub code: Rc<CodeProgram>,
+    /// The globals flattened to bytecode for the register machine.
+    pub bytecode: Rc<BcProgram>,
 }
 
 impl Compiled {
@@ -206,6 +212,13 @@ impl Compiled {
                 let mut machine = EnvMachine::new(Rc::clone(&self.code));
                 machine.set_fuel(fuel);
                 let out = machine.run(entry)?;
+                Ok((out, *machine.stats()))
+            }
+            Engine::Bytecode => {
+                let entry = self.bytecode.compile_entry(&self.code.compile_entry(&term));
+                let mut machine = BcMachine::new(Rc::clone(&self.bytecode));
+                machine.set_fuel(fuel);
+                let out = machine.run(&entry)?;
                 Ok((out, *machine.stats()))
             }
         }
@@ -304,6 +317,8 @@ pub fn compile_source_entries(
     // Pre-resolve everything once for the environment engine: each
     // `Compiled::run` then starts from shared, already-compiled code.
     let code = Rc::new(CodeProgram::compile(&globals));
+    // ... and once more into flat bytecode for the register machine.
+    let bytecode = Rc::new(BcProgram::compile(&code));
     Ok(Compiled {
         elaborated,
         program,
@@ -312,6 +327,7 @@ pub fn compile_source_entries(
         entry_points,
         globals,
         code,
+        bytecode,
     })
 }
 

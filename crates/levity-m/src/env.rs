@@ -658,8 +658,10 @@ impl EnvMachine {
 /// Decompiles code back to an [`MExpr`], substituting environment atoms
 /// at free occurrences and restoring binder names elsewhere. `names`
 /// holds the binders entered during readback (innermost last); indices
-/// beyond it index the captured environment.
-fn readback(code: &Rc<Code>, names: &mut Vec<Symbol>, env: &Env) -> Rc<MExpr> {
+/// beyond it index the captured environment. Shared with the bytecode
+/// engine, whose closures keep their λ body as tree code for exactly
+/// this purpose.
+pub(crate) fn readback(code: &Rc<Code>, names: &mut Vec<Symbol>, env: &Env) -> Rc<MExpr> {
     let atom_of = |names: &[Symbol], a: CAtom| -> Atom {
         match a {
             CAtom::Local(ix) => {

@@ -16,14 +16,22 @@
 //! * [`compile`] — one-time compilation of [`MExpr`] to pre-resolved
 //!   [`compile::Code`]: variables become environment slots, globals
 //!   become indices, alternatives become shared slices;
-//! * [`env`] — the environment (closure) engine over compiled code: the
-//!   fast evaluator, differentially tested against [`machine`];
+//! * [`env`] — the environment (closure) engine over compiled code: a
+//!   fast tree-walking evaluator, differentially tested against
+//!   [`machine`];
+//! * [`bytecode`] — the bytecode compiler: [`compile::Code`] trees
+//!   flattened into contiguous instruction vectors with per-class
+//!   register assignment and fused superinstructions;
+//! * [`regmachine`] — the register machine over that bytecode, with one
+//!   operand stack per §6.2 register class — unboxed hot paths run with
+//!   no tag checks at all;
 //! * [`prim`] — the `+#`/`+##` primitive operations.
 //!
-//! The two execution engines implement the same semantics. The
+//! The three execution engines implement the same semantics. The
 //! substitution machine stays as the executable reference — it *is*
-//! Figure 6 — while the environment engine is how the benchmarks run
-//! (select with [`Engine`]).
+//! Figure 6 — the environment engine agrees with it on every counter,
+//! and the register machine is how the benchmarks run (select with
+//! [`Engine`]).
 //!
 //! The machine is instrumented ([`machine::MachineStats`]): steps, thunk
 //! allocations, forces, updates and constructor allocations — the
@@ -49,22 +57,27 @@
 
 #![warn(missing_docs)]
 
+pub mod bytecode;
 pub mod compile;
 pub mod env;
 pub mod machine;
 pub mod prim;
+pub mod regmachine;
 pub mod subst;
 pub mod syntax;
 
+pub use bytecode::{BcEntry, BcProgram};
 pub use compile::CodeProgram;
 pub use env::EnvMachine;
 pub use machine::{Globals, Machine, MachineError, MachineStats, RunOutcome, Value};
+pub use regmachine::{run_bytecode, BcMachine};
 pub use syntax::{Addr, Alt, Atom, Binder, DataCon, Literal, MExpr, PrimOp};
 
 /// Which execution engine to run `M` code on.
 ///
-/// Both engines implement the Figure 6 semantics and agree on outcomes
-/// and on every [`MachineStats`] counter; the differential suite in
+/// All three engines implement the Figure 6 semantics and agree on
+/// outcomes, errors, and allocation counters; the subst/env pair agree
+/// on *every* [`MachineStats`] counter. The differential suite in
 /// `tests/differential.rs` enforces this.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum Engine {
@@ -73,7 +86,13 @@ pub enum Engine {
     Subst,
     /// The environment (closure) engine ([`env::EnvMachine`]) over
     /// pre-compiled [`compile::Code`]: β-reduction by O(1) environment
-    /// extension. The default for benchmarks and the driver.
+    /// extension. The default: counter-exact against the reference.
     #[default]
     Env,
+    /// The flat-bytecode register machine ([`regmachine::BcMachine`])
+    /// over [`bytecode::BcProgram`]: per-class operand stacks, fused
+    /// superinstructions, join jumps as gotos. Same outcomes, errors
+    /// and allocation counters; step counts legitimately differ. The
+    /// fastest engine — how the benchmarks run.
+    Bytecode,
 }

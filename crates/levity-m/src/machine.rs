@@ -223,6 +223,10 @@ pub struct MachineStats {
     pub allocated_words: u64,
     /// High-water mark of the stack.
     pub max_stack: usize,
+    /// Fused superinstructions executed (bytecode engine only: the
+    /// tree engines always report 0, so their full-stats equality
+    /// comparisons are unaffected).
+    pub fused_ops: u64,
 }
 
 /// Top-level definitions for the extended machine (recursion support).
@@ -324,6 +328,10 @@ pub enum MachineError {
     UnknownJoin(Symbol),
     /// A thunk demanded its own value (`<<loop>>`).
     Loop,
+    /// The bytecode engine fetched an instruction outside its chunk or
+    /// entered an out-of-range chunk — a malformed [`crate::bytecode`]
+    /// program (hand-built only; the compiler never emits one).
+    BadBytecode(String),
 }
 
 impl fmt::Display for MachineError {
@@ -346,6 +354,7 @@ impl fmt::Display for MachineError {
             MachineError::Prim(e) => write!(f, "{e}"),
             MachineError::UnknownJoin(j) => write!(f, "jump to undefined join point `{j}`"),
             MachineError::Loop => write!(f, "<<loop>>: a thunk demanded its own value"),
+            MachineError::BadBytecode(msg) => write!(f, "malformed bytecode: {msg}"),
         }
     }
 }

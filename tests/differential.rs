@@ -35,9 +35,11 @@ use levity::compile::figure7::compile_closed;
 use levity::driver::pipeline::{compile_with_prelude, compile_with_prelude_opt};
 use levity::driver::OptLevel;
 use levity::l::gen::{GenConfig, Generator};
+use levity::m::bytecode::BcProgram;
 use levity::m::compile::CodeProgram;
 use levity::m::env::EnvMachine;
 use levity::m::machine::{Globals, Machine, MachineError, MachineStats, RunOutcome};
+use levity::m::regmachine::BcMachine;
 use levity::m::syntax::{Alt, Atom, Binder, DataCon, Literal, MExpr, PrimOp};
 use levity::m::Engine;
 
@@ -75,11 +77,66 @@ fn run_env(globals: &Globals, t: &Rc<MExpr>, fuel: u64) -> MachineResult {
     (result, *machine.stats())
 }
 
-/// Asserts both engines produce identical results on a raw term.
+/// Runs the same term on the flat-bytecode register machine.
+fn run_bytecode(globals: &Globals, t: &Rc<MExpr>, fuel: u64) -> MachineResult {
+    let program = CodeProgram::compile(globals);
+    let bc = Rc::new(BcProgram::compile(&program));
+    let entry = bc.compile_entry(&program.compile_entry(t));
+    let mut machine = BcMachine::new(bc);
+    machine.set_fuel(fuel);
+    let result = machine.run(&entry);
+    (result, *machine.stats())
+}
+
+/// Pins the bytecode engine against a tree-walking reference result.
+///
+/// Outcome (values, `error`/⊥ aborts, `MachineError`s) and the
+/// allocation-shaped counters must match exactly — the flat engine
+/// executes the same heap semantics. `steps` is *designed* to differ
+/// (superinstructions collapse several tree transitions into one
+/// dispatch), so instead of equality the step counts must stay within a
+/// constant factor of each other, in both directions: neither engine
+/// may quietly start doing asymptotically more work.
+fn assert_bytecode_agrees(reference: &MachineResult, bc: &MachineResult, what: &str) {
+    let (r_out, r_stats) = reference;
+    let (b_out, b_stats) = bc;
+    assert_eq!(r_out, b_out, "bytecode outcome differs on {what}");
+    // Fuel exhaustion stops the engines mid-program at *different*
+    // program points (they count transitions differently), so the
+    // counters are only comparable on every other outcome.
+    if matches!(r_out, Err(MachineError::OutOfFuel { .. })) {
+        return;
+    }
+    assert_eq!(
+        (
+            r_stats.thunk_allocs,
+            r_stats.con_allocs,
+            r_stats.allocated_words,
+            r_stats.updates
+        ),
+        (
+            b_stats.thunk_allocs,
+            b_stats.con_allocs,
+            b_stats.allocated_words,
+            b_stats.updates
+        ),
+        "bytecode allocation counters differ on {what}"
+    );
+    assert!(
+        b_stats.steps <= 8 * r_stats.steps + 64 && r_stats.steps <= 8 * b_stats.steps + 64,
+        "step counts drifted apart on {what}: reference {} vs bytecode {}",
+        r_stats.steps,
+        b_stats.steps
+    );
+}
+
+/// Asserts all three engines produce identical results on a raw term.
 fn assert_engines_agree(globals: &Globals, t: &Rc<MExpr>, fuel: u64, what: &str) {
     let subst = run_subst(globals, t, fuel);
     let env = run_env(globals, t, fuel);
     assert_eq!(subst, env, "engines disagree on {what}: {t}");
+    let bc = run_bytecode(globals, t, fuel);
+    assert_bytecode_agrees(&env, &bc, what);
 }
 
 /// Asserts both engines produce identical results through the full
@@ -97,6 +154,20 @@ fn assert_pipeline_agrees(source: &str, what: &str) {
             subst, env,
             "engines disagree on {what} at {level} (outcome or stats)"
         );
+        // Third engine, looser stats contract: outcome and allocation
+        // counters pinned, steps bounded — the 6-way grid.
+        let bc = compiled.run_with_engine("main", FUEL, Engine::Bytecode);
+        assert_bytecode_agrees(&split(env), &split(bc), &format!("{what} at {level}"));
+    }
+}
+
+/// Adapts a pipeline run result to the raw-term [`MachineResult`]
+/// shape (stats outside the `Result`; failing runs report empty stats
+/// on every engine, so the default is comparable).
+fn split(r: Result<(RunOutcome, MachineStats), MachineError>) -> MachineResult {
+    match r {
+        Ok((out, stats)) => (Ok(out), stats),
+        Err(e) => (Err(e), MachineStats::default()),
     }
 }
 
@@ -251,6 +322,12 @@ fn engines_agree_on_fuel_exhaustion_through_the_pipeline() {
     assert_eq!(subst, env);
     assert!(matches!(
         subst,
+        Err(MachineError::OutOfFuel { limit: 12_345 })
+    ));
+    // The bytecode engine honours the same limit (it burns fuel per
+    // dispatched instruction, so it gives up at the same count).
+    assert!(matches!(
+        compiled.run_with_engine("main", 12_345, Engine::Bytecode),
         Err(MachineError::OutOfFuel { limit: 12_345 })
     ));
 }
@@ -476,7 +553,9 @@ proptest! {
         let globals = Globals::new();
         let subst = run_subst(&globals, &t, 2_000_000);
         let env = run_env(&globals, &t, 2_000_000);
-        prop_assert_eq!(subst, env, "engines disagree on generated term {}", e);
+        prop_assert_eq!(&subst, &env, "engines disagree on generated term {}", e);
+        let bc = run_bytecode(&globals, &t, 2_000_000);
+        assert_bytecode_agrees(&env, &bc, &format!("generated term {e}"));
     }
 }
 
@@ -513,7 +592,7 @@ fn assert_opt_noopt_agree(source: &str, what: &str) {
         .unwrap_or_else(|e| panic!("{what} (O0): {e}"));
     let o2 = compile_with_prelude_opt(source, OptLevel::O2)
         .unwrap_or_else(|e| panic!("{what} (O2): {e}"));
-    for engine in [Engine::Subst, Engine::Env] {
+    for engine in [Engine::Subst, Engine::Env, Engine::Bytecode] {
         let r0 = observe(o0.run_with_engine("main", FUEL, engine).map(|(out, _)| out));
         let r2 = observe(o2.run_with_engine("main", FUEL, engine).map(|(out, _)| out));
         assert_eq!(r0, r2, "O0 and O2 disagree on {what} ({engine:?} engine)");
@@ -577,7 +656,10 @@ fn join_scopes_survive_recursive_reentry() {
                main = f 2#\n";
     for level in [OptLevel::O0, OptLevel::O2] {
         let compiled = compile_with_prelude_opt(src, level).unwrap();
-        for engine in [Engine::Subst, Engine::Env] {
+        // All three engines: the bytecode engine keeps join frames as
+        // plain jump targets inside the activation's chunk, so the
+        // recursive activation must not be able to clobber them either.
+        for engine in [Engine::Subst, Engine::Env, Engine::Bytecode] {
             let (out, stats) = compiled.run_with_engine("main", FUEL, engine).unwrap();
             assert_eq!(
                 out.value().and_then(|v| v.as_int()),
@@ -926,17 +1008,24 @@ proptest! {
         let r2 = o2.run("main", FUEL).map(|(out, _)| out);
         prop_assert_eq!(r0, r2, "O0 and O2 disagree on seed {}:\n{}", seed, source);
         // And the program must stay engine-independent at *both*
-        // levels, full MachineStats included (steps, jumps, max_stack —
-        // the four-way grid O0/O2 × subst/env).
+        // levels, full MachineStats included for the tree-walking pair
+        // and the looser bytecode contract on top — the six-way grid
+        // O0/O2 × subst/env/bytecode.
         for (level, compiled) in [(OptLevel::O0, &o0), (OptLevel::O2, &o2)] {
             let subst = compiled.run_with_engine("main", FUEL, Engine::Subst);
             let env = compiled.run_with_engine("main", FUEL, Engine::Env);
             prop_assert_eq!(
-                subst,
-                env,
+                &subst,
+                &env,
                 "engines disagree on seed {} at {}",
                 seed,
                 level
+            );
+            let bc = compiled.run_with_engine("main", FUEL, Engine::Bytecode);
+            assert_bytecode_agrees(
+                &split(env),
+                &split(bc),
+                &format!("seed {seed} at {level}"),
             );
         }
     }

@@ -1,0 +1,240 @@
+//! Golden-bytecode snapshot tests: the Engine 3 compiler's flat code,
+//! pinned.
+//!
+//! Each corpus program below (the same thirteen programs the
+//! golden-Core suite pins) compiles at the default level and the
+//! disassembly of its whole [`BcProgram`] — every global's chunk, in
+//! program order, with resolved jump offsets, frame sizes and fused
+//! superinstructions spelled out — is snapshotted into
+//! `tests/golden/<name>.bc`. A change anywhere in the bytecode
+//! compiler (new fusion, different frame layout, reordered blocks)
+//! shows up as a reviewable diff of compiler *output*, not as bench
+//! noise three PRs later.
+//!
+//! The disassembler is deterministic by construction: registers are
+//! named by class and slot (`w0`, `p1`, `f2`, `d3`), jump targets are
+//! resolved pcs, and binder names in `binds [...]` come from the
+//! machine lowering's per-function numbering, not the optimizer's
+//! process-global fresh counter (pinned by
+//! `disassembly_is_stable_across_recompilations` below).
+//!
+//! To regenerate after an intentional bytecode-compiler change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_bytecode
+//! ```
+
+use std::path::PathBuf;
+
+use levity::driver::compile_with_prelude;
+
+/// The snapshot corpus — kept in lockstep with `golden_core.rs`, so
+/// every pinned Core program also pins the flat code it lowers to.
+const GOLDEN: &[(&str, &str)] = &[
+    (
+        "sum_to_boxed",
+        "sumTo :: Int -> Int -> Int\n\
+         sumTo acc n = case n of { I# k -> case k of { 0# -> acc; _ -> sumTo (acc + n) (n - 1) } }\n\
+         main :: Int\n\
+         main = sumTo 0 5000\n",
+    ),
+    (
+        "sum_to_unboxed",
+        "sumTo# :: Int# -> Int# -> Int#\n\
+         sumTo# acc n = case n of { 0# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }\n\
+         main :: Int#\n\
+         main = sumTo# 0# 5000#\n",
+    ),
+    (
+        "dict_unboxed",
+        "loop :: Int# -> Int# -> Int#\n\
+         loop acc n = case n of { 0# -> acc; _ -> loop (acc + n) (n - 1#) }\n\
+         main :: Int#\n\
+         main = loop 0# 2000#\n",
+    ),
+    (
+        "dict_boxed",
+        "loop :: Int -> Int -> Int\n\
+         loop acc n = case n of { I# k -> case k of { 0# -> acc; _ -> loop (acc + n) (n - 1) } }\n\
+         main :: Int\n\
+         main = loop 0 2000\n",
+    ),
+    (
+        "dict_poly_fn",
+        "step :: forall (a :: TYPE IntRep). Num a => a -> a\n\
+         step x = x + x\n\
+         loop :: Int# -> Int# -> Int#\n\
+         loop acc n = case n of { 0# -> acc; _ -> loop (acc + step n) (n - 1#) }\n\
+         main :: Int#\n\
+         main = loop 0# 2000#\n",
+    ),
+    (
+        "dict_poly_fn_boxed",
+        "step :: Num a => a -> a\n\
+         step x = x + x\n\
+         loop :: Int -> Int -> Int\n\
+         loop acc n = case n of { I# k -> case k of { 0# -> acc; _ -> loop (acc + step n) (n - 1) } }\n\
+         main :: Int\n\
+         main = loop 0 2000\n",
+    ),
+    (
+        "spec_square",
+        "square :: Num a => a -> a\n\
+         square x = x * x\n\
+         main :: Int\n\
+         main = square 7\n",
+    ),
+    (
+        // The tentpole CPR shape; its worker's loop header must pin the
+        // `cmp+br …; prim.w …; call.fw` triple fusion.
+        "cpr_divmod",
+        "data QR = QR Int# Int#\n\
+         divMod# :: Int# -> Int# -> QR\n\
+         divMod# n d = case n <# d of { 1# -> QR 0# n; _ -> case divMod# (n -# d) d of { QR q r -> QR (q +# 1#) r } }\n\
+         loop :: Int# -> Int# -> Int#\n\
+         loop acc n = case n of { 0# -> acc; _ -> case divMod# n 3# of { QR q r -> loop (acc +# q +# r) (n -# 1#) } }\n\
+         main :: Int#\n\
+         main = loop 0# 5000#\n",
+    ),
+    (
+        // The tail self-call lowers to a `prim.call.w` back-edge.
+        "cpr_accumulator",
+        "data QR = QR Int# Int#\n\
+         spin :: Int# -> Int# -> QR\n\
+         spin acc n = case n of { 0# -> QR acc n; _ -> spin (acc +# n) (n -# 1#) }\n\
+         main :: Int#\n\
+         main = case spin 0# 5000# of { QR s z -> s +# z }\n",
+    ),
+    (
+        // Negative space: no unboxed-tuple returns, so no `ret.multi.w`
+        // may appear for `mk`.
+        "cpr_escape",
+        "data QR = QR Int# Int#\n\
+         mk :: Int# -> QR\n\
+         mk n = case n <# 0# of { 1# -> QR 0# n; _ -> case mk (n -# 1#) of { QR a b -> QR (a +# n) b } }\n\
+         main :: QR\n\
+         main = mk 3#\n",
+    ),
+    (
+        // Join points lower to moves + `goto` back into the chunk.
+        "join_diamond",
+        "data QR = QR Int# Int#\n\
+         pick :: Int# -> Int# -> QR\n\
+         pick a b = case (case a <# b of { 1# -> QR a b; _ -> QR b a }) of { QR x y -> QR (x +# 100#) y }\n\
+         use :: Int# -> Int#\n\
+         use n = case pick n 5# of { QR u v -> u +# (v *# 2#) +# (u -# v) +# (u *# v) }\n\
+         main :: Int#\n\
+         main = use 3#\n",
+    ),
+    (
+        "tuple_divmod",
+        "divMod# :: Int# -> Int# -> (# Int#, Int# #)\n\
+         divMod# n k = (# quotInt# n k, remInt# n k #)\n\
+         useBoth :: Int# -> Int# -> Int#\n\
+         useBoth n k = case divMod# n k of { (# q, r #) -> q +# r }\n\
+         main :: Int#\n\
+         main = useBoth 17# 5#\n",
+    ),
+    (
+        "spec_mutual",
+        "bounce :: Num a => a -> Int# -> a\n\
+         bounce x n = case n of { 0# -> x; _ -> rebound (x + x) (n -# 1#) }\n\
+         rebound :: Num a => a -> Int# -> a\n\
+         rebound x n = case n of { 0# -> x; _ -> bounce (x * x) (n -# 1#) }\n\
+         main :: Int\n\
+         main = bounce 2 3#\n",
+    ),
+];
+
+fn disasm(src: &str, name: &str) -> String {
+    compile_with_prelude(src)
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .bytecode
+        .disasm()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.bc"))
+}
+
+#[test]
+fn flat_bytecode_matches_the_committed_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut mismatches: Vec<String> = Vec::new();
+    for (name, src) in GOLDEN {
+        let rendered = disasm(src, name);
+        let path = golden_path(name);
+        if update {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == rendered => {}
+            Ok(expected) => {
+                let diff: Vec<String> = expected
+                    .lines()
+                    .zip(rendered.lines())
+                    .enumerate()
+                    .filter(|(_, (a, b))| a != b)
+                    .take(5)
+                    .map(|(i, (a, b))| format!("  line {}: {a:?}\n       now: {b:?}", i + 1))
+                    .collect();
+                mismatches.push(format!(
+                    "{name}: golden bytecode differs ({} vs {} lines){}{}",
+                    expected.lines().count(),
+                    rendered.lines().count(),
+                    if diff.is_empty() { "" } else { "\n" },
+                    diff.join("\n")
+                ));
+            }
+            Err(_) => mismatches.push(format!("{name}: missing golden file {path:?}")),
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "bytecode-compiler output drifted from the committed golden snapshots:\n{}\n\n\
+         If the change is intentional, regenerate with:\n    UPDATE_GOLDEN=1 cargo test --test golden_bytecode\n\
+         and commit the updated tests/golden/*.bc files.",
+        mismatches.join("\n")
+    );
+}
+
+/// Two independent compilations of the same source must disassemble
+/// byte-identically, even with other compilations interleaved (the
+/// optimizer's process-global fresh-name counter must not leak into
+/// the flat code's rendering).
+#[test]
+fn disassembly_is_stable_across_recompilations() {
+    let (name, src) = GOLDEN.iter().find(|(n, _)| *n == "cpr_divmod").unwrap();
+    let a = disasm(src, name);
+    let _ = compile_with_prelude("f :: Int -> Int\nf x = x + x\nmain :: Int\nmain = f 1\n");
+    let b = disasm(src, name);
+    assert_eq!(a, b, "disassembly must not depend on compilation order");
+}
+
+/// The snapshots must actually contain the shapes they pin: the CPR
+/// worker's loop header is the fully fused compare-call, the
+/// accumulator's back-edge is a fused tail self-call, and the escaping
+/// product keeps its box (no word-stack multi-returns).
+#[test]
+fn snapshots_contain_the_shapes_they_pin() {
+    let by_name = |n: &str| GOLDEN.iter().find(|(g, _)| *g == n).unwrap().1;
+    let divmod = disasm(by_name("cpr_divmod"), "cpr_divmod");
+    assert!(
+        divmod.contains("cmp+br <#") && divmod.contains("; call.fw"),
+        "cpr_divmod must pin the fused loop header:\n{divmod}"
+    );
+    let acc = disasm(by_name("cpr_accumulator"), "cpr_accumulator");
+    assert!(
+        acc.contains("call.self.w"),
+        "cpr_accumulator must pin the fused tail self-call:\n{acc}"
+    );
+    let escape = disasm(by_name("cpr_escape"), "cpr_escape");
+    assert!(
+        !escape.contains("ret.multi.w"),
+        "cpr_escape's result escapes unscrutinised; it must keep its box:\n{escape}"
+    );
+}

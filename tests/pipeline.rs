@@ -853,3 +853,145 @@ mod pipeline_error_reachability {
         );
     }
 }
+
+// ---------------------------------------------------------------------
+// Engine 3 negative space: what the register machine must *not* do —
+// mix representation classes across operand stacks, skip the §6.2 width
+// checks, or panic on malformed flat code.
+// ---------------------------------------------------------------------
+
+mod bytecode_negative_space {
+    use std::rc::Rc;
+
+    use levity::driver::{compile_with_prelude, compile_with_prelude_opt, OptLevel};
+    use levity::m::bytecode::{BcEntry, Chunk, Instr};
+    use levity::m::machine::MachineError;
+    use levity::m::regmachine::BcMachine;
+    use levity::m::syntax::{Atom, Binder, Literal, MExpr};
+    use levity::m::Engine;
+
+    /// Runs `main` of a compiled pipeline program on a fresh
+    /// [`BcMachine`] and reports the per-class stack high-water marks
+    /// (`[ptr, word, float, double]`).
+    fn high_water(src: &str) -> [usize; 4] {
+        let compiled = compile_with_prelude(src).unwrap();
+        let entry = compiled
+            .bytecode
+            .compile_entry(&compiled.code.compile_entry(&MExpr::global("main")));
+        let mut machine = BcMachine::new(Rc::clone(&compiled.bytecode));
+        machine.set_fuel(super::FUEL);
+        machine.run(&entry).unwrap();
+        machine.stack_high_water()
+    }
+
+    /// The paper's point made physical: representation classes live on
+    /// *disjoint* operand stacks. A `DoubleRep` value never occupies a
+    /// word slot, and an `IntRep` loop never touches the double stack —
+    /// pinned via the high-water marks, so even a transient spill would
+    /// be caught.
+    #[test]
+    fn operand_stacks_separate_representation_classes() {
+        let word_loop = high_water(
+            "sumTo# :: Int# -> Int# -> Int#\n\
+             sumTo# acc n = case n of { 0# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }\n\
+             main :: Int#\n\
+             main = sumTo# 0# 500#\n",
+        );
+        assert!(word_loop[1] > 0, "the word stack did the work");
+        assert_eq!(word_loop[2], 0, "no float slots in a word program");
+        assert_eq!(word_loop[3], 0, "no double slots in a word program");
+
+        // Comparison-free: `abs` would compare, and comparisons return
+        // `Int#` booleans — word-class work that belongs on the word
+        // stack.
+        let double_work = high_water(
+            "main :: Double#\n\
+             main = (0.0## - 2.25##) * 4.0##\n",
+        );
+        assert!(double_work[3] > 0, "the double stack did the work");
+        assert_eq!(double_work[1], 0, "no word slots in a double program");
+    }
+
+    /// §6.2's width checks survive on the flat engine at `O0`: an
+    /// ill-classed β-redex produces the same structured
+    /// `ClassMismatch` (not a misread register) as the reference
+    /// engines, with the same payload.
+    #[test]
+    fn o0_width_checks_hold_on_the_bytecode_engine() {
+        let compiled = compile_with_prelude_opt("main :: Int#\nmain = 0#\n", OptLevel::O0).unwrap();
+        // (λp:ptr. p) 1# — a word literal fed to a pointer binder.
+        let t = MExpr::app(
+            MExpr::lam(Binder::ptr("p"), MExpr::var("p")),
+            Atom::Lit(Literal::Int(1)),
+        );
+        let bc = compiled
+            .run_term_with_engine(Rc::clone(&t), super::FUEL, Engine::Bytecode)
+            .unwrap_err();
+        assert!(matches!(bc, MachineError::ClassMismatch { .. }), "{bc}");
+        let subst = compiled
+            .run_term_with_engine(t, super::FUEL, Engine::Subst)
+            .unwrap_err();
+        assert_eq!(bc, subst, "width-check payloads must match");
+    }
+
+    /// A jump to an undefined join point is a *structured* error on the
+    /// flat engine — identical to the reference engines' — not a bad
+    /// chunk id or a panic.
+    #[test]
+    fn unknown_join_is_a_structured_error() {
+        let compiled = compile_with_prelude("main :: Int#\nmain = 0#\n").unwrap();
+        let t = MExpr::jump("nowhere", vec![Atom::Lit(Literal::Int(1))]);
+        for engine in [Engine::Subst, Engine::Env, Engine::Bytecode] {
+            assert_eq!(
+                compiled
+                    .run_term_with_engine(Rc::clone(&t), super::FUEL, engine)
+                    .unwrap_err(),
+                MachineError::UnknownJoin("nowhere".into()),
+                "{engine:?}"
+            );
+        }
+    }
+
+    /// Hand-built malformed flat code: a jump past the end of the chunk
+    /// and a call to a chunk id that does not exist must both surface
+    /// as `BadBytecode` — the interpreter bounds-checks its program
+    /// counter and chunk table instead of panicking.
+    #[test]
+    fn wild_pc_and_unknown_chunk_are_bad_bytecode_not_panics() {
+        let compiled = compile_with_prelude("main :: Int#\nmain = 0#\n").unwrap();
+        let rogue = |label: &str, code: Vec<Instr>| BcEntry {
+            chunks: vec![Rc::new(Chunk {
+                label: label.to_owned(),
+                code: code.into(),
+                frame: [0; 4],
+                caps: Rc::from([] as [levity::core::rep::Slot; 0]),
+                caps_counts: [0; 4],
+                params: Rc::from([] as [Binder; 0]),
+                lam_body: None,
+            })],
+            root: compiled.bytecode.chunks.len() as u32,
+        };
+        let run = |entry: &BcEntry| {
+            let mut machine = BcMachine::new(Rc::clone(&compiled.bytecode));
+            machine.set_fuel(super::FUEL);
+            machine.run(entry).unwrap_err()
+        };
+        let wild_pc = run(&rogue("wild-pc", vec![Instr::Goto(99)]));
+        assert!(
+            matches!(&wild_pc, MachineError::BadBytecode(m) if m.contains("out of range")),
+            "{wild_pc}"
+        );
+        let bad_chunk = run(&rogue(
+            "bad-chunk",
+            vec![Instr::CallF {
+                chunk: 9999,
+                args: Rc::from([] as [levity::m::bytecode::Src; 0]),
+                tail: true,
+            }],
+        ));
+        assert!(
+            matches!(&bad_chunk, MachineError::BadBytecode(m) if m.contains("unknown chunk")),
+            "{bad_chunk}"
+        );
+    }
+}
