@@ -18,7 +18,7 @@
 //!   (specialise + inline + worker/wrapper): quantifies exactly the
 //!   overhead the PR-3 tentpole removes.
 
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -57,7 +57,7 @@ fn spin_globals() -> Globals {
 
 /// let p = <spin n boxed> in (use p twice) — FCE makes the second use a
 /// plain lookup.
-fn shared_term(n: i64) -> Rc<MExpr> {
+fn shared_term(n: i64) -> Arc<MExpr> {
     let thunk = MExpr::let_strict(
         Binder::int("r"),
         MExpr::app(MExpr::global("spin"), Atom::Lit(Literal::Int(n))),
@@ -82,7 +82,7 @@ fn shared_term(n: i64) -> Rc<MExpr> {
 }
 
 /// Two separate thunks with the same body: no sharing possible.
-fn recomputed_term(n: i64) -> Rc<MExpr> {
+fn recomputed_term(n: i64) -> Arc<MExpr> {
     let mk = || {
         MExpr::let_strict(
             Binder::int("r"),
@@ -112,18 +112,18 @@ fn recomputed_term(n: i64) -> Rc<MExpr> {
     )
 }
 
-fn run(globals: &Globals, t: &Rc<MExpr>) -> levity_m::machine::MachineStats {
+fn run(globals: &Globals, t: &Arc<MExpr>) -> levity_m::machine::MachineStats {
     let mut machine = Machine::with_globals(globals.clone());
-    machine.run(Rc::clone(t)).expect("runs");
+    machine.run(Arc::clone(t)).expect("runs");
     *machine.stats()
 }
 
 fn run_env(
-    program: &Rc<CodeProgram>,
-    entry: &Rc<levity_m::compile::Code>,
+    program: &Arc<CodeProgram>,
+    entry: &Arc<levity_m::compile::Code>,
 ) -> levity_m::machine::MachineStats {
-    let mut machine = EnvMachine::new(Rc::clone(program));
-    machine.run(Rc::clone(entry)).expect("runs");
+    let mut machine = EnvMachine::new(program);
+    machine.run(entry).expect("runs");
     *machine.stats()
 }
 
@@ -198,7 +198,7 @@ fn bench_ablations(c: &mut Criterion) {
     // strict avoids the thunk write+force round trip.
     let boxed_value = MExpr::con_int_hash(Atom::Lit(Literal::Int(5)));
     let use_it = |bind_var: &str| MExpr::case_int_hash(MExpr::var(bind_var), "k", MExpr::var("k"));
-    let lazy = MExpr::let_lazy("p", Rc::clone(&boxed_value), use_it("p"));
+    let lazy = MExpr::let_lazy("p", Arc::clone(&boxed_value), use_it("p"));
     let strict = MExpr::let_strict(Binder::ptr("p"), boxed_value, use_it("p"));
     let ls = run(&Globals::new(), &lazy);
     let ts = run(&Globals::new(), &strict);
@@ -220,7 +220,7 @@ fn bench_ablations(c: &mut Criterion) {
     // extends a persistent env. Same transitions, same counters — only
     // the parameter-passing representation varies.
     let spin_main = MExpr::app(MExpr::global("spin"), Atom::Lit(Literal::Int(2_000)));
-    let program = Rc::new(CodeProgram::compile(&globals));
+    let program = Arc::new(CodeProgram::compile(&globals));
     let spin_entry = program.compile_entry(&spin_main);
     let ss = run(&globals, &spin_main);
     let es = run_env(&program, &spin_entry);

@@ -218,11 +218,15 @@ pub fn compare_with_floor(
 }
 
 /// Renders the full baseline-vs-candidate comparison as an aligned
-/// table over the common names (used by `bench_gate --explain`, so a
-/// green CI log still shows what was compared against what). Verdicts
-/// match [`compare_with_floor`] exactly: an entry the floor forgives
-/// reads `forgiven (floor)`, never `REGRESSION` — the table must never
-/// contradict the gate's exit status.
+/// table (used by `bench_gate --explain`, so a green CI log still shows
+/// what was compared against what). Verdicts match
+/// [`compare_with_floor`] exactly: an entry the floor forgives reads
+/// `forgiven (floor)`, never `REGRESSION` — the table must never
+/// contradict the gate's exit status. Candidate-only names — a group
+/// recorded for the first time, like `serve/*` on the PR that adds its
+/// bench — are listed as `new (ungated)` rather than dropped: a first
+/// appearance has no baseline to gate against, but a silent omission
+/// reads as "covered" when it is not.
 pub fn comparison_table(
     baseline: &BenchSet,
     candidate: &BenchSet,
@@ -231,9 +235,9 @@ pub fn comparison_table(
     floor_ratio: f64,
 ) -> String {
     let mut out = String::new();
-    let width = baseline
+    let width = candidate
         .keys()
-        .filter(|k| candidate.contains_key(*k))
+        .chain(baseline.keys().filter(|k| candidate.contains_key(*k)))
         .map(|k| k.len())
         .max()
         .unwrap_or(9)
@@ -264,6 +268,15 @@ pub fn comparison_table(
         out.push_str(&format!(
             "{name:<width$} {:>14.0} {:>14.0} {:>7.2}x  {verdict}\n",
             base.mean_ns, cand.mean_ns, ratio
+        ));
+    }
+    for (name, cand) in candidate {
+        if baseline.contains_key(name) {
+            continue;
+        }
+        out.push_str(&format!(
+            "{name:<width$} {:>14} {:>14.0} {:>8}  new (ungated)\n",
+            "-", cand.mean_ns, "-"
         ));
     }
     out
@@ -315,12 +328,23 @@ mod tests {
             "BENCH_pr4.json",
             "BENCH_pr5.json",
             "BENCH_pr6.json",
+            "BENCH_pr8.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_owned() + "/" + file;
             let text = std::fs::read_to_string(&path)
                 .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
             let set = parse_bench_json(&text).unwrap_or_else(|e| panic!("{file}: {e}"));
             assert!(!set.is_empty(), "{file} has no benches");
+            if file == "BENCH_pr8.json" {
+                // PR 8 introduced the serving-layer group; the recorded
+                // file must carry it or the gate has nothing to compare
+                // future serve numbers against.
+                assert!(
+                    set.keys().any(|k| k.starts_with("serve/")),
+                    "BENCH_pr8.json is missing the serve/ group: {:?}",
+                    set.keys().collect::<Vec<_>>()
+                );
+            }
         }
     }
 
@@ -417,6 +441,50 @@ mod tests {
         let regs = compare_with_floor(&base, &cand, 1.5, 50_000.0, 3.0);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].name, "sum_to/boxed/200");
+    }
+
+    #[test]
+    fn comparison_table_reports_first_time_groups_as_new_ungated() {
+        // A freshly-introduced group (no baseline entry) must appear in
+        // the --explain table as "new (ungated)" — never silently
+        // dropped — and must not trip the gate.
+        let base = parse_bench_json(SAMPLE).unwrap();
+        let mut cand = base.clone();
+        cand.insert(
+            "serve/cache_hit".into(),
+            BenchEntry {
+                min_ns: 7_800.0,
+                mean_ns: 9_400.0,
+                max_ns: 17_700.0,
+            },
+        );
+        cand.insert(
+            "serve/cold_compile".into(),
+            BenchEntry {
+                min_ns: 6.8e6,
+                mean_ns: 8.3e6,
+                max_ns: 9.0e6,
+            },
+        );
+        let table = comparison_table(&base, &cand, 1.5, 50_000.0, 3.0);
+        for line in ["serve/cache_hit", "serve/cold_compile"] {
+            let row = table
+                .lines()
+                .find(|l| l.starts_with(line))
+                .unwrap_or_else(|| panic!("no row for {line} in:\n{table}"));
+            assert!(row.ends_with("new (ungated)"), "{row}");
+        }
+        // Common names keep their ordinary verdicts alongside.
+        assert!(table.contains("sum_to/boxed/200"), "{table}");
+        assert!(table.contains(" ok\n"), "{table}");
+        // And the gate itself ignores the new names entirely.
+        assert!(compare_with_floor(&base, &cand, 1.5, 50_000.0, 3.0).is_empty());
+        // Baseline-only names are still dropped from the table (the
+        // smoke run covers a subset; absence there is expected).
+        let mut partial = cand.clone();
+        partial.remove("num_class/dict_boxed/2000");
+        let table = comparison_table(&base, &partial, 1.5, 50_000.0, 3.0);
+        assert!(!table.contains("num_class/dict_boxed/2000"), "{table}");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! `error`, `errorWithoutStackTrace`, `undefined` (⊥), `oneShot`,
 //! `runRW#`, and `($)`.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::kind::Kind;
 use levity_core::symbol::Symbol;
@@ -20,7 +20,7 @@ fn a() -> Symbol {
 
 fn string_ty() -> Type {
     // String stands in as a bare lifted constructor for signature display.
-    Type::con0(&Rc::new(TyCon::lifted("String")))
+    Type::con0(&Arc::new(TyCon::lifted("String")))
 }
 
 /// One of the six previously-special-cased functions.
@@ -96,7 +96,7 @@ pub fn special_functions() -> Vec<SpecialFunction> {
                 // runRW# :: forall (r :: Rep) (o :: TYPE r).
                 //           (State# RealWorld -> o) -> o
                 let o = Symbol::intern("o");
-                let state_ty = Type::con0(&Rc::new(TyCon::of_rep(
+                let state_ty = Type::con0(&Arc::new(TyCon::of_rep(
                     "State#RealWorld",
                     levity_core::rep::Rep::Tuple(vec![]),
                 )));

@@ -21,7 +21,7 @@
 //! | C_INTLIT / C_ERROR | literal / `error` |
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::symbol::{NameSupply, Symbol};
 
@@ -145,7 +145,7 @@ pub fn compile(
     env: &mut VarEnv,
     supply: &mut NameSupply,
     e: &Expr,
-) -> Result<Rc<MExpr>, CompileError> {
+) -> Result<Arc<MExpr>, CompileError> {
     match e {
         // C_VAR
         Expr::Var(x) => {
@@ -251,7 +251,7 @@ pub fn compile(
 /// assert!(t.to_string().starts_with("\\i$0:word"));
 /// # Ok::<(), levity_compile::figure7::CompileError>(())
 /// ```
-pub fn compile_closed(e: &Expr) -> Result<Rc<MExpr>, CompileError> {
+pub fn compile_closed(e: &Expr) -> Result<Arc<MExpr>, CompileError> {
     compile(
         &mut Ctx::new(),
         &mut VarEnv::new(),

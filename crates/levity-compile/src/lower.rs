@@ -29,7 +29,7 @@
 //! ablation benchmark `anf_rebinding` measures the difference.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::kind::Kind;
 use levity_core::rep::{Rep, Slot};
@@ -305,16 +305,16 @@ impl<'a> Lowerer<'a> {
         Ok(DataCon {
             name: con.name,
             tag: con.tag,
-            fields,
+            fields: fields.into(),
         })
     }
 
     /// Lowers an expression to an `M` term.
-    pub fn lower(&mut self, e: &CoreExpr) -> Result<Rc<MExpr>, LowerError> {
+    pub fn lower(&mut self, e: &CoreExpr) -> Result<Arc<MExpr>, LowerError> {
         match e {
             CoreExpr::Var(x) => match self.lookup(*x) {
                 Some(Lowered::Scalar(name, _)) => Ok(MExpr::var(*name)),
-                Some(Lowered::Multi(parts)) => Ok(Rc::new(MExpr::MultiVal(
+                Some(Lowered::Multi(parts)) => Ok(Arc::new(MExpr::MultiVal(
                     parts.iter().map(|(n, _)| Atom::Var(*n)).collect(),
                 ))),
                 // Unreachable from a binder [`is_join_let`] admitted:
@@ -355,14 +355,14 @@ impl<'a> Lowerer<'a> {
                 let mcon = self.machine_con(con, &field_types)?;
                 self.bind_args(fields, |this, atoms| {
                     let _ = this;
-                    Ok(Rc::new(MExpr::Con(mcon.clone(), atoms)))
+                    Ok(Arc::new(MExpr::Con(mcon.clone(), atoms)))
                 })
             }
             CoreExpr::Prim(op, args) => {
-                self.bind_args(args, |_, atoms| Ok(Rc::new(MExpr::Prim(*op, atoms))))
+                self.bind_args(args, |_, atoms| Ok(Arc::new(MExpr::Prim(*op, atoms))))
             }
             CoreExpr::Tuple(es) => {
-                self.bind_args(es, |_, atoms| Ok(Rc::new(MExpr::MultiVal(atoms))))
+                self.bind_args(es, |_, atoms| Ok(Arc::new(MExpr::MultiVal(atoms))))
             }
             CoreExpr::Error(_, msg) => Ok(MExpr::error(msg.clone())),
         }
@@ -375,7 +375,7 @@ impl<'a> Lowerer<'a> {
         x: Symbol,
         ty: &Type,
         body: &CoreExpr,
-    ) -> Result<Rc<MExpr>, LowerError> {
+    ) -> Result<Arc<MExpr>, LowerError> {
         let rep = self.rep_of(ty)?;
         match rep {
             Rep::Tuple(_) => {
@@ -421,7 +421,7 @@ impl<'a> Lowerer<'a> {
 
     /// Lowers an application, choosing lazy vs strict binding by the
     /// argument's kind (C_APPLAZY / C_APPINT generalized).
-    fn lower_app(&mut self, f: &CoreExpr, a: &CoreExpr) -> Result<Rc<MExpr>, LowerError> {
+    fn lower_app(&mut self, f: &CoreExpr, a: &CoreExpr) -> Result<Arc<MExpr>, LowerError> {
         let t1 = self.lower(f)?;
         let arg_ty = self.type_of(a)?;
         let rep = self.rep_of(&arg_ty)?;
@@ -432,7 +432,7 @@ impl<'a> Lowerer<'a> {
                 if slots.is_empty() {
                     // Evaluate the (# #) argument, then pass a dummy word.
                     let scrut = self.lower(a)?;
-                    return Ok(Rc::new(MExpr::CaseMulti(
+                    return Ok(Arc::new(MExpr::CaseMulti(
                         scrut,
                         vec![],
                         MExpr::app(t1, Atom::Lit(levity_m::syntax::Literal::Int(0))),
@@ -444,7 +444,7 @@ impl<'a> Lowerer<'a> {
                     .collect();
                 let scrut = self.lower(a)?;
                 let call = MExpr::apps(t1, binders.iter().map(|b| Atom::Var(b.name)));
-                Ok(Rc::new(MExpr::CaseMulti(scrut, binders, call)))
+                Ok(Arc::new(MExpr::CaseMulti(scrut, binders, call)))
             }
             Rep::Sum(_) => Err(LowerError::Unsupported(format!(
                 "unboxed sum argument `{arg_ty}`"
@@ -458,7 +458,7 @@ impl<'a> Lowerer<'a> {
 
     /// Lowers an application spine headed by a join-point binder as a
     /// [`MExpr::Jump`]. Returns `Ok(None)` for ordinary applications.
-    fn try_lower_jump(&mut self, e: &CoreExpr) -> Result<Option<Rc<MExpr>>, LowerError> {
+    fn try_lower_jump(&mut self, e: &CoreExpr) -> Result<Option<Arc<MExpr>>, LowerError> {
         let mut args: Vec<&CoreExpr> = Vec::new();
         let mut cur = e;
         loop {
@@ -480,7 +480,7 @@ impl<'a> Lowerer<'a> {
         let jname = *jname;
         args.reverse();
         let args: Vec<CoreExpr> = args.into_iter().cloned().collect();
-        self.bind_args(&args, |_, atoms| Ok(Rc::new(MExpr::Jump(jname, atoms))))
+        self.bind_args(&args, |_, atoms| Ok(Arc::new(MExpr::Jump(jname, atoms))))
             .map(Some)
     }
 
@@ -498,7 +498,7 @@ impl<'a> Lowerer<'a> {
         arity: usize,
         rhs: &CoreExpr,
         body: &CoreExpr,
-    ) -> Result<Option<Rc<MExpr>>, LowerError> {
+    ) -> Result<Option<Arc<MExpr>>, LowerError> {
         // Peel the λ-chain into (binder, type) params.
         let mut params: Vec<(Symbol, Type)> = Vec::new();
         let mut jbody = rhs;
@@ -558,8 +558,8 @@ impl<'a> Lowerer<'a> {
         let body_t = self.lower(body);
         self.scope.pop();
         self.locals.pop();
-        Ok(Some(Rc::new(MExpr::LetJoin(
-            Rc::new(JoinDef {
+        Ok(Some(Arc::new(MExpr::LetJoin(
+            Arc::new(JoinDef {
                 name: jname,
                 params: mparams,
                 body: jbody_t,
@@ -575,7 +575,7 @@ impl<'a> Lowerer<'a> {
         ty: &Type,
         rhs: &CoreExpr,
         body: &CoreExpr,
-    ) -> Result<Rc<MExpr>, LowerError> {
+    ) -> Result<Arc<MExpr>, LowerError> {
         // Join points first: a non-recursive λ-binding whose every use
         // is a saturated tail call compiles to a jump target, not a
         // thunk — the machine-level half of the case-of-case story.
@@ -601,7 +601,7 @@ impl<'a> Lowerer<'a> {
                 let inner = self.lower(body);
                 self.scope.pop();
                 self.locals.pop();
-                Ok(Rc::new(MExpr::CaseMulti(
+                Ok(Arc::new(MExpr::CaseMulti(
                     scrut,
                     parts.iter().map(|(n, s)| Binder::new(*n, *s)).collect(),
                     inner?,
@@ -643,7 +643,7 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn lower_case(&mut self, scrut: &CoreExpr, alts: &[CoreAlt]) -> Result<Rc<MExpr>, LowerError> {
+    fn lower_case(&mut self, scrut: &CoreExpr, alts: &[CoreAlt]) -> Result<Arc<MExpr>, LowerError> {
         let scrut_ty = self.type_of(scrut)?;
         let rep = self.rep_of(&scrut_ty)?;
         let scrut_t = self.lower(scrut)?;
@@ -687,7 +687,7 @@ impl<'a> Lowerer<'a> {
                 self.scope.pop();
                 self.locals.pop();
             }
-            return Ok(Rc::new(MExpr::CaseMulti(scrut_t, mbinders, rhs_t?)));
+            return Ok(Arc::new(MExpr::CaseMulti(scrut_t, mbinders, rhs_t?)));
         }
 
         // Scalar case: constructor and literal alternatives plus default.
@@ -749,7 +749,7 @@ impl<'a> Lowerer<'a> {
                 }
             }
         }
-        Ok(Rc::new(MExpr::Case(scrut_t, malts.into(), default)))
+        Ok(Arc::new(MExpr::Case(scrut_t, malts.into(), default)))
     }
 
     /// A-normalizes a scalar expression: atoms pass through, anything
@@ -758,8 +758,8 @@ impl<'a> Lowerer<'a> {
         &mut self,
         e: &CoreExpr,
         class: Slot,
-        k: impl FnOnce(&mut Self, Atom) -> Result<Rc<MExpr>, LowerError>,
-    ) -> Result<Rc<MExpr>, LowerError> {
+        k: impl FnOnce(&mut Self, Atom) -> Result<Arc<MExpr>, LowerError>,
+    ) -> Result<Arc<MExpr>, LowerError> {
         // Atom reuse: variables and literals need no binding.
         match e {
             CoreExpr::Lit(l) => return k(self, Atom::Lit(*l)),
@@ -795,8 +795,8 @@ impl<'a> Lowerer<'a> {
     fn bind_args(
         &mut self,
         es: &[CoreExpr],
-        k: impl FnOnce(&mut Self, Vec<Atom>) -> Result<Rc<MExpr>, LowerError>,
-    ) -> Result<Rc<MExpr>, LowerError> {
+        k: impl FnOnce(&mut Self, Vec<Atom>) -> Result<Arc<MExpr>, LowerError>,
+    ) -> Result<Arc<MExpr>, LowerError> {
         self.bind_args_go(es, Vec::with_capacity(es.len()), k)
     }
 
@@ -804,8 +804,8 @@ impl<'a> Lowerer<'a> {
         &mut self,
         es: &[CoreExpr],
         mut acc: Vec<Atom>,
-        k: impl FnOnce(&mut Self, Vec<Atom>) -> Result<Rc<MExpr>, LowerError>,
-    ) -> Result<Rc<MExpr>, LowerError> {
+        k: impl FnOnce(&mut Self, Vec<Atom>) -> Result<Arc<MExpr>, LowerError>,
+    ) -> Result<Arc<MExpr>, LowerError> {
         match es.split_first() {
             None => k(self, acc),
             Some((e, rest)) => {
@@ -822,7 +822,7 @@ impl<'a> Lowerer<'a> {
                         let scrut = self.lower(e)?;
                         acc.extend(binders.iter().map(|b| Atom::Var(b.name)));
                         let body = self.bind_args_go(rest, acc, k)?;
-                        Ok(Rc::new(MExpr::CaseMulti(scrut, binders, body)))
+                        Ok(Arc::new(MExpr::CaseMulti(scrut, binders, body)))
                     }
                     Rep::Sum(_) => Err(LowerError::Unsupported(format!(
                         "unboxed sum argument `{ty}`"
@@ -860,7 +860,7 @@ pub fn lower_program(env: &TypeEnv, prog: &Program) -> Result<Globals, LowerErro
 /// # Errors
 ///
 /// See [`LowerError`].
-pub fn lower_expr(env: &TypeEnv, e: &CoreExpr) -> Result<Rc<MExpr>, LowerError> {
+pub fn lower_expr(env: &TypeEnv, e: &CoreExpr) -> Result<Arc<MExpr>, LowerError> {
     Lowerer::new(env).lower(e)
 }
 
@@ -1014,7 +1014,7 @@ mod tests {
         // I#[3#] allocates a two-word box; the unboxed 3# does not.
         let env = env();
         let e = CoreExpr::Con(
-            Rc::clone(&env.builtins.i_hash),
+            Arc::clone(&env.builtins.i_hash),
             vec![],
             vec![CoreExpr::int(3)],
         );
@@ -1031,27 +1031,27 @@ mod tests {
         let int = Type::con0(&b.int);
         let e = CoreExpr::case(
             CoreExpr::Con(
-                Rc::clone(&b.just),
+                Arc::clone(&b.just),
                 vec![TyArg::Ty(int.clone())],
                 vec![CoreExpr::Con(
-                    Rc::clone(&b.i_hash),
+                    Arc::clone(&b.i_hash),
                     vec![],
                     vec![CoreExpr::int(11)],
                 )],
             ),
             vec![
                 CoreAlt::Con {
-                    con: Rc::clone(&b.nothing),
+                    con: Arc::clone(&b.nothing),
                     binders: vec![],
                     rhs: CoreExpr::int(0),
                 },
                 CoreAlt::Con {
-                    con: Rc::clone(&b.just),
+                    con: Arc::clone(&b.just),
                     binders: vec![("v".into(), int.clone())],
                     rhs: CoreExpr::case(
                         CoreExpr::Var("v".into()),
                         vec![CoreAlt::Con {
-                            con: Rc::clone(&b.i_hash),
+                            con: Arc::clone(&b.i_hash),
                             binders: vec![("n".into(), Type::con0(&b.int_hash))],
                             rhs: CoreExpr::Var("n".into()),
                         }],

@@ -23,7 +23,7 @@
 //! worker to tail-call itself directly).
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::rep::RepTy;
 use levity_core::symbol::Symbol;
@@ -284,7 +284,7 @@ fn walk(e: &CoreExpr, bodies: &HashMap<Symbol, CoreExpr>, count: &mut usize) -> 
             alts.iter()
                 .map(|alt| match alt {
                     CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
-                        con: Rc::clone(con),
+                        con: Arc::clone(con),
                         binders: binders.clone(),
                         rhs: walk(rhs, bodies, count),
                     },
@@ -304,7 +304,7 @@ fn walk(e: &CoreExpr, bodies: &HashMap<Symbol, CoreExpr>, count: &mut usize) -> 
                 .collect(),
         ),
         CoreExpr::Con(con, ty_args, fields) => CoreExpr::Con(
-            Rc::clone(con),
+            Arc::clone(con),
             ty_args.clone(),
             fields.iter().map(|f| walk(f, bodies, count)).collect(),
         ),

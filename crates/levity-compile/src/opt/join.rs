@@ -33,7 +33,7 @@
 //! pass exists to avoid.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::symbol::Symbol;
 use levity_ir::freshen;
@@ -66,7 +66,7 @@ enum Prepared {
 
 /// The pattern half of a [`CoreAlt`], without its right-hand side.
 enum AltPattern {
-    Con(Rc<DataConInfo>),
+    Con(Arc<DataConInfo>),
     Lit(Literal),
     /// `Some` when the default names the scrutinee.
     Default(bool),
@@ -96,7 +96,7 @@ pub(super) fn case_of_case_with_joins(
             CoreAlt::Con { con, binders, rhs } => (
                 binders.clone(),
                 rhs.clone(),
-                AltPattern::Con(Rc::clone(con)),
+                AltPattern::Con(Arc::clone(con)),
             ),
             CoreAlt::Lit { lit, rhs } => (Vec::new(), rhs.clone(), AltPattern::Lit(*lit)),
             CoreAlt::Default { binder, rhs } => (
@@ -185,7 +185,7 @@ fn instantiate(p: &Prepared) -> CoreAlt {
             };
             match pattern {
                 AltPattern::Con(con) => CoreAlt::Con {
-                    con: Rc::clone(con),
+                    con: Arc::clone(con),
                     binders: fresh,
                     rhs: jump,
                 },
@@ -210,7 +210,7 @@ fn refresh_alt(alt: &CoreAlt) -> CoreAlt {
         CoreAlt::Con { con, binders, rhs } => {
             let (binders, rhs) = refresh_binder_list(binders, rhs);
             CoreAlt::Con {
-                con: Rc::clone(con),
+                con: Arc::clone(con),
                 binders,
                 rhs,
             }
@@ -259,7 +259,7 @@ fn refresh_binder_list(
 fn with_rhs(alt: &CoreAlt, rhs: CoreExpr) -> CoreAlt {
     match alt {
         CoreAlt::Con { con, binders, .. } => CoreAlt::Con {
-            con: Rc::clone(con),
+            con: Arc::clone(con),
             binders: binders.clone(),
             rhs,
         },

@@ -327,10 +327,10 @@ mod tests {
             CoreExpr::case(
                 CoreExpr::Var("n".into()),
                 vec![levity_ir::terms::CoreAlt::Con {
-                    con: std::rc::Rc::clone(&env.builtins.i_hash),
+                    con: std::sync::Arc::clone(&env.builtins.i_hash),
                     binders: vec![("k".into(), ih.clone())],
                     rhs: CoreExpr::Con(
-                        std::rc::Rc::clone(&env.builtins.i_hash),
+                        std::sync::Arc::clone(&env.builtins.i_hash),
                         vec![],
                         vec![CoreExpr::Prim(
                             levity_m::syntax::PrimOp::AddI,
@@ -354,7 +354,7 @@ mod tests {
                     expr: CoreExpr::app(
                         CoreExpr::Global("inc".into()),
                         CoreExpr::Con(
-                            std::rc::Rc::clone(&env.builtins.i_hash),
+                            std::sync::Arc::clone(&env.builtins.i_hash),
                             vec![],
                             vec![CoreExpr::int(1)],
                         ),

@@ -37,7 +37,7 @@
 //! what makes these rewrites representation-preserving.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::rep::Rep;
 use levity_core::symbol::Symbol;
@@ -243,7 +243,7 @@ fn simp(
             CoreExpr::Case(Box::new(scrut), alts)
         }
         CoreExpr::Con(con, ty_args, fields) => CoreExpr::Con(
-            Rc::clone(con),
+            Arc::clone(con),
             ty_args.clone(),
             fields
                 .iter()
@@ -295,7 +295,7 @@ fn simp_alt(
                 scope.pop();
             }
             CoreAlt::Con {
-                con: Rc::clone(con),
+                con: Arc::clone(con),
                 binders: binders.clone(),
                 rhs,
             }
@@ -540,7 +540,7 @@ fn replace_known_case(
             CoreExpr::Case(Box::new(scrut), alts)
         }
         CoreExpr::Con(con, ty_args, fields_) => CoreExpr::Con(
-            Rc::clone(con),
+            Arc::clone(con),
             ty_args.clone(),
             fields_.iter().map(|f| go(f, n)).collect(),
         ),
@@ -569,7 +569,7 @@ fn known_case_alt(
     }
     match alt {
         CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
-            con: Rc::clone(con),
+            con: Arc::clone(con),
             binders: binders.clone(),
             rhs: go(rhs, n),
         },
@@ -621,7 +621,7 @@ fn rewrite_case(
                 CoreAlt::Con { con, binders, rhs } => {
                     let (binders, rhs) = refresh_alt_binders(binders, rhs);
                     CoreAlt::Con {
-                        con: Rc::clone(con),
+                        con: Arc::clone(con),
                         binders,
                         rhs: CoreExpr::case(rhs, alts.to_vec()),
                     }

@@ -452,7 +452,7 @@ fn redirect(
             alts.iter()
                 .map(|alt| match alt {
                     CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
-                        con: std::rc::Rc::clone(con),
+                        con: std::sync::Arc::clone(con),
                         binders: binders.clone(),
                         rhs: again(rhs, count),
                     },
@@ -472,7 +472,7 @@ fn redirect(
                 .collect(),
         ),
         CoreExpr::Con(con, ty_args, fields) => CoreExpr::Con(
-            std::rc::Rc::clone(con),
+            std::sync::Arc::clone(con),
             ty_args.clone(),
             fields.iter().map(|f| again(f, count)).collect(),
         ),

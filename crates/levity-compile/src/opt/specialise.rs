@@ -24,7 +24,7 @@
 //! provide.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::symbol::Symbol;
 use levity_ir::terms::{CoreAlt, CoreExpr, Program, TopBind};
@@ -173,7 +173,7 @@ fn rewrite(
             alts.iter()
                 .map(|alt| match alt {
                     CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
-                        con: Rc::clone(con),
+                        con: Arc::clone(con),
                         binders: binders.clone(),
                         rhs: again(rhs, count),
                     },
@@ -193,7 +193,7 @@ fn rewrite(
                 .collect(),
         ),
         CoreExpr::Con(con, ty_args, fields) => CoreExpr::Con(
-            Rc::clone(con),
+            Arc::clone(con),
             ty_args.clone(),
             fields.iter().map(|f| again(f, count)).collect(),
         ),
@@ -244,7 +244,7 @@ mod tests {
         };
 
         // data Pick (a :: TYPE r) = MkPick (a -> a)
-        let dict_con = Rc::new(DataConInfo {
+        let dict_con = Arc::new(DataConInfo {
             name: "MkPick".into(),
             tag: 0,
             params: vec![TyParam::Rep(r), TyParam::Ty(a, Kind::of_rep_var(r))],
@@ -275,7 +275,7 @@ mod tests {
                         CoreExpr::case(
                             CoreExpr::Var("d".into()),
                             vec![CoreAlt::Con {
-                                con: Rc::clone(&dict_con),
+                                con: Arc::clone(&dict_con),
                                 binders: vec![("f".into(), Type::fun(Type::Var(a), Type::Var(a)))],
                                 rhs: CoreExpr::Var("f".into()),
                             }],
@@ -292,7 +292,7 @@ mod tests {
             name: "$dPick_Int#".into(),
             ty: dict_ty(ih.clone()),
             expr: CoreExpr::Con(
-                Rc::clone(&dict_con),
+                Arc::clone(&dict_con),
                 vec![TyArg::Rep(RepTy::Concrete(Rep::Int)), TyArg::Ty(ih.clone())],
                 vec![field.clone()],
             ),

@@ -11,7 +11,7 @@
 //! is invisible at runtime.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::kind::Kind;
 use levity_core::rep::RepTy;
@@ -295,7 +295,7 @@ fn go(e: &CoreExpr, frames: &mut Vec<(Symbol, CoreExpr)>) -> CoreExpr {
                     CoreAlt::Con { con, binders, rhs } => {
                         let (binders, rhs) = rename_binders(binders, rhs, frames);
                         CoreAlt::Con {
-                            con: Rc::clone(con),
+                            con: Arc::clone(con),
                             binders,
                             rhs,
                         }
@@ -329,7 +329,7 @@ fn go(e: &CoreExpr, frames: &mut Vec<(Symbol, CoreExpr)>) -> CoreExpr {
             CoreExpr::Case(Box::new(scrut), alts)
         }
         CoreExpr::Con(con, ty_args, fields) => CoreExpr::Con(
-            Rc::clone(con),
+            Arc::clone(con),
             ty_args.clone(),
             fields.iter().map(|f| go(f, frames)).collect(),
         ),
@@ -400,7 +400,7 @@ pub fn subst_ty_expr(e: &CoreExpr, var: Symbol, payload: &Type) -> CoreExpr {
                 .collect(),
         ),
         CoreExpr::Con(con, ty_args, fields) => CoreExpr::Con(
-            Rc::clone(con),
+            Arc::clone(con),
             ty_args
                 .iter()
                 .map(|a| match a {
@@ -472,7 +472,7 @@ pub fn subst_rep_expr(e: &CoreExpr, var: Symbol, payload: &RepTy) -> CoreExpr {
                 .collect(),
         ),
         CoreExpr::Con(con, ty_args, fields) => CoreExpr::Con(
-            Rc::clone(con),
+            Arc::clone(con),
             ty_args
                 .iter()
                 .map(|a| match a {
@@ -506,7 +506,7 @@ fn map_alt(
 ) -> CoreAlt {
     match alt {
         CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
-            con: Rc::clone(con),
+            con: Arc::clone(con),
             binders: binders.iter().map(|(x, t)| (*x, on_ty(t))).collect(),
             rhs: on_expr(rhs),
         },

@@ -50,7 +50,7 @@
 //! argument unboxing cannot touch.
 
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::rep::Rep;
 use levity_core::symbol::Symbol;
@@ -72,7 +72,7 @@ use super::subst::substitute;
 /// unboxing alone cannot reach.
 struct CprInfo {
     /// The product's only constructor.
-    con: Rc<DataConInfo>,
+    con: Arc<DataConInfo>,
     /// Its type arguments at the function's (monomorphic) result type.
     ty_args: Vec<TyArg>,
     /// The instantiated field types — the unboxed tuple's components.
@@ -100,7 +100,7 @@ fn cpr_product(env: &TypeEnv, ty: &Type) -> Option<CprInfo> {
     if decl.cons.len() != 1 || !decl.params.iter().all(|p| matches!(p, TyParam::Ty(..))) {
         return None;
     }
-    let con = Rc::clone(&decl.cons[0]);
+    let con = Arc::clone(&decl.cons[0]);
     if con.arity() == 0 {
         return None;
     }
@@ -227,7 +227,7 @@ fn cpr_tails(e: &CoreExpr, cpr: &CprInfo) -> CoreExpr {
             alts.iter()
                 .map(|alt| match alt {
                     CoreAlt::Con { con, binders, rhs } => CoreAlt::Con {
-                        con: Rc::clone(con),
+                        con: Arc::clone(con),
                         binders: binders.clone(),
                         rhs: cpr_tails(rhs, cpr),
                     },
@@ -266,7 +266,7 @@ fn cpr_tails(e: &CoreExpr, cpr: &CprInfo) -> CoreExpr {
             CoreExpr::case(
                 other.clone(),
                 vec![CoreAlt::Con {
-                    con: Rc::clone(&cpr.con),
+                    con: Arc::clone(&cpr.con),
                     binders: binders.clone(),
                     rhs: CoreExpr::Tuple(binders.iter().map(|(b, _)| CoreExpr::Var(*b)).collect()),
                 }],
@@ -278,7 +278,7 @@ fn cpr_tails(e: &CoreExpr, cpr: &CprInfo) -> CoreExpr {
 /// A worker/wrapper split candidate argument.
 struct Unboxing {
     /// The box constructor (`I#`, `D#`, …).
-    con: Rc<DataConInfo>,
+    con: Arc<DataConInfo>,
     /// The unboxed field type (`Int#`, …).
     field_ty: Type,
 }
@@ -305,7 +305,7 @@ fn unboxable(env: &TypeEnv, ty: &Type) -> Option<Unboxing> {
     match kind.concrete_rep() {
         Some(Rep::Lifted | Rep::Unlifted | Rep::Tuple(_) | Rep::Sum(_)) | None => None,
         Some(_) => Some(Unboxing {
-            con: Rc::clone(con),
+            con: Arc::clone(con),
             field_ty,
         }),
     }
@@ -707,7 +707,7 @@ fn split_binding(
             let y = freshen(*x);
             rebox.insert(
                 *x,
-                CoreExpr::Con(Rc::clone(&u.con), Vec::new(), vec![CoreExpr::Var(y)]),
+                CoreExpr::Con(Arc::clone(&u.con), Vec::new(), vec![CoreExpr::Var(y)]),
             );
             worker_args.push((y, u.field_ty.clone()));
         } else {
@@ -757,7 +757,7 @@ fn split_binding(
                 vec![CoreAlt::Tuple {
                     binders: binders.clone(),
                     rhs: CoreExpr::Con(
-                        Rc::clone(&c.con),
+                        Arc::clone(&c.con),
                         c.ty_args.clone(),
                         binders.iter().map(|(x, _)| CoreExpr::Var(*x)).collect(),
                     ),
@@ -773,7 +773,7 @@ fn split_binding(
         wrapper_body = CoreExpr::case(
             CoreExpr::Var(wrapper_args[i].0),
             vec![CoreAlt::Con {
-                con: Rc::clone(&u.con),
+                con: Arc::clone(&u.con),
                 binders: vec![(payload[&i], u.field_ty.clone())],
                 rhs: wrapper_body,
             }],

@@ -28,7 +28,7 @@
 //! ```
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Options controlling how types are rendered.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,7 +69,7 @@ impl PrintOptions {
 /// grouped document prints on one line if it fits, otherwise its lines
 /// break.
 #[derive(Clone, Debug)]
-pub struct Doc(Rc<DocNode>);
+pub struct Doc(Arc<DocNode>);
 
 #[derive(Debug)]
 enum DocNode {
@@ -87,39 +87,39 @@ enum DocNode {
 impl Doc {
     /// The empty document.
     pub fn nil() -> Doc {
-        Doc(Rc::new(DocNode::Nil))
+        Doc(Arc::new(DocNode::Nil))
     }
 
     /// A literal string (must not contain newlines).
     pub fn text(s: impl Into<String>) -> Doc {
-        Doc(Rc::new(DocNode::Text(s.into())))
+        Doc(Arc::new(DocNode::Text(s.into())))
     }
 
     /// A line break, rendered as a single space when the enclosing group
     /// fits on one line.
     pub fn line() -> Doc {
-        Doc(Rc::new(DocNode::Line))
+        Doc(Arc::new(DocNode::Line))
     }
 
     /// A line break, rendered as nothing when the enclosing group fits on
     /// one line.
     pub fn soft_break() -> Doc {
-        Doc(Rc::new(DocNode::SoftBreak))
+        Doc(Arc::new(DocNode::SoftBreak))
     }
 
     /// Increases the indentation of line breaks inside `self` by `n`.
     pub fn nest(self, n: isize) -> Doc {
-        Doc(Rc::new(DocNode::Nest(n, self)))
+        Doc(Arc::new(DocNode::Nest(n, self)))
     }
 
     /// Concatenates two documents.
     pub fn append(self, other: Doc) -> Doc {
-        Doc(Rc::new(DocNode::Concat(self, other)))
+        Doc(Arc::new(DocNode::Concat(self, other)))
     }
 
     /// Marks `self` as a group: it prints on one line if it fits.
     pub fn group(self) -> Doc {
-        Doc(Rc::new(DocNode::Group(self)))
+        Doc(Arc::new(DocNode::Group(self)))
     }
 
     /// Joins documents with a separator.

@@ -135,6 +135,47 @@ impl NameSupply {
     }
 }
 
+/// A `HashMap` keyed by [`Symbol`] with a multiplicative hasher.
+///
+/// A symbol is already a dense interner index; running it through
+/// SipHash costs more than the table probe it guards. Fibonacci
+/// multiplicative hashing scrambles the low bits well enough for the
+/// std table and keeps hot lookups (e.g. a global fetched once per loop
+/// iteration in the reference machine) to a multiply and a mask.
+pub type SymbolMap<V> = HashMap<Symbol, V, BuildSymbolHasher>;
+
+/// Build-side of the [`SymbolMap`] hasher; zero-sized.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BuildSymbolHasher;
+
+impl std::hash::BuildHasher for BuildSymbolHasher {
+    type Hasher = SymbolHasher;
+
+    fn build_hasher(&self) -> SymbolHasher {
+        SymbolHasher(0)
+    }
+}
+
+/// Hashes the symbol's `u32` index by Fibonacci multiplication. Only
+/// meant for symbol keys: other write methods are unimplemented so a
+/// misuse fails loudly rather than hashing weakly.
+#[derive(Debug)]
+pub struct SymbolHasher(u64);
+
+impl std::hash::Hasher for SymbolHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = u64::from(n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unimplemented!("SymbolHasher only hashes Symbol (u32) keys");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -40,7 +40,7 @@
 
 use std::collections::HashSet;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::diag::{Diagnostic, Diagnostics};
 use levity_core::pretty::PrintOptions;
@@ -143,10 +143,46 @@ pub struct Compiled {
     /// Machine code for every top-level binding.
     pub globals: Globals,
     /// The globals pre-compiled for the environment engine.
-    pub code: Rc<CodeProgram>,
+    pub code: Arc<CodeProgram>,
     /// The globals flattened to bytecode for the register machine.
-    pub bytecode: Rc<BcProgram>,
+    pub bytecode: Arc<BcProgram>,
 }
+
+/// Per-run resource limits: a fuel budget (machine steps) and an
+/// optional allocation cap (estimated words). The serving layer sets
+/// both per request; plain `run`/`run_with_engine` calls use an
+/// uncapped allocation budget.
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Maximum machine steps before the run is killed with
+    /// [`MachineError::OutOfFuel`].
+    pub fuel: u64,
+    /// Maximum estimated words allocated before the run is killed with
+    /// [`MachineError::AllocLimitExceeded`]; `None` leaves the heap
+    /// unbounded.
+    pub alloc_words: Option<u64>,
+}
+
+impl RunLimits {
+    /// A fuel budget with no allocation cap.
+    pub fn fuel(fuel: u64) -> RunLimits {
+        RunLimits {
+            fuel,
+            alloc_words: None,
+        }
+    }
+}
+
+// One compiled program is shared read-only across serving workers: the
+// whole point of the Arc-spined representation. A non-Sync field
+// sneaking into any layer of `Compiled` (an Rc, a RefCell) would
+// silently confine programs to one thread again — fail the build
+// instead.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Compiled>();
+    assert_send_sync::<RunLimits>();
+};
 
 impl Compiled {
     /// Runs a zero-argument top-level binding on the default engine
@@ -157,6 +193,22 @@ impl Compiled {
     /// Machine failures (including fuel exhaustion).
     pub fn run(&self, entry: &str, fuel: u64) -> Result<(RunOutcome, MachineStats), MachineError> {
         self.run_with_engine(entry, fuel, Engine::default())
+    }
+
+    /// Runs a zero-argument top-level binding on the chosen engine
+    /// under explicit [`RunLimits`].
+    ///
+    /// # Errors
+    ///
+    /// Machine failures, including fuel exhaustion and the allocation
+    /// cap.
+    pub fn run_with_limits(
+        &self,
+        entry: &str,
+        engine: Engine,
+        limits: RunLimits,
+    ) -> Result<(RunOutcome, MachineStats), MachineError> {
+        self.run_term_with_limits(MExpr::global(entry), engine, limits)
     }
 
     /// Runs a zero-argument top-level binding on the chosen engine.
@@ -181,7 +233,7 @@ impl Compiled {
     /// Machine failures (including fuel exhaustion).
     pub fn run_term(
         &self,
-        term: Rc<MExpr>,
+        term: Arc<MExpr>,
         fuel: u64,
     ) -> Result<(RunOutcome, MachineStats), MachineError> {
         self.run_term_with_engine(term, fuel, Engine::default())
@@ -196,28 +248,48 @@ impl Compiled {
     /// Machine failures (including fuel exhaustion).
     pub fn run_term_with_engine(
         &self,
-        term: Rc<MExpr>,
+        term: Arc<MExpr>,
         fuel: u64,
         engine: Engine,
     ) -> Result<(RunOutcome, MachineStats), MachineError> {
+        self.run_term_with_limits(term, engine, RunLimits::fuel(fuel))
+    }
+
+    /// Runs an arbitrary `M` term against this program's globals on the
+    /// chosen engine under explicit [`RunLimits`].
+    ///
+    /// # Errors
+    ///
+    /// Machine failures, including fuel exhaustion and the allocation
+    /// cap.
+    pub fn run_term_with_limits(
+        &self,
+        term: Arc<MExpr>,
+        engine: Engine,
+        limits: RunLimits,
+    ) -> Result<(RunOutcome, MachineStats), MachineError> {
+        let alloc_words = limits.alloc_words.unwrap_or(u64::MAX);
         match engine {
             Engine::Subst => {
                 let mut machine = Machine::with_globals(self.globals.clone());
-                machine.set_fuel(fuel);
+                machine.set_fuel(limits.fuel);
+                machine.set_alloc_limit(alloc_words);
                 let out = machine.run(term)?;
                 Ok((out, *machine.stats()))
             }
             Engine::Env => {
                 let entry = self.code.compile_entry(&term);
-                let mut machine = EnvMachine::new(Rc::clone(&self.code));
-                machine.set_fuel(fuel);
-                let out = machine.run(entry)?;
+                let mut machine = EnvMachine::new(&self.code);
+                machine.set_fuel(limits.fuel);
+                machine.set_alloc_limit(alloc_words);
+                let out = machine.run(&entry)?;
                 Ok((out, *machine.stats()))
             }
             Engine::Bytecode => {
                 let entry = self.bytecode.compile_entry(&self.code.compile_entry(&term));
-                let mut machine = BcMachine::new(Rc::clone(&self.bytecode));
-                machine.set_fuel(fuel);
+                let mut machine = BcMachine::new(Arc::clone(&self.bytecode));
+                machine.set_fuel(limits.fuel);
+                machine.set_alloc_limit(alloc_words);
                 let out = machine.run(&entry)?;
                 Ok((out, *machine.stats()))
             }
@@ -316,9 +388,9 @@ pub fn compile_source_entries(
     let globals = lower_program(&env, &program).map_err(PipelineError::Lower)?;
     // Pre-resolve everything once for the environment engine: each
     // `Compiled::run` then starts from shared, already-compiled code.
-    let code = Rc::new(CodeProgram::compile(&globals));
+    let code = Arc::new(CodeProgram::compile(&globals));
     // ... and once more into flat bytecode for the register machine.
-    let bytecode = Rc::new(BcProgram::compile(&code));
+    let bytecode = Arc::new(BcProgram::compile(&code));
     Ok(Compiled {
         elaborated,
         program,

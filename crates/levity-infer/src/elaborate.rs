@@ -14,7 +14,7 @@
 //!   top-level dictionary values, exactly as §7.3 describes.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::diag::{Diagnostic, Diagnostics, ErrorCode, Span};
 use levity_core::kind::Kind;
@@ -48,7 +48,7 @@ pub struct ClassInfo {
     /// Method names and their types (in terms of the class variable).
     pub methods: Vec<(Symbol, Type)>,
     /// The generated dictionary constructor.
-    pub dict_con: Rc<DataConInfo>,
+    pub dict_con: Arc<DataConInfo>,
 }
 
 /// A registered instance.
@@ -284,20 +284,20 @@ impl Elaborator {
             .iter()
             .rev()
             .fold(Kind::TYPE, |acc, (_, k)| Kind::arrow(k.clone(), acc));
-        let tycon = Rc::new(TyCon { name, kind });
+        let tycon = Arc::new(TyCon { name, kind });
         // Register the tycon before converting fields (recursive types).
-        let placeholder_decl = Rc::new(DataDecl {
-            tycon: Rc::clone(&tycon),
+        let placeholder_decl = Arc::new(DataDecl {
+            tycon: Arc::clone(&tycon),
             params: param_info
                 .iter()
                 .map(|(v, k)| TyParam::Ty(*v, k.clone()))
                 .collect(),
             cons: Vec::new(),
         });
-        self.env.add_data_decl(Rc::clone(&placeholder_decl));
+        self.env.add_data_decl(Arc::clone(&placeholder_decl));
 
         let result = Type::Con(
-            Rc::clone(&tycon),
+            Arc::clone(&tycon),
             param_info.iter().map(|(v, _)| Type::Var(*v)).collect(),
         );
         let mut scope = ConvScope::new();
@@ -327,7 +327,7 @@ impl Elaborator {
                     }
                 }
             }
-            con_infos.push(Rc::new(DataConInfo {
+            con_infos.push(Arc::new(DataConInfo {
                 name: *cname,
                 tag: tag as u32,
                 params: param_info
@@ -338,7 +338,7 @@ impl Elaborator {
                 result: result.clone(),
             }));
         }
-        let decl = Rc::new(DataDecl {
+        let decl = Arc::new(DataDecl {
             tycon,
             params: param_info
                 .iter()
@@ -346,7 +346,7 @@ impl Elaborator {
                 .collect(),
             cons: con_infos,
         });
-        self.env.add_data_decl(Rc::clone(&decl));
+        self.env.add_data_decl(Arc::clone(&decl));
         self.program.data_decls.push(decl);
     }
 
@@ -394,7 +394,7 @@ impl Elaborator {
         }
         // The dictionary datatype (§7.3):
         //   data Num (a :: TYPE r) = MkNum { (+) :: a->a->a, abs :: a->a }
-        let dict_con = Rc::new(DataConInfo {
+        let dict_con = Arc::new(DataConInfo {
             name: Symbol::intern(&format!("Mk{name}")),
             tag: 0,
             params: rep_params
@@ -405,7 +405,7 @@ impl Elaborator {
             field_types: method_types.iter().map(|(_, t)| t.clone()).collect(),
             result: Type::Dict(name, Box::new(Type::Var(var))),
         });
-        self.env.add_datacon(Rc::clone(&dict_con));
+        self.env.add_datacon(Arc::clone(&dict_con));
 
         // Method selectors: plain record selectors whose *types* are
         // levity-polymorphic but whose bodies bind only the lifted
@@ -427,7 +427,7 @@ impl Elaborator {
             let body = CoreExpr::case(
                 CoreExpr::Var(d),
                 vec![CoreAlt::Con {
-                    con: Rc::clone(&dict_con),
+                    con: Arc::clone(&dict_con),
                     binders: field_binders.clone(),
                     rhs: CoreExpr::Var(field_binders[i].0),
                 }],
@@ -596,7 +596,7 @@ impl Elaborator {
             .chain(std::iter::once(TyArg::Ty(head_ty.clone())))
             .collect();
         let dict_expr = CoreExpr::Con(
-            Rc::clone(&ci.dict_con),
+            Arc::clone(&ci.dict_con),
             ty_args,
             method_globals.into_iter().map(CoreExpr::Global).collect(),
         );
@@ -1357,7 +1357,7 @@ impl Elaborator {
             // 3 is I# 3# (§2.1).
             SLit::Int(n) => (
                 CoreExpr::Con(
-                    Rc::clone(&b.i_hash),
+                    Arc::clone(&b.i_hash),
                     vec![],
                     vec![CoreExpr::Lit(Literal::Int(n))],
                 ),
@@ -1365,7 +1365,7 @@ impl Elaborator {
             ),
             SLit::Double(x) => (
                 CoreExpr::Con(
-                    Rc::clone(&b.d_hash),
+                    Arc::clone(&b.d_hash),
                     vec![],
                     vec![CoreExpr::Lit(Literal::double(x))],
                 ),
@@ -1373,7 +1373,7 @@ impl Elaborator {
             ),
             SLit::Char(c) => (
                 CoreExpr::Con(
-                    Rc::clone(&b.c_hash),
+                    Arc::clone(&b.c_hash),
                     vec![],
                     vec![CoreExpr::Lit(Literal::Char(c))],
                 ),
@@ -1639,12 +1639,12 @@ impl Elaborator {
             c_core,
             vec![
                 CoreAlt::Con {
-                    con: Rc::clone(&b.false_con),
+                    con: Arc::clone(&b.false_con),
                     binders: vec![],
                     rhs: f_core,
                 },
                 CoreAlt::Con {
-                    con: Rc::clone(&b.true_con),
+                    con: Arc::clone(&b.true_con),
                     binders: vec![],
                     rhs: t_core,
                 },

@@ -501,7 +501,7 @@ mod tests {
         let a2 = u.fresh_ty_meta();
         u.unify(
             &a1,
-            &Type::Con(std::rc::Rc::clone(&b.maybe), vec![a2.clone()]),
+            &Type::Con(std::sync::Arc::clone(&b.maybe), vec![a2.clone()]),
         )
         .unwrap();
         u.unify(&a2, &Type::con0(&b.bool)).unwrap();

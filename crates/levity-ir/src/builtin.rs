@@ -5,7 +5,7 @@
 //! unboxed. Only the primitive unboxed types (`Int#`, `Double#`, ...) and
 //! the primops over them are built in.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::kind::Kind;
 use levity_core::rep::Rep;
@@ -20,64 +20,64 @@ use crate::types::{TyCon, Type};
 #[derive(Clone, Debug)]
 pub struct Builtins {
     /// `Int# :: TYPE IntRep`.
-    pub int_hash: Rc<TyCon>,
+    pub int_hash: Arc<TyCon>,
     /// `Char# :: TYPE CharRep`.
-    pub char_hash: Rc<TyCon>,
+    pub char_hash: Arc<TyCon>,
     /// `Float# :: TYPE FloatRep`.
-    pub float_hash: Rc<TyCon>,
+    pub float_hash: Arc<TyCon>,
     /// `Double# :: TYPE DoubleRep`.
-    pub double_hash: Rc<TyCon>,
+    pub double_hash: Arc<TyCon>,
     /// `ByteArray# :: TYPE UnliftedRep` (boxed, unlifted — Figure 1).
-    pub byte_array_hash: Rc<TyCon>,
+    pub byte_array_hash: Arc<TyCon>,
     /// `Array# :: Type -> TYPE UnliftedRep` (§7.1: parameterized unlifted).
-    pub array_hash: Rc<TyCon>,
+    pub array_hash: Arc<TyCon>,
     /// `Int :: Type`.
-    pub int: Rc<TyCon>,
+    pub int: Arc<TyCon>,
     /// `Char :: Type`.
-    pub char: Rc<TyCon>,
+    pub char: Arc<TyCon>,
     /// `Float :: Type`.
-    pub float: Rc<TyCon>,
+    pub float: Arc<TyCon>,
     /// `Double :: Type`.
-    pub double: Rc<TyCon>,
+    pub double: Arc<TyCon>,
     /// `Bool :: Type`.
-    pub bool: Rc<TyCon>,
+    pub bool: Arc<TyCon>,
     /// `Maybe :: Type -> Type`.
-    pub maybe: Rc<TyCon>,
+    pub maybe: Arc<TyCon>,
     /// `List :: Type -> Type` (written `[a]` in Haskell).
-    pub list: Rc<TyCon>,
+    pub list: Arc<TyCon>,
     /// `Unit :: Type` (written `()`).
-    pub unit: Rc<TyCon>,
+    pub unit: Arc<TyCon>,
     /// `Pair :: Type -> Type -> Type` (boxed `(,)`).
-    pub pair: Rc<TyCon>,
+    pub pair: Arc<TyCon>,
 
     /// `I# :: Int# -> Int`.
-    pub i_hash: Rc<DataConInfo>,
+    pub i_hash: Arc<DataConInfo>,
     /// `C# :: Char# -> Char`.
-    pub c_hash: Rc<DataConInfo>,
+    pub c_hash: Arc<DataConInfo>,
     /// `F# :: Float# -> Float`.
-    pub f_hash: Rc<DataConInfo>,
+    pub f_hash: Arc<DataConInfo>,
     /// `D# :: Double# -> Double`.
-    pub d_hash: Rc<DataConInfo>,
+    pub d_hash: Arc<DataConInfo>,
     /// `False :: Bool` (tag 0).
-    pub false_con: Rc<DataConInfo>,
+    pub false_con: Arc<DataConInfo>,
     /// `True :: Bool` (tag 1).
-    pub true_con: Rc<DataConInfo>,
+    pub true_con: Arc<DataConInfo>,
     /// `Nothing :: Maybe a` (tag 0).
-    pub nothing: Rc<DataConInfo>,
+    pub nothing: Arc<DataConInfo>,
     /// `Just :: a -> Maybe a` (tag 1).
-    pub just: Rc<DataConInfo>,
+    pub just: Arc<DataConInfo>,
     /// `Nil :: List a` (tag 0).
-    pub nil: Rc<DataConInfo>,
+    pub nil: Arc<DataConInfo>,
     /// `Cons :: a -> List a -> List a` (tag 1).
-    pub cons: Rc<DataConInfo>,
+    pub cons: Arc<DataConInfo>,
     /// `MkUnit :: Unit`.
-    pub unit_con: Rc<DataConInfo>,
+    pub unit_con: Arc<DataConInfo>,
     /// `MkPair :: a -> b -> Pair a b` — the boxed tuple of §2.3: "a
     /// heap-allocated vector of pointers", all fields lifted.
-    pub pair_con: Rc<DataConInfo>,
+    pub pair_con: Arc<DataConInfo>,
 
     /// The prelude datatype declarations, in dependency order.
-    pub data_decls: Vec<Rc<DataDecl>>,
+    pub data_decls: Vec<Arc<DataDecl>>,
 }
 
 fn sym(s: &str) -> Symbol {
@@ -86,72 +86,72 @@ fn sym(s: &str) -> Symbol {
 
 /// Builds the built-in environment. Cheap enough to call freely.
 pub fn builtins() -> Builtins {
-    let int_hash = Rc::new(TyCon::of_rep("Int#", Rep::Int));
-    let char_hash = Rc::new(TyCon::of_rep("Char#", Rep::Char));
-    let float_hash = Rc::new(TyCon::of_rep("Float#", Rep::Float));
-    let double_hash = Rc::new(TyCon::of_rep("Double#", Rep::Double));
-    let byte_array_hash = Rc::new(TyCon::of_rep("ByteArray#", Rep::Unlifted));
-    let array_hash = Rc::new(TyCon {
+    let int_hash = Arc::new(TyCon::of_rep("Int#", Rep::Int));
+    let char_hash = Arc::new(TyCon::of_rep("Char#", Rep::Char));
+    let float_hash = Arc::new(TyCon::of_rep("Float#", Rep::Float));
+    let double_hash = Arc::new(TyCon::of_rep("Double#", Rep::Double));
+    let byte_array_hash = Arc::new(TyCon::of_rep("ByteArray#", Rep::Unlifted));
+    let array_hash = Arc::new(TyCon {
         name: sym("Array#"),
         kind: Kind::arrow(Kind::TYPE, Kind::of_rep(Rep::Unlifted)),
     });
-    let int = Rc::new(TyCon::lifted("Int"));
-    let char = Rc::new(TyCon::lifted("Char"));
-    let float = Rc::new(TyCon::lifted("Float"));
-    let double = Rc::new(TyCon::lifted("Double"));
-    let bool_tc = Rc::new(TyCon::lifted("Bool"));
-    let maybe = Rc::new(TyCon {
+    let int = Arc::new(TyCon::lifted("Int"));
+    let char = Arc::new(TyCon::lifted("Char"));
+    let float = Arc::new(TyCon::lifted("Float"));
+    let double = Arc::new(TyCon::lifted("Double"));
+    let bool_tc = Arc::new(TyCon::lifted("Bool"));
+    let maybe = Arc::new(TyCon {
         name: sym("Maybe"),
         kind: Kind::arrow(Kind::TYPE, Kind::TYPE),
     });
-    let list = Rc::new(TyCon {
+    let list = Arc::new(TyCon {
         name: sym("List"),
         kind: Kind::arrow(Kind::TYPE, Kind::TYPE),
     });
-    let unit = Rc::new(TyCon::lifted("Unit"));
-    let pair = Rc::new(TyCon {
+    let unit = Arc::new(TyCon::lifted("Unit"));
+    let pair = Arc::new(TyCon {
         name: sym("Pair"),
         kind: Kind::arrow(Kind::TYPE, Kind::arrow(Kind::TYPE, Kind::TYPE)),
     });
 
     // data Int = I# Int#   (and friends: §2.1, "GHC does not treat them
     // specially")
-    let i_hash = Rc::new(DataConInfo {
+    let i_hash = Arc::new(DataConInfo {
         name: sym("I#"),
         tag: 0,
         params: vec![],
         field_types: vec![Type::con0(&int_hash)],
         result: Type::con0(&int),
     });
-    let c_hash = Rc::new(DataConInfo {
+    let c_hash = Arc::new(DataConInfo {
         name: sym("C#"),
         tag: 0,
         params: vec![],
         field_types: vec![Type::con0(&char_hash)],
         result: Type::con0(&char),
     });
-    let f_hash = Rc::new(DataConInfo {
+    let f_hash = Arc::new(DataConInfo {
         name: sym("F#"),
         tag: 0,
         params: vec![],
         field_types: vec![Type::con0(&float_hash)],
         result: Type::con0(&float),
     });
-    let d_hash = Rc::new(DataConInfo {
+    let d_hash = Arc::new(DataConInfo {
         name: sym("D#"),
         tag: 0,
         params: vec![],
         field_types: vec![Type::con0(&double_hash)],
         result: Type::con0(&double),
     });
-    let false_con = Rc::new(DataConInfo {
+    let false_con = Arc::new(DataConInfo {
         name: sym("False"),
         tag: 0,
         params: vec![],
         field_types: vec![],
         result: Type::con0(&bool_tc),
     });
-    let true_con = Rc::new(DataConInfo {
+    let true_con = Arc::new(DataConInfo {
         name: sym("True"),
         tag: 1,
         params: vec![],
@@ -160,97 +160,97 @@ pub fn builtins() -> Builtins {
     });
     let a = sym("a");
     let b = sym("b");
-    let nothing = Rc::new(DataConInfo {
+    let nothing = Arc::new(DataConInfo {
         name: sym("Nothing"),
         tag: 0,
         params: vec![TyParam::Ty(a, Kind::TYPE)],
         field_types: vec![],
-        result: Type::Con(Rc::clone(&maybe), vec![Type::Var(a)]),
+        result: Type::Con(Arc::clone(&maybe), vec![Type::Var(a)]),
     });
-    let just = Rc::new(DataConInfo {
+    let just = Arc::new(DataConInfo {
         name: sym("Just"),
         tag: 1,
         params: vec![TyParam::Ty(a, Kind::TYPE)],
         field_types: vec![Type::Var(a)],
-        result: Type::Con(Rc::clone(&maybe), vec![Type::Var(a)]),
+        result: Type::Con(Arc::clone(&maybe), vec![Type::Var(a)]),
     });
-    let nil = Rc::new(DataConInfo {
+    let nil = Arc::new(DataConInfo {
         name: sym("Nil"),
         tag: 0,
         params: vec![TyParam::Ty(a, Kind::TYPE)],
         field_types: vec![],
-        result: Type::Con(Rc::clone(&list), vec![Type::Var(a)]),
+        result: Type::Con(Arc::clone(&list), vec![Type::Var(a)]),
     });
-    let cons = Rc::new(DataConInfo {
+    let cons = Arc::new(DataConInfo {
         name: sym("Cons"),
         tag: 1,
         params: vec![TyParam::Ty(a, Kind::TYPE)],
         field_types: vec![
             Type::Var(a),
-            Type::Con(Rc::clone(&list), vec![Type::Var(a)]),
+            Type::Con(Arc::clone(&list), vec![Type::Var(a)]),
         ],
-        result: Type::Con(Rc::clone(&list), vec![Type::Var(a)]),
+        result: Type::Con(Arc::clone(&list), vec![Type::Var(a)]),
     });
-    let unit_con = Rc::new(DataConInfo {
+    let unit_con = Arc::new(DataConInfo {
         name: sym("MkUnit"),
         tag: 0,
         params: vec![],
         field_types: vec![],
         result: Type::con0(&unit),
     });
-    let pair_con = Rc::new(DataConInfo {
+    let pair_con = Arc::new(DataConInfo {
         name: sym("MkPair"),
         tag: 0,
         params: vec![TyParam::Ty(a, Kind::TYPE), TyParam::Ty(b, Kind::TYPE)],
         field_types: vec![Type::Var(a), Type::Var(b)],
-        result: Type::Con(Rc::clone(&pair), vec![Type::Var(a), Type::Var(b)]),
+        result: Type::Con(Arc::clone(&pair), vec![Type::Var(a), Type::Var(b)]),
     });
 
     let data_decls = vec![
-        Rc::new(DataDecl {
-            tycon: Rc::clone(&int),
+        Arc::new(DataDecl {
+            tycon: Arc::clone(&int),
             params: vec![],
-            cons: vec![Rc::clone(&i_hash)],
+            cons: vec![Arc::clone(&i_hash)],
         }),
-        Rc::new(DataDecl {
-            tycon: Rc::clone(&char),
+        Arc::new(DataDecl {
+            tycon: Arc::clone(&char),
             params: vec![],
-            cons: vec![Rc::clone(&c_hash)],
+            cons: vec![Arc::clone(&c_hash)],
         }),
-        Rc::new(DataDecl {
-            tycon: Rc::clone(&float),
+        Arc::new(DataDecl {
+            tycon: Arc::clone(&float),
             params: vec![],
-            cons: vec![Rc::clone(&f_hash)],
+            cons: vec![Arc::clone(&f_hash)],
         }),
-        Rc::new(DataDecl {
-            tycon: Rc::clone(&double),
+        Arc::new(DataDecl {
+            tycon: Arc::clone(&double),
             params: vec![],
-            cons: vec![Rc::clone(&d_hash)],
+            cons: vec![Arc::clone(&d_hash)],
         }),
-        Rc::new(DataDecl {
-            tycon: Rc::clone(&bool_tc),
+        Arc::new(DataDecl {
+            tycon: Arc::clone(&bool_tc),
             params: vec![],
-            cons: vec![Rc::clone(&false_con), Rc::clone(&true_con)],
+            cons: vec![Arc::clone(&false_con), Arc::clone(&true_con)],
         }),
-        Rc::new(DataDecl {
-            tycon: Rc::clone(&maybe),
+        Arc::new(DataDecl {
+            tycon: Arc::clone(&maybe),
             params: vec![TyParam::Ty(a, Kind::TYPE)],
-            cons: vec![Rc::clone(&nothing), Rc::clone(&just)],
+            cons: vec![Arc::clone(&nothing), Arc::clone(&just)],
         }),
-        Rc::new(DataDecl {
-            tycon: Rc::clone(&list),
+        Arc::new(DataDecl {
+            tycon: Arc::clone(&list),
             params: vec![TyParam::Ty(a, Kind::TYPE)],
-            cons: vec![Rc::clone(&nil), Rc::clone(&cons)],
+            cons: vec![Arc::clone(&nil), Arc::clone(&cons)],
         }),
-        Rc::new(DataDecl {
-            tycon: Rc::clone(&unit),
+        Arc::new(DataDecl {
+            tycon: Arc::clone(&unit),
             params: vec![],
-            cons: vec![Rc::clone(&unit_con)],
+            cons: vec![Arc::clone(&unit_con)],
         }),
-        Rc::new(DataDecl {
-            tycon: Rc::clone(&pair),
+        Arc::new(DataDecl {
+            tycon: Arc::clone(&pair),
             params: vec![TyParam::Ty(a, Kind::TYPE), TyParam::Ty(b, Kind::TYPE)],
-            cons: vec![Rc::clone(&pair_con)],
+            cons: vec![Arc::clone(&pair_con)],
         }),
     ];
 

@@ -7,7 +7,7 @@
 //! happens upstream (the `levity-infer` crate) and produces these terms.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::kind::Kind;
 use levity_core::rep::RepTy;
@@ -97,11 +97,11 @@ impl fmt::Display for DataConInfo {
 #[derive(Clone, Debug, PartialEq)]
 pub struct DataDecl {
     /// The type constructor being declared.
-    pub tycon: Rc<TyCon>,
+    pub tycon: Arc<TyCon>,
     /// Its parameters.
     pub params: Vec<TyParam>,
     /// Its constructors, in tag order.
-    pub cons: Vec<Rc<DataConInfo>>,
+    pub cons: Vec<Arc<DataConInfo>>,
 }
 
 /// Is a `let` recursive?
@@ -121,7 +121,7 @@ pub enum CoreAlt {
     /// scrutinee's type.
     Con {
         /// The matched constructor.
-        con: Rc<DataConInfo>,
+        con: Arc<DataConInfo>,
         /// Field binders with instantiated types.
         binders: Vec<(Symbol, Type)>,
         /// Right-hand side.
@@ -189,7 +189,7 @@ pub enum CoreExpr {
     /// `case e of alts` (no scrutinee binder; use a `let!` upstream).
     Case(Box<CoreExpr>, Vec<CoreAlt>),
     /// Saturated constructor application `C @σ… e…`.
-    Con(Rc<DataConInfo>, Vec<TyArg>, Vec<CoreExpr>),
+    Con(Arc<DataConInfo>, Vec<TyArg>, Vec<CoreExpr>),
     /// Saturated primop application.
     Prim(PrimOp, Vec<CoreExpr>),
     /// `(# e₁, …, eₙ #)` — unboxed tuple construction.
@@ -378,7 +378,7 @@ pub struct TopBind {
 #[derive(Clone, Debug, Default)]
 pub struct Program {
     /// Datatype declarations (prelude + user).
-    pub data_decls: Vec<Rc<DataDecl>>,
+    pub data_decls: Vec<Arc<DataDecl>>,
     /// Top-level value bindings.
     pub bindings: Vec<TopBind>,
 }

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::kind::Kind;
 use levity_core::rep::{normalize_tuple, RepTy};
@@ -116,9 +116,9 @@ impl std::error::Error for CoreError {}
 pub struct TypeEnv {
     /// The built-in types and constructors.
     pub builtins: Builtins,
-    tycons: HashMap<Symbol, Rc<TyCon>>,
-    datacons: HashMap<Symbol, Rc<DataConInfo>>,
-    datatypes: HashMap<Symbol, Rc<DataDecl>>,
+    tycons: HashMap<Symbol, Arc<TyCon>>,
+    datacons: HashMap<Symbol, Arc<DataConInfo>>,
+    datatypes: HashMap<Symbol, Arc<DataDecl>>,
     globals: HashMap<Symbol, Type>,
 }
 
@@ -147,20 +147,20 @@ impl TypeEnv {
             &b.byte_array_hash,
             &b.array_hash,
         ] {
-            env.tycons.insert(tc.name, Rc::clone(tc));
+            env.tycons.insert(tc.name, Arc::clone(tc));
         }
         for decl in &b.data_decls {
-            env.add_data_decl(Rc::clone(decl));
+            env.add_data_decl(Arc::clone(decl));
         }
         env
     }
 
     /// Registers a datatype declaration (type constructor and all of its
     /// data constructors).
-    pub fn add_data_decl(&mut self, decl: Rc<DataDecl>) {
-        self.tycons.insert(decl.tycon.name, Rc::clone(&decl.tycon));
+    pub fn add_data_decl(&mut self, decl: Arc<DataDecl>) {
+        self.tycons.insert(decl.tycon.name, Arc::clone(&decl.tycon));
         for con in &decl.cons {
-            self.datacons.insert(con.name, Rc::clone(con));
+            self.datacons.insert(con.name, Arc::clone(con));
         }
         self.datatypes.insert(decl.tycon.name, decl);
     }
@@ -172,22 +172,22 @@ impl TypeEnv {
 
     /// Registers a standalone data constructor (used for generated
     /// class-dictionary constructors, which have no ordinary tycon).
-    pub fn add_datacon(&mut self, con: Rc<DataConInfo>) {
+    pub fn add_datacon(&mut self, con: Arc<DataConInfo>) {
         self.datacons.insert(con.name, con);
     }
 
     /// Looks up a type constructor.
-    pub fn tycon(&self, name: Symbol) -> Option<&Rc<TyCon>> {
+    pub fn tycon(&self, name: Symbol) -> Option<&Arc<TyCon>> {
         self.tycons.get(&name)
     }
 
     /// Looks up a data constructor.
-    pub fn datacon(&self, name: Symbol) -> Option<&Rc<DataConInfo>> {
+    pub fn datacon(&self, name: Symbol) -> Option<&Arc<DataConInfo>> {
         self.datacons.get(&name)
     }
 
     /// Looks up a datatype declaration by its type constructor name.
-    pub fn datatype(&self, name: Symbol) -> Option<&Rc<DataDecl>> {
+    pub fn datatype(&self, name: Symbol) -> Option<&Arc<DataDecl>> {
         self.datatypes.get(&name)
     }
 
@@ -755,7 +755,7 @@ pub fn type_of(env: &TypeEnv, scope: &mut Scope, e: &CoreExpr) -> Result<Type, C
 pub fn check_program(prog: &Program) -> Result<TypeEnv, (Symbol, CoreError)> {
     let mut env = TypeEnv::new();
     for decl in &prog.data_decls {
-        env.add_data_decl(Rc::clone(decl));
+        env.add_data_decl(Arc::clone(decl));
     }
     // Globals first: all top-level bindings are mutually recursive.
     for bind in &prog.bindings {
@@ -799,7 +799,7 @@ mod tests {
             "Int#"
         );
         let boxed = CoreExpr::Con(
-            Rc::clone(&env.builtins.i_hash),
+            Arc::clone(&env.builtins.i_hash),
             vec![],
             vec![CoreExpr::int(3)],
         );
@@ -873,7 +873,7 @@ mod tests {
             "Type -> TYPE UnliftedRep"
         );
         let applied = Type::Con(
-            Rc::clone(&env.builtins.array_hash),
+            Arc::clone(&env.builtins.array_hash),
             vec![Type::con0(&env.builtins.int)],
         );
         assert_eq!(
@@ -925,15 +925,15 @@ mod tests {
         let mut scope = Scope::new();
         let b = &env.builtins;
         let e = CoreExpr::case(
-            CoreExpr::Con(Rc::clone(&b.true_con), vec![], vec![]),
+            CoreExpr::Con(Arc::clone(&b.true_con), vec![], vec![]),
             vec![
                 CoreAlt::Con {
-                    con: Rc::clone(&b.false_con),
+                    con: Arc::clone(&b.false_con),
                     binders: vec![],
                     rhs: CoreExpr::int(0),
                 },
                 CoreAlt::Con {
-                    con: Rc::clone(&b.true_con),
+                    con: Arc::clone(&b.true_con),
                     binders: vec![],
                     rhs: CoreExpr::int(1),
                 },
@@ -948,15 +948,15 @@ mod tests {
         let mut scope = Scope::new();
         let b = &env.builtins;
         let e = CoreExpr::case(
-            CoreExpr::Con(Rc::clone(&b.true_con), vec![], vec![]),
+            CoreExpr::Con(Arc::clone(&b.true_con), vec![], vec![]),
             vec![
                 CoreAlt::Con {
-                    con: Rc::clone(&b.false_con),
+                    con: Arc::clone(&b.false_con),
                     binders: vec![],
                     rhs: CoreExpr::int(0),
                 },
                 CoreAlt::Con {
-                    con: Rc::clone(&b.true_con),
+                    con: Arc::clone(&b.true_con),
                     binders: vec![],
                     rhs: CoreExpr::Lit(Literal::double(1.0)),
                 },
@@ -973,30 +973,30 @@ mod tests {
         let env = env();
         let mut scope = Scope::new();
         let b = &env.builtins;
-        let maybe_int = Type::Con(Rc::clone(&b.maybe), vec![Type::con0(&b.int)]);
+        let maybe_int = Type::Con(Arc::clone(&b.maybe), vec![Type::con0(&b.int)]);
         let e = CoreExpr::case(
             CoreExpr::Con(
-                Rc::clone(&b.just),
+                Arc::clone(&b.just),
                 vec![TyArg::Ty(Type::con0(&b.int))],
                 vec![CoreExpr::Con(
-                    Rc::clone(&b.i_hash),
+                    Arc::clone(&b.i_hash),
                     vec![],
                     vec![CoreExpr::int(3)],
                 )],
             ),
             vec![
                 CoreAlt::Con {
-                    con: Rc::clone(&b.nothing),
+                    con: Arc::clone(&b.nothing),
                     binders: vec![],
                     rhs: CoreExpr::int(0),
                 },
                 CoreAlt::Con {
-                    con: Rc::clone(&b.just),
+                    con: Arc::clone(&b.just),
                     binders: vec![("v".into(), Type::con0(&b.int))],
                     rhs: CoreExpr::case(
                         CoreExpr::Var("v".into()),
                         vec![CoreAlt::Con {
-                            con: Rc::clone(&b.i_hash),
+                            con: Arc::clone(&b.i_hash),
                             binders: vec![("n".into(), Type::con0(&b.int_hash))],
                             rhs: CoreExpr::Var("n".into()),
                         }],

@@ -12,7 +12,7 @@
 //! so `Int# -> Int#` is well-kinded with no sub-kinding anywhere.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::kind::Kind;
 use levity_core::pretty::PrintOptions;
@@ -57,7 +57,7 @@ impl fmt::Display for TyCon {
 pub enum Type {
     /// A (possibly partial) application of a type constructor:
     /// `Maybe Int`, `Array# Bool`, or bare `Int`.
-    Con(Rc<TyCon>, Vec<Type>),
+    Con(Arc<TyCon>, Vec<Type>),
     /// A type variable.
     Var(Symbol),
     /// `τ₁ -> τ₂` with the §4.3 levity-polymorphic arrow kind.
@@ -98,8 +98,8 @@ impl Type {
     }
 
     /// A bare type constructor.
-    pub fn con0(tc: &Rc<TyCon>) -> Type {
-        Type::Con(Rc::clone(tc), Vec::new())
+    pub fn con0(tc: &Arc<TyCon>) -> Type {
+        Type::Con(Arc::clone(tc), Vec::new())
     }
 
     /// Splits a curried function type into arguments and result.
@@ -184,7 +184,7 @@ impl Type {
             Type::Var(v) if *v == var => payload.clone(),
             Type::Var(_) => self.clone(),
             Type::Con(tc, args) => Type::Con(
-                Rc::clone(tc),
+                Arc::clone(tc),
                 args.iter().map(|a| a.subst_ty(var, payload)).collect(),
             ),
             Type::Fun(a, b) => Type::fun(a.subst_ty(var, payload), b.subst_ty(var, payload)),
@@ -220,7 +220,7 @@ impl Type {
         match self {
             Type::Var(_) => self.clone(),
             Type::Con(tc, args) => Type::Con(
-                Rc::clone(tc),
+                Arc::clone(tc),
                 args.iter().map(|a| a.subst_rep(var, payload)).collect(),
             ),
             Type::Fun(a, b) => Type::fun(a.subst_rep(var, payload), b.subst_rep(var, payload)),
@@ -456,7 +456,7 @@ mod tests {
             "Int# -> Int#"
         );
         assert_eq!(
-            Type::Con(Rc::clone(&b.maybe), vec![Type::con0(&b.int)]).to_string(),
+            Type::Con(Arc::clone(&b.maybe), vec![Type::con0(&b.int)]).to_string(),
             "Maybe Int"
         );
     }

@@ -2,7 +2,7 @@
 //! instruction vectors for the register machine in [`crate::regmachine`].
 //!
 //! The environment engine still *walks a tree*: every transition is an
-//! `Rc` dereference, a `match` on a node, and a heap-allocated
+//! `Arc` dereference, a `match` on a node, and a heap-allocated
 //! environment extension. This module is the second half of the §6.2
 //! story — because every binder's register class is fixed at compile
 //! time, we can assign every variable a *slot in a per-class operand
@@ -40,7 +40,7 @@
 //! effects (counter bumps, allocations) that precede it.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::rep::Slot;
 use levity_core::symbol::Symbol;
@@ -157,9 +157,9 @@ pub enum BAlt {
     /// (width-checked in order, like the environment engine).
     Con {
         /// The constructor matched by name.
-        con: Rc<DataCon>,
+        con: Arc<DataCon>,
         /// Field binders and their destination slots.
-        binds: Rc<[(Binder, u16)]>,
+        binds: Arc<[(Binder, u16)]>,
         /// Branch target.
         target: u32,
     },
@@ -187,10 +187,10 @@ pub enum Instr {
     /// `error` (rule ERR): aborts the whole machine with
     /// `RunOutcome::Error`, checked *before* the fuel counter exactly
     /// like the tree engines.
-    Err(Rc<str>),
+    Err(Arc<str>),
     /// A statically-detected machine failure, raised at runtime at
     /// this program point.
-    Trap(Rc<MachineError>),
+    Trap(Arc<MachineError>),
     /// Unconditional branch.
     Goto(u32),
     /// Join-point jump with buffered argument transfer: resolve every
@@ -201,9 +201,9 @@ pub enum Instr {
         /// Branch target (the join body's offset).
         target: u32,
         /// Argument sources (empty when pre-moved).
-        args: Rc<[Src]>,
+        args: Arc<[Src]>,
         /// Parameter binders and slots (empty when pre-moved).
-        params: Rc<[(Binder, u16)]>,
+        params: Arc<[(Binder, u16)]>,
     },
     /// Word-register move.
     MovW {
@@ -301,7 +301,7 @@ pub enum Instr {
         /// The operation.
         op: PrimOp,
         /// Operand sources.
-        args: Rc<[Src]>,
+        args: Arc<[Src]>,
     },
     /// **Fused**: integer compare + branch. Writes nothing; branches
     /// on the unboxed boolean.
@@ -338,9 +338,9 @@ pub enum Instr {
         /// Resume pc in this chunk, *past* the absorbed bind.
         resume: u32,
         /// All-word arguments, in parameter order.
-        args: Rc<[WSrc]>,
+        args: Arc<[WSrc]>,
         /// The absorbed multi-value binders (all word-class).
-        binds: Rc<[(Binder, u16)]>,
+        binds: Arc<[(Binder, u16)]>,
     },
     /// **Fused**: the single-literal-arm [`Instr::SwitchW`] with a
     /// default — one compare against the arm literal, binding the
@@ -362,7 +362,7 @@ pub enum Instr {
         /// Scrutinee operand.
         src: WSrc,
         /// Literal arms in source order.
-        arms: Rc<[(Literal, u32)]>,
+        arms: Arc<[(Literal, u32)]>,
         /// Optional default (binds the scrutinee).
         default: Option<BDefault>,
     },
@@ -371,7 +371,7 @@ pub enum Instr {
     /// arity check, per-field width checks, `value_to_atom` default).
     SwitchA {
         /// Alternatives in source order.
-        alts: Rc<[BAlt]>,
+        alts: Arc<[BAlt]>,
         /// Optional default.
         default: Option<BDefault>,
     },
@@ -403,20 +403,20 @@ pub enum Instr {
     /// *bound*, exactly like the environment engine).
     MkCon {
         /// The constructor.
-        con: Rc<DataCon>,
+        con: Arc<DataCon>,
         /// Field sources, resolved in order.
-        args: Rc<[Src]>,
+        args: Arc<[Src]>,
     },
     /// Build an unboxed multi-value in the accumulator.
     MkMulti {
         /// Component sources, resolved in order.
-        args: Rc<[Src]>,
+        args: Arc<[Src]>,
     },
     /// **Fused**: build a multi-value and return it — the CPR worker's
     /// unboxed tuple return in one dispatch.
     RetMulti {
         /// Component sources, resolved in order.
-        args: Rc<[Src]>,
+        args: Arc<[Src]>,
     },
     /// **Fused**: [`Instr::RetMulti`] specialised to an all-word
     /// multi-value. When the waiting frame came from
@@ -425,14 +425,14 @@ pub enum Instr {
     /// multi-value and take the ordinary return path.
     RetMultiW {
         /// Component sources, resolved in order (all word operands).
-        args: Rc<[WSrc]>,
+        args: Arc<[WSrc]>,
     },
     /// Rebind a returned multi-value into per-class registers: arity
     /// check, then per-binder width check + typed write — the consumer
     /// half of the CPR protocol.
     BindMulti {
         /// Component binders and destination slots.
-        binds: Rc<[(Binder, u16)]>,
+        binds: Arc<[(Binder, u16)]>,
     },
     /// Close over the listed slots and build a closure value in the
     /// accumulator.
@@ -440,7 +440,7 @@ pub enum Instr {
         /// The λ-body chunk.
         chunk: u32,
         /// Captured slots, outermost first.
-        caps: Rc<[Src]>,
+        caps: Arc<[Src]>,
     },
     /// Allocate a thunk (rule LET): reserve the address, write it to
     /// `dst`, *then* capture (so the capture list may include the
@@ -449,7 +449,7 @@ pub enum Instr {
         /// The right-hand-side chunk.
         chunk: u32,
         /// Captured slots, outermost first (including `dst`).
-        caps: Rc<[Src]>,
+        caps: Arc<[Src]>,
         /// Destination pointer slot.
         dst: u16,
     },
@@ -483,7 +483,7 @@ pub enum Instr {
         /// The fast chunk.
         chunk: u32,
         /// Arguments in parameter order.
-        args: Rc<[Src]>,
+        args: Arc<[Src]>,
         /// Whether to release the current frame.
         tail: bool,
     },
@@ -493,7 +493,7 @@ pub enum Instr {
     /// the whole back-edge is one dispatch with no atom traffic.
     CallW {
         /// Arguments in parameter order (all word operands).
-        args: Rc<[WSrc]>,
+        args: Arc<[WSrc]>,
     },
     /// **Fused**: a word primop executed (and its register written)
     /// immediately before a [`Instr::CallFW`] — the argument compute
@@ -506,9 +506,9 @@ pub enum Instr {
         /// Resume point (*past* the absorbed bind).
         resume: u32,
         /// Arguments in parameter order (all word operands).
-        args: Rc<[WSrc]>,
+        args: Arc<[WSrc]>,
         /// The absorbed multi-value binders and their caller slots.
-        binds: Rc<[(Binder, u16)]>,
+        binds: Arc<[(Binder, u16)]>,
     },
     /// **Fused**: a word primop executed (and its register written)
     /// immediately before a [`Instr::RetMultiW`] — the last field
@@ -517,7 +517,7 @@ pub enum Instr {
         /// The primitive half.
         prim: WPrim,
         /// Component sources, resolved in order (all word operands).
-        args: Rc<[WSrc]>,
+        args: Arc<[WSrc]>,
     },
     /// **Fused**: [`Instr::PushRet`] + non-tail [`Instr::CallF`] +
     /// the [`Instr::BindMulti`] waiting at the resume point, for a
@@ -531,9 +531,9 @@ pub enum Instr {
         /// Resume point (*past* the absorbed bind).
         resume: u32,
         /// Arguments in parameter order (all word operands).
-        args: Rc<[WSrc]>,
+        args: Arc<[WSrc]>,
         /// The absorbed multi-value binders and their caller slots.
-        binds: Rc<[(Binder, u16)]>,
+        binds: Arc<[(Binder, u16)]>,
     },
     /// **Fused**: a word primop feeding straight into a self
     /// tail-call ([`Instr::PrimW`] + [`Instr::CallW`]). The prim's
@@ -550,7 +550,7 @@ pub enum Instr {
         /// Right operand.
         b: WSrc,
         /// Arguments in parameter order (all word operands).
-        args: Rc<[WSrc]>,
+        args: Arc<[WSrc]>,
     },
     /// Enter a zero-parameter chunk (a global body, re-evaluated per
     /// reference like the tree engines).
@@ -591,18 +591,18 @@ pub struct Chunk {
     /// `<entry>`, …).
     pub label: String,
     /// The instructions.
-    pub code: Rc<[Instr]>,
+    pub code: Arc<[Instr]>,
     /// Frame size per class (`[ptr, word, float, double]`).
     pub frame: [u16; 4],
     /// Classes of the captured values, outermost first.
-    pub caps: Rc<[Slot]>,
+    pub caps: Arc<[Slot]>,
     /// Number of captures per class (entry write cursors).
     pub caps_counts: [u16; 4],
     /// Parameters (empty for thunk/global/entry chunks, one for λ
     /// chunks, the full chain for fast chunks).
-    pub params: Rc<[Binder]>,
+    pub params: Arc<[Binder]>,
     /// The λ body as tree code, for closure readback.
-    pub lam_body: Option<Rc<Code>>,
+    pub lam_body: Option<Arc<Code>>,
 }
 
 /// A whole program compiled to bytecode: chunks plus the global call
@@ -610,7 +610,7 @@ pub struct Chunk {
 #[derive(Clone, Debug)]
 pub struct BcProgram {
     /// All chunks; ids index this vector.
-    pub chunks: Vec<Rc<Chunk>>,
+    pub chunks: Vec<Arc<Chunk>>,
     /// Per-global generic chunk (evaluates the body as written).
     pub generic: Vec<u32>,
     /// Per-global fast chunk and arity, when the body is a λ-chain.
@@ -624,7 +624,7 @@ pub struct BcProgram {
 #[derive(Clone, Debug)]
 pub struct BcEntry {
     /// Entry-local chunks.
-    pub chunks: Vec<Rc<Chunk>>,
+    pub chunks: Vec<Arc<Chunk>>,
     /// The chunk to enter (an absolute id).
     pub root: u32,
 }
@@ -639,7 +639,7 @@ impl BcProgram {
         let mut generic = Vec::with_capacity(n);
         let mut fast = Vec::with_capacity(n);
         let mut names = Vec::with_capacity(n);
-        let mut fast_params: Vec<Option<Rc<[Binder]>>> = Vec::with_capacity(n);
+        let mut fast_params: Vec<Option<Arc<[Binder]>>> = Vec::with_capacity(n);
         for ix in 0..n {
             let id = GlobalId(ix as u32);
             let name = program.name(id);
@@ -650,7 +650,7 @@ impl BcProgram {
                 label: name.to_string(),
                 caps: Vec::new(),
                 params: Vec::new(),
-                body: Rc::clone(body),
+                body: Arc::clone(body),
                 lam_body: None,
             });
             generic.push(gid);
@@ -658,12 +658,12 @@ impl BcProgram {
                 fast.push(None);
                 fast_params.push(None);
             } else {
-                let params: Rc<[Binder]> = chain.0.iter().copied().collect();
+                let params: Arc<[Binder]> = chain.0.iter().copied().collect();
                 let fid = cx.reserve(ChunkJob {
                     label: format!("{name}!fast"),
                     caps: Vec::new(),
                     params: chain.0.clone(),
-                    body: Rc::clone(&chain.1),
+                    body: Arc::clone(&chain.1),
                     lam_body: None,
                 });
                 fast.push(Some((fid, params.len())));
@@ -690,7 +690,7 @@ impl BcProgram {
     /// Compiles a closed entry expression against this program. The
     /// per-run cost of the bytecode engine: one traversal of the
     /// (typically tiny) entry term.
-    pub fn compile_entry(&self, entry: &Rc<Code>) -> BcEntry {
+    pub fn compile_entry(&self, entry: &Arc<Code>) -> BcEntry {
         // Entry chunks extend the program's id space so call/enter
         // instructions address one flat table.
         let mut cx = Cx::new(self.chunks.len() as u32);
@@ -699,13 +699,13 @@ impl BcProgram {
         cx.fast_params = self
             .fast
             .iter()
-            .map(|f| f.map(|(id, _)| Rc::clone(&self.chunks[id as usize].params)))
+            .map(|f| f.map(|(id, _)| Arc::clone(&self.chunks[id as usize].params)))
             .collect();
         let root = cx.reserve(ChunkJob {
             label: "<entry>".to_string(),
             caps: Vec::new(),
             params: Vec::new(),
-            body: Rc::clone(entry),
+            body: Arc::clone(entry),
             lam_body: None,
         });
         cx.drain();
@@ -761,14 +761,14 @@ impl BcEntry {
 }
 
 /// Strips a λ-chain: `λa. λb. body` → (`[a, b]`, `body`).
-fn lam_chain(code: &Rc<Code>) -> (Vec<Binder>, Rc<Code>) {
+fn lam_chain(code: &Arc<Code>) -> (Vec<Binder>, Arc<Code>) {
     let mut params = Vec::new();
     let mut cur = code;
     while let Code::Lam(b, body) = &**cur {
         params.push(*b);
         cur = body;
     }
-    (params, Rc::clone(cur))
+    (params, Arc::clone(cur))
 }
 
 /// A chunk waiting to be compiled.
@@ -778,19 +778,19 @@ struct ChunkJob {
     caps: Vec<Slot>,
     /// Parameters bound after the captures.
     params: Vec<Binder>,
-    body: Rc<Code>,
-    lam_body: Option<Rc<Code>>,
+    body: Arc<Code>,
+    lam_body: Option<Arc<Code>>,
 }
 
 /// Shared compiler state: the chunk table under construction plus the
 /// global call tables.
 struct Cx {
     base: u32,
-    chunks: Vec<Option<Rc<Chunk>>>,
+    chunks: Vec<Option<Arc<Chunk>>>,
     queue: Vec<(u32, ChunkJob)>,
     generic: Vec<u32>,
     fast: Vec<Option<(u32, usize)>>,
-    fast_params: Vec<Option<Rc<[Binder]>>>,
+    fast_params: Vec<Option<Arc<[Binder]>>>,
 }
 
 impl Cx {
@@ -828,14 +828,14 @@ impl Cx {
                         label: String::new(),
                         caps: Vec::new(),
                         params: Vec::new(),
-                        body: Rc::new(Code::Error(String::new())),
+                        body: Arc::new(Code::Error(String::new())),
                         lam_body: None,
                     },
                 ),
             );
             next += 1;
             let chunk = FnCx::compile_chunk(self, id, job);
-            self.chunks[(id - self.base) as usize] = Some(Rc::new(chunk));
+            self.chunks[(id - self.base) as usize] = Some(Arc::new(chunk));
         }
         self.queue.clear();
     }
@@ -860,7 +860,7 @@ enum Cont {
 
 /// A join point visible during compilation.
 struct JoinCtx {
-    def: Rc<CJoin>,
+    def: Arc<CJoin>,
     /// Parameter registers (freshly allocated, never reused).
     params: Vec<Reg>,
     /// The scope at the definition site (the join body's free
@@ -960,7 +960,7 @@ impl<'a> FnCx<'a> {
     }
 
     fn trap(&mut self, e: MachineError) {
-        self.emit(Instr::Trap(Rc::new(e)));
+        self.emit(Instr::Trap(Arc::new(e)));
     }
 
     /// Resolves a compiled atom to a classed operand.
@@ -981,12 +981,12 @@ impl<'a> FnCx<'a> {
         }
     }
 
-    fn srcs_of(&self, args: &[CAtom]) -> Rc<[Src]> {
+    fn srcs_of(&self, args: &[CAtom]) -> Arc<[Src]> {
         args.iter().map(|a| self.src_of(*a)).collect()
     }
 
     /// The capture list for the whole current scope, outermost first.
-    fn capture_srcs(&self) -> Rc<[Src]> {
+    fn capture_srcs(&self) -> Arc<[Src]> {
         self.scope
             .iter()
             .map(|r| match r.class {
@@ -1027,8 +1027,8 @@ impl<'a> FnCx<'a> {
                     label,
                     caps: self.capture_classes(),
                     params: vec![*binder],
-                    body: Rc::clone(body),
-                    lam_body: Some(Rc::clone(body)),
+                    body: Arc::clone(body),
+                    lam_body: Some(Arc::clone(body)),
                 });
                 self.emit(Instr::MkClos { chunk, caps });
                 self.finish(cont);
@@ -1045,7 +1045,7 @@ impl<'a> FnCx<'a> {
                     label,
                     caps: self.capture_classes(),
                     params: Vec::new(),
-                    body: Rc::clone(rhs),
+                    body: Arc::clone(rhs),
                     lam_body: None,
                 });
                 self.emit(Instr::MkThunk {
@@ -1066,7 +1066,7 @@ impl<'a> FnCx<'a> {
             Code::Case(scrut, alts, def) => self.compile_case(scrut, alts, def, cont),
             Code::Con(c, args) => {
                 self.emit(Instr::MkCon {
-                    con: Rc::clone(c),
+                    con: Arc::clone(c),
                     args: self.srcs_of(args),
                 });
                 self.finish(cont);
@@ -1164,7 +1164,7 @@ impl<'a> FnCx<'a> {
                 // callee's `ret.multi.w` writes them directly. A
                 // strict-let prim sequenced just before the call (the
                 // floated argument compute) rides along too.
-                let wargs = |args: &Rc<[Src]>| -> Option<Vec<WSrc>> {
+                let wargs = |args: &Arc<[Src]>| -> Option<Vec<WSrc>> {
                     args.iter()
                         .map(|s| match s {
                             Src::W(w) => Some(*w),
@@ -1213,7 +1213,7 @@ impl<'a> FnCx<'a> {
                 if let Some((prim, chunk, words)) = fused {
                     self.code.pop();
                     self.code.pop();
-                    let binds: Rc<[(Binder, u16)]> = binds.into();
+                    let binds: Arc<[(Binder, u16)]> = binds.into();
                     match prim {
                         Some(prim) => {
                             self.code.pop();
@@ -1513,9 +1513,9 @@ impl<'a> FnCx<'a> {
 
     fn compile_case(
         &mut self,
-        scrut: &Rc<Code>,
-        alts: &Rc<[CAlt]>,
-        def: &Option<(Binder, Rc<Code>)>,
+        scrut: &Arc<Code>,
+        alts: &Arc<[CAlt]>,
+        def: &Option<(Binder, Arc<Code>)>,
         cont: Cont,
     ) {
         // Fusion: `case (<# a b) of { 1# -> t; 0# -> e }` with both
@@ -1616,7 +1616,7 @@ impl<'a> FnCx<'a> {
                     if l.slot() == Slot::Word {
                         let target = self.label();
                         arms.push((*l, target));
-                        arm_bodies.push((target, Rc::clone(rhs)));
+                        arm_bodies.push((target, Arc::clone(rhs)));
                     }
                 }
             }
@@ -1666,7 +1666,7 @@ impl<'a> FnCx<'a> {
         self.compile(scrut, Cont::Acc(l));
         self.bind(l);
         let mut balts = Vec::with_capacity(alts.len());
-        let mut bodies: Vec<(u32, Vec<Reg>, Rc<Code>)> = Vec::new();
+        let mut bodies: Vec<(u32, Vec<Reg>, Arc<Code>)> = Vec::new();
         for alt in alts.iter() {
             match alt {
                 CAlt::Con(c, binders, rhs) => {
@@ -1679,16 +1679,16 @@ impl<'a> FnCx<'a> {
                         regs.push(reg);
                     }
                     balts.push(BAlt::Con {
-                        con: Rc::clone(c),
+                        con: Arc::clone(c),
                         binds: binds.into(),
                         target,
                     });
-                    bodies.push((target, regs, Rc::clone(rhs)));
+                    bodies.push((target, regs, Arc::clone(rhs)));
                 }
                 CAlt::Lit(l2, rhs) => {
                     let target = self.label();
                     balts.push(BAlt::Lit(*l2, target));
-                    bodies.push((target, Vec::new(), Rc::clone(rhs)));
+                    bodies.push((target, Vec::new(), Arc::clone(rhs)));
                 }
             }
         }
@@ -1723,11 +1723,11 @@ impl<'a> FnCx<'a> {
         }
     }
 
-    fn compile_letjoin(&mut self, def: &Rc<CJoin>, body: &Rc<Code>, cont: Cont) {
+    fn compile_letjoin(&mut self, def: &Arc<CJoin>, body: &Arc<Code>, cont: Cont) {
         let params: Vec<Reg> = def.params.iter().map(|b| self.fresh(b.class)).collect();
         let depth = self.joins.len();
         self.joins.push(JoinCtx {
-            def: Rc::clone(def),
+            def: Arc::clone(def),
             params,
             scope: self.scope.clone(),
             depth: depth + 1,
@@ -1746,7 +1746,7 @@ impl<'a> FnCx<'a> {
             let Some(vix) = pending else { break };
             let (vcont, vlabel, _) = self.joins[depth].variants[vix];
             self.joins[depth].variants[vix].2 = true;
-            let jdef = Rc::clone(&self.joins[depth].def);
+            let jdef = Arc::clone(&self.joins[depth].def);
             let mut jscope = self.joins[depth].scope.clone();
             jscope.extend(self.joins[depth].params.iter().copied());
             let outer_scope = std::mem::replace(&mut self.scope, jscope);
@@ -1803,7 +1803,7 @@ impl<'a> FnCx<'a> {
         if srcs.iter().any(|s| matches!(s, Src::U(_))) {
             // An unbound argument: the buffered form resolves every
             // argument in order, so the error fires at the right point.
-            let pslots: Rc<[(Binder, u16)]> = binders
+            let pslots: Arc<[(Binder, u16)]> = binders
                 .iter()
                 .zip(params.iter())
                 .map(|(b, r)| (*b, r.slot))
@@ -1842,7 +1842,7 @@ impl<'a> FnCx<'a> {
             }
         }
         if hazard {
-            let pslots: Rc<[(Binder, u16)]> = binders
+            let pslots: Arc<[(Binder, u16)]> = binders
                 .iter()
                 .zip(params.iter())
                 .map(|(b, r)| (*b, r.slot))
@@ -1945,8 +1945,8 @@ impl<'a> FnCx<'a> {
         }
         self.emit(Instr::GotoJ {
             target,
-            args: Rc::from([] as [Src; 0]),
-            params: Rc::from([] as [(Binder, u16); 0]),
+            args: Arc::from([] as [Src; 0]),
+            params: Arc::from([] as [(Binder, u16); 0]),
         });
     }
 
@@ -2135,7 +2135,7 @@ impl<'a> FnCx<'a> {
                             return;
                         }
                     }
-                    let args: Rc<[Src]> = srcs_rev.iter().rev().copied().collect();
+                    let args: Arc<[Src]> = srcs_rev.iter().rev().copied().collect();
                     match cont {
                         Cont::Tail => self.emit(Instr::CallF {
                             chunk,
@@ -2195,8 +2195,8 @@ impl<'a> FnCx<'a> {
                     label,
                     caps: self.capture_classes(),
                     params: vec![*binder],
-                    body: Rc::clone(body),
-                    lam_body: Some(Rc::clone(body)),
+                    body: Arc::clone(body),
+                    lam_body: Some(Arc::clone(body)),
                 });
                 self.emit(Instr::MkClos { chunk, caps });
                 self.emit(if cont == Cont::Tail {
@@ -2413,7 +2413,7 @@ fn patch_labels(code: &mut [Instr], labels: &[u32]) {
                 fix(&mut default.target);
             }
             Instr::SwitchW { arms, default, .. } => {
-                let arms = Rc::get_mut(arms).expect("unshared arms");
+                let arms = Arc::get_mut(arms).expect("unshared arms");
                 for (_, t) in arms.iter_mut() {
                     fix(t);
                 }
@@ -2422,7 +2422,7 @@ fn patch_labels(code: &mut [Instr], labels: &[u32]) {
                 }
             }
             Instr::SwitchA { alts, default } => {
-                let alts = Rc::get_mut(alts).expect("unshared alts");
+                let alts = Arc::get_mut(alts).expect("unshared alts");
                 for alt in alts.iter_mut() {
                     match alt {
                         BAlt::Con { target, .. } => fix(target),
@@ -2865,7 +2865,7 @@ mod tests {
     use crate::machine::Globals;
     use crate::syntax::{Atom, MExpr};
 
-    fn compile_src(t: Rc<MExpr>) -> (BcProgram, BcEntry) {
+    fn compile_src(t: Arc<MExpr>) -> (BcProgram, BcEntry) {
         let program = CodeProgram::compile(&Globals::new());
         let bc = BcProgram::compile(&program);
         let entry = bc.compile_entry(&program.compile_entry(&t));
@@ -2939,7 +2939,7 @@ mod tests {
 
     #[test]
     fn tail_multivalues_fuse_into_ret_multi() {
-        let t = Rc::new(MExpr::MultiVal(vec![
+        let t = Arc::new(MExpr::MultiVal(vec![
             Atom::Lit(Literal::Int(1)),
             Atom::Lit(Literal::Int(2)),
         ]));
@@ -2966,7 +2966,7 @@ mod tests {
         //   let! n2 = -# n 1# in jump loop n2 } in jump loop 5#
         use crate::syntax::JoinDef;
         let n = || Atom::Var("n".into());
-        let def = Rc::new(JoinDef {
+        let def = Arc::new(JoinDef {
             name: "loop".into(),
             params: vec![Binder::int("n")],
             body: MExpr::case(

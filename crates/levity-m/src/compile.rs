@@ -22,8 +22,8 @@
 //!   binder is as unrepresentable in [`Code`] as it is in [`MExpr`].
 //! * **Global references** become [`GlobalId`] indices into a
 //!   [`CodeProgram`], whose bodies are compiled exactly once and shared
-//!   (`Rc`) across every run.
-//! * **Case alternatives** become shared `Rc<[CAlt]>`, so a CASE
+//!   (`Arc`) across every run.
+//! * **Case alternatives** become shared `Arc<[CAlt]>`, so a CASE
 //!   transition pushes its frame without cloning the alternatives.
 //!
 //! Scoping mirrors [`crate::subst`]: `let` binds its variable in both
@@ -33,7 +33,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::symbol::Symbol;
 
@@ -49,9 +49,9 @@ pub struct CJoin {
     /// The join point's (program-unique) name.
     pub name: Symbol,
     /// Parameters with their register classes.
-    pub params: Rc<[Binder]>,
+    pub params: Arc<[Binder]>,
     /// The compiled continuation body.
-    pub body: Rc<Code>,
+    pub body: Arc<Code>,
 }
 
 /// Index of a compiled global in a [`CodeProgram`].
@@ -78,9 +78,9 @@ pub enum CAtom {
 #[derive(Clone, Debug, PartialEq)]
 pub enum CAlt {
     /// `C y₁ … yₙ -> t`, fields bound innermost-last.
-    Con(Rc<DataCon>, Rc<[Binder]>, Rc<Code>),
+    Con(Arc<DataCon>, Arc<[Binder]>, Arc<Code>),
     /// `lit -> t`.
-    Lit(Literal, Rc<Code>),
+    Lit(Literal, Arc<Code>),
 }
 
 /// A compiled `M` expression: same shape as [`MExpr`], with variables
@@ -90,32 +90,32 @@ pub enum Code {
     /// An atom in expression position.
     Atom(CAtom),
     /// `t a`.
-    App(Rc<Code>, CAtom),
+    App(Arc<Code>, CAtom),
     /// `λy. t`; evaluates to a closure capturing the environment.
-    Lam(Binder, Rc<Code>),
+    Lam(Binder, Arc<Code>),
     /// `let p = t₁ in t₂`; the binder (kept for readback) scopes over
     /// both `t₁` and `t₂`.
-    LetLazy(Symbol, Rc<Code>, Rc<Code>),
+    LetLazy(Symbol, Arc<Code>, Arc<Code>),
     /// `let! y = t₁ in t₂`; the binder scopes over `t₂` only.
-    LetStrict(Binder, Rc<Code>, Rc<Code>),
+    LetStrict(Binder, Arc<Code>, Arc<Code>),
     /// `case t of alts [default]`.
-    Case(Rc<Code>, Rc<[CAlt]>, Option<(Binder, Rc<Code>)>),
+    Case(Arc<Code>, Arc<[CAlt]>, Option<(Binder, Arc<Code>)>),
     /// A saturated constructor application. The constructor is behind
-    /// an `Rc` so building and copying constructor *values* never
+    /// an `Arc` so building and copying constructor *values* never
     /// re-clones its field-class vector.
-    Con(Rc<DataCon>, Rc<[CAtom]>),
+    Con(Arc<DataCon>, Arc<[CAtom]>),
     /// A saturated primitive operation.
-    Prim(PrimOp, Rc<[CAtom]>),
+    Prim(PrimOp, Arc<[CAtom]>),
     /// `(# a₁, …, aₙ #)`.
-    MultiVal(Rc<[CAtom]>),
+    MultiVal(Arc<[CAtom]>),
     /// `case t of (# y₁, …, yₙ #) -> t₂`.
-    CaseMulti(Rc<Code>, Rc<[Binder]>, Rc<Code>),
+    CaseMulti(Arc<Code>, Arc<[Binder]>, Arc<Code>),
     /// `join j params = t₁ in t₂`: records the continuation (no
     /// allocation) and continues with `t₂`.
-    LetJoin(Rc<CJoin>, Rc<Code>),
+    LetJoin(Arc<CJoin>, Arc<Code>),
     /// `jump j a₁ … aₙ`: transfers control to the join body under its
     /// definition-site environment extended by the arguments.
-    Jump(Symbol, Rc<[CAtom]>),
+    Jump(Symbol, Arc<[CAtom]>),
     /// A resolved reference to a compiled global (name kept for
     /// readback).
     Global(GlobalId, Symbol),
@@ -156,7 +156,7 @@ impl fmt::Display for Code {
 pub struct CodeProgram {
     ids: HashMap<Symbol, GlobalId>,
     names: Vec<Symbol>,
-    bodies: Vec<Rc<Code>>,
+    bodies: Vec<Arc<Code>>,
 }
 
 impl CodeProgram {
@@ -164,7 +164,7 @@ impl CodeProgram {
     /// other freely (mutual recursion): ids are assigned to all names
     /// first, then each body is compiled against the full table.
     pub fn compile(globals: &Globals) -> CodeProgram {
-        let mut entries: Vec<(Symbol, &Rc<MExpr>)> = globals.iter().collect();
+        let mut entries: Vec<(Symbol, &Arc<MExpr>)> = globals.iter().collect();
         // Deterministic id assignment (HashMap iteration order is not).
         entries.sort_by_key(|(name, _)| *name);
         let mut program = CodeProgram::default();
@@ -182,7 +182,7 @@ impl CodeProgram {
     /// Compiles a closed entry term against this program's globals.
     /// This is the per-run cost of the environment engine: one
     /// traversal of the (typically tiny) entry expression.
-    pub fn compile_entry(&self, t: &Rc<MExpr>) -> Rc<Code> {
+    pub fn compile_entry(&self, t: &Arc<MExpr>) -> Arc<Code> {
         compile_in(self, &mut Vec::new(), t)
     }
 
@@ -192,7 +192,7 @@ impl CodeProgram {
     }
 
     /// The compiled body of a global.
-    pub fn body(&self, id: GlobalId) -> &Rc<Code> {
+    pub fn body(&self, id: GlobalId) -> &Arc<Code> {
         &self.bodies[id.0 as usize]
     }
 
@@ -233,12 +233,12 @@ fn compile_atom(scope: &[Symbol], a: Atom) -> CAtom {
     }
 }
 
-fn compile_atoms(scope: &[Symbol], args: &[Atom]) -> Rc<[CAtom]> {
+fn compile_atoms(scope: &[Symbol], args: &[Atom]) -> Arc<[CAtom]> {
     args.iter().map(|a| compile_atom(scope, *a)).collect()
 }
 
-fn compile_in(program: &CodeProgram, scope: &mut Vec<Symbol>, t: &Rc<MExpr>) -> Rc<Code> {
-    Rc::new(match &**t {
+fn compile_in(program: &CodeProgram, scope: &mut Vec<Symbol>, t: &Arc<MExpr>) -> Arc<Code> {
+    Arc::new(match &**t {
         MExpr::Atom(a) => Code::Atom(compile_atom(scope, *a)),
         MExpr::App(fun, arg) => {
             let arg = compile_atom(scope, *arg);
@@ -267,7 +267,7 @@ fn compile_in(program: &CodeProgram, scope: &mut Vec<Symbol>, t: &Rc<MExpr>) -> 
         }
         MExpr::Case(scrut, alts, def) => {
             let scrut = compile_in(program, scope, scrut);
-            let alts: Rc<[CAlt]> = alts
+            let alts: Arc<[CAlt]> = alts
                 .iter()
                 .map(|alt| match alt {
                     Alt::Con(c, binders, rhs) => {
@@ -275,7 +275,7 @@ fn compile_in(program: &CodeProgram, scope: &mut Vec<Symbol>, t: &Rc<MExpr>) -> 
                         scope.extend(binders.iter().map(|b| b.name));
                         let rhs = compile_in(program, scope, rhs);
                         scope.truncate(depth);
-                        CAlt::Con(Rc::new(c.clone()), binders.iter().copied().collect(), rhs)
+                        CAlt::Con(Arc::new(c.clone()), binders.iter().copied().collect(), rhs)
                     }
                     Alt::Lit(l, rhs) => CAlt::Lit(*l, compile_in(program, scope, rhs)),
                 })
@@ -288,7 +288,7 @@ fn compile_in(program: &CodeProgram, scope: &mut Vec<Symbol>, t: &Rc<MExpr>) -> 
             });
             Code::Case(scrut, alts, def)
         }
-        MExpr::Con(c, args) => Code::Con(Rc::new(c.clone()), compile_atoms(scope, args)),
+        MExpr::Con(c, args) => Code::Con(Arc::new(c.clone()), compile_atoms(scope, args)),
         MExpr::Prim(op, args) => Code::Prim(*op, compile_atoms(scope, args)),
         MExpr::MultiVal(args) => Code::MultiVal(compile_atoms(scope, args)),
         MExpr::CaseMulti(scrut, binders, body) => {
@@ -313,7 +313,7 @@ fn compile_in(program: &CodeProgram, scope: &mut Vec<Symbol>, t: &Rc<MExpr>) -> 
             scope.truncate(depth);
             let body = compile_in(program, scope, body);
             Code::LetJoin(
-                Rc::new(CJoin {
+                Arc::new(CJoin {
                     name: def.name,
                     params: def.params.iter().copied().collect(),
                     body: jbody,
@@ -414,10 +414,10 @@ mod tests {
     fn multi_field_binders_index_innermost_last() {
         // case s of (# a, b #) -> a: `a` is the first of two pushed
         // binders, so its index is 1; `b` would be 0.
-        let t = Rc::new(MExpr::CaseMulti(
+        let t = Arc::new(MExpr::CaseMulti(
             MExpr::var("s"),
             vec![Binder::int("a"), Binder::int("b")],
-            Rc::new(MExpr::Prim(
+            Arc::new(MExpr::Prim(
                 PrimOp::AddI,
                 vec![atom_var("a"), atom_var("b")],
             )),

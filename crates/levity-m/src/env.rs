@@ -29,6 +29,7 @@
 
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::symbol::Symbol;
 
@@ -36,6 +37,17 @@ use crate::compile::{CAlt, CAtom, CJoin, Code, CodeProgram};
 use crate::machine::{MachineError, MachineStats, RunOutcome, Value};
 use crate::prim::apply_prim;
 use crate::syntax::{Addr, Alt, Atom, Binder, JoinDef, Literal, MExpr};
+
+// Pointer discipline, chosen for the serving workload: the *compiled
+// program* is shared across worker threads (hence `Arc` spines in
+// `crate::compile`), but a running machine is strictly thread-local —
+// so the hot loop must never pay an atomic reference-count bump.
+// Static code is **borrowed** (`&'p Code`: the program outlives the
+// machine, so entering a code node is a pointer copy), and the
+// runtime structures the machine itself builds (environment chains,
+// join scopes, constructor argument blocks) use plain `Rc`. Measured
+// on the sum_to/num_class ladders, the all-`Arc` variant of this
+// engine was ~2.6× slower — the entire gap was refcount traffic.
 
 /// A persistent runtime environment: a shared cons-list of resolved
 /// atoms. Extension and capture are O(1); looking up de-Bruijn index
@@ -47,6 +59,22 @@ pub struct Env(Option<Rc<EnvNode>>);
 struct EnvNode {
     atom: Atom,
     next: Env,
+}
+
+// Iterative drop: an environment chain can grow with the workload (one
+// link per binding), and the derived recursive drop of a long chain
+// overflows the *native* stack — fatal in a serving worker. Walk the
+// links, stopping at the first one another handle still shares.
+impl Drop for Env {
+    fn drop(&mut self) {
+        let mut cur = self.0.take();
+        while let Some(node) = cur {
+            match Rc::try_unwrap(node) {
+                Ok(mut node) => cur = node.next.0.take(),
+                Err(_shared) => break,
+            }
+        }
+    }
 }
 
 impl Env {
@@ -96,20 +124,21 @@ impl Env {
 /// only at functions, which are closures over an [`Env`] rather than
 /// substituted terms.
 #[derive(Clone, Debug)]
-pub enum EValue {
+pub enum EValue<'p> {
     /// `λy. t` plus its captured environment.
-    Clos(Binder, Rc<Code>, Env),
-    /// A saturated constructor value. Both halves are shared, so
-    /// copying a constructor value (VAL lookups, thunk updates) is two
-    /// reference-count bumps, never a field copy.
-    Con(Rc<crate::syntax::DataCon>, Rc<[Atom]>),
+    Clos(Binder, &'p Code, Env),
+    /// A saturated constructor value. The descriptor is borrowed from
+    /// the program and the argument block is shared, so copying a
+    /// constructor value (VAL lookups, thunk updates) is one
+    /// reference-count bump, never a field copy.
+    Con(&'p crate::syntax::DataCon, Rc<[Atom]>),
     /// A literal.
     Lit(Literal),
     /// An unboxed multi-value.
     Multi(Vec<Atom>),
 }
 
-impl fmt::Display for EValue {
+impl fmt::Display for EValue<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         // Must render exactly like [`Value`]: these strings reach
         // MachineError payloads that the differential suite compares.
@@ -142,9 +171,9 @@ impl fmt::Display for EValue {
 
 /// A heap cell of the environment engine: thunks are (code, env) pairs.
 #[derive(Clone, Debug)]
-enum ECell {
-    Thunk(Rc<Code>, Env),
-    Value(EValue),
+enum ECell<'p> {
+    Thunk(&'p Code, Env),
+    Value(EValue<'p>),
     Blackhole,
 }
 
@@ -156,22 +185,36 @@ enum ECell {
 /// definitions (a flat machine-global map would be clobbered by the
 /// callee re-executing the same static `join`).
 #[derive(Clone, Debug, Default)]
-struct EJoinScope(Option<Rc<EJoinNode>>);
+struct EJoinScope<'p>(Option<Rc<EJoinNode<'p>>>);
 
 #[derive(Debug)]
-struct EJoinNode {
-    def: Rc<CJoin>,
+struct EJoinNode<'p> {
+    def: &'p CJoin,
     env: Env,
-    next: EJoinScope,
+    next: EJoinScope<'p>,
 }
 
-impl EJoinScope {
-    fn nil() -> EJoinScope {
+// Same iterative drop as [`Env`]: scope chains are usually shallow,
+// but a worker must never die to a deep one.
+impl Drop for EJoinScope<'_> {
+    fn drop(&mut self) {
+        let mut cur = self.0.take();
+        while let Some(node) = cur {
+            match Rc::try_unwrap(node) {
+                Ok(mut node) => cur = node.next.0.take(),
+                Err(_shared) => break,
+            }
+        }
+    }
+}
+
+impl<'p> EJoinScope<'p> {
+    fn nil() -> EJoinScope<'p> {
         EJoinScope(None)
     }
 
     #[must_use]
-    fn push(&self, def: Rc<CJoin>, env: Env) -> EJoinScope {
+    fn push(&self, def: &'p CJoin, env: Env) -> EJoinScope<'p> {
         EJoinScope(Some(Rc::new(EJoinNode {
             def,
             env,
@@ -182,15 +225,11 @@ impl EJoinScope {
     /// Resolves a jump target; innermost definition wins. Returns the
     /// definition, its definition-site environment, and the scope at
     /// its definition site (for the body's own jumps).
-    fn get(&self, name: Symbol) -> Option<(Rc<CJoin>, Env, EJoinScope)> {
+    fn get(&self, name: Symbol) -> Option<(&'p CJoin, Env, EJoinScope<'p>)> {
         let mut cur = self;
         while let Some(node) = cur.0.as_deref() {
             if node.def.name == name {
-                return Some((
-                    Rc::clone(&node.def),
-                    node.env.clone(),
-                    EJoinScope(cur.0.clone()),
-                ));
+                return Some((node.def, node.env.clone(), EJoinScope(cur.0.clone())));
             }
             cur = &node.next;
         }
@@ -201,17 +240,20 @@ impl EJoinScope {
 /// A stack frame, mirroring [`crate::machine::Frame`] with captured
 /// environments where the reference machine stores substituted terms.
 #[derive(Clone, Debug)]
-enum EFrame {
-    App(Atom, EJoinScope),
+enum EFrame<'p> {
+    // No join scope: a λ body starts with no joins in scope, exactly
+    // like the reference machine's `Frame::App` (see the invariant
+    // note there).
+    App(Atom),
     Force(Addr),
-    LetStrict(Binder, Rc<Code>, Env, EJoinScope),
-    Case(Rc<[CAlt]>, Option<(Binder, Rc<Code>)>, Env, EJoinScope),
-    CaseMulti(Rc<[Binder]>, Rc<Code>, Env, EJoinScope),
+    LetStrict(Binder, &'p Code, Env, EJoinScope<'p>),
+    Case(&'p [CAlt], Option<(Binder, &'p Code)>, Env, EJoinScope<'p>),
+    CaseMulti(&'p [Binder], &'p Code, Env, EJoinScope<'p>),
 }
 
-enum EControl {
-    Eval(Rc<Code>, Env, EJoinScope),
-    Ret(EValue),
+enum EControl<'p> {
+    Eval(&'p Code, Env, EJoinScope<'p>),
+    Ret(EValue<'p>),
 }
 
 /// The environment-based evaluator for compiled programs.
@@ -219,7 +261,7 @@ enum EControl {
 /// # Examples
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use levity_m::compile::CodeProgram;
 /// use levity_m::env::EnvMachine;
 /// use levity_m::machine::{Globals, RunOutcome, Value};
@@ -230,37 +272,62 @@ enum EControl {
 ///     MExpr::lam(Binder::int("i"), MExpr::var("i")),
 ///     Atom::Lit(Literal::Int(42)),
 /// );
-/// let program = Rc::new(CodeProgram::compile(&Globals::new()));
+/// let program = CodeProgram::compile(&Globals::new());
 /// let entry = program.compile_entry(&t);
-/// let mut machine = EnvMachine::new(program);
-/// let outcome = machine.run(entry)?;
+/// let mut machine = EnvMachine::new(&program);
+/// let outcome = machine.run(&entry)?;
 /// assert_eq!(outcome, RunOutcome::Value(Value::Lit(Literal::Int(42))));
 /// # Ok::<(), levity_m::machine::MachineError>(())
 /// ```
+///
+/// The machine borrows the program (and the entry code) for its whole
+/// lifetime `'p`: a run never bumps a reference count on static code,
+/// which is what keeps thread-shared (`Arc`-spined) programs as cheap
+/// to interpret as thread-local ones.
 #[derive(Debug)]
-pub struct EnvMachine {
-    heap: Vec<ECell>,
-    stack: Vec<EFrame>,
-    program: Rc<CodeProgram>,
+pub struct EnvMachine<'p> {
+    heap: Vec<ECell<'p>>,
+    stack: Vec<EFrame<'p>>,
+    program: &'p CodeProgram,
     stats: MachineStats,
     fuel: u64,
+    alloc_limit: u64,
 }
 
-impl EnvMachine {
+impl<'p> EnvMachine<'p> {
     /// A machine over the given compiled program with default fuel.
-    pub fn new(program: Rc<CodeProgram>) -> EnvMachine {
+    pub fn new(program: &'p CodeProgram) -> EnvMachine<'p> {
         EnvMachine {
             heap: Vec::new(),
             stack: Vec::new(),
             program,
             stats: MachineStats::default(),
             fuel: crate::machine::Machine::DEFAULT_FUEL,
+            alloc_limit: u64::MAX,
         }
     }
 
     /// Replaces the fuel limit.
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Caps the estimated words this run may allocate; exceeding it
+    /// fails with [`MachineError::AllocLimitExceeded`].
+    pub fn set_alloc_limit(&mut self, words: u64) {
+        self.alloc_limit = words;
+    }
+
+    /// Fails if the accumulated allocation estimate exceeds the cap.
+    #[inline]
+    fn check_alloc_limit(&self) -> Result<(), MachineError> {
+        if self.stats.allocated_words > self.alloc_limit {
+            Err(MachineError::AllocLimitExceeded {
+                limit: self.alloc_limit,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// The statistics accumulated so far.
@@ -274,7 +341,7 @@ impl EnvMachine {
     }
 
     #[inline]
-    fn alloc(&mut self, cell: ECell) -> Addr {
+    fn alloc(&mut self, cell: ECell<'p>) -> Addr {
         let addr = Addr(self.heap.len() as u64);
         self.heap.push(cell);
         addr
@@ -321,7 +388,7 @@ impl EnvMachine {
     }
 
     /// Turns a value into an atom, storing boxed values in the heap.
-    fn value_to_atom(&mut self, w: EValue) -> Result<Atom, MachineError> {
+    fn value_to_atom(&mut self, w: EValue<'p>) -> Result<Atom, MachineError> {
         match w {
             EValue::Lit(l) => Ok(Atom::Lit(l)),
             EValue::Clos(..) | EValue::Con(..) => {
@@ -341,14 +408,12 @@ impl EnvMachine {
     ///
     /// [`MachineError`] on broken invariants or fuel exhaustion;
     /// `error` is reported as `Ok(RunOutcome::Error(..))` (rule ERR).
-    pub fn run(&mut self, entry: Rc<Code>) -> Result<RunOutcome, MachineError> {
+    pub fn run(&mut self, entry: &'p Code) -> Result<RunOutcome, MachineError> {
         let mut control = EControl::Eval(entry, Env::nil(), EJoinScope::nil());
         loop {
             // ERR: ⟨error; S; H⟩ → ⊥, whatever the stack holds.
-            if let EControl::Eval(ref code, _, _) = control {
-                if let Code::Error(msg) = &**code {
-                    return Ok(RunOutcome::Error(msg.clone()));
-                }
+            if let EControl::Eval(Code::Error(msg), _, _) = &control {
+                return Ok(RunOutcome::Error(msg.clone()));
             }
             if self.stats.steps >= self.fuel {
                 return Err(MachineError::OutOfFuel { limit: self.fuel });
@@ -364,7 +429,7 @@ impl EnvMachine {
         }
     }
 
-    fn eval_atom(&mut self, atom: Atom) -> Result<EControl, MachineError> {
+    fn eval_atom(&mut self, atom: Atom) -> Result<EControl<'p>, MachineError> {
         match atom {
             Atom::Lit(l) => Ok(EControl::Ret(EValue::Lit(l))),
             Atom::Addr(a) => {
@@ -380,7 +445,7 @@ impl EnvMachine {
                     // the escape analysis): fresh join scope.
                     ECell::Thunk(code, env) => {
                         self.stats.thunk_forces += 1;
-                        let code = Rc::clone(code);
+                        let code = *code;
                         let env = env.clone();
                         self.heap[ix] = ECell::Blackhole;
                         self.push(EFrame::Force(a));
@@ -395,11 +460,11 @@ impl EnvMachine {
 
     fn step_eval(
         &mut self,
-        code: Rc<Code>,
+        code: &'p Code,
         env: Env,
-        joins: EJoinScope,
-    ) -> Result<EControl, MachineError> {
-        match &*code {
+        joins: EJoinScope<'p>,
+    ) -> Result<EControl<'p>, MachineError> {
+        match code {
             Code::Atom(a) => {
                 let atom = self.resolve(*a, &env)?;
                 self.eval_atom(atom)
@@ -409,12 +474,10 @@ impl EnvMachine {
             // them before pushing the frame.
             Code::App(fun, arg) => {
                 let arg = self.resolve(*arg, &env)?;
-                self.push(EFrame::App(arg, joins.clone()));
-                Ok(EControl::Eval(Rc::clone(fun), env, joins))
+                self.push(EFrame::App(arg));
+                Ok(EControl::Eval(fun, env, joins))
             }
-            Code::Lam(binder, body) => {
-                Ok(EControl::Ret(EValue::Clos(*binder, Rc::clone(body), env)))
-            }
+            Code::Lam(binder, body) => Ok(EControl::Ret(EValue::Clos(*binder, body, env))),
             // LET: the thunk captures the environment *including* its
             // own address (cyclic thunks give recursion through the
             // heap), where the reference machine substitutes the
@@ -422,36 +485,33 @@ impl EnvMachine {
             Code::LetLazy(_, rhs, body) => {
                 let addr = self.alloc(ECell::Blackhole);
                 let env2 = env.push(Atom::Addr(addr));
-                self.heap[addr.0 as usize] = ECell::Thunk(Rc::clone(rhs), env2.clone());
+                self.heap[addr.0 as usize] = ECell::Thunk(rhs, env2.clone());
                 self.stats.thunk_allocs += 1;
                 self.stats.allocated_words += 2;
-                Ok(EControl::Eval(Rc::clone(body), env2, joins))
+                self.check_alloc_limit()?;
+                Ok(EControl::Eval(body, env2, joins))
             }
             // SLET
             Code::LetStrict(binder, rhs, body) => {
-                self.push(EFrame::LetStrict(
-                    *binder,
-                    Rc::clone(body),
-                    env.clone(),
-                    joins.clone(),
-                ));
-                Ok(EControl::Eval(Rc::clone(rhs), env, joins))
+                self.push(EFrame::LetStrict(*binder, body, env.clone(), joins.clone()));
+                Ok(EControl::Eval(rhs, env, joins))
             }
-            // CASE: pushing the frame shares the compiled alternatives.
+            // CASE: pushing the frame borrows the compiled alternatives.
             Code::Case(scrut, alts, def) => {
                 self.push(EFrame::Case(
-                    Rc::clone(alts),
-                    def.clone(),
+                    alts,
+                    def.as_ref().map(|(b, rhs)| (*b, &**rhs)),
                     env.clone(),
                     joins.clone(),
                 ));
-                Ok(EControl::Eval(Rc::clone(scrut), env, joins))
+                Ok(EControl::Eval(scrut, env, joins))
             }
             Code::Con(c, args) => {
                 let args: Rc<[Atom]> = self.resolve_all(args, &env)?.into();
                 self.stats.con_allocs += 1;
                 self.stats.allocated_words += 1 + args.len() as u64;
-                Ok(EControl::Ret(EValue::Con(Rc::clone(c), args)))
+                self.check_alloc_limit()?;
+                Ok(EControl::Ret(EValue::Con(c, args)))
             }
             Code::Prim(op, args) => {
                 // Every current primop has arity ≤ 2: resolve into a
@@ -478,20 +538,15 @@ impl EnvMachine {
             }
             Code::MultiVal(args) => Ok(EControl::Ret(EValue::Multi(self.resolve_all(args, &env)?))),
             Code::CaseMulti(scrut, binders, body) => {
-                self.push(EFrame::CaseMulti(
-                    Rc::clone(binders),
-                    Rc::clone(body),
-                    env.clone(),
-                    joins.clone(),
-                ));
-                Ok(EControl::Eval(Rc::clone(scrut), env, joins))
+                self.push(EFrame::CaseMulti(binders, body, env.clone(), joins.clone()));
+                Ok(EControl::Eval(scrut, env, joins))
             }
             // JOIN: extend the scope with (definition, environment
             // snapshot); no allocation in the machine's cost model, one
             // transition — in lock-step with the reference machine.
             Code::LetJoin(def, body) => {
-                let joins = joins.push(Rc::clone(def), env.clone());
-                Ok(EControl::Eval(Rc::clone(body), env, joins))
+                let joins = joins.push(def, env.clone());
+                Ok(EControl::Eval(body, env, joins))
             }
             // JUMP: resolve the arguments in the *jump-site* env, then
             // continue in the definition-site env extended by them and
@@ -511,13 +566,13 @@ impl EnvMachine {
                     env2 = env2.push(*a);
                 }
                 self.stats.jumps += 1;
-                Ok(EControl::Eval(Rc::clone(&def.body), env2, defscope))
+                Ok(EControl::Eval(&def.body, env2, defscope))
             }
             // Globals were resolved to ids at compile time: entering
             // one is an indexed fetch of an already-compiled body. A
             // global body is closed — empty env, empty join scope.
             Code::Global(id, _) => Ok(EControl::Eval(
-                Rc::clone(self.program.body(*id)),
+                self.program.body(*id),
                 Env::nil(),
                 EJoinScope::nil(),
             )),
@@ -526,14 +581,15 @@ impl EnvMachine {
         }
     }
 
-    fn step_ret(&mut self, w: EValue, frame: EFrame) -> Result<EControl, MachineError> {
+    fn step_ret(&mut self, w: EValue<'p>, frame: EFrame<'p>) -> Result<EControl<'p>, MachineError> {
         match frame {
             // PPOP / IPOP, width-checked: β-reduction is an O(1)
-            // environment extension instead of a body rebuild.
-            EFrame::App(arg, joins) => match w {
+            // environment extension instead of a body rebuild. Fresh
+            // join scope — jumps never cross a λ.
+            EFrame::App(arg) => match w {
                 EValue::Clos(binder, body, env) => {
                     self.check_class(binder, arg)?;
-                    Ok(EControl::Eval(body, env.push(arg), joins))
+                    Ok(EControl::Eval(body, env.push(arg), EJoinScope::nil()))
                 }
                 other => Err(MachineError::AppliedNonFunction(other.to_string())),
             },
@@ -573,7 +629,7 @@ impl EnvMachine {
                                     self.check_class(*b, *a)?;
                                     env2 = env2.push(*a);
                                 }
-                                return Ok(EControl::Eval(Rc::clone(rhs), env2, joins));
+                                return Ok(EControl::Eval(rhs, env2, joins));
                             }
                         }
                     }
@@ -583,7 +639,7 @@ impl EnvMachine {
                     for alt in alts.iter() {
                         if let CAlt::Lit(l2, rhs) = alt {
                             if l2 == l {
-                                return Ok(EControl::Eval(Rc::clone(rhs), env, joins));
+                                return Ok(EControl::Eval(rhs, env, joins));
                             }
                         }
                     }
@@ -617,11 +673,11 @@ impl EnvMachine {
 
     fn take_default(
         &mut self,
-        w: EValue,
-        def: Option<(Binder, Rc<Code>)>,
+        w: EValue<'p>,
+        def: Option<(Binder, &'p Code)>,
         env: Env,
-        joins: EJoinScope,
-    ) -> Result<EControl, MachineError> {
+        joins: EJoinScope<'p>,
+    ) -> Result<EControl<'p>, MachineError> {
         match def {
             Some((binder, rhs)) => {
                 let atom = self.value_to_atom(w)?;
@@ -633,7 +689,7 @@ impl EnvMachine {
     }
 
     #[inline]
-    fn push(&mut self, frame: EFrame) {
+    fn push(&mut self, frame: EFrame<'p>) {
         self.stack.push(frame);
         self.stats.max_stack = self.stats.max_stack.max(self.stack.len());
     }
@@ -642,14 +698,14 @@ impl EnvMachine {
     /// Closures decompile to the λ-term the reference machine would
     /// hold: the captured environment is substituted back into the
     /// body at each free occurrence.
-    fn readback_value(&self, w: EValue) -> Value {
+    fn readback_value(&self, w: EValue<'_>) -> Value {
         match w {
             EValue::Lit(l) => Value::Lit(l),
-            EValue::Con(c, args) => Value::Con((*c).clone(), args.to_vec()),
+            EValue::Con(c, args) => Value::Con(c.clone(), args.to_vec()),
             EValue::Multi(args) => Value::Multi(args),
             EValue::Clos(binder, body, env) => {
                 let mut names = vec![binder.name];
-                Value::Lam(binder, readback(&body, &mut names, &env))
+                Value::Lam(binder, readback(body, &mut names, &env))
             }
         }
     }
@@ -661,7 +717,7 @@ impl EnvMachine {
 /// beyond it index the captured environment. Shared with the bytecode
 /// engine, whose closures keep their λ body as tree code for exactly
 /// this purpose.
-pub(crate) fn readback(code: &Rc<Code>, names: &mut Vec<Symbol>, env: &Env) -> Rc<MExpr> {
+pub(crate) fn readback(code: &Code, names: &mut Vec<Symbol>, env: &Env) -> Arc<MExpr> {
     let atom_of = |names: &[Symbol], a: CAtom| -> Atom {
         match a {
             CAtom::Local(ix) => {
@@ -677,7 +733,7 @@ pub(crate) fn readback(code: &Rc<Code>, names: &mut Vec<Symbol>, env: &Env) -> R
             CAtom::Unbound(x) => Atom::Var(x),
         }
     };
-    Rc::new(match &**code {
+    Arc::new(match code {
         Code::Atom(a) => MExpr::Atom(atom_of(names, *a)),
         Code::App(fun, arg) => {
             let arg = atom_of(names, *arg);
@@ -705,7 +761,7 @@ pub(crate) fn readback(code: &Rc<Code>, names: &mut Vec<Symbol>, env: &Env) -> R
         }
         Code::Case(scrut, alts, def) => {
             let scrut = readback(scrut, names, env);
-            let alts: Rc<[Alt]> = alts
+            let alts: Arc<[Alt]> = alts
                 .iter()
                 .map(|alt| match alt {
                     CAlt::Con(c, binders, rhs) => {
@@ -747,7 +803,7 @@ pub(crate) fn readback(code: &Rc<Code>, names: &mut Vec<Symbol>, env: &Env) -> R
             names.truncate(depth);
             let body = readback(body, names, env);
             MExpr::LetJoin(
-                Rc::new(JoinDef {
+                Arc::new(JoinDef {
                     name: def.name,
                     params: def.params.to_vec(),
                     body: jbody,
@@ -768,11 +824,11 @@ pub(crate) fn readback(code: &Rc<Code>, names: &mut Vec<Symbol>, env: &Env) -> R
 ///
 /// See [`EnvMachine::run`].
 pub fn run_compiled(
-    program: &Rc<CodeProgram>,
-    entry: Rc<Code>,
+    program: &CodeProgram,
+    entry: &Code,
     fuel: u64,
 ) -> Result<(RunOutcome, MachineStats), MachineError> {
-    let mut machine = EnvMachine::new(Rc::clone(program));
+    let mut machine = EnvMachine::new(program);
     machine.set_fuel(fuel);
     let outcome = machine.run(entry)?;
     Ok((outcome, *machine.stats()))
@@ -788,14 +844,15 @@ mod tests {
         Atom::Lit(Literal::Int(n))
     }
 
-    fn run(t: Rc<MExpr>) -> RunOutcome {
+    fn run(t: Arc<MExpr>) -> RunOutcome {
         run_with(Globals::new(), t).expect("machine failure")
     }
 
-    fn run_with(globals: Globals, t: Rc<MExpr>) -> Result<RunOutcome, MachineError> {
-        let program = Rc::new(CodeProgram::compile(&globals));
+    fn run_with(globals: Globals, t: Arc<MExpr>) -> Result<RunOutcome, MachineError> {
+        let program = CodeProgram::compile(&globals);
         let entry = program.compile_entry(&t);
-        EnvMachine::new(program).run(entry)
+        let mut machine = EnvMachine::new(&program);
+        machine.run(&entry)
     }
 
     #[test]
@@ -862,10 +919,10 @@ mod tests {
                 ),
             ),
         );
-        let program = Rc::new(CodeProgram::compile(&Globals::new()));
+        let program = CodeProgram::compile(&Globals::new());
         let entry = program.compile_entry(&t);
-        let mut m = EnvMachine::new(program);
-        let out = m.run(entry).unwrap();
+        let mut m = EnvMachine::new(&program);
+        let out = m.run(&entry).unwrap();
         assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(14))));
         assert_eq!(m.stats().thunk_forces, 1, "sharing: forced once");
         assert_eq!(m.stats().var_lookups, 1, "second use is a VAL lookup");
@@ -921,10 +978,10 @@ mod tests {
         let mut globals = Globals::new();
         globals.define("sumTo#", def);
         let main = MExpr::apps(MExpr::global("sumTo#"), [int_atom(0), int_atom(100)]);
-        let program = Rc::new(CodeProgram::compile(&globals));
+        let program = CodeProgram::compile(&globals);
         let entry = program.compile_entry(&main);
-        let mut m = EnvMachine::new(program);
-        let out = m.run(entry).unwrap();
+        let mut m = EnvMachine::new(&program);
+        let out = m.run(&entry).unwrap();
         assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(5050))));
         assert_eq!(m.stats().allocated_words, 0, "unboxed loop never allocates");
     }
@@ -945,18 +1002,18 @@ mod tests {
 
     #[test]
     fn multi_values_stay_in_registers() {
-        let t = Rc::new(MExpr::CaseMulti(
-            Rc::new(MExpr::MultiVal(vec![int_atom(3), int_atom(4)])),
+        let t = Arc::new(MExpr::CaseMulti(
+            Arc::new(MExpr::MultiVal(vec![int_atom(3), int_atom(4)])),
             vec![Binder::int("a"), Binder::int("b")],
             MExpr::prim(
                 PrimOp::AddI,
                 vec![Atom::Var("a".into()), Atom::Var("b".into())],
             ),
         ));
-        let program = Rc::new(CodeProgram::compile(&Globals::new()));
+        let program = CodeProgram::compile(&Globals::new());
         let entry = program.compile_entry(&t);
-        let mut m = EnvMachine::new(program);
-        let out = m.run(entry).unwrap();
+        let mut m = EnvMachine::new(&program);
+        let out = m.run(&entry).unwrap();
         assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(7))));
         assert_eq!(m.stats().allocated_words, 0);
     }
@@ -966,7 +1023,7 @@ mod tests {
         let true_con = DataCon::nullary("True", 1);
         let false_con = DataCon::nullary("False", 0);
         let t = MExpr::case(
-            Rc::new(MExpr::Con(true_con.clone(), vec![])),
+            Arc::new(MExpr::Con(true_con.clone(), vec![])),
             vec![
                 Alt::Con(false_con, vec![], MExpr::int(0)),
                 Alt::Con(true_con, vec![], MExpr::int(1)),
@@ -981,7 +1038,7 @@ mod tests {
         // λa. join j q = +# q a in case a of { 0# -> jump j 7#; _ -> a }
         // — the join body's `a` must resolve against the env captured
         // when the join was *defined*.
-        let def = Rc::new(JoinDef {
+        let def = Arc::new(JoinDef {
             name: Symbol::intern("j%t%0"),
             params: vec![Binder::int("q")],
             body: MExpr::prim(
@@ -1006,10 +1063,10 @@ mod tests {
             ),
             int_atom(0),
         );
-        let program = Rc::new(CodeProgram::compile(&Globals::new()));
+        let program = CodeProgram::compile(&Globals::new());
         let entry = program.compile_entry(&t);
-        let mut m = EnvMachine::new(program);
-        let out = m.run(entry).unwrap();
+        let mut m = EnvMachine::new(&program);
+        let out = m.run(&entry).unwrap();
         assert_eq!(out, RunOutcome::Value(Value::Lit(Literal::Int(7))));
         assert_eq!(m.stats().jumps, 1);
         assert_eq!(m.stats().allocated_words, 0);
@@ -1019,12 +1076,12 @@ mod tests {
     fn fuel_exhaustion_matches_the_reference_machine() {
         let mut globals = Globals::new();
         globals.define("spin", MExpr::global("spin"));
-        let program = Rc::new(CodeProgram::compile(&globals));
+        let program = CodeProgram::compile(&globals);
         let entry = program.compile_entry(&MExpr::global("spin"));
-        let mut m = EnvMachine::new(program);
+        let mut m = EnvMachine::new(&program);
         m.set_fuel(1000);
         assert!(matches!(
-            m.run(entry).unwrap_err(),
+            m.run(&entry).unwrap_err(),
             MachineError::OutOfFuel { limit: 1000 }
         ));
     }

@@ -19,7 +19,7 @@
 //! | EVAL | `Eval(Atom(Addr …))` on a heap *thunk* (blackholes it) | same; thunks are (code, env) pairs |
 //! | LET | `Eval(LetLazy …)` allocates a thunk, substitutes the address | allocates a thunk, *extends the env* with the address |
 //! | SLET | `Eval(LetStrict …)` pushes [`Frame::LetStrict`] | same, frame captures the env |
-//! | CASE | `Eval(Case …)` pushes [`Frame::Case`] (shared `Rc<[Alt]>`) | same, shared compiled alternatives |
+//! | CASE | `Eval(Case …)` pushes [`Frame::Case`] (shared `Arc<[Alt]>`) | same, shared compiled alternatives |
 //! | ERR | `Eval(Error …)` aborts with [`RunOutcome::Error`] | same |
 //! | PPOP / IPOP | `Ret(Lam …)` under [`Frame::App`]: width-checked `subst_atom` | `Ret(Clos …)`: width-checked O(1) env extension |
 //! | FCE | `Ret(w)` under [`Frame::Force`] writes `w` back (thunk update) | same |
@@ -31,12 +31,12 @@
 //! machine-level reason levity-polymorphic binders cannot exist (§5.1,
 //! §6.2).
 
-use std::collections::HashMap;
 use std::fmt;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::rep::Slot;
-use levity_core::symbol::Symbol;
+use levity_core::symbol::{Symbol, SymbolMap};
 
 use crate::prim::{apply_prim, PrimError};
 use crate::subst::{subst_atom, subst_atoms};
@@ -47,7 +47,7 @@ use crate::syntax::{int_hash_symbol, Addr, Alt, Atom, Binder, DataCon, JoinDef, 
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// `λy. t`.
-    Lam(Binder, Rc<MExpr>),
+    Lam(Binder, Arc<MExpr>),
     /// A saturated constructor value, e.g. `I#[3]`.
     Con(DataCon, Vec<Atom>),
     /// A literal.
@@ -120,7 +120,7 @@ impl fmt::Display for Value {
 #[derive(Clone, Debug)]
 enum HeapCell {
     /// An unevaluated expression (mapped by LET).
-    Thunk(Rc<MExpr>),
+    Thunk(Arc<MExpr>),
     /// An evaluated value (written by FCE or by storing a strict result).
     Value(Value),
     /// A thunk currently under evaluation; re-entering one means the
@@ -137,13 +137,35 @@ enum HeapCell {
 /// scrutinee's recursive call would clobber the outer activation's
 /// definition — a silent miscompilation on any join body that closes
 /// over an enclosing argument.)
+// The scope chain is a *runtime* structure the machine builds and
+// tears down on its own thread — plain `Rc` links, so the hot loop
+// (frames capture the scope; jumps clone it back out) never pays an
+// atomic reference-count bump. The definitions inside stay `Arc`: they
+// are shared with the (possibly thread-shared) term being run.
 #[derive(Clone, Debug, Default)]
 pub struct JoinScope(Option<Rc<JoinNode>>);
 
 #[derive(Debug)]
 struct JoinNode {
-    def: Rc<JoinDef>,
+    def: Arc<JoinDef>,
     next: JoinScope,
+}
+
+// A derived drop would recurse once per link; a scope chain is as deep
+// as the program is join-nested, which is small — but defence in depth
+// costs one branch, and the env engine's sibling lists *can* grow with
+// the workload. Walk the chain iteratively, stopping at the first link
+// another handle still owns.
+impl Drop for JoinScope {
+    fn drop(&mut self) {
+        let mut cur = self.0.take();
+        while let Some(node) = cur {
+            match Rc::try_unwrap(node) {
+                Ok(mut node) => cur = node.next.0.take(),
+                Err(_shared) => break,
+            }
+        }
+    }
 }
 
 impl JoinScope {
@@ -154,7 +176,7 @@ impl JoinScope {
 
     /// Extends the scope with one definition.
     #[must_use]
-    fn push(&self, def: Rc<JoinDef>) -> JoinScope {
+    fn push(&self, def: Arc<JoinDef>) -> JoinScope {
         JoinScope(Some(Rc::new(JoinNode {
             def,
             next: self.clone(),
@@ -165,11 +187,11 @@ impl JoinScope {
     /// definition and the scope *at its definition site* (so the join
     /// body's own jumps resolve against the enclosing definitions, not
     /// the jump site's).
-    fn get(&self, name: Symbol) -> Option<(Rc<JoinDef>, JoinScope)> {
+    fn get(&self, name: Symbol) -> Option<(Arc<JoinDef>, JoinScope)> {
         let mut cur = self;
         while let Some(node) = cur.0.as_deref() {
             if node.def.name == name {
-                return Some((Rc::clone(&node.def), JoinScope(cur.0.clone())));
+                return Some((Arc::clone(&node.def), JoinScope(cur.0.clone())));
             }
             cur = &node.next;
         }
@@ -184,17 +206,26 @@ impl JoinScope {
 /// meantime.
 #[derive(Clone, Debug)]
 pub enum Frame {
-    /// `App(p)` / `App(n)`: a pending argument (resolved atom).
-    App(Atom, JoinScope),
+    /// `App(p)` / `App(n)`: a pending argument (resolved atom). Carries
+    /// no join scope: a λ body starts with *no* joins in scope (its own
+    /// are defined inside it, and jumps never cross a λ — the same
+    /// invariant that gives thunk bodies a fresh scope). Threading the
+    /// application-site scope here instead is not just sloppy scoping:
+    /// it chains one scope node per tail call through a global, an
+    /// unbounded leak on served loop workloads.
+    App(Atom),
     /// `Force(p)`: write the value back to the heap when done (FCE).
     Force(Addr),
     /// `Let(y, t)`: continue with `t` once the strict rhs is a value.
-    LetStrict(Binder, Rc<MExpr>, JoinScope),
-    /// `Case(y, t)` generalized to alternative lists; the alternatives
-    /// are shared with the `case` expression, so pushing is O(1).
-    Case(Rc<[Alt]>, Option<(Binder, Rc<MExpr>)>, JoinScope),
-    /// Unpack a multi-value.
-    CaseMulti(Vec<Binder>, Rc<MExpr>, JoinScope),
+    /// Holds the whole `LetStrict` term (the eval step owns it anyway),
+    /// so pushing moves one pointer instead of refcounting the body.
+    LetStrict(Arc<MExpr>, JoinScope),
+    /// `Case(y, t)` generalized to alternative lists. Holds the whole
+    /// `Case` term: pushing is O(1) with zero refcount traffic for the
+    /// alternatives and the default.
+    Case(Arc<MExpr>, JoinScope),
+    /// Unpack a multi-value; holds the whole `CaseMulti` term.
+    CaseMulti(Arc<MExpr>, JoinScope),
 }
 
 /// Instrumentation counters. These are the quantities the benchmarks
@@ -235,7 +266,7 @@ pub struct MachineStats {
 /// maps each top-level binding to one.
 #[derive(Clone, Debug, Default)]
 pub struct Globals {
-    defs: HashMap<Symbol, Rc<MExpr>>,
+    defs: SymbolMap<Arc<MExpr>>,
 }
 
 impl Globals {
@@ -245,12 +276,12 @@ impl Globals {
     }
 
     /// Defines (or replaces) a global.
-    pub fn define(&mut self, name: impl Into<Symbol>, body: Rc<MExpr>) {
+    pub fn define(&mut self, name: impl Into<Symbol>, body: Arc<MExpr>) {
         self.defs.insert(name.into(), body);
     }
 
     /// Looks up a global.
-    pub fn get(&self, name: Symbol) -> Option<&Rc<MExpr>> {
+    pub fn get(&self, name: Symbol) -> Option<&Arc<MExpr>> {
         self.defs.get(&name)
     }
 
@@ -260,7 +291,7 @@ impl Globals {
     }
 
     /// Iterates over the definitions (unspecified order).
-    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Rc<MExpr>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &Arc<MExpr>)> {
         self.defs.iter().map(|(name, body)| (*name, body))
     }
 
@@ -298,6 +329,15 @@ pub enum MachineError {
     /// Ran out of fuel.
     OutOfFuel {
         /// The fuel limit that was exhausted.
+        limit: u64,
+    },
+    /// Exceeded the per-run allocation cap (in estimated words). Like
+    /// fuel, this is a *resource policy*, not a semantic failure: the
+    /// serving layer uses it to kill requests that would otherwise grow
+    /// the heap without bound. Checked at each allocation site, so the
+    /// overrun is bounded by a single allocation's size.
+    AllocLimitExceeded {
+        /// The allocation cap (words) that was exceeded.
         limit: u64,
     },
     /// A variable had no substitution — an open term.
@@ -338,6 +378,9 @@ impl fmt::Display for MachineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MachineError::OutOfFuel { limit } => write!(f, "out of fuel after {limit} steps"),
+            MachineError::AllocLimitExceeded { limit } => {
+                write!(f, "allocation cap of {limit} words exceeded")
+            }
             MachineError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
             MachineError::UnknownGlobal(g) => write!(f, "unknown global `{g}`"),
             MachineError::AppliedNonFunction(w) => write!(f, "applied non-function value {w}"),
@@ -394,7 +437,7 @@ pub(crate) fn check_atom_class(binder: Binder, atom: Atom) -> Result<(), Machine
 }
 
 enum Control {
-    Eval(Rc<MExpr>, JoinScope),
+    Eval(Arc<MExpr>, JoinScope),
     Ret(Value),
 }
 
@@ -423,6 +466,7 @@ pub struct Machine {
     globals: Globals,
     stats: MachineStats,
     fuel: u64,
+    alloc_limit: u64,
 }
 
 impl Default for Machine {
@@ -448,12 +492,30 @@ impl Machine {
             globals,
             stats: MachineStats::default(),
             fuel: Self::DEFAULT_FUEL,
+            alloc_limit: u64::MAX,
         }
     }
 
     /// Replaces the fuel limit.
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Caps the estimated words this run may allocate; exceeding it
+    /// fails with [`MachineError::AllocLimitExceeded`].
+    pub fn set_alloc_limit(&mut self, words: u64) {
+        self.alloc_limit = words;
+    }
+
+    /// Fails if the accumulated allocation estimate exceeds the cap.
+    fn check_alloc_limit(&self) -> Result<(), MachineError> {
+        if self.stats.allocated_words > self.alloc_limit {
+            Err(MachineError::AllocLimitExceeded {
+                limit: self.alloc_limit,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// The statistics accumulated so far.
@@ -525,7 +587,7 @@ impl Machine {
     ///
     /// [`MachineError`] on broken invariants or fuel exhaustion; `error`
     /// is reported as `Ok(RunOutcome::Error(..))`, matching rule ERR.
-    pub fn run(&mut self, t: Rc<MExpr>) -> Result<RunOutcome, MachineError> {
+    pub fn run(&mut self, t: Arc<MExpr>) -> Result<RunOutcome, MachineError> {
         let mut control = Control::Eval(t, JoinScope::nil());
         loop {
             // ERR: ⟨error; S; H⟩ → ⊥, whatever the stack holds.
@@ -548,7 +610,7 @@ impl Machine {
         }
     }
 
-    fn step_eval(&mut self, t: Rc<MExpr>, joins: JoinScope) -> Result<Control, MachineError> {
+    fn step_eval(&mut self, t: Arc<MExpr>, joins: JoinScope) -> Result<Control, MachineError> {
         match &*t {
             MExpr::Atom(Atom::Lit(l)) => Ok(Control::Ret(Value::Lit(*l))),
             MExpr::Atom(Atom::Addr(a)) => {
@@ -564,7 +626,7 @@ impl Machine {
                     // the escape analysis), so it starts a fresh scope.
                     HeapCell::Thunk(t1) => {
                         self.stats.thunk_forces += 1;
-                        let t1 = Rc::clone(t1);
+                        let t1 = Arc::clone(t1);
                         self.heap[ix] = HeapCell::Blackhole;
                         self.push(Frame::Force(*a));
                         Ok(Control::Eval(t1, JoinScope::nil()))
@@ -576,10 +638,10 @@ impl Machine {
             // PAPP / IAPP
             MExpr::App(fun, arg) => {
                 let arg = self.resolve(*arg)?;
-                self.push(Frame::App(arg, joins.clone()));
-                Ok(Control::Eval(Rc::clone(fun), joins))
+                self.push(Frame::App(arg));
+                Ok(Control::Eval(Arc::clone(fun), joins))
             }
-            MExpr::Lam(binder, body) => Ok(Control::Ret(Value::Lam(*binder, Rc::clone(body)))),
+            MExpr::Lam(binder, body) => Ok(Control::Ret(Value::Lam(*binder, Arc::clone(body)))),
             // LET (cyclic: the rhs may mention the binder, giving
             // recursion through the heap).
             MExpr::LetLazy(p, rhs, body) => {
@@ -588,41 +650,55 @@ impl Machine {
                 self.heap[addr.0 as usize] = HeapCell::Thunk(rhs2);
                 self.stats.thunk_allocs += 1;
                 self.stats.allocated_words += 2;
+                self.check_alloc_limit()?;
                 Ok(Control::Eval(subst_atom(body, *p, Atom::Addr(addr)), joins))
             }
             // SLET
-            MExpr::LetStrict(binder, rhs, body) => {
-                self.push(Frame::LetStrict(*binder, Rc::clone(body), joins.clone()));
-                Ok(Control::Eval(Rc::clone(rhs), joins))
+            MExpr::LetStrict(_, rhs, _) => {
+                let rhs = Arc::clone(rhs);
+                self.push(Frame::LetStrict(t, joins.clone()));
+                Ok(Control::Eval(rhs, joins))
             }
             // CASE
-            MExpr::Case(scrut, alts, def) => {
-                self.push(Frame::Case(alts.clone(), def.clone(), joins.clone()));
-                Ok(Control::Eval(Rc::clone(scrut), joins))
+            MExpr::Case(scrut, _, _) => {
+                let scrut = Arc::clone(scrut);
+                self.push(Frame::Case(t, joins.clone()));
+                Ok(Control::Eval(scrut, joins))
             }
             MExpr::Con(c, args) => {
                 let args = self.resolve_all(args)?;
                 self.stats.con_allocs += 1;
                 self.stats.allocated_words += 1 + args.len() as u64;
+                self.check_alloc_limit()?;
                 Ok(Control::Ret(Value::Con(c.clone(), args)))
             }
             MExpr::Prim(op, args) => {
-                let lits = args
-                    .iter()
-                    .map(|a| self.literal_of(*a))
-                    .collect::<Result<Vec<_>, _>>()?;
                 self.stats.prim_ops += 1;
-                Ok(Control::Ret(Value::Lit(apply_prim(*op, &lits)?)))
+                // Primops are at most binary today; resolve into a stack
+                // buffer so the hottest step never touches the allocator.
+                if args.len() <= 4 {
+                    let mut lits = [Literal::Int(0); 4];
+                    for (slot, a) in lits.iter_mut().zip(args.iter()) {
+                        *slot = self.literal_of(*a)?;
+                    }
+                    Ok(Control::Ret(Value::Lit(apply_prim(
+                        *op,
+                        &lits[..args.len()],
+                    )?)))
+                } else {
+                    let lits = args
+                        .iter()
+                        .map(|a| self.literal_of(*a))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Control::Ret(Value::Lit(apply_prim(*op, &lits)?)))
+                }
             }
             // Multi-values exist only in registers: no allocation.
             MExpr::MultiVal(args) => Ok(Control::Ret(Value::Multi(self.resolve_all(args)?))),
-            MExpr::CaseMulti(scrut, binders, body) => {
-                self.push(Frame::CaseMulti(
-                    binders.clone(),
-                    Rc::clone(body),
-                    joins.clone(),
-                ));
-                Ok(Control::Eval(Rc::clone(scrut), joins))
+            MExpr::CaseMulti(scrut, _, _) => {
+                let scrut = Arc::clone(scrut);
+                self.push(Frame::CaseMulti(t, joins.clone()));
+                Ok(Control::Eval(scrut, joins))
             }
             // A global body is closed: it never jumps to a caller's
             // join points, so its scope starts empty (mirroring the
@@ -632,14 +708,14 @@ impl Machine {
                     .globals
                     .get(*g)
                     .ok_or(MachineError::UnknownGlobal(*g))?;
-                Ok(Control::Eval(Rc::clone(code), JoinScope::nil()))
+                Ok(Control::Eval(Arc::clone(code), JoinScope::nil()))
             }
             // JOIN: recording the continuation is one transition and
             // zero allocation in the machine's cost model (contrast
             // LET's thunk).
             MExpr::LetJoin(def, body) => {
-                let joins = joins.push(Rc::clone(def));
-                Ok(Control::Eval(Rc::clone(body), joins))
+                let joins = joins.push(Arc::clone(def));
+                Ok(Control::Eval(Arc::clone(body), joins))
             }
             // JUMP: bind the arguments (width-checked like PPOP/IPOP)
             // and transfer control. The stack is untouched — a jump is
@@ -652,18 +728,25 @@ impl Machine {
                         "join point `{j}` arity mismatch"
                     )));
                 }
-                let args = self.resolve_all(args)?;
-                for (b, a) in def.params.iter().zip(args.iter()) {
+                self.stats.jumps += 1;
+                let mut resolved_buf = [Atom::Lit(Literal::Int(0)); 4];
+                let resolved_vec;
+                let resolved: &[Atom] = if args.len() <= 4 {
+                    for (slot, a) in resolved_buf.iter_mut().zip(args) {
+                        *slot = self.resolve(*a)?;
+                    }
+                    &resolved_buf[..args.len()]
+                } else {
+                    resolved_vec = self.resolve_all(args)?;
+                    &resolved_vec
+                };
+                for (b, a) in def.params.iter().zip(resolved) {
                     self.check_class(*b, *a)?;
                 }
-                let pairs: Vec<_> = def
-                    .params
-                    .iter()
-                    .map(|b| b.name)
-                    .zip(args.iter().copied())
-                    .collect();
-                self.stats.jumps += 1;
-                Ok(Control::Eval(subst_atoms(&def.body, &pairs), defscope))
+                Ok(Control::Eval(
+                    with_subst_pairs(&def.params, resolved, |pairs| subst_atoms(&def.body, pairs)),
+                    defscope,
+                ))
             }
             MExpr::Error(_) => {
                 unreachable!("handled in run()")
@@ -673,13 +756,16 @@ impl Machine {
 
     fn step_ret(&mut self, w: Value, frame: Frame) -> Result<Control, MachineError> {
         match frame {
-            // PPOP / IPOP, width-checked. The λ body resumes in the
-            // scope captured when the argument was pushed (its own
-            // joins, if any, are defined inside it).
-            Frame::App(arg, joins) => match w {
+            // PPOP / IPOP, width-checked. The λ body resumes with an
+            // empty join scope: its own joins are defined inside it,
+            // and jumps never cross a λ.
+            Frame::App(arg) => match w {
                 Value::Lam(binder, body) => {
                     self.check_class(binder, arg)?;
-                    Ok(Control::Eval(subst_atom(&body, binder.name, arg), joins))
+                    Ok(Control::Eval(
+                        subst_atom(&body, binder.name, arg),
+                        JoinScope::nil(),
+                    ))
                 }
                 other => Err(MachineError::AppliedNonFunction(other.to_string())),
             },
@@ -690,7 +776,10 @@ impl Machine {
                 Ok(Control::Ret(w))
             }
             // ILET (extended to boxed strict lets).
-            Frame::LetStrict(binder, body, joins) => {
+            Frame::LetStrict(term, joins) => {
+                let MExpr::LetStrict(binder, _, body) = &*term else {
+                    unreachable!("LetStrict frame holds a LetStrict term");
+                };
                 let atom = match &w {
                     Value::Lit(l) => Atom::Lit(*l),
                     Value::Lam(..) | Value::Con(..) => self.value_to_atom(w.clone())?,
@@ -700,84 +789,92 @@ impl Machine {
                         ))
                     }
                 };
-                self.check_class(binder, atom)?;
-                Ok(Control::Eval(subst_atom(&body, binder.name, atom), joins))
+                self.check_class(*binder, atom)?;
+                Ok(Control::Eval(subst_atom(body, binder.name, atom), joins))
             }
             // IMAT (extended to arbitrary constructors and literal alts).
-            Frame::Case(alts, def, joins) => match &w {
-                Value::Con(c, fields) => {
-                    for alt in alts.iter() {
-                        if let Alt::Con(c2, binders, rhs) = alt {
-                            if c2.name == c.name {
-                                if binders.len() != fields.len() {
-                                    return Err(MachineError::InvalidState(format!(
-                                        "constructor {c} arity mismatch in case"
-                                    )));
+            Frame::Case(term, joins) => {
+                let MExpr::Case(_, alts, def) = &*term else {
+                    unreachable!("Case frame holds a Case term");
+                };
+                match &w {
+                    Value::Con(c, fields) => {
+                        for alt in alts.iter() {
+                            if let Alt::Con(c2, binders, rhs) = alt {
+                                if c2.name == c.name {
+                                    if binders.len() != fields.len() {
+                                        return Err(MachineError::InvalidState(format!(
+                                            "constructor {c} arity mismatch in case"
+                                        )));
+                                    }
+                                    for (b, a) in binders.iter().zip(fields.iter()) {
+                                        self.check_class(*b, *a)?;
+                                    }
+                                    return Ok(Control::Eval(
+                                        with_subst_pairs(binders, fields, |pairs| {
+                                            subst_atoms(rhs, pairs)
+                                        }),
+                                        joins,
+                                    ));
                                 }
-                                for (b, a) in binders.iter().zip(fields.iter()) {
-                                    self.check_class(*b, *a)?;
-                                }
-                                let pairs: Vec<_> = binders
-                                    .iter()
-                                    .map(|b| b.name)
-                                    .zip(fields.iter().copied())
-                                    .collect();
-                                return Ok(Control::Eval(subst_atoms(rhs, &pairs), joins));
                             }
                         }
+                        self.take_default(w, def.as_ref(), joins)
                     }
-                    self.take_default(w, def, joins)
-                }
-                Value::Lit(l) => {
-                    for alt in alts.iter() {
-                        if let Alt::Lit(l2, rhs) = alt {
-                            if l2 == l {
-                                return Ok(Control::Eval(Rc::clone(rhs), joins));
+                    Value::Lit(l) => {
+                        for alt in alts.iter() {
+                            if let Alt::Lit(l2, rhs) = alt {
+                                if l2 == l {
+                                    return Ok(Control::Eval(Arc::clone(rhs), joins));
+                                }
                             }
                         }
+                        self.take_default(w, def.as_ref(), joins)
                     }
-                    self.take_default(w, def, joins)
+                    Value::Lam(..) => self.take_default(w, def.as_ref(), joins),
+                    Value::Multi(_) => Err(MachineError::InvalidState(
+                        "case on a multi-value; use case-of-multi".to_owned(),
+                    )),
                 }
-                Value::Lam(..) => self.take_default(w, def, joins),
-                Value::Multi(_) => Err(MachineError::InvalidState(
-                    "case on a multi-value; use case-of-multi".to_owned(),
-                )),
-            },
-            Frame::CaseMulti(binders, body, joins) => match w {
-                Value::Multi(fields) => {
-                    if binders.len() != fields.len() {
-                        return Err(MachineError::InvalidState(
-                            "multi-value arity mismatch".to_owned(),
-                        ));
+            }
+            Frame::CaseMulti(term, joins) => {
+                let MExpr::CaseMulti(_, binders, body) = &*term else {
+                    unreachable!("CaseMulti frame holds a CaseMulti term");
+                };
+                match w {
+                    Value::Multi(fields) => {
+                        if binders.len() != fields.len() {
+                            return Err(MachineError::InvalidState(
+                                "multi-value arity mismatch".to_owned(),
+                            ));
+                        }
+                        for (b, a) in binders.iter().zip(fields.iter()) {
+                            self.check_class(*b, *a)?;
+                        }
+                        Ok(Control::Eval(
+                            with_subst_pairs(binders, &fields, |pairs| subst_atoms(body, pairs)),
+                            joins,
+                        ))
                     }
-                    for (b, a) in binders.iter().zip(fields.iter()) {
-                        self.check_class(*b, *a)?;
-                    }
-                    let pairs: Vec<_> = binders
-                        .iter()
-                        .map(|b| b.name)
-                        .zip(fields.iter().copied())
-                        .collect();
-                    Ok(Control::Eval(subst_atoms(&body, &pairs), joins))
+                    other => Err(MachineError::InvalidState(format!(
+                        "case-of-multi scrutinee evaluated to {other}"
+                    ))),
                 }
-                other => Err(MachineError::InvalidState(format!(
-                    "case-of-multi scrutinee evaluated to {other}"
-                ))),
-            },
+            }
         }
     }
 
     fn take_default(
         &mut self,
         w: Value,
-        def: Option<(Binder, Rc<MExpr>)>,
+        def: Option<&(Binder, Arc<MExpr>)>,
         joins: JoinScope,
     ) -> Result<Control, MachineError> {
         match def {
             Some((binder, rhs)) => {
                 let atom = self.value_to_atom(w)?;
-                self.check_class(binder, atom)?;
-                Ok(Control::Eval(subst_atom(&rhs, binder.name, atom), joins))
+                self.check_class(*binder, atom)?;
+                Ok(Control::Eval(subst_atom(rhs, binder.name, atom), joins))
             }
             None => Err(MachineError::NoMatchingAlt(w.to_string())),
         }
@@ -789,6 +886,37 @@ impl Machine {
     }
 }
 
+/// Runs `f` with the binder-name/atom substitution pairs of a
+/// multi-binding step. Bindings are at most a handful wide in the
+/// optimizer's output (CPR tuples, join parameters, constructor
+/// fields), so the common case fills a stack buffer and the hot loop
+/// never touches the allocator. Callers have already checked
+/// `binders.len() == atoms.len()`.
+fn with_subst_pairs<R>(
+    binders: &[Binder],
+    atoms: &[Atom],
+    f: impl FnOnce(&[(Symbol, Atom)]) -> R,
+) -> R {
+    match binders {
+        [] => f(&[]),
+        [b0, ..] if binders.len() <= 4 => {
+            let mut buf = [(b0.name, atoms[0]); 4];
+            for (slot, (b, a)) in buf.iter_mut().zip(binders.iter().zip(atoms)) {
+                *slot = (b.name, *a);
+            }
+            f(&buf[..binders.len()])
+        }
+        _ => {
+            let pairs: Vec<_> = binders
+                .iter()
+                .map(|b| b.name)
+                .zip(atoms.iter().copied())
+                .collect();
+            f(&pairs)
+        }
+    }
+}
+
 /// Runs a program with fresh machine state, returning the outcome and
 /// statistics.
 ///
@@ -796,7 +924,7 @@ impl Machine {
 ///
 /// See [`Machine::run`].
 pub fn run_program(
-    t: Rc<MExpr>,
+    t: Arc<MExpr>,
     globals: Globals,
     fuel: u64,
 ) -> Result<(RunOutcome, MachineStats), MachineError> {
@@ -815,7 +943,7 @@ mod tests {
         Atom::Lit(Literal::Int(n))
     }
 
-    fn run(t: Rc<MExpr>) -> RunOutcome {
+    fn run(t: Arc<MExpr>) -> RunOutcome {
         Machine::new().run(t).expect("machine failure")
     }
 
@@ -952,8 +1080,8 @@ mod tests {
     #[test]
     fn multi_values_unpack_without_allocation() {
         // case (# 3#, 4# #) of (# a, b #) -> +# a b
-        let t = Rc::new(MExpr::CaseMulti(
-            Rc::new(MExpr::MultiVal(vec![int_atom(3), int_atom(4)])),
+        let t = Arc::new(MExpr::CaseMulti(
+            Arc::new(MExpr::MultiVal(vec![int_atom(3), int_atom(4)])),
             vec![Binder::int("a"), Binder::int("b")],
             MExpr::prim(
                 PrimOp::AddI,
@@ -1018,7 +1146,7 @@ mod tests {
         let true_con = DataCon::nullary("True", 1);
         let false_con = DataCon::nullary("False", 0);
         let t = MExpr::case(
-            Rc::new(MExpr::Con(true_con.clone(), vec![])),
+            Arc::new(MExpr::Con(true_con.clone(), vec![])),
             vec![
                 Alt::Con(false_con, vec![], MExpr::int(0)),
                 Alt::Con(true_con, vec![], MExpr::int(1)),
@@ -1092,7 +1220,7 @@ mod tests {
     #[test]
     fn join_points_jump_without_allocating_or_growing_the_stack() {
         // join j q r = +# q r in case 1# of { 1# -> jump j 20# 22#; _ -> 0# }
-        let def = Rc::new(JoinDef {
+        let def = Arc::new(JoinDef {
             name: Symbol::intern("j0"),
             params: vec![Binder::int("q"), Binder::int("r")],
             body: MExpr::prim(
@@ -1124,7 +1252,7 @@ mod tests {
 
     #[test]
     fn jump_arguments_are_width_checked() {
-        let def = Rc::new(JoinDef {
+        let def = Arc::new(JoinDef {
             name: Symbol::intern("j0"),
             params: vec![Binder::ptr("p")],
             body: MExpr::var("p"),

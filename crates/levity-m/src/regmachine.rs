@@ -26,7 +26,7 @@
 //! [`MachineStats::fused_ops`]), which is the entire point.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::rep::Slot;
 
@@ -73,7 +73,7 @@ impl WordV {
 /// A heap cell: thunks are (chunk, captured atoms) pairs.
 #[derive(Clone, Debug)]
 enum BCell {
-    Thunk(u32, Rc<[Atom]>),
+    Thunk(u32, Arc<[Atom]>),
     Value(BValue),
     Blackhole,
 }
@@ -86,9 +86,9 @@ enum BValue {
     Clos {
         binder: Binder,
         chunk: u32,
-        caps: Rc<[Atom]>,
+        caps: Arc<[Atom]>,
     },
-    Con(Rc<DataCon>, Rc<[Atom]>),
+    Con(Arc<DataCon>, Arc<[Atom]>),
     Lit(Literal),
     Multi(Vec<Atom>),
 }
@@ -144,7 +144,7 @@ enum BFrame {
         chunk: u32,
         pc: u32,
         bases: [usize; 4],
-        binds: Rc<[(Binder, u16)]>,
+        binds: Arc<[(Binder, u16)]>,
     },
     Upd(Addr),
     Arg(Atom),
@@ -155,7 +155,7 @@ enum BFrame {
 /// stacks without re-fetching the chunk.
 struct Exec {
     chunk: u32,
-    code: Rc<[Instr]>,
+    code: Arc<[Instr]>,
     pc: usize,
     bases: [usize; 4],
     frame: [u16; 4],
@@ -172,7 +172,7 @@ enum Popped {
 /// # Examples
 ///
 /// ```
-/// use std::rc::Rc;
+/// use std::sync::Arc;
 /// use levity_m::bytecode::BcProgram;
 /// use levity_m::compile::CodeProgram;
 /// use levity_m::machine::{Globals, RunOutcome, Value};
@@ -185,7 +185,7 @@ enum Popped {
 ///     Atom::Lit(Literal::Int(42)),
 /// );
 /// let program = CodeProgram::compile(&Globals::new());
-/// let bc = Rc::new(BcProgram::compile(&program));
+/// let bc = Arc::new(BcProgram::compile(&program));
 /// let entry = bc.compile_entry(&program.compile_entry(&t));
 /// let mut machine = BcMachine::new(bc);
 /// let outcome = machine.run(&entry)?;
@@ -200,9 +200,10 @@ pub struct BcMachine {
     ptrs: Vec<Addr>,
     heap: Vec<BCell>,
     stack: Vec<BFrame>,
-    program: Rc<BcProgram>,
+    program: Arc<BcProgram>,
     stats: MachineStats,
     fuel: u64,
+    alloc_limit: u64,
     /// High-water mark per operand stack (`[ptr, word, float,
     /// double]`) — the §6.2 negative-space observable: a program with
     /// no `Double#` binders must leave `high[3] == 0`, and vice versa.
@@ -215,7 +216,7 @@ pub struct BcMachine {
 
 impl BcMachine {
     /// A machine over the given bytecode program with default fuel.
-    pub fn new(program: Rc<BcProgram>) -> BcMachine {
+    pub fn new(program: Arc<BcProgram>) -> BcMachine {
         BcMachine {
             words: Vec::new(),
             doubles: Vec::new(),
@@ -226,6 +227,7 @@ impl BcMachine {
             program,
             stats: MachineStats::default(),
             fuel: crate::machine::Machine::DEFAULT_FUEL,
+            alloc_limit: u64::MAX,
             high: [0; 4],
             top: [0; 4],
         }
@@ -234,6 +236,24 @@ impl BcMachine {
     /// Replaces the fuel limit.
     pub fn set_fuel(&mut self, fuel: u64) {
         self.fuel = fuel;
+    }
+
+    /// Caps the estimated words this run may allocate; exceeding it
+    /// fails with [`MachineError::AllocLimitExceeded`].
+    pub fn set_alloc_limit(&mut self, words: u64) {
+        self.alloc_limit = words;
+    }
+
+    /// Fails if the accumulated allocation estimate exceeds the cap.
+    #[inline]
+    fn check_alloc_limit(&self) -> Result<(), MachineError> {
+        if self.stats.allocated_words > self.alloc_limit {
+            Err(MachineError::AllocLimitExceeded {
+                limit: self.alloc_limit,
+            })
+        } else {
+            Ok(())
+        }
     }
 
     /// The statistics accumulated so far.
@@ -268,16 +288,16 @@ impl BcMachine {
         self.stats.max_stack = self.stats.max_stack.max(self.stack.len());
     }
 
-    fn chunk_of(&self, entry: &BcEntry, id: u32) -> Result<Rc<Chunk>, MachineError> {
+    fn chunk_of(&self, entry: &BcEntry, id: u32) -> Result<Arc<Chunk>, MachineError> {
         let base = self.program.chunks.len();
         let ix = id as usize;
         if ix < base {
-            Ok(Rc::clone(&self.program.chunks[ix]))
+            Ok(Arc::clone(&self.program.chunks[ix]))
         } else {
             entry
                 .chunks
                 .get(ix - base)
-                .map(Rc::clone)
+                .map(Arc::clone)
                 .ok_or_else(|| MachineError::BadBytecode(format!("unknown chunk id {id}")))
         }
     }
@@ -423,7 +443,7 @@ impl BcMachine {
         }
         Ok(Exec {
             chunk: id,
-            code: Rc::clone(&chunk.code),
+            code: Arc::clone(&chunk.code),
             pc: 0,
             bases,
             frame: chunk.frame,
@@ -581,7 +601,7 @@ impl BcMachine {
                     let c = self.chunk_of(entry, chunk)?;
                     let exec = Exec {
                         chunk,
-                        code: Rc::clone(&c.code),
+                        code: Arc::clone(&c.code),
                         pc: pc as usize,
                         bases,
                         frame: c.frame,
@@ -619,7 +639,7 @@ impl BcMachine {
                     let c = self.chunk_of(entry, chunk)?;
                     let exec = Exec {
                         chunk,
-                        code: Rc::clone(&c.code),
+                        code: Arc::clone(&c.code),
                         pc: pc as usize,
                         bases,
                         frame: c.frame,
@@ -643,7 +663,7 @@ impl BcMachine {
             BCell::Value(_) => Ok(None),
             BCell::Thunk(chunk, caps) => {
                 let chunk = *chunk;
-                let caps = Rc::clone(caps);
+                let caps = Arc::clone(caps);
                 self.stats.thunk_forces += 1;
                 self.heap[ix] = BCell::Blackhole;
                 self.push_frame(BFrame::Ret {
@@ -670,7 +690,7 @@ impl BcMachine {
         // The dispatch loop matches instructions *by reference* out of
         // a local handle on the current chunk's code — no per-step
         // clone. Arms that switch chunks refresh the handle.
-        let mut code = Rc::clone(&ex.code);
+        let mut code = Arc::clone(&ex.code);
         let mut acc = BValue::Lit(Literal::Int(0));
         loop {
             let Some(instr) = code.get(ex.pc) else {
@@ -852,12 +872,12 @@ impl BcMachine {
                         chunk: ex.chunk,
                         pc: *resume,
                         bases,
-                        binds: Rc::clone(binds),
+                        binds: Arc::clone(binds),
                     });
                     let chunk = *chunk;
                     let new_bases = self.tops();
                     // A self-recursive call keeps the chunk and code
-                    // handle — no chunk fetch, no `Rc` traffic.
+                    // handle — no chunk fetch, no `Arc` traffic.
                     let callee = if chunk == ex.chunk {
                         self.grow_frame_sizes(ex.frame, new_bases);
                         None
@@ -880,12 +900,12 @@ impl BcMachine {
                         Some(c) => {
                             ex = Exec {
                                 chunk,
-                                code: Rc::clone(&c.code),
+                                code: Arc::clone(&c.code),
                                 pc: 0,
                                 bases: new_bases,
                                 frame: c.frame,
                             };
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                         }
                     }
                 }
@@ -957,7 +977,7 @@ impl BcMachine {
                     match self.eval_addr(entry, addr, &ex)? {
                         Some(exec) => {
                             ex = exec;
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                         }
                         None => {
                             let BCell::Value(w) = &self.heap[addr.0 as usize] else {
@@ -970,10 +990,11 @@ impl BcMachine {
                     }
                 }
                 Instr::MkCon { con, args } => {
-                    let atoms: Rc<[Atom]> = self.atoms_of(args, bases)?.into();
+                    let atoms: Arc<[Atom]> = self.atoms_of(args, bases)?.into();
                     self.stats.con_allocs += 1;
                     self.stats.allocated_words += 1 + atoms.len() as u64;
-                    acc = BValue::Con(Rc::clone(con), atoms);
+                    self.check_alloc_limit()?;
+                    acc = BValue::Con(Arc::clone(con), atoms);
                     ex.pc += 1;
                 }
                 Instr::MkMulti { args } => {
@@ -988,7 +1009,7 @@ impl BcMachine {
                         Popped::Done(outcome) => return Ok(outcome),
                         Popped::Resume(exec, a) => {
                             ex = exec;
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                             acc = a;
                         }
                     }
@@ -1017,7 +1038,7 @@ impl BcMachine {
                 }
                 Instr::MkClos { chunk, caps } => {
                     let chunk = *chunk;
-                    let atoms: Rc<[Atom]> = self.atoms_of(caps, bases)?.into();
+                    let atoms: Arc<[Atom]> = self.atoms_of(caps, bases)?.into();
                     let c = self.chunk_of(entry, chunk)?;
                     let binder = *c.params.first().ok_or_else(|| {
                         MachineError::BadBytecode(format!(
@@ -1037,10 +1058,11 @@ impl BcMachine {
                     self.ptrs[bases[0] + *dst as usize] = addr;
                     // Captures resolve *after* the address is written,
                     // so cyclic thunks capture themselves.
-                    let atoms: Rc<[Atom]> = self.atoms_of(caps, bases)?.into();
+                    let atoms: Arc<[Atom]> = self.atoms_of(caps, bases)?.into();
                     self.heap[addr.0 as usize] = BCell::Thunk(*chunk, atoms);
                     self.stats.thunk_allocs += 1;
                     self.stats.allocated_words += 2;
+                    self.check_alloc_limit()?;
                     ex.pc += 1;
                 }
                 Instr::BindAcc { binder, slot } => {
@@ -1100,10 +1122,10 @@ impl BcMachine {
                         } else if tail {
                             self.truncate_to(bases);
                             ex = self.enter(entry, chunk, bases, &[], &atoms)?;
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                         } else {
                             ex = self.enter(entry, chunk, self.tops(), &[], &atoms)?;
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                         }
                     }
                 }
@@ -1199,12 +1221,12 @@ impl BcMachine {
                         chunk: ex.chunk,
                         pc: *resume,
                         bases,
-                        binds: Rc::clone(binds),
+                        binds: Arc::clone(binds),
                     });
                     let chunk = *chunk;
                     let new_bases = self.tops();
                     // A self-recursive call keeps the chunk and code
-                    // handle — no chunk fetch, no `Rc` traffic.
+                    // handle — no chunk fetch, no `Arc` traffic.
                     let callee = if chunk == ex.chunk {
                         self.grow_frame_sizes(ex.frame, new_bases);
                         None
@@ -1228,12 +1250,12 @@ impl BcMachine {
                         Some(c) => {
                             ex = Exec {
                                 chunk,
-                                code: Rc::clone(&c.code),
+                                code: Arc::clone(&c.code),
                                 pc: 0,
                                 bases: new_bases,
                                 frame: c.frame,
                             };
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                         }
                     }
                 }
@@ -1271,12 +1293,12 @@ impl BcMachine {
                                 let c = self.chunk_of(entry, chunk)?;
                                 ex = Exec {
                                     chunk,
-                                    code: Rc::clone(&c.code),
+                                    code: Arc::clone(&c.code),
                                     pc: pc as usize,
                                     bases: cb,
                                     frame: c.frame,
                                 };
-                                code = Rc::clone(&ex.code);
+                                code = Arc::clone(&ex.code);
                             }
                             continue;
                         }
@@ -1297,7 +1319,7 @@ impl BcMachine {
                             Popped::Done(outcome) => return Ok(outcome),
                             Popped::Resume(exec, a) => {
                                 ex = exec;
-                                code = Rc::clone(&ex.code);
+                                code = Arc::clone(&ex.code);
                                 acc = a;
                             }
                         }
@@ -1313,12 +1335,12 @@ impl BcMachine {
                         chunk: ex.chunk,
                         pc: *resume,
                         bases,
-                        binds: Rc::clone(binds),
+                        binds: Arc::clone(binds),
                     });
                     let chunk = *chunk;
                     let new_bases = self.tops();
                     // A self-recursive call keeps the chunk and code
-                    // handle — no chunk fetch, no `Rc` traffic.
+                    // handle — no chunk fetch, no `Arc` traffic.
                     let callee = if chunk == ex.chunk {
                         self.grow_frame_sizes(ex.frame, new_bases);
                         None
@@ -1342,12 +1364,12 @@ impl BcMachine {
                         Some(c) => {
                             ex = Exec {
                                 chunk,
-                                code: Rc::clone(&c.code),
+                                code: Arc::clone(&c.code),
                                 pc: 0,
                                 bases: new_bases,
                                 frame: c.frame,
                             };
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                         }
                     }
                 }
@@ -1383,12 +1405,12 @@ impl BcMachine {
                                 let c = self.chunk_of(entry, chunk)?;
                                 ex = Exec {
                                     chunk,
-                                    code: Rc::clone(&c.code),
+                                    code: Arc::clone(&c.code),
                                     pc: pc as usize,
                                     bases: cb,
                                     frame: c.frame,
                                 };
-                                code = Rc::clone(&ex.code);
+                                code = Arc::clone(&ex.code);
                             }
                             continue;
                         }
@@ -1409,7 +1431,7 @@ impl BcMachine {
                             Popped::Done(outcome) => return Ok(outcome),
                             Popped::Resume(exec, a) => {
                                 ex = exec;
-                                code = Rc::clone(&ex.code);
+                                code = Arc::clone(&ex.code);
                                 acc = a;
                             }
                         }
@@ -1422,13 +1444,13 @@ impl BcMachine {
                     } else {
                         ex = self.enter(entry, *chunk, self.tops(), &[], &[])?;
                     }
-                    code = Rc::clone(&ex.code);
+                    code = Arc::clone(&ex.code);
                 }
                 Instr::ApplyA => match self.pop_return(entry, acc)? {
                     Popped::Done(outcome) => return Ok(outcome),
                     Popped::Resume(exec, a) => {
                         ex = exec;
-                        code = Rc::clone(&ex.code);
+                        code = Arc::clone(&ex.code);
                         acc = a;
                     }
                 },
@@ -1439,7 +1461,7 @@ impl BcMachine {
                         Popped::Done(outcome) => return Ok(outcome),
                         Popped::Resume(exec, a) => {
                             ex = exec;
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                             acc = a;
                         }
                     }
@@ -1451,7 +1473,7 @@ impl BcMachine {
                         Popped::Done(outcome) => return Ok(outcome),
                         Popped::Resume(exec, a) => {
                             ex = exec;
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                             acc = a;
                         }
                     }
@@ -1463,7 +1485,7 @@ impl BcMachine {
                         Popped::Done(outcome) => return Ok(outcome),
                         Popped::Resume(exec, a) => {
                             ex = exec;
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                             acc = a;
                         }
                     }
@@ -1474,7 +1496,7 @@ impl BcMachine {
                         Popped::Done(outcome) => return Ok(outcome),
                         Popped::Resume(exec, a) => {
                             ex = exec;
-                            code = Rc::clone(&ex.code);
+                            code = Arc::clone(&ex.code);
                             acc = a;
                         }
                     }
@@ -1502,7 +1524,7 @@ impl BcMachine {
                                     "constructor {c} arity mismatch in case"
                                 )));
                             }
-                            let fields = Rc::clone(fields);
+                            let fields = Arc::clone(fields);
                             for ((b, slot), a) in binds.iter().zip(fields.iter()) {
                                 check_atom_class(*b, *a)?;
                                 self.write_slot(bases, b.class, *slot, *a)?;
@@ -1593,11 +1615,11 @@ fn word_prim2(op: PrimOp, a: WordV, b: WordV) -> Result<WordV, MachineError> {
 ///
 /// See [`BcMachine::run`].
 pub fn run_bytecode(
-    program: &Rc<BcProgram>,
+    program: &Arc<BcProgram>,
     entry: &BcEntry,
     fuel: u64,
 ) -> Result<(RunOutcome, MachineStats), MachineError> {
-    let mut machine = BcMachine::new(Rc::clone(program));
+    let mut machine = BcMachine::new(Arc::clone(program));
     machine.set_fuel(fuel);
     let outcome = machine.run(entry)?;
     Ok((outcome, *machine.stats()))
@@ -1614,16 +1636,16 @@ mod tests {
         Atom::Lit(Literal::Int(n))
     }
 
-    fn run_t(t: Rc<MExpr>) -> RunOutcome {
+    fn run_t(t: Arc<MExpr>) -> RunOutcome {
         run_with(Globals::new(), t).expect("machine failure").0
     }
 
     fn run_with(
         globals: Globals,
-        t: Rc<MExpr>,
+        t: Arc<MExpr>,
     ) -> Result<(RunOutcome, MachineStats), MachineError> {
         let program = CodeProgram::compile(&globals);
-        let bc = Rc::new(BcProgram::compile(&program));
+        let bc = Arc::new(BcProgram::compile(&program));
         let entry = bc.compile_entry(&program.compile_entry(&t));
         run_bytecode(&bc, &entry, crate::machine::Machine::DEFAULT_FUEL)
     }
@@ -1794,8 +1816,8 @@ mod tests {
     #[test]
     fn multi_values_stay_unboxed() {
         // case (# 3#, 4# #) of (# a, b #) -> +# a b
-        let t = Rc::new(MExpr::CaseMulti(
-            Rc::new(MExpr::MultiVal(vec![int_atom(3), int_atom(4)])),
+        let t = Arc::new(MExpr::CaseMulti(
+            Arc::new(MExpr::MultiVal(vec![int_atom(3), int_atom(4)])),
             vec![Binder::int("a"), Binder::int("b")],
             MExpr::prim(
                 PrimOp::AddI,
@@ -1813,10 +1835,10 @@ mod tests {
         let pair = DataCon {
             name: "MkPair".into(),
             tag: 0,
-            fields: vec![Slot::Word, Slot::Word],
+            fields: [Slot::Word, Slot::Word].into(),
         };
         let t = MExpr::case(
-            Rc::new(MExpr::Con(pair.clone(), vec![int_atom(1), int_atom(2)])),
+            Arc::new(MExpr::Con(pair.clone(), vec![int_atom(1), int_atom(2)])),
             vec![Alt::Con(
                 pair,
                 vec![Binder::int("a"), Binder::int("b")],
@@ -1836,7 +1858,7 @@ mod tests {
     #[test]
     fn join_loops_run_on_the_word_stack() {
         // join loop (acc, n) = if n < 1 then acc else loop (acc+n, n-1)
-        let def = Rc::new(JoinDef {
+        let def = Arc::new(JoinDef {
             name: "loop".into(),
             params: vec![Binder::int("acc"), Binder::int("n")],
             body: MExpr::case(
@@ -1884,7 +1906,7 @@ mod tests {
         let mut globals = Globals::new();
         globals.define("spin", MExpr::global("spin"));
         let program = CodeProgram::compile(&globals);
-        let bc = Rc::new(BcProgram::compile(&program));
+        let bc = Arc::new(BcProgram::compile(&program));
         let entry = bc.compile_entry(&program.compile_entry(&MExpr::global("spin")));
         assert_eq!(
             run_bytecode(&bc, &entry, 1000).unwrap_err(),
@@ -1908,7 +1930,7 @@ mod tests {
             MExpr::var("x"),
         );
         let program = CodeProgram::compile(&Globals::new());
-        let bc = Rc::new(BcProgram::compile(&program));
+        let bc = Arc::new(BcProgram::compile(&program));
         let entry = bc.compile_entry(&program.compile_entry(&t));
         let mut machine = BcMachine::new(bc);
         let outcome = machine.run(&entry).unwrap();

@@ -10,7 +10,7 @@
 //! binder's class — a levity-polymorphic binder would make that check
 //! impossible, which is why `M` cannot express one.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use levity_core::symbol::Symbol;
 
@@ -18,106 +18,154 @@ use crate::syntax::{Alt, Atom, JoinDef, MExpr};
 
 /// Substitutes `payload` for the variable `name` throughout `t`,
 /// respecting shadowing.
-pub fn subst_atom(t: &Rc<MExpr>, name: Symbol, payload: Atom) -> Rc<MExpr> {
+pub fn subst_atom(t: &Arc<MExpr>, name: Symbol, payload: Atom) -> Arc<MExpr> {
     // Fast path: share the subtree when the variable cannot occur.
     // (A full occurs-check would traverse anyway, so just substitute.)
     match &**t {
         MExpr::Atom(a) => match sub_in_atom(*a, name, payload) {
-            Some(a2) => Rc::new(MExpr::Atom(a2)),
-            None => Rc::clone(t),
+            Some(a2) => Arc::new(MExpr::Atom(a2)),
+            None => Arc::clone(t),
         },
         MExpr::App(fun, arg) => {
             let fun2 = subst_atom(fun, name, payload);
             let arg2 = sub_in_atom(*arg, name, payload);
-            if Rc::ptr_eq(&fun2, fun) && arg2.is_none() {
-                Rc::clone(t)
+            if Arc::ptr_eq(&fun2, fun) && arg2.is_none() {
+                Arc::clone(t)
             } else {
-                Rc::new(MExpr::App(fun2, arg2.unwrap_or(*arg)))
+                Arc::new(MExpr::App(fun2, arg2.unwrap_or(*arg)))
             }
         }
         MExpr::Lam(binder, body) => {
             if binder.name == name {
-                Rc::clone(t)
+                Arc::clone(t)
             } else {
                 let body2 = subst_atom(body, name, payload);
-                if Rc::ptr_eq(&body2, body) {
-                    Rc::clone(t)
+                if Arc::ptr_eq(&body2, body) {
+                    Arc::clone(t)
                 } else {
-                    Rc::new(MExpr::Lam(*binder, body2))
+                    Arc::new(MExpr::Lam(*binder, body2))
                 }
             }
         }
         MExpr::LetLazy(p, rhs, body) => {
             if *p == name {
-                Rc::clone(t)
+                Arc::clone(t)
             } else {
-                Rc::new(MExpr::LetLazy(
-                    *p,
-                    subst_atom(rhs, name, payload),
-                    subst_atom(body, name, payload),
-                ))
+                let rhs2 = subst_atom(rhs, name, payload);
+                let body2 = subst_atom(body, name, payload);
+                if Arc::ptr_eq(&rhs2, rhs) && Arc::ptr_eq(&body2, body) {
+                    Arc::clone(t)
+                } else {
+                    Arc::new(MExpr::LetLazy(*p, rhs2, body2))
+                }
             }
         }
         MExpr::LetStrict(binder, rhs, body) => {
             let rhs2 = subst_atom(rhs, name, payload);
             let body2 = if binder.name == name {
-                Rc::clone(body)
+                Arc::clone(body)
             } else {
                 subst_atom(body, name, payload)
             };
-            Rc::new(MExpr::LetStrict(*binder, rhs2, body2))
+            if Arc::ptr_eq(&rhs2, rhs) && Arc::ptr_eq(&body2, body) {
+                Arc::clone(t)
+            } else {
+                Arc::new(MExpr::LetStrict(*binder, rhs2, body2))
+            }
         }
         MExpr::Case(scrut, alts, def) => {
             let scrut2 = subst_atom(scrut, name, payload);
-            let alts2: Rc<[Alt]> = alts
+            // Substitute each right-hand side first; only rebuild the
+            // alternative vector (and its DataCon/binder clones) when at
+            // least one of them — or the scrutinee or default — changed.
+            let rhss2: Vec<Arc<MExpr>> = alts
                 .iter()
                 .map(|alt| match alt {
-                    Alt::Con(c, binders, rhs) => {
+                    Alt::Con(_, binders, rhs) => {
                         if binders.iter().any(|b| b.name == name) {
-                            Alt::Con(c.clone(), binders.clone(), Rc::clone(rhs))
+                            Arc::clone(rhs)
                         } else {
-                            Alt::Con(c.clone(), binders.clone(), subst_atom(rhs, name, payload))
+                            subst_atom(rhs, name, payload)
                         }
                     }
-                    Alt::Lit(l, rhs) => Alt::Lit(*l, subst_atom(rhs, name, payload)),
+                    Alt::Lit(_, rhs) => subst_atom(rhs, name, payload),
                 })
                 .collect();
             let def2 = def.as_ref().map(|(b, rhs)| {
                 if b.name == name {
-                    (*b, Rc::clone(rhs))
+                    (*b, Arc::clone(rhs))
                 } else {
                     (*b, subst_atom(rhs, name, payload))
                 }
             });
-            Rc::new(MExpr::Case(scrut2, alts2, def2))
+            let alts_unchanged = alts
+                .iter()
+                .zip(&rhss2)
+                .all(|(alt, rhs2)| Arc::ptr_eq(alt_rhs(alt), rhs2));
+            let def_unchanged = match (def, &def2) {
+                (Some((_, rhs)), Some((_, rhs2))) => Arc::ptr_eq(rhs, rhs2),
+                (None, None) => true,
+                _ => unreachable!("def2 mirrors def"),
+            };
+            if Arc::ptr_eq(&scrut2, scrut) && alts_unchanged && def_unchanged {
+                Arc::clone(t)
+            } else {
+                // The common loop shape substitutes into the scrutinee
+                // only; keep sharing the alternative vector then.
+                let alts2: Arc<[Alt]> = if alts_unchanged {
+                    Arc::clone(alts)
+                } else {
+                    alts.iter()
+                        .zip(rhss2)
+                        .map(|(alt, rhs2)| match alt {
+                            Alt::Con(c, binders, _) => Alt::Con(c.clone(), binders.clone(), rhs2),
+                            Alt::Lit(l, _) => Alt::Lit(*l, rhs2),
+                        })
+                        .collect()
+                };
+                Arc::new(MExpr::Case(scrut2, alts2, def2))
+            }
         }
-        MExpr::Con(c, args) => Rc::new(MExpr::Con(c.clone(), sub_in_atoms(args, name, payload))),
-        MExpr::Prim(op, args) => Rc::new(MExpr::Prim(*op, sub_in_atoms(args, name, payload))),
-        MExpr::MultiVal(args) => Rc::new(MExpr::MultiVal(sub_in_atoms(args, name, payload))),
+        MExpr::Con(c, args) => match sub_in_atoms(args, name, payload) {
+            Some(args2) => Arc::new(MExpr::Con(c.clone(), args2)),
+            None => Arc::clone(t),
+        },
+        MExpr::Prim(op, args) => match sub_in_atoms(args, name, payload) {
+            Some(args2) => Arc::new(MExpr::Prim(*op, args2)),
+            None => Arc::clone(t),
+        },
+        MExpr::MultiVal(args) => match sub_in_atoms(args, name, payload) {
+            Some(args2) => Arc::new(MExpr::MultiVal(args2)),
+            None => Arc::clone(t),
+        },
         MExpr::CaseMulti(scrut, binders, body) => {
             let scrut2 = subst_atom(scrut, name, payload);
             let body2 = if binders.iter().any(|b| b.name == name) {
-                Rc::clone(body)
+                Arc::clone(body)
             } else {
                 subst_atom(body, name, payload)
             };
-            Rc::new(MExpr::CaseMulti(scrut2, binders.clone(), body2))
+            if Arc::ptr_eq(&scrut2, scrut) && Arc::ptr_eq(&body2, body) {
+                Arc::clone(t)
+            } else {
+                Arc::new(MExpr::CaseMulti(scrut2, binders.clone(), body2))
+            }
         }
         MExpr::LetJoin(def, body) => {
             // The join's parameters shadow inside its body; the join
             // *name* lives in a separate namespace (only `jump` refers
             // to it), so atom substitution never touches it.
             let def_body = if def.params.iter().any(|b| b.name == name) {
-                Rc::clone(&def.body)
+                Arc::clone(&def.body)
             } else {
                 subst_atom(&def.body, name, payload)
             };
             let body2 = subst_atom(body, name, payload);
-            if Rc::ptr_eq(&def_body, &def.body) && Rc::ptr_eq(&body2, body) {
-                Rc::clone(t)
+            if Arc::ptr_eq(&def_body, &def.body) && Arc::ptr_eq(&body2, body) {
+                Arc::clone(t)
             } else {
-                Rc::new(MExpr::LetJoin(
-                    Rc::new(JoinDef {
+                Arc::new(MExpr::LetJoin(
+                    Arc::new(JoinDef {
                         name: def.name,
                         params: def.params.clone(),
                         body: def_body,
@@ -126,8 +174,17 @@ pub fn subst_atom(t: &Rc<MExpr>, name: Symbol, payload: Atom) -> Rc<MExpr> {
                 ))
             }
         }
-        MExpr::Jump(j, args) => Rc::new(MExpr::Jump(*j, sub_in_atoms(args, name, payload))),
-        MExpr::Global(_) | MExpr::Error(_) => Rc::clone(t),
+        MExpr::Jump(j, args) => match sub_in_atoms(args, name, payload) {
+            Some(args2) => Arc::new(MExpr::Jump(*j, args2)),
+            None => Arc::clone(t),
+        },
+        MExpr::Global(_) | MExpr::Error(_) => Arc::clone(t),
+    }
+}
+
+fn alt_rhs(alt: &Alt) -> &Arc<MExpr> {
+    match alt {
+        Alt::Con(_, _, rhs) | Alt::Lit(_, rhs) => rhs,
     }
 }
 
@@ -138,10 +195,20 @@ fn sub_in_atom(a: Atom, name: Symbol, payload: Atom) -> Option<Atom> {
     }
 }
 
-fn sub_in_atoms(args: &[Atom], name: Symbol, payload: Atom) -> Vec<Atom> {
-    args.iter()
-        .map(|a| sub_in_atom(*a, name, payload).unwrap_or(*a))
-        .collect()
+/// `None` when no atom is touched, so callers can share the whole node.
+fn sub_in_atoms(args: &[Atom], name: Symbol, payload: Atom) -> Option<Vec<Atom>> {
+    if args
+        .iter()
+        .any(|a| sub_in_atom(*a, name, payload).is_some())
+    {
+        Some(
+            args.iter()
+                .map(|a| sub_in_atom(*a, name, payload).unwrap_or(*a))
+                .collect(),
+        )
+    } else {
+        None
+    }
 }
 
 /// Substitutes several atoms *simultaneously* in a single traversal
@@ -152,13 +219,13 @@ fn sub_in_atoms(args: &[Atom], name: Symbol, payload: Atom) -> Vec<Atom> {
 /// one except in the degenerate case of duplicate names among `pairs`,
 /// where the *last* pair wins — matching lexical shadowing (the
 /// innermost of two same-named case-field binders shadows the other).
-pub fn subst_atoms(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
+pub fn subst_atoms(t: &Arc<MExpr>, pairs: &[(Symbol, Atom)]) -> Arc<MExpr> {
     debug_assert!(
         pairs.iter().all(|(_, a)| !matches!(a, Atom::Var(_))),
         "substitution payloads must be resolved atoms"
     );
     match pairs {
-        [] => Rc::clone(t),
+        [] => Arc::clone(t),
         [(name, atom)] => subst_atom(t, *name, *atom),
         _ => subst_multi(t, pairs),
     }
@@ -176,10 +243,17 @@ fn multi_in_atom(a: Atom, pairs: &[(Symbol, Atom)]) -> Option<Atom> {
     }
 }
 
-fn multi_in_atoms(args: &[Atom], pairs: &[(Symbol, Atom)]) -> Vec<Atom> {
-    args.iter()
-        .map(|a| multi_in_atom(*a, pairs).unwrap_or(*a))
-        .collect()
+/// `None` when no atom is touched, so callers can share the whole node.
+fn multi_in_atoms(args: &[Atom], pairs: &[(Symbol, Atom)]) -> Option<Vec<Atom>> {
+    if args.iter().any(|a| multi_in_atom(*a, pairs).is_some()) {
+        Some(
+            args.iter()
+                .map(|a| multi_in_atom(*a, pairs).unwrap_or(*a))
+                .collect(),
+        )
+    } else {
+        None
+    }
 }
 
 /// Drops the pairs shadowed by binders for which `is_bound` holds.
@@ -202,22 +276,22 @@ fn unshadowed(
     }
 }
 
-fn subst_multi(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
+fn subst_multi(t: &Arc<MExpr>, pairs: &[(Symbol, Atom)]) -> Arc<MExpr> {
     if pairs.is_empty() {
-        return Rc::clone(t);
+        return Arc::clone(t);
     }
     match &**t {
         MExpr::Atom(a) => match multi_in_atom(*a, pairs) {
-            Some(a2) => Rc::new(MExpr::Atom(a2)),
-            None => Rc::clone(t),
+            Some(a2) => Arc::new(MExpr::Atom(a2)),
+            None => Arc::clone(t),
         },
         MExpr::App(fun, arg) => {
             let fun2 = subst_multi(fun, pairs);
             let arg2 = multi_in_atom(*arg, pairs);
-            if Rc::ptr_eq(&fun2, fun) && arg2.is_none() {
-                Rc::clone(t)
+            if Arc::ptr_eq(&fun2, fun) && arg2.is_none() {
+                Arc::clone(t)
             } else {
-                Rc::new(MExpr::App(fun2, arg2.unwrap_or(*arg)))
+                Arc::new(MExpr::App(fun2, arg2.unwrap_or(*arg)))
             }
         }
         MExpr::Lam(binder, body) => {
@@ -225,10 +299,10 @@ fn subst_multi(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
                 Some(active) => subst_multi(body, &active),
                 None => subst_multi(body, pairs),
             };
-            if Rc::ptr_eq(&body2, body) {
-                Rc::clone(t)
+            if Arc::ptr_eq(&body2, body) {
+                Arc::clone(t)
             } else {
-                Rc::new(MExpr::Lam(*binder, body2))
+                Arc::new(MExpr::Lam(*binder, body2))
             }
         }
         MExpr::LetLazy(p, rhs, body) => {
@@ -237,10 +311,10 @@ fn subst_multi(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
                 Some(active) => (subst_multi(rhs, &active), subst_multi(body, &active)),
                 None => (subst_multi(rhs, pairs), subst_multi(body, pairs)),
             };
-            if Rc::ptr_eq(&rhs2, rhs) && Rc::ptr_eq(&body2, body) {
-                Rc::clone(t)
+            if Arc::ptr_eq(&rhs2, rhs) && Arc::ptr_eq(&body2, body) {
+                Arc::clone(t)
             } else {
-                Rc::new(MExpr::LetLazy(*p, rhs2, body2))
+                Arc::new(MExpr::LetLazy(*p, rhs2, body2))
             }
         }
         MExpr::LetStrict(binder, rhs, body) => {
@@ -249,22 +323,27 @@ fn subst_multi(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
                 Some(active) => subst_multi(body, &active),
                 None => subst_multi(body, pairs),
             };
-            Rc::new(MExpr::LetStrict(*binder, rhs2, body2))
+            if Arc::ptr_eq(&rhs2, rhs) && Arc::ptr_eq(&body2, body) {
+                Arc::clone(t)
+            } else {
+                Arc::new(MExpr::LetStrict(*binder, rhs2, body2))
+            }
         }
         MExpr::Case(scrut, alts, def) => {
             let scrut2 = subst_multi(scrut, pairs);
-            let alts2: Rc<[Alt]> = alts
+            // As in `subst_atom`: substitute the right-hand sides first
+            // and only materialise a new alternative vector when
+            // something actually changed.
+            let rhss2: Vec<Arc<MExpr>> = alts
                 .iter()
                 .map(|alt| match alt {
-                    Alt::Con(c, binders, rhs) => {
-                        let rhs2 = match unshadowed(pairs, |n| binders.iter().any(|b| b.name == n))
-                        {
+                    Alt::Con(_, binders, rhs) => {
+                        match unshadowed(pairs, |n| binders.iter().any(|b| b.name == n)) {
                             Some(active) => subst_multi(rhs, &active),
                             None => subst_multi(rhs, pairs),
-                        };
-                        Alt::Con(c.clone(), binders.clone(), rhs2)
+                        }
                     }
-                    Alt::Lit(l, rhs) => Alt::Lit(*l, subst_multi(rhs, pairs)),
+                    Alt::Lit(_, rhs) => subst_multi(rhs, pairs),
                 })
                 .collect();
             let def2 = def.as_ref().map(|(b, rhs)| {
@@ -274,18 +353,55 @@ fn subst_multi(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
                 };
                 (*b, rhs2)
             });
-            Rc::new(MExpr::Case(scrut2, alts2, def2))
+            let alts_unchanged = alts
+                .iter()
+                .zip(&rhss2)
+                .all(|(alt, rhs2)| Arc::ptr_eq(alt_rhs(alt), rhs2));
+            let def_unchanged = match (def, &def2) {
+                (Some((_, rhs)), Some((_, rhs2))) => Arc::ptr_eq(rhs, rhs2),
+                (None, None) => true,
+                _ => unreachable!("def2 mirrors def"),
+            };
+            if Arc::ptr_eq(&scrut2, scrut) && alts_unchanged && def_unchanged {
+                Arc::clone(t)
+            } else {
+                let alts2: Arc<[Alt]> = if alts_unchanged {
+                    Arc::clone(alts)
+                } else {
+                    alts.iter()
+                        .zip(rhss2)
+                        .map(|(alt, rhs2)| match alt {
+                            Alt::Con(c, binders, _) => Alt::Con(c.clone(), binders.clone(), rhs2),
+                            Alt::Lit(l, _) => Alt::Lit(*l, rhs2),
+                        })
+                        .collect()
+                };
+                Arc::new(MExpr::Case(scrut2, alts2, def2))
+            }
         }
-        MExpr::Con(c, args) => Rc::new(MExpr::Con(c.clone(), multi_in_atoms(args, pairs))),
-        MExpr::Prim(op, args) => Rc::new(MExpr::Prim(*op, multi_in_atoms(args, pairs))),
-        MExpr::MultiVal(args) => Rc::new(MExpr::MultiVal(multi_in_atoms(args, pairs))),
+        MExpr::Con(c, args) => match multi_in_atoms(args, pairs) {
+            Some(args2) => Arc::new(MExpr::Con(c.clone(), args2)),
+            None => Arc::clone(t),
+        },
+        MExpr::Prim(op, args) => match multi_in_atoms(args, pairs) {
+            Some(args2) => Arc::new(MExpr::Prim(*op, args2)),
+            None => Arc::clone(t),
+        },
+        MExpr::MultiVal(args) => match multi_in_atoms(args, pairs) {
+            Some(args2) => Arc::new(MExpr::MultiVal(args2)),
+            None => Arc::clone(t),
+        },
         MExpr::CaseMulti(scrut, binders, body) => {
             let scrut2 = subst_multi(scrut, pairs);
             let body2 = match unshadowed(pairs, |n| binders.iter().any(|b| b.name == n)) {
                 Some(active) => subst_multi(body, &active),
                 None => subst_multi(body, pairs),
             };
-            Rc::new(MExpr::CaseMulti(scrut2, binders.clone(), body2))
+            if Arc::ptr_eq(&scrut2, scrut) && Arc::ptr_eq(&body2, body) {
+                Arc::clone(t)
+            } else {
+                Arc::new(MExpr::CaseMulti(scrut2, binders.clone(), body2))
+            }
         }
         MExpr::LetJoin(def, body) => {
             let def_body = match unshadowed(pairs, |n| def.params.iter().any(|b| b.name == n)) {
@@ -293,11 +409,11 @@ fn subst_multi(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
                 None => subst_multi(&def.body, pairs),
             };
             let body2 = subst_multi(body, pairs);
-            if Rc::ptr_eq(&def_body, &def.body) && Rc::ptr_eq(&body2, body) {
-                Rc::clone(t)
+            if Arc::ptr_eq(&def_body, &def.body) && Arc::ptr_eq(&body2, body) {
+                Arc::clone(t)
             } else {
-                Rc::new(MExpr::LetJoin(
-                    Rc::new(JoinDef {
+                Arc::new(MExpr::LetJoin(
+                    Arc::new(JoinDef {
                         name: def.name,
                         params: def.params.clone(),
                         body: def_body,
@@ -306,8 +422,11 @@ fn subst_multi(t: &Rc<MExpr>, pairs: &[(Symbol, Atom)]) -> Rc<MExpr> {
                 ))
             }
         }
-        MExpr::Jump(j, args) => Rc::new(MExpr::Jump(*j, multi_in_atoms(args, pairs))),
-        MExpr::Global(_) | MExpr::Error(_) => Rc::clone(t),
+        MExpr::Jump(j, args) => match multi_in_atoms(args, pairs) {
+            Some(args2) => Arc::new(MExpr::Jump(*j, args2)),
+            None => Arc::clone(t),
+        },
+        MExpr::Global(_) | MExpr::Error(_) => Arc::clone(t),
     }
 }
 
@@ -363,7 +482,7 @@ mod tests {
     fn sharing_is_preserved_when_variable_absent() {
         let t = MExpr::lam(Binder::int("x"), MExpr::var("x"));
         let out = subst_atom(&t, sym("zzz"), Atom::Lit(Literal::Int(0)));
-        assert!(Rc::ptr_eq(&t, &out), "untouched subtrees should be shared");
+        assert!(Arc::ptr_eq(&t, &out), "untouched subtrees should be shared");
     }
 
     #[test]
@@ -429,7 +548,7 @@ mod tests {
                 (sym("z"), Atom::Lit(Literal::Int(1))),
             ],
         );
-        assert!(Rc::ptr_eq(&t, &out), "untouched subtrees should be shared");
+        assert!(Arc::ptr_eq(&t, &out), "untouched subtrees should be shared");
     }
 
     #[test]
@@ -456,7 +575,7 @@ mod tests {
             (sym("b"), Atom::Lit(Literal::Int(2))),
             (sym("c"), Atom::Lit(Literal::Int(3))),
         ];
-        let mut sequential = Rc::clone(&t);
+        let mut sequential = Arc::clone(&t);
         for (name, atom) in &pairs {
             sequential = subst_atom(&sequential, *name, *atom);
         }

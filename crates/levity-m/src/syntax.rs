@@ -17,7 +17,7 @@
 //! them).
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::OnceLock;
 
 use levity_core::rep::Slot;
@@ -206,8 +206,10 @@ pub struct DataCon {
     pub name: Symbol,
     /// Tag within its datatype (used for case selection).
     pub tag: u32,
-    /// Register classes of the fields.
-    pub fields: Vec<Slot>,
+    /// Register classes of the fields. A thin shared slice, so cloning a
+    /// `DataCon` (every CON transition returns one inside its value) is
+    /// a refcount bump, not a heap allocation.
+    pub fields: Arc<[Slot]>,
 }
 
 impl DataCon {
@@ -216,7 +218,7 @@ impl DataCon {
         DataCon {
             name: int_hash_symbol(),
             tag: 0,
-            fields: vec![Slot::Word],
+            fields: [Slot::Word].into(),
         }
     }
 
@@ -225,7 +227,7 @@ impl DataCon {
         DataCon {
             name: name.into(),
             tag,
-            fields: Vec::new(),
+            fields: [].into(),
         }
     }
 
@@ -373,9 +375,9 @@ impl fmt::Display for PrimOp {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Alt {
     /// `C y₁ … yₙ -> t`
-    Con(DataCon, Vec<Binder>, Rc<MExpr>),
+    Con(DataCon, Vec<Binder>, Arc<MExpr>),
     /// `lit -> t`
-    Lit(Literal, Rc<MExpr>),
+    Lit(Literal, Arc<MExpr>),
 }
 
 /// A join-point definition: a named continuation that is only ever
@@ -396,7 +398,7 @@ pub struct JoinDef {
     /// width-checked exactly like β-reduction).
     pub params: Vec<Binder>,
     /// The continuation body.
-    pub body: Rc<MExpr>,
+    pub body: Arc<MExpr>,
 }
 
 /// An `M` expression (Figure 5, extended).
@@ -410,19 +412,19 @@ pub enum MExpr {
     /// `y` or `n`: an atom in expression position.
     Atom(Atom),
     /// `t a`: application to an atom.
-    App(Rc<MExpr>, Atom),
+    App(Arc<MExpr>, Atom),
     /// `λy. t`.
-    Lam(Binder, Rc<MExpr>),
+    Lam(Binder, Arc<MExpr>),
     /// `let p = t₁ in t₂`: lazy; allocates a thunk (rule LET). The bound
     /// variable is always pointer-class. `t₁` may mention `p` (cyclic
     /// thunks give recursion; the formal fragment never does this).
-    LetLazy(Symbol, Rc<MExpr>, Rc<MExpr>),
+    LetLazy(Symbol, Arc<MExpr>, Arc<MExpr>),
     /// `let! y = t₁ in t₂`: strict; evaluates `t₁` first (rule SLET).
-    LetStrict(Binder, Rc<MExpr>, Rc<MExpr>),
+    LetStrict(Binder, Arc<MExpr>, Arc<MExpr>),
     /// `case t of alts [default]`: forces `t`, then selects. The
-    /// alternatives are a shared `Rc<[Alt]>` so a CASE transition pushes
+    /// alternatives are a shared `Arc<[Alt]>` so a CASE transition pushes
     /// its frame in O(1) instead of cloning an alternative vector.
-    Case(Rc<MExpr>, Rc<[Alt]>, Option<(Binder, Rc<MExpr>)>),
+    Case(Arc<MExpr>, Arc<[Alt]>, Option<(Binder, Arc<MExpr>)>),
     /// A saturated constructor application.
     Con(DataCon, Vec<Atom>),
     /// A saturated primitive operation.
@@ -431,12 +433,12 @@ pub enum MExpr {
     /// registers, never in the heap (§2.3).
     MultiVal(Vec<Atom>),
     /// `case t of (# y₁, …, yₙ #) -> t₂`: unpacks a multi-value.
-    CaseMulti(Rc<MExpr>, Vec<Binder>, Rc<MExpr>),
+    CaseMulti(Arc<MExpr>, Vec<Binder>, Arc<MExpr>),
     /// A reference to a top-level definition (extension: recursion).
     Global(Symbol),
     /// `join j y₁ … yₙ = t₁ in t₂`: defines the join point `j` over
     /// `t₂`. Costs one transition and allocates nothing.
-    LetJoin(Rc<JoinDef>, Rc<MExpr>),
+    LetJoin(Arc<JoinDef>, Arc<MExpr>),
     /// `jump j a₁ … aₙ`: transfers control to the join point's body with
     /// the arguments bound — no closure, no stack frame (tail-only by
     /// construction, enforced by lowering's escape analysis).
@@ -447,37 +449,37 @@ pub enum MExpr {
 
 impl MExpr {
     /// `y` as an expression.
-    pub fn var(name: impl Into<Symbol>) -> Rc<MExpr> {
-        Rc::new(MExpr::Atom(Atom::Var(name.into())))
+    pub fn var(name: impl Into<Symbol>) -> Arc<MExpr> {
+        Arc::new(MExpr::Atom(Atom::Var(name.into())))
     }
 
     /// `n` as an expression.
-    pub fn lit(l: Literal) -> Rc<MExpr> {
-        Rc::new(MExpr::Atom(Atom::Lit(l)))
+    pub fn lit(l: Literal) -> Arc<MExpr> {
+        Arc::new(MExpr::Atom(Atom::Lit(l)))
     }
 
     /// An integer literal expression.
-    pub fn int(n: i64) -> Rc<MExpr> {
+    pub fn int(n: i64) -> Arc<MExpr> {
         MExpr::lit(Literal::Int(n))
     }
 
     /// `t a`.
-    pub fn app(fun: Rc<MExpr>, arg: Atom) -> Rc<MExpr> {
-        Rc::new(MExpr::App(fun, arg))
+    pub fn app(fun: Arc<MExpr>, arg: Atom) -> Arc<MExpr> {
+        Arc::new(MExpr::App(fun, arg))
     }
 
     /// Applies to several atoms left to right.
-    pub fn apps(fun: Rc<MExpr>, args: impl IntoIterator<Item = Atom>) -> Rc<MExpr> {
+    pub fn apps(fun: Arc<MExpr>, args: impl IntoIterator<Item = Atom>) -> Arc<MExpr> {
         args.into_iter().fold(fun, MExpr::app)
     }
 
     /// `λy. t`.
-    pub fn lam(binder: Binder, body: Rc<MExpr>) -> Rc<MExpr> {
-        Rc::new(MExpr::Lam(binder, body))
+    pub fn lam(binder: Binder, body: Arc<MExpr>) -> Arc<MExpr> {
+        Arc::new(MExpr::Lam(binder, body))
     }
 
     /// Multi-argument lambda.
-    pub fn lams(binders: impl IntoIterator<Item = Binder>, body: Rc<MExpr>) -> Rc<MExpr> {
+    pub fn lams(binders: impl IntoIterator<Item = Binder>, body: Arc<MExpr>) -> Arc<MExpr> {
         let binders: Vec<_> = binders.into_iter().collect();
         binders
             .into_iter()
@@ -486,18 +488,18 @@ impl MExpr {
     }
 
     /// `let p = t₁ in t₂`.
-    pub fn let_lazy(p: impl Into<Symbol>, rhs: Rc<MExpr>, body: Rc<MExpr>) -> Rc<MExpr> {
-        Rc::new(MExpr::LetLazy(p.into(), rhs, body))
+    pub fn let_lazy(p: impl Into<Symbol>, rhs: Arc<MExpr>, body: Arc<MExpr>) -> Arc<MExpr> {
+        Arc::new(MExpr::LetLazy(p.into(), rhs, body))
     }
 
     /// `let! y = t₁ in t₂`.
-    pub fn let_strict(binder: Binder, rhs: Rc<MExpr>, body: Rc<MExpr>) -> Rc<MExpr> {
-        Rc::new(MExpr::LetStrict(binder, rhs, body))
+    pub fn let_strict(binder: Binder, rhs: Arc<MExpr>, body: Arc<MExpr>) -> Arc<MExpr> {
+        Arc::new(MExpr::LetStrict(binder, rhs, body))
     }
 
     /// `case t₁ of I#[i] -> t₂` — the paper's single-alternative case.
-    pub fn case_int_hash(scrut: Rc<MExpr>, i: impl Into<Symbol>, body: Rc<MExpr>) -> Rc<MExpr> {
-        Rc::new(MExpr::Case(
+    pub fn case_int_hash(scrut: Arc<MExpr>, i: impl Into<Symbol>, body: Arc<MExpr>) -> Arc<MExpr> {
+        Arc::new(MExpr::Case(
             scrut,
             [Alt::Con(DataCon::int_hash(), vec![Binder::int(i)], body)].into(),
             None,
@@ -506,31 +508,31 @@ impl MExpr {
 
     /// `case t of alts [default]`.
     pub fn case(
-        scrut: Rc<MExpr>,
-        alts: impl Into<Rc<[Alt]>>,
-        def: Option<(Binder, Rc<MExpr>)>,
-    ) -> Rc<MExpr> {
-        Rc::new(MExpr::Case(scrut, alts.into(), def))
+        scrut: Arc<MExpr>,
+        alts: impl Into<Arc<[Alt]>>,
+        def: Option<(Binder, Arc<MExpr>)>,
+    ) -> Arc<MExpr> {
+        Arc::new(MExpr::Case(scrut, alts.into(), def))
     }
 
     /// `I#[a]`.
-    pub fn con_int_hash(a: Atom) -> Rc<MExpr> {
-        Rc::new(MExpr::Con(DataCon::int_hash(), vec![a]))
+    pub fn con_int_hash(a: Atom) -> Arc<MExpr> {
+        Arc::new(MExpr::Con(DataCon::int_hash(), vec![a]))
     }
 
     /// A primitive application.
-    pub fn prim(op: PrimOp, args: Vec<Atom>) -> Rc<MExpr> {
-        Rc::new(MExpr::Prim(op, args))
+    pub fn prim(op: PrimOp, args: Vec<Atom>) -> Arc<MExpr> {
+        Arc::new(MExpr::Prim(op, args))
     }
 
     /// A reference to a global definition.
-    pub fn global(name: impl Into<Symbol>) -> Rc<MExpr> {
-        Rc::new(MExpr::Global(name.into()))
+    pub fn global(name: impl Into<Symbol>) -> Arc<MExpr> {
+        Arc::new(MExpr::Global(name.into()))
     }
 
     /// `error`.
-    pub fn error(msg: impl Into<String>) -> Rc<MExpr> {
-        Rc::new(MExpr::Error(msg.into()))
+    pub fn error(msg: impl Into<String>) -> Arc<MExpr> {
+        Arc::new(MExpr::Error(msg.into()))
     }
 
     /// Is this expression a *value* per Figure 5 (`w ::= λy.t | I#[n] | n`,
@@ -547,13 +549,13 @@ impl MExpr {
     }
 
     /// `join j params = body in t`.
-    pub fn let_join(def: Rc<JoinDef>, body: Rc<MExpr>) -> Rc<MExpr> {
-        Rc::new(MExpr::LetJoin(def, body))
+    pub fn let_join(def: Arc<JoinDef>, body: Arc<MExpr>) -> Arc<MExpr> {
+        Arc::new(MExpr::LetJoin(def, body))
     }
 
     /// `jump j a₁ … aₙ`.
-    pub fn jump(name: impl Into<Symbol>, args: Vec<Atom>) -> Rc<MExpr> {
-        Rc::new(MExpr::Jump(name.into(), args))
+    pub fn jump(name: impl Into<Symbol>, args: Vec<Atom>) -> Arc<MExpr> {
+        Arc::new(MExpr::Jump(name.into(), args))
     }
 
     /// Number of AST nodes.
@@ -706,12 +708,12 @@ mod tests {
 
     #[test]
     fn multi_values_are_values_once_resolved() {
-        assert!(Rc::new(MExpr::MultiVal(vec![
+        assert!(Arc::new(MExpr::MultiVal(vec![
             Atom::Lit(Literal::Int(1)),
             Atom::Addr(Addr(0))
         ]))
         .is_value());
-        assert!(!Rc::new(MExpr::MultiVal(vec![Atom::Var(Symbol::intern("x"))])).is_value());
+        assert!(!Arc::new(MExpr::MultiVal(vec![Atom::Var(Symbol::intern("x"))])).is_value());
     }
 
     #[test]
@@ -766,7 +768,7 @@ mod tests {
     fn data_con_int_hash() {
         let c = DataCon::int_hash();
         assert_eq!(c.arity(), 1);
-        assert_eq!(c.fields, vec![Slot::Word]);
+        assert_eq!(c.fields.as_ref(), &[Slot::Word][..]);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Content-addressed cache of compiled programs.
+//!
+//! The key is a 64-bit FNV-1a hash of the source text plus the
+//! compilation options; the value is the fully compiled
+//! [`Compiled`] (Core, `M` globals, env-engine [`CodeProgram`] and
+//! flat bytecode), behind an `Arc` so every worker shares one copy.
+//!
+//! Concurrency contract: when N workers ask for the same uncached
+//! program at once, the pipeline runs **once** — the entry is a
+//! [`OnceLock`], so the first worker compiles while the rest block on
+//! the same cell and then share its result. Hits and misses are
+//! counted by whether this call ran the pipeline, so
+//! `misses == distinct programs compiled` even under contention.
+//!
+//! Hash collisions (two distinct sources, one key) are broken by
+//! storing the source alongside the cell and comparing on lookup: a
+//! colliding request is compiled uncached rather than served the wrong
+//! program. With 64-bit FNV this is a formality, but a cache that can
+//! hand tenant A tenant B's program is wrong at any probability.
+//!
+//! [`CodeProgram`]: levity_m::compile::CodeProgram
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use levity_driver::pipeline::{compile_source_opt, compile_with_prelude_opt, Compiled};
+use levity_driver::OptLevel;
+
+/// The outcome of one compilation, as stored in the cache. Failures
+/// are cached too: a program that does not elaborate will not
+/// elaborate on the next request either, and a misbehaving tenant
+/// resubmitting a broken program should not cost a pipeline run each
+/// time.
+pub type CompileResult = Result<Arc<Compiled>, String>;
+
+/// FNV-1a (64-bit) over the source text and the compilation options.
+/// Stable across processes — usable as an external cache key or a log
+/// correlation id.
+pub fn content_hash(source: &str, opt_level: OptLevel, with_prelude: bool) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(source.as_bytes());
+    let opt_tag = match opt_level {
+        OptLevel::O0 => 0u8,
+        OptLevel::O2 => 2u8,
+    };
+    eat(&[0xff, opt_tag, u8::from(with_prelude)]);
+    h
+}
+
+/// One cache slot: the source that claimed this key (collision guard)
+/// and the compile-once cell.
+struct Slot {
+    source: Arc<str>,
+    cell: OnceLock<CompileResult>,
+}
+
+/// Cache counters, snapshotted by [`ProgramCache::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from an already-compiled entry.
+    pub hits: u64,
+    /// Requests that ran the elaborate+optimise+lower pipeline.
+    pub misses: u64,
+    /// Requests whose key collided with a different source (compiled
+    /// uncached; counted under `misses` as well).
+    pub collisions: u64,
+}
+
+/// A thread-safe compile-once cache keyed by [`content_hash`].
+#[derive(Default)]
+pub struct ProgramCache {
+    slots: Mutex<HashMap<u64, Arc<Slot>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    collisions: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Returns the compiled program for `source`, running the pipeline
+    /// only if no equivalent request has been compiled before. The
+    /// `bool` is `true` on a cache hit (the pipeline did *not* run for
+    /// this call).
+    pub fn get_or_compile(
+        &self,
+        source: &str,
+        opt_level: OptLevel,
+        with_prelude: bool,
+    ) -> (CompileResult, bool) {
+        let key = content_hash(source, opt_level, with_prelude);
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache poisoned");
+            Arc::clone(slots.entry(key).or_insert_with(|| {
+                Arc::new(Slot {
+                    source: Arc::from(source),
+                    cell: OnceLock::new(),
+                })
+            }))
+        };
+        if &*slot.source != source {
+            // A 64-bit collision: never serve the other tenant's
+            // program. Compile uncached.
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return (compile(source, opt_level, with_prelude), false);
+        }
+        let mut compiled_here = false;
+        let result = slot
+            .cell
+            .get_or_init(|| {
+                compiled_here = true;
+                compile(source, opt_level, with_prelude)
+            })
+            .clone();
+        if compiled_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (result, !compiled_here)
+    }
+
+    /// Number of distinct entries resident in the cache.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache poisoned").len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the hit/miss/collision counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            collisions: self.collisions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn compile(source: &str, opt_level: OptLevel, with_prelude: bool) -> CompileResult {
+    let result = if with_prelude {
+        compile_with_prelude_opt(source, opt_level)
+    } else {
+        compile_source_opt(source, opt_level)
+    };
+    result.map(Arc::new).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    const SRC: &str = "main :: Int#\nmain = 40# +# 2#\n";
+
+    #[test]
+    fn hash_is_stable_and_option_sensitive() {
+        let a = content_hash(SRC, OptLevel::O2, true);
+        assert_eq!(a, content_hash(SRC, OptLevel::O2, true));
+        assert_ne!(a, content_hash(SRC, OptLevel::O0, true));
+        assert_ne!(a, content_hash(SRC, OptLevel::O2, false));
+        assert_ne!(
+            a,
+            content_hash("main :: Int#\nmain = 41#\n", OptLevel::O2, true)
+        );
+    }
+
+    #[test]
+    fn second_request_is_a_hit_and_shares_the_program() {
+        let cache = ProgramCache::new();
+        let (first, hit1) = cache.get_or_compile(SRC, OptLevel::O2, true);
+        let (second, hit2) = cache.get_or_compile(SRC, OptLevel::O2, true);
+        assert!(!hit1);
+        assert!(hit2);
+        let (first, second) = (first.unwrap(), second.unwrap());
+        assert!(Arc::ptr_eq(&first, &second), "one shared compilation");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                collisions: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn failures_are_cached_too() {
+        let cache = ProgramCache::new();
+        let bad = "main :: Int#\nmain = notInScope\n";
+        let (r1, hit1) = cache.get_or_compile(bad, OptLevel::O2, true);
+        let (r2, hit2) = cache.get_or_compile(bad, OptLevel::O2, true);
+        assert!(r1.is_err() && r2.is_err());
+        assert!(!hit1);
+        assert!(hit2, "a cached failure is still a hit");
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn concurrent_first_requests_compile_once() {
+        let cache = Arc::new(ProgramCache::new());
+        let results: Vec<bool> = thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let cache = Arc::clone(&cache);
+                    s.spawn(move || {
+                        let (r, hit) = cache.get_or_compile(SRC, OptLevel::O2, true);
+                        r.unwrap();
+                        hit
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let misses = results.iter().filter(|hit| !**hit).count();
+        assert_eq!(misses, 1, "exactly one thread ran the pipeline");
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 7);
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`infer`] | §5.2 inference (rep metavariables, `LiftedRep` defaulting), §7.3 dictionary elaboration, the legacy `OpenKind` baseline, §7.1 type families |
 //! | [`classes`] | the §8.1 class corpus study (34 of 76) |
 //! | [`driver`] | the end-to-end pipeline and prelude |
+//! | [`serve`] | the compile-once/run-many evaluation service (worker pool, program cache, fuel/alloc policy) |
 //!
 //! # Quickstart
 //!
@@ -42,4 +43,5 @@ pub use levity_infer as infer;
 pub use levity_ir as ir;
 pub use levity_l as l;
 pub use levity_m as m;
+pub use levity_serve as serve;
 pub use levity_surface as surface;

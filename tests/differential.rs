@@ -27,7 +27,7 @@
 //! Both proptest blocks honour `LEVITY_PROPTEST_CASES` (the nightly CI
 //! job raises it to 2048).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 
@@ -60,27 +60,27 @@ fn proptest_cases(default: u32) -> u32 {
 type MachineResult = (Result<RunOutcome, MachineError>, MachineStats);
 
 /// Runs a raw machine term on the substitution engine.
-fn run_subst(globals: &Globals, t: &Rc<MExpr>, fuel: u64) -> MachineResult {
+fn run_subst(globals: &Globals, t: &Arc<MExpr>, fuel: u64) -> MachineResult {
     let mut machine = Machine::with_globals(globals.clone());
     machine.set_fuel(fuel);
-    let result = machine.run(Rc::clone(t));
+    let result = machine.run(Arc::clone(t));
     (result, *machine.stats())
 }
 
 /// Runs the same term on the environment engine.
-fn run_env(globals: &Globals, t: &Rc<MExpr>, fuel: u64) -> MachineResult {
-    let program = Rc::new(CodeProgram::compile(globals));
+fn run_env(globals: &Globals, t: &Arc<MExpr>, fuel: u64) -> MachineResult {
+    let program = CodeProgram::compile(globals);
     let entry = program.compile_entry(t);
-    let mut machine = EnvMachine::new(program);
+    let mut machine = EnvMachine::new(&program);
     machine.set_fuel(fuel);
-    let result = machine.run(entry);
+    let result = machine.run(&entry);
     (result, *machine.stats())
 }
 
 /// Runs the same term on the flat-bytecode register machine.
-fn run_bytecode(globals: &Globals, t: &Rc<MExpr>, fuel: u64) -> MachineResult {
+fn run_bytecode(globals: &Globals, t: &Arc<MExpr>, fuel: u64) -> MachineResult {
     let program = CodeProgram::compile(globals);
-    let bc = Rc::new(BcProgram::compile(&program));
+    let bc = Arc::new(BcProgram::compile(&program));
     let entry = bc.compile_entry(&program.compile_entry(t));
     let mut machine = BcMachine::new(bc);
     machine.set_fuel(fuel);
@@ -131,7 +131,7 @@ fn assert_bytecode_agrees(reference: &MachineResult, bc: &MachineResult, what: &
 }
 
 /// Asserts all three engines produce identical results on a raw term.
-fn assert_engines_agree(globals: &Globals, t: &Rc<MExpr>, fuel: u64, what: &str) {
+fn assert_engines_agree(globals: &Globals, t: &Arc<MExpr>, fuel: u64, what: &str) {
     let subst = run_subst(globals, t, fuel);
     let env = run_env(globals, t, fuel);
     assert_eq!(subst, env, "engines disagree on {what}: {t}");
@@ -370,7 +370,7 @@ fn engines_agree_on_width_check_failures() {
     assert_engines_agree(&globals, &t, FUEL, "class mismatch");
 
     // Mismatch through a case field binder.
-    let bad_case = Rc::new(MExpr::Case(
+    let bad_case = Arc::new(MExpr::Case(
         MExpr::con_int_hash(int_atom(3)),
         [Alt::Con(
             DataCon::int_hash(),
@@ -395,7 +395,7 @@ fn engines_agree_on_machine_failures() {
         ("unbound variable", MExpr::var("ghost")),
         (
             "no matching alternative",
-            Rc::new(MExpr::Case(
+            Arc::new(MExpr::Case(
                 MExpr::int(7),
                 [Alt::Lit(Literal::Int(0), MExpr::int(1))].into(),
                 None,
@@ -403,8 +403,8 @@ fn engines_agree_on_machine_failures() {
         ),
         (
             "case on a multi-value",
-            Rc::new(MExpr::Case(
-                Rc::new(MExpr::MultiVal(vec![int_atom(1), int_atom(2)])),
+            Arc::new(MExpr::Case(
+                Arc::new(MExpr::MultiVal(vec![int_atom(1), int_atom(2)])),
                 [Alt::Lit(Literal::Int(0), MExpr::int(1))].into(),
                 None,
             )),
@@ -413,7 +413,7 @@ fn engines_agree_on_machine_failures() {
             "let! of a multi-value",
             MExpr::let_strict(
                 Binder::int("x"),
-                Rc::new(MExpr::MultiVal(vec![int_atom(1)])),
+                Arc::new(MExpr::MultiVal(vec![int_atom(1)])),
                 MExpr::var("x"),
             ),
         ),
@@ -441,11 +441,11 @@ fn engines_count_prim_ops_identically_even_on_failure() {
     // read the counters off the machines directly here.
     let t = MExpr::prim(PrimOp::AddI, vec![int_atom(1), int_atom(2), int_atom(3)]);
     let mut subst = Machine::new();
-    let subst_err = subst.run(Rc::clone(&t)).unwrap_err();
-    let program = Rc::new(CodeProgram::compile(&Globals::new()));
+    let subst_err = subst.run(Arc::clone(&t)).unwrap_err();
+    let program = CodeProgram::compile(&Globals::new());
     let entry = program.compile_entry(&t);
-    let mut env = EnvMachine::new(program);
-    let env_err = env.run(entry).unwrap_err();
+    let mut env = EnvMachine::new(&program);
+    let env_err = env.run(&entry).unwrap_err();
     assert_eq!(subst_err, env_err);
     assert_eq!(subst.stats(), env.stats());
     assert_eq!(subst.stats().prim_ops, 1);
@@ -511,10 +511,10 @@ fn engines_agree_on_shadowed_case_fields() {
     let two_field = DataCon {
         name: "T".into(),
         tag: 0,
-        fields: vec![levity::core::rep::Slot::Word, levity::core::rep::Slot::Word],
+        fields: [levity::core::rep::Slot::Word, levity::core::rep::Slot::Word].into(),
     };
-    let t = Rc::new(MExpr::Case(
-        Rc::new(MExpr::Con(
+    let t = Arc::new(MExpr::Case(
+        Arc::new(MExpr::Con(
             two_field.clone(),
             vec![int_atom(1), int_atom(2)],
         )),

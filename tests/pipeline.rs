@@ -861,7 +861,7 @@ mod pipeline_error_reachability {
 // ---------------------------------------------------------------------
 
 mod bytecode_negative_space {
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     use levity::driver::{compile_with_prelude, compile_with_prelude_opt, OptLevel};
     use levity::m::bytecode::{BcEntry, Chunk, Instr};
@@ -878,7 +878,7 @@ mod bytecode_negative_space {
         let entry = compiled
             .bytecode
             .compile_entry(&compiled.code.compile_entry(&MExpr::global("main")));
-        let mut machine = BcMachine::new(Rc::clone(&compiled.bytecode));
+        let mut machine = BcMachine::new(Arc::clone(&compiled.bytecode));
         machine.set_fuel(super::FUEL);
         machine.run(&entry).unwrap();
         machine.stack_high_water()
@@ -925,7 +925,7 @@ mod bytecode_negative_space {
             Atom::Lit(Literal::Int(1)),
         );
         let bc = compiled
-            .run_term_with_engine(Rc::clone(&t), super::FUEL, Engine::Bytecode)
+            .run_term_with_engine(Arc::clone(&t), super::FUEL, Engine::Bytecode)
             .unwrap_err();
         assert!(matches!(bc, MachineError::ClassMismatch { .. }), "{bc}");
         let subst = compiled
@@ -944,7 +944,7 @@ mod bytecode_negative_space {
         for engine in [Engine::Subst, Engine::Env, Engine::Bytecode] {
             assert_eq!(
                 compiled
-                    .run_term_with_engine(Rc::clone(&t), super::FUEL, engine)
+                    .run_term_with_engine(Arc::clone(&t), super::FUEL, engine)
                     .unwrap_err(),
                 MachineError::UnknownJoin("nowhere".into()),
                 "{engine:?}"
@@ -960,19 +960,19 @@ mod bytecode_negative_space {
     fn wild_pc_and_unknown_chunk_are_bad_bytecode_not_panics() {
         let compiled = compile_with_prelude("main :: Int#\nmain = 0#\n").unwrap();
         let rogue = |label: &str, code: Vec<Instr>| BcEntry {
-            chunks: vec![Rc::new(Chunk {
+            chunks: vec![Arc::new(Chunk {
                 label: label.to_owned(),
                 code: code.into(),
                 frame: [0; 4],
-                caps: Rc::from([] as [levity::core::rep::Slot; 0]),
+                caps: Arc::from([] as [levity::core::rep::Slot; 0]),
                 caps_counts: [0; 4],
-                params: Rc::from([] as [Binder; 0]),
+                params: Arc::from([] as [Binder; 0]),
                 lam_body: None,
             })],
             root: compiled.bytecode.chunks.len() as u32,
         };
         let run = |entry: &BcEntry| {
-            let mut machine = BcMachine::new(Rc::clone(&compiled.bytecode));
+            let mut machine = BcMachine::new(Arc::clone(&compiled.bytecode));
             machine.set_fuel(super::FUEL);
             machine.run(entry).unwrap_err()
         };
@@ -985,7 +985,7 @@ mod bytecode_negative_space {
             "bad-chunk",
             vec![Instr::CallF {
                 chunk: 9999,
-                args: Rc::from([] as [levity::m::bytecode::Src; 0]),
+                args: Arc::from([] as [levity::m::bytecode::Src; 0]),
                 tail: true,
             }],
         ));
