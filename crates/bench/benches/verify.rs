@@ -1,0 +1,173 @@
+//! PR 9 — the static verifier and its payoff.
+//!
+//! Three groups:
+//!
+//! * `verify/` — the cost of verification itself: one pass of the
+//!   abstract interpreter over the whole compiled program. This is
+//!   paid **once per compile** (and once per cache insert in the
+//!   serving layer), so it should sit in the noise next to the
+//!   pipeline's milliseconds;
+//! * `regmachine_checked/` — the register machine exactly as PR 6
+//!   shipped it: dynamic width checks at every dynamic bind seam;
+//! * `regmachine_unchecked/` — the same programs run through
+//!   [`BcMachine::run_verified`]: the verifier's witness lets the hot
+//!   loop elide the checks the abstract interpreter discharged
+//!   statically.
+//!
+//! The non-smoke run asserts the payoff where the numbers are made:
+//! the unchecked path must not be slower than the checked one on
+//! either headline workload.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use levity_driver::{compile_with_prelude, Compiled};
+use levity_m::regmachine::BcMachine;
+use levity_m::verify::verify;
+use levity_m::{BcEntry, MExpr};
+
+const SUM_TO_UNBOXED: &str = "sumTo# :: Int# -> Int# -> Int#\n\
+     sumTo# acc n = case n of { 0# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }\n\
+     main :: Int#\n\
+     main = sumTo# 0# LIMIT#\n";
+
+const CPR_TUPLE: &str = "divModU :: Int# -> Int# -> (# Int#, Int# #)\n\
+     divModU n d = case n <# d of { 1# -> (# 0#, n #); _ -> case divModU (n -# d) d of { (# q, r #) -> (# q +# 1#, r #) } }\n\
+     loop :: Int# -> Int# -> Int#\n\
+     loop acc n = case n of { 0# -> acc; _ -> case divModU n 3# of { (# q, r #) -> loop (acc +# q +# r) (n -# 1#) } }\n\
+     main :: Int#\n\
+     main = loop 0# LIMIT#\n";
+
+fn compiled(src: &str, n: u64) -> Compiled {
+    compile_with_prelude(&src.replace("LIMIT", &n.to_string())).expect("compiles")
+}
+
+fn main_entry(c: &Compiled) -> BcEntry {
+    c.bytecode
+        .compile_entry(&c.code.compile_entry(&MExpr::global("main")))
+}
+
+fn run_checked(c: &Compiled, entry: &BcEntry) {
+    let mut m = BcMachine::new(Arc::clone(&c.bytecode));
+    m.set_fuel(u64::MAX / 2);
+    m.run(entry).unwrap();
+}
+
+fn run_unchecked(c: &Compiled, entry: &BcEntry) {
+    // The serving pattern: the program witness exists from compile
+    // time; the entry is verified once per entry, then every run is
+    // check-free.
+    let ventry = c.verified.verify_entry(entry).expect("entry verifies");
+    let mut m = BcMachine::new(Arc::clone(&c.bytecode));
+    m.set_fuel(u64::MAX / 2);
+    m.run_verified(&ventry).unwrap();
+}
+
+/// One timed run of a closure, in nanoseconds.
+fn timed(mut f: impl FnMut()) -> u128 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos()
+}
+
+fn print_payoff_report(name: &str, c: &Compiled) {
+    let entry = main_entry(c);
+    // Warm up, then interleave the two paths round by round and take
+    // the minimum of each: back-to-back blocks would hand whichever
+    // path ran second any frequency/scheduling drift, and the minimum
+    // is the least noisy estimator on a shared machine.
+    run_checked(c, &entry);
+    run_unchecked(c, &entry);
+    let (mut checked, mut unchecked) = (u128::MAX, u128::MAX);
+    for _ in 0..11 {
+        checked = checked.min(timed(|| run_checked(c, &entry)));
+        unchecked = unchecked.min(timed(|| run_unchecked(c, &entry)));
+    }
+    let ratio = checked as f64 / unchecked.max(1) as f64;
+    eprintln!(
+        "== verifier payoff: {name} == checked {checked} ns, unchecked {unchecked} ns \
+         ({ratio:.2}x)"
+    );
+    // The acceptance criterion, enforced where the numbers are made:
+    // eliding checks must never cost time. The honest margin here is a
+    // few percent (the elided checks are well-predicted branches), so
+    // the guard band leaves room for scheduler noise — what it catches
+    // is the unchecked path *re-growing* checks, which shows up as a
+    // ratio well below 1.
+    assert!(
+        ratio >= 0.85,
+        "{name}: the unchecked path must not be slower than the checked one \
+         (checked {checked} ns vs unchecked {unchecked} ns)"
+    );
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let sum_sizes: &[u64] = if smoke { &[50] } else { &[50, 5_000] };
+    let cpr_sizes: &[u64] = if smoke { &[50] } else { &[50, 200] };
+
+    if !smoke {
+        print_payoff_report("sum_to/unboxed/5000", &compiled(SUM_TO_UNBOXED, 5_000));
+        print_payoff_report("cpr/tuple_direct/200", &compiled(CPR_TUPLE, 200));
+    }
+
+    // One verifier pass over the whole compiled program (after
+    // dead-global elimination: main plus everything it reaches).
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    for &n in sum_sizes {
+        let p = compiled(SUM_TO_UNBOXED, n);
+        group.bench_with_input(BenchmarkId::new("sum_to_unboxed", n), &n, |b, _| {
+            b.iter(|| verify(&p.bytecode).expect("verifies"))
+        });
+    }
+    for &n in cpr_sizes {
+        let p = compiled(CPR_TUPLE, n);
+        group.bench_with_input(BenchmarkId::new("cpr_tuple_direct", n), &n, |b, _| {
+            b.iter(|| verify(&p.bytecode).expect("verifies"))
+        });
+    }
+    group.finish();
+
+    // Checked vs unchecked dispatch on the two headline unboxed rungs.
+    let mut group = c.benchmark_group("regmachine_checked");
+    group.sample_size(10);
+    for &n in sum_sizes {
+        let p = compiled(SUM_TO_UNBOXED, n);
+        let entry = main_entry(&p);
+        group.bench_with_input(BenchmarkId::new("sum_to_unboxed", n), &n, |b, _| {
+            b.iter(|| run_checked(&p, &entry))
+        });
+    }
+    for &n in cpr_sizes {
+        let p = compiled(CPR_TUPLE, n);
+        let entry = main_entry(&p);
+        group.bench_with_input(BenchmarkId::new("cpr_tuple_direct", n), &n, |b, _| {
+            b.iter(|| run_checked(&p, &entry))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("regmachine_unchecked");
+    group.sample_size(10);
+    for &n in sum_sizes {
+        let p = compiled(SUM_TO_UNBOXED, n);
+        let entry = main_entry(&p);
+        group.bench_with_input(BenchmarkId::new("sum_to_unboxed", n), &n, |b, _| {
+            b.iter(|| run_unchecked(&p, &entry))
+        });
+    }
+    for &n in cpr_sizes {
+        let p = compiled(CPR_TUPLE, n);
+        let entry = main_entry(&p);
+        group.bench_with_input(BenchmarkId::new("cpr_tuple_direct", n), &n, |b, _| {
+            b.iter(|| run_unchecked(&p, &entry))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify);
+criterion_main!(benches);

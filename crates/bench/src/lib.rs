@@ -329,6 +329,7 @@ mod tests {
             "BENCH_pr5.json",
             "BENCH_pr6.json",
             "BENCH_pr8.json",
+            "BENCH_pr9.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_owned() + "/" + file;
             let text = std::fs::read_to_string(&path)
@@ -344,6 +345,18 @@ mod tests {
                     "BENCH_pr8.json is missing the serve/ group: {:?}",
                     set.keys().collect::<Vec<_>>()
                 );
+            }
+            if file == "BENCH_pr9.json" {
+                // PR 9 introduced the verifier and the unchecked fast
+                // path; the recorded file must carry all three groups
+                // so the gate can hold the payoff in place.
+                for group in ["verify/", "regmachine_checked/", "regmachine_unchecked/"] {
+                    assert!(
+                        set.keys().any(|k| k.starts_with(group)),
+                        "BENCH_pr9.json is missing the {group} group: {:?}",
+                        set.keys().collect::<Vec<_>>()
+                    );
+                }
             }
         }
     }

@@ -32,10 +32,12 @@
 #![warn(missing_docs)]
 
 pub mod figure7;
+pub mod lint;
 pub mod lower;
 pub mod metatheory;
 pub mod opt;
 
 pub use figure7::{compile, compile_closed, AbstractSite, CompileError, Observable, VarEnv};
+pub use lint::{lint_program, Lint, LintReport, LintRule};
 pub use lower::{lower_expr, lower_program, LowerError, Lowerer};
 pub use opt::{optimise_program, OptLevel, OptReport};

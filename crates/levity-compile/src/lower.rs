@@ -101,7 +101,7 @@ enum Lowered {
 
 /// The number of leading term-λs of a candidate join-point right-hand
 /// side. Joins are monomorphic continuations: any `Λ` disqualifies.
-fn lam_chain_arity(rhs: &CoreExpr) -> Option<usize> {
+pub(crate) fn lam_chain_arity(rhs: &CoreExpr) -> Option<usize> {
     let mut n = 0usize;
     let mut cur = rhs;
     while let CoreExpr::Lam(_, _, b) = cur {
@@ -123,7 +123,7 @@ fn lam_chain_arity(rhs: &CoreExpr) -> Option<usize> {
 /// *nested join candidate* in tail position is itself a tail context —
 /// GHC's rule — so joins created inside other joins' continuations
 /// still qualify.
-fn is_join_let(x: Symbol, arity: usize, body: &CoreExpr) -> bool {
+pub(crate) fn is_join_let(x: Symbol, arity: usize, body: &CoreExpr) -> bool {
     join_use_ok(body, x, arity, true)
 }
 

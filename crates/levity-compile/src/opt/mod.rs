@@ -135,6 +135,14 @@ pub struct OptReport {
     pub cpr_workers: usize,
     /// Unreachable top-level bindings eliminated.
     pub dead_globals: usize,
+    /// Core-lint runs performed ([`crate::lint`]): after every pass
+    /// under `debug_assertions`, once per optimise in release.
+    pub lint_runs: usize,
+    /// Lint errors found across those runs (a compiler bug when
+    /// nonzero — debug builds assert on it immediately).
+    pub lint_errors: usize,
+    /// Lint warnings found across those runs (advisory).
+    pub lint_warnings: usize,
 }
 
 /// Folds one round's pass count into an iterated counter: the report
@@ -194,21 +202,21 @@ pub fn optimise_program(
         fold_round(&mut report.fn_specialised, clones);
         fold_round(&mut report.spec_calls, calls);
         cur = next;
-        validate(&cur, "spec_fun")?;
+        validate(&cur, "spec_fun", &mut report)?;
         let (next, n) = specialise::specialise(&cur);
         fold_round(&mut report.specialised, n);
         cur = next;
-        let mut env = validate(&cur, "specialise")?;
+        let mut env = validate(&cur, "specialise", &mut report)?;
         for _ in 0..ROUNDS {
             let (next, n) = inline::inline(&cur, &no_force);
             fold_round(&mut report.inlined, n);
             cur = next;
-            env = validate(&cur, "inline")?;
+            env = validate(&cur, "inline", &mut report)?;
             let (next, n, joins) = simplify::simplify(&env, &cur);
             fold_round(&mut report.simplified, n);
             fold_round(&mut report.join_points, joins);
             cur = next;
-            env = validate(&cur, "simplify")?;
+            env = validate(&cur, "simplify", &mut report)?;
         }
         env_opt = Some(env);
     }
@@ -218,34 +226,48 @@ pub fn optimise_program(
     report.workers = n;
     report.cpr_workers = cpr;
     cur = next;
-    env = validate(&cur, "worker/wrapper")?;
+    env = validate(&cur, "worker/wrapper", &mut report)?;
 
     for _ in 0..ROUNDS {
         let (next, n) = inline::inline(&cur, &wrappers);
         fold_round(&mut report.inlined, n);
         cur = next;
-        env = validate(&cur, "inline")?;
+        env = validate(&cur, "inline", &mut report)?;
         let (next, n, joins) = simplify::simplify(&env, &cur);
         fold_round(&mut report.simplified, n);
         fold_round(&mut report.join_points, joins);
         cur = next;
-        env = validate(&cur, "simplify")?;
+        env = validate(&cur, "simplify", &mut report)?;
     }
 
     if let Some(entries) = entry_points {
         let (next, dropped) = usage::eliminate_dead_globals(&cur, entries);
         report.dead_globals = dropped;
         cur = next;
-        env = validate(&cur, "dead-globals")?;
+        env = validate(&cur, "dead-globals", &mut report)?;
+    }
+    if !cfg!(debug_assertions) {
+        // Debug builds linted after every pass inside `validate`;
+        // release pays for one run over the final program.
+        lint_after(&cur, "final", &env, &mut report);
     }
     Ok((cur, report, env))
 }
 
-/// Re-typechecks the program after a pass (always), and re-runs the
-/// §5.1 levity checks (under `debug_assertions`): the optimizer must be
-/// representation-preserving, and a pass that is not should fail here,
-/// next to its name, rather than at lowering or — worse — at runtime.
-fn validate(prog: &Program, pass: &str) -> Result<TypeEnv, (Symbol, CoreError)> {
+/// Re-typechecks the program after a pass (always), and — under
+/// `debug_assertions` — runs the full Core lint ([`crate::lint`],
+/// which subsumes the §5.1 levity re-check as its first rule): the
+/// optimizer must be representation- and discipline-preserving, and a
+/// pass that is not should fail here, next to its name, rather than at
+/// lowering or — worse — at runtime. Release builds lint once per
+/// [`optimise_program`] call instead (the last `validate` in the
+/// pipeline would find the same errors a step later). Lint counters
+/// accumulate into `report`.
+fn validate(
+    prog: &Program,
+    pass: &str,
+    report: &mut OptReport,
+) -> Result<TypeEnv, (Symbol, CoreError)> {
     let env = check_program(prog).map_err(|(name, e)| {
         // Attach the pass name for the panic message in debug builds;
         // release callers surface the CoreError through the pipeline.
@@ -255,16 +277,26 @@ fn validate(prog: &Program, pass: &str) -> Result<TypeEnv, (Symbol, CoreError)> 
         );
         (name, e)
     })?;
-    #[cfg(debug_assertions)]
-    {
-        let diags = levity_ir::levity::check_program_levity(&env, prog);
-        assert!(
-            !diags.has_errors(),
-            "optimizer pass `{pass}` violated the section-5.1 levity checks:\n{diags:?}"
-        );
+    if cfg!(debug_assertions) {
+        lint_after(prog, pass, &env, report);
     }
     let _ = pass;
     Ok(env)
+}
+
+/// Runs the Core lint and folds its counts into the report; debug
+/// builds assert the program lints clean (errors mean a pass broke a
+/// discipline the later stages rely on).
+fn lint_after(prog: &Program, pass: &str, env: &TypeEnv, report: &mut OptReport) {
+    let lints = crate::lint::lint_program(env, prog);
+    report.lint_runs += 1;
+    report.lint_errors += lints.errors.len();
+    report.lint_warnings += lints.warnings.len();
+    debug_assert!(
+        lints.is_clean(),
+        "optimizer pass `{pass}` broke a Core-lint discipline:\n{lints}"
+    );
+    let _ = pass;
 }
 
 #[cfg(test)]

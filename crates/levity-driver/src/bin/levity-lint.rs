@@ -1,0 +1,124 @@
+//! The standalone lint/verify driver.
+//!
+//! ```text
+//! levity-lint [--opt O0|O2] [--no-prelude] [--deny-warnings] FILE...
+//! ```
+//!
+//! For each source file: run the full pipeline (parse, elaborate,
+//! levity-check, optimise, lower, bytecode-compile, statically verify
+//! the bytecode), then run every Core lint rule over the program that
+//! was actually lowered and print the findings. A pipeline rejection —
+//! including a bytecode [`VerifyError`](levity_m::VerifyError) — is
+//! printed and counted as a failure.
+//!
+//! Exit status: `0` when every file compiles, verifies and lints
+//! without errors; `1` otherwise. Warnings (e.g. a `$j` binding that
+//! lowers as a closure because it misses the jump discipline) do not
+//! fail the run unless `--deny-warnings` is given.
+
+use std::process::ExitCode;
+
+use levity_compile::lint_program;
+use levity_compile::opt::OptLevel;
+use levity_driver::pipeline::{compile_source_opt, compile_with_prelude_opt};
+
+struct Args {
+    opt_level: OptLevel,
+    with_prelude: bool,
+    deny_warnings: bool,
+    files: Vec<String>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: levity-lint [--opt O0|O2] [--no-prelude] [--deny-warnings] FILE...");
+    std::process::exit(1);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        opt_level: OptLevel::O2,
+        with_prelude: true,
+        deny_warnings: false,
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--opt" => match it.next().as_deref() {
+                Some("O0") | Some("o0") | Some("0") => args.opt_level = OptLevel::O0,
+                Some("O2") | Some("o2") | Some("2") => args.opt_level = OptLevel::O2,
+                _ => usage(),
+            },
+            "--no-prelude" => args.with_prelude = false,
+            "--deny-warnings" => args.deny_warnings = true,
+            "--help" | "-h" => usage(),
+            _ if arg.starts_with('-') => usage(),
+            _ => args.files.push(arg),
+        }
+    }
+    if args.files.is_empty() {
+        usage();
+    }
+    args
+}
+
+/// Lints one file; returns `true` if it should fail the run.
+fn lint_file(path: &str, args: &Args) -> bool {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: cannot read: {e}");
+            return true;
+        }
+    };
+    let compiled = if args.with_prelude {
+        compile_with_prelude_opt(&source, args.opt_level)
+    } else {
+        compile_source_opt(&source, args.opt_level)
+    };
+    let compiled = match compiled {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return true;
+        }
+    };
+    // The pipeline verified the bytecode (compilation would have
+    // failed otherwise); re-typecheck the lowered program to get the
+    // environment the lint rules need.
+    let env = match levity_ir::typecheck::check_program(&compiled.program) {
+        Ok(env) => env,
+        Err((name, e)) => {
+            eprintln!("{path}: core lint failed in `{name}`: {e}");
+            return true;
+        }
+    };
+    let report = lint_program(&env, &compiled.program);
+    for l in &report.errors {
+        println!("{path}: error: {l}");
+    }
+    for l in &report.warnings {
+        println!("{path}: warning: {l}");
+    }
+    println!(
+        "{path}: {} bindings, {} chunks verified, {} lint errors, {} lint warnings",
+        compiled.program.bindings.len(),
+        compiled.verified.program().chunks.len(),
+        report.errors.len(),
+        report.warnings.len(),
+    );
+    !report.is_clean() || (args.deny_warnings && !report.warnings.is_empty())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failed = false;
+    for path in &args.files {
+        failed |= lint_file(path, &args);
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

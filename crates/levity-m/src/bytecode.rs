@@ -2510,6 +2510,16 @@ fn reg_name(class: Slot, slot: u16) -> String {
     }
 }
 
+/// One instruction in the disassembly syntax, chunks shown as raw ids
+/// (the verifier's error payloads; the golden format resolves labels).
+pub(crate) fn disasm_instr(instr: &Instr) -> String {
+    DisasmInstr {
+        instr,
+        label_of: &|id| format!("#{id}"),
+    }
+    .to_string()
+}
+
 fn disasm_chunk(out: &mut String, chunk: &Chunk, label_of: &dyn Fn(u32) -> String) {
     use std::fmt::Write;
     let params = chunk

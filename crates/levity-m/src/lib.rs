@@ -25,6 +25,10 @@
 //! * [`regmachine`] — the register machine over that bytecode, with one
 //!   operand stack per §6.2 register class — unboxed hot paths run with
 //!   no tag checks at all;
+//! * [`verify`] — the static bytecode verifier: an abstract interpreter
+//!   that proves the per-class register discipline before execution, so
+//!   [`regmachine::BcMachine::run_verified`] can elide the dynamic
+//!   checks the verifier discharged;
 //! * [`prim`] — the `+#`/`+##` primitive operations.
 //!
 //! The three execution engines implement the same semantics. The
@@ -56,6 +60,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod bytecode;
 pub mod compile;
@@ -65,6 +70,7 @@ pub mod prim;
 pub mod regmachine;
 pub mod subst;
 pub mod syntax;
+pub mod verify;
 
 pub use bytecode::{BcEntry, BcProgram};
 pub use compile::CodeProgram;
@@ -72,6 +78,7 @@ pub use env::EnvMachine;
 pub use machine::{Globals, Machine, MachineError, MachineStats, RunOutcome, Value};
 pub use regmachine::{run_bytecode, BcMachine};
 pub use syntax::{Addr, Alt, Atom, Binder, DataCon, Literal, MExpr, PrimOp};
+pub use verify::{verify, VerifiedEntry, VerifiedProgram, VerifyError, VerifyErrorKind};
 
 /// Which execution engine to run `M` code on.
 ///

@@ -167,6 +167,19 @@ enum Popped {
     Resume(Exec, BValue),
 }
 
+/// The counters the dispatch loop bumps on (nearly) every step, kept
+/// in locals for the duration of a run and flushed to
+/// [`MachineStats`] once on exit — both the checked and the verified
+/// loop pay for register increments, not memory traffic, and report
+/// identical statistics by construction.
+#[derive(Clone, Copy, Debug, Default)]
+struct Hot {
+    steps: u64,
+    prim_ops: u64,
+    fused_ops: u64,
+    jumps: u64,
+}
+
 /// The register-machine interpreter over a compiled [`BcProgram`].
 ///
 /// # Examples
@@ -569,6 +582,36 @@ impl BcMachine {
         })
     }
 
+    /// Binds a field list into frame slots — one class check plus one
+    /// classed write per pair. This is the single shape behind join
+    /// arguments, `bind.multi`, fused-frame generic returns, and case
+    /// binders; arity checks stay at the call sites (their error
+    /// payloads differ). `CHECKED = false` — legal only where the
+    /// verifier proved the classes statically, i.e. the join-argument
+    /// site on the verified path — demotes the check to a debug
+    /// assertion. Sites whose fields arrive dynamically (constructor
+    /// payloads, multi-values out of the accumulator) must instantiate
+    /// `CHECKED = true` on both paths.
+    fn bind_checked<const CHECKED: bool>(
+        &mut self,
+        bases: [usize; 4],
+        binds: &[(Binder, u16)],
+        fields: &[Atom],
+    ) -> Result<(), MachineError> {
+        for ((b, slot), a) in binds.iter().zip(fields.iter()) {
+            if CHECKED {
+                check_atom_class(*b, *a)?;
+            } else {
+                debug_assert!(
+                    check_atom_class(*b, *a).is_ok(),
+                    "verified bind wrote {a} into {b}"
+                );
+            }
+            self.write_slot(bases, b.class, *slot, *a)?;
+        }
+        Ok(())
+    }
+
     /// The return pop-loop: apply pending arguments, update forced
     /// thunks, resume the caller, or finish. The caller must have
     /// truncated the stacks already when the return releases a frame
@@ -625,10 +668,7 @@ impl BcMachine {
                                 ));
                             }
                             let fields = fields.clone();
-                            for ((b, slot), a) in binds.iter().zip(fields.iter()) {
-                                check_atom_class(*b, *a)?;
-                                self.write_slot(bases, b.class, *slot, *a)?;
-                            }
+                            self.bind_checked::<true>(bases, &binds, &fields)?;
                         }
                         other => {
                             return Err(MachineError::InvalidState(format!(
@@ -679,13 +719,65 @@ impl BcMachine {
         }
     }
 
-    /// Runs the machine from the entry's root chunk.
+    /// Runs the machine from the entry's root chunk, with every
+    /// dynamic register-discipline check live.
     ///
     /// # Errors
     ///
     /// [`MachineError`] on broken invariants or fuel exhaustion;
     /// `error` is reported as `Ok(RunOutcome::Error(..))` (rule ERR).
     pub fn run(&mut self, entry: &BcEntry) -> Result<RunOutcome, MachineError> {
+        self.dispatch::<true>(entry)
+    }
+
+    /// Runs a statically verified entry on the unchecked dispatch
+    /// path: the class and width checks the verifier discharged
+    /// ([`crate::verify`]) are compiled down to debug assertions.
+    /// Outcomes, errors and statistics are identical to [`Self::run`]
+    /// by construction — both are the same loop, monomorphized.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`]; additionally [`MachineError::BadBytecode`]
+    /// when the witness was issued for a different program than the
+    /// one this machine executes.
+    pub fn run_verified(
+        &mut self,
+        entry: &crate::verify::VerifiedEntry<'_>,
+    ) -> Result<RunOutcome, MachineError> {
+        if !Arc::ptr_eq(&self.program, entry.program().program()) {
+            return Err(MachineError::BadBytecode(
+                "verified entry does not belong to this machine's program".to_owned(),
+            ));
+        }
+        self.dispatch::<false>(entry.entry())
+    }
+
+    /// Runs the loop with the hottest counters in locals, flushing
+    /// them to [`MachineStats`] exactly once on the way out — on `Ok`,
+    /// `Err` and `RunOutcome::Error` alike, so both monomorphizations
+    /// report identical statistics at every exit.
+    fn dispatch<const CHECKED: bool>(
+        &mut self,
+        entry: &BcEntry,
+    ) -> Result<RunOutcome, MachineError> {
+        let mut hot = Hot::default();
+        let r = self.run_loop::<CHECKED>(entry, &mut hot);
+        self.stats.steps += hot.steps;
+        self.stats.prim_ops += hot.prim_ops;
+        self.stats.fused_ops += hot.fused_ops;
+        self.stats.jumps += hot.jumps;
+        r
+    }
+
+    fn run_loop<const CHECKED: bool>(
+        &mut self,
+        entry: &BcEntry,
+        hot: &mut Hot,
+    ) -> Result<RunOutcome, MachineError> {
+        // Fuel spent by earlier runs on this machine is already in
+        // `stats.steps`; the local counter starts at zero.
+        let limit = self.fuel.saturating_sub(self.stats.steps);
         let mut ex = self.enter(entry, entry.root, self.tops(), &[], &[])?;
         // The dispatch loop matches instructions *by reference* out of
         // a local handle on the current chunk's code — no per-step
@@ -699,7 +791,7 @@ impl BcMachine {
                     ex.pc, ex.chunk
                 )));
             };
-            if self.stats.steps >= self.fuel {
+            if hot.steps >= limit {
                 // ERR aborts before the fuel check, like the tree
                 // engines — tested here, on the cold path, so the hot
                 // dispatch pays no extra branch.
@@ -708,7 +800,7 @@ impl BcMachine {
                 }
                 return Err(MachineError::OutOfFuel { limit: self.fuel });
             }
-            self.stats.steps += 1;
+            hot.steps += 1;
             let bases = ex.bases;
             match instr {
                 Instr::Err(msg) => return Ok(RunOutcome::Error(msg.to_string())),
@@ -722,13 +814,13 @@ impl BcMachine {
                     params,
                 } => {
                     if !args.is_empty() {
+                        // The one bind site the verifier fully
+                        // discharges: join arguments carry static
+                        // classes matching the parameter binders.
                         let atoms = self.atoms_of(args, bases)?;
-                        for ((b, slot), a) in params.iter().zip(atoms.iter()) {
-                            check_atom_class(*b, *a)?;
-                            self.write_slot(bases, b.class, *slot, *a)?;
-                        }
+                        self.bind_checked::<CHECKED>(bases, params, &atoms)?;
                     }
-                    self.stats.jumps += 1;
+                    hot.jumps += 1;
                     ex.pc = *target as usize;
                 }
                 Instr::MovW { dst, src } => {
@@ -750,14 +842,14 @@ impl BcMachine {
                 Instr::PrimW { op, dst, a, b } => {
                     let a = self.wsrc(*a, bases);
                     let b = self.wsrc(*b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let r = word_prim2(*op, a, b)?;
                     self.words[bases[1] + *dst as usize] = r;
                     ex.pc += 1;
                 }
                 Instr::PrimW1 { op, dst, a } => {
                     let a = self.wsrc(*a, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let r = match (*op, a) {
                         (PrimOp::NegI, WordV::I(x)) => WordV::I(x.wrapping_neg()),
                         _ => WordV::of_lit(apply_prim(*op, &[a.lit()])?),
@@ -775,19 +867,19 @@ impl BcMachine {
                 } => {
                     let a = self.wsrc(*a, bases);
                     let b = self.wsrc(*b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let r = word_prim2(*op, a, b)?;
                     self.words[bases[1] + *dst as usize] = r;
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     if *join {
-                        self.stats.jumps += 1;
+                        hot.jumps += 1;
                     }
                     ex.pc = *target as usize;
                 }
                 Instr::PrimD { op, dst, a, b } => {
                     let a = self.dsrc(*a, bases);
                     let b = self.dsrc(*b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let r = match op {
                         PrimOp::AddD => a + b,
                         PrimOp::SubD => a - b,
@@ -805,7 +897,7 @@ impl BcMachine {
                 Instr::PrimDW { op, dst, a, b } => {
                     let a = self.dsrc(*a, bases);
                     let b = self.dsrc(*b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let r = match op {
                         PrimOp::EqD => a == b,
                         PrimOp::LtD => a < b,
@@ -824,7 +916,7 @@ impl BcMachine {
                     for s in args.iter() {
                         lits.push(self.literal_of(*s, bases)?);
                     }
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     acc = BValue::Lit(apply_prim(*op, &lits)?);
                     ex.pc += 1;
                 }
@@ -837,9 +929,9 @@ impl BcMachine {
                 } => {
                     let a = self.wsrc(*a, bases);
                     let b = self.wsrc(*b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let taken = matches!(word_prim2(*op, a, b)?, WordV::I(1));
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     ex.pc = if taken { *on_true } else { *on_false } as usize;
                 }
                 Instr::CmpBrCallFW {
@@ -855,9 +947,9 @@ impl BcMachine {
                 } => {
                     let va = self.wsrc(*a, bases);
                     let vb = self.wsrc(*b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let taken = matches!(word_prim2(*op, va, vb)?, WordV::I(1));
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     if taken {
                         ex.pc = *on_true as usize;
                         continue;
@@ -865,7 +957,7 @@ impl BcMachine {
                     // False edge: the floated prim plus the fused call.
                     let va = self.wsrc(prim.a, bases);
                     let vb = self.wsrc(prim.b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let r = word_prim2(prim.op, va, vb)?;
                     self.words[bases[1] + prim.dst as usize] = r;
                     self.push_frame(BFrame::RetW {
@@ -915,8 +1007,8 @@ impl BcMachine {
                     on_eq,
                     default,
                 } => {
-                    let l = self.wsrc(*src, bases).lit();
-                    if l == *lit {
+                    let w = self.wsrc(*src, bases);
+                    if w.lit() == *lit {
                         ex.pc = *on_eq as usize;
                     } else {
                         let BDefault {
@@ -924,9 +1016,20 @@ impl BcMachine {
                             slot,
                             target,
                         } = *default;
-                        let atom = Atom::Lit(l);
-                        check_atom_class(binder, atom)?;
-                        self.write_slot(bases, binder.class, slot, atom)?;
+                        if CHECKED {
+                            let atom = Atom::Lit(w.lit());
+                            check_atom_class(binder, atom)?;
+                            self.write_slot(bases, binder.class, slot, atom)?;
+                        } else {
+                            // The verifier proved the default binder
+                            // word-class: rebind the scrutinee with a
+                            // straight register write.
+                            debug_assert!(
+                                binder.class == Slot::Word,
+                                "verified br.eq default binder {binder} is not word-class"
+                            );
+                            self.words[bases[1] + slot as usize] = w;
+                        }
                         ex.pc = target as usize;
                     }
                 }
@@ -948,9 +1051,19 @@ impl BcMachine {
                                 slot,
                                 target,
                             }) => {
-                                let atom = Atom::Lit(l);
-                                check_atom_class(binder, atom)?;
-                                self.write_slot(bases, binder.class, slot, atom)?;
+                                if CHECKED {
+                                    let atom = Atom::Lit(l);
+                                    check_atom_class(binder, atom)?;
+                                    self.write_slot(bases, binder.class, slot, atom)?;
+                                } else {
+                                    // Verified: the default binder is
+                                    // word-class, rebind directly.
+                                    debug_assert!(
+                                        binder.class == Slot::Word,
+                                        "verified switch.w default binder {binder} is not word-class"
+                                    );
+                                    self.words[bases[1] + slot as usize] = w;
+                                }
                                 ex.pc = target as usize;
                             }
                             None => return Err(MachineError::NoMatchingAlt(l.to_string())),
@@ -1003,7 +1116,7 @@ impl BcMachine {
                 }
                 Instr::RetMulti { args } => {
                     acc = BValue::Multi(self.atoms_of(args, bases)?);
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     self.truncate_to(bases);
                     match self.pop_return(entry, acc)? {
                         Popped::Done(outcome) => return Ok(outcome),
@@ -1023,10 +1136,7 @@ impl BcMachine {
                                 ));
                             }
                             let fields = fields.clone();
-                            for ((b, slot), a) in binds.iter().zip(fields.iter()) {
-                                check_atom_class(*b, *a)?;
-                                self.write_slot(bases, b.class, *slot, *a)?;
-                            }
+                            self.bind_checked::<true>(bases, binds, &fields)?;
                         }
                         other => {
                             return Err(MachineError::InvalidState(format!(
@@ -1144,11 +1254,15 @@ impl BcMachine {
                         }
                         _ => {
                             let n = args.len();
-                            if n > SELF_CALL_BUF {
+                            if CHECKED && n > SELF_CALL_BUF {
                                 return Err(MachineError::BadBytecode(format!(
                                     "call.self.w arity {n} exceeds the self-call buffer"
                                 )));
                             }
+                            debug_assert!(
+                                n <= SELF_CALL_BUF,
+                                "verified call.self.w arity {n} exceeds the self-call buffer"
+                            );
                             let mut buf = [WordV::I(0); SELF_CALL_BUF];
                             for (i, s) in args.iter().enumerate() {
                                 buf[i] = self.wsrc(*s, bases);
@@ -1156,7 +1270,7 @@ impl BcMachine {
                             self.words[bases[1]..bases[1] + n].copy_from_slice(&buf[..n]);
                         }
                     }
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     ex.pc = 0;
                 }
                 Instr::PrimCallW {
@@ -1168,7 +1282,7 @@ impl BcMachine {
                 } => {
                     let va = self.wsrc(*a, bases);
                     let vb = self.wsrc(*b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let r = word_prim2(*op, va, vb)?;
                     let dst = *dst;
                     // `dst` is dead after the back-edge: occurrences
@@ -1190,11 +1304,15 @@ impl BcMachine {
                         }
                         _ => {
                             let n = args.len();
-                            if n > SELF_CALL_BUF {
+                            if CHECKED && n > SELF_CALL_BUF {
                                 return Err(MachineError::BadBytecode(format!(
                                     "call.self.w arity {n} exceeds the self-call buffer"
                                 )));
                             }
+                            debug_assert!(
+                                n <= SELF_CALL_BUF,
+                                "verified call.self.w arity {n} exceeds the self-call buffer"
+                            );
                             let mut buf = [WordV::I(0); SELF_CALL_BUF];
                             for (i, s) in args.iter().enumerate() {
                                 buf[i] = rd(*s, self);
@@ -1202,7 +1320,7 @@ impl BcMachine {
                             self.words[bases[1]..bases[1] + n].copy_from_slice(&buf[..n]);
                         }
                     }
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     ex.pc = 0;
                 }
                 Instr::PrimCallFW {
@@ -1214,7 +1332,7 @@ impl BcMachine {
                 } => {
                     let va = self.wsrc(prim.a, bases);
                     let vb = self.wsrc(prim.b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let r = word_prim2(prim.op, va, vb)?;
                     self.words[bases[1] + prim.dst as usize] = r;
                     self.push_frame(BFrame::RetW {
@@ -1241,7 +1359,7 @@ impl BcMachine {
                         let v = self.wsrc(*s, bases);
                         self.words[new_bases[1] + i] = v;
                     }
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     match callee {
                         None => {
                             ex.pc = 0;
@@ -1262,11 +1380,11 @@ impl BcMachine {
                 Instr::PrimRetMultiW { prim, args } => {
                     let va = self.wsrc(prim.a, bases);
                     let vb = self.wsrc(prim.b, bases);
-                    self.stats.prim_ops += 1;
+                    hot.prim_ops += 1;
                     let r = word_prim2(prim.op, va, vb)?;
                     self.words[bases[1] + prim.dst as usize] = r;
                     let n = args.len();
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     match self.stack.pop() {
                         Some(BFrame::RetW {
                             chunk,
@@ -1355,7 +1473,7 @@ impl BcMachine {
                         let v = self.wsrc(*s, bases);
                         self.words[new_bases[1] + i] = v;
                     }
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     match callee {
                         None => {
                             ex.pc = 0;
@@ -1375,7 +1493,7 @@ impl BcMachine {
                 }
                 Instr::RetMultiW { args } => {
                     let n = args.len();
-                    self.stats.fused_ops += 1;
+                    hot.fused_ops += 1;
                     // Hot path: the caller fused its bind into the
                     // frame, and classes are word/word by construction
                     // on both sides — straight register writes.
@@ -1525,10 +1643,7 @@ impl BcMachine {
                                 )));
                             }
                             let fields = Arc::clone(fields);
-                            for ((b, slot), a) in binds.iter().zip(fields.iter()) {
-                                check_atom_class(*b, *a)?;
-                                self.write_slot(bases, b.class, *slot, *a)?;
-                            }
+                            self.bind_checked::<true>(bases, binds, &fields)?;
                             return Ok(*target as usize);
                         }
                     }

@@ -153,6 +153,10 @@ impl ProgramCache {
     }
 }
 
+// The pipeline statically verifies the bytecode as part of
+// compilation, so the witness is built once per cache *insert* and
+// every request served from the cache runs on the register machine's
+// unchecked fast path for free.
 fn compile(source: &str, opt_level: OptLevel, with_prelude: bool) -> CompileResult {
     let result = if with_prelude {
         compile_with_prelude_opt(source, opt_level)

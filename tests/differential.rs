@@ -32,7 +32,7 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use levity::compile::figure7::compile_closed;
-use levity::driver::pipeline::{compile_with_prelude, compile_with_prelude_opt};
+use levity::driver::pipeline::{compile_with_prelude, compile_with_prelude_opt, Compiled};
 use levity::driver::OptLevel;
 use levity::l::gen::{GenConfig, Generator};
 use levity::m::bytecode::BcProgram;
@@ -158,7 +158,39 @@ fn assert_pipeline_agrees(source: &str, what: &str) {
         // counters pinned, steps bounded — the 6-way grid.
         let bc = compiled.run_with_engine("main", FUEL, Engine::Bytecode);
         assert_bytecode_agrees(&split(env), &split(bc), &format!("{what} at {level}"));
+        // Plus the PR-9 extension: the lowered Core lints clean, and
+        // the register machine's checked and unchecked paths agree on
+        // outcome and every counter.
+        assert_verified_fast_path_agrees(&compiled, &format!("{what} at {level}"));
     }
+}
+
+/// The PR-9 leg of the grid: the lowered program passes every Core
+/// lint rule with zero errors, and the flat-bytecode machine's
+/// *unchecked* fast path (the verifier's payoff) agrees with the
+/// checked path on the outcome and **every** [`MachineStats`] counter.
+fn assert_verified_fast_path_agrees(compiled: &Compiled, what: &str) {
+    let tenv = levity::ir::typecheck::check_program(&compiled.program)
+        .unwrap_or_else(|(b, e)| panic!("{what}: `{b}` fails re-typecheck: {e}"));
+    let lints = levity::compile::lint_program(&tenv, &compiled.program);
+    assert!(lints.is_clean(), "{what} fails Core lint:\n{lints}");
+    let entry = compiled
+        .bytecode
+        .compile_entry(&compiled.code.compile_entry(&MExpr::global("main")));
+    let mut checked = BcMachine::new(Arc::clone(&compiled.bytecode));
+    checked.set_fuel(FUEL);
+    let c = (checked.run(&entry), *checked.stats());
+    let ventry = compiled
+        .verified
+        .verify_entry(&entry)
+        .unwrap_or_else(|e| panic!("{what}: entry fails verification: {e}"));
+    let mut unchecked = BcMachine::new(Arc::clone(&compiled.bytecode));
+    unchecked.set_fuel(FUEL);
+    let u = (unchecked.run_verified(&ventry), *unchecked.stats());
+    assert_eq!(
+        c, u,
+        "checked and unchecked register machines disagree on {what}"
+    );
 }
 
 /// Adapts a pipeline run result to the raw-term [`MachineResult`]
@@ -1027,6 +1059,10 @@ proptest! {
                 &split(bc),
                 &format!("seed {seed} at {level}"),
             );
+            // ... and the generated axis gets the PR-9 leg too: lint
+            // the lowered Core, then race the verified fast path
+            // against the checked one.
+            assert_verified_fast_path_agrees(compiled, &format!("seed {seed} at {level}"));
         }
     }
 }
