@@ -1,0 +1,163 @@
+//! `gc/` — the copying collector's cost model on allocation churn.
+//!
+//! The workload builds and drops a fresh 24-cell chain per round
+//! (tiny live set, large cumulative allocation) — the shape the
+//! collector exists for. Three questions, answered in shim `bench:`
+//! lines so the gate records them:
+//!
+//! * `gc/churn_unbounded` — the pre-collector baseline: the default
+//!   nursery is big enough that one request never collects, so this
+//!   is pure evaluation cost with an ever-growing heap;
+//! * `gc/churn_n256` / `gc/churn_n4096` — the nursery-size sweep:
+//!   collecting every ~256 cells is the residency-tightest point,
+//!   every ~4096 the throughput-friendlier one. The sweep shows what
+//!   a live-heap cap costs in wall-clock;
+//! * `gc/zero_alloc_n1` — the §2.1 guarantee under the most hostile
+//!   knob: an unboxed ladder with a 1-cell nursery must not collect
+//!   at all, so its line should track the ladder's GC-free cost.
+//!
+//! Two claims are asserted where the numbers are produced: the tiny-
+//! nursery runs really collect (and the unbounded one really does
+//! not), and forced collection changes no evaluation counter — the
+//! benchmark refuses to time two configurations that disagree on
+//! semantics.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use levity_driver::{compile_with_prelude, Compiled, RunLimits};
+use levity_m::machine::MachineStats;
+use levity_m::Engine;
+
+const FUEL: u64 = 500_000_000;
+
+const CHURN: &str = "data Chain = End | Link Int Chain\n\
+     build :: Int# -> Chain\n\
+     build n = case n of { 0# -> End; _ -> Link (I# n) (build (n -# 1#)) }\n\
+     len :: Chain -> Int#\n\
+     len xs = case xs of { End -> 0#; Link h t -> 1# +# len t }\n\
+     churn :: Int# -> Int# -> Int#\n\
+     churn acc r = case r of { 0# -> acc; _ -> churn (acc +# len (build 24#)) (r -# 1#) }\n\
+     main :: Int#\n\
+     main = churn 0# 200#\n";
+
+const ZERO_ALLOC: &str = "sumTo# :: Int# -> Int# -> Int#\n\
+     sumTo# acc n = case n of { 0# -> acc; _ -> sumTo# (acc +# n) (n -# 1#) }\n\
+     main :: Int#\n\
+     main = sumTo# 0# 20000#\n";
+
+/// Prints one shim-format line so `parse_bench_lines` picks the name
+/// up, and returns the mean.
+fn report(name: &str, samples_ns: &mut [f64]) -> f64 {
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let min = samples_ns.first().copied().unwrap_or(0.0);
+    let max = samples_ns.last().copied().unwrap_or(0.0);
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len().max(1) as f64;
+    println!(
+        "bench: {name} ... min {min:.0} ns, mean {mean:.0} ns, max {max:.0} ns \
+         ({} iters/sample)",
+        samples_ns.len()
+    );
+    mean
+}
+
+/// Times `samples` bytecode runs under the given nursery (`None` =
+/// default, effectively unbounded for one request), asserting the
+/// expected outcome every run and returning (samples, last stats).
+fn time_runs(
+    compiled: &Compiled,
+    nursery: Option<usize>,
+    expected: i64,
+    samples: usize,
+) -> (Vec<f64>, MachineStats) {
+    let limits = RunLimits {
+        gc_nursery: nursery,
+        ..RunLimits::fuel(FUEL)
+    };
+    let mut out = Vec::with_capacity(samples);
+    let mut last_stats = None;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let (outcome, stats) = compiled
+            .run_with_limits("main", Engine::Bytecode, limits)
+            .expect("bench run failed");
+        out.push(start.elapsed().as_nanos() as f64);
+        assert_eq!(
+            outcome.value().and_then(|v| v.as_int()),
+            Some(expected),
+            "bench program returned a wrong answer"
+        );
+        last_stats = Some(stats);
+    }
+    (out, last_stats.expect("at least one sample"))
+}
+
+/// Every stats field the collector must not perturb.
+fn eval_counters(s: &MachineStats) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        s.steps,
+        s.thunk_allocs,
+        s.con_allocs,
+        s.thunk_forces,
+        s.updates,
+        s.prim_ops,
+        s.allocated_words,
+    )
+}
+
+fn bench_gc(_c: &mut Criterion) {
+    let smoke = std::env::var_os("BENCH_SMOKE").is_some();
+    let samples = if smoke { 4 } else { 30 };
+
+    let churn = compile_with_prelude(CHURN).expect("churn compiles");
+    let (mut base_ns, base_stats) = time_runs(&churn, None, 4_800, samples);
+    assert_eq!(
+        base_stats.collections, 0,
+        "default nursery collected within one churn request; \
+         the unbounded baseline is mislabeled"
+    );
+    let base_mean = report("gc/churn_unbounded", &mut base_ns);
+
+    let mut sweep_means = Vec::new();
+    for nursery in [256usize, 4096] {
+        let (mut ns, stats) = time_runs(&churn, Some(nursery), 4_800, samples);
+        assert!(
+            stats.collections > 0,
+            "nursery {nursery} never collected; the sweep is dead"
+        );
+        assert_eq!(
+            eval_counters(&stats),
+            eval_counters(&base_stats),
+            "collection at nursery {nursery} perturbed evaluation"
+        );
+        let mean = report(&format!("gc/churn_n{nursery}"), &mut ns);
+        sweep_means.push((nursery, stats.collections, mean));
+    }
+
+    let zero = compile_with_prelude(ZERO_ALLOC).expect("ladder compiles");
+    let (mut zero_ns, zero_stats) = time_runs(&zero, Some(1), 200_010_000, samples);
+    assert_eq!(
+        zero_stats.collections, 0,
+        "the zero-allocation ladder collected — pressure is being \
+         polled off the allocation path"
+    );
+    let zero_mean = report("gc/zero_alloc_n1", &mut zero_ns);
+
+    eprintln!(
+        "\n== gc: copying collection on churn (live set ~24 cells) ==\n\
+         unbounded {:.1} µs; n256 {:.1} µs ({} collections, {:.2}x); \
+         n4096 {:.1} µs ({} collections, {:.2}x); \
+         zero-alloc ladder with 1-cell nursery {:.1} µs, 0 collections\n",
+        base_mean / 1e3,
+        sweep_means[0].2 / 1e3,
+        sweep_means[0].1,
+        sweep_means[0].2 / base_mean,
+        sweep_means[1].2 / 1e3,
+        sweep_means[1].1,
+        sweep_means[1].2 / base_mean,
+        zero_mean / 1e3,
+    );
+}
+
+criterion_group!(benches, bench_gc);
+criterion_main!(benches);

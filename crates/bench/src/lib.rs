@@ -330,6 +330,7 @@ mod tests {
             "BENCH_pr6.json",
             "BENCH_pr8.json",
             "BENCH_pr9.json",
+            "BENCH_pr10.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_owned() + "/" + file;
             let text = std::fs::read_to_string(&path)
@@ -343,6 +344,16 @@ mod tests {
                 assert!(
                     set.keys().any(|k| k.starts_with("serve/")),
                     "BENCH_pr8.json is missing the serve/ group: {:?}",
+                    set.keys().collect::<Vec<_>>()
+                );
+            }
+            if file == "BENCH_pr10.json" {
+                // PR 10 introduced the copying collector; the recorded
+                // file must carry the churn/nursery sweep or the gate
+                // cannot hold the collector's overhead in place.
+                assert!(
+                    set.keys().any(|k| k.starts_with("gc/")),
+                    "BENCH_pr10.json is missing the gc/ group: {:?}",
                     set.keys().collect::<Vec<_>>()
                 );
             }

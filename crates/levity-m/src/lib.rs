@@ -29,6 +29,10 @@
 //!   that proves the per-class register discipline before execution, so
 //!   [`regmachine::BcMachine::run_verified`] can elide the dynamic
 //!   checks the verifier discharged;
+//! * [`gc`] — the precise copying collector for the bytecode engine,
+//!   whose safepoint pointer maps are the verifier's retained per-pc
+//!   heights — representation knowledge (§6.2) making GC precise
+//!   without per-object tag bitmaps;
 //! * [`prim`] — the `+#`/`+##` primitive operations.
 //!
 //! The three execution engines implement the same semantics. The
@@ -65,6 +69,7 @@
 pub mod bytecode;
 pub mod compile;
 pub mod env;
+pub mod gc;
 pub mod machine;
 pub mod prim;
 pub mod regmachine;

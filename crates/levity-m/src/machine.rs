@@ -258,6 +258,15 @@ pub struct MachineStats {
     /// tree engines always report 0, so their full-stats equality
     /// comparisons are unaffected).
     pub fused_ops: u64,
+    /// Copying collections run (bytecode engine only; the tree engines
+    /// never collect and report 0).
+    pub collections: u64,
+    /// Estimated bytes evacuated to to-space across all collections
+    /// (bytecode engine only).
+    pub bytes_copied: u64,
+    /// Cells the collector scanned across all collections (bytecode
+    /// engine only).
+    pub gc_steps: u64,
 }
 
 /// Top-level definitions for the extended machine (recursion support).
@@ -340,6 +349,15 @@ pub enum MachineError {
         /// The allocation cap (words) that was exceeded.
         limit: u64,
     },
+    /// Exceeded the live-heap cap: after a collection, the *reachable*
+    /// data alone was still over the limit. The other resource policy
+    /// the serving layer sets — [`Self::AllocLimitExceeded`] caps
+    /// cumulative allocation (churn included); this caps residency.
+    /// Only the collecting (bytecode) engine can report it.
+    HeapLimitExceeded {
+        /// The live-heap cap (bytes) that was exceeded.
+        limit: u64,
+    },
     /// A variable had no substitution — an open term.
     UnboundVariable(Symbol),
     /// An unknown global.
@@ -380,6 +398,12 @@ impl fmt::Display for MachineError {
             MachineError::OutOfFuel { limit } => write!(f, "out of fuel after {limit} steps"),
             MachineError::AllocLimitExceeded { limit } => {
                 write!(f, "allocation cap of {limit} words exceeded")
+            }
+            MachineError::HeapLimitExceeded { limit } => {
+                write!(
+                    f,
+                    "live heap cap of {limit} bytes exceeded after collection"
+                )
             }
             MachineError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
             MachineError::UnknownGlobal(g) => write!(f, "unknown global `{g}`"),

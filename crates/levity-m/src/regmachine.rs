@@ -72,7 +72,7 @@ impl WordV {
 
 /// A heap cell: thunks are (chunk, captured atoms) pairs.
 #[derive(Clone, Debug)]
-enum BCell {
+pub(crate) enum BCell {
     Thunk(u32, Arc<[Atom]>),
     Value(BValue),
     Blackhole,
@@ -82,7 +82,7 @@ enum BCell {
 /// [`crate::env::EValue`] only at closures, which capture a chunk id
 /// plus resolved atoms instead of code and an environment.
 #[derive(Clone, Debug)]
-enum BValue {
+pub(crate) enum BValue {
     Clos {
         binder: Binder,
         chunk: u32,
@@ -129,7 +129,7 @@ impl fmt::Display for BValue {
 /// hold pending application arguments (pushed outermost-first, applied
 /// innermost-first — the Figure 6 order).
 #[derive(Clone, Debug)]
-enum BFrame {
+pub(crate) enum BFrame {
     Ret {
         chunk: u32,
         pc: u32,
@@ -165,6 +165,19 @@ struct Exec {
 enum Popped {
     Done(RunOutcome),
     Resume(Exec, BValue),
+}
+
+/// How the collector's safepoint pointer maps get resolved for the
+/// current run. The checked path derives them lazily at the first
+/// collection (zero-allocation programs never pay); the verified path
+/// installs the maps retained by the verifier witness. Programs that
+/// embed immediate heap-address constants — which a moving collector
+/// cannot rewrite — run with GC `Off`, the pre-GC behaviour.
+#[derive(Debug)]
+enum GcMaps {
+    Unresolved,
+    Ready(crate::gc::PtrMaps),
+    Off,
 }
 
 /// The counters the dispatch loop bumps on (nearly) every step, kept
@@ -217,6 +230,18 @@ pub struct BcMachine {
     stats: MachineStats,
     fuel: u64,
     alloc_limit: u64,
+    /// Collection trigger in cells: collect when the heap reaches this
+    /// size at an allocation site. Doubles with the live set (never
+    /// below `gc_nursery`), the classic semispace growth policy.
+    gc_limit: usize,
+    /// The configured nursery floor in cells (constructor-injected or
+    /// the `LEVITY_GC_NURSERY` process default).
+    gc_nursery: usize,
+    /// Live-heap cap in bytes, enforced *after* each collection —
+    /// distinct from `alloc_limit`, which caps cumulative allocation.
+    heap_limit: Option<u64>,
+    /// Safepoint pointer maps for the current run.
+    gc_maps: GcMaps,
     /// High-water mark per operand stack (`[ptr, word, float,
     /// double]`) — the §6.2 negative-space observable: a program with
     /// no `Double#` binders must leave `high[3] == 0`, and vice versa.
@@ -241,6 +266,10 @@ impl BcMachine {
             stats: MachineStats::default(),
             fuel: crate::machine::Machine::DEFAULT_FUEL,
             alloc_limit: u64::MAX,
+            gc_limit: crate::gc::default_nursery_cells(),
+            gc_nursery: crate::gc::default_nursery_cells(),
+            heap_limit: None,
+            gc_maps: GcMaps::Unresolved,
             high: [0; 4],
             top: [0; 4],
         }
@@ -255,6 +284,25 @@ impl BcMachine {
     /// fails with [`MachineError::AllocLimitExceeded`].
     pub fn set_alloc_limit(&mut self, words: u64) {
         self.alloc_limit = words;
+    }
+
+    /// Overrides the nursery size in cells: the heap size at which an
+    /// allocation site triggers a collection. Defaults to
+    /// `LEVITY_GC_NURSERY` (or [`crate::gc::DEFAULT_NURSERY_CELLS`]).
+    /// Tiny values force frequent collections — the differential
+    /// suites use this to pin that GC is observationally invisible.
+    pub fn set_gc_nursery(&mut self, cells: usize) {
+        self.gc_nursery = cells.max(1);
+        self.gc_limit = self.gc_nursery;
+    }
+
+    /// Caps the *live* heap in bytes, checked after every collection:
+    /// a run whose reachable data still exceeds the cap once garbage
+    /// is reclaimed fails with [`MachineError::HeapLimitExceeded`].
+    /// Distinct from [`Self::set_alloc_limit`], which caps cumulative
+    /// allocation regardless of liveness.
+    pub fn set_heap_limit(&mut self, bytes: u64) {
+        self.heap_limit = Some(bytes);
     }
 
     /// Fails if the accumulated allocation estimate exceeds the cap.
@@ -274,7 +322,9 @@ impl BcMachine {
         &self.stats
     }
 
-    /// Current heap size in cells.
+    /// Current heap size in cells: collection survivors plus whatever
+    /// has been allocated since the last collection (before PR 10's
+    /// collector this was the cumulative cell count).
     pub fn heap_size(&self) -> usize {
         self.heap.len()
     }
@@ -293,6 +343,81 @@ impl BcMachine {
         let addr = Addr(self.heap.len() as u64);
         self.heap.push(cell);
         addr
+    }
+
+    /// Whether an allocation site should collect first: the heap has
+    /// reached the nursery trigger, or a live-heap cap is set and the
+    /// cells-as-bytes lower bound could already exceed it (every cell
+    /// is at least one word, so `8 × cells ≤ live bytes`).
+    #[inline]
+    fn gc_pressure(&self) -> bool {
+        let trigger = match self.heap_limit {
+            Some(bytes) => self.gc_limit.min((bytes / 8) as usize + 1),
+            None => self.gc_limit,
+        };
+        self.heap.len() >= trigger
+    }
+
+    /// One precise copying collection at the safepoint `(ex.chunk,
+    /// ex.pc)`. Gathers the per-frame pointer windows from the
+    /// resolved maps (lazily deriving them on the checked path), hands
+    /// all roots to [`crate::gc::collect`], then enforces the
+    /// live-heap cap and re-arms the trigger at `max(nursery, 2 ×
+    /// live)`. If maps are unavailable — unverifiable code or embedded
+    /// address constants — GC turns `Off` for the run and the heap
+    /// keeps growing, the pre-collector behaviour.
+    #[cold]
+    fn collect_garbage(
+        &mut self,
+        entry: &BcEntry,
+        ex: &Exec,
+        acc: &mut BValue,
+    ) -> Result<(), MachineError> {
+        if matches!(self.gc_maps, GcMaps::Unresolved) {
+            self.gc_maps = match crate::verify::pointer_maps_for(&self.program, entry) {
+                Some(maps) => GcMaps::Ready(maps),
+                None => GcMaps::Off,
+            };
+        }
+        let GcMaps::Ready(maps) = &self.gc_maps else {
+            return Ok(());
+        };
+        // Every root window is resolved *before* anything moves, so an
+        // unknown safepoint degrades to "no GC" rather than a torn heap.
+        let mut windows = Vec::with_capacity(self.stack.len() + 1);
+        let Some(h) = maps.heights(ex.chunk, ex.pc) else {
+            self.gc_maps = GcMaps::Off;
+            return Ok(());
+        };
+        windows.push((ex.bases[0], h[0] as usize));
+        for f in &self.stack {
+            let (chunk, pc, bases) = match f {
+                BFrame::Ret { chunk, pc, bases } => (*chunk, *pc, bases),
+                BFrame::RetW {
+                    chunk, pc, bases, ..
+                } => (*chunk, *pc, bases),
+                BFrame::Upd(_) | BFrame::Arg(_) => continue,
+            };
+            let Some(h) = maps.heights(chunk, pc as usize) else {
+                self.gc_maps = GcMaps::Off;
+                return Ok(());
+            };
+            windows.push((bases[0], h[0] as usize));
+        }
+        let mut stack = std::mem::take(&mut self.stack);
+        let result = crate::gc::collect(&mut self.heap, &mut self.ptrs, &windows, &mut stack, acc);
+        self.stack = stack;
+        let out = result?;
+        self.stats.collections += 1;
+        self.stats.bytes_copied += out.words_live * 8;
+        self.stats.gc_steps += out.cells_live;
+        if let Some(limit) = self.heap_limit {
+            if out.words_live * 8 > limit {
+                return Err(MachineError::HeapLimitExceeded { limit });
+            }
+        }
+        self.gc_limit = self.gc_nursery.max(self.heap.len().saturating_mul(2));
+        Ok(())
     }
 
     #[inline]
@@ -727,6 +852,10 @@ impl BcMachine {
     /// [`MachineError`] on broken invariants or fuel exhaustion;
     /// `error` is reported as `Ok(RunOutcome::Error(..))` (rule ERR).
     pub fn run(&mut self, entry: &BcEntry) -> Result<RunOutcome, MachineError> {
+        // Checked runs derive the collector's pointer maps lazily, at
+        // the first collection — the same dataflow the verifier runs,
+        // so both dispatch paths collect at identical points.
+        self.gc_maps = GcMaps::Unresolved;
         self.dispatch::<true>(entry)
     }
 
@@ -750,6 +879,17 @@ impl BcMachine {
                 "verified entry does not belong to this machine's program".to_owned(),
             ));
         }
+        // The witness already carries the per-pc heights — install
+        // them as the collector's pointer maps instead of re-deriving.
+        self.gc_maps = if entry.collectible() {
+            GcMaps::Ready(crate::gc::PtrMaps::new(
+                self.program.chunks.len(),
+                Arc::clone(entry.program().maps()),
+                Arc::clone(entry.entry_maps()),
+            ))
+        } else {
+            GcMaps::Off
+        };
         self.dispatch::<false>(entry.entry())
     }
 
@@ -1071,6 +1211,11 @@ impl BcMachine {
                     }
                 }
                 Instr::SwitchA { alts, default } => {
+                    // A default alternative boxes a Clos/Con scrutinee
+                    // (an allocation); collect first if due.
+                    if matches!(acc, BValue::Clos { .. } | BValue::Con(..)) && self.gc_pressure() {
+                        self.collect_garbage(entry, &ex, &mut acc)?;
+                    }
                     ex.pc = self.switch_acc(&acc, alts, *default, bases)?;
                 }
                 Instr::AccW(s) => {
@@ -1164,6 +1309,9 @@ impl BcMachine {
                     ex.pc += 1;
                 }
                 Instr::MkThunk { chunk, caps, dst } => {
+                    if self.gc_pressure() {
+                        self.collect_garbage(entry, &ex, &mut acc)?;
+                    }
                     let addr = self.alloc(BCell::Blackhole);
                     self.ptrs[bases[0] + *dst as usize] = addr;
                     // Captures resolve *after* the address is written,
@@ -1176,6 +1324,10 @@ impl BcMachine {
                     ex.pc += 1;
                 }
                 Instr::BindAcc { binder, slot } => {
+                    // Boxing a Clos/Con accumulator allocates a cell.
+                    if matches!(acc, BValue::Clos { .. } | BValue::Con(..)) && self.gc_pressure() {
+                        self.collect_garbage(entry, &ex, &mut acc)?;
+                    }
                     let atom = match &acc {
                         BValue::Lit(l) => Atom::Lit(*l),
                         BValue::Clos { .. } | BValue::Con(..) => self.value_to_atom(acc.clone())?,

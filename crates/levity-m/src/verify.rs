@@ -57,8 +57,18 @@ use crate::bytecode::{
 };
 
 /// Per-class initialized-height watermarks, `[ptr, word, float,
-/// double]` — the abstract state of the dataflow.
-type Heights = [u16; 4];
+/// double]` — the abstract state of the dataflow, and (retained per
+/// pc) the safepoint pointer maps the copying collector scans by:
+/// at a pc with heights `h`, exactly the pointer slots
+/// `bases[0] .. bases[0] + h[0]` of the frame are provably
+/// initialized, and nothing above them is ever read again before
+/// being rewritten.
+pub type Heights = [u16; 4];
+
+/// The per-pc heights of one chunk, indexed by instruction offset.
+/// Offsets the dataflow never reached are `[0; 4]` — statically
+/// unreachable, so no frame can ever be suspended there.
+pub(crate) type ChunkMap = Arc<[Heights]>;
 
 /// Why verification rejected a program.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -223,12 +233,32 @@ impl std::error::Error for VerifyError {}
 #[derive(Clone, Debug)]
 pub struct VerifiedProgram {
     program: Arc<BcProgram>,
+    /// Per-chunk, per-pc heights retained from the dataflow — the
+    /// collector's safepoint pointer maps, indexed by chunk id.
+    maps: Arc<[ChunkMap]>,
+    /// Whether the program is free of immediate heap-address constants
+    /// (`PSrc::K`), which a moving collector cannot forward.
+    gc_safe: bool,
 }
 
 impl VerifiedProgram {
     /// The verified program.
     pub fn program(&self) -> &Arc<BcProgram> {
         &self.program
+    }
+
+    /// The retained per-chunk pointer maps (parallel to
+    /// `program.chunks`).
+    pub(crate) fn maps(&self) -> &Arc<[ChunkMap]> {
+        &self.maps
+    }
+
+    /// The provable `[ptr, word, float, double]` initialized heights at
+    /// `pc` of chunk `chunk`, or `None` if either index is out of
+    /// range. The ptr component is the pointer-map width a collector
+    /// may scan at that safepoint.
+    pub fn heights_at(&self, chunk: u32, pc: usize) -> Option<Heights> {
+        self.maps.get(chunk as usize)?.get(pc).copied()
     }
 
     /// Verifies an entry compiled against this program (entry chunk
@@ -248,8 +278,11 @@ impl VerifiedProgram {
             entry: Some(entry),
         };
         let base = self.program.chunks.len() as u32;
+        let mut maps = Vec::with_capacity(entry.chunks.len());
+        let mut gc_safe = true;
         for (ix, chunk) in entry.chunks.iter().enumerate() {
-            verifier.verify_chunk(base + ix as u32, chunk)?;
+            maps.push(verifier.verify_chunk(base + ix as u32, chunk)?);
+            gc_safe &= !mentions_addr_const(&chunk.code);
         }
         // The root is entered with no captures and no parameters.
         let Some(root) = verifier.chunk(entry.root) else {
@@ -277,6 +310,8 @@ impl VerifiedProgram {
         Ok(VerifiedEntry {
             program: self,
             entry,
+            maps: maps.into(),
+            gc_safe,
         })
     }
 }
@@ -284,10 +319,16 @@ impl VerifiedProgram {
 /// The witness that a [`BcEntry`] was verified against a specific
 /// [`VerifiedProgram`]. Borrowing ties the entry to the program it was
 /// checked against.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct VerifiedEntry<'a> {
     program: &'a VerifiedProgram,
     entry: &'a BcEntry,
+    /// Pointer maps for the entry chunks (chunk ids continue the
+    /// program's id space at `program.chunks.len()`).
+    maps: Arc<[ChunkMap]>,
+    /// Whether the entry chunks are free of immediate heap-address
+    /// constants.
+    gc_safe: bool,
 }
 
 impl<'a> VerifiedEntry<'a> {
@@ -299,6 +340,18 @@ impl<'a> VerifiedEntry<'a> {
     /// The verified entry.
     pub fn entry(&self) -> &'a BcEntry {
         self.entry
+    }
+
+    /// The retained pointer maps for the entry chunks.
+    pub(crate) fn entry_maps(&self) -> &Arc<[ChunkMap]> {
+        &self.maps
+    }
+
+    /// Whether program and entry together are collectible: no chunk
+    /// embeds an immediate heap address the collector could not
+    /// forward.
+    pub(crate) fn collectible(&self) -> bool {
+        self.program.gc_safe && self.gc_safe
     }
 }
 
@@ -329,11 +382,70 @@ pub fn verify(program: &Arc<BcProgram>) -> Result<VerifiedProgram, VerifyError> 
             return Err(table_err("fast", entry.0));
         }
     }
+    let mut maps = Vec::with_capacity(program.chunks.len());
+    let mut gc_safe = true;
     for (ix, chunk) in program.chunks.iter().enumerate() {
-        verifier.verify_chunk(ix as u32, chunk)?;
+        maps.push(verifier.verify_chunk(ix as u32, chunk)?);
+        gc_safe &= !mentions_addr_const(&chunk.code);
     }
     Ok(VerifiedProgram {
         program: Arc::clone(program),
+        maps: maps.into(),
+        gc_safe,
+    })
+}
+
+/// Derives the collector's pointer maps for a checked (unverified) run
+/// of `entry` against `program`: the same worklist dataflow the
+/// verifier runs, retained per pc. Returns `None` if any chunk fails
+/// verification or embeds an immediate heap-address constant — the
+/// machine then simply never collects, which is the pre-GC behaviour.
+pub(crate) fn pointer_maps_for(program: &BcProgram, entry: &BcEntry) -> Option<crate::gc::PtrMaps> {
+    let verifier = Verifier {
+        program,
+        entry: Some(entry),
+    };
+    let base = program.chunks.len();
+    let mut prog_maps = Vec::with_capacity(base);
+    for (ix, chunk) in program.chunks.iter().enumerate() {
+        if mentions_addr_const(&chunk.code) {
+            return None;
+        }
+        prog_maps.push(verifier.verify_chunk(ix as u32, chunk).ok()?);
+    }
+    let mut entry_maps = Vec::with_capacity(entry.chunks.len());
+    for (ix, chunk) in entry.chunks.iter().enumerate() {
+        if mentions_addr_const(&chunk.code) {
+            return None;
+        }
+        entry_maps.push(verifier.verify_chunk((base + ix) as u32, chunk).ok()?);
+    }
+    Some(crate::gc::PtrMaps::new(
+        base,
+        prog_maps.into(),
+        entry_maps.into(),
+    ))
+}
+
+/// Whether any operand position of `code` holds an immediate heap
+/// address (`PSrc::K`). Such constants name cells directly in the
+/// instruction stream, where a moving collector cannot rewrite them —
+/// programs containing them run uncollected.
+fn mentions_addr_const(code: &[Instr]) -> bool {
+    let psrc = |s: &PSrc| matches!(s, PSrc::K(_));
+    let src = |s: &Src| matches!(s, Src::P(PSrc::K(_)));
+    code.iter().any(|i| match i {
+        Instr::MovP { src: s, .. } => psrc(s),
+        Instr::EvalP(s) => psrc(s),
+        Instr::GotoJ { args, .. }
+        | Instr::PrimA { args, .. }
+        | Instr::MkCon { args, .. }
+        | Instr::MkMulti { args }
+        | Instr::RetMulti { args }
+        | Instr::CallF { args, .. } => args.iter().any(src),
+        Instr::MkClos { caps, .. } | Instr::MkThunk { caps, .. } => caps.iter().any(src),
+        Instr::PushArg(s) => src(s),
+        _ => false,
     })
 }
 
@@ -357,7 +469,7 @@ impl<'a> Verifier<'a> {
         }
     }
 
-    fn verify_chunk(&self, id: u32, chunk: &Chunk) -> Result<(), VerifyError> {
+    fn verify_chunk(&self, id: u32, chunk: &Chunk) -> Result<ChunkMap, VerifyError> {
         ChunkVerifier {
             v: self,
             id,
@@ -427,7 +539,7 @@ impl ChunkVerifier<'_> {
         Ok(h)
     }
 
-    fn run(&mut self) -> Result<(), VerifyError> {
+    fn run(&mut self) -> Result<ChunkMap, VerifyError> {
         let code = &self.chunk.code;
         let n = code.len();
         let entry = self.entry_heights()?;
@@ -442,7 +554,11 @@ impl ChunkVerifier<'_> {
             let h = states[pc].expect("worklist entries have states");
             self.step(&code[pc], h, &mut states, &mut work)?;
         }
-        Ok(())
+        // The fixpoint states double as the collector's safepoint
+        // pointer maps: elementwise-min joins mean every path into a
+        // pc agrees that slots below the watermark are initialized,
+        // and anything above is dead (rewritten before any read).
+        Ok(states.into_iter().map(|s| s.unwrap_or([0; 4])).collect())
     }
 
     // --- abstract reads / writes / joins ------------------------------

@@ -18,11 +18,20 @@
 //! program. With 64-bit FNV this is a formality, but a cache that can
 //! hand tenant A tenant B's program is wrong at any probability.
 //!
+//! Residency contract: the cache holds at most `capacity` entries.
+//! Admitting one more evicts — cached compile *failures* first (they
+//! are cheap to reproduce and the favourite payload of a tenant
+//! spraying distinct invalid programs), then the oldest completed
+//! entry. In-flight slots are never torn out from under their
+//! compiling workers: every waiter holds its own `Arc` on the slot, so
+//! an evicted in-flight compilation still completes for the requests
+//! already attached to it — it just is not cached afterwards.
+//!
 //! [`CodeProgram`]: levity_m::compile::CodeProgram
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 use levity_driver::pipeline::{compile_source_opt, compile_with_prelude_opt, Compiled};
 use levity_driver::OptLevel;
@@ -73,21 +82,98 @@ pub struct CacheStats {
     /// Requests whose key collided with a different source (compiled
     /// uncached; counted under `misses` as well).
     pub collisions: u64,
+    /// Entries evicted to stay within capacity (failures first).
+    pub evictions: u64,
 }
 
-/// A thread-safe compile-once cache keyed by [`content_hash`].
+/// The map plus its insertion order (oldest first), kept together
+/// behind one lock so eviction scans see a consistent view.
 #[derive(Default)]
+struct Slots {
+    map: HashMap<u64, Arc<Slot>>,
+    order: VecDeque<u64>,
+}
+
+impl Slots {
+    /// The eviction victim: the oldest cached *failure* if any, else
+    /// the oldest *completed* entry, else (every slot still compiling)
+    /// the oldest in-flight slot — waiters keep it alive through their
+    /// own `Arc`s, it merely stops being cached.
+    fn victim(&self) -> Option<u64> {
+        let by = |pred: fn(Option<&CompileResult>) -> bool| {
+            self.order
+                .iter()
+                .copied()
+                .find(|k| self.map.get(k).is_some_and(|s| pred(s.cell.get())))
+        };
+        by(|r| matches!(r, Some(Err(_))))
+            .or_else(|| by(|r| matches!(r, Some(Ok(_)))))
+            .or_else(|| self.order.front().copied())
+    }
+
+    fn remove(&mut self, key: u64) {
+        self.map.remove(&key);
+        if let Some(ix) = self.order.iter().position(|k| *k == key) {
+            self.order.remove(ix);
+        }
+    }
+}
+
+/// A thread-safe compile-once cache keyed by [`content_hash`], bounded
+/// at `capacity` resident entries.
 pub struct ProgramCache {
-    slots: Mutex<HashMap<u64, Arc<Slot>>>,
+    slots: Mutex<Slots>,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     collisions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for ProgramCache {
+    fn default() -> ProgramCache {
+        ProgramCache::with_capacity(ProgramCache::DEFAULT_CAPACITY)
+    }
 }
 
 impl ProgramCache {
-    /// An empty cache.
+    /// The default residency bound.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// An empty cache with the default capacity.
     pub fn new() -> ProgramCache {
         ProgramCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` entries (minimum 1).
+    pub fn with_capacity(capacity: usize) -> ProgramCache {
+        ProgramCache {
+            slots: Mutex::new(Slots::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the slot table, recovering from poisoning: a worker that
+    /// panicked while holding the lock (nothing in our critical
+    /// sections can, but a serving layer must not turn one crashed
+    /// request into permanent failure) costs the cached programs, not
+    /// the service — the table is cleared and every later request
+    /// compiles as if cold.
+    fn lock_slots(&self) -> MutexGuard<'_, Slots> {
+        match self.slots.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                guard.order.clear();
+                self.slots.clear_poison();
+                guard
+            }
+        }
     }
 
     /// Returns the compiled program for `source`, running the pipeline
@@ -102,13 +188,23 @@ impl ProgramCache {
     ) -> (CompileResult, bool) {
         let key = content_hash(source, opt_level, with_prelude);
         let slot = {
-            let mut slots = self.slots.lock().expect("cache poisoned");
-            Arc::clone(slots.entry(key).or_insert_with(|| {
-                Arc::new(Slot {
+            let mut slots = self.lock_slots();
+            if let Some(slot) = slots.map.get(&key) {
+                Arc::clone(slot)
+            } else {
+                while slots.map.len() >= self.capacity {
+                    let Some(victim) = slots.victim() else { break };
+                    slots.remove(victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                let slot = Arc::new(Slot {
                     source: Arc::from(source),
                     cell: OnceLock::new(),
-                })
-            }))
+                });
+                slots.map.insert(key, Arc::clone(&slot));
+                slots.order.push_back(key);
+                slot
+            }
         };
         if &*slot.source != source {
             // A 64-bit collision: never serve the other tenant's
@@ -135,7 +231,7 @@ impl ProgramCache {
 
     /// Number of distinct entries resident in the cache.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("cache poisoned").len()
+        self.lock_slots().map.len()
     }
 
     /// Is the cache empty?
@@ -143,12 +239,13 @@ impl ProgramCache {
         self.len() == 0
     }
 
-    /// A snapshot of the hit/miss/collision counters.
+    /// A snapshot of the hit/miss/collision/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             collisions: self.collisions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -199,7 +296,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                collisions: 0
+                collisions: 0,
+                evictions: 0
             }
         );
         assert_eq!(cache.len(), 1);
@@ -215,6 +313,62 @@ mod tests {
         assert!(!hit1);
         assert!(hit2, "a cached failure is still a hit");
         assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_failures_before_successes() {
+        let cache = ProgramCache::with_capacity(2);
+        let good = SRC;
+        let bad1 = "main :: Int#\nmain = nopeOne\n";
+        let bad2 = "main :: Int#\nmain = nopeTwo\n";
+        assert!(cache.get_or_compile(good, OptLevel::O2, false).0.is_ok());
+        assert!(cache.get_or_compile(bad1, OptLevel::O2, false).0.is_err());
+        // Admitting a third entry at capacity 2 evicts — and the cached
+        // failure goes before the older cached success.
+        assert!(cache.get_or_compile(bad2, OptLevel::O2, false).0.is_err());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        let (again, hit) = cache.get_or_compile(good, OptLevel::O2, false);
+        assert!(again.is_ok());
+        assert!(hit, "the success survived the eviction");
+        let (refailed, hit) = cache.get_or_compile(bad1, OptLevel::O2, false);
+        assert!(refailed.is_err());
+        assert!(!hit, "the evicted failure recompiles");
+    }
+
+    #[test]
+    fn a_spray_of_distinct_failures_stays_bounded() {
+        let cache = ProgramCache::with_capacity(4);
+        for i in 0..12 {
+            let bad = format!("main :: Int#\nmain = nope{i}\n");
+            assert!(cache.get_or_compile(&bad, OptLevel::O2, false).0.is_err());
+            assert!(cache.len() <= 4, "resident entries exceed capacity");
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().evictions, 8);
+        assert_eq!(cache.stats().misses, 12);
+    }
+
+    #[test]
+    fn poisoned_cache_still_serves() {
+        let cache = Arc::new(ProgramCache::new());
+        assert!(cache.get_or_compile(SRC, OptLevel::O2, true).0.is_ok());
+        // Poison the mutex: a thread panics while holding the guard.
+        let poisoner = Arc::clone(&cache);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.slots.lock().unwrap();
+            panic!("worker crash while holding the cache lock");
+        })
+        .join();
+        assert!(cache.slots.is_poisoned() || cache.is_empty());
+        // The cache degrades to cold instead of failing forever: the
+        // table is rebuilt and requests keep compiling and caching.
+        let (first, hit) = cache.get_or_compile(SRC, OptLevel::O2, true);
+        assert!(first.is_ok());
+        assert!(!hit, "the poisoned table was cleared, so this recompiles");
+        let (second, hit) = cache.get_or_compile(SRC, OptLevel::O2, true);
+        assert!(second.is_ok());
+        assert!(hit, "caching works again after recovery");
     }
 
     #[test]

@@ -83,6 +83,26 @@ pub const ALLOC_HEAVY: CorpusProgram = CorpusProgram {
     expected: 300,
 };
 
+/// Allocation churn with a tiny live set: every round builds a fresh
+/// 24-cell boxed list, walks it, and drops it. Cumulative allocation
+/// is large but almost nothing is reachable at any moment — the
+/// workload the copying collector exists for, and the one that grows
+/// a non-collecting heap without bound. Kept out of [`MIXED_CORPUS`]
+/// so the existing counter-equality tests over the mix are untouched.
+pub const CHURN: CorpusProgram = CorpusProgram {
+    name: "churn",
+    source: "data Chain = End | Link Int Chain\n\
+             build :: Int# -> Chain\n\
+             build n = case n of { 0# -> End; _ -> Link (I# n) (build (n -# 1#)) }\n\
+             len :: Chain -> Int#\n\
+             len xs = case xs of { End -> 0#; Link h t -> 1# +# len t }\n\
+             churn :: Int# -> Int# -> Int#\n\
+             churn acc r = case r of { 0# -> acc; _ -> churn (acc +# len (build 24#)) (r -# 1#) }\n\
+             main :: Int#\n\
+             main = churn 0# 200#\n",
+    expected: 4_800,
+};
+
 /// A divergent program — never terminates, allocates nothing. Exists
 /// to be killed by the fuel meter.
 pub const SPIN: &str = "spin :: Int# -> Int#\n\

@@ -21,6 +21,11 @@
 //! * **allocation caps** — a words-allocated budget enforced at every
 //!   allocation site in all three engines
 //!   ([`ServeError::AllocCapExceeded`]);
+//! * **live-heap caps** — a residency budget enforced by the bytecode
+//!   engine's copying collector after each collection
+//!   ([`ServeError::HeapCapExceeded`]): long-lived workers stay
+//!   bounded under allocation churn, while a request whose *reachable*
+//!   data outgrows the cap is killed;
 //! * **load shedding** — the request queue is a bounded
 //!   `mpsc::sync_channel`; when it is full, [`EvalService::submit`]
 //!   rejects immediately with [`ServeError::Overloaded`] instead of

@@ -14,7 +14,12 @@
 //!   [`ServeError::FuelExhausted`], and the worker moves on;
 //! * every request may carry an allocation cap, enforced at each
 //!   allocation site in the engines — an allocation bomb dies with
-//!   [`ServeError::AllocCapExceeded`].
+//!   [`ServeError::AllocCapExceeded`];
+//! * every request may carry a *live-heap* cap, enforced by the
+//!   bytecode engine after each collection — a request whose
+//!   reachable data outgrows the cap dies with
+//!   [`ServeError::HeapCapExceeded`], while high-churn/low-residency
+//!   programs run indefinitely under a bounded heap.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
@@ -48,6 +53,11 @@ pub struct ServeConfig {
     pub opt_level: OptLevel,
     /// Whether the standard prelude is in scope for submitted programs.
     pub with_prelude: bool,
+    /// Maximum distinct programs the compile cache retains; beyond it
+    /// the cache evicts (compile failures first). Keeps a tenant
+    /// spraying distinct programs from growing the cache without
+    /// bound.
+    pub cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -60,6 +70,7 @@ impl Default for ServeConfig {
             default_alloc_words: None,
             opt_level: OptLevel::O2,
             with_prelude: true,
+            cache_capacity: 256,
         }
     }
 }
@@ -72,6 +83,8 @@ pub struct EvalRequest {
     engine: Engine,
     fuel: Option<u64>,
     alloc_words: Option<u64>,
+    heap_bytes: Option<u64>,
+    gc_nursery: Option<usize>,
 }
 
 impl EvalRequest {
@@ -84,6 +97,8 @@ impl EvalRequest {
             engine: Engine::default(),
             fuel: None,
             alloc_words: None,
+            heap_bytes: None,
+            gc_nursery: None,
         }
     }
 
@@ -108,6 +123,24 @@ impl EvalRequest {
     /// Request this allocation cap, in estimated words.
     pub fn alloc_cap(mut self, words: u64) -> EvalRequest {
         self.alloc_words = Some(words);
+        self
+    }
+
+    /// Cap the *live* heap at this many bytes: after each collection
+    /// the bytecode engine checks that the reachable data fits, and
+    /// kills the request with [`ServeError::HeapCapExceeded`]
+    /// otherwise. Unlike [`Self::alloc_cap`], churn that the collector
+    /// reclaims does not count.
+    pub fn heap_cap(mut self, bytes: u64) -> EvalRequest {
+        self.heap_bytes = Some(bytes);
+        self
+    }
+
+    /// Override the bytecode engine's GC nursery (collection trigger)
+    /// for this request, in heap cells. Mostly a testing knob: tiny
+    /// nurseries force frequent collections.
+    pub fn gc_nursery(mut self, cells: usize) -> EvalRequest {
+        self.gc_nursery = Some(cells);
         self
     }
 }
@@ -147,6 +180,12 @@ pub enum ServeError {
         /// The cap (words) that was exceeded.
         limit: u64,
     },
+    /// The request's *live* data exceeded its heap cap even after a
+    /// collection, and it was killed.
+    HeapCapExceeded {
+        /// The cap (bytes) that was exceeded.
+        limit: u64,
+    },
     /// The machine rejected the program (stuck term, unknown global …).
     Machine(MachineError),
 }
@@ -165,6 +204,9 @@ impl std::fmt::Display for ServeError {
                     f,
                     "request killed: allocation cap of {limit} words exceeded"
                 )
+            }
+            ServeError::HeapCapExceeded { limit } => {
+                write!(f, "request killed: live heap cap of {limit} bytes exceeded")
             }
             ServeError::Machine(e) => write!(f, "machine error: {e}"),
         }
@@ -186,6 +228,8 @@ pub struct ServeCounters {
     pub fuel_killed: u64,
     /// Requests killed by the allocation cap.
     pub alloc_killed: u64,
+    /// Requests killed by the live-heap cap.
+    pub heap_killed: u64,
     /// Requests whose program failed to compile.
     pub compile_failed: u64,
     /// Program-cache counters (hits/misses/collisions).
@@ -220,6 +264,7 @@ struct Counters {
     shed: AtomicU64,
     fuel_killed: AtomicU64,
     alloc_killed: AtomicU64,
+    heap_killed: AtomicU64,
     compile_failed: AtomicU64,
 }
 
@@ -245,7 +290,7 @@ impl EvalService {
         let (tx, rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
         let rx = Arc::new(Mutex::new(rx));
         let shared = Arc::new(Shared {
-            cache: ProgramCache::new(),
+            cache: ProgramCache::with_capacity(config.cache_capacity),
             counters: Counters::default(),
             config,
         });
@@ -305,6 +350,7 @@ impl EvalService {
             shed: c.shed.load(Ordering::Relaxed),
             fuel_killed: c.fuel_killed.load(Ordering::Relaxed),
             alloc_killed: c.alloc_killed.load(Ordering::Relaxed),
+            heap_killed: c.heap_killed.load(Ordering::Relaxed),
             compile_failed: c.compile_failed.load(Ordering::Relaxed),
             cache: self.shared.cache.stats(),
         }
@@ -367,6 +413,8 @@ fn process(worker: usize, req: &EvalRequest, shared: &Shared) -> Result<EvalResp
     let limits = RunLimits {
         fuel: req.fuel.unwrap_or(config.default_fuel).min(config.max_fuel),
         alloc_words: req.alloc_words.or(config.default_alloc_words),
+        heap_bytes: req.heap_bytes,
+        gc_nursery: req.gc_nursery,
     };
     match compiled.run_with_limits(&req.entry, req.engine, limits) {
         Ok((outcome, stats)) => Ok(EvalResponse {
@@ -379,6 +427,9 @@ fn process(worker: usize, req: &EvalRequest, shared: &Shared) -> Result<EvalResp
         Err(MachineError::AllocLimitExceeded { limit }) => {
             Err(ServeError::AllocCapExceeded { limit })
         }
+        Err(MachineError::HeapLimitExceeded { limit }) => {
+            Err(ServeError::HeapCapExceeded { limit })
+        }
         Err(e) => Err(ServeError::Machine(e)),
     }
 }
@@ -388,6 +439,7 @@ fn bump_outcome_counters(result: &Result<EvalResponse, ServeError>, counters: &C
         Ok(_) => &counters.completed,
         Err(ServeError::FuelExhausted { .. }) => &counters.fuel_killed,
         Err(ServeError::AllocCapExceeded { .. }) => &counters.alloc_killed,
+        Err(ServeError::HeapCapExceeded { .. }) => &counters.heap_killed,
         Err(ServeError::Compile(_)) => &counters.compile_failed,
         Err(_) => return,
     };

@@ -18,7 +18,7 @@ use std::thread;
 
 use levity::driver::{compile_with_prelude, Compiled, RunLimits};
 use levity::m::Engine;
-use levity_serve::corpus::{expected_int, CorpusProgram, MIXED_CORPUS, SPIN};
+use levity_serve::corpus::{expected_int, CorpusProgram, CHURN, MIXED_CORPUS, SPIN};
 use levity_serve::{EvalRequest, EvalService, ServeConfig, ServeError};
 
 const CLIENTS: usize = 8;
@@ -169,6 +169,96 @@ fn shared_compiled_program_is_deterministic_across_8_threads() {
             });
         }
     }
+}
+
+/// The soak test the copying collector exists for: one worker serving
+/// a long run of allocation-churn requests under a *live-heap* cap far
+/// below the program's cumulative allocation. Before the collector,
+/// the bytecode heap only ever grew, so a residency bound this tight
+/// was unenforceable — cumulative allocation for one churn request is
+/// ~100× the cap. Now every request must complete correctly inside the
+/// cap (the collector keeps residency at the live set, which is one
+/// 24-cell chain) and must actually collect along the way.
+#[test]
+fn soak_churn_requests_stay_inside_a_live_heap_cap() {
+    // 10k requests in release CI (`LEVITY_SOAK_REQUESTS=10000`); a
+    // shorter default keeps plain debug `cargo test` quick while still
+    // covering hundreds of collections.
+    let requests: usize = std::env::var("LEVITY_SOAK_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let service = EvalService::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let mut collections = 0u64;
+    let mut bytes_copied = 0u64;
+    for i in 0..requests {
+        let req = EvalRequest::source(CHURN.source)
+            .engine(Engine::Bytecode)
+            .gc_nursery(256)
+            .heap_cap(64 * 1024);
+        let resp = service
+            .call(req)
+            .unwrap_or_else(|e| panic!("churn request {i} failed: {e}"));
+        assert_eq!(
+            expected_int(&resp.outcome),
+            Some(CHURN.expected),
+            "churn request {i} returned a wrong answer"
+        );
+        collections += resp.stats.collections;
+        bytes_copied += resp.stats.bytes_copied;
+    }
+    assert!(
+        collections > 0,
+        "churn never triggered a collection — the nursery knob is dead"
+    );
+    // The residency bound itself: `heap_cap` kills any request whose
+    // live set exceeds 64KiB after a collection, so mere completion is
+    // the bound — but pin the reported numbers too: what survives each
+    // collection averages far below the cap (the live set is one
+    // 24-cell chain, not the cumulative allocation).
+    assert!(
+        bytes_copied <= collections * 64 * 1024,
+        "collections retained more than the residency cap on average"
+    );
+    service.shutdown();
+}
+
+/// The residency cap as a tenancy policy: a request whose *live* data
+/// outgrows its cap is killed with a structured error and its own
+/// counter, and the worker survives to serve the next request.
+#[test]
+fn over_residency_request_is_killed_and_counted() {
+    let service = EvalService::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    // ALLOC_HEAVY keeps a 300-cell chain fully reachable — no amount
+    // of collecting fits that in 4KiB.
+    let err = service
+        .call(
+            EvalRequest::source(MIXED_CORPUS[4].source)
+                .engine(Engine::Bytecode)
+                .gc_nursery(64)
+                .heap_cap(4096),
+        )
+        .unwrap_err();
+    assert_eq!(err, ServeError::HeapCapExceeded { limit: 4096 });
+    assert_eq!(service.counters().heap_killed, 1);
+    // Same cap, churn-shaped traffic: lives happily within it.
+    let resp = service
+        .call(
+            EvalRequest::source(CHURN.source)
+                .engine(Engine::Bytecode)
+                .gc_nursery(64)
+                .heap_cap(4096),
+        )
+        .unwrap();
+    assert_eq!(expected_int(&resp.outcome), Some(CHURN.expected));
+    assert!(resp.stats.collections > 0);
+    service.shutdown();
 }
 
 /// The corpus expectations themselves stay honest: every program also
